@@ -1,0 +1,42 @@
+//! Criterion bench for the Fig. 2 grid (baseline pipeline) at reduced
+//! message counts. Each iteration provisions pilots and streams a full
+//! pipeline, so samples are few but end-to-end faithful.
+//!
+//! Run: `cargo bench -p pilot-bench --bench fig2`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pilot_bench::{run_cell, CellOpts, Geo};
+use pilot_datagen::serialized_size;
+use pilot_ml::ModelKind;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_baseline");
+    group.sample_size(10);
+    let messages = 4usize;
+    for &devices in &[1usize, 4] {
+        for &points in &[25usize, 1000] {
+            let total_bytes = (serialized_size(points, 32) * messages * devices) as u64;
+            group.throughput(Throughput::Bytes(total_bytes));
+            group.bench_with_input(
+                BenchmarkId::new(format!("p{devices}"), points),
+                &(devices, points),
+                |b, &(devices, points)| {
+                    b.iter(|| {
+                        run_cell(&CellOpts {
+                            points,
+                            devices,
+                            model: ModelKind::Baseline,
+                            messages_per_device: messages,
+                            geo: Geo::Local,
+                            ..CellOpts::default()
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

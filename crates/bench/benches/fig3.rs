@@ -1,0 +1,43 @@
+//! Criterion bench for the Fig. 3 grid: per-model pipeline cost at a fixed
+//! message size, local links. The model ordering (baseline < k-means <
+//! isolation forest < auto-encoder per-message cost) is the figure's core
+//! result and shows directly in these timings.
+//!
+//! Run: `cargo bench -p pilot-bench --bench fig3`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pilot_bench::{run_cell, CellOpts, Geo};
+use pilot_datagen::serialized_size;
+use pilot_ml::ModelKind;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_models");
+    group.sample_size(10);
+    let messages = 3usize;
+    let devices = 2usize;
+    let points = 1000usize;
+    for model in ModelKind::all() {
+        let total_bytes = (serialized_size(points, 32) * messages * devices) as u64;
+        group.throughput(Throughput::Bytes(total_bytes));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model.label()),
+            &model,
+            |b, &model| {
+                b.iter(|| {
+                    run_cell(&CellOpts {
+                        points,
+                        devices,
+                        model,
+                        messages_per_device: messages,
+                        geo: Geo::Local,
+                        ..CellOpts::default()
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Substrate micro-benchmarks: the per-operation costs that compose into
+//! the pipeline-level numbers of Fig. 2/3.
+//!
+//! * `broker_append` / `broker_fetch` — commit-log service time per record
+//!   size (the Fig. 2 broker component).
+//! * `model_per_message` — partial_fit + score cost of each evaluation
+//!   model on a paper-sized message (the Fig. 3 model ordering, isolated
+//!   from transport).
+//! * `codec` — f64 vs Q16 encode/decode per block.
+//! * `histogram_record` — the monitoring fabric's hot-path cost.
+//!
+//! Run: `cargo bench -p pilot-bench --bench micro`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pilot_broker::{Broker, Record, RetentionPolicy};
+use pilot_datagen::{codec, DataGenConfig, DataGenerator};
+use pilot_ml::{
+    AutoEncoderConfig, Dataset, IsolationForestConfig, KMeansConfig, ModelKind, OutlierModel,
+};
+use std::time::Duration;
+
+fn bench_broker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker_append");
+    for &size in &[6_400usize, 256_000, 2_560_000] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let broker = Broker::new();
+            broker
+                .create_topic("t", 1, RetentionPolicy::by_records(4096))
+                .unwrap();
+            let payload = bytes::Bytes::from(vec![7u8; size]);
+            b.iter(|| broker.append("t", 0, Record::new(payload.clone())).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("broker_fetch");
+    for &size in &[6_400usize, 256_000] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let broker = Broker::new();
+            broker
+                .create_topic("t", 1, RetentionPolicy::unbounded())
+                .unwrap();
+            for _ in 0..64 {
+                broker.append("t", 0, Record::new(vec![7u8; size])).unwrap();
+            }
+            let mut offset = 0u64;
+            b.iter(|| {
+                let recs = broker
+                    .fetch("t", 0, offset % 64, 1, Duration::ZERO)
+                    .unwrap();
+                offset += 1;
+                recs
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_per_message");
+    group.sample_size(10);
+    const POINTS: usize = 1000;
+    let mut generator = DataGenerator::new(DataGenConfig::paper(POINTS));
+    let block = generator.next_block();
+    let bytes = (POINTS * 32 * 8) as u64;
+    group.throughput(Throughput::Bytes(bytes));
+
+    for kind in [
+        ModelKind::KMeans,
+        ModelKind::IsolationForest,
+        ModelKind::AutoEncoder,
+    ] {
+        group.bench_function(kind.label(), |b| {
+            // The paper's per-message protocol: update + score.
+            let mut model: Box<dyn OutlierModel> = match kind {
+                ModelKind::KMeans => Box::new(pilot_ml::KMeans::new(KMeansConfig::paper())),
+                ModelKind::IsolationForest => Box::new(pilot_ml::IsolationForest::new(
+                    IsolationForestConfig::paper(),
+                )),
+                ModelKind::AutoEncoder => {
+                    Box::new(pilot_ml::AutoEncoder::new(AutoEncoderConfig::paper()))
+                }
+                ModelKind::Baseline => unreachable!(),
+            };
+            let ds = Dataset::new(&block.data, block.points, block.features);
+            b.iter(|| {
+                model.partial_fit(&ds);
+                model.score(&ds)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    const POINTS: usize = 1000;
+    let mut generator = DataGenerator::new(DataGenConfig::paper(POINTS));
+    let block = generator.next_block();
+    group.throughput(Throughput::Bytes((POINTS * 32 * 8) as u64));
+    group.bench_function("encode_f64", |b| {
+        b.iter(|| codec::encode_with(codec::Codec::F64, &block, 0))
+    });
+    group.bench_function("encode_q16", |b| {
+        b.iter(|| codec::encode_with(codec::Codec::Q16, &block, 0))
+    });
+    let f64_wire = codec::encode_with(codec::Codec::F64, &block, 0);
+    let q16_wire = codec::encode_with(codec::Codec::Q16, &block, 0);
+    group.bench_function("decode_f64", |b| b.iter(|| codec::decode_any(&f64_wire)));
+    group.bench_function("decode_q16", |b| b.iter(|| codec::decode_any(&q16_wire)));
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics");
+    group.bench_function("histogram_record", |b| {
+        let mut h = pilot_metrics::Histogram::new();
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1) % 1_000_000;
+            h.record(v);
+        });
+    });
+    group.bench_function("span_record", |b| {
+        let registry = pilot_metrics::MetricsRegistry::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            registry.record(1, i, pilot_metrics::Component::Broker, i, i + 10, 1024);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_broker,
+    bench_models,
+    bench_codec,
+    bench_metrics
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Regenerates **Fig. 2** of the paper: baseline throughput and latency by
+//! message size and partition count, plus the per-component breakdown that
+//! exposes the broker-vs-processor bottleneck at four partitions.
+//!
+//! Paper setup (Section III.1): edge data source, broker, and processing on
+//! the LRZ cloud; simulated edge devices of 1 core / 4 GB; one partition per
+//! edge device; partition ratio 1:1 between broker and processing; message
+//! sizes 25–10,000 points × 32 features × 8 B (7 KB–2.6 MB); 512 messages
+//! per run (scaled down here — see pilot-bench docs).
+//!
+//! Usage: `cargo run -p pilot-bench --release --bin fig2_baseline`
+//! Env: `PILOT_BENCH_MESSAGES=<n>`, `PILOT_BENCH_QUICK=1`.
+
+use pilot_bench::{csv_header, csv_row, default_messages, message_sizes, run_cell, CellOpts, Geo};
+use pilot_datagen::serialized_size;
+use pilot_metrics::Component;
+use pilot_ml::ModelKind;
+
+fn main() {
+    let partitions = [1usize, 2, 4];
+    let sizes = message_sizes();
+    println!("# Fig. 2 — baseline throughput/latency by message size and partitions");
+    println!("# S-1 check: serialized message sizes");
+    for &points in &sizes {
+        println!(
+            "#   {points} points x 32 features -> {:.1} KB",
+            serialized_size(points, 32) as f64 / 1024.0
+        );
+    }
+    println!("{}", csv_header());
+
+    let mut four_partition_reports = Vec::new();
+    for &parts in &partitions {
+        for &points in &sizes {
+            let opts = CellOpts {
+                points,
+                devices: parts,
+                model: ModelKind::Baseline,
+                messages_per_device: default_messages(Geo::Local),
+                ..CellOpts::default()
+            };
+            let summary = run_cell(&opts);
+            println!("{}", csv_row("fig2", &opts, &summary));
+            if parts == 4 {
+                four_partition_reports.push((points, summary));
+            }
+        }
+    }
+
+    // The paper's Fig. 2 observation: "for four partitions, it is apparent
+    // that the Kafka broker can process more data than the consuming
+    // processing tasks in the cloud."
+    println!("\n# Per-component mean service time (ms) at 4 partitions:");
+    println!("# points,broker_ms,cloud_processor_ms,bottleneck");
+    for (points, s) in &four_partition_reports {
+        println!(
+            "# {points},{:.3},{:.3},{}",
+            s.component_mean_ms(&Component::Broker),
+            s.component_mean_ms(&Component::CloudProcessor),
+            s.bottleneck.as_deref().unwrap_or("-"),
+        );
+    }
+}

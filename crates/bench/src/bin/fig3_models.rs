@@ -1,0 +1,85 @@
+//! Regenerates **Fig. 3** of the paper: throughput and latency by model
+//! type (baseline, k-means, isolation forest, auto-encoder), message size,
+//! and geographic distribution — plus the Conclusion's headline scalars:
+//!
+//! * **C-1**: "k-means can achieve five times the throughput of isolation
+//!   forests for large message sizes (10,000 points)";
+//! * **C-2**: "auto-encoders proved unsuitable for the investigated
+//!   resource configurations" (slowest at every size).
+//!
+//! Paper setup (Section III.2): cloud-centric deployment, processing on the
+//! LRZ "large" VM (10 cores / 44 GB), four partitions for the geographic
+//! experiment, model updated per message via the parameter service.
+//!
+//! Usage: `cargo run -p pilot-bench --release --bin fig3_models`
+//! Env: `PILOT_BENCH_MESSAGES=<n>`, `PILOT_BENCH_QUICK=1`.
+
+use pilot_bench::{csv_header, csv_row, default_messages, message_sizes, run_cell, CellOpts, Geo};
+use pilot_ml::ModelKind;
+use std::collections::HashMap;
+
+fn main() {
+    let sizes = message_sizes();
+    // The geographic sweep is WAN-bound and slow; restrict it to the
+    // models × sizes the paper plots, at endpoints unless full.
+    let geo_sizes: Vec<usize> = if std::env::var("PILOT_BENCH_QUICK").is_ok() {
+        vec![*sizes.last().unwrap()]
+    } else {
+        vec![25, 1000, 10000]
+    };
+
+    println!("# Fig. 3 — throughput/latency by model, message size, geography");
+    println!("{}", csv_header());
+    let mut local_tp: HashMap<(ModelKind, usize), f64> = HashMap::new();
+
+    for &model in &ModelKind::all() {
+        for &points in &sizes {
+            let opts = CellOpts {
+                points,
+                devices: 4,
+                model,
+                messages_per_device: default_messages(Geo::Local),
+                ..CellOpts::default()
+            };
+            let summary = run_cell(&opts);
+            local_tp.insert((model, points), summary.throughput_mb);
+            println!("{}", csv_row("fig3-local", &opts, &summary));
+        }
+    }
+
+    for &model in &ModelKind::all() {
+        for &points in &geo_sizes {
+            let opts = CellOpts {
+                points,
+                devices: 4,
+                model,
+                geo: Geo::Transatlantic,
+                messages_per_device: default_messages(Geo::Transatlantic),
+                ..CellOpts::default()
+            };
+            let summary = run_cell(&opts);
+            println!("{}", csv_row("fig3-geo", &opts, &summary));
+        }
+    }
+
+    // --- Conclusion scalars ---------------------------------------------
+    let largest = *sizes.last().unwrap();
+    let km = local_tp[&(ModelKind::KMeans, largest)];
+    let iso = local_tp[&(ModelKind::IsolationForest, largest)];
+    println!("\n# C-1: k-means vs isolation-forest throughput at {largest} points:");
+    println!(
+        "#   kmeans={km:.3} MB/s, isoforest={iso:.3} MB/s, ratio={:.2}x (paper: ~5x)",
+        km / iso
+    );
+    println!("# C-2: throughput ranking at {largest} points (paper: auto-encoder last):");
+    let mut ranked: Vec<(ModelKind, f64)> = ModelKind::all()
+        .iter()
+        .map(|&m| (m, local_tp[&(m, largest)]))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (m, tp) in &ranked {
+        println!("#   {:<12} {tp:.3} MB/s", m.label());
+    }
+    let ae_last = ranked.last().map(|(m, _)| *m) == Some(ModelKind::AutoEncoder);
+    println!("#   auto-encoder ranks last: {ae_last}");
+}

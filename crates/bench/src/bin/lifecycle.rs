@@ -1,0 +1,83 @@
+//! Pilot-provisioning characterisation: time from `create_pilot` to Active
+//! for every backend class (paper Fig. 1 step 1 / Section II-B's plugin
+//! list). Prints a table of provisioning latencies, including the
+//! serverless cold-vs-warm split and HPC queue wait.
+//!
+//! Boot delays are simulated at ~100× compression (see `pilot-core`
+//! docs); the *ordering* — local < serverless-warm < ssh-edge <
+//! serverless-cold < openstack < batch-HPC-queued — is the result.
+//!
+//! Usage: `cargo run -p pilot-bench --release --bin lifecycle`
+
+use pilot_core::{
+    BatchQueue, BatchQueueBackend, PilotComputeService, PilotDescription, ServerlessBackend,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn provision_ms(svc: &PilotComputeService, desc: PilotDescription) -> f64 {
+    let t0 = Instant::now();
+    let pilot = svc
+        .submit_and_wait(desc, Duration::from_secs(30))
+        .expect("provisioning");
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    pilot.release();
+    ms
+}
+
+fn main() {
+    let svc = PilotComputeService::new();
+    let queue = BatchQueue::new("normal", 1);
+    svc.register_backend(Arc::new(BatchQueueBackend::new(queue.clone())));
+    let serverless = Arc::new(ServerlessBackend::new(4));
+    svc.register_backend(Arc::clone(&serverless) as _);
+
+    println!("# pilot provisioning latency by backend class (simulated, ~100x compressed)");
+    println!("backend,provision_ms");
+
+    println!(
+        "local,{:.1}",
+        provision_ms(&svc, PilotDescription::local(2, 4.0))
+    );
+
+    let mut sl = PilotDescription::local(1, 2.0);
+    sl.resource = "serverless://faas".into();
+    let cold = provision_ms(&svc, sl.clone());
+    println!("serverless-cold,{cold:.1}");
+    let warm = provision_ms(&svc, sl);
+    println!("serverless-warm,{warm:.1}");
+
+    println!(
+        "ssh-edge,{:.1}",
+        provision_ms(&svc, PilotDescription::edge_device("raspi", "plant"))
+    );
+    println!(
+        "openstack-medium,{:.1}",
+        provision_ms(&svc, PilotDescription::lrz_medium())
+    );
+    println!(
+        "openstack-large,{:.1}",
+        provision_ms(&svc, PilotDescription::lrz_large())
+    );
+
+    // HPC with an empty queue, then with a held slot (visible queue wait).
+    println!(
+        "batch-hpc-idle,{:.1}",
+        provision_ms(&svc, PilotDescription::hpc("normal", 8, 32.0))
+    );
+    let held = queue.acquire(Duration::from_secs(1)).unwrap();
+    let t0 = Instant::now();
+    let pilot = svc
+        .create_pilot(PilotDescription::hpc("normal", 8, 32.0))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(120)); // sit in the queue
+    drop(held);
+    pilot.wait_active(Duration::from_secs(30)).unwrap();
+    println!("batch-hpc-queued,{:.1}", t0.elapsed().as_secs_f64() * 1e3);
+    pilot.release();
+
+    println!(
+        "\n# serverless cold starts observed: {}",
+        serverless.cold_starts()
+    );
+}

@@ -1,0 +1,37 @@
+//! Regenerates **S-3**, the paper's iPerf-style link characterisation:
+//! "The latency between both locations varied between 140 and 160 msec;
+//! bandwidth fluctuated between 60 to 100 MBits/sec (iPerf measurement)."
+//!
+//! Probes every link profile with latency pings and a bulk transfer, then
+//! prints observed one-way latency and goodput. The transatlantic profile
+//! must land at 70–80 ms one-way (= 140–160 ms RTT) and 60–100 Mbit/s.
+//!
+//! Usage: `cargo run -p pilot-bench --release --bin netperf`
+
+use pilot_netsim::profiles;
+
+fn main() {
+    println!("# netperf — link-model self-measurement (iPerf analogue)");
+    println!("link,one_way_ms_min,one_way_ms_max,rtt_ms_mean,goodput_mbit");
+    let specs = [
+        profiles::cloud_local("cloud-local", 7),
+        profiles::transatlantic("transatlantic", 7),
+        profiles::edge_uplink("edge-uplink", 7),
+    ];
+    for spec in specs {
+        let name = spec.name.clone();
+        let link = spec.build();
+        // Latency: 20 zero-byte probes.
+        let probes: Vec<f64> = (0..20)
+            .map(|_| link.probe_latency().as_secs_f64() * 1e3)
+            .collect();
+        let min = probes.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = probes.iter().cloned().fold(0.0f64, f64::max);
+        let mean = probes.iter().sum::<f64>() / probes.len() as f64;
+        // Goodput: one 4 MB bulk transfer, latency excluded.
+        let bytes = 4_000_000u64;
+        let receipt = link.transfer(bytes);
+        let goodput = bytes as f64 * 8.0 / receipt.transit.as_secs_f64() / 1e6;
+        println!("{name},{min:.1},{max:.1},{:.1},{goodput:.1}", 2.0 * mean);
+    }
+}

@@ -1,0 +1,229 @@
+//! # pilot-bench — the experiment harness
+//!
+//! One function, [`run_cell`], runs a full Pilot-Edge pipeline for one cell
+//! of the paper's evaluation grid — (message size × partitions × model ×
+//! geography × deployment) — and returns its [`RunSummary`]. The harness
+//! binaries sweep the grids of Fig. 2 and Fig. 3 and print CSV; the
+//! Criterion benches reuse the same cells at reduced message counts.
+//!
+//! Scaling note: the paper sends 512 messages per run on real
+//! infrastructure; the simulated runs default to fewer messages
+//! (64 local / 16 transatlantic) because the WAN link model *actually
+//! sleeps* for transfer time. Override with `PILOT_BENCH_MESSAGES`.
+//! Throughput and latency are rates/quantiles, so the reduced count changes
+//! noise, not shape.
+
+use pilot_core::{Pilot, PilotComputeService, PilotDescription};
+use pilot_datagen::DataGenConfig;
+use pilot_edge::processors::{
+    datagen_produce_factory, downsample_edge_factory, paper_model_factory,
+};
+use pilot_edge::{DeploymentMode, EdgeToCloudPipeline, RunSummary};
+use pilot_ml::ModelKind;
+use pilot_netsim::profiles;
+use std::time::Duration;
+
+/// Where the edge data source sits relative to broker + cloud processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Geo {
+    /// Everything on the LRZ cloud (the paper's baseline setup):
+    /// intra-cloud links everywhere.
+    Local,
+    /// Data source on Jetstream (US), broker + processing on LRZ (EU):
+    /// the edge→broker hop crosses the Atlantic.
+    Transatlantic,
+}
+
+impl Geo {
+    /// Stable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Geo::Local => "local",
+            Geo::Transatlantic => "transatlantic",
+        }
+    }
+}
+
+/// One experiment cell.
+#[derive(Debug, Clone)]
+pub struct CellOpts {
+    /// Points per message (the paper sweeps 25–10,000).
+    pub points: usize,
+    /// Edge devices = partitions.
+    pub devices: usize,
+    /// Consumer tasks (None = one per partition, the paper's ratio).
+    pub processors: Option<usize>,
+    /// Which model runs in `process_cloud`.
+    pub model: ModelKind,
+    /// Messages each device sends.
+    pub messages_per_device: usize,
+    /// Link layout.
+    pub geo: Geo,
+    /// Deployment modality.
+    pub mode: DeploymentMode,
+    /// Hybrid-mode downsampling factor for `process_edge`.
+    pub downsample: usize,
+    /// RNG seed for the generator and links.
+    pub seed: u64,
+}
+
+impl Default for CellOpts {
+    fn default() -> Self {
+        Self {
+            points: 1000,
+            devices: 4,
+            processors: None,
+            model: ModelKind::Baseline,
+            messages_per_device: default_messages(Geo::Local),
+            geo: Geo::Local,
+            mode: DeploymentMode::CloudCentric,
+            downsample: 4,
+            seed: 42,
+        }
+    }
+}
+
+/// Default messages per device, honouring `PILOT_BENCH_MESSAGES`.
+pub fn default_messages(geo: Geo) -> usize {
+    if let Ok(v) = std::env::var("PILOT_BENCH_MESSAGES") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    match geo {
+        Geo::Local => 64,
+        Geo::Transatlantic => 16,
+    }
+}
+
+/// Provision the pilots for a cell: an edge pilot with one core per device,
+/// and the paper's "large" cloud envelope (10 cores / 44 GB) or bigger if
+/// the cell needs more processors.
+pub fn provision(svc: &PilotComputeService, opts: &CellOpts) -> (Pilot, Pilot) {
+    let procs = opts.processors.unwrap_or(opts.devices);
+    let edge = svc
+        .submit_and_wait(
+            PilotDescription::local(opts.devices, 4.0 * opts.devices as f64).with_site(
+                if opts.geo == Geo::Transatlantic {
+                    "jetstream"
+                } else {
+                    "lrz"
+                },
+            ),
+            Duration::from_secs(10),
+        )
+        .expect("edge pilot");
+    let cloud = svc
+        .submit_and_wait(
+            PilotDescription::local(procs.max(10), 44.0).with_site("lrz"),
+            Duration::from_secs(10),
+        )
+        .expect("cloud pilot");
+    (edge, cloud)
+}
+
+/// Run one cell end-to-end and return its summary.
+pub fn run_cell(opts: &CellOpts) -> RunSummary {
+    let svc = PilotComputeService::new();
+    let (edge, cloud) = provision(&svc, opts);
+    let (link_eb, link_bc) = match opts.geo {
+        Geo::Local => (
+            profiles::cloud_local("edge->broker", opts.seed).build(),
+            profiles::cloud_local("broker->cloud", opts.seed + 1).build(),
+        ),
+        Geo::Transatlantic => (
+            profiles::transatlantic("edge->broker(wan)", opts.seed).build(),
+            profiles::cloud_local("broker->cloud", opts.seed + 1).build(),
+        ),
+    };
+    let mut builder = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(
+            DataGenConfig::paper(opts.points).with_seed(opts.seed),
+            opts.messages_per_device,
+        ))
+        .process_cloud_function(paper_model_factory(opts.model, 32))
+        .devices(opts.devices)
+        .processors(opts.processors.unwrap_or(opts.devices))
+        .mode(opts.mode)
+        .link_edge_to_broker(link_eb)
+        .link_broker_to_cloud(link_bc);
+    if opts.mode.edge_processing() {
+        builder = builder.process_edge_function(downsample_edge_factory(opts.downsample));
+    }
+    builder
+        .run(Duration::from_secs(3600))
+        .expect("pipeline run")
+}
+
+/// The paper's message-size sweep, honouring `PILOT_BENCH_QUICK` (which
+/// trims it to the endpoints for CI).
+pub fn message_sizes() -> Vec<usize> {
+    if std::env::var("PILOT_BENCH_QUICK").is_ok() {
+        vec![25, 1000]
+    } else {
+        pilot_datagen::PAPER_MESSAGE_SIZES.to_vec()
+    }
+}
+
+/// CSV header for experiment rows.
+pub fn csv_header() -> String {
+    format!(
+        "experiment,model,geo,partitions,points,msg_kb,{}",
+        RunSummary::csv_header()
+    )
+}
+
+/// One experiment CSV row.
+pub fn csv_row(experiment: &str, opts: &CellOpts, s: &RunSummary) -> String {
+    let msg_kb = pilot_datagen::serialized_size(opts.points, 32) as f64 / 1024.0;
+    format!(
+        "{},{},{},{},{},{:.1},{}",
+        experiment,
+        opts.model.label(),
+        opts.geo.label(),
+        opts.devices,
+        opts.points,
+        msg_kb,
+        s.to_csv_row()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_cell_runs() {
+        let opts = CellOpts {
+            points: 25,
+            devices: 1,
+            messages_per_device: 3,
+            ..CellOpts::default()
+        };
+        let s = run_cell(&opts);
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.errors, 0);
+    }
+
+    #[test]
+    fn csv_row_matches_header() {
+        let opts = CellOpts {
+            points: 25,
+            devices: 1,
+            messages_per_device: 2,
+            ..CellOpts::default()
+        };
+        let s = run_cell(&opts);
+        let header = csv_header();
+        let row = csv_row("fig2", &opts, &s);
+        assert_eq!(header.split(',').count(), row.split(',').count());
+    }
+
+    #[test]
+    fn geo_labels() {
+        assert_eq!(Geo::Local.label(), "local");
+        assert_eq!(Geo::Transatlantic.label(), "transatlantic");
+    }
+}

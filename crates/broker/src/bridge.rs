@@ -1,0 +1,273 @@
+//! The MQTT → commit-log bridge.
+//!
+//! Pilot-Edge "extensively utilizes message brokering ... to manage
+//! edge-to-cloud streaming topologies" (Section II-B): low-power devices
+//! speak MQTT at the very edge, while the cloud side consumes from the
+//! partitioned, replayable commit log. The bridge is the topology element
+//! joining the two — a background pump subscribing to an MQTT filter and
+//! appending every matching message to a Kafka-style topic, with a
+//! configurable partitioning rule (hash of the MQTT topic by default, so
+//! one device's readings stay ordered within one partition).
+
+use crate::broker::Broker;
+use crate::error::BrokerError;
+use crate::mqtt::{MqttBroker, QoS, Subscription};
+use crate::record::Record;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How the bridge maps MQTT topics to log partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BridgePartitioning {
+    /// Hash the full MQTT topic — per-device ordering preserved.
+    TopicHash,
+    /// Everything into one partition (tiny deployments).
+    Single(usize),
+}
+
+/// Configuration for [`MqttBridge`].
+#[derive(Debug, Clone)]
+pub struct BridgeConfig {
+    /// MQTT filter to subscribe to (wildcards allowed).
+    pub filter: String,
+    /// Destination commit-log topic (must exist).
+    pub topic: String,
+    /// Partitioning rule.
+    pub partitioning: BridgePartitioning,
+    /// Subscription QoS (AtLeastOnce = lossless bridging).
+    pub qos: QoS,
+    /// Bridge mailbox capacity.
+    pub capacity: usize,
+}
+
+impl BridgeConfig {
+    /// Lossless defaults: QoS 1, topic-hash partitioning, 1024 mailbox.
+    pub fn new(filter: &str, topic: &str) -> Self {
+        Self {
+            filter: filter.to_string(),
+            topic: topic.to_string(),
+            partitioning: BridgePartitioning::TopicHash,
+            qos: QoS::AtLeastOnce,
+            capacity: 1024,
+        }
+    }
+}
+
+/// A running bridge; dropping it (or calling [`MqttBridge::stop`]) stops
+/// the pump.
+pub struct MqttBridge {
+    stop: Arc<AtomicBool>,
+    forwarded: Arc<AtomicU64>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MqttBridge {
+    /// Start bridging `mqtt` messages matching `config.filter` into
+    /// `log.topic`. Fails fast if the destination topic does not exist or
+    /// the filter is invalid.
+    pub fn start(
+        mqtt: &MqttBroker,
+        log: Broker,
+        config: BridgeConfig,
+    ) -> Result<Self, BrokerError> {
+        let partitions = log.topic(&config.topic)?.partition_count();
+        let subscription = mqtt
+            .subscribe(&config.filter, config.qos, config.capacity)
+            .map_err(BrokerError::UnknownTopic)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let forwarded = Arc::new(AtomicU64::new(0));
+        let stop2 = Arc::clone(&stop);
+        let fwd2 = Arc::clone(&forwarded);
+        let thread = std::thread::Builder::new()
+            .name(format!("mqtt-bridge-{}", config.topic))
+            .spawn(move || pump(subscription, log, config, partitions, &stop2, &fwd2))
+            .expect("spawn bridge thread");
+        Ok(Self {
+            stop,
+            forwarded,
+            thread: Some(thread),
+        })
+    }
+
+    /// Messages forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded.load(Ordering::Relaxed)
+    }
+
+    /// Stop the pump and join its thread.
+    pub fn stop(mut self) -> u64 {
+        self.shutdown();
+        self.forwarded()
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MqttBridge {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn pump(
+    subscription: Subscription,
+    log: Broker,
+    config: BridgeConfig,
+    partitions: usize,
+    stop: &AtomicBool,
+    forwarded: &AtomicU64,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        let Some(msg) = subscription.recv(Duration::from_millis(50)) else {
+            continue;
+        };
+        let partition = match config.partitioning {
+            BridgePartitioning::Single(p) => p.min(partitions.saturating_sub(1)),
+            BridgePartitioning::TopicHash => {
+                let mut h = DefaultHasher::new();
+                msg.topic.hash(&mut h);
+                (h.finish() % partitions as u64) as usize
+            }
+        };
+        let record = Record::new(msg.payload)
+            .with_key(msg.topic.into_bytes())
+            .with_timestamp(msg.timestamp_us);
+        if log.append(&config.topic, partition, record).is_ok() {
+            forwarded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retention::RetentionPolicy;
+
+    fn setup(partitions: usize) -> (MqttBroker, Broker) {
+        let mqtt = MqttBroker::new();
+        let log = Broker::new();
+        log.create_topic("ingest", partitions, RetentionPolicy::unbounded())
+            .unwrap();
+        (mqtt, log)
+    }
+
+    fn drain(log: &Broker, partitions: usize) -> Vec<Record> {
+        let mut out = Vec::new();
+        for p in 0..partitions {
+            out.extend(log.fetch("ingest", p, 0, 10_000, Duration::ZERO).unwrap());
+        }
+        out
+    }
+
+    fn wait_forwarded(bridge: &MqttBridge, n: u64) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while bridge.forwarded() < n {
+            assert!(std::time::Instant::now() < deadline, "bridge stalled");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn bridges_matching_messages() {
+        let (mqtt, log) = setup(2);
+        let bridge =
+            MqttBridge::start(&mqtt, log.clone(), BridgeConfig::new("plant/#", "ingest")).unwrap();
+        mqtt.publish("plant/a", &b"1"[..], QoS::AtLeastOnce, false, 11)
+            .unwrap();
+        mqtt.publish("office/x", &b"no"[..], QoS::AtLeastOnce, false, 0)
+            .unwrap();
+        mqtt.publish("plant/b", &b"2"[..], QoS::AtLeastOnce, false, 22)
+            .unwrap();
+        wait_forwarded(&bridge, 2);
+        assert_eq!(bridge.stop(), 2);
+        let records = drain(&log, 2);
+        assert_eq!(records.len(), 2);
+        // MQTT topic carried as the record key; timestamp preserved.
+        let keys: Vec<&[u8]> = records.iter().map(|r| r.key.as_deref().unwrap()).collect();
+        assert!(keys.contains(&&b"plant/a"[..]));
+        assert!(keys.contains(&&b"plant/b"[..]));
+        assert!(records.iter().any(|r| r.timestamp_us == 11));
+    }
+
+    #[test]
+    fn topic_hash_keeps_device_order_in_one_partition() {
+        let (mqtt, log) = setup(4);
+        let bridge =
+            MqttBridge::start(&mqtt, log.clone(), BridgeConfig::new("dev/#", "ingest")).unwrap();
+        for i in 0..50u32 {
+            mqtt.publish(
+                "dev/7",
+                i.to_le_bytes().to_vec(),
+                QoS::AtLeastOnce,
+                false,
+                0,
+            )
+            .unwrap();
+        }
+        wait_forwarded(&bridge, 50);
+        bridge.stop();
+        // All 50 in one partition, in order.
+        let mut found = None;
+        for p in 0..4 {
+            let recs = log.fetch("ingest", p, 0, 100, Duration::ZERO).unwrap();
+            if !recs.is_empty() {
+                assert!(found.is_none(), "records split across partitions");
+                assert_eq!(recs.len(), 50);
+                let values: Vec<u32> = recs
+                    .iter()
+                    .map(|r| u32::from_le_bytes(r.value.as_ref().try_into().unwrap()))
+                    .collect();
+                assert_eq!(values, (0..50).collect::<Vec<_>>());
+                found = Some(p);
+            }
+        }
+        assert!(found.is_some());
+    }
+
+    #[test]
+    fn single_partitioning_targets_one_partition() {
+        let (mqtt, log) = setup(3);
+        let mut cfg = BridgeConfig::new("a/#", "ingest");
+        cfg.partitioning = BridgePartitioning::Single(2);
+        let bridge = MqttBridge::start(&mqtt, log.clone(), cfg).unwrap();
+        for t in ["a/x", "a/y", "a/z"] {
+            mqtt.publish(t, &b"m"[..], QoS::AtLeastOnce, false, 0)
+                .unwrap();
+        }
+        wait_forwarded(&bridge, 3);
+        bridge.stop();
+        assert_eq!(log.high_watermark("ingest", 2).unwrap(), 3);
+        assert_eq!(log.high_watermark("ingest", 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn missing_destination_topic_fails_fast() {
+        let mqtt = MqttBroker::new();
+        let log = Broker::new();
+        assert!(MqttBridge::start(&mqtt, log, BridgeConfig::new("a/#", "nope")).is_err());
+    }
+
+    #[test]
+    fn invalid_filter_fails_fast() {
+        let (mqtt, log) = setup(1);
+        assert!(MqttBridge::start(&mqtt, log, BridgeConfig::new("a/#/b", "ingest")).is_err());
+    }
+
+    #[test]
+    fn drop_stops_the_pump() {
+        let (mqtt, log) = setup(1);
+        {
+            let _bridge =
+                MqttBridge::start(&mqtt, log.clone(), BridgeConfig::new("a/#", "ingest")).unwrap();
+        } // dropped here
+        assert_eq!(mqtt.subscriber_count(), 0, "subscription released");
+    }
+}

@@ -1,0 +1,342 @@
+//! The broker: topic registry + consumer-group offset store.
+
+use crate::error::BrokerError;
+use crate::record::{Offset, Record};
+use crate::retention::RetentionPolicy;
+use crate::topic::Topic;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A shareable in-process broker. Clone handles freely (`Arc` inside).
+///
+/// In the paper's architecture the broker runs inside its own pilot (e.g. a
+/// dedicated LRZ VM, allocated in "step 1"); here the broker is an object
+/// that the `pilot-core` broker-plugin hosts on a simulated pilot, with
+/// `pilot-netsim` links charging the transport to and from it.
+/// # Example
+///
+/// ```
+/// use pilot_broker::{Broker, Record, RetentionPolicy};
+/// use std::time::Duration;
+///
+/// let broker = Broker::new();
+/// broker.create_topic("sensors", 2, RetentionPolicy::default()).unwrap();
+/// broker.append("sensors", 0, Record::new(&b"reading"[..])).unwrap();
+/// let records = broker.fetch("sensors", 0, 0, 10, Duration::ZERO).unwrap();
+/// assert_eq!(records[0].value.as_ref(), b"reading");
+/// ```
+#[derive(Clone)]
+pub struct Broker {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    topics: RwLock<HashMap<String, Arc<Topic>>>,
+    /// (group, topic, partition) → committed offset.
+    offsets: RwLock<HashMap<(String, String, usize), Offset>>,
+}
+
+impl Broker {
+    /// Create an empty broker.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                topics: RwLock::new(HashMap::new()),
+                offsets: RwLock::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Create a topic. Errors if it already exists with a different
+    /// partition count; re-creating with the same count is a no-op
+    /// (mirroring the framework's "automatically created Kafka topic").
+    pub fn create_topic(
+        &self,
+        name: &str,
+        partitions: usize,
+        retention: RetentionPolicy,
+    ) -> Result<(), BrokerError> {
+        let mut topics = self.inner.topics.write();
+        if let Some(existing) = topics.get(name) {
+            if existing.partition_count() == partitions {
+                return Ok(());
+            }
+            return Err(BrokerError::TopicExists {
+                topic: name.to_string(),
+                partitions: existing.partition_count(),
+            });
+        }
+        topics.insert(
+            name.to_string(),
+            Arc::new(Topic::new(name, partitions, retention)),
+        );
+        Ok(())
+    }
+
+    /// Look up a topic handle.
+    pub fn topic(&self, name: &str) -> Result<Arc<Topic>, BrokerError> {
+        self.inner
+            .topics
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| BrokerError::UnknownTopic(name.to_string()))
+    }
+
+    /// Topic names currently registered.
+    pub fn topic_names(&self) -> Vec<String> {
+        self.inner.topics.read().keys().cloned().collect()
+    }
+
+    /// Append a record to `topic`/`partition`.
+    pub fn append(
+        &self,
+        topic: &str,
+        partition: usize,
+        record: Record,
+    ) -> Result<Offset, BrokerError> {
+        let t = self.topic(topic)?;
+        t.append(partition, record)
+            .ok_or_else(|| BrokerError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            })
+    }
+
+    /// Fetch up to `max` records at `offset`, blocking up to `timeout` for
+    /// data to arrive.
+    pub fn fetch(
+        &self,
+        topic: &str,
+        partition: usize,
+        offset: Offset,
+        max: usize,
+        timeout: Duration,
+    ) -> Result<Vec<Record>, BrokerError> {
+        let t = self.topic(topic)?;
+        match t.read_wait(partition, offset, max, timeout) {
+            None => Err(BrokerError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            }),
+            Some(Ok(recs)) => Ok(recs),
+            Some(Err(log_start)) => Err(BrokerError::OffsetOutOfRange {
+                requested: offset,
+                log_start,
+                high_watermark: t.high_watermark(partition).unwrap_or(log_start),
+            }),
+        }
+    }
+
+    /// High watermark of a partition.
+    pub fn high_watermark(&self, topic: &str, partition: usize) -> Result<Offset, BrokerError> {
+        let t = self.topic(topic)?;
+        t.high_watermark(partition)
+            .ok_or_else(|| BrokerError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            })
+    }
+
+    /// Delete a topic (consumers with open handles keep theirs; new
+    /// lookups fail). Returns true if the topic existed.
+    pub fn delete_topic(&self, name: &str) -> bool {
+        self.inner.topics.write().remove(name).is_some()
+    }
+
+    /// First offset at/after `ts_us` in a partition (Kafka's
+    /// `offsetsForTimes`) — lets consumers start from "messages newer than
+    /// T" instead of an offset.
+    pub fn offset_for_timestamp(
+        &self,
+        topic: &str,
+        partition: usize,
+        ts_us: u64,
+    ) -> Result<Offset, BrokerError> {
+        let t = self.topic(topic)?;
+        t.offset_for_timestamp(partition, ts_us)
+            .ok_or_else(|| BrokerError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            })
+    }
+
+    /// Commit a consumer-group offset (the *next* offset to read).
+    pub fn commit_offset(&self, group: &str, topic: &str, partition: usize, offset: Offset) {
+        self.inner
+            .offsets
+            .write()
+            .insert((group.to_string(), topic.to_string(), partition), offset);
+    }
+
+    /// Last committed offset for a group (None if never committed).
+    pub fn committed(&self, group: &str, topic: &str, partition: usize) -> Option<Offset> {
+        self.inner
+            .offsets
+            .read()
+            .get(&(group.to_string(), topic.to_string(), partition))
+            .copied()
+    }
+
+    /// Consumer-group lag: high watermark − committed, per partition.
+    pub fn lag(&self, group: &str, topic: &str) -> Result<Vec<u64>, BrokerError> {
+        let t = self.topic(topic)?;
+        Ok((0..t.partition_count())
+            .map(|p| {
+                let hwm = t.high_watermark(p).unwrap_or(0);
+                let committed = self.committed(group, topic, p).unwrap_or(0);
+                hwm.saturating_sub(committed)
+            })
+            .collect())
+    }
+}
+
+impl Default for Broker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Broker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Broker")
+            .field("topics", &self.topic_names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(s: &str) -> Record {
+        Record::new(s.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn create_and_append_fetch() {
+        let b = Broker::new();
+        b.create_topic("t", 2, RetentionPolicy::unbounded())
+            .unwrap();
+        assert_eq!(b.append("t", 0, rec("hello")).unwrap(), 0);
+        assert_eq!(b.append("t", 0, rec("world")).unwrap(), 1);
+        let recs = b.fetch("t", 0, 0, 10, Duration::ZERO).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].value.as_ref(), b"world");
+    }
+
+    #[test]
+    fn recreate_same_partitions_ok() {
+        let b = Broker::new();
+        b.create_topic("t", 4, RetentionPolicy::unbounded())
+            .unwrap();
+        assert!(b.create_topic("t", 4, RetentionPolicy::unbounded()).is_ok());
+        assert_eq!(
+            b.create_topic("t", 8, RetentionPolicy::unbounded()),
+            Err(BrokerError::TopicExists {
+                topic: "t".into(),
+                partitions: 4
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_topic_errors() {
+        let b = Broker::new();
+        assert_eq!(
+            b.append("nope", 0, rec("x")),
+            Err(BrokerError::UnknownTopic("nope".into()))
+        );
+        assert!(matches!(
+            b.fetch("nope", 0, 0, 1, Duration::ZERO),
+            Err(BrokerError::UnknownTopic(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_partition_errors() {
+        let b = Broker::new();
+        b.create_topic("t", 1, RetentionPolicy::unbounded())
+            .unwrap();
+        assert!(matches!(
+            b.append("t", 3, rec("x")),
+            Err(BrokerError::UnknownPartition { .. })
+        ));
+    }
+
+    #[test]
+    fn offset_commit_roundtrip() {
+        let b = Broker::new();
+        b.create_topic("t", 1, RetentionPolicy::unbounded())
+            .unwrap();
+        assert_eq!(b.committed("g", "t", 0), None);
+        b.commit_offset("g", "t", 0, 42);
+        assert_eq!(b.committed("g", "t", 0), Some(42));
+        // Groups are independent.
+        assert_eq!(b.committed("other", "t", 0), None);
+    }
+
+    #[test]
+    fn lag_reflects_unconsumed() {
+        let b = Broker::new();
+        b.create_topic("t", 2, RetentionPolicy::unbounded())
+            .unwrap();
+        for _ in 0..5 {
+            b.append("t", 0, rec("x")).unwrap();
+        }
+        b.append("t", 1, rec("x")).unwrap();
+        b.commit_offset("g", "t", 0, 3);
+        assert_eq!(b.lag("g", "t").unwrap(), vec![2, 1]);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = Broker::new();
+        let b = a.clone();
+        a.create_topic("t", 1, RetentionPolicy::unbounded())
+            .unwrap();
+        assert!(b.topic("t").is_ok());
+    }
+
+    #[test]
+    fn delete_topic_removes_lookup() {
+        let b = Broker::new();
+        b.create_topic("t", 1, RetentionPolicy::unbounded())
+            .unwrap();
+        assert!(b.delete_topic("t"));
+        assert!(!b.delete_topic("t"));
+        assert!(b.topic("t").is_err());
+    }
+
+    #[test]
+    fn offset_for_timestamp_via_broker() {
+        let b = Broker::new();
+        b.create_topic("t", 1, RetentionPolicy::unbounded())
+            .unwrap();
+        for ts in [100u64, 200, 300] {
+            b.append("t", 0, Record::new(vec![1u8]).with_timestamp(ts))
+                .unwrap();
+        }
+        assert_eq!(b.offset_for_timestamp("t", 0, 150).unwrap(), 1);
+        assert_eq!(b.offset_for_timestamp("t", 0, 301).unwrap(), 3);
+        assert!(b.offset_for_timestamp("t", 9, 0).is_err());
+    }
+
+    #[test]
+    fn fetch_out_of_range_after_retention() {
+        let b = Broker::new();
+        b.create_topic(
+            "t",
+            1,
+            RetentionPolicy::by_records(crate::log::SEGMENT_RECORDS as u64),
+        )
+        .unwrap();
+        for _ in 0..(crate::log::SEGMENT_RECORDS * 2 + 1) {
+            b.append("t", 0, rec("x")).unwrap();
+        }
+        let err = b.fetch("t", 0, 0, 1, Duration::ZERO).unwrap_err();
+        assert!(matches!(err, BrokerError::OffsetOutOfRange { .. }));
+    }
+}

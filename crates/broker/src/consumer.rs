@@ -1,0 +1,369 @@
+//! The consumer: position tracking, blocking polls, group commits.
+
+use crate::broker::Broker;
+use crate::error::BrokerError;
+use crate::record::{Offset, Record};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// A consumer bound to one topic, reading an explicit set of partitions on
+/// behalf of a consumer group.
+///
+/// Like a Kafka consumer it is single-threaded (`!Sync` use pattern): the
+/// Pilot-Edge runtime creates one consumer per processing task, one task per
+/// partition ("we keep the ratio of partitions constant between Kafka and
+/// Dask").
+pub struct Consumer {
+    broker: Broker,
+    topic: String,
+    group: String,
+    /// partition → next offset to read.
+    positions: HashMap<usize, Offset>,
+    /// Paused partitions are skipped by [`Consumer::poll`] but keep their
+    /// positions (Kafka's pause/resume flow-control primitive).
+    paused: std::collections::HashSet<usize>,
+}
+
+impl Consumer {
+    /// Create a consumer over `partitions` of `topic`. Positions resume
+    /// from the group's committed offsets (or the log start).
+    pub fn new(
+        broker: Broker,
+        topic: &str,
+        group: &str,
+        partitions: &[usize],
+    ) -> Result<Self, BrokerError> {
+        let t = broker.topic(topic)?;
+        let mut positions = HashMap::with_capacity(partitions.len());
+        for &p in partitions {
+            if p >= t.partition_count() {
+                return Err(BrokerError::UnknownPartition {
+                    topic: topic.to_string(),
+                    partition: p,
+                });
+            }
+            let start = broker
+                .committed(group, topic, p)
+                .unwrap_or_else(|| t.log_start(p).unwrap_or(0));
+            positions.insert(p, start);
+        }
+        Ok(Self {
+            broker,
+            topic: topic.to_string(),
+            group: group.to_string(),
+            positions,
+            paused: std::collections::HashSet::new(),
+        })
+    }
+
+    /// Partitions this consumer reads.
+    pub fn partitions(&self) -> Vec<usize> {
+        let mut p: Vec<usize> = self.positions.keys().copied().collect();
+        p.sort_unstable();
+        p
+    }
+
+    /// Next offset to read for a partition.
+    pub fn position(&self, partition: usize) -> Option<Offset> {
+        self.positions.get(&partition).copied()
+    }
+
+    /// Poll one partition: up to `max` records, blocking up to `timeout`.
+    /// Advances the in-memory position (commit is separate, like Kafka).
+    pub fn poll_partition(
+        &mut self,
+        partition: usize,
+        max: usize,
+        timeout: Duration,
+    ) -> Result<Vec<Record>, BrokerError> {
+        let pos = *self
+            .positions
+            .get(&partition)
+            .ok_or_else(|| BrokerError::NotAssigned {
+                topic: self.topic.clone(),
+                partition,
+            })?;
+        match self.broker.fetch(&self.topic, partition, pos, max, timeout) {
+            Ok(recs) => {
+                if let Some(last) = recs.last() {
+                    self.positions.insert(partition, last.offset + 1);
+                }
+                Ok(recs)
+            }
+            Err(BrokerError::OffsetOutOfRange { log_start, .. }) => {
+                // Auto-reset to the earliest retained offset (Kafka's
+                // `auto.offset.reset = earliest`) and retry once.
+                self.positions.insert(partition, log_start);
+                let recs = self
+                    .broker
+                    .fetch(&self.topic, partition, log_start, max, timeout)?;
+                if let Some(last) = recs.last() {
+                    self.positions.insert(partition, last.offset + 1);
+                }
+                Ok(recs)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Poll every assigned partition once (round-robin), collecting up to
+    /// `max_per_partition` records each. The timeout applies to the first
+    /// partition only; later partitions are polled non-blocking so one idle
+    /// partition cannot starve the rest.
+    pub fn poll(
+        &mut self,
+        max_per_partition: usize,
+        timeout: Duration,
+    ) -> Result<Vec<Record>, BrokerError> {
+        let parts: Vec<usize> = self
+            .partitions()
+            .into_iter()
+            .filter(|p| !self.paused.contains(p))
+            .collect();
+        let mut out = Vec::new();
+        for (i, p) in parts.into_iter().enumerate() {
+            let t = if i == 0 { timeout } else { Duration::ZERO };
+            out.extend(self.poll_partition(p, max_per_partition, t)?);
+        }
+        Ok(out)
+    }
+
+    /// Pause a partition: subsequent [`Consumer::poll`] calls skip it.
+    pub fn pause(&mut self, partition: usize) -> Result<(), BrokerError> {
+        if !self.positions.contains_key(&partition) {
+            return Err(BrokerError::NotAssigned {
+                topic: self.topic.clone(),
+                partition,
+            });
+        }
+        self.paused.insert(partition);
+        Ok(())
+    }
+
+    /// Resume a paused partition.
+    pub fn resume(&mut self, partition: usize) {
+        self.paused.remove(&partition);
+    }
+
+    /// Currently paused partitions.
+    pub fn paused(&self) -> Vec<usize> {
+        let mut p: Vec<usize> = self.paused.iter().copied().collect();
+        p.sort_unstable();
+        p
+    }
+
+    /// Commit current positions for the group.
+    pub fn commit(&self) {
+        for (&p, &off) in &self.positions {
+            self.broker.commit_offset(&self.group, &self.topic, p, off);
+        }
+    }
+
+    /// Seek a partition to an absolute offset.
+    pub fn seek(&mut self, partition: usize, offset: Offset) -> Result<(), BrokerError> {
+        if !self.positions.contains_key(&partition) {
+            return Err(BrokerError::NotAssigned {
+                topic: self.topic.clone(),
+                partition,
+            });
+        }
+        self.positions.insert(partition, offset);
+        Ok(())
+    }
+
+    /// Seek a partition to the first record at/after `ts_us` (Kafka's
+    /// `offsetsForTimes` + `seek` flow: "start from messages newer than T").
+    pub fn seek_to_timestamp(&mut self, partition: usize, ts_us: u64) -> Result<(), BrokerError> {
+        if !self.positions.contains_key(&partition) {
+            return Err(BrokerError::NotAssigned {
+                topic: self.topic.clone(),
+                partition,
+            });
+        }
+        let offset = self
+            .broker
+            .offset_for_timestamp(&self.topic, partition, ts_us)?;
+        self.positions.insert(partition, offset);
+        Ok(())
+    }
+
+    /// Total lag across assigned partitions (records behind the watermark).
+    pub fn lag(&self) -> Result<u64, BrokerError> {
+        let mut total = 0;
+        for (&p, &pos) in &self.positions {
+            let hwm = self.broker.high_watermark(&self.topic, p)?;
+            total += hwm.saturating_sub(pos);
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retention::RetentionPolicy;
+
+    fn setup(partitions: usize) -> Broker {
+        let b = Broker::new();
+        b.create_topic("t", partitions, RetentionPolicy::unbounded())
+            .unwrap();
+        b
+    }
+
+    fn rec(s: &str) -> Record {
+        Record::new(s.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn poll_advances_position() {
+        let b = setup(1);
+        b.append("t", 0, rec("a")).unwrap();
+        b.append("t", 0, rec("b")).unwrap();
+        let mut c = Consumer::new(b, "t", "g", &[0]).unwrap();
+        let r1 = c.poll_partition(0, 1, Duration::ZERO).unwrap();
+        assert_eq!(r1[0].value.as_ref(), b"a");
+        let r2 = c.poll_partition(0, 1, Duration::ZERO).unwrap();
+        assert_eq!(r2[0].value.as_ref(), b"b");
+        assert_eq!(c.position(0), Some(2));
+    }
+
+    #[test]
+    fn resume_from_committed_offset() {
+        let b = setup(1);
+        for s in ["a", "b", "c"] {
+            b.append("t", 0, rec(s)).unwrap();
+        }
+        {
+            let mut c = Consumer::new(b.clone(), "t", "g", &[0]).unwrap();
+            c.poll_partition(0, 2, Duration::ZERO).unwrap();
+            c.commit();
+        }
+        let mut c2 = Consumer::new(b, "t", "g", &[0]).unwrap();
+        let r = c2.poll_partition(0, 10, Duration::ZERO).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].value.as_ref(), b"c");
+    }
+
+    #[test]
+    fn different_groups_are_independent() {
+        let b = setup(1);
+        b.append("t", 0, rec("a")).unwrap();
+        let mut c1 = Consumer::new(b.clone(), "t", "g1", &[0]).unwrap();
+        c1.poll_partition(0, 10, Duration::ZERO).unwrap();
+        c1.commit();
+        let mut c2 = Consumer::new(b, "t", "g2", &[0]).unwrap();
+        assert_eq!(c2.poll_partition(0, 10, Duration::ZERO).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn poll_all_partitions() {
+        let b = setup(3);
+        for p in 0..3 {
+            b.append("t", p, rec("x")).unwrap();
+        }
+        let mut c = Consumer::new(b, "t", "g", &[0, 1, 2]).unwrap();
+        let recs = c.poll(10, Duration::ZERO).unwrap();
+        assert_eq!(recs.len(), 3);
+    }
+
+    #[test]
+    fn unassigned_partition_rejected() {
+        let b = setup(2);
+        let mut c = Consumer::new(b, "t", "g", &[0]).unwrap();
+        assert!(matches!(
+            c.poll_partition(1, 1, Duration::ZERO),
+            Err(BrokerError::NotAssigned { .. })
+        ));
+        assert!(c.seek(1, 0).is_err());
+    }
+
+    #[test]
+    fn lag_counts_unread() {
+        let b = setup(1);
+        for _ in 0..5 {
+            b.append("t", 0, rec("x")).unwrap();
+        }
+        let mut c = Consumer::new(b, "t", "g", &[0]).unwrap();
+        assert_eq!(c.lag().unwrap(), 5);
+        c.poll_partition(0, 2, Duration::ZERO).unwrap();
+        assert_eq!(c.lag().unwrap(), 3);
+    }
+
+    #[test]
+    fn auto_reset_on_trimmed_offset() {
+        let b = Broker::new();
+        b.create_topic(
+            "t",
+            1,
+            RetentionPolicy::by_records(crate::log::SEGMENT_RECORDS as u64),
+        )
+        .unwrap();
+        let mut c = Consumer::new(b.clone(), "t", "g", &[0]).unwrap();
+        for _ in 0..(crate::log::SEGMENT_RECORDS * 2 + 1) {
+            b.append("t", 0, rec("x")).unwrap();
+        }
+        // Position 0 was trimmed; the poll auto-resets to log start.
+        let recs = c.poll_partition(0, 5, Duration::ZERO).unwrap();
+        assert!(!recs.is_empty());
+        assert!(recs[0].offset >= crate::log::SEGMENT_RECORDS as u64);
+        assert_eq!(recs[0].offset, b.topic("t").unwrap().log_start(0).unwrap());
+    }
+
+    #[test]
+    fn seek_rewinds() {
+        let b = setup(1);
+        for s in ["a", "b"] {
+            b.append("t", 0, rec(s)).unwrap();
+        }
+        let mut c = Consumer::new(b, "t", "g", &[0]).unwrap();
+        c.poll_partition(0, 10, Duration::ZERO).unwrap();
+        c.seek(0, 0).unwrap();
+        let r = c.poll_partition(0, 10, Duration::ZERO).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn paused_partition_skipped_by_poll() {
+        let b = setup(2);
+        b.append("t", 0, rec("a")).unwrap();
+        b.append("t", 1, rec("b")).unwrap();
+        let mut c = Consumer::new(b, "t", "g", &[0, 1]).unwrap();
+        c.pause(0).unwrap();
+        let recs = c.poll(10, Duration::ZERO).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].value.as_ref(), b"b");
+        assert_eq!(c.paused(), vec![0]);
+        c.resume(0);
+        let recs = c.poll(10, Duration::ZERO).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].value.as_ref(), b"a");
+    }
+
+    #[test]
+    fn pause_unassigned_rejected() {
+        let b = setup(1);
+        let mut c = Consumer::new(b, "t", "g", &[0]).unwrap();
+        assert!(c.pause(5).is_err());
+    }
+
+    #[test]
+    fn seek_to_timestamp_skips_old_records() {
+        let b = setup(1);
+        for ts in [100u64, 200, 300] {
+            b.append("t", 0, Record::new(vec![1u8]).with_timestamp(ts))
+                .unwrap();
+        }
+        let mut c = Consumer::new(b, "t", "g", &[0]).unwrap();
+        c.seek_to_timestamp(0, 150).unwrap();
+        let recs = c.poll_partition(0, 10, Duration::ZERO).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].timestamp_us, 200);
+        assert!(c.seek_to_timestamp(3, 0).is_err());
+    }
+
+    #[test]
+    fn bad_partition_at_construction() {
+        let b = setup(1);
+        assert!(Consumer::new(b, "t", "g", &[7]).is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! Broker error types.
+
+use crate::record::Offset;
+
+/// Everything that can go wrong talking to the broker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerError {
+    /// The topic does not exist.
+    UnknownTopic(String),
+    /// The partition index is out of range for the topic.
+    UnknownPartition { topic: String, partition: usize },
+    /// A fetch asked for an offset below the log start (compacted away by
+    /// retention) or far beyond the high watermark.
+    OffsetOutOfRange {
+        requested: Offset,
+        log_start: Offset,
+        high_watermark: Offset,
+    },
+    /// A topic was created twice with different partition counts.
+    TopicExists { topic: String, partitions: usize },
+    /// The consumer is not assigned the partition it tried to read.
+    NotAssigned { topic: String, partition: usize },
+}
+
+impl std::fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BrokerError::UnknownTopic(t) => write!(f, "unknown topic '{t}'"),
+            BrokerError::UnknownPartition { topic, partition } => {
+                write!(f, "unknown partition {partition} of topic '{topic}'")
+            }
+            BrokerError::OffsetOutOfRange {
+                requested,
+                log_start,
+                high_watermark,
+            } => write!(
+                f,
+                "offset {requested} out of range [{log_start}, {high_watermark})"
+            ),
+            BrokerError::TopicExists { topic, partitions } => {
+                write!(
+                    f,
+                    "topic '{topic}' already exists with {partitions} partitions"
+                )
+            }
+            BrokerError::NotAssigned { topic, partition } => {
+                write!(
+                    f,
+                    "partition {partition} of '{topic}' is not assigned to this consumer"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            BrokerError::UnknownTopic("t".into()).to_string(),
+            "unknown topic 't'"
+        );
+        let e = BrokerError::OffsetOutOfRange {
+            requested: 5,
+            log_start: 10,
+            high_watermark: 20,
+        };
+        assert!(e.to_string().contains("offset 5"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Consumer-group coordination: Kafka-style range assignment with
+//! generations.
+//!
+//! The paper keeps the partition-to-consumer ratio at 1:1, but Pilot-Edge's
+//! dynamic adaptation ("expanded and scaled-down dynamically at runtime")
+//! means consumers join and leave; the coordinator rebalances partitions
+//! across the surviving members, bumping a generation counter so stale
+//! members can detect they were reassigned.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Kafka's range assignment: partitions split into contiguous ranges, the
+/// first `n_partitions % n_members` members get one extra.
+pub fn range_assignment(n_partitions: usize, n_members: usize) -> Vec<Vec<usize>> {
+    if n_members == 0 {
+        return Vec::new();
+    }
+    let base = n_partitions / n_members;
+    let extra = n_partitions % n_members;
+    let mut out = Vec::with_capacity(n_members);
+    let mut next = 0;
+    for m in 0..n_members {
+        let take = base + usize::from(m < extra);
+        out.push((next..next + take).collect());
+        next += take;
+    }
+    out
+}
+
+#[derive(Debug, Default)]
+struct GroupState {
+    /// Member id → assigned partitions. BTreeMap gives deterministic order.
+    members: BTreeMap<String, Vec<usize>>,
+    generation: u64,
+}
+
+/// Coordinates one consumer group over one topic's partitions.
+#[derive(Debug, Clone)]
+pub struct GroupCoordinator {
+    n_partitions: usize,
+    state: Arc<Mutex<GroupState>>,
+}
+
+impl GroupCoordinator {
+    /// Create a coordinator for a topic with `n_partitions` partitions.
+    pub fn new(n_partitions: usize) -> Self {
+        Self {
+            n_partitions,
+            state: Arc::new(Mutex::new(GroupState::default())),
+        }
+    }
+
+    fn rebalance(&self, state: &mut GroupState) {
+        state.generation += 1;
+        let ids: Vec<String> = state.members.keys().cloned().collect();
+        let assignment = range_assignment(self.n_partitions, ids.len());
+        for (id, parts) in ids.into_iter().zip(assignment) {
+            state.members.insert(id, parts);
+        }
+    }
+
+    /// Join the group; returns `(generation, assigned partitions)`.
+    /// Rebalances every member.
+    pub fn join(&self, member_id: &str) -> (u64, Vec<usize>) {
+        let mut st = self.state.lock();
+        st.members.entry(member_id.to_string()).or_default();
+        self.rebalance(&mut st);
+        (
+            st.generation,
+            st.members.get(member_id).cloned().unwrap_or_default(),
+        )
+    }
+
+    /// Leave the group; remaining members are rebalanced.
+    pub fn leave(&self, member_id: &str) {
+        let mut st = self.state.lock();
+        if st.members.remove(member_id).is_some() {
+            self.rebalance(&mut st);
+        }
+    }
+
+    /// Current assignment of a member (None if not a member). The caller
+    /// compares the generation against its joined generation to detect a
+    /// rebalance.
+    pub fn assignment(&self, member_id: &str) -> Option<(u64, Vec<usize>)> {
+        let st = self.state.lock();
+        st.members
+            .get(member_id)
+            .map(|p| (st.generation, p.clone()))
+    }
+
+    /// Current generation.
+    pub fn generation(&self) -> u64 {
+        self.state.lock().generation
+    }
+
+    /// Number of members.
+    pub fn member_count(&self) -> usize {
+        self.state.lock().members.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn range_assignment_even() {
+        assert_eq!(range_assignment(4, 2), vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn range_assignment_uneven() {
+        assert_eq!(range_assignment(5, 2), vec![vec![0, 1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn range_assignment_more_members_than_partitions() {
+        let a = range_assignment(2, 4);
+        assert_eq!(a, vec![vec![0], vec![1], vec![], vec![]]);
+    }
+
+    #[test]
+    fn range_assignment_zero_members() {
+        assert!(range_assignment(4, 0).is_empty());
+    }
+
+    #[test]
+    fn join_assigns_all_partitions_to_single_member() {
+        let c = GroupCoordinator::new(4);
+        let (gen, parts) = c.join("a");
+        assert_eq!(gen, 1);
+        assert_eq!(parts, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn second_join_rebalances() {
+        let c = GroupCoordinator::new(4);
+        c.join("a");
+        let (gen, parts_b) = c.join("b");
+        assert_eq!(gen, 2);
+        let (gen_a, parts_a) = c.assignment("a").unwrap();
+        assert_eq!(gen_a, 2);
+        let mut all: Vec<usize> = parts_a.iter().chain(&parts_b).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn leave_reassigns_orphans() {
+        let c = GroupCoordinator::new(4);
+        c.join("a");
+        c.join("b");
+        c.leave("a");
+        let (_, parts) = c.assignment("b").unwrap();
+        assert_eq!(parts, vec![0, 1, 2, 3]);
+        assert_eq!(c.member_count(), 1);
+    }
+
+    #[test]
+    fn leave_unknown_member_is_noop() {
+        let c = GroupCoordinator::new(2);
+        c.join("a");
+        let gen = c.generation();
+        c.leave("ghost");
+        assert_eq!(c.generation(), gen);
+    }
+
+    #[test]
+    fn rejoin_is_idempotent_membership() {
+        let c = GroupCoordinator::new(2);
+        c.join("a");
+        c.join("a");
+        assert_eq!(c.member_count(), 1);
+    }
+
+    proptest! {
+        /// Assignment is always a partition of the partition set: disjoint
+        /// and complete.
+        #[test]
+        fn prop_assignment_partitions_the_set(parts in 0usize..64, members in 1usize..16) {
+            let a = range_assignment(parts, members);
+            prop_assert_eq!(a.len(), members);
+            let mut seen: Vec<usize> = a.into_iter().flatten().collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (0..parts).collect::<Vec<_>>());
+        }
+
+        /// Member loads differ by at most one partition.
+        #[test]
+        fn prop_assignment_balanced(parts in 0usize..64, members in 1usize..16) {
+            let a = range_assignment(parts, members);
+            let min = a.iter().map(Vec::len).min().unwrap();
+            let max = a.iter().map(Vec::len).max().unwrap();
+            prop_assert!(max - min <= 1);
+        }
+    }
+}

@@ -1,0 +1,545 @@
+//! An MQTT-style pub/sub broker for low-power edge environments.
+//!
+//! The paper: "Brokering concerns are also encapsulated using a plugin
+//! mechanism. Support for further brokering framework, e.g., MQTT for
+//! low-performance and low-power environments, can easily be added"
+//! (Section II-B). This module adds that second brokering plugin: a
+//! topic-tree publish/subscribe broker with MQTT's semantics where they
+//! differ from Kafka's —
+//!
+//! * hierarchical topic names (`plant/line1/temp`) with `+` (single-level)
+//!   and `#` (multi-level) subscription wildcards;
+//! * push delivery into bounded per-subscriber queues instead of pull from
+//!   a replayable log (no offsets, no history except *retained* messages);
+//! * QoS 0 (fire-and-forget: a full subscriber queue drops the message) and
+//!   QoS 1 (at-least-once: publish blocks until every QoS-1 subscriber has
+//!   queue space);
+//! * per-topic retained messages delivered immediately on subscribe.
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// MQTT quality-of-service levels (QoS 2 is not modelled; the paper's
+/// workloads never need exactly-once transport).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QoS {
+    /// Fire and forget: delivery may drop at a full subscriber queue.
+    AtMostOnce,
+    /// At least once: the publisher blocks until the message is queued at
+    /// every matching QoS-1 subscriber.
+    AtLeastOnce,
+}
+
+/// A published message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MqttMessage {
+    /// Full topic the message was published to.
+    pub topic: String,
+    pub payload: Bytes,
+    /// Publisher-assigned timestamp (µs).
+    pub timestamp_us: u64,
+}
+
+/// Validate a topic *name* (for publishing): non-empty levels, no wildcards.
+pub fn valid_topic_name(topic: &str) -> bool {
+    !topic.is_empty()
+        && !topic.contains(['+', '#'])
+        && topic.split('/').all(|level| !level.is_empty())
+}
+
+/// Validate a topic *filter* (for subscribing): wildcards allowed, `#` only
+/// at the end and alone in its level, `+` alone in its level.
+pub fn valid_topic_filter(filter: &str) -> bool {
+    if filter.is_empty() {
+        return false;
+    }
+    let levels: Vec<&str> = filter.split('/').collect();
+    for (i, level) in levels.iter().enumerate() {
+        if level.is_empty() {
+            return false;
+        }
+        if level.contains('#') && (*level != "#" || i != levels.len() - 1) {
+            return false;
+        }
+        if level.contains('+') && *level != "+" {
+            return false;
+        }
+    }
+    true
+}
+
+/// MQTT topic matching: does `filter` (with wildcards) match `topic`?
+pub fn topic_matches(filter: &str, topic: &str) -> bool {
+    let mut f = filter.split('/');
+    let mut t = topic.split('/');
+    loop {
+        match (f.next(), t.next()) {
+            (Some("#"), _) => return true,
+            (Some("+"), Some(_)) => continue,
+            (Some(fl), Some(tl)) if fl == tl => continue,
+            (None, None) => return true,
+            _ => return false,
+        }
+    }
+}
+
+struct SubscriberQueue {
+    queue: VecDeque<MqttMessage>,
+    capacity: usize,
+    closed: bool,
+}
+
+/// (queue, message-available condvar, space-available condvar)
+type SharedQueue = Arc<(Mutex<SubscriberQueue>, Condvar, Condvar)>;
+
+struct SubEntry {
+    filter: String,
+    qos: QoS,
+    queue: SharedQueue,
+    // condvar 0: message available; condvar 1: space available
+}
+
+#[derive(Default)]
+struct MqttState {
+    subs: HashMap<u64, SubEntry>,
+    retained: HashMap<String, MqttMessage>,
+    next_sub_id: u64,
+}
+
+/// Counters live outside the state mutex: the QoS-0 drop path increments
+/// `dropped` while holding a subscriber-queue lock, and taking the state
+/// lock there would invert the `state → queue` order used by subscribe and
+/// unsubscribe (an ABBA deadlock).
+#[derive(Default)]
+struct Inner {
+    state: Mutex<MqttState>,
+    published: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// The broker. Clone handles freely.
+#[derive(Clone, Default)]
+pub struct MqttBroker {
+    inner: Arc<Inner>,
+}
+
+/// A subscription handle: a bounded mailbox of matching messages.
+pub struct Subscription {
+    broker: MqttBroker,
+    id: u64,
+    queue: SharedQueue,
+}
+
+impl MqttBroker {
+    /// Create an empty broker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish a message. Returns the number of subscribers it was
+    /// delivered to, or an error for an invalid topic name.
+    ///
+    /// `retain` stores the message as the topic's retained message,
+    /// delivered to future subscribers on subscribe.
+    pub fn publish(
+        &self,
+        topic: &str,
+        payload: impl Into<Bytes>,
+        qos: QoS,
+        retain: bool,
+        timestamp_us: u64,
+    ) -> Result<usize, String> {
+        if !valid_topic_name(topic) {
+            return Err(format!("invalid topic name '{topic}'"));
+        }
+        let msg = MqttMessage {
+            topic: topic.to_string(),
+            payload: payload.into(),
+            timestamp_us,
+        };
+        // Snapshot matching subscribers under the broker lock, then deliver
+        // without holding it (QoS 1 delivery can block).
+        self.inner.published.fetch_add(1, Ordering::Relaxed);
+        let targets: Vec<(QoS, SharedQueue)> = {
+            let mut st = self.inner.state.lock();
+            if retain {
+                st.retained.insert(topic.to_string(), msg.clone());
+            }
+            st.subs
+                .values()
+                .filter(|s| topic_matches(&s.filter, topic))
+                .map(|s| (s.qos, Arc::clone(&s.queue)))
+                .collect()
+        };
+        let mut delivered = 0;
+        for (sub_qos, q) in targets {
+            let (lock, msg_avail, space_avail) = &*q;
+            let mut guard = lock.lock();
+            // Effective QoS is the min of publish and subscribe QoS
+            // (MQTT's "granted QoS").
+            let effective = if qos == QoS::AtLeastOnce && sub_qos == QoS::AtLeastOnce {
+                QoS::AtLeastOnce
+            } else {
+                QoS::AtMostOnce
+            };
+            match effective {
+                QoS::AtMostOnce => {
+                    if guard.queue.len() < guard.capacity {
+                        guard.queue.push_back(msg.clone());
+                        msg_avail.notify_one();
+                        delivered += 1;
+                    } else {
+                        self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                QoS::AtLeastOnce => {
+                    while guard.queue.len() >= guard.capacity && !guard.closed {
+                        space_avail.wait(&mut guard);
+                    }
+                    if !guard.closed {
+                        guard.queue.push_back(msg.clone());
+                        msg_avail.notify_one();
+                        delivered += 1;
+                    }
+                }
+            }
+        }
+        Ok(delivered)
+    }
+
+    /// Subscribe to a topic filter with a bounded mailbox of `capacity`
+    /// messages. Retained messages matching the filter are delivered
+    /// immediately.
+    pub fn subscribe(
+        &self,
+        filter: &str,
+        qos: QoS,
+        capacity: usize,
+    ) -> Result<Subscription, String> {
+        if !valid_topic_filter(filter) {
+            return Err(format!("invalid topic filter '{filter}'"));
+        }
+        let capacity = capacity.max(1);
+        let queue = Arc::new((
+            Mutex::new(SubscriberQueue {
+                queue: VecDeque::new(),
+                capacity,
+                closed: false,
+            }),
+            Condvar::new(),
+            Condvar::new(),
+        ));
+        let id = {
+            let mut st = self.inner.state.lock();
+            let id = st.next_sub_id;
+            st.next_sub_id += 1;
+            // Retained delivery (up to capacity).
+            {
+                let mut q = queue.0.lock();
+                for msg in st.retained.values() {
+                    if topic_matches(filter, &msg.topic) && q.queue.len() < q.capacity {
+                        q.queue.push_back(msg.clone());
+                    }
+                }
+            }
+            st.subs.insert(
+                id,
+                SubEntry {
+                    filter: filter.to_string(),
+                    qos,
+                    queue: Arc::clone(&queue),
+                },
+            );
+            id
+        };
+        Ok(Subscription {
+            broker: self.clone(),
+            id,
+            queue,
+        })
+    }
+
+    /// Messages published so far.
+    pub fn published(&self) -> u64 {
+        self.inner.published.load(Ordering::Relaxed)
+    }
+
+    /// QoS-0 messages dropped at full subscriber queues.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Active subscription count.
+    pub fn subscriber_count(&self) -> usize {
+        self.inner.state.lock().subs.len()
+    }
+
+    /// The retained message for a topic, if any.
+    pub fn retained(&self, topic: &str) -> Option<MqttMessage> {
+        self.inner.state.lock().retained.get(topic).cloned()
+    }
+}
+
+impl std::fmt::Debug for MqttBroker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MqttBroker")
+            .field("subscribers", &self.subscriber_count())
+            .finish()
+    }
+}
+
+impl Subscription {
+    /// Receive the next message, blocking up to `timeout`.
+    pub fn recv(&self, timeout: Duration) -> Option<MqttMessage> {
+        let (lock, msg_avail, space_avail) = &*self.queue;
+        let mut guard = lock.lock();
+        loop {
+            if let Some(msg) = guard.queue.pop_front() {
+                space_avail.notify_one();
+                return Some(msg);
+            }
+            if guard.closed {
+                return None;
+            }
+            if msg_avail.wait_for(&mut guard, timeout).timed_out() {
+                return None;
+            }
+        }
+    }
+
+    /// Try to receive without blocking.
+    pub fn try_recv(&self) -> Option<MqttMessage> {
+        self.recv(Duration::ZERO)
+    }
+
+    /// Messages currently buffered.
+    pub fn backlog(&self) -> usize {
+        self.queue.0.lock().queue.len()
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        // Unsubscribe and release any QoS-1 publisher blocked on our queue.
+        self.broker.inner.state.lock().subs.remove(&self.id);
+        let (lock, msg_avail, space_avail) = &*self.queue;
+        let mut guard = lock.lock();
+        guard.closed = true;
+        msg_avail.notify_all();
+        space_avail.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topic_name_validation() {
+        assert!(valid_topic_name("plant/line1/temp"));
+        assert!(!valid_topic_name(""));
+        assert!(!valid_topic_name("plant//temp"));
+        assert!(!valid_topic_name("plant/+/temp"));
+        assert!(!valid_topic_name("plant/#"));
+    }
+
+    #[test]
+    fn topic_filter_validation() {
+        assert!(valid_topic_filter("plant/+/temp"));
+        assert!(valid_topic_filter("plant/#"));
+        assert!(valid_topic_filter("#"));
+        assert!(!valid_topic_filter("plant/#/temp"));
+        assert!(!valid_topic_filter("plant/te#mp"));
+        assert!(!valid_topic_filter("plant/te+mp"));
+        assert!(!valid_topic_filter(""));
+    }
+
+    #[test]
+    fn matching_rules() {
+        assert!(topic_matches("a/b/c", "a/b/c"));
+        assert!(!topic_matches("a/b/c", "a/b"));
+        assert!(topic_matches("a/+/c", "a/b/c"));
+        assert!(!topic_matches("a/+/c", "a/b/d"));
+        assert!(topic_matches("a/#", "a/b/c/d"));
+        assert!(topic_matches("a/#", "a"));
+        assert!(topic_matches("#", "anything/at/all"));
+        assert!(!topic_matches("a/+", "a/b/c"));
+    }
+
+    #[test]
+    fn publish_subscribe_roundtrip() {
+        let b = MqttBroker::new();
+        let sub = b.subscribe("plant/+/temp", QoS::AtMostOnce, 8).unwrap();
+        let n = b
+            .publish("plant/line1/temp", &b"21.5"[..], QoS::AtMostOnce, false, 0)
+            .unwrap();
+        assert_eq!(n, 1);
+        let msg = sub.recv(Duration::from_millis(100)).unwrap();
+        assert_eq!(msg.topic, "plant/line1/temp");
+        assert_eq!(msg.payload.as_ref(), b"21.5");
+    }
+
+    #[test]
+    fn non_matching_topic_not_delivered() {
+        let b = MqttBroker::new();
+        let sub = b.subscribe("plant/line1/temp", QoS::AtMostOnce, 8).unwrap();
+        b.publish("plant/line2/temp", &b"x"[..], QoS::AtMostOnce, false, 0)
+            .unwrap();
+        assert!(sub.try_recv().is_none());
+    }
+
+    #[test]
+    fn qos0_drops_at_full_queue() {
+        let b = MqttBroker::new();
+        let sub = b.subscribe("t", QoS::AtMostOnce, 2).unwrap();
+        for i in 0..5 {
+            b.publish("t", vec![i], QoS::AtMostOnce, false, 0).unwrap();
+        }
+        assert_eq!(sub.backlog(), 2);
+        assert_eq!(b.dropped(), 3);
+    }
+
+    #[test]
+    fn qos1_blocks_until_space() {
+        let b = MqttBroker::new();
+        let sub = b.subscribe("t", QoS::AtLeastOnce, 1).unwrap();
+        b.publish("t", &b"1"[..], QoS::AtLeastOnce, false, 0)
+            .unwrap();
+        // Second publish must block until the subscriber drains.
+        let b2 = b.clone();
+        let h = std::thread::spawn(move || {
+            b2.publish("t", &b"2"[..], QoS::AtLeastOnce, false, 0)
+                .unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!h.is_finished(), "publish should be blocked");
+        assert_eq!(
+            sub.recv(Duration::from_millis(100))
+                .unwrap()
+                .payload
+                .as_ref(),
+            b"1"
+        );
+        assert_eq!(h.join().unwrap(), 1);
+        assert_eq!(
+            sub.recv(Duration::from_millis(100))
+                .unwrap()
+                .payload
+                .as_ref(),
+            b"2"
+        );
+        assert_eq!(b.dropped(), 0);
+    }
+
+    #[test]
+    fn effective_qos_is_min() {
+        // QoS-1 publish to a QoS-0 subscriber behaves as QoS 0 (drops).
+        let b = MqttBroker::new();
+        let sub = b.subscribe("t", QoS::AtMostOnce, 1).unwrap();
+        b.publish("t", &b"1"[..], QoS::AtLeastOnce, false, 0)
+            .unwrap();
+        b.publish("t", &b"2"[..], QoS::AtLeastOnce, false, 0)
+            .unwrap();
+        assert_eq!(sub.backlog(), 1);
+        assert_eq!(b.dropped(), 1);
+    }
+
+    #[test]
+    fn retained_message_delivered_on_subscribe() {
+        let b = MqttBroker::new();
+        b.publish("cfg/rate", &b"100"[..], QoS::AtMostOnce, true, 7)
+            .unwrap();
+        let sub = b.subscribe("cfg/#", QoS::AtMostOnce, 4).unwrap();
+        let msg = sub.recv(Duration::from_millis(50)).unwrap();
+        assert_eq!(msg.payload.as_ref(), b"100");
+        assert_eq!(msg.timestamp_us, 7);
+        assert_eq!(b.retained("cfg/rate").unwrap().payload.as_ref(), b"100");
+    }
+
+    #[test]
+    fn retained_message_is_replaced() {
+        let b = MqttBroker::new();
+        b.publish("cfg", &b"old"[..], QoS::AtMostOnce, true, 0)
+            .unwrap();
+        b.publish("cfg", &b"new"[..], QoS::AtMostOnce, true, 0)
+            .unwrap();
+        assert_eq!(b.retained("cfg").unwrap().payload.as_ref(), b"new");
+    }
+
+    #[test]
+    fn unsubscribe_on_drop_releases_blocked_publisher() {
+        let b = MqttBroker::new();
+        let sub = b.subscribe("t", QoS::AtLeastOnce, 1).unwrap();
+        b.publish("t", &b"1"[..], QoS::AtLeastOnce, false, 0)
+            .unwrap();
+        let b2 = b.clone();
+        let h = std::thread::spawn(move || {
+            b2.publish("t", &b"2"[..], QoS::AtLeastOnce, false, 0)
+                .unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        drop(sub); // closes the queue, releasing the publisher
+        assert_eq!(h.join().unwrap(), 0, "closed queue counts as undelivered");
+        assert_eq!(b.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn fanout_to_multiple_subscribers() {
+        let b = MqttBroker::new();
+        let s1 = b.subscribe("a/#", QoS::AtMostOnce, 4).unwrap();
+        let s2 = b.subscribe("a/+", QoS::AtMostOnce, 4).unwrap();
+        let s3 = b.subscribe("b/#", QoS::AtMostOnce, 4).unwrap();
+        let n = b
+            .publish("a/x", &b"m"[..], QoS::AtMostOnce, false, 0)
+            .unwrap();
+        assert_eq!(n, 2);
+        assert!(s1.try_recv().is_some());
+        assert!(s2.try_recv().is_some());
+        assert!(s3.try_recv().is_none());
+    }
+
+    #[test]
+    fn invalid_publish_and_subscribe_rejected() {
+        let b = MqttBroker::new();
+        assert!(b
+            .publish("a/+", &b"x"[..], QoS::AtMostOnce, false, 0)
+            .is_err());
+        assert!(b.subscribe("a/#/b", QoS::AtMostOnce, 1).is_err());
+    }
+
+    #[test]
+    fn qos0_drop_while_unsubscribing_never_deadlocks() {
+        // Regression: the QoS-0 drop path once took the broker state lock
+        // while holding a subscriber-queue lock; Subscription::drop takes
+        // them in the opposite order — an ABBA deadlock under this exact
+        // interleaving. Hammer it.
+        for _ in 0..50 {
+            let b = MqttBroker::new();
+            let sub = b.subscribe("t", QoS::AtMostOnce, 1).unwrap();
+            // Fill the queue so publishes hit the drop path.
+            b.publish("t", &b"fill"[..], QoS::AtMostOnce, false, 0)
+                .unwrap();
+            let b2 = b.clone();
+            let publisher = std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let _ = b2.publish("t", &b"x"[..], QoS::AtMostOnce, false, 0);
+                }
+            });
+            std::thread::sleep(Duration::from_micros(100));
+            drop(sub);
+            publisher.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn recv_timeout_returns_none() {
+        let b = MqttBroker::new();
+        let sub = b.subscribe("t", QoS::AtMostOnce, 1).unwrap();
+        assert!(sub.recv(Duration::from_millis(20)).is_none());
+    }
+}

@@ -1,0 +1,316 @@
+//! The batching producer.
+//!
+//! Kafka producers buffer records per partition and flush when the batch is
+//! full or a linger deadline passes; batching is one of the ablation axes
+//! (`ablation_batching` in the bench crate) because it trades per-message
+//! latency for broker throughput.
+
+use crate::broker::Broker;
+use crate::error::BrokerError;
+use crate::record::{Record, RecordMetadata};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::time::{Duration, Instant};
+
+/// How records are mapped to partitions when no explicit partition is given.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioner {
+    /// Cycle through partitions.
+    RoundRobin,
+    /// Hash the record key (keyless records fall back to round-robin).
+    KeyHash,
+}
+
+/// Producer configuration.
+#[derive(Debug, Clone)]
+pub struct ProducerConfig {
+    /// Flush a partition's batch when it holds this many records.
+    pub batch_records: usize,
+    /// Flush a partition's batch when it holds this many payload bytes.
+    pub batch_bytes: usize,
+    /// Flush any non-empty batch older than this.
+    pub linger: Duration,
+    /// Default partitioner.
+    pub partitioner: Partitioner,
+}
+
+impl Default for ProducerConfig {
+    /// Kafka-ish defaults: 16 KiB batches, no linger (flush per send unless
+    /// a batch size is reached — the paper's experiments send one block per
+    /// message, so defaults keep latency minimal).
+    fn default() -> Self {
+        Self {
+            batch_records: 1,
+            batch_bytes: 16 * 1024,
+            linger: Duration::ZERO,
+            partitioner: Partitioner::RoundRobin,
+        }
+    }
+}
+
+struct Batch {
+    records: Vec<Record>,
+    bytes: usize,
+    opened_at: Instant,
+}
+
+impl Batch {
+    fn new() -> Self {
+        Self {
+            records: Vec::new(),
+            bytes: 0,
+            opened_at: Instant::now(),
+        }
+    }
+}
+
+/// A producer bound to one topic of one broker.
+///
+/// Not `Sync`: like a Kafka producer, create one per producing thread (each
+/// edge-device task owns its own).
+pub struct Producer {
+    broker: Broker,
+    topic: String,
+    partitions: usize,
+    config: ProducerConfig,
+    batches: Vec<Batch>,
+    rr_next: usize,
+    sent: u64,
+}
+
+impl Producer {
+    /// Create a producer for `topic` (must exist).
+    pub fn new(broker: Broker, topic: &str, config: ProducerConfig) -> Result<Self, BrokerError> {
+        let partitions = broker.topic(topic)?.partition_count();
+        Ok(Self {
+            broker,
+            topic: topic.to_string(),
+            partitions,
+            config,
+            batches: (0..partitions).map(|_| Batch::new()).collect(),
+            rr_next: 0,
+            sent: 0,
+        })
+    }
+
+    /// Number of records successfully appended so far (across flushes).
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn pick_partition(&mut self, record: &Record) -> usize {
+        match self.config.partitioner {
+            Partitioner::KeyHash => {
+                if let Some(key) = &record.key {
+                    let mut h = DefaultHasher::new();
+                    key.hash(&mut h);
+                    return (h.finish() % self.partitions as u64) as usize;
+                }
+                let p = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % self.partitions;
+                p
+            }
+            Partitioner::RoundRobin => {
+                let p = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % self.partitions;
+                p
+            }
+        }
+    }
+
+    /// Send to an explicit partition. Returns metadata for records flushed
+    /// by this call (possibly empty if the record was only buffered).
+    pub fn send_to(
+        &mut self,
+        partition: usize,
+        record: Record,
+    ) -> Result<Vec<RecordMetadata>, BrokerError> {
+        if partition >= self.partitions {
+            return Err(BrokerError::UnknownPartition {
+                topic: self.topic.clone(),
+                partition,
+            });
+        }
+        let batch = &mut self.batches[partition];
+        if batch.records.is_empty() {
+            batch.opened_at = Instant::now();
+        }
+        batch.bytes += record.wire_size();
+        batch.records.push(record);
+        let full = batch.records.len() >= self.config.batch_records
+            || batch.bytes >= self.config.batch_bytes
+            || batch.opened_at.elapsed() >= self.config.linger;
+        if full {
+            self.flush_partition(partition)
+        } else {
+            Ok(Vec::new())
+        }
+    }
+
+    /// Send using the configured partitioner.
+    pub fn send(&mut self, record: Record) -> Result<Vec<RecordMetadata>, BrokerError> {
+        let p = self.pick_partition(&record);
+        self.send_to(p, record)
+    }
+
+    /// Flush one partition's batch.
+    fn flush_partition(&mut self, partition: usize) -> Result<Vec<RecordMetadata>, BrokerError> {
+        let batch = std::mem::replace(&mut self.batches[partition], Batch::new());
+        let mut out = Vec::with_capacity(batch.records.len());
+        for rec in batch.records {
+            let offset = self.broker.append(&self.topic, partition, rec)?;
+            self.sent += 1;
+            out.push(RecordMetadata { partition, offset });
+        }
+        Ok(out)
+    }
+
+    /// Flush every partition's buffered records.
+    pub fn flush(&mut self) -> Result<Vec<RecordMetadata>, BrokerError> {
+        let mut out = Vec::new();
+        for p in 0..self.partitions {
+            out.extend(self.flush_partition(p)?);
+        }
+        Ok(out)
+    }
+
+    /// Records currently buffered (not yet appended).
+    pub fn buffered(&self) -> usize {
+        self.batches.iter().map(|b| b.records.len()).sum()
+    }
+}
+
+impl Drop for Producer {
+    /// Best-effort flush so buffered records are not silently lost.
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retention::RetentionPolicy;
+
+    fn setup(partitions: usize, config: ProducerConfig) -> (Broker, Producer) {
+        let b = Broker::new();
+        b.create_topic("t", partitions, RetentionPolicy::unbounded())
+            .unwrap();
+        let p = Producer::new(b.clone(), "t", config).unwrap();
+        (b, p)
+    }
+
+    #[test]
+    fn default_config_flushes_immediately() {
+        let (b, mut p) = setup(1, ProducerConfig::default());
+        let md = p.send(Record::new(&b"x"[..])).unwrap();
+        assert_eq!(md.len(), 1);
+        assert_eq!(md[0].offset, 0);
+        assert_eq!(b.high_watermark("t", 0).unwrap(), 1);
+    }
+
+    #[test]
+    fn round_robin_spreads_partitions() {
+        let (_, mut p) = setup(3, ProducerConfig::default());
+        let parts: Vec<usize> = (0..6)
+            .map(|_| p.send(Record::new(&b"x"[..])).unwrap()[0].partition)
+            .collect();
+        assert_eq!(parts, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn key_hash_is_sticky() {
+        let cfg = ProducerConfig {
+            partitioner: Partitioner::KeyHash,
+            ..ProducerConfig::default()
+        };
+        let (_, mut p) = setup(4, cfg);
+        let part_of = |p: &mut Producer, key: &str| {
+            p.send(Record::new(&b"x"[..]).with_key(key.as_bytes().to_vec()))
+                .unwrap()[0]
+                .partition
+        };
+        let a1 = part_of(&mut p, "alpha");
+        let a2 = part_of(&mut p, "alpha");
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn batching_buffers_until_full() {
+        let cfg = ProducerConfig {
+            batch_records: 3,
+            batch_bytes: usize::MAX,
+            linger: Duration::from_secs(60),
+            partitioner: Partitioner::RoundRobin,
+        };
+        let (b, mut p) = setup(1, cfg);
+        assert!(p.send_to(0, Record::new(&b"1"[..])).unwrap().is_empty());
+        assert!(p.send_to(0, Record::new(&b"2"[..])).unwrap().is_empty());
+        assert_eq!(p.buffered(), 2);
+        assert_eq!(b.high_watermark("t", 0).unwrap(), 0);
+        let md = p.send_to(0, Record::new(&b"3"[..])).unwrap();
+        assert_eq!(md.len(), 3);
+        assert_eq!(p.buffered(), 0);
+        assert_eq!(b.high_watermark("t", 0).unwrap(), 3);
+    }
+
+    #[test]
+    fn byte_threshold_flushes() {
+        let cfg = ProducerConfig {
+            batch_records: usize::MAX,
+            batch_bytes: 100,
+            linger: Duration::from_secs(60),
+            partitioner: Partitioner::RoundRobin,
+        };
+        let (_, mut p) = setup(1, cfg);
+        let md = p.send_to(0, Record::new(vec![0u8; 200])).unwrap();
+        assert_eq!(md.len(), 1);
+    }
+
+    #[test]
+    fn explicit_flush_drains() {
+        let cfg = ProducerConfig {
+            batch_records: 100,
+            batch_bytes: usize::MAX,
+            linger: Duration::from_secs(60),
+            partitioner: Partitioner::RoundRobin,
+        };
+        let (b, mut p) = setup(2, cfg);
+        p.send_to(0, Record::new(&b"a"[..])).unwrap();
+        p.send_to(1, Record::new(&b"b"[..])).unwrap();
+        let md = p.flush().unwrap();
+        assert_eq!(md.len(), 2);
+        assert_eq!(b.high_watermark("t", 0).unwrap(), 1);
+        assert_eq!(b.high_watermark("t", 1).unwrap(), 1);
+        assert_eq!(p.sent(), 2);
+    }
+
+    #[test]
+    fn drop_flushes_buffered() {
+        let cfg = ProducerConfig {
+            batch_records: 100,
+            batch_bytes: usize::MAX,
+            linger: Duration::from_secs(60),
+            partitioner: Partitioner::RoundRobin,
+        };
+        let (b, mut p) = setup(1, cfg);
+        p.send_to(0, Record::new(&b"a"[..])).unwrap();
+        drop(p);
+        assert_eq!(b.high_watermark("t", 0).unwrap(), 1);
+    }
+
+    #[test]
+    fn bad_partition_rejected() {
+        let (_, mut p) = setup(1, ProducerConfig::default());
+        assert!(matches!(
+            p.send_to(9, Record::new(&b"x"[..])),
+            Err(BrokerError::UnknownPartition { .. })
+        ));
+    }
+
+    #[test]
+    fn producer_for_missing_topic_fails() {
+        let b = Broker::new();
+        assert!(Producer::new(b, "missing", ProducerConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! Topics: named sets of partitions with blocking-fetch support.
+
+use crate::log::PartitionLog;
+use crate::record::{Offset, Record};
+use crate::retention::RetentionPolicy;
+use parking_lot::{Condvar, Mutex};
+use std::time::Duration;
+
+/// One partition plus its data-arrival condition variable.
+struct Partition {
+    log: Mutex<PartitionLog>,
+    data_arrived: Condvar,
+}
+
+/// A named topic with a fixed number of partitions.
+///
+/// The paper keeps "one partition per edge device for simplicity and ... the
+/// ratio of partitions constant between Kafka and Dask" — partition count is
+/// therefore fixed at creation, like Kafka's.
+pub struct Topic {
+    name: String,
+    partitions: Vec<Partition>,
+}
+
+impl Topic {
+    /// Create a topic with `partitions` empty partitions.
+    pub fn new(name: &str, partitions: usize, retention: RetentionPolicy) -> Self {
+        assert!(partitions > 0, "a topic needs at least one partition");
+        Self {
+            name: name.to_string(),
+            partitions: (0..partitions)
+                .map(|_| Partition {
+                    log: Mutex::new(PartitionLog::new(retention)),
+                    data_arrived: Condvar::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Topic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Partition count.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Append to a partition, waking blocked fetchers. Returns the offset.
+    pub fn append(&self, partition: usize, record: Record) -> Option<Offset> {
+        let p = self.partitions.get(partition)?;
+        let offset = p.log.lock().append(record);
+        p.data_arrived.notify_all();
+        Some(offset)
+    }
+
+    /// Non-blocking read. `Err(log_start)` when `offset` was trimmed.
+    pub fn read(
+        &self,
+        partition: usize,
+        offset: Offset,
+        max: usize,
+    ) -> Option<Result<Vec<Record>, Offset>> {
+        let p = self.partitions.get(partition)?;
+        Some(p.log.lock().read(offset, max))
+    }
+
+    /// Blocking read: waits up to `timeout` for data at `offset` before
+    /// returning (possibly empty on timeout).
+    pub fn read_wait(
+        &self,
+        partition: usize,
+        offset: Offset,
+        max: usize,
+        timeout: Duration,
+    ) -> Option<Result<Vec<Record>, Offset>> {
+        let p = self.partitions.get(partition)?;
+        let mut log = p.log.lock();
+        loop {
+            match log.read(offset, max) {
+                Ok(recs) if recs.is_empty() => {
+                    if p.data_arrived.wait_for(&mut log, timeout).timed_out() {
+                        return Some(Ok(Vec::new()));
+                    }
+                    // else: new data (or spurious wake) — retry the read.
+                }
+                other => return Some(other),
+            }
+        }
+    }
+
+    /// High watermark of a partition.
+    pub fn high_watermark(&self, partition: usize) -> Option<Offset> {
+        Some(self.partitions.get(partition)?.log.lock().high_watermark())
+    }
+
+    /// Log-start offset of a partition.
+    pub fn log_start(&self, partition: usize) -> Option<Offset> {
+        Some(self.partitions.get(partition)?.log.lock().log_start())
+    }
+
+    /// First offset at/after a timestamp in a partition (see
+    /// [`PartitionLog::offset_for_timestamp`]).
+    pub fn offset_for_timestamp(&self, partition: usize, ts_us: u64) -> Option<Offset> {
+        Some(
+            self.partitions
+                .get(partition)?
+                .log
+                .lock()
+                .offset_for_timestamp(ts_us),
+        )
+    }
+
+    /// Total retained bytes across partitions.
+    pub fn total_bytes(&self) -> u64 {
+        self.partitions.iter().map(|p| p.log.lock().bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn topic(parts: usize) -> Topic {
+        Topic::new("t", parts, RetentionPolicy::unbounded())
+    }
+
+    #[test]
+    fn partitions_are_independent() {
+        let t = topic(3);
+        t.append(0, Record::new(&b"a"[..])).unwrap();
+        t.append(2, Record::new(&b"b"[..])).unwrap();
+        assert_eq!(t.high_watermark(0), Some(1));
+        assert_eq!(t.high_watermark(1), Some(0));
+        assert_eq!(t.high_watermark(2), Some(1));
+    }
+
+    #[test]
+    fn unknown_partition_is_none() {
+        let t = topic(1);
+        assert!(t.append(5, Record::new(&b"x"[..])).is_none());
+        assert!(t.read(5, 0, 1).is_none());
+    }
+
+    #[test]
+    fn read_wait_times_out_empty() {
+        let t = topic(1);
+        let r = t
+            .read_wait(0, 0, 10, Duration::from_millis(20))
+            .unwrap()
+            .unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn read_wait_wakes_on_append() {
+        let t = Arc::new(topic(1));
+        let t2 = Arc::clone(&t);
+        let h = std::thread::spawn(move || {
+            t2.read_wait(0, 0, 10, Duration::from_secs(5))
+                .unwrap()
+                .unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        t.append(0, Record::new(&b"wake"[..])).unwrap();
+        let recs = h.join().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].value.as_ref(), b"wake");
+    }
+
+    #[test]
+    fn per_partition_fifo_order_under_concurrency() {
+        let t = Arc::new(topic(2));
+        let mut handles = Vec::new();
+        for p in 0..2usize {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u32 {
+                    t.append(p, Record::new(i.to_le_bytes().to_vec())).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for p in 0..2 {
+            let recs = t.read(p, 0, 500).unwrap().unwrap();
+            let values: Vec<u32> = recs
+                .iter()
+                .map(|r| u32::from_le_bytes(r.value.as_ref().try_into().unwrap()))
+                .collect();
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            assert_eq!(values, sorted, "partition {p} not FIFO");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_panics() {
+        topic(0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Pilot descriptions: what resource to allocate, where.
+
+use pilot_metrics::ResourceClass;
+use std::time::Duration;
+
+/// Description of the resource a pilot should hold.
+///
+/// The `resource` URL selects the backend plugin by scheme, mirroring the
+/// pilot framework's resource URLs (e.g. RADICAL-Pilot's
+/// `slurm://machine`): `local://`, `ssh://<device>`,
+/// `openstack://<site>/<flavor>`, `batch://<queue>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PilotDescription {
+    /// Backend-selecting resource URL.
+    pub resource: String,
+    /// Worker cores the pilot provides.
+    pub cores: usize,
+    /// Memory in GB shared by the pilot's workers.
+    pub memory_gb: f64,
+    /// Maximum lifetime. `None` = unlimited.
+    pub walltime: Option<Duration>,
+    /// The `pilot-netsim` site this pilot lives on (used for placement and
+    /// link selection).
+    pub site: String,
+    /// Hardware class for energy accounting.
+    pub class: ResourceClass,
+}
+
+impl PilotDescription {
+    /// A local pilot (in-process, boots instantly). Handy default for tests.
+    pub fn local(cores: usize, memory_gb: f64) -> Self {
+        Self {
+            resource: "local://".to_string(),
+            cores,
+            memory_gb,
+            walltime: None,
+            site: "local".to_string(),
+            class: ResourceClass::CloudMedium,
+        }
+    }
+
+    /// A RasPi-class edge device reached over SSH: 1 core, 4 GB — exactly
+    /// the envelope the paper simulates per edge device ("allocating one
+    /// core and about 4 GB of memory, comparable to a current Raspberry
+    /// Pi").
+    pub fn edge_device(name: &str, site: &str) -> Self {
+        Self {
+            resource: format!("ssh://{name}"),
+            cores: 1,
+            memory_gb: 4.0,
+            walltime: None,
+            site: site.to_string(),
+            class: ResourceClass::EdgeDevice,
+        }
+    }
+
+    /// The paper's LRZ "medium" VM: 4 cores, 18 GB.
+    pub fn lrz_medium() -> Self {
+        Self {
+            resource: "openstack://lrz/medium".to_string(),
+            cores: 4,
+            memory_gb: 18.0,
+            walltime: None,
+            site: "lrz".to_string(),
+            class: ResourceClass::CloudMedium,
+        }
+    }
+
+    /// The paper's LRZ "large" VM: 10 cores, 44 GB (used for all processing
+    /// tasks in Section III.2).
+    pub fn lrz_large() -> Self {
+        Self {
+            resource: "openstack://lrz/large".to_string(),
+            cores: 10,
+            memory_gb: 44.0,
+            walltime: None,
+            site: "lrz".to_string(),
+            class: ResourceClass::CloudLarge,
+        }
+    }
+
+    /// The paper's Jetstream "medium" VM: 6 cores, 16 GB.
+    pub fn jetstream_medium() -> Self {
+        Self {
+            resource: "openstack://jetstream/medium".to_string(),
+            cores: 6,
+            memory_gb: 16.0,
+            walltime: None,
+            site: "jetstream".to_string(),
+            class: ResourceClass::CloudMedium,
+        }
+    }
+
+    /// An HPC partition reached through a batch queue.
+    pub fn hpc(queue: &str, cores: usize, memory_gb: f64) -> Self {
+        Self {
+            resource: format!("batch://{queue}"),
+            cores,
+            memory_gb,
+            walltime: Some(Duration::from_secs(3600)),
+            site: "hpc".to_string(),
+            class: ResourceClass::HpcNode,
+        }
+    }
+
+    /// Builder: set the walltime.
+    pub fn with_walltime(mut self, walltime: Duration) -> Self {
+        self.walltime = Some(walltime);
+        self
+    }
+
+    /// Builder: set the site.
+    pub fn with_site(mut self, site: &str) -> Self {
+        self.site = site.to_string();
+        self
+    }
+
+    /// URL scheme of the resource (backend selector).
+    pub fn scheme(&self) -> &str {
+        self.resource
+            .split_once("://")
+            .map(|(s, _)| s)
+            .unwrap_or("local")
+    }
+
+    /// Validate, returning the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("cores must be > 0".into());
+        }
+        if self.memory_gb <= 0.0 {
+            return Err("memory_gb must be > 0".into());
+        }
+        if !self.resource.contains("://") && self.resource != "local" {
+            return Err(format!("resource URL '{}' has no scheme", self.resource));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_vm_types() {
+        let m = PilotDescription::lrz_medium();
+        assert_eq!((m.cores, m.memory_gb), (4, 18.0));
+        let l = PilotDescription::lrz_large();
+        assert_eq!((l.cores, l.memory_gb), (10, 44.0));
+        let j = PilotDescription::jetstream_medium();
+        assert_eq!((j.cores, j.memory_gb), (6, 16.0));
+        let e = PilotDescription::edge_device("pi-1", "factory");
+        assert_eq!((e.cores, e.memory_gb), (1, 4.0));
+    }
+
+    #[test]
+    fn scheme_extraction() {
+        assert_eq!(PilotDescription::lrz_large().scheme(), "openstack");
+        assert_eq!(PilotDescription::edge_device("x", "s").scheme(), "ssh");
+        assert_eq!(PilotDescription::local(1, 1.0).scheme(), "local");
+        assert_eq!(PilotDescription::hpc("normal", 64, 256.0).scheme(), "batch");
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut d = PilotDescription::local(1, 1.0);
+        d.cores = 0;
+        assert!(d.validate().is_err());
+        d.cores = 1;
+        d.memory_gb = 0.0;
+        assert!(d.validate().is_err());
+        d.memory_gb = 1.0;
+        d.resource = "garbage".into();
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn builders() {
+        let d = PilotDescription::local(2, 4.0)
+            .with_walltime(Duration::from_secs(60))
+            .with_site("lab");
+        assert_eq!(d.walltime, Some(Duration::from_secs(60)));
+        assert_eq!(d.site, "lab");
+    }
+}

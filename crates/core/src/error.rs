@@ -1,0 +1,49 @@
+//! Pilot error types.
+
+/// Failures while creating or operating pilots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PilotError {
+    /// The description failed validation.
+    InvalidDescription(String),
+    /// No backend plugin is registered for the URL scheme.
+    UnknownScheme(String),
+    /// The backend could not provision the resource.
+    ProvisioningFailed(String),
+    /// The operation needs an Active pilot, but it is in another state.
+    NotActive(crate::state::PilotState),
+    /// Waiting for the pilot to activate timed out.
+    Timeout,
+    /// The pilot's walltime was exceeded.
+    WalltimeExceeded,
+}
+
+impl std::fmt::Display for PilotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PilotError::InvalidDescription(msg) => write!(f, "invalid description: {msg}"),
+            PilotError::UnknownScheme(s) => write!(f, "no backend for scheme '{s}'"),
+            PilotError::ProvisioningFailed(msg) => write!(f, "provisioning failed: {msg}"),
+            PilotError::NotActive(s) => write!(f, "pilot not active (state: {s})"),
+            PilotError::Timeout => write!(f, "timed out waiting for pilot"),
+            PilotError::WalltimeExceeded => write!(f, "pilot walltime exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for PilotError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            PilotError::UnknownScheme("warp".into()).to_string(),
+            "no backend for scheme 'warp'"
+        );
+        assert!(PilotError::NotActive(crate::state::PilotState::Queued)
+            .to_string()
+            .contains("queued"));
+    }
+}

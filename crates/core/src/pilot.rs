@@ -1,0 +1,242 @@
+//! The pilot: a placeholder job owning resources and hosting frameworks.
+
+use crate::backend::ResourceBackend;
+use crate::description::PilotDescription;
+use crate::error::PilotError;
+use crate::queue::QueueSlot;
+use crate::state::PilotState;
+use parking_lot::{Condvar, Mutex};
+use pilot_broker::Broker;
+use pilot_dataflow::{Client, LocalCluster};
+use pilot_metrics::EnergyModel;
+use pilot_params::ParameterServer;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct PilotInner {
+    state: Mutex<PilotState>,
+    state_changed: Condvar,
+    cluster: Mutex<Option<LocalCluster>>,
+    slot: Mutex<Option<QueueSlot>>,
+    activated_at: Mutex<Option<Instant>>,
+    failure: Mutex<Option<String>>,
+    broker: Mutex<Option<Broker>>,
+    params: Mutex<Option<ParameterServer>>,
+}
+
+/// A pilot job. Obtain from [`crate::PilotComputeService::create_pilot`];
+/// share freely (`Arc` inside).
+#[derive(Clone)]
+pub struct Pilot {
+    id: u64,
+    desc: PilotDescription,
+    inner: Arc<PilotInner>,
+}
+
+impl Pilot {
+    pub(crate) fn new(id: u64, desc: PilotDescription) -> Self {
+        Self {
+            id,
+            desc,
+            inner: Arc::new(PilotInner {
+                state: Mutex::new(PilotState::New),
+                state_changed: Condvar::new(),
+                cluster: Mutex::new(None),
+                slot: Mutex::new(None),
+                activated_at: Mutex::new(None),
+                failure: Mutex::new(None),
+                broker: Mutex::new(None),
+                params: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Unique id within its service.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The description this pilot was created from.
+    pub fn description(&self) -> &PilotDescription {
+        &self.desc
+    }
+
+    /// The site the pilot lives on.
+    pub fn site(&self) -> &str {
+        &self.desc.site
+    }
+
+    /// Current state.
+    pub fn state(&self) -> PilotState {
+        *self.inner.state.lock()
+    }
+
+    /// Failure message, if the pilot failed.
+    pub fn failure(&self) -> Option<String> {
+        self.inner.failure.lock().clone()
+    }
+
+    /// Attempt a state transition; returns false (and leaves the state) if
+    /// it would be illegal.
+    pub(crate) fn transition(&self, next: PilotState) -> bool {
+        let mut st = self.inner.state.lock();
+        if !st.can_transition_to(next) {
+            return false;
+        }
+        *st = next;
+        self.inner.state_changed.notify_all();
+        true
+    }
+
+    /// Drive the provisioning lifecycle on the calling thread (the service
+    /// spawns this in the background).
+    pub(crate) fn run_lifecycle(&self, backend: Arc<dyn ResourceBackend>) {
+        if !self.transition(PilotState::Submitted) {
+            return; // cancelled before submission
+        }
+        if !self.transition(PilotState::Queued) {
+            return;
+        }
+        let provisioned = match backend.provision(&self.desc) {
+            Ok(p) => p,
+            Err(e) => {
+                *self.inner.failure.lock() = Some(e.to_string());
+                self.transition(PilotState::Failed);
+                return;
+            }
+        };
+        if !provisioned.boot_delay.is_zero() {
+            std::thread::sleep(provisioned.boot_delay);
+        }
+        // The pilot may have been cancelled while queued/booting.
+        {
+            let mut slot = self.inner.slot.lock();
+            *slot = provisioned.slot;
+        }
+        let cluster = LocalCluster::new(self.desc.cores, self.desc.memory_gb);
+        *self.inner.cluster.lock() = Some(cluster);
+        if !self.transition(PilotState::Active) {
+            // Cancelled during boot: tear the cluster back down.
+            self.inner.cluster.lock().take();
+            self.inner.slot.lock().take();
+        }
+        *self.inner.activated_at.lock() = Some(Instant::now());
+    }
+
+    /// Block until the pilot reaches `target` (or any terminal state), up
+    /// to `timeout`.
+    pub fn wait_state(&self, target: PilotState, timeout: Duration) -> Result<(), PilotError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock();
+        loop {
+            if *st == target {
+                return Ok(());
+            }
+            if st.is_terminal() {
+                return Err(PilotError::NotActive(*st));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(PilotError::Timeout);
+            }
+            self.inner.state_changed.wait_for(&mut st, deadline - now);
+        }
+    }
+
+    /// Convenience: wait until Active.
+    pub fn wait_active(&self, timeout: Duration) -> Result<(), PilotError> {
+        self.wait_state(PilotState::Active, timeout)
+    }
+
+    /// A task-submission client for the pilot's cluster (Active only).
+    pub fn client(&self) -> Result<Client, PilotError> {
+        let state = self.state();
+        if state != PilotState::Active {
+            return Err(PilotError::NotActive(state));
+        }
+        let guard = self.inner.cluster.lock();
+        guard
+            .as_ref()
+            .map(|c| c.client())
+            .ok_or(PilotError::NotActive(state))
+    }
+
+    /// Host a broker on this pilot ("the pilot abstraction can manage
+    /// brokering and data processing frameworks, e.g., Kafka"). Idempotent.
+    pub fn start_broker(&self) -> Result<Broker, PilotError> {
+        if self.state() != PilotState::Active {
+            return Err(PilotError::NotActive(self.state()));
+        }
+        let mut guard = self.inner.broker.lock();
+        Ok(guard.get_or_insert_with(Broker::new).clone())
+    }
+
+    /// Host a parameter server on this pilot. Idempotent.
+    pub fn start_param_server(&self) -> Result<ParameterServer, PilotError> {
+        if self.state() != PilotState::Active {
+            return Err(PilotError::NotActive(self.state()));
+        }
+        let mut guard = self.inner.params.lock();
+        Ok(guard.get_or_insert_with(ParameterServer::new).clone())
+    }
+
+    /// Seconds of pilot lifetime so far (0 before activation).
+    pub fn uptime(&self) -> Duration {
+        self.inner
+            .activated_at
+            .lock()
+            .map(|t| t.elapsed())
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// True once the pilot has outlived its walltime.
+    pub fn is_expired(&self) -> bool {
+        match self.desc.walltime {
+            Some(w) => self.uptime() > w,
+            None => false,
+        }
+    }
+
+    /// Energy estimate: cluster busy time at the class's active wattage,
+    /// the rest of the uptime at idle wattage.
+    pub fn energy(&self) -> EnergyModel {
+        let mut m = EnergyModel::new(self.desc.class);
+        if let Some(cluster) = self.inner.cluster.lock().as_ref() {
+            m.record_busy(cluster.stats().busy_secs);
+        }
+        m.set_wall(self.uptime().as_secs_f64());
+        m
+    }
+
+    /// Cancel the pilot (from any live state). Tears down the cluster if
+    /// one was booted.
+    pub fn cancel(&self) {
+        if self.transition(PilotState::Cancelled) {
+            if let Some(mut cluster) = self.inner.cluster.lock().take() {
+                cluster.shutdown();
+            }
+            self.inner.slot.lock().take();
+        }
+    }
+
+    /// Release the pilot normally (Active → Done): shuts the cluster down
+    /// and frees any queue slot.
+    pub fn release(&self) {
+        if self.transition(PilotState::Done) {
+            if let Some(mut cluster) = self.inner.cluster.lock().take() {
+                cluster.shutdown();
+            }
+            self.inner.slot.lock().take();
+        }
+    }
+}
+
+impl std::fmt::Debug for Pilot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pilot")
+            .field("id", &self.id)
+            .field("resource", &self.desc.resource)
+            .field("state", &self.state())
+            .finish()
+    }
+}

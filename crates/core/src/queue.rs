@@ -1,0 +1,173 @@
+//! A capacity-limited FIFO batch queue, simulating HPC queue-wait.
+//!
+//! HPC pilots do not boot instantly: they sit in a scheduler queue until a
+//! slot frees up. [`BatchQueue`] reproduces that lifecycle stage — jobs
+//! acquire one of `capacity` slots in submission order; a pilot's `Queued`
+//! state lasts exactly as long as its slot wait.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct QueueState {
+    /// Tickets waiting for a slot, FIFO.
+    waiting: VecDeque<u64>,
+    running: usize,
+    next_ticket: u64,
+}
+
+/// A shared batch queue with `capacity` concurrent jobs.
+#[derive(Clone)]
+pub struct BatchQueue {
+    name: String,
+    capacity: usize,
+    state: Arc<Mutex<QueueState>>,
+    slot_freed: Arc<Condvar>,
+}
+
+/// RAII slot: dropping it releases the slot to the next waiter.
+pub struct QueueSlot {
+    queue: BatchQueue,
+}
+
+impl Drop for QueueSlot {
+    fn drop(&mut self) {
+        let mut st = self.queue.state.lock();
+        st.running -= 1;
+        self.queue.slot_freed.notify_all();
+    }
+}
+
+impl BatchQueue {
+    /// Create a queue with the given concurrent-job capacity.
+    pub fn new(name: &str, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be > 0");
+        Self {
+            name: name.to_string(),
+            capacity,
+            state: Arc::new(Mutex::new(QueueState {
+                waiting: VecDeque::new(),
+                running: 0,
+                next_ticket: 0,
+            })),
+            slot_freed: Arc::new(Condvar::new()),
+        }
+    }
+
+    /// Queue name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Jobs currently running.
+    pub fn running(&self) -> usize {
+        self.state.lock().running
+    }
+
+    /// Jobs currently waiting.
+    pub fn waiting(&self) -> usize {
+        self.state.lock().waiting.len()
+    }
+
+    /// Block until a slot is available (FIFO), up to `timeout`.
+    /// Returns the slot, or `None` on timeout (the ticket is withdrawn).
+    pub fn acquire(&self, timeout: Duration) -> Option<QueueSlot> {
+        let mut st = self.state.lock();
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.waiting.push_back(ticket);
+        loop {
+            // Our turn iff we are at the head and a slot is free.
+            if st.waiting.front() == Some(&ticket) && st.running < self.capacity {
+                st.waiting.pop_front();
+                st.running += 1;
+                // Wake others: the new head may also find a free slot.
+                self.slot_freed.notify_all();
+                return Some(QueueSlot {
+                    queue: self.clone(),
+                });
+            }
+            if self.slot_freed.wait_for(&mut st, timeout).timed_out() {
+                st.waiting.retain(|&t| t != ticket);
+                self.slot_freed.notify_all();
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn capacity_limits_concurrency() {
+        let q = BatchQueue::new("normal", 2);
+        let s1 = q.acquire(Duration::from_secs(1)).unwrap();
+        let _s2 = q.acquire(Duration::from_secs(1)).unwrap();
+        assert_eq!(q.running(), 2);
+        // Third blocks until one releases.
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || {
+            let start = Instant::now();
+            let _s3 = q2.acquire(Duration::from_secs(5)).unwrap();
+            start.elapsed()
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        drop(s1);
+        let waited = h.join().unwrap();
+        assert!(waited >= Duration::from_millis(40), "waited={waited:?}");
+    }
+
+    #[test]
+    fn timeout_withdraws_ticket() {
+        let q = BatchQueue::new("normal", 1);
+        let _held = q.acquire(Duration::from_secs(1)).unwrap();
+        assert!(q.acquire(Duration::from_millis(30)).is_none());
+        assert_eq!(q.waiting(), 0);
+    }
+
+    #[test]
+    fn fifo_order() {
+        let q = BatchQueue::new("normal", 1);
+        let first = q.acquire(Duration::from_secs(1)).unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for i in 0..3 {
+            let q = q.clone();
+            let order = Arc::clone(&order);
+            handles.push(std::thread::spawn(move || {
+                // Stagger submissions to fix the intended order.
+                std::thread::sleep(Duration::from_millis(20 * (i as u64 + 1)));
+                let slot = q.acquire(Duration::from_secs(5)).unwrap();
+                order.lock().push(i);
+                drop(slot);
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(120));
+        drop(first);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn slot_released_on_drop() {
+        let q = BatchQueue::new("normal", 1);
+        {
+            let _s = q.acquire(Duration::from_secs(1)).unwrap();
+            assert_eq!(q.running(), 1);
+        }
+        assert_eq!(q.running(), 0);
+        assert!(q.acquire(Duration::from_millis(10)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be > 0")]
+    fn zero_capacity_panics() {
+        BatchQueue::new("bad", 0);
+    }
+}

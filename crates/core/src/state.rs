@@ -1,0 +1,114 @@
+//! The pilot state machine.
+
+/// Lifecycle of a pilot, following the P* model's pilot states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PilotState {
+    /// Described but not yet submitted.
+    New,
+    /// Handed to the backend.
+    Submitted,
+    /// Waiting in a resource queue (batch systems; clouds while booting).
+    Queued,
+    /// Resources are up; tasks can run.
+    Active,
+    /// Ran to completion / released.
+    Done,
+    /// Provisioning or runtime failure.
+    Failed,
+    /// Cancelled by the application.
+    Cancelled,
+}
+
+impl PilotState {
+    /// Is the transition `self → next` legal?
+    pub fn can_transition_to(self, next: PilotState) -> bool {
+        use PilotState::*;
+        matches!(
+            (self, next),
+            (New, Submitted)
+                | (New, Cancelled)
+                | (Submitted, Queued)
+                | (Submitted, Active)
+                | (Submitted, Failed)
+                | (Submitted, Cancelled)
+                | (Queued, Active)
+                | (Queued, Failed)
+                | (Queued, Cancelled)
+                | (Active, Done)
+                | (Active, Failed)
+                | (Active, Cancelled)
+        )
+    }
+
+    /// True for `Done`, `Failed`, `Cancelled`.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            PilotState::Done | PilotState::Failed | PilotState::Cancelled
+        )
+    }
+
+    /// Stable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PilotState::New => "new",
+            PilotState::Submitted => "submitted",
+            PilotState::Queued => "queued",
+            PilotState::Active => "active",
+            PilotState::Done => "done",
+            PilotState::Failed => "failed",
+            PilotState::Cancelled => "cancelled",
+        }
+    }
+}
+
+impl std::fmt::Display for PilotState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use PilotState::*;
+
+    #[test]
+    fn happy_path_is_legal() {
+        assert!(New.can_transition_to(Submitted));
+        assert!(Submitted.can_transition_to(Queued));
+        assert!(Queued.can_transition_to(Active));
+        assert!(Active.can_transition_to(Done));
+    }
+
+    #[test]
+    fn skipping_queue_is_legal() {
+        // Local/cloud pilots may go straight Submitted → Active.
+        assert!(Submitted.can_transition_to(Active));
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        assert!(!Done.can_transition_to(Active));
+        assert!(!Active.can_transition_to(New));
+        assert!(!Failed.can_transition_to(Active));
+        assert!(!New.can_transition_to(Active));
+        assert!(!Cancelled.can_transition_to(Submitted));
+    }
+
+    #[test]
+    fn cancellation_from_any_live_state() {
+        for s in [New, Submitted, Queued, Active] {
+            assert!(s.can_transition_to(Cancelled), "{s}");
+        }
+    }
+
+    #[test]
+    fn terminal_states() {
+        assert!(Done.is_terminal());
+        assert!(Failed.is_terminal());
+        assert!(Cancelled.is_terminal());
+        assert!(!Active.is_terminal());
+        assert!(!Queued.is_terminal());
+    }
+}

@@ -1,0 +1,595 @@
+//! The local cluster: worker threads + client API.
+
+use crate::future::TaskFuture;
+use crate::scheduler::Scheduler;
+use crate::task::{Payload, Resources, TaskError, TaskId};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Utilisation statistics for a cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterStats {
+    /// Worker threads (cores).
+    pub workers: usize,
+    /// Total simulated memory.
+    pub mem_total_gb: f64,
+    /// Tasks finished (success + failure).
+    pub finished: u64,
+    /// Accumulated busy seconds across all workers.
+    pub busy_secs: f64,
+}
+
+/// A pool of worker threads executing submitted tasks.
+///
+/// Mirrors `dask.distributed.LocalCluster`: `workers` threads of one core
+/// each and a shared memory budget. Dropping the cluster cancels queued
+/// tasks, waits for running ones, and joins the threads.
+/// # Example
+///
+/// ```
+/// use pilot_dataflow::LocalCluster;
+///
+/// let cluster = LocalCluster::new(2, 8.0); // 2 workers, 8 GB
+/// let client = cluster.client();
+/// let a = client.submit("a", || Ok(20_i64)).unwrap();
+/// let b = client.submit("b", || Ok(22_i64)).unwrap();
+/// let sum = a.wait_as::<i64>().unwrap() + b.wait_as::<i64>().unwrap();
+/// assert_eq!(sum, 42);
+/// ```
+pub struct LocalCluster {
+    sched: Arc<Scheduler>,
+    workers: Vec<JoinHandle<()>>,
+    mem_total_gb: f64,
+    busy_ns: Arc<AtomicU64>,
+}
+
+impl LocalCluster {
+    /// Start a cluster with `workers` single-core workers sharing
+    /// `mem_total_gb` of simulated memory.
+    pub fn new(workers: usize, mem_total_gb: f64) -> Self {
+        assert!(workers > 0, "cluster needs at least one worker");
+        let sched = Scheduler::new(mem_total_gb);
+        let busy_ns = Arc::new(AtomicU64::new(0));
+        let handles = (0..workers)
+            .map(|i| {
+                let sched = Arc::clone(&sched);
+                let busy = Arc::clone(&busy_ns);
+                std::thread::Builder::new()
+                    .name(format!("pilot-worker-{i}"))
+                    .spawn(move || worker_loop(&sched, &busy))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self {
+            sched,
+            workers: handles,
+            mem_total_gb,
+            busy_ns,
+        }
+    }
+
+    /// A client handle for submitting tasks. Cheap to clone.
+    pub fn client(&self) -> Client {
+        Client {
+            sched: Arc::clone(&self.sched),
+        }
+    }
+
+    /// Worker count.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Utilisation statistics.
+    pub fn stats(&self) -> ClusterStats {
+        ClusterStats {
+            workers: self.workers.len(),
+            mem_total_gb: self.mem_total_gb,
+            finished: self.sched.state.lock().finished,
+            busy_secs: self.busy_ns.load(Ordering::Relaxed) as f64 / 1e9,
+        }
+    }
+
+    /// Shut the cluster down: cancel queued work, join workers.
+    pub fn shutdown(&mut self) {
+        self.sched.shutdown();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for LocalCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(sched: &Scheduler, busy_ns: &AtomicU64) {
+    while let Some((id, closure, payloads, resources)) = sched.next_task() {
+        let start = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| closure(&payloads)));
+        busy_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let result = match outcome {
+            Ok(Ok(payload)) => Ok(payload),
+            Ok(Err(msg)) => Err(TaskError::Failed(msg)),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic>".to_string());
+                Err(TaskError::Panicked(msg))
+            }
+        };
+        sched.complete(id, result, resources);
+    }
+}
+
+/// Handle for submitting tasks to a [`LocalCluster`].
+#[derive(Clone)]
+pub struct Client {
+    sched: Arc<Scheduler>,
+}
+
+impl Client {
+    /// Submit a task with no dependencies.
+    pub fn submit<F, T>(&self, name: &str, f: F) -> Result<TaskFuture, TaskError>
+    where
+        F: FnOnce() -> Result<T, String> + Send + 'static,
+        T: Send + Sync + 'static,
+    {
+        self.submit_full(name, Resources::default(), &[], move |_| {
+            f().map(|v| Arc::new(v) as Payload)
+        })
+    }
+
+    /// Submit a task with explicit resources and dependencies. The closure
+    /// receives the dependency payloads in the order given.
+    pub fn submit_full<F>(
+        &self,
+        name: &str,
+        resources: Resources,
+        deps: &[TaskId],
+        f: F,
+    ) -> Result<TaskFuture, TaskError>
+    where
+        F: FnOnce(&[Payload]) -> Result<Payload, String> + Send + 'static,
+    {
+        let id = self
+            .sched
+            .submit(name, resources, deps.to_vec(), Box::new(f))?;
+        Ok(TaskFuture {
+            id,
+            sched: Arc::clone(&self.sched),
+        })
+    }
+
+    /// Wait for all futures, collecting results in order.
+    pub fn gather(&self, futures: &[TaskFuture]) -> Vec<crate::task::TaskResult> {
+        futures.iter().map(|f| f.wait()).collect()
+    }
+
+    /// Submit a task that retries on failure (error return *or* panic):
+    /// up to `attempts` tries with `backoff` sleeps in between, all inside
+    /// one task slot. Dask-style fault tolerance for transient errors
+    /// (paper Section I: applications must respond to "failures and other
+    /// external events").
+    pub fn submit_with_retry<F, T>(
+        &self,
+        name: &str,
+        attempts: usize,
+        backoff: std::time::Duration,
+        f: F,
+    ) -> Result<TaskFuture, TaskError>
+    where
+        F: Fn() -> Result<T, String> + Send + 'static,
+        T: Send + Sync + 'static,
+    {
+        assert!(attempts >= 1, "attempts must be >= 1");
+        self.submit_full(name, Resources::default(), &[], move |_| {
+            let mut last_err = String::new();
+            for attempt in 0..attempts {
+                if attempt > 0 && !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                match catch_unwind(AssertUnwindSafe(&f)) {
+                    Ok(Ok(v)) => return Ok(Arc::new(v) as Payload),
+                    Ok(Err(e)) => last_err = e,
+                    Err(panic) => {
+                        last_err = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "<non-string panic>".to_string());
+                    }
+                }
+            }
+            Err(format!("failed after {attempts} attempts: {last_err}"))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskState;
+    use std::sync::atomic::{AtomicUsize, Ordering as AtOrd};
+    use std::time::Duration;
+
+    #[test]
+    fn submit_and_wait() {
+        let cluster = LocalCluster::new(2, 8.0);
+        let c = cluster.client();
+        let f = c.submit("answer", || Ok(21 * 2)).unwrap();
+        assert_eq!(f.wait_as::<i32>().unwrap(), 42);
+        assert_eq!(f.state(), Some(TaskState::Done));
+        assert_eq!(f.name().as_deref(), Some("answer"));
+    }
+
+    #[test]
+    fn parallel_execution_uses_all_workers() {
+        let cluster = LocalCluster::new(4, 8.0);
+        let c = cluster.client();
+        let start = Instant::now();
+        let futures: Vec<_> = (0..4)
+            .map(|i| {
+                c.submit(&format!("sleep{i}"), || {
+                    std::thread::sleep(Duration::from_millis(100));
+                    Ok(())
+                })
+                .unwrap()
+            })
+            .collect();
+        for f in &futures {
+            f.wait().unwrap();
+        }
+        // 4 × 100 ms on 4 workers ≈ 100 ms, not 400 ms.
+        assert!(start.elapsed() < Duration::from_millis(320));
+    }
+
+    #[test]
+    fn dependencies_run_in_order_and_pass_payloads() {
+        let cluster = LocalCluster::new(2, 8.0);
+        let c = cluster.client();
+        let a = c.submit("a", || Ok(10i64)).unwrap();
+        let b = c
+            .submit_full("b", Resources::default(), &[a.id()], |deps| {
+                let x = *deps[0].downcast_ref::<i64>().unwrap();
+                Ok(Arc::new(x * 3) as Payload)
+            })
+            .unwrap();
+        assert_eq!(b.wait_as::<i64>().unwrap(), 30);
+    }
+
+    #[test]
+    fn diamond_dependency_graph() {
+        let cluster = LocalCluster::new(3, 8.0);
+        let c = cluster.client();
+        let a = c.submit("a", || Ok(1i64)).unwrap();
+        let mk = |name: &str, mult: i64| {
+            c.submit_full(name, Resources::default(), &[a.id()], move |deps| {
+                let x = *deps[0].downcast_ref::<i64>().unwrap();
+                Ok(Arc::new(x * mult) as Payload)
+            })
+            .unwrap()
+        };
+        let b = mk("b", 10);
+        let d = mk("d", 100);
+        let join = c
+            .submit_full("join", Resources::default(), &[b.id(), d.id()], |deps| {
+                let x = *deps[0].downcast_ref::<i64>().unwrap();
+                let y = *deps[1].downcast_ref::<i64>().unwrap();
+                Ok(Arc::new(x + y) as Payload)
+            })
+            .unwrap();
+        assert_eq!(join.wait_as::<i64>().unwrap(), 110);
+    }
+
+    #[test]
+    fn failure_propagates_to_dependents() {
+        let cluster = LocalCluster::new(2, 8.0);
+        let c = cluster.client();
+        let bad = c
+            .submit("bad", || -> Result<(), String> { Err("boom".into()) })
+            .unwrap();
+        let dep = c
+            .submit_full("dep", Resources::default(), &[bad.id()], |_| {
+                Ok(Arc::new(()) as Payload)
+            })
+            .unwrap();
+        assert_eq!(bad.wait().unwrap_err(), TaskError::Failed("boom".into()));
+        assert_eq!(dep.wait().unwrap_err(), TaskError::UpstreamFailed(bad.id()));
+    }
+
+    #[test]
+    fn panic_is_captured_not_fatal() {
+        let cluster = LocalCluster::new(1, 8.0);
+        let c = cluster.client();
+        let p = c
+            .submit("panics", || -> Result<(), String> { panic!("kaput") })
+            .unwrap();
+        assert_eq!(p.wait().unwrap_err(), TaskError::Panicked("kaput".into()));
+        // The worker survives and runs the next task.
+        let ok = c.submit("ok", || Ok(5u8)).unwrap();
+        assert_eq!(ok.wait_as::<u8>().unwrap(), 5);
+    }
+
+    #[test]
+    fn memory_limit_serialises_big_tasks() {
+        // Two 3 GB tasks on a 4 GB cluster with 2 workers must run one at
+        // a time.
+        let cluster = LocalCluster::new(2, 4.0);
+        let c = cluster.client();
+        let concurrent = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let futures: Vec<_> = (0..2)
+            .map(|i| {
+                let con = Arc::clone(&concurrent);
+                let pk = Arc::clone(&peak);
+                c.submit_full(
+                    &format!("big{i}"),
+                    Resources {
+                        mem_gb: 3.0,
+                        priority: 0,
+                    },
+                    &[],
+                    move |_| {
+                        let now = con.fetch_add(1, AtOrd::SeqCst) + 1;
+                        pk.fetch_max(now, AtOrd::SeqCst);
+                        std::thread::sleep(Duration::from_millis(50));
+                        con.fetch_sub(1, AtOrd::SeqCst);
+                        Ok(Arc::new(()) as Payload)
+                    },
+                )
+                .unwrap()
+            })
+            .collect();
+        for f in futures {
+            f.wait().unwrap();
+        }
+        assert_eq!(peak.load(AtOrd::SeqCst), 1, "memory limit violated");
+    }
+
+    #[test]
+    fn small_task_overtakes_blocked_big_task() {
+        // One worker busy; a queued 100 GB task can never fit, but a tiny
+        // task behind it must still run (no head-of-line blocking).
+        let cluster = LocalCluster::new(1, 4.0);
+        let c = cluster.client();
+        let huge = c
+            .submit_full(
+                "huge",
+                Resources {
+                    mem_gb: 100.0,
+                    priority: 0,
+                },
+                &[],
+                |_| Ok(Arc::new(()) as Payload),
+            )
+            .unwrap();
+        let tiny = c.submit("tiny", || Ok(1u8)).unwrap();
+        assert_eq!(tiny.wait_as::<u8>().unwrap(), 1);
+        assert!(!huge.is_finished());
+    }
+
+    #[test]
+    fn wait_timeout_on_long_task() {
+        let cluster = LocalCluster::new(1, 8.0);
+        let c = cluster.client();
+        let f = c
+            .submit("slow", || {
+                std::thread::sleep(Duration::from_millis(200));
+                Ok(())
+            })
+            .unwrap();
+        assert!(f.wait_timeout(Duration::from_millis(20)).is_none());
+        assert!(f.wait_timeout(Duration::from_secs(5)).is_some());
+    }
+
+    #[test]
+    fn shutdown_cancels_queued_tasks() {
+        let mut cluster = LocalCluster::new(1, 8.0);
+        let c = cluster.client();
+        let _running = c
+            .submit("running", || {
+                std::thread::sleep(Duration::from_millis(100));
+                Ok(())
+            })
+            .unwrap();
+        let queued = c
+            .submit("queued", || {
+                std::thread::sleep(Duration::from_secs(10));
+                Ok(())
+            })
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20)); // let `running` start
+        cluster.shutdown();
+        assert_eq!(queued.wait().unwrap_err(), TaskError::Cancelled);
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails() {
+        let mut cluster = LocalCluster::new(1, 8.0);
+        cluster.shutdown();
+        let c = cluster.client();
+        assert!(matches!(
+            c.submit("late", || Ok(())),
+            Err(TaskError::Cancelled)
+        ));
+    }
+
+    #[test]
+    fn unknown_dependency_rejected() {
+        let cluster = LocalCluster::new(1, 8.0);
+        let c = cluster.client();
+        let bogus = TaskId(999);
+        assert!(c
+            .submit_full("x", Resources::default(), &[bogus], |_| {
+                Ok(Arc::new(()) as Payload)
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn stats_track_completion_and_busy_time() {
+        let cluster = LocalCluster::new(2, 8.0);
+        let c = cluster.client();
+        let futures: Vec<_> = (0..4)
+            .map(|i| {
+                c.submit(&format!("t{i}"), || {
+                    std::thread::sleep(Duration::from_millis(20));
+                    Ok(())
+                })
+                .unwrap()
+            })
+            .collect();
+        for f in futures {
+            f.wait().unwrap();
+        }
+        let s = cluster.stats();
+        assert_eq!(s.finished, 4);
+        assert!(s.busy_secs >= 0.07, "busy={}", s.busy_secs);
+        assert_eq!(s.workers, 2);
+    }
+
+    #[test]
+    fn gather_collects_in_order() {
+        let cluster = LocalCluster::new(2, 8.0);
+        let c = cluster.client();
+        let futures: Vec<_> = (0..5)
+            .map(|i| c.submit(&format!("t{i}"), move || Ok(i as i64)).unwrap())
+            .collect();
+        let results = c.gather(&futures);
+        for (i, r) in results.iter().enumerate() {
+            let v = r.as_ref().unwrap().downcast_ref::<i64>().copied().unwrap();
+            assert_eq!(v, i as i64);
+        }
+    }
+
+    #[test]
+    fn dependency_on_already_finished_task() {
+        let cluster = LocalCluster::new(1, 8.0);
+        let c = cluster.client();
+        let a = c.submit("a", || Ok(7i64)).unwrap();
+        a.wait().unwrap();
+        let b = c
+            .submit_full("b", Resources::default(), &[a.id()], |deps| {
+                let x = *deps[0].downcast_ref::<i64>().unwrap();
+                Ok(Arc::new(x + 1) as Payload)
+            })
+            .unwrap();
+        assert_eq!(b.wait_as::<i64>().unwrap(), 8);
+    }
+
+    #[test]
+    fn realtime_priority_dispatches_first() {
+        // One worker busy; queue a batch of normal tasks then one
+        // real-time task. When the worker frees, the real-time task must
+        // run before the earlier-queued normal ones.
+        let cluster = LocalCluster::new(1, 8.0);
+        let c = cluster.client();
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let _blocker = c
+            .submit("blocker", || {
+                std::thread::sleep(Duration::from_millis(60));
+                Ok(())
+            })
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(10)); // blocker running
+        let mut futures = Vec::new();
+        for i in 0..3 {
+            let order = Arc::clone(&order);
+            futures.push(
+                c.submit_full(&format!("normal{i}"), Resources::tiny(), &[], move |_| {
+                    order.lock().push(format!("normal{i}"));
+                    Ok(Arc::new(()) as Payload)
+                })
+                .unwrap(),
+            );
+        }
+        let order2 = Arc::clone(&order);
+        futures.push(
+            c.submit_full("control", Resources::realtime(), &[], move |_| {
+                order2.lock().push("control".into());
+                Ok(Arc::new(()) as Payload)
+            })
+            .unwrap(),
+        );
+        for f in &futures {
+            f.wait().unwrap();
+        }
+        assert_eq!(order.lock()[0], "control", "order: {:?}", order.lock());
+    }
+
+    #[test]
+    fn retry_succeeds_on_transient_failure() {
+        let cluster = LocalCluster::new(1, 8.0);
+        let c = cluster.client();
+        let tries = Arc::new(AtomicUsize::new(0));
+        let t2 = Arc::clone(&tries);
+        let f = c
+            .submit_with_retry("flaky", 5, Duration::ZERO, move || {
+                if t2.fetch_add(1, AtOrd::SeqCst) < 2 {
+                    Err("transient".into())
+                } else {
+                    Ok(99u32)
+                }
+            })
+            .unwrap();
+        assert_eq!(f.wait_as::<u32>().unwrap(), 99);
+        assert_eq!(tries.load(AtOrd::SeqCst), 3);
+    }
+
+    #[test]
+    fn retry_exhaustion_reports_last_error() {
+        let cluster = LocalCluster::new(1, 8.0);
+        let c = cluster.client();
+        let f = c
+            .submit_with_retry("always-bad", 3, Duration::ZERO, || {
+                Err::<(), _>("nope".into())
+            })
+            .unwrap();
+        let err = f.wait().unwrap_err();
+        assert_eq!(
+            err,
+            TaskError::Failed("failed after 3 attempts: nope".into())
+        );
+    }
+
+    #[test]
+    fn retry_recovers_from_panics() {
+        let cluster = LocalCluster::new(1, 8.0);
+        let c = cluster.client();
+        let tries = Arc::new(AtomicUsize::new(0));
+        let t2 = Arc::clone(&tries);
+        let f = c
+            .submit_with_retry("panicky", 3, Duration::ZERO, move || {
+                if t2.fetch_add(1, AtOrd::SeqCst) == 0 {
+                    panic!("first try explodes");
+                }
+                Ok(7u8)
+            })
+            .unwrap();
+        assert_eq!(f.wait_as::<u8>().unwrap(), 7);
+    }
+
+    #[test]
+    fn dependency_on_already_failed_task() {
+        let cluster = LocalCluster::new(1, 8.0);
+        let c = cluster.client();
+        let a = c
+            .submit("a", || -> Result<(), String> { Err("nope".into()) })
+            .unwrap();
+        let _ = a.wait();
+        let b = c
+            .submit_full("b", Resources::default(), &[a.id()], |_| {
+                Ok(Arc::new(()) as Payload)
+            })
+            .unwrap();
+        assert_eq!(b.wait().unwrap_err(), TaskError::UpstreamFailed(a.id()));
+    }
+}

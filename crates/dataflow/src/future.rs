@@ -1,0 +1,71 @@
+//! Blocking result handles.
+
+use crate::scheduler::Scheduler;
+use crate::task::{TaskId, TaskResult, TaskState};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A handle to a submitted task's eventual result.
+///
+/// Cloneable; all clones observe the same result.
+#[derive(Clone)]
+pub struct TaskFuture {
+    pub(crate) id: TaskId,
+    pub(crate) sched: Arc<Scheduler>,
+}
+
+impl TaskFuture {
+    /// The task's id.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// Current state, if the task is known.
+    pub fn state(&self) -> Option<TaskState> {
+        self.sched.task_state(self.id)
+    }
+
+    /// The name the task was submitted with.
+    pub fn name(&self) -> Option<String> {
+        self.sched.task_name(self.id)
+    }
+
+    /// Block until the task finishes; returns its result.
+    pub fn wait(&self) -> TaskResult {
+        self.sched
+            .wait(self.id, None)
+            .expect("untimed wait cannot time out")
+    }
+
+    /// Block up to `timeout`; `None` if still running.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<TaskResult> {
+        self.sched.wait(self.id, Some(timeout))
+    }
+
+    /// Convenience: wait and downcast the payload to `T`.
+    /// Returns `Err` on task failure or type mismatch.
+    pub fn wait_as<T: 'static + Send + Sync + Clone>(&self) -> Result<T, String> {
+        let payload = self.wait().map_err(|e| e.to_string())?;
+        payload
+            .downcast_ref::<T>()
+            .cloned()
+            .ok_or_else(|| format!("payload of {} has unexpected type", self.id))
+    }
+
+    /// True once the task reached a terminal state.
+    pub fn is_finished(&self) -> bool {
+        matches!(
+            self.state(),
+            Some(TaskState::Done) | Some(TaskState::Failed)
+        )
+    }
+}
+
+impl std::fmt::Debug for TaskFuture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskFuture")
+            .field("id", &self.id)
+            .field("state", &self.state())
+            .finish()
+    }
+}

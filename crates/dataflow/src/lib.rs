@@ -1,0 +1,36 @@
+//! # pilot-dataflow — a Dask-style task executor
+//!
+//! Pilot-Edge executes its FaaS tasks "using a managed Dask cluster on the
+//! specified location" (paper Section II-B): every pilot hosts a cluster of
+//! slot-accounted workers, and the framework maps function invocations onto
+//! them — e.g. "the edge devices are simulated with a Dask task, allocating
+//! one core and about 4 GB of memory, comparable to a current Raspberry Pi"
+//! (Section III.1). Dask is a Python system, so this crate implements the
+//! execution semantics the paper relies on, from scratch:
+//!
+//! * [`LocalCluster`] — a pool of worker threads (one core each, matching
+//!   Dask's one-thread-per-core worker processes) with cluster-level memory
+//!   accounting: a task declaring `mem_gb` is only dispatched when that
+//!   much simulated memory is free.
+//! * [`Client::submit`] — submit closures with optional dependencies; the
+//!   dependency-aware [`scheduler`] releases a task only when all of its
+//!   inputs are done, and fails dependents transitively when an upstream
+//!   task fails (Dask's error propagation).
+//! * [`TaskFuture`] — blocking handles to results (`wait`, `wait_timeout`),
+//!   with panics inside tasks captured as [`TaskError::Panicked`] instead of
+//!   tearing down the worker — fault isolation the pipeline's
+//!   failure-injection tests rely on.
+//!
+//! What is deliberately *not* reproduced from Dask: data locality heuristics
+//! and work stealing between remote workers — the paper's workloads pin one
+//! long-running consumer task per partition, so placement is trivial and
+//! those mechanisms would never fire.
+
+pub mod cluster;
+pub mod future;
+pub mod scheduler;
+pub mod task;
+
+pub use cluster::{Client, ClusterStats, LocalCluster};
+pub use future::TaskFuture;
+pub use task::{Payload, Resources, TaskError, TaskId, TaskState};

@@ -1,0 +1,269 @@
+//! The dependency-aware scheduler shared between clients and workers.
+//!
+//! All state lives behind one mutex (`SchedState`); workers and futures park
+//! on condition variables. At the scale the paper runs (tens of long-lived
+//! tasks per pilot plus bursts of short ones) a single lock is far from
+//! contended — simplicity wins over a lock-free design here, and the public
+//! API would not change if the internals ever did.
+
+use crate::task::{Payload, Resources, TaskError, TaskFn, TaskId, TaskResult, TaskState};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+pub(crate) struct TaskEntry {
+    pub state: TaskState,
+    pub closure: Option<TaskFn>,
+    pub resources: Resources,
+    pub deps: Vec<TaskId>,
+    pub deps_remaining: usize,
+    pub dependents: Vec<TaskId>,
+    pub result: Option<TaskResult>,
+    pub name: String,
+}
+
+pub(crate) struct SchedState {
+    pub tasks: HashMap<TaskId, TaskEntry>,
+    pub ready: VecDeque<TaskId>,
+    pub next_id: u64,
+    pub mem_free_gb: f64,
+    pub shutdown: bool,
+    /// Completed-task tally (successes + failures).
+    pub finished: u64,
+}
+
+/// Shared scheduler handle.
+pub(crate) struct Scheduler {
+    pub state: Mutex<SchedState>,
+    /// Workers park here waiting for runnable tasks.
+    pub work_available: Condvar,
+    /// Futures park here waiting for results.
+    pub task_finished: Condvar,
+}
+
+impl Scheduler {
+    pub fn new(mem_total_gb: f64) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(SchedState {
+                tasks: HashMap::new(),
+                ready: VecDeque::new(),
+                next_id: 0,
+                mem_free_gb: mem_total_gb,
+                shutdown: false,
+                finished: 0,
+            }),
+            work_available: Condvar::new(),
+            task_finished: Condvar::new(),
+        })
+    }
+
+    /// Register a task; returns its id. If its dependencies are already
+    /// done it goes straight to the ready queue; if any dependency already
+    /// failed it fails immediately.
+    pub fn submit(
+        &self,
+        name: &str,
+        resources: Resources,
+        deps: Vec<TaskId>,
+        closure: TaskFn,
+    ) -> Result<TaskId, TaskError> {
+        let mut st = self.state.lock();
+        if st.shutdown {
+            return Err(TaskError::Cancelled);
+        }
+        let id = TaskId(st.next_id);
+        st.next_id += 1;
+
+        let mut deps_remaining = 0;
+        let mut failed_upstream = None;
+        for &d in &deps {
+            match st.tasks.get(&d) {
+                None => {
+                    return Err(TaskError::Failed(format!("unknown dependency {d}")));
+                }
+                Some(e) => match e.state {
+                    TaskState::Done => {}
+                    TaskState::Failed => failed_upstream = Some(d),
+                    _ => deps_remaining += 1,
+                },
+            }
+        }
+        // Wire dependents while the lock is held.
+        for &d in &deps {
+            if let Some(e) = st.tasks.get_mut(&d) {
+                if !matches!(e.state, TaskState::Done | TaskState::Failed) {
+                    e.dependents.push(id);
+                }
+            }
+        }
+        let entry = TaskEntry {
+            state: TaskState::Pending,
+            closure: Some(closure),
+            resources,
+            deps,
+            deps_remaining,
+            dependents: Vec::new(),
+            result: None,
+            name: name.to_string(),
+        };
+        st.tasks.insert(id, entry);
+
+        if let Some(up) = failed_upstream {
+            self.finish_locked(&mut st, id, Err(TaskError::UpstreamFailed(up)));
+        } else if deps_remaining == 0 {
+            let e = st.tasks.get_mut(&id).expect("just inserted");
+            e.state = TaskState::Ready;
+            st.ready.push_back(id);
+            self.work_available.notify_one();
+        }
+        Ok(id)
+    }
+
+    /// Worker side: block until a runnable task (deps met, memory fits) is
+    /// available or shutdown. Returns the task id, its closure, its
+    /// dependency payloads, and its reserved resources.
+    pub fn next_task(&self) -> Option<(TaskId, TaskFn, Vec<Payload>, Resources)> {
+        let mut st = self.state.lock();
+        loop {
+            // Among ready tasks whose memory fits, pick the highest
+            // priority (FIFO within a priority level — the scan keeps the
+            // first seen on ties).
+            let mut picked: Option<(usize, TaskId, i32)> = None;
+            for (qi, &id) in st.ready.iter().enumerate() {
+                let res = st.tasks[&id].resources;
+                if res.mem_gb <= st.mem_free_gb + 1e-9
+                    && picked.is_none_or(|(_, _, p)| res.priority > p)
+                {
+                    picked = Some((qi, id, res.priority));
+                }
+            }
+            let picked = picked.map(|(qi, id, _)| (qi, id));
+            if let Some((qi, id)) = picked {
+                st.ready.remove(qi);
+                let deps: Vec<TaskId> = st.tasks[&id].deps.clone();
+                let payloads: Vec<Payload> = deps
+                    .iter()
+                    .map(|d| {
+                        st.tasks[d]
+                            .result
+                            .as_ref()
+                            .expect("ready task has finished deps")
+                            .as_ref()
+                            .expect("ready task has successful deps")
+                            .clone()
+                    })
+                    .collect();
+                let e = st.tasks.get_mut(&id).expect("ready task exists");
+                e.state = TaskState::Running;
+                let closure = e.closure.take().expect("ready task has closure");
+                let res = e.resources;
+                st.mem_free_gb -= res.mem_gb;
+                return Some((id, closure, payloads, res));
+            }
+            if st.shutdown {
+                return None;
+            }
+            self.work_available.wait(&mut st);
+        }
+    }
+
+    /// Worker side: record a task's result, release resources, release
+    /// dependents.
+    pub fn complete(&self, id: TaskId, result: TaskResult, resources: Resources) {
+        let mut st = self.state.lock();
+        st.mem_free_gb += resources.mem_gb;
+        self.finish_locked(&mut st, id, result);
+        // Released memory may unblock a queued task that did not fit.
+        self.work_available.notify_all();
+    }
+
+    fn finish_locked(&self, st: &mut SchedState, id: TaskId, result: TaskResult) {
+        let failed = result.is_err();
+        let dependents = {
+            let e = st.tasks.get_mut(&id).expect("finishing unknown task");
+            e.state = if failed {
+                TaskState::Failed
+            } else {
+                TaskState::Done
+            };
+            e.result = Some(result);
+            std::mem::take(&mut e.dependents)
+        };
+        st.finished += 1;
+        for dep in dependents {
+            if failed {
+                // Fail transitively (dependents of dependents too).
+                self.finish_locked(st, dep, Err(TaskError::UpstreamFailed(id)));
+            } else {
+                let e = st.tasks.get_mut(&dep).expect("dependent exists");
+                e.deps_remaining -= 1;
+                if e.deps_remaining == 0 {
+                    e.state = TaskState::Ready;
+                    st.ready.push_back(dep);
+                    self.work_available.notify_one();
+                }
+            }
+        }
+        self.task_finished.notify_all();
+    }
+
+    /// Future side: block until `id` finishes (or `timeout`); clones the
+    /// result. `None` on timeout.
+    pub fn wait(&self, id: TaskId, timeout: Option<Duration>) -> Option<TaskResult> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(e) = st.tasks.get(&id) {
+                if let Some(r) = &e.result {
+                    return Some(r.clone());
+                }
+            } else {
+                return Some(Err(TaskError::Failed(format!("unknown task {id}"))));
+            }
+            if st.shutdown {
+                return Some(Err(TaskError::Cancelled));
+            }
+            match timeout {
+                Some(t) => {
+                    if self.task_finished.wait_for(&mut st, t).timed_out() {
+                        return None;
+                    }
+                }
+                None => self.task_finished.wait(&mut st),
+            }
+        }
+    }
+
+    /// Non-blocking state query.
+    pub fn task_state(&self, id: TaskId) -> Option<TaskState> {
+        self.state.lock().tasks.get(&id).map(|e| e.state)
+    }
+
+    /// The human-readable name a task was submitted with.
+    pub fn task_name(&self, id: TaskId) -> Option<String> {
+        self.state.lock().tasks.get(&id).map(|e| e.name.clone())
+    }
+
+    /// Begin shutdown: pending/ready tasks are cancelled; running tasks
+    /// finish.
+    pub fn shutdown(&self) {
+        let mut st = self.state.lock();
+        st.shutdown = true;
+        let ids: Vec<TaskId> = st.ready.drain(..).collect();
+        for id in ids {
+            self.finish_locked(&mut st, id, Err(TaskError::Cancelled));
+        }
+        // Pending tasks (deps never satisfiable now) are cancelled too.
+        let pending: Vec<TaskId> = st
+            .tasks
+            .iter()
+            .filter(|(_, e)| e.state == TaskState::Pending)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in pending {
+            self.finish_locked(&mut st, id, Err(TaskError::Cancelled));
+        }
+        self.work_available.notify_all();
+        self.task_finished.notify_all();
+    }
+}

@@ -1,0 +1,150 @@
+//! Task primitives: ids, states, resources, errors, payloads.
+
+use std::any::Any;
+use std::sync::Arc;
+
+/// Opaque task identifier, unique within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub(crate) u64);
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+/// Lifecycle of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Waiting on dependencies.
+    Pending,
+    /// Dependencies met; queued for a worker.
+    Ready,
+    /// Executing on a worker.
+    Running,
+    /// Finished successfully.
+    Done,
+    /// Finished with an error (see the stored [`TaskError`]).
+    Failed,
+}
+
+/// Resources a task occupies while running. Each worker thread provides one
+/// core; memory is accounted at cluster level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Resources {
+    /// Simulated memory in GB. The paper's simulated edge device reserves
+    /// ~4 GB ("comparable to a current Raspberry Pi").
+    pub mem_gb: f64,
+    /// Dispatch priority. IoT workloads mix "real-time tasks for control
+    /// and steering and long-running tasks" (paper Section I); among ready
+    /// tasks, higher priority dispatches first (no preemption).
+    pub priority: i32,
+}
+
+impl Resources {
+    /// A task with negligible memory needs.
+    pub fn tiny() -> Self {
+        Self {
+            mem_gb: 0.0,
+            priority: 0,
+        }
+    }
+
+    /// The paper's simulated edge device: 4 GB.
+    pub fn edge_device() -> Self {
+        Self {
+            mem_gb: 4.0,
+            priority: 0,
+        }
+    }
+
+    /// A real-time control/steering task: dispatched ahead of normal work.
+    pub fn realtime() -> Self {
+        Self {
+            mem_gb: 0.0,
+            priority: 100,
+        }
+    }
+
+    /// Builder: set the priority.
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+impl Default for Resources {
+    fn default() -> Self {
+        Self::tiny()
+    }
+}
+
+/// Type-erased task output, shared between the task and all dependents.
+pub type Payload = Arc<dyn Any + Send + Sync>;
+
+/// Why a task failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskError {
+    /// The task closure returned an error.
+    Failed(String),
+    /// The task closure panicked; the message is the panic payload.
+    Panicked(String),
+    /// An upstream dependency failed, so this task never ran.
+    UpstreamFailed(TaskId),
+    /// The cluster shut down before the task could run.
+    Cancelled,
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::Failed(msg) => write!(f, "task failed: {msg}"),
+            TaskError::Panicked(msg) => write!(f, "task panicked: {msg}"),
+            TaskError::UpstreamFailed(id) => write!(f, "upstream {id} failed"),
+            TaskError::Cancelled => write!(f, "cancelled (cluster shut down)"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// Result of a finished task.
+pub type TaskResult = Result<Payload, TaskError>;
+
+/// The closure signature tasks run: receives its dependencies' payloads in
+/// submission order.
+pub type TaskFn = Box<dyn FnOnce(&[Payload]) -> Result<Payload, String> + Send>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TaskId(7).to_string(), "task#7");
+        assert_eq!(
+            TaskError::Failed("boom".into()).to_string(),
+            "task failed: boom"
+        );
+        assert_eq!(
+            TaskError::UpstreamFailed(TaskId(3)).to_string(),
+            "upstream task#3 failed"
+        );
+    }
+
+    #[test]
+    fn resources_presets() {
+        assert_eq!(Resources::tiny().mem_gb, 0.0);
+        assert_eq!(Resources::edge_device().mem_gb, 4.0);
+        assert_eq!(Resources::default(), Resources::tiny());
+        assert!(Resources::realtime().priority > Resources::tiny().priority);
+        assert_eq!(Resources::tiny().with_priority(-5).priority, -5);
+    }
+
+    #[test]
+    fn payload_downcast() {
+        let p: Payload = Arc::new(42i64);
+        assert_eq!(*p.downcast_ref::<i64>().unwrap(), 42);
+        assert!(p.downcast_ref::<String>().is_none());
+    }
+}

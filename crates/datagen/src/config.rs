@@ -1,0 +1,115 @@
+//! Generator configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a [`crate::DataGenerator`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataGenConfig {
+    /// Points per message ("message size" in the paper's terminology).
+    pub points: usize,
+    /// Features per point (the paper uses 32).
+    pub features: usize,
+    /// Number of Gaussian mixture components (the paper uses 25).
+    pub clusters: usize,
+    /// Fraction of points replaced by uniform outliers, in `[0, 1]`.
+    pub outlier_fraction: f64,
+    /// Standard deviation of each Gaussian component.
+    pub cluster_std: f64,
+    /// Half-width of the hypercube cluster centres are drawn from.
+    pub domain: f64,
+    /// RNG seed; identical configs generate identical streams.
+    pub seed: u64,
+}
+
+impl DataGenConfig {
+    /// The paper's workload for a given message size: 32 features,
+    /// 25 clusters, 5% outliers.
+    pub fn paper(points: usize) -> Self {
+        Self {
+            points,
+            features: crate::PAPER_FEATURES,
+            clusters: crate::PAPER_CLUSTERS,
+            outlier_fraction: 0.05,
+            cluster_std: 1.0,
+            domain: 10.0,
+            seed: 42,
+        }
+    }
+
+    /// Override the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validate the configuration, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.points == 0 {
+            return Err("points must be > 0".into());
+        }
+        if self.features == 0 {
+            return Err("features must be > 0".into());
+        }
+        if self.clusters == 0 {
+            return Err("clusters must be > 0".into());
+        }
+        if !(0.0..=1.0).contains(&self.outlier_fraction) {
+            return Err(format!(
+                "outlier_fraction must be in [0,1], got {}",
+                self.outlier_fraction
+            ));
+        }
+        if self.cluster_std < 0.0 {
+            return Err("cluster_std must be >= 0".into());
+        }
+        if self.domain <= 0.0 {
+            return Err("domain must be > 0".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for DataGenConfig {
+    fn default() -> Self {
+        Self::paper(1000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_constants() {
+        let c = DataGenConfig::paper(25);
+        assert_eq!(c.points, 25);
+        assert_eq!(c.features, 32);
+        assert_eq!(c.clusters, 25);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_points_invalid() {
+        let mut c = DataGenConfig::paper(10);
+        c.points = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn outlier_fraction_bounds() {
+        let mut c = DataGenConfig::paper(10);
+        c.outlier_fraction = 1.5;
+        assert!(c.validate().is_err());
+        c.outlier_fraction = -0.1;
+        assert!(c.validate().is_err());
+        c.outlier_fraction = 1.0;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn with_seed_builder() {
+        let c = DataGenConfig::paper(10).with_seed(7);
+        assert_eq!(c.seed, 7);
+    }
+}

@@ -1,0 +1,292 @@
+//! The Gaussian-mixture block generator.
+
+use crate::config::DataGenConfig;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One generated message: `points × features` values in row-major order,
+/// plus ground-truth outlier labels (out-of-band — not serialized onto the
+/// wire; they exist so tests and quality metrics can score the models).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Sequence number assigned by the generator, used as the message id.
+    pub msg_id: u64,
+    /// Number of points.
+    pub points: usize,
+    /// Features per point.
+    pub features: usize,
+    /// Row-major feature matrix, `points * features` long.
+    pub data: Vec<f64>,
+    /// `labels[i]` is true iff point `i` was injected as an outlier.
+    pub labels: Vec<bool>,
+}
+
+impl Block {
+    /// Borrow point `i` as a feature slice.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.data[i * self.features..(i + 1) * self.features]
+    }
+
+    /// Number of injected outliers.
+    pub fn outlier_count(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+}
+
+/// Streams [`Block`]s from a fixed Gaussian mixture.
+///
+/// Cluster centres are drawn once (uniformly from `[-domain, domain]^d`) at
+/// construction; every block samples points around those centres, replacing
+/// an `outlier_fraction` of them with uniform samples from the inflated
+/// domain `[-3·domain, 3·domain]^d` (far outside the 3σ envelope of any
+/// cluster for the default `cluster_std`).
+/// # Example
+///
+/// ```
+/// use pilot_datagen::{DataGenConfig, DataGenerator, encode_with, decode_any, Codec};
+///
+/// let mut generator = DataGenerator::new(DataGenConfig::paper(25));
+/// let block = generator.next_block();
+/// assert_eq!((block.points, block.features), (25, 32));
+/// let wire = encode_with(Codec::F64, &block, 0);
+/// let (decoded, _) = decode_any(&wire).unwrap();
+/// assert_eq!(decoded.data, block.data);
+/// ```
+#[derive(Debug)]
+pub struct DataGenerator {
+    config: DataGenConfig,
+    centres: Vec<f64>, // clusters × features, row-major
+    rng: StdRng,
+    next_msg_id: u64,
+}
+
+impl DataGenerator {
+    /// Build a generator; panics on an invalid config (use
+    /// [`DataGenConfig::validate`] to pre-check untrusted input).
+    pub fn new(config: DataGenConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid DataGenConfig: {e}"));
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let centres = (0..config.clusters * config.features)
+            .map(|_| rng.random_range(-config.domain..=config.domain))
+            .collect();
+        Self {
+            config,
+            centres,
+            rng,
+            next_msg_id: 0,
+        }
+    }
+
+    /// The generator's config.
+    pub fn config(&self) -> &DataGenConfig {
+        &self.config
+    }
+
+    /// The mixture's cluster centres (row-major `clusters × features`).
+    pub fn centres(&self) -> &[f64] {
+        &self.centres
+    }
+
+    fn normal(&mut self) -> f64 {
+        // Box–Muller; one sample per call keeps the stream deterministic and
+        // simple (we are generating data, not chasing the last nanosecond).
+        let u1: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.random();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Generate the next block.
+    pub fn next_block(&mut self) -> Block {
+        let n = self.config.points;
+        let d = self.config.features;
+        let k = self.config.clusters;
+        let mut data = Vec::with_capacity(n * d);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let is_outlier = self.rng.random::<f64>() < self.config.outlier_fraction;
+            if is_outlier {
+                let lo = -3.0 * self.config.domain;
+                let hi = 3.0 * self.config.domain;
+                for _ in 0..d {
+                    data.push(self.rng.random_range(lo..=hi));
+                }
+            } else {
+                let c = self.rng.random_range(0..k);
+                let centre = &self.centres[c * d..(c + 1) * d];
+                // Gaussian noise around the chosen centre.
+                for &base in centre {
+                    let u1: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
+                    let u2: f64 = self.rng.random();
+                    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                    data.push(base + self.config.cluster_std * z);
+                }
+            }
+            labels.push(is_outlier);
+        }
+        let msg_id = self.next_msg_id;
+        self.next_msg_id += 1;
+        Block {
+            msg_id,
+            points: n,
+            features: d,
+            data,
+            labels,
+        }
+    }
+
+    /// Generate `count` blocks.
+    pub fn blocks(&mut self, count: usize) -> Vec<Block> {
+        (0..count).map(|_| self.next_block()).collect()
+    }
+
+    /// Draw one standard-normal sample (exposed for tests).
+    #[doc(hidden)]
+    pub fn sample_normal(&mut self) -> f64 {
+        self.normal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(points: usize) -> DataGenerator {
+        DataGenerator::new(DataGenConfig::paper(points))
+    }
+
+    #[test]
+    fn block_geometry() {
+        let mut g = gen(100);
+        let b = g.next_block();
+        assert_eq!(b.points, 100);
+        assert_eq!(b.features, 32);
+        assert_eq!(b.data.len(), 3200);
+        assert_eq!(b.labels.len(), 100);
+    }
+
+    #[test]
+    fn msg_ids_are_sequential() {
+        let mut g = gen(10);
+        assert_eq!(g.next_block().msg_id, 0);
+        assert_eq!(g.next_block().msg_id, 1);
+        assert_eq!(g.next_block().msg_id, 2);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = gen(50);
+        let mut b = gen(50);
+        for _ in 0..5 {
+            assert_eq!(a.next_block(), b.next_block());
+        }
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = DataGenerator::new(DataGenConfig::paper(50).with_seed(1));
+        let mut b = DataGenerator::new(DataGenConfig::paper(50).with_seed(2));
+        assert_ne!(a.next_block().data, b.next_block().data);
+    }
+
+    #[test]
+    fn outlier_fraction_approximately_respected() {
+        let mut cfg = DataGenConfig::paper(10_000);
+        cfg.outlier_fraction = 0.05;
+        let mut g = DataGenerator::new(cfg);
+        let b = g.next_block();
+        let frac = b.outlier_count() as f64 / b.points as f64;
+        assert!((frac - 0.05).abs() < 0.01, "frac={frac}");
+    }
+
+    #[test]
+    fn zero_outlier_fraction_yields_none() {
+        let mut cfg = DataGenConfig::paper(1000);
+        cfg.outlier_fraction = 0.0;
+        let mut g = DataGenerator::new(cfg);
+        assert_eq!(g.next_block().outlier_count(), 0);
+    }
+
+    #[test]
+    fn inliers_stay_near_some_centre() {
+        let mut cfg = DataGenConfig::paper(500);
+        cfg.outlier_fraction = 0.0;
+        let mut g = DataGenerator::new(cfg);
+        let centres: Vec<f64> = g.centres().to_vec();
+        let b = g.next_block();
+        let d = b.features;
+        for i in 0..b.points {
+            let p = b.point(i);
+            // Distance to the closest centre should be well within ~6σ·√d.
+            let min_dist = (0..25)
+                .map(|c| {
+                    let cc = &centres[c * d..(c + 1) * d];
+                    p.iter()
+                        .zip(cc)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f64>()
+                        .sqrt()
+                })
+                .fold(f64::INFINITY, f64::min);
+            assert!(min_dist < 6.0 * (d as f64).sqrt(), "min_dist={min_dist}");
+        }
+    }
+
+    #[test]
+    fn outliers_are_far_from_every_centre() {
+        let mut cfg = DataGenConfig::paper(2000);
+        cfg.outlier_fraction = 0.5;
+        let mut g = DataGenerator::new(cfg);
+        let centres: Vec<f64> = g.centres().to_vec();
+        let b = g.next_block();
+        let d = b.features;
+        // On average, outliers must sit much further from their nearest
+        // centre than inliers do.
+        let mean_dist = |want: bool| {
+            let (mut sum, mut cnt) = (0.0, 0);
+            for i in 0..b.points {
+                if b.labels[i] != want {
+                    continue;
+                }
+                let p = b.point(i);
+                let min_dist = (0..25)
+                    .map(|c| {
+                        let cc = &centres[c * d..(c + 1) * d];
+                        p.iter()
+                            .zip(cc)
+                            .map(|(a, b)| (a - b) * (a - b))
+                            .sum::<f64>()
+                            .sqrt()
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                sum += min_dist;
+                cnt += 1;
+            }
+            sum / cnt as f64
+        };
+        assert!(mean_dist(true) > 2.0 * mean_dist(false));
+    }
+
+    #[test]
+    fn point_accessor_matches_layout() {
+        let mut g = gen(3);
+        let b = g.next_block();
+        assert_eq!(b.point(1), &b.data[32..64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DataGenConfig")]
+    fn invalid_config_panics() {
+        let mut cfg = DataGenConfig::paper(10);
+        cfg.features = 0;
+        DataGenerator::new(cfg);
+    }
+
+    #[test]
+    fn blocks_returns_count() {
+        let mut g = gen(5);
+        assert_eq!(g.blocks(7).len(), 7);
+    }
+}

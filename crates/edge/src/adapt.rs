@@ -1,0 +1,274 @@
+//! The lag-driven autoscaler.
+//!
+//! The paper's vision (Section V): "a distributed workload management
+//! system that can select, acquire and dynamically scale resources across
+//! the continuum at runtime based on the application's objectives", and
+//! Section II-D: "the allocated resources can be adapted, i.e., expanded
+//! and scaled-down, dynamically at runtime, e.g., if a bottleneck arises
+//! due to increased data rates".
+//!
+//! The implemented objective is the canonical streaming one: bound consumer
+//! lag. A monitor thread samples the pipeline's total consumer-group lag at
+//! a fixed interval and, with hysteresis (several consecutive observations
+//! before acting), grows the consumer pool toward `max_processors` when lag
+//! exceeds `scale_up_lag` and shrinks it toward `min_processors` when lag
+//! falls below `scale_down_lag`.
+
+use crate::runtime::PipelineCtl;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Autoscaler tuning.
+#[derive(Debug, Clone)]
+pub struct AutoScalerConfig {
+    /// Never shrink below this pool size.
+    pub min_processors: usize,
+    /// Never grow beyond this pool size (bounded by the cloud pilot's
+    /// cores in practice — extra consumers would just queue).
+    pub max_processors: usize,
+    /// Scale up when total lag exceeds this many records.
+    pub scale_up_lag: u64,
+    /// Scale down when total lag falls to or below this many records.
+    pub scale_down_lag: u64,
+    /// Sampling interval.
+    pub interval: Duration,
+    /// Consecutive same-direction observations required before acting.
+    pub hysteresis: usize,
+}
+
+impl Default for AutoScalerConfig {
+    fn default() -> Self {
+        Self {
+            min_processors: 1,
+            max_processors: 8,
+            scale_up_lag: 16,
+            scale_down_lag: 2,
+            interval: Duration::from_millis(50),
+            hysteresis: 2,
+        }
+    }
+}
+
+/// One scaling decision, for post-run analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingEvent {
+    /// Time since the scaler started.
+    pub at: Duration,
+    /// Observed total lag that triggered the decision.
+    pub lag: u64,
+    /// Pool size before.
+    pub from: usize,
+    /// Pool size after.
+    pub to: usize,
+}
+
+/// Handle to a running autoscaler thread.
+pub struct AutoScalerHandle {
+    stop: Arc<AtomicBool>,
+    events: Arc<Mutex<Vec<ScalingEvent>>>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl AutoScalerHandle {
+    /// Stop the scaler and join its thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Scaling decisions so far.
+    pub fn events(&self) -> Vec<ScalingEvent> {
+        self.events.lock().clone()
+    }
+}
+
+impl Drop for AutoScalerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The monitor loop (spawned by `RunningPipeline::autoscale`).
+pub struct AutoScaler;
+
+impl AutoScaler {
+    pub(crate) fn spawn(ctl: Arc<PipelineCtl>, config: AutoScalerConfig) -> AutoScalerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let stop2 = Arc::clone(&stop);
+        let events2 = Arc::clone(&events);
+        let thread = std::thread::Builder::new()
+            .name("pilot-edge-autoscaler".into())
+            .spawn(move || Self::run(&ctl, &config, &stop2, &events2))
+            .expect("spawn autoscaler thread");
+        AutoScalerHandle {
+            stop,
+            events,
+            thread: Some(thread),
+        }
+    }
+
+    fn run(
+        ctl: &PipelineCtl,
+        config: &AutoScalerConfig,
+        stop: &AtomicBool,
+        events: &Mutex<Vec<ScalingEvent>>,
+    ) {
+        let started = Instant::now();
+        let mut over = 0usize;
+        let mut under = 0usize;
+        while !stop.load(Ordering::Relaxed) && !ctl.is_stopped() && !ctl.all_done() {
+            std::thread::sleep(config.interval);
+            let lag = ctl.total_lag();
+            if lag > config.scale_up_lag {
+                over += 1;
+                under = 0;
+            } else if lag <= config.scale_down_lag {
+                under += 1;
+                over = 0;
+            } else {
+                over = 0;
+                under = 0;
+            }
+            let current = ctl.processor_count();
+            let target = if over >= config.hysteresis && current < config.max_processors {
+                over = 0;
+                Some(current + 1)
+            } else if under >= config.hysteresis && current > config.min_processors {
+                under = 0;
+                Some(current - 1)
+            } else {
+                None
+            };
+            if let Some(target) = target {
+                if ctl.scale_processors(target).is_ok() {
+                    events.lock().push(ScalingEvent {
+                        at: started.elapsed(),
+                        lag,
+                        from: current,
+                        to: target,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::EdgeToCloudPipeline;
+    use crate::processors::datagen_produce_factory;
+    use pilot_core::{PilotComputeService, PilotDescription};
+    use pilot_datagen::DataGenConfig;
+
+    const WAIT: Duration = Duration::from_secs(60);
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = AutoScalerConfig::default();
+        assert!(c.min_processors <= c.max_processors);
+        assert!(c.scale_down_lag < c.scale_up_lag);
+        assert!(c.hysteresis >= 1);
+    }
+
+    #[test]
+    fn scales_up_under_lag_and_down_when_drained() {
+        // A deliberately slow processor (5 ms/message) against 4 devices
+        // producing at 100 msg/s each: 1 consumer cannot keep up (lag
+        // grows), so the scaler must add consumers; once producers finish
+        // and the backlog drains, it scales back down.
+        let svc = PilotComputeService::new();
+        let edge = svc
+            .submit_and_wait(PilotDescription::local(4, 16.0), WAIT)
+            .unwrap();
+        let cloud = svc
+            .submit_and_wait(PilotDescription::local(4, 16.0), WAIT)
+            .unwrap();
+        let slow: crate::faas::CloudFactory = std::sync::Arc::new(|_ctx| {
+            Box::new(move |_ctx: &crate::faas::Context, _block| {
+                std::thread::sleep(Duration::from_millis(5));
+                Ok(crate::faas::ProcessOutcome::default())
+            })
+        });
+        let running = EdgeToCloudPipeline::builder()
+            .pilot_edge(edge)
+            .pilot_cloud_processing(cloud)
+            .produce_function(datagen_produce_factory(DataGenConfig::paper(10), 60))
+            .process_cloud_function(slow)
+            .devices(4)
+            .processors(1)
+            .rate_per_device(100.0)
+            .start()
+            .unwrap();
+        running.autoscale(AutoScalerConfig {
+            min_processors: 1,
+            max_processors: 4,
+            scale_up_lag: 10,
+            scale_down_lag: 1,
+            interval: Duration::from_millis(25),
+            hysteresis: 2,
+        });
+        let events_handle = running.scaling_events();
+        assert!(events_handle.is_empty(), "no decisions yet");
+        // Run to completion; the scaler acts along the way.
+        let summary = {
+            // Grab events just before wait consumes the pipeline.
+            std::thread::sleep(Duration::from_millis(400));
+            let mid_events = running.scaling_events();
+            assert!(
+                mid_events.iter().any(|e| e.to > e.from),
+                "expected at least one scale-up, got {mid_events:?}"
+            );
+            running.wait(WAIT).unwrap()
+        };
+        assert_eq!(summary.messages, 240);
+    }
+
+    #[test]
+    fn respects_max_processors() {
+        let svc = PilotComputeService::new();
+        let edge = svc
+            .submit_and_wait(PilotDescription::local(2, 8.0), WAIT)
+            .unwrap();
+        let cloud = svc
+            .submit_and_wait(PilotDescription::local(2, 8.0), WAIT)
+            .unwrap();
+        let slow: crate::faas::CloudFactory = std::sync::Arc::new(|_ctx| {
+            Box::new(move |_ctx: &crate::faas::Context, _block| {
+                std::thread::sleep(Duration::from_millis(4));
+                Ok(crate::faas::ProcessOutcome::default())
+            })
+        });
+        let running = EdgeToCloudPipeline::builder()
+            .pilot_edge(edge)
+            .pilot_cloud_processing(cloud)
+            .produce_function(datagen_produce_factory(DataGenConfig::paper(10), 40))
+            .process_cloud_function(slow)
+            .devices(2)
+            .processors(1)
+            .rate_per_device(150.0)
+            .start()
+            .unwrap();
+        running.autoscale(AutoScalerConfig {
+            min_processors: 1,
+            max_processors: 2,
+            scale_up_lag: 5,
+            scale_down_lag: 0,
+            interval: Duration::from_millis(20),
+            hysteresis: 1,
+        });
+        std::thread::sleep(Duration::from_millis(300));
+        assert!(running.processor_count() <= 2);
+        let events = running.scaling_events();
+        assert!(events.iter().all(|e| e.to <= 2), "{events:?}");
+        running.wait(WAIT).unwrap();
+    }
+}

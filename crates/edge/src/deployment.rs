@@ -1,0 +1,68 @@
+//! Deployment modalities: where processing happens along the continuum.
+//!
+//! The paper (Section II-D and its companion emulation study [8])
+//! distinguishes *cloud-centric* deployments — the pattern used for all of
+//! Fig. 3: "we deploy the data generator on the edge and the processing
+//! tasks ... on the cloud" — from *edge* and *hybrid* deployments, which it
+//! recommends for WAN-limited scenarios ("both scenarios would benefit from
+//! a hybrid edge-to-cloud deployment, e.g., by adding a data compression
+//! step before the data transfer").
+
+use serde::{Deserialize, Serialize};
+
+/// Where the `process_edge` stage runs and what crosses the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeploymentMode {
+    /// Generator on the edge; everything else in the cloud. Raw blocks
+    /// cross the network. The paper's primary pattern.
+    CloudCentric,
+    /// `process_edge` runs on the edge device before transport (e.g.
+    /// pre-aggregation / compression), shrinking what crosses the WAN;
+    /// `process_cloud` still runs in the cloud.
+    Hybrid,
+    /// Full processing at the edge; only results (scores/aggregates) cross
+    /// the network. `process_cloud` receives the *edge-processed* block and
+    /// typically just archives it.
+    EdgeCentric,
+}
+
+impl DeploymentMode {
+    /// Does `process_edge` execute on the edge pilot in this mode?
+    pub fn edge_processing(self) -> bool {
+        matches!(self, DeploymentMode::Hybrid | DeploymentMode::EdgeCentric)
+    }
+
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeploymentMode::CloudCentric => "cloud-centric",
+            DeploymentMode::Hybrid => "hybrid",
+            DeploymentMode::EdgeCentric => "edge-centric",
+        }
+    }
+}
+
+impl std::fmt::Display for DeploymentMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(DeploymentMode::CloudCentric.label(), "cloud-centric");
+        assert_eq!(DeploymentMode::Hybrid.label(), "hybrid");
+        assert_eq!(DeploymentMode::EdgeCentric.label(), "edge-centric");
+    }
+
+    #[test]
+    fn edge_processing_flags() {
+        assert!(!DeploymentMode::CloudCentric.edge_processing());
+        assert!(DeploymentMode::Hybrid.edge_processing());
+        assert!(DeploymentMode::EdgeCentric.edge_processing());
+    }
+}

@@ -1,0 +1,210 @@
+//! The FaaS function interfaces and the shared [`Context`].
+//!
+//! Functions are supplied as **factories** (`Fn(...) -> Box<dyn FnMut ...>`)
+//! rather than single closures: the runtime instantiates one copy per task
+//! (one producer per edge device, one processor per consumer), exactly like
+//! the paper packages "the user-defined functions into tasks". Per-task
+//! copies can hold mutable model state without cross-task locking; state
+//! that must be shared crosses through the [`Context`]'s parameter server.
+
+use pilot_datagen::Block;
+use pilot_metrics::{Counter, JobId, MetricsRegistry};
+use pilot_params::ParameterServer;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What a cloud-processing invocation produced.
+#[derive(Debug, Clone, Default)]
+pub struct ProcessOutcome {
+    /// Outlier scores per point, if the function computed them.
+    pub scores: Option<Vec<f64>>,
+    /// Points flagged as outliers, if thresholding was applied.
+    pub outliers: usize,
+}
+
+/// The context object passed to every function invocation: "information on
+/// the resource topology and shared state are via a context object"
+/// (paper Section II-B).
+#[derive(Clone)]
+pub struct Context {
+    /// The unique job identifier linking metrics across components.
+    pub job_id: JobId,
+    /// Number of edge devices (= partitions) in the topology.
+    pub devices: usize,
+    /// The shared parameter server for model weights.
+    pub params: ParameterServer,
+    /// The pipeline's metrics registry (functions may record custom spans).
+    pub metrics: MetricsRegistry,
+    /// Immutable application settings ("function_context" in Listing 2).
+    pub settings: Arc<HashMap<String, String>>,
+}
+
+impl Context {
+    /// Create a context (normally done by the pipeline builder).
+    pub fn new(
+        job_id: JobId,
+        devices: usize,
+        params: ParameterServer,
+        metrics: MetricsRegistry,
+        settings: HashMap<String, String>,
+    ) -> Self {
+        Self {
+            job_id,
+            devices,
+            params,
+            metrics,
+            settings: Arc::new(settings),
+        }
+    }
+
+    /// Look up an application setting.
+    pub fn setting(&self, key: &str) -> Option<&str> {
+        self.settings.get(key).map(String::as_str)
+    }
+
+    /// A named shared counter (e.g. `outliers_found`), visible to the
+    /// application after the run via the metrics registry.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.metrics.counter(name)
+    }
+
+    /// The parameter-server key under which this job's model weights are
+    /// shared.
+    pub fn model_key(&self) -> String {
+        format!("model:{}", self.job_id)
+    }
+}
+
+impl std::fmt::Debug for Context {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("job_id", &self.job_id)
+            .field("devices", &self.devices)
+            .finish()
+    }
+}
+
+/// One edge device's data source: returns `None` when the stream ends
+/// (mirrors `produce_edge(context)`).
+pub type ProduceFn = Box<dyn FnMut(&Context) -> Option<Block> + Send>;
+
+/// Edge-side processing: transforms a block before it crosses the network
+/// (mirrors `process_edge(context, data)`).
+pub type EdgeFn = Box<dyn FnMut(&Context, Block) -> Result<Block, String> + Send>;
+
+/// Cloud-side processing (mirrors `process_cloud(context, data)`).
+pub type CloudFn = Box<dyn FnMut(&Context, Block) -> Result<ProcessOutcome, String> + Send>;
+
+/// Factory instantiating a producer for edge device `device_id`.
+pub type ProduceFactory = Arc<dyn Fn(&Context, usize) -> ProduceFn + Send + Sync>;
+
+/// Factory instantiating an edge processor for device `device_id`.
+pub type EdgeFactory = Arc<dyn Fn(&Context, usize) -> EdgeFn + Send + Sync>;
+
+/// Factory instantiating a cloud processor (one per consumer task).
+pub type CloudFactory = Arc<dyn Fn(&Context) -> CloudFn + Send + Sync>;
+
+/// A hot-swappable factory slot: consumers watch the generation and
+/// re-instantiate their function when it changes (paper Section II-D:
+/// "the processing functions can be programmatically replaced at runtime
+/// (without the need to allocate a new pilot)").
+pub struct SwappableCloudFactory {
+    inner: parking_lot::Mutex<(u64, CloudFactory)>,
+}
+
+impl SwappableCloudFactory {
+    /// Wrap an initial factory (generation 1).
+    pub fn new(factory: CloudFactory) -> Self {
+        Self {
+            inner: parking_lot::Mutex::new((1, factory)),
+        }
+    }
+
+    /// Current generation.
+    pub fn generation(&self) -> u64 {
+        self.inner.lock().0
+    }
+
+    /// Snapshot the current `(generation, factory)`.
+    pub fn current(&self) -> (u64, CloudFactory) {
+        let g = self.inner.lock();
+        (g.0, Arc::clone(&g.1))
+    }
+
+    /// Replace the factory, bumping the generation.
+    pub fn replace(&self, factory: CloudFactory) -> u64 {
+        let mut g = self.inner.lock();
+        g.0 += 1;
+        g.1 = factory;
+        g.0
+    }
+}
+
+/// The identity edge function (cloud-centric deployments ship raw blocks).
+pub fn identity_edge_factory() -> EdgeFactory {
+    Arc::new(|_ctx, _device| Box::new(|_ctx: &Context, block: Block| Ok(block)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Context {
+        Context::new(
+            7,
+            2,
+            ParameterServer::new(),
+            MetricsRegistry::new(),
+            HashMap::from([("rate".to_string(), "100".to_string())]),
+        )
+    }
+
+    #[test]
+    fn settings_lookup() {
+        let c = ctx();
+        assert_eq!(c.setting("rate"), Some("100"));
+        assert_eq!(c.setting("missing"), None);
+    }
+
+    #[test]
+    fn model_key_is_job_scoped() {
+        assert_eq!(ctx().model_key(), "model:7");
+    }
+
+    #[test]
+    fn counters_shared_across_clones() {
+        let c = ctx();
+        let c2 = c.clone();
+        c.counter("outliers").add(3);
+        assert_eq!(c2.counter("outliers").get(), 3);
+    }
+
+    #[test]
+    fn swappable_factory_generations() {
+        let f1: CloudFactory =
+            Arc::new(|_| Box::new(|_: &Context, _| Ok(ProcessOutcome::default())));
+        let slot = SwappableCloudFactory::new(f1);
+        assert_eq!(slot.generation(), 1);
+        let f2: CloudFactory =
+            Arc::new(|_| Box::new(|_: &Context, _| Ok(ProcessOutcome::default())));
+        assert_eq!(slot.replace(f2), 2);
+        let (gen, _) = slot.current();
+        assert_eq!(gen, 2);
+    }
+
+    #[test]
+    fn identity_edge_passes_block_through() {
+        let c = ctx();
+        let factory = identity_edge_factory();
+        let mut f = factory(&c, 0);
+        let block = Block {
+            msg_id: 1,
+            points: 1,
+            features: 2,
+            data: vec![1.0, 2.0],
+            labels: vec![false],
+        };
+        let out = f(&c, block.clone()).unwrap();
+        assert_eq!(out, block);
+    }
+}

@@ -1,0 +1,386 @@
+//! The `EdgeToCloudPipeline` builder — the Rust rendering of paper
+//! Listing 2:
+//!
+//! ```text
+//! pilot.EdgeToCloudPipeline(
+//!   pilot_cloud_processing = pilot_job_cloud_processing,
+//!   pilot_cloud_broker     = pilot_job_cloud_broker,
+//!   pilot_edge             = pilot_job_edge,
+//!   produce_function_handler       = produce_block_edge,
+//!   process_edge_function_handler  = process_block_edge,
+//!   process_cloud_function_handler = process_block_cloud,
+//!   function_context = context, ...
+//! ).run()
+//! ```
+
+use crate::deployment::DeploymentMode;
+use crate::faas::{identity_edge_factory, CloudFactory, EdgeFactory, ProduceFactory};
+use crate::runtime::{self, RunningPipeline};
+use crate::summary::RunSummary;
+use pilot_broker::{BrokerError, RetentionPolicy};
+use pilot_core::{Pilot, PilotState};
+use pilot_dataflow::TaskError;
+use pilot_metrics::MetricsRegistry;
+use pilot_netsim::Link;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Tuning knobs with paper-faithful defaults.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Edge devices = broker partitions ("every edge device is assigned a
+    /// dedicated partition").
+    pub devices: usize,
+    /// Consumer tasks; defaults to `devices` ("we keep the ratio of
+    /// partitions constant between Kafka and Dask").
+    pub processors: usize,
+    /// Deployment modality.
+    pub mode: DeploymentMode,
+    /// Broker topic name; defaults to `pilot-edge-<job>` (the framework's
+    /// "automatically created Kafka topic").
+    pub topic: Option<String>,
+    /// Producer rate per device in messages/second (0 = unthrottled).
+    pub rate_per_device: f64,
+    /// Max records per consumer fetch.
+    pub fetch_max: usize,
+    /// Blocking-poll timeout per consumer loop iteration.
+    pub poll_timeout: Duration,
+    /// Broker retention.
+    pub retention: RetentionPolicy,
+    /// Wire codec for blocks crossing the network (paper Section II-D:
+    /// "data compression to ensure that the amount of data movement is
+    /// minimal"). Consumers auto-detect, so it can differ between runs.
+    pub codec: pilot_datagen::Codec,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            devices: 1,
+            processors: 1,
+            mode: DeploymentMode::CloudCentric,
+            topic: None,
+            rate_per_device: 0.0,
+            fetch_max: 4,
+            poll_timeout: Duration::from_millis(20),
+            retention: RetentionPolicy::default(),
+            codec: pilot_datagen::Codec::F64,
+        }
+    }
+}
+
+/// Pipeline construction / runtime errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// A required builder field was not set.
+    Missing(&'static str),
+    /// A pilot is not Active (activate pilots before building — step 1
+    /// precedes step 2 in Fig. 1).
+    PilotNotReady {
+        which: &'static str,
+        state: PilotState,
+    },
+    /// A pilot is too small for the requested topology.
+    Capacity(String),
+    /// The broker rejected an operation.
+    Broker(String),
+    /// Task submission failed.
+    Task(String),
+    /// The run did not finish within the allotted time.
+    Timeout,
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Missing(what) => write!(f, "builder field missing: {what}"),
+            PipelineError::PilotNotReady { which, state } => {
+                write!(f, "pilot '{which}' is not active (state: {state})")
+            }
+            PipelineError::Capacity(msg) => write!(f, "insufficient pilot capacity: {msg}"),
+            PipelineError::Broker(msg) => write!(f, "broker error: {msg}"),
+            PipelineError::Task(msg) => write!(f, "task error: {msg}"),
+            PipelineError::Timeout => write!(f, "pipeline run timed out"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<BrokerError> for PipelineError {
+    fn from(e: BrokerError) -> Self {
+        PipelineError::Broker(e.to_string())
+    }
+}
+
+impl From<TaskError> for PipelineError {
+    fn from(e: TaskError) -> Self {
+        PipelineError::Task(e.to_string())
+    }
+}
+
+/// Builder for an edge-to-cloud pipeline.
+pub struct EdgeToCloudPipeline {
+    pub(crate) pilot_edge: Option<Pilot>,
+    pub(crate) pilot_cloud_processing: Option<Pilot>,
+    pub(crate) pilot_cloud_broker: Option<Pilot>,
+    pub(crate) produce_factory: Option<ProduceFactory>,
+    pub(crate) edge_factory: EdgeFactory,
+    pub(crate) cloud_factory: Option<CloudFactory>,
+    pub(crate) settings: HashMap<String, String>,
+    pub(crate) link_edge_broker: Link,
+    pub(crate) link_broker_cloud: Link,
+    pub(crate) metrics: Option<MetricsRegistry>,
+    pub(crate) config: PipelineConfig,
+}
+
+impl EdgeToCloudPipeline {
+    /// Start building a pipeline.
+    pub fn builder() -> Self {
+        Self {
+            pilot_edge: None,
+            pilot_cloud_processing: None,
+            pilot_cloud_broker: None,
+            produce_factory: None,
+            edge_factory: identity_edge_factory(),
+            cloud_factory: None,
+            settings: HashMap::new(),
+            link_edge_broker: Link::loopback(),
+            link_broker_cloud: Link::loopback(),
+            metrics: None,
+            config: PipelineConfig::default(),
+        }
+    }
+
+    /// The pilot hosting the edge devices (producer tasks).
+    pub fn pilot_edge(mut self, p: Pilot) -> Self {
+        self.pilot_edge = Some(p);
+        self
+    }
+
+    /// The pilot hosting cloud processing (consumer tasks).
+    pub fn pilot_cloud_processing(mut self, p: Pilot) -> Self {
+        self.pilot_cloud_processing = Some(p);
+        self
+    }
+
+    /// The pilot hosting the broker and parameter server. Defaults to the
+    /// cloud-processing pilot.
+    pub fn pilot_cloud_broker(mut self, p: Pilot) -> Self {
+        self.pilot_cloud_broker = Some(p);
+        self
+    }
+
+    /// The `produce_edge` handler factory.
+    pub fn produce_function(mut self, f: ProduceFactory) -> Self {
+        self.produce_factory = Some(f);
+        self
+    }
+
+    /// The `process_edge` handler factory (identity by default).
+    pub fn process_edge_function(mut self, f: EdgeFactory) -> Self {
+        self.edge_factory = f;
+        self
+    }
+
+    /// The `process_cloud` handler factory.
+    pub fn process_cloud_function(mut self, f: CloudFactory) -> Self {
+        self.cloud_factory = Some(f);
+        self
+    }
+
+    /// Application settings exposed through the context object.
+    pub fn function_context(mut self, settings: HashMap<String, String>) -> Self {
+        self.settings = settings;
+        self
+    }
+
+    /// The simulated link producers cross to reach the broker.
+    pub fn link_edge_to_broker(mut self, link: Link) -> Self {
+        self.link_edge_broker = link;
+        self
+    }
+
+    /// The simulated link consumers cross to reach the broker.
+    pub fn link_broker_to_cloud(mut self, link: Link) -> Self {
+        self.link_broker_cloud = link;
+        self
+    }
+
+    /// Use an existing metrics registry (so multiple runs share one
+    /// timeline); a fresh one is created otherwise.
+    pub fn metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Number of edge devices (= partitions). Also sets `processors` to
+    /// match, preserving the paper's 1:1 ratio; call
+    /// [`Self::processors`] afterwards to override.
+    pub fn devices(mut self, n: usize) -> Self {
+        self.config.devices = n;
+        self.config.processors = n;
+        self
+    }
+
+    /// Number of cloud consumer tasks.
+    pub fn processors(mut self, n: usize) -> Self {
+        self.config.processors = n;
+        self
+    }
+
+    /// Deployment modality.
+    pub fn mode(mut self, mode: DeploymentMode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Per-device producer rate (messages/second; 0 = unthrottled).
+    pub fn rate_per_device(mut self, rate: f64) -> Self {
+        self.config.rate_per_device = rate;
+        self
+    }
+
+    /// Wire codec for data crossing the network.
+    pub fn codec(mut self, codec: pilot_datagen::Codec) -> Self {
+        self.config.codec = codec;
+        self
+    }
+
+    /// Override the full config.
+    pub fn config(mut self, config: PipelineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    fn require_active(p: &Option<Pilot>, which: &'static str) -> Result<Pilot, PipelineError> {
+        let p = p.as_ref().ok_or(PipelineError::Missing(which))?;
+        if p.state() != PilotState::Active {
+            return Err(PipelineError::PilotNotReady {
+                which,
+                state: p.state(),
+            });
+        }
+        Ok(p.clone())
+    }
+
+    /// Validate and start the pipeline; returns a handle to the running
+    /// system.
+    pub fn start(self) -> Result<RunningPipeline, PipelineError> {
+        let edge = Self::require_active(&self.pilot_edge, "pilot_edge")?;
+        let cloud = Self::require_active(&self.pilot_cloud_processing, "pilot_cloud_processing")?;
+        let broker_pilot = match &self.pilot_cloud_broker {
+            Some(_) => Self::require_active(&self.pilot_cloud_broker, "pilot_cloud_broker")?,
+            None => cloud.clone(),
+        };
+        if self.produce_factory.is_none() {
+            return Err(PipelineError::Missing("produce_function"));
+        }
+        if self.cloud_factory.is_none() {
+            return Err(PipelineError::Missing("process_cloud_function"));
+        }
+        let cfg = &self.config;
+        if cfg.devices == 0 {
+            return Err(PipelineError::Capacity("devices must be > 0".into()));
+        }
+        if cfg.processors == 0 {
+            return Err(PipelineError::Capacity("processors must be > 0".into()));
+        }
+        // One core per edge device, one per consumer — the paper's task
+        // granularity. Undersized pilots would deadlock, so reject them.
+        if edge.description().cores < cfg.devices {
+            return Err(PipelineError::Capacity(format!(
+                "edge pilot has {} cores but {} devices were requested",
+                edge.description().cores,
+                cfg.devices
+            )));
+        }
+        if cloud.description().cores < cfg.processors {
+            return Err(PipelineError::Capacity(format!(
+                "cloud pilot has {} cores but {} processors were requested",
+                cloud.description().cores,
+                cfg.processors
+            )));
+        }
+        runtime::start(self, edge, cloud, broker_pilot)
+    }
+
+    /// Start, wait for completion, and return the run summary — the
+    /// blocking `run()` of Listing 2.
+    pub fn run(self, timeout: Duration) -> Result<RunSummary, PipelineError> {
+        let running = self.start()?;
+        running.wait(timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::processors::{baseline_factory, datagen_produce_factory};
+    use pilot_core::{PilotComputeService, PilotDescription};
+    use pilot_datagen::DataGenConfig;
+
+    fn active_pilot(svc: &PilotComputeService, cores: usize) -> Pilot {
+        svc.submit_and_wait(PilotDescription::local(cores, 8.0), Duration::from_secs(5))
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_missing_fields() {
+        let err = EdgeToCloudPipeline::builder().start().unwrap_err();
+        assert_eq!(err, PipelineError::Missing("pilot_edge"));
+    }
+
+    #[test]
+    fn builder_rejects_inactive_pilot() {
+        let svc = PilotComputeService::new();
+        // An edge pilot with a boot delay will not be Active immediately.
+        let slow = svc
+            .create_pilot(PilotDescription::edge_device("pi", "lab"))
+            .unwrap();
+        let cloud = active_pilot(&svc, 2);
+        if slow.state() != PilotState::Active {
+            let err = EdgeToCloudPipeline::builder()
+                .pilot_edge(slow)
+                .pilot_cloud_processing(cloud)
+                .produce_function(datagen_produce_factory(DataGenConfig::paper(5), 1))
+                .process_cloud_function(baseline_factory())
+                .start()
+                .unwrap_err();
+            assert!(matches!(err, PipelineError::PilotNotReady { .. }));
+        }
+    }
+
+    #[test]
+    fn builder_rejects_undersized_pilots() {
+        let svc = PilotComputeService::new();
+        let edge = active_pilot(&svc, 1);
+        let cloud = active_pilot(&svc, 1);
+        let err = EdgeToCloudPipeline::builder()
+            .pilot_edge(edge)
+            .pilot_cloud_processing(cloud)
+            .produce_function(datagen_produce_factory(DataGenConfig::paper(5), 1))
+            .process_cloud_function(baseline_factory())
+            .devices(4)
+            .start()
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Capacity(_)), "{err}");
+    }
+
+    #[test]
+    fn devices_sets_processors_to_match() {
+        let b = EdgeToCloudPipeline::builder().devices(4);
+        assert_eq!(b.config.devices, 4);
+        assert_eq!(b.config.processors, 4);
+        let b = b.processors(2);
+        assert_eq!(b.config.processors, 2);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(PipelineError::Missing("produce_function")
+            .to_string()
+            .contains("produce_function"));
+        assert!(PipelineError::Timeout.to_string().contains("timed out"));
+    }
+}

@@ -1,0 +1,861 @@
+//! The running pipeline: task wiring, dataflow, termination, adaptation.
+//!
+//! What `start` builds (paper Fig. 1, step 2):
+//!
+//! ```text
+//!  edge pilot                     broker pilot                cloud pilot
+//!  ┌───────────────┐   link      ┌──────────────┐   link     ┌──────────────┐
+//!  │ producer task ├────────────▶│ topic, 1 part│◀───────────┤ consumer task│
+//!  │  (per device) │  e→broker   │  per device  │  broker→c  │ (per proc.)  │
+//!  └───────────────┘             │ param server │            └──────────────┘
+//!                                └──────────────┘
+//! ```
+//!
+//! Producers run `produce_edge` (and, in hybrid mode, `process_edge`),
+//! serialize, cross the simulated edge→broker link, and append to their
+//! device's partition. Consumers poll their assigned partitions (range
+//! assignment via the consumer-group coordinator), cross the broker→cloud
+//! link, decode, and run `process_cloud`. Every step records a linked
+//! metric span keyed by `(job_id, msg_id)`.
+//!
+//! **Termination**: each producer appends an empty *sentinel* record after
+//! its stream ends; a partition is complete once its sentinel is consumed;
+//! the run is complete when every partition is.
+//!
+//! **Adaptation** (paper Section II-D): [`RunningPipeline::replace_cloud_function`]
+//! hot-swaps the processing function (consumers re-instantiate on the next
+//! message); [`RunningPipeline::scale_processors`] grows or shrinks the
+//! consumer pool at runtime, rebalancing partitions across members.
+
+use crate::faas::{CloudFactory, CloudFn, Context, SwappableCloudFactory};
+use crate::pipeline::{EdgeToCloudPipeline, PipelineConfig, PipelineError};
+use crate::summary::RunSummary;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use pilot_broker::{Broker, Consumer, GroupCoordinator, Record};
+use pilot_core::Pilot;
+use pilot_dataflow::{Client, Payload, Resources, TaskFuture};
+use pilot_datagen::RateLimiter;
+use pilot_metrics::{Component, MetricsRegistry, PipelineReport};
+use pilot_netsim::Link;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Process-global job-id source so concurrent pipelines never collide.
+static NEXT_JOB_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Device ids are packed into the high bits of the metric msg id so message
+/// ids are unique across devices while the wire format stays unchanged.
+const DEVICE_SHIFT: u32 = 40;
+
+fn metric_msg_id(device: usize, block_msg_id: u64) -> u64 {
+    ((device as u64) << DEVICE_SHIFT) | (block_msg_id & ((1 << DEVICE_SHIFT) - 1))
+}
+
+pub(crate) struct Shared {
+    pub ctx: Context,
+    pub broker: Broker,
+    pub topic: String,
+    pub cfg: PipelineConfig,
+    pub link_edge_broker: Link,
+    pub link_broker_cloud: Link,
+    pub cloud_slot: SwappableCloudFactory,
+    pub coordinator: GroupCoordinator,
+    pub done_partitions: Mutex<HashSet<usize>>,
+    pub stop_all: AtomicBool,
+}
+
+impl Shared {
+    fn metrics(&self) -> &MetricsRegistry {
+        &self.ctx.metrics
+    }
+
+    fn mark_partition_done(&self, p: usize) {
+        self.done_partitions.lock().insert(p);
+    }
+
+    fn partition_done(&self, p: usize) -> bool {
+        self.done_partitions.lock().contains(&p)
+    }
+
+    fn all_partitions_done(&self) -> bool {
+        self.done_partitions.lock().len() >= self.cfg.devices
+    }
+}
+
+/// One edge device's producing loop. Returns messages produced.
+fn producer_loop(shared: &Shared, device: usize, builder_fns: &ProducerFns) -> Result<u64, String> {
+    let ctx = &shared.ctx;
+    let metrics = shared.metrics();
+    let mut produce = (builder_fns.produce)(ctx, device);
+    let mut edge_fn = if shared.cfg.mode.edge_processing() {
+        Some((builder_fns.edge)(ctx, device))
+    } else {
+        None
+    };
+    let mut rate = RateLimiter::new(shared.cfg.rate_per_device);
+    let mut sent = 0u64;
+    while !shared.stop_all.load(Ordering::Relaxed) {
+        rate.pace();
+        let t0 = metrics.now_us();
+        let Some(mut block) = produce(ctx) else { break };
+        // The framework owns message identity ("a unique job identifier
+        // ensures that progress and errors can be consistently tracked"):
+        // a per-device sequence replaces whatever the produce function set,
+        // so duplicate user-assigned ids cannot corrupt metric linking.
+        block.msg_id = sent;
+        let mid = metric_msg_id(device, block.msg_id);
+        // Edge processing (hybrid / edge-centric deployments).
+        let block = match edge_fn.as_mut() {
+            Some(f) => {
+                let e0 = metrics.now_us();
+                let out = f(ctx, block)?;
+                metrics.record(
+                    ctx.job_id,
+                    mid,
+                    Component::EdgeProcessor,
+                    e0,
+                    metrics.now_us(),
+                    0,
+                );
+                out
+            }
+            None => block,
+        };
+        let payload = pilot_datagen::encode_with(shared.cfg.codec, &block, t0);
+        let bytes = payload.len() as u64;
+        metrics.record(
+            ctx.job_id,
+            mid,
+            Component::EdgeProducer,
+            t0,
+            metrics.now_us(),
+            bytes,
+        );
+        // Edge → broker transport.
+        let n0 = metrics.now_us();
+        shared.link_edge_broker.transfer(bytes);
+        metrics.record(
+            ctx.job_id,
+            mid,
+            Component::Network(shared.link_edge_broker.name().to_string()),
+            n0,
+            metrics.now_us(),
+            bytes,
+        );
+        // Broker append (service time).
+        let b0 = metrics.now_us();
+        shared
+            .broker
+            .append(
+                &shared.topic,
+                device,
+                Record::new(payload).with_timestamp(t0),
+            )
+            .map_err(|e| e.to_string())?;
+        metrics.record(
+            ctx.job_id,
+            mid,
+            Component::Broker,
+            b0,
+            metrics.now_us(),
+            bytes,
+        );
+        sent += 1;
+    }
+    // End-of-stream sentinel for this partition.
+    shared
+        .broker
+        .append(&shared.topic, device, Record::new(Bytes::new()))
+        .map_err(|e| e.to_string())?;
+    Ok(sent)
+}
+
+/// One consumer member's processing loop. Returns messages processed.
+fn consumer_loop(shared: &Shared, member: String, stop: &AtomicBool) -> Result<u64, String> {
+    let ctx = &shared.ctx;
+    let metrics = shared.metrics();
+    let group = format!("pilot-edge-{}", ctx.job_id);
+    // Membership is registered synchronously at spawn time (see
+    // `spawn_consumer`) so steady-state runs see no startup rebalances and
+    // therefore no at-least-once redelivery; fall back to joining here for
+    // robustness.
+    let (mut my_gen, mut parts) = shared
+        .coordinator
+        .assignment(&member)
+        .unwrap_or_else(|| shared.coordinator.join(&member));
+    let mut consumer = Consumer::new(shared.broker.clone(), &shared.topic, &group, &parts)
+        .map_err(|e| e.to_string())?;
+    let (mut fn_gen, factory) = shared.cloud_slot.current();
+    let mut func: CloudFn = factory(ctx);
+    let mut processed = 0u64;
+
+    while !stop.load(Ordering::Relaxed)
+        && !shared.stop_all.load(Ordering::Relaxed)
+        && !shared.all_partitions_done()
+    {
+        // Rebalance?
+        if shared.coordinator.generation() != my_gen {
+            match shared.coordinator.assignment(&member) {
+                Some((g, p)) => {
+                    my_gen = g;
+                    parts = p;
+                    consumer = Consumer::new(shared.broker.clone(), &shared.topic, &group, &parts)
+                        .map_err(|e| e.to_string())?;
+                }
+                None => break,
+            }
+        }
+        // Hot-swapped processing function?
+        let (g, factory) = shared.cloud_slot.current();
+        if g != fn_gen {
+            fn_gen = g;
+            func = factory(ctx);
+        }
+
+        let live: Vec<usize> = parts
+            .iter()
+            .copied()
+            .filter(|&p| !shared.partition_done(p))
+            .collect();
+        if live.is_empty() {
+            // Nothing assigned (or all assigned partitions finished): idle
+            // politely until rebalance or completion.
+            std::thread::sleep(shared.cfg.poll_timeout);
+            continue;
+        }
+        let mut got_any = false;
+        for (i, &p) in live.iter().enumerate() {
+            let timeout = if i == 0 && !got_any {
+                shared.cfg.poll_timeout
+            } else {
+                Duration::ZERO
+            };
+            let records = consumer
+                .poll_partition(p, shared.cfg.fetch_max, timeout)
+                .map_err(|e| e.to_string())?;
+            for record in records {
+                got_any = true;
+                if record.value.is_empty() {
+                    shared.mark_partition_done(p);
+                    continue;
+                }
+                let bytes = record.value.len() as u64;
+                // Broker → cloud transport.
+                let n0 = metrics.now_us();
+                shared.link_broker_cloud.transfer(bytes);
+                let n1 = metrics.now_us();
+                // Cloud processing: deserialization is part of the
+                // processing service time (it is what the paper's Dask
+                // consumer tasks spend their floor cost on).
+                let (block, _produced_at) = match pilot_datagen::decode_any(&record.value) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        ctx.counter("decode_errors").incr();
+                        return Err(format!("wire decode failed: {e}"));
+                    }
+                };
+                let mid = metric_msg_id(p, block.msg_id);
+                metrics.record(
+                    ctx.job_id,
+                    mid,
+                    Component::Network(shared.link_broker_cloud.name().to_string()),
+                    n0,
+                    n1,
+                    bytes,
+                );
+                match func(ctx, block) {
+                    Ok(_outcome) => {
+                        metrics.record(
+                            ctx.job_id,
+                            mid,
+                            Component::CloudProcessor,
+                            n1,
+                            metrics.now_us(),
+                            bytes,
+                        );
+                        processed += 1;
+                        ctx.counter("messages_processed").incr();
+                    }
+                    Err(msg) => {
+                        metrics.record_span(pilot_metrics::Span {
+                            job_id: ctx.job_id,
+                            msg_id: mid,
+                            component: Component::CloudProcessor,
+                            start_us: n1,
+                            end_us: metrics.now_us(),
+                            bytes,
+                            error: true,
+                        });
+                        ctx.counter("process_errors").incr();
+                        // A failing function invocation is recorded and the
+                        // stream continues — one bad message must not kill
+                        // the processor (fault isolation).
+                        let _ = msg;
+                    }
+                }
+            }
+            consumer.commit();
+        }
+    }
+    consumer.commit();
+    shared.coordinator.leave(&member);
+    Ok(processed)
+}
+
+/// Factories captured for producer tasks.
+struct ProducerFns {
+    produce: crate::faas::ProduceFactory,
+    edge: crate::faas::EdgeFactory,
+}
+
+/// The shared control surface of a running pipeline: everything a monitor
+/// thread (e.g. the [`crate::adapt::AutoScaler`]) needs to observe and
+/// adapt it. Internal — applications hold a [`RunningPipeline`].
+pub(crate) struct PipelineCtl {
+    pub(crate) shared: Arc<Shared>,
+    consumers: Mutex<Vec<(String, Arc<AtomicBool>, TaskFuture)>>,
+    retired: Mutex<Vec<TaskFuture>>,
+    cloud_client: Client,
+    next_member: AtomicUsize,
+}
+
+/// A live pipeline. Obtain via [`EdgeToCloudPipeline::start`].
+pub struct RunningPipeline {
+    pub(crate) ctl: Arc<PipelineCtl>,
+    producers: Vec<TaskFuture>,
+    scaler: Mutex<Option<crate::adapt::AutoScalerHandle>>,
+}
+
+pub(crate) fn start(
+    builder: EdgeToCloudPipeline,
+    edge: Pilot,
+    cloud: Pilot,
+    broker_pilot: Pilot,
+) -> Result<RunningPipeline, PipelineError> {
+    let job_id = NEXT_JOB_ID.fetch_add(1, Ordering::Relaxed);
+    let cfg = builder.config.clone();
+    let broker = broker_pilot
+        .start_broker()
+        .map_err(|e| PipelineError::Task(e.to_string()))?;
+    let params = broker_pilot
+        .start_param_server()
+        .map_err(|e| PipelineError::Task(e.to_string()))?;
+    let metrics = builder.metrics.clone().unwrap_or_default();
+    let topic = cfg
+        .topic
+        .clone()
+        .unwrap_or_else(|| format!("pilot-edge-{job_id}"));
+    broker.create_topic(&topic, cfg.devices, cfg.retention)?;
+    let ctx = Context::new(
+        job_id,
+        cfg.devices,
+        params,
+        metrics,
+        builder.settings.clone(),
+    );
+    let shared = Arc::new(Shared {
+        ctx,
+        broker,
+        topic,
+        cfg: cfg.clone(),
+        link_edge_broker: builder.link_edge_broker.clone(),
+        link_broker_cloud: builder.link_broker_cloud.clone(),
+        cloud_slot: SwappableCloudFactory::new(
+            builder.cloud_factory.clone().expect("validated by builder"),
+        ),
+        coordinator: GroupCoordinator::new(cfg.devices),
+        done_partitions: Mutex::new(HashSet::new()),
+        stop_all: AtomicBool::new(false),
+    });
+
+    let edge_client = edge
+        .client()
+        .map_err(|e| PipelineError::Task(e.to_string()))?;
+    let cloud_client = cloud
+        .client()
+        .map_err(|e| PipelineError::Task(e.to_string()))?;
+
+    // Producer tasks: one per device, each occupying one edge worker core
+    // (the paper's "edge devices are simulated with a Dask task").
+    let fns = Arc::new(ProducerFns {
+        produce: builder.produce_factory.clone().expect("validated"),
+        edge: builder.edge_factory.clone(),
+    });
+    let mut producers = Vec::with_capacity(cfg.devices);
+    for device in 0..cfg.devices {
+        let shared2 = Arc::clone(&shared);
+        let fns2 = Arc::clone(&fns);
+        let fut = edge_client.submit_full(
+            &format!("produce-edge-{device}"),
+            Resources::default(),
+            &[],
+            move |_| producer_loop(&shared2, device, &fns2).map(|n| Arc::new(n) as Payload),
+        )?;
+        producers.push(fut);
+    }
+
+    let ctl = Arc::new(PipelineCtl {
+        shared,
+        consumers: Mutex::new(Vec::new()),
+        retired: Mutex::new(Vec::new()),
+        cloud_client,
+        next_member: AtomicUsize::new(0),
+    });
+    // Join every startup member before submitting any consumer task, so
+    // the first poll already sees the final assignment (no startup
+    // rebalance, no at-least-once redelivery). Scale events later may
+    // still redeliver in-flight batches — inherent to consumer-group
+    // semantics and documented on `scale_processors`.
+    let members: Vec<String> = (0..cfg.processors)
+        .map(|_| {
+            let m = format!(
+                "processor-{}",
+                ctl.next_member.fetch_add(1, Ordering::Relaxed)
+            );
+            ctl.shared.coordinator.join(&m);
+            m
+        })
+        .collect();
+    for member in members {
+        ctl.spawn_joined_consumer(member)?;
+    }
+    Ok(RunningPipeline {
+        ctl,
+        producers,
+        scaler: Mutex::new(None),
+    })
+}
+
+impl PipelineCtl {
+    fn spawn_consumer(&self) -> Result<(), PipelineError> {
+        let member = format!(
+            "processor-{}",
+            self.next_member.fetch_add(1, Ordering::Relaxed)
+        );
+        // Register membership before the task runs so partition assignment
+        // is stable from the first poll (no startup rebalance churn).
+        self.shared.coordinator.join(&member);
+        self.spawn_joined_consumer(member)
+    }
+
+    /// Submit the consumer task for an already-joined member.
+    fn spawn_joined_consumer(&self, member: String) -> Result<(), PipelineError> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let shared2 = Arc::clone(&self.shared);
+        let member2 = member.clone();
+        let stop2 = Arc::clone(&stop);
+        let fut = self.cloud_client.submit_full(
+            &format!("process-cloud-{member}"),
+            Resources::default(),
+            &[],
+            move |_| consumer_loop(&shared2, member2, &stop2).map(|n| Arc::new(n) as Payload),
+        )?;
+        self.consumers.lock().push((member, stop, fut));
+        Ok(())
+    }
+
+    pub(crate) fn processor_count(&self) -> usize {
+        self.consumers.lock().len()
+    }
+
+    /// Total consumer-group lag (records behind the watermarks).
+    pub(crate) fn total_lag(&self) -> u64 {
+        let group = format!("pilot-edge-{}", self.shared.ctx.job_id);
+        self.shared
+            .broker
+            .lag(&group, &self.shared.topic)
+            .map(|v| v.iter().sum())
+            .unwrap_or(0)
+    }
+
+    pub(crate) fn is_stopped(&self) -> bool {
+        self.shared.stop_all.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn all_done(&self) -> bool {
+        self.shared.all_partitions_done()
+    }
+
+    pub(crate) fn scale_processors(&self, n: usize) -> Result<(), PipelineError> {
+        if n == 0 {
+            return Err(PipelineError::Capacity(
+                "cannot scale processors to 0".into(),
+            ));
+        }
+        loop {
+            let current = self.consumers.lock().len();
+            if current == n {
+                return Ok(());
+            }
+            if current < n {
+                self.spawn_consumer()?;
+            } else {
+                let (_, stop, fut) = self.consumers.lock().pop().expect("non-empty");
+                stop.store(true, Ordering::Relaxed);
+                self.retired.lock().push(fut);
+            }
+        }
+    }
+}
+
+impl RunningPipeline {
+    /// The job id linking this run's metrics.
+    pub fn job_id(&self) -> u64 {
+        self.ctl.shared.ctx.job_id
+    }
+
+    /// The context shared with the FaaS functions.
+    pub fn context(&self) -> &Context {
+        &self.ctl.shared.ctx
+    }
+
+    /// The broker topic carrying this pipeline's data.
+    pub fn topic(&self) -> &str {
+        &self.ctl.shared.topic
+    }
+
+    /// Current consumer-pool size.
+    pub fn processor_count(&self) -> usize {
+        self.ctl.processor_count()
+    }
+
+    /// Total consumer-group lag: records produced but not yet consumed.
+    /// The autoscaler's input signal; also useful for dashboards.
+    pub fn lag(&self) -> u64 {
+        self.ctl.total_lag()
+    }
+
+    /// Hot-swap the cloud-processing function (paper Section II-D). Every
+    /// consumer re-instantiates from the new factory before its next
+    /// message. Returns the new function generation.
+    pub fn replace_cloud_function(&self, factory: CloudFactory) -> u64 {
+        self.ctl.shared.cloud_slot.replace(factory)
+    }
+
+    /// Scale the consumer pool to `n` members at runtime; partitions are
+    /// rebalanced across the new member set. During the rebalance, records
+    /// in flight at the old owner may be redelivered to the new one
+    /// (at-least-once, as in Kafka); distinct-message accounting in the
+    /// run summary is unaffected.
+    pub fn scale_processors(&self, n: usize) -> Result<(), PipelineError> {
+        self.ctl.scale_processors(n)
+    }
+
+    /// Attach a lag-driven autoscaler (paper Section V: "a distributed
+    /// workload management system that can select, acquire and dynamically
+    /// scale resources across the continuum at runtime based on the
+    /// application's objectives"). Replaces any previously attached scaler.
+    pub fn autoscale(&self, config: crate::adapt::AutoScalerConfig) {
+        let handle = crate::adapt::AutoScaler::spawn(Arc::clone(&self.ctl), config);
+        if let Some(old) = self.scaler.lock().replace(handle) {
+            old.stop();
+        }
+    }
+
+    /// Scaling decisions made by the attached autoscaler so far.
+    pub fn scaling_events(&self) -> Vec<crate::adapt::ScalingEvent> {
+        self.scaler
+            .lock()
+            .as_ref()
+            .map(|s| s.events())
+            .unwrap_or_default()
+    }
+
+    /// Linked metrics for this job so far (usable mid-run).
+    pub fn report(&self) -> PipelineReport {
+        self.ctl.shared.metrics().report_for_job(self.job_id())
+    }
+
+    /// Stop everything without waiting for stream completion.
+    pub fn abort(&self) {
+        self.ctl.shared.stop_all.store(true, Ordering::Relaxed);
+    }
+
+    /// Wait for the run to complete: producers finish their streams,
+    /// consumers drain every partition's sentinel. Returns the run summary.
+    pub fn wait(self, timeout: Duration) -> Result<RunSummary, PipelineError> {
+        let deadline = Instant::now() + timeout;
+        // 1. Producers run to end-of-stream.
+        for fut in &self.producers {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match fut.wait_timeout(remaining) {
+                None => {
+                    self.abort();
+                    return Err(PipelineError::Timeout);
+                }
+                Some(Err(e)) => {
+                    self.abort();
+                    return Err(PipelineError::Task(e.to_string()));
+                }
+                Some(Ok(_)) => {}
+            }
+        }
+        // 2. Consumers drain all partitions (skipped when the run was
+        // aborted — consumers exit on `stop_all` without draining).
+        let grace = Instant::now() + Duration::from_millis(500);
+        let mut evicted: HashSet<String> = HashSet::new();
+        while !self.ctl.all_done() && !self.ctl.is_stopped() {
+            if Instant::now() >= deadline {
+                self.abort();
+                return Err(PipelineError::Timeout);
+            }
+            for (member, stop, fut) in self.ctl.consumers.lock().iter() {
+                // Surface consumer crashes instead of spinning to timeout.
+                if fut.is_finished() {
+                    if let Some(Err(e)) = fut.wait_timeout(Duration::ZERO) {
+                        self.abort();
+                        return Err(PipelineError::Task(e.to_string()));
+                    }
+                }
+                // Starvation eviction: a member whose task still has no
+                // worker core after the grace period (e.g. its pilot is
+                // oversubscribed by another pipeline) must not hold
+                // partitions hostage — hand them to live members.
+                if Instant::now() > grace
+                    && !evicted.contains(member)
+                    && matches!(
+                        fut.state(),
+                        Some(pilot_dataflow::TaskState::Pending)
+                            | Some(pilot_dataflow::TaskState::Ready)
+                    )
+                {
+                    stop.store(true, Ordering::Relaxed);
+                    self.ctl.shared.coordinator.leave(member);
+                    evicted.insert(member.clone());
+                }
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // 3. Shut the pool down and collect.
+        if let Some(scaler) = self.scaler.lock().take() {
+            scaler.stop();
+        }
+        self.ctl.shared.stop_all.store(true, Ordering::Relaxed);
+        let consumers = std::mem::take(&mut *self.ctl.consumers.lock());
+        for (_, _, fut) in consumers {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if fut
+                .wait_timeout(remaining.max(Duration::from_millis(100)))
+                .is_none()
+            {
+                return Err(PipelineError::Timeout);
+            }
+        }
+        for fut in std::mem::take(&mut *self.ctl.retired.lock()) {
+            let _ = fut.wait_timeout(Duration::from_millis(100));
+        }
+        let ctx = &self.ctl.shared.ctx;
+        Ok(RunSummary::from_report(
+            ctx.job_id,
+            ctx.metrics.report_for_job(ctx.job_id),
+            ctx.counter("outliers_detected").get(),
+        ))
+    }
+}
+
+impl std::fmt::Debug for RunningPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunningPipeline")
+            .field("job_id", &self.job_id())
+            .field("topic", &self.ctl.shared.topic)
+            .field("processors", &self.processor_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faas::ProcessOutcome;
+    use crate::pipeline::EdgeToCloudPipeline;
+    use crate::processors::{baseline_factory, datagen_produce_factory};
+    use pilot_core::{PilotComputeService, PilotDescription};
+    use pilot_datagen::DataGenConfig;
+
+    const WAIT: Duration = Duration::from_secs(30);
+
+    fn pilots(svc: &PilotComputeService, edge_cores: usize, cloud_cores: usize) -> (Pilot, Pilot) {
+        let edge = svc
+            .submit_and_wait(PilotDescription::local(edge_cores, 16.0), WAIT)
+            .unwrap();
+        let cloud = svc
+            .submit_and_wait(PilotDescription::local(cloud_cores, 16.0), WAIT)
+            .unwrap();
+        (edge, cloud)
+    }
+
+    #[test]
+    fn end_to_end_baseline_run() {
+        let svc = PilotComputeService::new();
+        let (edge, cloud) = pilots(&svc, 2, 2);
+        let summary = EdgeToCloudPipeline::builder()
+            .pilot_edge(edge)
+            .pilot_cloud_processing(cloud)
+            .produce_function(datagen_produce_factory(DataGenConfig::paper(25), 8))
+            .process_cloud_function(baseline_factory())
+            .devices(2)
+            .run(WAIT)
+            .unwrap();
+        assert_eq!(summary.messages, 16, "2 devices × 8 messages");
+        assert_eq!(summary.errors, 0);
+        assert!(summary.throughput_msgs > 0.0);
+        // All expected components reported.
+        assert!(summary.report.component(&Component::EdgeProducer).is_some());
+        assert!(summary.report.component(&Component::Broker).is_some());
+        assert!(summary
+            .report
+            .component(&Component::CloudProcessor)
+            .is_some());
+    }
+
+    #[test]
+    fn per_message_point_counts_survive_transport() {
+        let svc = PilotComputeService::new();
+        let (edge, cloud) = pilots(&svc, 1, 1);
+        let running = EdgeToCloudPipeline::builder()
+            .pilot_edge(edge)
+            .pilot_cloud_processing(cloud)
+            .produce_function(datagen_produce_factory(DataGenConfig::paper(40), 5))
+            .process_cloud_function(baseline_factory())
+            .devices(1)
+            .start()
+            .unwrap();
+        let ctx_points = running.context().counter("points_processed");
+        let summary = running.wait(WAIT).unwrap();
+        assert_eq!(summary.messages, 5);
+        assert_eq!(ctx_points.get(), 200, "5 messages × 40 points");
+    }
+
+    #[test]
+    fn processing_error_is_isolated() {
+        let svc = PilotComputeService::new();
+        let (edge, cloud) = pilots(&svc, 1, 1);
+        // Fail on every other message; the stream must still complete.
+        let flaky: CloudFactory = Arc::new(|_ctx| {
+            let mut n = 0u64;
+            Box::new(move |_ctx: &Context, _block| {
+                n += 1;
+                if n.is_multiple_of(2) {
+                    Err("synthetic failure".into())
+                } else {
+                    Ok(ProcessOutcome::default())
+                }
+            })
+        });
+        let summary = EdgeToCloudPipeline::builder()
+            .pilot_edge(edge)
+            .pilot_cloud_processing(cloud)
+            .produce_function(datagen_produce_factory(DataGenConfig::paper(10), 6))
+            .process_cloud_function(flaky)
+            .devices(1)
+            .run(WAIT)
+            .unwrap();
+        assert_eq!(summary.errors, 3, "3 of 6 messages fail");
+        // All 6 still linked end-to-end through producer/broker spans.
+        assert_eq!(summary.messages, 6);
+    }
+
+    #[test]
+    fn hot_swap_changes_function_mid_run() {
+        let svc = PilotComputeService::new();
+        let (edge, cloud) = pilots(&svc, 1, 1);
+        let running = EdgeToCloudPipeline::builder()
+            .pilot_edge(edge)
+            .pilot_cloud_processing(cloud)
+            .produce_function(datagen_produce_factory(DataGenConfig::paper(10), 30))
+            .process_cloud_function(baseline_factory())
+            .devices(1)
+            .rate_per_device(100.0) // ~300 ms stream: time to swap
+            .start()
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        let swapped: CloudFactory = Arc::new(|_ctx| {
+            Box::new(move |ctx: &Context, _block| {
+                ctx.counter("swapped_invocations").incr();
+                Ok(ProcessOutcome::default())
+            })
+        });
+        let gen = running.replace_cloud_function(swapped);
+        assert_eq!(gen, 2);
+        let ctx_counter = running.context().counter("swapped_invocations");
+        let summary = running.wait(WAIT).unwrap();
+        assert_eq!(summary.messages, 30);
+        let swapped_count = ctx_counter.get();
+        assert!(
+            swapped_count > 0 && swapped_count < 30,
+            "swap must take effect mid-stream (got {swapped_count})"
+        );
+    }
+
+    #[test]
+    fn scale_processors_up_and_down() {
+        let svc = PilotComputeService::new();
+        let (edge, cloud) = pilots(&svc, 4, 6);
+        let running = EdgeToCloudPipeline::builder()
+            .pilot_edge(edge)
+            .pilot_cloud_processing(cloud)
+            .produce_function(datagen_produce_factory(DataGenConfig::paper(10), 20))
+            .process_cloud_function(baseline_factory())
+            .devices(4)
+            .processors(1)
+            .rate_per_device(100.0)
+            .start()
+            .unwrap();
+        assert_eq!(running.processor_count(), 1);
+        running.scale_processors(4).unwrap();
+        assert_eq!(running.processor_count(), 4);
+        std::thread::sleep(Duration::from_millis(50));
+        running.scale_processors(2).unwrap();
+        assert_eq!(running.processor_count(), 2);
+        let summary = running.wait(WAIT).unwrap();
+        assert_eq!(summary.messages, 80, "4 devices × 20 messages");
+        assert_eq!(summary.errors, 0);
+    }
+
+    #[test]
+    fn scale_to_zero_rejected() {
+        let svc = PilotComputeService::new();
+        let (edge, cloud) = pilots(&svc, 1, 1);
+        let running = EdgeToCloudPipeline::builder()
+            .pilot_edge(edge)
+            .pilot_cloud_processing(cloud)
+            .produce_function(datagen_produce_factory(DataGenConfig::paper(5), 2))
+            .process_cloud_function(baseline_factory())
+            .devices(1)
+            .start()
+            .unwrap();
+        assert!(running.scale_processors(0).is_err());
+        running.wait(WAIT).unwrap();
+    }
+
+    #[test]
+    fn metric_msg_ids_unique_across_devices() {
+        assert_ne!(metric_msg_id(0, 5), metric_msg_id(1, 5));
+        assert_eq!(metric_msg_id(0, 5), 5);
+        assert_eq!(metric_msg_id(3, 0) >> DEVICE_SHIFT, 3);
+    }
+
+    #[test]
+    fn abort_stops_early() {
+        let svc = PilotComputeService::new();
+        let (edge, cloud) = pilots(&svc, 1, 1);
+        let running = EdgeToCloudPipeline::builder()
+            .pilot_edge(edge)
+            .pilot_cloud_processing(cloud)
+            .produce_function(datagen_produce_factory(DataGenConfig::paper(10), 100_000))
+            .process_cloud_function(baseline_factory())
+            .devices(1)
+            .rate_per_device(50.0) // would take ~2000 s to finish
+            .start()
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        running.abort();
+        // After abort the producers stop, append sentinels, and wait()
+        // completes quickly.
+        let summary = running.wait(Duration::from_secs(10)).unwrap();
+        assert!(summary.messages < 100_000);
+    }
+}

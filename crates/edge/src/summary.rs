@@ -1,0 +1,139 @@
+//! Per-run result digests.
+
+use pilot_metrics::{Component, PipelineReport};
+
+/// The digest of one pipeline run — the row the experiment harness prints
+/// for each (message size × partitions × model × geography) cell of the
+//  paper's figures.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    pub job_id: u64,
+    /// Distinct messages observed end-to-end.
+    pub messages: u64,
+    /// Pipeline throughput, messages/second.
+    pub throughput_msgs: f64,
+    /// Pipeline throughput, MB/second.
+    pub throughput_mb: f64,
+    /// Mean end-to-end latency, milliseconds.
+    pub latency_mean_ms: f64,
+    /// Median end-to-end latency, milliseconds.
+    pub latency_p50_ms: f64,
+    /// 99th-percentile end-to-end latency, milliseconds.
+    pub latency_p99_ms: f64,
+    /// Failed component spans.
+    pub errors: u64,
+    /// The component with the highest load (the paper's bottleneck
+    /// analysis, e.g. "the processing system becomes the bottleneck").
+    pub bottleneck: Option<String>,
+    /// Outliers flagged by the processors (from the `outliers_detected`
+    /// counter), if any model thresholding ran.
+    pub outliers_detected: u64,
+    /// The full linked report, for per-component drill-down.
+    pub report: PipelineReport,
+}
+
+impl RunSummary {
+    /// Build a summary from a report plus the job's counters.
+    pub fn from_report(job_id: u64, report: PipelineReport, outliers_detected: u64) -> Self {
+        let e = &report.end_to_end;
+        Self {
+            job_id,
+            messages: e.messages,
+            throughput_msgs: e.throughput_msgs,
+            throughput_mb: e.throughput_mb,
+            latency_mean_ms: e.latency_us.mean() / 1e3,
+            latency_p50_ms: e.latency_us.median() as f64 / 1e3,
+            latency_p99_ms: e.latency_us.p99() as f64 / 1e3,
+            errors: report.total_errors(),
+            bottleneck: report.bottleneck().map(|c| c.component.label()),
+            outliers_detected,
+            report,
+        }
+    }
+
+    /// Mean service time of one component in milliseconds (0 if absent).
+    pub fn component_mean_ms(&self, c: &Component) -> f64 {
+        self.report
+            .component(c)
+            .map(|s| s.mean_service_ms())
+            .unwrap_or(0.0)
+    }
+
+    /// CSV header matching [`RunSummary::to_csv_row`].
+    pub fn csv_header() -> &'static str {
+        "job_id,messages,throughput_msgs_s,throughput_mb_s,latency_mean_ms,latency_p50_ms,latency_p99_ms,errors,bottleneck"
+    }
+
+    /// One CSV row.
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{:.2},{:.3},{:.2},{:.2},{:.2},{},{}",
+            self.job_id,
+            self.messages,
+            self.throughput_msgs,
+            self.throughput_mb,
+            self.latency_mean_ms,
+            self.latency_p50_ms,
+            self.latency_p99_ms,
+            self.errors,
+            self.bottleneck.as_deref().unwrap_or("-"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilot_metrics::Span;
+
+    fn spans() -> Vec<Span> {
+        vec![
+            Span {
+                job_id: 1,
+                msg_id: 1,
+                component: Component::EdgeProducer,
+                start_us: 0,
+                end_us: 100,
+                bytes: 1000,
+                error: false,
+            },
+            Span {
+                job_id: 1,
+                msg_id: 1,
+                component: Component::CloudProcessor,
+                start_us: 200,
+                end_us: 1_000,
+                bytes: 1000,
+                error: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn summary_fields_derive_from_report() {
+        let report = PipelineReport::from_spans(&spans());
+        let s = RunSummary::from_report(1, report, 5);
+        assert_eq!(s.messages, 1);
+        assert_eq!(s.outliers_detected, 5);
+        assert_eq!(s.errors, 0);
+        assert!((s.latency_mean_ms - 1.0).abs() < 0.1);
+        assert_eq!(s.bottleneck.as_deref(), Some("cloud_processor"));
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let report = PipelineReport::from_spans(&spans());
+        let s = RunSummary::from_report(1, report, 0);
+        let header_cols = RunSummary::csv_header().split(',').count();
+        let row_cols = s.to_csv_row().split(',').count();
+        assert_eq!(header_cols, row_cols);
+    }
+
+    #[test]
+    fn empty_run_is_all_zero() {
+        let s = RunSummary::from_report(1, PipelineReport::from_spans(&[]), 0);
+        assert_eq!(s.messages, 0);
+        assert_eq!(s.throughput_mb, 0.0);
+        assert!(s.bottleneck.is_none());
+    }
+}

@@ -1,0 +1,185 @@
+//! Windowed pre-aggregation for edge functions.
+//!
+//! The paper: "the edge function frequently serves for data
+//! pre-aggregation, outlier detection, and data compression to ensure that
+//! the amount of data movement is minimal" (Section II-D). This module
+//! supplies the pre-aggregation building blocks:
+//!
+//! * [`AggKind`] — the aggregate computed per window (mean, min, max, or
+//!   all three stacked as separate summary rows);
+//! * [`aggregate_points`] — tumbling windows of `w` consecutive points
+//!   inside a block collapse to one summary point each, shrinking a block
+//!   by ~`w`× before it crosses the network;
+//! * [`aggregate_edge_factory`] — the same, packaged as a `process_edge`
+//!   FaaS function for hybrid deployments.
+
+use crate::faas::{Context, EdgeFactory};
+use pilot_datagen::Block;
+use std::sync::Arc;
+
+/// The aggregate computed over each window of points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    /// Feature-wise arithmetic mean.
+    Mean,
+    /// Feature-wise minimum.
+    Min,
+    /// Feature-wise maximum.
+    Max,
+}
+
+impl AggKind {
+    /// Stable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AggKind::Mean => "mean",
+            AggKind::Min => "min",
+            AggKind::Max => "max",
+        }
+    }
+}
+
+/// Collapse tumbling windows of `window` consecutive points into one
+/// aggregated point each. A trailing partial window is aggregated too.
+/// `window == 1` returns the block unchanged. The summary block keeps the
+/// source's `msg_id`; labels are window-ORed (a window containing any
+/// outlier is labelled an outlier), preserving ground truth for quality
+/// checks after aggregation.
+pub fn aggregate_points(block: &Block, window: usize, kind: AggKind) -> Block {
+    assert!(window >= 1, "window must be >= 1");
+    if window == 1 || block.points == 0 {
+        return block.clone();
+    }
+    let d = block.features;
+    let out_points = block.points.div_ceil(window);
+    let mut data = Vec::with_capacity(out_points * d);
+    let mut labels = Vec::with_capacity(out_points);
+    for w in 0..out_points {
+        let start = w * window;
+        let end = (start + window).min(block.points);
+        let rows = end - start;
+        let mut acc: Vec<f64> = match kind {
+            AggKind::Mean => vec![0.0; d],
+            AggKind::Min => vec![f64::INFINITY; d],
+            AggKind::Max => vec![f64::NEG_INFINITY; d],
+        };
+        let mut any_outlier = false;
+        for i in start..end {
+            let row = &block.data[i * d..(i + 1) * d];
+            for (a, &v) in acc.iter_mut().zip(row) {
+                match kind {
+                    AggKind::Mean => *a += v,
+                    AggKind::Min => *a = a.min(v),
+                    AggKind::Max => *a = a.max(v),
+                }
+            }
+            any_outlier |= *block.labels.get(i).unwrap_or(&false);
+        }
+        if kind == AggKind::Mean {
+            for a in &mut acc {
+                *a /= rows as f64;
+            }
+        }
+        data.extend_from_slice(&acc);
+        labels.push(any_outlier);
+    }
+    Block {
+        msg_id: block.msg_id,
+        points: out_points,
+        features: d,
+        data,
+        labels,
+    }
+}
+
+/// A `process_edge` function applying [`aggregate_points`] per message.
+pub fn aggregate_edge_factory(window: usize, kind: AggKind) -> EdgeFactory {
+    assert!(window >= 1, "window must be >= 1");
+    Arc::new(move |_ctx: &Context, _device| {
+        Box::new(move |_ctx: &Context, block: Block| Ok(aggregate_points(&block, window, kind)))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(points: usize, features: usize) -> Block {
+        Block {
+            msg_id: 9,
+            points,
+            features,
+            data: (0..points * features).map(|i| i as f64).collect(),
+            labels: vec![false; points],
+        }
+    }
+
+    #[test]
+    fn mean_window() {
+        // 4 points × 1 feature: [0,1,2,3]; window 2 → [0.5, 2.5].
+        let b = block(4, 1);
+        let out = aggregate_points(&b, 2, AggKind::Mean);
+        assert_eq!(out.points, 2);
+        assert_eq!(out.data, vec![0.5, 2.5]);
+        assert_eq!(out.msg_id, 9);
+    }
+
+    #[test]
+    fn min_max_windows() {
+        let b = block(4, 2); // rows: [0,1],[2,3],[4,5],[6,7]
+        let min = aggregate_points(&b, 2, AggKind::Min);
+        assert_eq!(min.data, vec![0.0, 1.0, 4.0, 5.0]);
+        let max = aggregate_points(&b, 2, AggKind::Max);
+        assert_eq!(max.data, vec![2.0, 3.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn partial_trailing_window() {
+        // 5 points, window 2 → 3 summary points; the last covers 1 row.
+        let b = block(5, 1);
+        let out = aggregate_points(&b, 2, AggKind::Mean);
+        assert_eq!(out.points, 3);
+        assert_eq!(out.data, vec![0.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn window_one_is_identity() {
+        let b = block(3, 2);
+        assert_eq!(aggregate_points(&b, 1, AggKind::Mean), b);
+    }
+
+    #[test]
+    fn labels_are_window_ored() {
+        let mut b = block(4, 1);
+        b.labels = vec![false, true, false, false];
+        let out = aggregate_points(&b, 2, AggKind::Mean);
+        assert_eq!(out.labels, vec![true, false]);
+    }
+
+    #[test]
+    fn empty_block_passthrough() {
+        let b = block(0, 4);
+        let out = aggregate_points(&b, 8, AggKind::Max);
+        assert_eq!(out.points, 0);
+    }
+
+    #[test]
+    fn factory_wraps_aggregation() {
+        let ctx = Context::new(
+            1,
+            1,
+            pilot_params::ParameterServer::new(),
+            pilot_metrics::MetricsRegistry::new(),
+            Default::default(),
+        );
+        let mut f = aggregate_edge_factory(4, AggKind::Mean)(&ctx, 0);
+        let out = f(&ctx, block(8, 2)).unwrap();
+        assert_eq!(out.points, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be >= 1")]
+    fn zero_window_panics() {
+        aggregate_points(&block(4, 1), 0, AggKind::Mean);
+    }
+}

@@ -1,0 +1,79 @@
+//! A shared monotonic clock.
+//!
+//! All spans recorded into one [`crate::MetricsRegistry`] are timestamped in
+//! microseconds relative to a single [`Clock`] epoch, so timestamps taken on
+//! different threads (edge producer, broker, cloud worker) are directly
+//! comparable — this is what makes cross-component *linking* of a message's
+//! journey possible.
+
+use std::time::Instant;
+
+/// A monotonic clock with a fixed epoch.
+///
+/// Cloning is cheap; clones share the epoch.
+#[derive(Debug, Clone, Copy)]
+pub struct Clock {
+    epoch: Instant,
+}
+
+impl Clock {
+    /// Create a clock whose epoch is "now".
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Microseconds elapsed since the epoch.
+    #[inline]
+    pub fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Seconds elapsed since the epoch, as a float.
+    #[inline]
+    pub fn now_secs(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn monotonic() {
+        let c = Clock::new();
+        let a = c.now_micros();
+        let b = c.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn clones_share_epoch() {
+        let c = Clock::new();
+        let d = c;
+        std::thread::sleep(Duration::from_millis(2));
+        let a = c.now_micros();
+        let b = d.now_micros();
+        // Both read from the same epoch, so they are within a tight window.
+        assert!(a.abs_diff(b) < 5_000, "a={a} b={b}");
+        assert!(a >= 2_000);
+    }
+
+    #[test]
+    fn secs_and_micros_agree() {
+        let c = Clock::new();
+        std::thread::sleep(Duration::from_millis(5));
+        let us = c.now_micros() as f64;
+        let s = c.now_secs();
+        assert!((s * 1e6 - us).abs() < 2_000.0, "s={s} us={us}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Energy-consumption estimation (paper Section V, future work:
+//! "investigate further scheduling and approaches, e.g., energy
+//! consumption").
+//!
+//! The model is deliberately simple — active time × a per-resource-class
+//! power draw, plus an idle baseline — which is the standard first-order
+//! model for placement studies. It lets placement policies and the ablation
+//! benches compare, e.g., running a model on many small edge devices against
+//! one large cloud VM.
+
+use serde::{Deserialize, Serialize};
+
+/// Coarse hardware classes along the continuum, with representative
+/// power draws (taken from public spec sheets: a Raspberry Pi 4 draws
+/// ~2.7 W idle / ~6.4 W loaded; cloud VM figures are per-core shares of a
+/// dual-socket server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceClass {
+    /// Raspberry-Pi-class edge device (1 core, ~4 GB).
+    EdgeDevice,
+    /// Medium cloud VM (4–6 cores).
+    CloudMedium,
+    /// Large cloud VM (10 cores, 44 GB — the paper's LRZ "large").
+    CloudLarge,
+    /// HPC node share.
+    HpcNode,
+}
+
+impl ResourceClass {
+    /// Idle power draw in watts.
+    pub fn idle_watts(self) -> f64 {
+        match self {
+            ResourceClass::EdgeDevice => 2.7,
+            ResourceClass::CloudMedium => 25.0,
+            ResourceClass::CloudLarge => 60.0,
+            ResourceClass::HpcNode => 150.0,
+        }
+    }
+
+    /// Fully-loaded power draw in watts.
+    pub fn active_watts(self) -> f64 {
+        match self {
+            ResourceClass::EdgeDevice => 6.4,
+            ResourceClass::CloudMedium => 80.0,
+            ResourceClass::CloudLarge => 180.0,
+            ResourceClass::HpcNode => 400.0,
+        }
+    }
+}
+
+/// Accumulates busy/idle time for one resource and converts it to joules.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnergyModel {
+    class: ResourceClass,
+    busy_secs: f64,
+    wall_secs: f64,
+}
+
+impl EnergyModel {
+    /// Create a model for a resource of the given class.
+    pub fn new(class: ResourceClass) -> Self {
+        Self {
+            class,
+            busy_secs: 0.0,
+            wall_secs: 0.0,
+        }
+    }
+
+    /// Record `secs` of active computation.
+    pub fn record_busy(&mut self, secs: f64) {
+        self.busy_secs += secs.max(0.0);
+    }
+
+    /// Set the total wall-clock lifetime of the resource. Idle time is
+    /// `wall - busy`.
+    pub fn set_wall(&mut self, secs: f64) {
+        self.wall_secs = secs.max(0.0);
+    }
+
+    /// Total busy seconds recorded so far.
+    pub fn busy_secs(&self) -> f64 {
+        self.busy_secs
+    }
+
+    /// Estimated energy in joules: busy time at active watts, remaining wall
+    /// time at idle watts. If wall < busy (caller forgot `set_wall`), wall is
+    /// clamped up to busy.
+    pub fn joules(&self) -> f64 {
+        let wall = self.wall_secs.max(self.busy_secs);
+        let idle = wall - self.busy_secs;
+        self.busy_secs * self.class.active_watts() + idle * self.class.idle_watts()
+    }
+
+    /// Utilisation in `[0, 1]`: busy / wall.
+    pub fn utilisation(&self) -> f64 {
+        let wall = self.wall_secs.max(self.busy_secs);
+        if wall == 0.0 {
+            0.0
+        } else {
+            self.busy_secs / wall
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_idle_resource_draws_idle_power() {
+        let mut m = EnergyModel::new(ResourceClass::EdgeDevice);
+        m.set_wall(100.0);
+        assert!((m.joules() - 270.0).abs() < 1e-9);
+        assert_eq!(m.utilisation(), 0.0);
+    }
+
+    #[test]
+    fn fully_busy_resource_draws_active_power() {
+        let mut m = EnergyModel::new(ResourceClass::EdgeDevice);
+        m.record_busy(100.0);
+        m.set_wall(100.0);
+        assert!((m.joules() - 640.0).abs() < 1e-9);
+        assert!((m.utilisation() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_busy_idle() {
+        let mut m = EnergyModel::new(ResourceClass::CloudLarge);
+        m.record_busy(30.0);
+        m.set_wall(100.0);
+        // 30 s * 180 W + 70 s * 60 W = 5400 + 4200 = 9600 J
+        assert!((m.joules() - 9600.0).abs() < 1e-9);
+        assert!((m.utilisation() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wall_clamped_to_busy() {
+        let mut m = EnergyModel::new(ResourceClass::CloudMedium);
+        m.record_busy(10.0);
+        // set_wall never called
+        assert!((m.joules() - 800.0).abs() < 1e-9);
+        assert!((m.utilisation() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_inputs_ignored() {
+        let mut m = EnergyModel::new(ResourceClass::HpcNode);
+        m.record_busy(-5.0);
+        m.set_wall(-1.0);
+        assert_eq!(m.busy_secs(), 0.0);
+        assert_eq!(m.joules(), 0.0);
+    }
+
+    #[test]
+    fn active_exceeds_idle_for_all_classes() {
+        for c in [
+            ResourceClass::EdgeDevice,
+            ResourceClass::CloudMedium,
+            ResourceClass::CloudLarge,
+            ResourceClass::HpcNode,
+        ] {
+            assert!(c.active_watts() > c.idle_watts());
+        }
+    }
+}

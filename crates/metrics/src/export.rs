@@ -1,0 +1,184 @@
+//! Span persistence: dump a registry's raw spans to CSV and load them back.
+//!
+//! The paper's monitoring service retains per-component measurements for
+//! post-hoc analysis (that is what Figs. 2/3 are plotted from). This module
+//! is the storage half: a flat CSV schema, stable across versions, written
+//! with plain `std::fs` so external tooling (pandas, gnuplot) can consume
+//! experiment runs directly.
+
+use crate::span::{Component, Span};
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// The CSV header written by [`write_csv`].
+pub const CSV_HEADER: &str = "job_id,msg_id,component,start_us,end_us,bytes,error";
+
+/// Serialize one span as a CSV row.
+pub fn span_to_row(s: &Span) -> String {
+    format!(
+        "{},{},{},{},{},{},{}",
+        s.job_id,
+        s.msg_id,
+        s.component.label(),
+        s.start_us,
+        s.end_us,
+        s.bytes,
+        s.error as u8
+    )
+}
+
+/// Parse a component label written by [`Component::label`].
+pub fn component_from_label(label: &str) -> Component {
+    match label {
+        "edge_producer" => Component::EdgeProducer,
+        "edge_processor" => Component::EdgeProcessor,
+        "broker" => Component::Broker,
+        "cloud_processor" => Component::CloudProcessor,
+        "param_server" => Component::ParamServer,
+        other => {
+            if let Some(link) = other.strip_prefix("net:") {
+                Component::Network(link.to_string())
+            } else if let Some(name) = other.strip_prefix("custom:") {
+                Component::Custom(name.to_string())
+            } else {
+                Component::Custom(other.to_string())
+            }
+        }
+    }
+}
+
+/// Parse a row written by [`span_to_row`]. Returns `None` on malformed rows
+/// (including the header).
+pub fn span_from_row(row: &str) -> Option<Span> {
+    let mut parts = row.trim().splitn(7, ',');
+    let job_id = parts.next()?.parse().ok()?;
+    let msg_id = parts.next()?.parse().ok()?;
+    let component = component_from_label(parts.next()?);
+    let start_us = parts.next()?.parse().ok()?;
+    let end_us = parts.next()?.parse().ok()?;
+    let bytes = parts.next()?.parse().ok()?;
+    let error = parts.next()? == "1";
+    Some(Span {
+        job_id,
+        msg_id,
+        component,
+        start_us,
+        end_us,
+        bytes,
+        error,
+    })
+}
+
+/// Write spans to `path` as CSV (header + one row per span).
+pub fn write_csv(path: &Path, spans: &[Span]) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "{CSV_HEADER}")?;
+    for s in spans {
+        writeln!(w, "{}", span_to_row(s))?;
+    }
+    w.flush()
+}
+
+/// Load spans from a CSV written by [`write_csv`]; malformed rows are
+/// skipped (robust to hand-edited files).
+pub fn read_csv(path: &Path) -> std::io::Result<Vec<Span>> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    let mut out = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line.starts_with("job_id") || line.trim().is_empty() {
+            continue;
+        }
+        if let Some(span) = span_from_row(&line) {
+            out.push(span);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pilot-metrics-{}-{name}.csv", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_spans() {
+        let reg = MetricsRegistry::new();
+        reg.record(1, 1, Component::EdgeProducer, 0, 100, 6400);
+        reg.record(1, 1, Component::Network("wan".into()), 100, 80_000, 6400);
+        reg.record(1, 1, Component::CloudProcessor, 80_000, 81_000, 6400);
+        let b = reg.start_span(1, 2, Component::Broker);
+        reg.fail(b);
+        let mut spans = reg.snapshot();
+        spans.sort_by_key(|s| (s.msg_id, s.start_us));
+
+        let path = tmp("roundtrip");
+        write_csv(&path, &spans).unwrap();
+        let mut loaded = read_csv(&path).unwrap();
+        loaded.sort_by_key(|s| (s.msg_id, s.start_us));
+        assert_eq!(loaded, spans);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn loaded_spans_rebuild_the_same_report() {
+        let reg = MetricsRegistry::new();
+        for m in 0..20 {
+            reg.record(7, m, Component::EdgeProducer, m * 10, m * 10 + 5, 100);
+            reg.record(7, m, Component::CloudProcessor, m * 10 + 5, m * 10 + 9, 100);
+        }
+        let path = tmp("report");
+        write_csv(&path, &reg.snapshot()).unwrap();
+        let loaded = read_csv(&path).unwrap();
+        let original = reg.report();
+        let rebuilt = crate::report::PipelineReport::from_spans(&loaded);
+        assert_eq!(rebuilt.total_messages(), original.total_messages());
+        assert_eq!(
+            rebuilt.end_to_end.latency_us.mean(),
+            original.end_to_end.latency_us.mean()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn component_labels_roundtrip() {
+        for c in [
+            Component::EdgeProducer,
+            Component::EdgeProcessor,
+            Component::Broker,
+            Component::Network("edge->broker".into()),
+            Component::CloudProcessor,
+            Component::ParamServer,
+            Component::Custom("fog".into()),
+        ] {
+            assert_eq!(component_from_label(&c.label()), c, "{c}");
+        }
+    }
+
+    #[test]
+    fn malformed_rows_skipped() {
+        let path = tmp("malformed");
+        std::fs::write(
+            &path,
+            format!("{CSV_HEADER}\n1,1,broker,0,10,8,0\nnot,a,row\n\n2,1,broker,0,10,8,1\n"),
+        )
+        .unwrap();
+        let spans = read_csv(&path).unwrap();
+        assert_eq!(spans.len(), 2);
+        assert!(spans[1].error);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(read_csv(Path::new("/nonexistent/spans.csv")).is_err());
+    }
+}

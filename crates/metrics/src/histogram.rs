@@ -1,0 +1,280 @@
+//! A log-bucketed histogram for latency-like values.
+//!
+//! Recording is O(1) (a leading-zeros computation plus an array increment);
+//! quantile queries walk the fixed bucket array. Precision is bounded: each
+//! power-of-two range is split into [`SUB_BUCKETS`] linear sub-buckets, so
+//! the relative quantile error is at most `1/SUB_BUCKETS` (6.25%) — plenty
+//! for the latency distributions in the paper's figures, at a fraction of
+//! the footprint of a full HDR histogram.
+
+/// Linear sub-buckets per power-of-two range.
+pub const SUB_BUCKETS: usize = 16;
+/// Number of power-of-two ranges covered (values up to 2^40 µs ≈ 12 days).
+const RANGES: usize = 40;
+const NBUCKETS: usize = RANGES * SUB_BUCKETS;
+
+/// A fixed-size log-bucketed histogram of `u64` values.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Box<[u64; NBUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: Box::new([0u64; NBUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_index(value: u64) -> usize {
+        // Values below SUB_BUCKETS map 1:1 into the first range.
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        // `range` is the index of the highest set bit; split that
+        // power-of-two span into SUB_BUCKETS linear sub-buckets.
+        let range = 63 - value.leading_zeros() as usize;
+        let base = range.saturating_sub(3); // first 4 bits fit in range 0
+        let shift = range.saturating_sub(4);
+        let sub = ((value >> shift) as usize) & (SUB_BUCKETS - 1);
+        (base * SUB_BUCKETS + sub).min(NBUCKETS - 1)
+    }
+
+    /// Representative (upper-bound) value for bucket `i`; inverse of
+    /// [`Self::bucket_index`] up to bucket granularity.
+    fn bucket_value(i: usize) -> u64 {
+        if i < SUB_BUCKETS {
+            return i as u64;
+        }
+        let base = i / SUB_BUCKETS;
+        let sub = i % SUB_BUCKETS;
+        let range = base + 3;
+        let shift = range - 4;
+        ((1u64 << range) | ((sub as u64) << shift)) + (1u64 << shift) - 1
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact arithmetic mean of recorded values (not bucketed).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Exact minimum recorded value, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`. Returns the upper bound of the
+    /// bucket containing the q-th value; exact `min`/`max` are substituted at
+    /// the extremes.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return self.min();
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(i).min(self.max).max(self.min());
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn median(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// True if no values were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.count(), 16);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 25.0);
+        assert_eq!(h.sum(), 100);
+    }
+
+    #[test]
+    fn quantile_relative_error_bounded() {
+        let mut h = Histogram::new();
+        // Uniform values across several decades.
+        for i in 1..=10_000u64 {
+            h.record(i * 37);
+        }
+        for q in [0.1, 0.25, 0.5, 0.9, 0.99] {
+            let est = h.quantile(q) as f64;
+            let exact = (q * 10_000.0).round() * 37.0;
+            let rel = (est - exact).abs() / exact;
+            assert!(rel < 0.08, "q={q} est={est} exact={exact} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_are_exact() {
+        let mut h = Histogram::new();
+        h.record(123);
+        h.record(456_789);
+        assert_eq!(h.quantile(0.0), 123);
+        assert_eq!(h.quantile(1.0), 456_789);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(42);
+        let before = (a.count(), a.min(), a.max(), a.sum());
+        a.merge(&Histogram::new());
+        assert_eq!(before, (a.count(), a.min(), a.max(), a.sum()));
+    }
+
+    #[test]
+    fn bucket_roundtrip_bounds() {
+        // bucket_value(bucket_index(v)) must be >= v and within 1/SUB_BUCKETS.
+        for v in [
+            1u64,
+            15,
+            16,
+            17,
+            100,
+            1_000,
+            65_535,
+            1 << 30,
+            (1 << 35) + 12345,
+        ] {
+            let i = Histogram::bucket_index(v);
+            let ub = Histogram::bucket_value(i);
+            assert!(ub >= v, "v={v} i={i} ub={ub}");
+            assert!(
+                (ub - v) as f64 <= v as f64 / (SUB_BUCKETS as f64 / 2.0) + 1.0,
+                "v={v} ub={ub}"
+            );
+        }
+    }
+
+    #[test]
+    fn median_of_symmetric_data() {
+        let mut h = Histogram::new();
+        for v in 1..=1001u64 {
+            h.record(v * 1000);
+        }
+        let med = h.median() as f64;
+        assert!((med - 501_000.0).abs() / 501_000.0 < 0.07, "med={med}");
+    }
+}

@@ -1,0 +1,49 @@
+//! # pilot-metrics — the Pilot-Edge monitoring fabric
+//!
+//! The Pilot-Edge paper (Section II-B, "step 3") emphasises *comprehensive
+//! monitoring*: every component of an edge-to-cloud pipeline — the edge data
+//! generator, the broker, and the cloud processing service — captures metrics
+//! that are **linked by a unique job identifier** so that "progress and errors
+//! can be consistently tracked across all components" and bottlenecks are easy
+//! to identify (e.g. Fig. 2's observation that with four partitions the Kafka
+//! broker can process more data than the consuming cloud tasks).
+//!
+//! This crate provides that fabric:
+//!
+//! * [`MetricsRegistry`] — a sharded, thread-safe sink for [`Span`] records
+//!   and named [`Counter`]s / [`Histogram`]s, with a single monotonic epoch so
+//!   timestamps from different threads are comparable.
+//! * [`Span`] — one timed unit of work in one [`Component`], keyed by
+//!   `(job_id, msg_id)` so the end-to-end path of a message can be
+//!   reconstructed across components.
+//! * [`ComponentStats`] / [`PipelineReport`] — aggregation: per-component
+//!   throughput (messages/s and MB/s), latency quantiles, end-to-end message
+//!   latency (produce start → final process end), and a bottleneck verdict.
+//! * [`Histogram`] — a log-bucketed latency histogram with cheap recording
+//!   and quantile queries, mergeable across shards.
+//! * [`EnergyModel`] — the simple active-time × wattage energy estimate the
+//!   paper lists as future work.
+//!
+//! The registry is designed for the hot path of a streaming pipeline: span
+//! recording takes one shard lock (sharded by thread to avoid contention) and
+//! one `Vec::push`.
+
+pub mod clock;
+pub mod counter;
+pub mod energy;
+pub mod export;
+pub mod histogram;
+pub mod registry;
+pub mod report;
+pub mod span;
+pub mod timeline;
+
+pub use clock::Clock;
+pub use counter::Counter;
+pub use energy::{EnergyModel, ResourceClass};
+pub use export::{read_csv, write_csv};
+pub use histogram::Histogram;
+pub use registry::MetricsRegistry;
+pub use report::{ComponentStats, EndToEnd, PipelineReport};
+pub use span::{Component, JobId, MsgId, Span, SpanBuilder};
+pub use timeline::{TimeBucket, Timeline};

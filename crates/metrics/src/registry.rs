@@ -1,0 +1,266 @@
+//! The metrics registry: a sharded, thread-safe sink for spans and named
+//! counters, sharing one clock epoch.
+
+use crate::clock::Clock;
+use crate::counter::Counter;
+use crate::report::PipelineReport;
+use crate::span::{Component, JobId, MsgId, Span, SpanBuilder};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Number of span shards. Spans are sharded round-robin per recording call;
+/// ordering within a shard is irrelevant because spans carry timestamps.
+const SHARDS: usize = 16;
+
+/// A thread-safe registry of spans and named counters.
+///
+/// Cloning an handle is cheap (`Arc` inside). All components of a pipeline
+/// share one registry so their timestamps are comparable and their spans can
+/// be joined by `(job_id, msg_id)`.
+/// # Example
+///
+/// ```
+/// use pilot_metrics::{Component, MetricsRegistry};
+///
+/// let registry = MetricsRegistry::new();
+/// let span = registry.start_span(1, 1, Component::Broker).bytes(1024);
+/// registry.finish(span);
+/// let report = registry.report();
+/// assert_eq!(report.component(&Component::Broker).unwrap().count, 1);
+/// ```
+#[derive(Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    clock: Clock,
+    shards: Vec<Mutex<Vec<Span>>>,
+    next_shard: AtomicUsize,
+    counters: Mutex<HashMap<String, Arc<Counter>>>,
+}
+
+impl MetricsRegistry {
+    /// Create an empty registry with a fresh clock epoch.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                clock: Clock::new(),
+                shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+                next_shard: AtomicUsize::new(0),
+                counters: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// The registry's shared clock.
+    pub fn clock(&self) -> Clock {
+        self.inner.clock
+    }
+
+    /// Microseconds since the registry epoch.
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        self.inner.clock.now_micros()
+    }
+
+    /// Begin a span for `(job_id, msg_id)` in `component`, timestamped now.
+    pub fn start_span(&self, job_id: JobId, msg_id: MsgId, component: Component) -> SpanBuilder {
+        SpanBuilder {
+            job_id,
+            msg_id,
+            component,
+            start_us: self.now_us(),
+            bytes: 0,
+        }
+    }
+
+    /// Complete a span successfully (end time = now) and record it.
+    pub fn finish(&self, builder: SpanBuilder) {
+        let span = builder.into_span(self.now_us(), false);
+        self.record_span(span);
+    }
+
+    /// Complete a span as failed and record it.
+    pub fn fail(&self, builder: SpanBuilder) {
+        let span = builder.into_span(self.now_us(), true);
+        self.record_span(span);
+    }
+
+    /// Record a fully-formed span (e.g. reconstructed from simulated time).
+    pub fn record_span(&self, span: Span) {
+        let shard = self.inner.next_shard.fetch_add(1, Ordering::Relaxed) % SHARDS;
+        self.inner.shards[shard].lock().push(span);
+    }
+
+    /// Convenience: record a span of known start/duration for `(job, msg)`.
+    pub fn record(
+        &self,
+        job_id: JobId,
+        msg_id: MsgId,
+        component: Component,
+        start_us: u64,
+        end_us: u64,
+        bytes: u64,
+    ) {
+        self.record_span(Span {
+            job_id,
+            msg_id,
+            component,
+            start_us,
+            end_us,
+            bytes,
+            error: false,
+        });
+    }
+
+    /// Fetch (creating if absent) the named counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut guard = self.inner.counters.lock();
+        Arc::clone(
+            guard
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Current value of a named counter (0 if it does not exist).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner
+            .counters
+            .lock()
+            .get(name)
+            .map(|c| c.get())
+            .unwrap_or(0)
+    }
+
+    /// Snapshot all spans recorded so far (cloned, in no particular order).
+    pub fn snapshot(&self) -> Vec<Span> {
+        let mut out = Vec::new();
+        for shard in &self.inner.shards {
+            out.extend(shard.lock().iter().cloned());
+        }
+        out
+    }
+
+    /// Total number of spans recorded so far.
+    pub fn span_count(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Drop all recorded spans (counters are kept).
+    pub fn clear(&self) {
+        for shard in &self.inner.shards {
+            shard.lock().clear();
+        }
+    }
+
+    /// Aggregate everything recorded so far into a [`PipelineReport`].
+    pub fn report(&self) -> PipelineReport {
+        PipelineReport::from_spans(&self.snapshot())
+    }
+
+    /// Aggregate spans of a single job into a [`PipelineReport`].
+    pub fn report_for_job(&self, job_id: JobId) -> PipelineReport {
+        let spans: Vec<Span> = self
+            .snapshot()
+            .into_iter()
+            .filter(|s| s.job_id == job_id)
+            .collect();
+        PipelineReport::from_spans(&spans)
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("spans", &self.span_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_finish_records_one_span() {
+        let reg = MetricsRegistry::new();
+        let b = reg.start_span(1, 1, Component::Broker).bytes(512);
+        reg.finish(b);
+        let spans = reg.snapshot();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].bytes, 512);
+        assert!(!spans[0].error);
+    }
+
+    #[test]
+    fn failed_span_is_marked() {
+        let reg = MetricsRegistry::new();
+        let b = reg.start_span(1, 2, Component::CloudProcessor);
+        reg.fail(b);
+        assert!(reg.snapshot()[0].error);
+    }
+
+    #[test]
+    fn counters_are_shared_by_name() {
+        let reg = MetricsRegistry::new();
+        reg.counter("msgs").add(3);
+        reg.counter("msgs").add(4);
+        assert_eq!(reg.counter_value("msgs"), 7);
+        assert_eq!(reg.counter_value("other"), 0);
+    }
+
+    #[test]
+    fn clear_drops_spans_but_keeps_counters() {
+        let reg = MetricsRegistry::new();
+        reg.finish(reg.start_span(1, 1, Component::Broker));
+        reg.counter("c").incr();
+        reg.clear();
+        assert_eq!(reg.span_count(), 0);
+        assert_eq!(reg.counter_value("c"), 1);
+    }
+
+    #[test]
+    fn report_for_job_filters() {
+        let reg = MetricsRegistry::new();
+        reg.record(1, 1, Component::Broker, 0, 10, 100);
+        reg.record(2, 1, Component::Broker, 0, 10, 100);
+        let r = reg.report_for_job(1);
+        assert_eq!(r.total_messages(), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let reg = MetricsRegistry::new();
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let reg = reg.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    reg.record(t, i, Component::Broker, i, i + 1, 8);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.span_count(), 8000);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let reg = MetricsRegistry::new();
+        let reg2 = reg.clone();
+        reg2.record(1, 1, Component::Broker, 0, 1, 0);
+        assert_eq!(reg.span_count(), 1);
+    }
+}

@@ -1,0 +1,214 @@
+//! Time-bucketed series: throughput and latency *over time*.
+//!
+//! The paper's dynamism story (bursts, scaling, function swaps) is only
+//! visible in a time dimension the aggregate report flattens away. A
+//! [`Timeline`] rebuckets a job's spans into fixed windows, yielding the
+//! per-window series (messages/s, MB/s, mean latency) that the `dynamism`
+//! harness binary prints and the autoscaler tests assert on.
+
+use crate::span::{Component, Span};
+
+/// One time bucket's aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeBucket {
+    /// Bucket start, µs since the clock epoch.
+    pub start_us: u64,
+    /// Spans completed in this bucket.
+    pub count: u64,
+    /// Payload bytes completed in this bucket.
+    pub bytes: u64,
+    /// Mean service time of spans completing in this bucket (µs).
+    pub mean_service_us: f64,
+}
+
+impl TimeBucket {
+    /// Messages per second within the bucket.
+    pub fn rate(&self, bucket_us: u64) -> f64 {
+        if bucket_us == 0 {
+            return 0.0;
+        }
+        self.count as f64 / (bucket_us as f64 / 1e6)
+    }
+
+    /// MB per second within the bucket.
+    pub fn mb_rate(&self, bucket_us: u64) -> f64 {
+        if bucket_us == 0 {
+            return 0.0;
+        }
+        (self.bytes as f64 / 1e6) / (bucket_us as f64 / 1e6)
+    }
+}
+
+/// A bucketed view over one component's spans.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    /// Bucket width in µs.
+    pub bucket_us: u64,
+    /// Consecutive buckets from the first to the last span (empty buckets
+    /// included, with zero counts).
+    pub buckets: Vec<TimeBucket>,
+}
+
+impl Timeline {
+    /// Bucket the spans of `component` (or all components when `None`) by
+    /// completion time.
+    pub fn from_spans(spans: &[Span], component: Option<&Component>, bucket_us: u64) -> Self {
+        assert!(bucket_us > 0, "bucket width must be > 0");
+        let selected: Vec<&Span> = spans
+            .iter()
+            .filter(|s| !s.error && component.is_none_or(|c| &s.component == c))
+            .collect();
+        if selected.is_empty() {
+            return Self {
+                bucket_us,
+                buckets: Vec::new(),
+            };
+        }
+        let first = selected.iter().map(|s| s.end_us).min().unwrap() / bucket_us;
+        let last = selected.iter().map(|s| s.end_us).max().unwrap() / bucket_us;
+        let n = (last - first + 1) as usize;
+        let mut counts = vec![0u64; n];
+        let mut bytes = vec![0u64; n];
+        let mut service = vec![0u64; n];
+        for s in &selected {
+            let b = (s.end_us / bucket_us - first) as usize;
+            counts[b] += 1;
+            bytes[b] += s.bytes;
+            service[b] += s.duration_us();
+        }
+        let buckets = (0..n)
+            .map(|b| TimeBucket {
+                start_us: (first + b as u64) * bucket_us,
+                count: counts[b],
+                bytes: bytes[b],
+                mean_service_us: if counts[b] == 0 {
+                    0.0
+                } else {
+                    service[b] as f64 / counts[b] as f64
+                },
+            })
+            .collect();
+        Self { bucket_us, buckets }
+    }
+
+    /// Peak per-bucket message rate.
+    pub fn peak_rate(&self) -> f64 {
+        self.buckets
+            .iter()
+            .map(|b| b.rate(self.bucket_us))
+            .fold(0.0, f64::max)
+    }
+
+    /// CSV rendering: `t_ms,count,msgs_per_s,mb_per_s,mean_service_ms`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_ms,count,msgs_per_s,mb_per_s,mean_service_ms\n");
+        for b in &self.buckets {
+            out.push_str(&format!(
+                "{:.1},{},{:.2},{:.4},{:.3}\n",
+                b.start_us as f64 / 1e3,
+                b.count,
+                b.rate(self.bucket_us),
+                b.mb_rate(self.bucket_us),
+                b.mean_service_us / 1e3,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(end_us: u64, bytes: u64, dur: u64) -> Span {
+        Span {
+            job_id: 1,
+            msg_id: end_us,
+            component: Component::CloudProcessor,
+            start_us: end_us - dur,
+            end_us,
+            bytes,
+            error: false,
+        }
+    }
+
+    #[test]
+    fn empty_spans_empty_timeline() {
+        let t = Timeline::from_spans(&[], None, 1000);
+        assert!(t.buckets.is_empty());
+        assert_eq!(t.peak_rate(), 0.0);
+    }
+
+    #[test]
+    fn buckets_cover_span_range_contiguously() {
+        let spans = vec![span(1_500, 10, 100), span(4_500, 10, 100)];
+        let t = Timeline::from_spans(&spans, None, 1_000);
+        // Buckets 1..=4 → 4 buckets, including empty 2 and 3.
+        assert_eq!(t.buckets.len(), 4);
+        assert_eq!(t.buckets[0].count, 1);
+        assert_eq!(t.buckets[1].count, 0);
+        assert_eq!(t.buckets[3].count, 1);
+        assert_eq!(t.buckets[0].start_us, 1_000);
+    }
+
+    #[test]
+    fn rates_are_per_second() {
+        let spans: Vec<Span> = (0..10).map(|i| span(500 + i * 10, 1_000, 5)).collect();
+        let t = Timeline::from_spans(&spans, None, 1_000);
+        assert_eq!(t.buckets.len(), 1);
+        // 10 msgs in a 1 ms bucket = 10,000 msgs/s.
+        assert!((t.buckets[0].rate(1_000) - 10_000.0).abs() < 1e-9);
+        // 10 KB in 1 ms = 10 MB/s.
+        assert!((t.buckets[0].mb_rate(1_000) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn component_filter() {
+        let mut spans = vec![span(100, 1, 10)];
+        spans.push(Span {
+            component: Component::Broker,
+            ..span(150, 1, 10)
+        });
+        let t = Timeline::from_spans(&spans, Some(&Component::Broker), 1_000);
+        assert_eq!(t.buckets.iter().map(|b| b.count).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn errors_excluded() {
+        let mut bad = span(100, 1, 10);
+        bad.error = true;
+        let t = Timeline::from_spans(&[bad], None, 1_000);
+        assert!(t.buckets.is_empty());
+    }
+
+    #[test]
+    fn mean_service_time() {
+        let spans = vec![span(500, 1, 100), span(600, 1, 300)];
+        let t = Timeline::from_spans(&spans, None, 1_000);
+        assert!((t.buckets[0].mean_service_us - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_rate_finds_burst() {
+        let mut spans: Vec<Span> = (0..5).map(|i| span(1_000 + i * 100, 1, 10)).collect();
+        spans.extend((0..50).map(|i| span(5_000 + i * 10, 1, 10)));
+        let t = Timeline::from_spans(&spans, None, 1_000);
+        // Burst bucket has 50 msgs/ms = 50,000/s.
+        assert!((t.peak_rate() - 50_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let spans = vec![span(100, 1, 10)];
+        let t = Timeline::from_spans(&spans, None, 1_000);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.starts_with("t_ms,"));
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_bucket_panics() {
+        Timeline::from_spans(&[], None, 0);
+    }
+}

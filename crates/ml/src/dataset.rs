@@ -1,0 +1,200 @@
+//! Borrowed row-major dataset views and standardisation.
+
+/// A borrowed view over `rows × cols` values in row-major order.
+///
+/// The pipeline's hot path decodes wire payloads into a flat `Vec<f64>`;
+/// `Dataset` lets the models consume that buffer without copying.
+#[derive(Debug, Clone, Copy)]
+pub struct Dataset<'a> {
+    data: &'a [f64],
+    rows: usize,
+    cols: usize,
+}
+
+impl<'a> Dataset<'a> {
+    /// Wrap a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn new(data: &'a [f64], rows: usize, cols: usize) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "dataset buffer length {} != rows {} * cols {}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { data, rows, cols }
+    }
+
+    /// Number of rows (points).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (features).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a feature slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &'a [f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The underlying flat buffer.
+    #[inline]
+    pub fn raw(&self) -> &'a [f64] {
+        self.data
+    }
+
+    /// Iterate over rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &'a [f64]> + '_ {
+        (0..self.rows).map(move |i| self.row(i))
+    }
+
+    /// True if the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Per-column mean.
+    pub fn column_means(&self) -> Vec<f64> {
+        let mut means = vec![0.0; self.cols];
+        if self.rows == 0 {
+            return means;
+        }
+        for row in self.iter_rows() {
+            for (m, &v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= self.rows as f64;
+        }
+        means
+    }
+
+    /// Per-column population standard deviation.
+    pub fn column_stds(&self) -> Vec<f64> {
+        let means = self.column_means();
+        let mut vars = vec![0.0; self.cols];
+        if self.rows == 0 {
+            return vars;
+        }
+        for row in self.iter_rows() {
+            for ((v, &x), &m) in vars.iter_mut().zip(row).zip(&means) {
+                let d = x - m;
+                *v += d * d;
+            }
+        }
+        for v in &mut vars {
+            *v = (*v / self.rows as f64).sqrt();
+        }
+        vars
+    }
+
+    /// Z-score standardisation into a new owned buffer. Columns with zero
+    /// standard deviation are centred but not scaled.
+    pub fn standardized(&self) -> Vec<f64> {
+        let means = self.column_means();
+        let stds = self.column_stds();
+        let mut out = Vec::with_capacity(self.data.len());
+        for row in self.iter_rows() {
+            for ((&x, &m), &s) in row.iter().zip(&means).zip(&stds) {
+                out.push(if s > 0.0 { (x - m) / s } else { x - m });
+            }
+        }
+        out
+    }
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_access() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let ds = Dataset::new(&data, 3, 2);
+        assert_eq!(ds.row(0), &[1.0, 2.0]);
+        assert_eq!(ds.row(2), &[5.0, 6.0]);
+        assert_eq!(ds.rows(), 3);
+        assert_eq!(ds.cols(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dataset buffer length")]
+    fn wrong_length_panics() {
+        let data = [1.0, 2.0, 3.0];
+        Dataset::new(&data, 2, 2);
+    }
+
+    #[test]
+    fn column_means_and_stds() {
+        let data = [1.0, 10.0, 3.0, 10.0, 5.0, 10.0];
+        let ds = Dataset::new(&data, 3, 2);
+        assert_eq!(ds.column_means(), vec![3.0, 10.0]);
+        let stds = ds.column_stds();
+        assert!((stds[0] - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(stds[1], 0.0);
+    }
+
+    #[test]
+    fn standardize_zero_mean_unit_std() {
+        let data = [1.0, 3.0, 5.0, 7.0];
+        let ds = Dataset::new(&data, 4, 1);
+        let z = ds.standardized();
+        let zds = Dataset::new(&z, 4, 1);
+        let m = zds.column_means()[0];
+        let s = zds.column_stds()[0];
+        assert!(m.abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardize_constant_column_centred_only() {
+        let data = [5.0, 5.0, 5.0];
+        let ds = Dataset::new(&data, 3, 1);
+        assert_eq!(ds.standardized(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let data: [f64; 0] = [];
+        let ds = Dataset::new(&data, 0, 4);
+        assert!(ds.is_empty());
+        assert_eq!(ds.column_means(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn sq_dist_basics() {
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(sq_dist(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn iter_rows_covers_all() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let ds = Dataset::new(&data, 2, 2);
+        let rows: Vec<&[f64]> = ds.iter_rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], &[3.0, 4.0]);
+    }
+}

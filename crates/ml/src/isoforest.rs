@@ -1,0 +1,447 @@
+//! Isolation forest (Liu, Ting & Zhou, ICDM 2008).
+//!
+//! The paper uses the PyOD implementation with its defaults: an ensemble of
+//! 100 trees ("a default of 100 ensemble tasks"), each built on a random
+//! subsample (ψ = 256 in the original algorithm and in
+//! scikit-learn/PyOD). An outlier "is defined by the number of steps
+//! required to isolate a data point; the fewer steps required, the more
+//! likely a point is an outlier". The anomaly score is the original paper's
+//! `s(x, ψ) = 2^(−E[h(x)] / c(ψ))` where `c(ψ)` is the average unsuccessful
+//! BST search path length.
+//!
+//! Streaming behaviour: like the Pilot-Edge deployment, the model is refit
+//! on each incoming message's data (`partial_fit` rebuilds the ensemble from
+//! the new batch) — isolation forests have no incremental update, and
+//! rebuilding is exactly what makes them ~5× slower than k-means in Fig. 3.
+
+use crate::dataset::Dataset;
+use crate::outlier::{ModelKind, OutlierModel};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for [`IsolationForest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsolationForestConfig {
+    /// Ensemble size (paper/PyOD default: 100).
+    pub n_trees: usize,
+    /// Subsample size ψ per tree (original paper default: 256).
+    pub subsample: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl IsolationForestConfig {
+    /// The paper's configuration: 100 trees, ψ = 256.
+    pub fn paper() -> Self {
+        Self {
+            n_trees: 100,
+            subsample: 256,
+            seed: 42,
+        }
+    }
+}
+
+/// Node of an isolation tree, stored in a flat arena.
+#[derive(Debug, Clone)]
+enum Node {
+    /// Internal split: feature index, split value, children arena indices.
+    Split {
+        feature: u32,
+        value: f64,
+        left: u32,
+        right: u32,
+    },
+    /// External node holding `size` points; contributes `c(size)` to the
+    /// path length.
+    Leaf { size: u32 },
+}
+
+/// One isolation tree.
+#[derive(Debug, Clone)]
+struct ITree {
+    nodes: Vec<Node>,
+}
+
+impl ITree {
+    /// Build a tree over `sample` (indices into `data`), splitting until
+    /// isolation or the height limit `ceil(log2(ψ))`.
+    fn build(
+        data: &Dataset<'_>,
+        sample: &mut [usize],
+        height_limit: u32,
+        rng: &mut StdRng,
+    ) -> Self {
+        let mut nodes = Vec::with_capacity(2 * sample.len());
+        Self::build_node(data, sample, 0, height_limit, rng, &mut nodes);
+        ITree { nodes }
+    }
+
+    /// Recursively build; returns the arena index of the created node.
+    fn build_node(
+        data: &Dataset<'_>,
+        sample: &mut [usize],
+        depth: u32,
+        height_limit: u32,
+        rng: &mut StdRng,
+        nodes: &mut Vec<Node>,
+    ) -> u32 {
+        if sample.len() <= 1 || depth >= height_limit {
+            nodes.push(Node::Leaf {
+                size: sample.len() as u32,
+            });
+            return (nodes.len() - 1) as u32;
+        }
+        // Pick a feature with spread; give up after a few attempts (the
+        // sample may be constant in every dimension).
+        let d = data.cols();
+        let mut split = None;
+        for _ in 0..8 {
+            let f = rng.random_range(0..d);
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &i in sample.iter() {
+                let v = data.row(i)[f];
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if hi > lo {
+                split = Some((f, rng.random_range(lo..hi)));
+                break;
+            }
+        }
+        let Some((feature, value)) = split else {
+            nodes.push(Node::Leaf {
+                size: sample.len() as u32,
+            });
+            return (nodes.len() - 1) as u32;
+        };
+        // Partition in place.
+        let mut mid = 0;
+        for i in 0..sample.len() {
+            if data.row(sample[i])[feature] < value {
+                sample.swap(i, mid);
+                mid += 1;
+            }
+        }
+        // Reserve this node's slot before recursing.
+        let my_idx = nodes.len() as u32;
+        nodes.push(Node::Leaf { size: 0 }); // placeholder
+        let (left_sample, right_sample) = sample.split_at_mut(mid);
+        let left = Self::build_node(data, left_sample, depth + 1, height_limit, rng, nodes);
+        let right = Self::build_node(data, right_sample, depth + 1, height_limit, rng, nodes);
+        nodes[my_idx as usize] = Node::Split {
+            feature: feature as u32,
+            value,
+            left,
+            right,
+        };
+        my_idx
+    }
+
+    /// Path length h(x) for one point, with the `c(size)` adjustment at
+    /// truncated leaves.
+    fn path_length(&self, point: &[f64]) -> f64 {
+        let mut idx = 0u32;
+        let mut depth = 0.0;
+        loop {
+            match &self.nodes[idx as usize] {
+                Node::Leaf { size } => {
+                    return depth + c_factor(*size as usize);
+                }
+                Node::Split {
+                    feature,
+                    value,
+                    left,
+                    right,
+                } => {
+                    depth += 1.0;
+                    idx = if point[*feature as usize] < *value {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Average path length of an unsuccessful BST search over `n` points:
+/// `c(n) = 2·H(n−1) − 2(n−1)/n`, with `H(i) ≈ ln(i) + γ`.
+pub fn c_factor(n: usize) -> f64 {
+    /// Euler–Mascheroni constant (std's EGAMMA is not yet stable).
+    const EGAMMA: f64 = 0.577_215_664_901_532_9;
+    if n <= 1 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let h = (nf - 1.0).ln() + EGAMMA;
+    2.0 * h - 2.0 * (nf - 1.0) / nf
+}
+
+/// The isolation-forest ensemble.
+#[derive(Debug)]
+pub struct IsolationForest {
+    config: IsolationForestConfig,
+    trees: Vec<ITree>,
+    /// ψ actually used by the last fit (min(subsample, n)).
+    effective_subsample: usize,
+    rng: StdRng,
+}
+
+impl IsolationForest {
+    /// Create an untrained forest.
+    pub fn new(config: IsolationForestConfig) -> Self {
+        assert!(config.n_trees > 0, "n_trees must be > 0");
+        assert!(config.subsample > 1, "subsample must be > 1");
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self {
+            config,
+            trees: Vec::new(),
+            effective_subsample: 0,
+            rng,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &IsolationForestConfig {
+        &self.config
+    }
+
+    /// True once trees exist.
+    pub fn is_trained(&self) -> bool {
+        !self.trees.is_empty()
+    }
+
+    /// Number of trees currently in the ensemble.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Fit the ensemble on a batch (replaces any previous trees).
+    pub fn fit(&mut self, data: &Dataset<'_>) {
+        if data.is_empty() {
+            return;
+        }
+        let n = data.rows();
+        let psi = self.config.subsample.min(n);
+        let height_limit = (psi as f64).log2().ceil().max(1.0) as u32;
+        let mut trees = Vec::with_capacity(self.config.n_trees);
+        let mut sample = vec![0usize; psi];
+        for _ in 0..self.config.n_trees {
+            // Sample ψ indices without replacement (partial Fisher–Yates
+            // over an index pool when ψ < n; the whole range otherwise).
+            if psi == n {
+                for (j, s) in sample.iter_mut().enumerate() {
+                    *s = j;
+                }
+            } else {
+                // Floyd's algorithm for distinct samples.
+                let mut chosen = std::collections::HashSet::with_capacity(psi);
+                for j in (n - psi)..n {
+                    let t = self.rng.random_range(0..=j);
+                    let pick = if chosen.contains(&t) { j } else { t };
+                    chosen.insert(pick);
+                }
+                for (s, &v) in sample.iter_mut().zip(chosen.iter()) {
+                    *s = v;
+                }
+            }
+            trees.push(ITree::build(data, &mut sample, height_limit, &mut self.rng));
+        }
+        self.trees = trees;
+        self.effective_subsample = psi;
+    }
+
+    /// Mean path length over the ensemble for one point.
+    pub fn mean_path_length(&self, point: &[f64]) -> f64 {
+        assert!(self.is_trained(), "score before training");
+        self.trees.iter().map(|t| t.path_length(point)).sum::<f64>() / self.trees.len() as f64
+    }
+}
+
+impl OutlierModel for IsolationForest {
+    fn kind(&self) -> ModelKind {
+        ModelKind::IsolationForest
+    }
+
+    /// Streaming update = refit on the incoming batch (isolation forests
+    /// are not incrementally updatable; this mirrors the paper's per-message
+    /// model update and is the source of the model's high per-message cost).
+    fn partial_fit(&mut self, data: &Dataset<'_>) {
+        self.fit(data);
+    }
+
+    /// Anomaly score `s(x, ψ) = 2^(−E[h(x)]/c(ψ))` ∈ (0, 1]; higher is more
+    /// anomalous.
+    fn score(&self, data: &Dataset<'_>) -> Vec<f64> {
+        assert!(self.is_trained(), "score before training");
+        let c = c_factor(self.effective_subsample).max(f64::MIN_POSITIVE);
+        data.iter_rows()
+            .map(|row| {
+                let e_h = self.mean_path_length(row);
+                2f64.powf(-e_h / c)
+            })
+            .collect()
+    }
+
+    fn weights(&self) -> Vec<f64> {
+        // Tree structure is not a flat parameter vector; the parameter
+        // server shares isolation forests by re-fitting on the receiver
+        // side (documented contract).
+        Vec::new()
+    }
+
+    fn set_weights(&mut self, weights: &[f64]) -> bool {
+        weights.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tight Gaussian blob with a few extreme points appended.
+    fn blob_with_outliers() -> (Vec<f64>, usize, usize) {
+        let mut data = Vec::new();
+        let mut state = 9u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f64 / 1000.0 - 1.0
+        };
+        let n_inliers = 500;
+        for _ in 0..n_inliers {
+            data.push(next());
+            data.push(next());
+        }
+        let outliers = [(50.0, 50.0), (-60.0, 40.0), (45.0, -55.0)];
+        for &(x, y) in &outliers {
+            data.push(x);
+            data.push(y);
+        }
+        (data, n_inliers, outliers.len())
+    }
+
+    fn cfg() -> IsolationForestConfig {
+        IsolationForestConfig {
+            n_trees: 50,
+            subsample: 128,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn c_factor_known_values() {
+        assert_eq!(c_factor(0), 0.0);
+        assert_eq!(c_factor(1), 0.0);
+        // c(2) = 2·(ln(1)+γ) − 2·(1/2) = 2γ − 1 ≈ 0.1544
+        assert!((c_factor(2) - (2.0 * 0.577_215_664_901_532_9 - 1.0)).abs() < 1e-12);
+        // c grows with n
+        assert!(c_factor(256) > c_factor(64));
+    }
+
+    #[test]
+    fn outliers_rank_above_inliers() {
+        let (data, n_in, n_out) = blob_with_outliers();
+        let ds = Dataset::new(&data, n_in + n_out, 2);
+        let mut f = IsolationForest::new(cfg());
+        f.fit(&ds);
+        let scores = f.score(&ds);
+        let min_outlier = scores[n_in..].iter().cloned().fold(f64::INFINITY, f64::min);
+        // Count inliers scoring above the weakest outlier — should be none
+        // or nearly none.
+        let violations = scores[..n_in].iter().filter(|&&s| s > min_outlier).count();
+        assert!(violations <= 2, "violations={violations}");
+    }
+
+    #[test]
+    fn scores_are_in_unit_interval() {
+        let (data, n_in, n_out) = blob_with_outliers();
+        let ds = Dataset::new(&data, n_in + n_out, 2);
+        let mut f = IsolationForest::new(cfg());
+        f.fit(&ds);
+        for s in f.score(&ds) {
+            assert!((0.0..=1.0).contains(&s), "s={s}");
+        }
+    }
+
+    #[test]
+    fn outlier_scores_exceed_half() {
+        // Liu et al.: points with score well above 0.5 are anomalies.
+        let (data, n_in, n_out) = blob_with_outliers();
+        let ds = Dataset::new(&data, n_in + n_out, 2);
+        let mut f = IsolationForest::new(cfg());
+        f.fit(&ds);
+        let scores = f.score(&ds);
+        for s in &scores[n_in..] {
+            assert!(*s > 0.55, "outlier score {s}");
+        }
+    }
+
+    #[test]
+    fn partial_fit_rebuilds_ensemble() {
+        let (data, n_in, n_out) = blob_with_outliers();
+        let ds = Dataset::new(&data, n_in + n_out, 2);
+        let mut f = IsolationForest::new(cfg());
+        f.partial_fit(&ds);
+        assert_eq!(f.tree_count(), 50);
+        f.partial_fit(&ds);
+        assert_eq!(f.tree_count(), 50);
+    }
+
+    #[test]
+    fn constant_data_gets_uniform_scores() {
+        let data = vec![1.0; 64 * 2];
+        let ds = Dataset::new(&data, 64, 2);
+        let mut f = IsolationForest::new(cfg());
+        f.fit(&ds);
+        let scores = f.score(&ds);
+        let first = scores[0];
+        assert!(scores.iter().all(|&s| (s - first).abs() < 1e-9));
+    }
+
+    #[test]
+    fn small_batch_clamps_subsample() {
+        let data = vec![0.0, 1.0, 2.0, 3.0]; // 4 rows × 1 col
+        let ds = Dataset::new(&data, 4, 1);
+        let mut f = IsolationForest::new(cfg());
+        f.fit(&ds);
+        assert_eq!(f.effective_subsample, 4);
+        assert_eq!(f.score(&ds).len(), 4);
+    }
+
+    #[test]
+    fn seeded_forests_reproduce() {
+        let (data, n_in, n_out) = blob_with_outliers();
+        let ds = Dataset::new(&data, n_in + n_out, 2);
+        let mut a = IsolationForest::new(cfg());
+        let mut b = IsolationForest::new(cfg());
+        a.fit(&ds);
+        b.fit(&ds);
+        assert_eq!(a.score(&ds), b.score(&ds));
+    }
+
+    #[test]
+    fn weights_contract_is_empty() {
+        let mut f = IsolationForest::new(cfg());
+        assert!(f.weights().is_empty());
+        assert!(f.set_weights(&[]));
+        assert!(!f.set_weights(&[1.0]));
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut f = IsolationForest::new(cfg());
+        let data: [f64; 0] = [];
+        f.partial_fit(&Dataset::new(&data, 0, 2));
+        assert!(!f.is_trained());
+    }
+
+    #[test]
+    fn paper_config_defaults() {
+        let c = IsolationForestConfig::paper();
+        assert_eq!(c.n_trees, 100);
+        assert_eq!(c.subsample, 256);
+    }
+}

@@ -1,0 +1,414 @@
+//! k-means clustering with streaming (mini-batch) updates.
+//!
+//! The paper's lightest model: 25 clusters, scoring each point by its
+//! distance to the nearest centroid. Two training paths are provided:
+//!
+//! * [`KMeans::fit`] — classic Lloyd's iterations with k-means++-style
+//!   seeding, for offline use;
+//! * [`KMeans::partial_fit`] — Sculley's mini-batch update (per-centroid
+//!   learning rate `1/count`), which is what the streaming pipeline calls
+//!   per message ("the model is updated based on the incoming data").
+
+use crate::dataset::{sq_dist, Dataset};
+use crate::outlier::{ModelKind, OutlierModel};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for [`KMeans`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters (the paper uses 25).
+    pub k: usize,
+    /// Feature dimensionality.
+    pub features: usize,
+    /// Maximum Lloyd's iterations in [`KMeans::fit`].
+    pub max_iters: usize,
+    /// Relative inertia-improvement tolerance for early stopping.
+    pub tol: f64,
+    /// RNG seed for seeding centroids.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// The paper's configuration: k = 25 over 32 features.
+    pub fn paper() -> Self {
+        Self {
+            k: 25,
+            features: 32,
+            max_iters: 20,
+            tol: 1e-4,
+            seed: 42,
+        }
+    }
+}
+
+/// # Example
+///
+/// ```
+/// use pilot_ml::{Dataset, KMeans, KMeansConfig, OutlierModel};
+///
+/// let data = vec![0.0, 0.1, 0.2, 10.0, 10.1, 9.9]; // two 1-D clusters
+/// let ds = Dataset::new(&data, 6, 1);
+/// let mut km = KMeans::new(KMeansConfig { k: 2, features: 1, max_iters: 20, tol: 1e-6, seed: 1 });
+/// km.fit(&ds);
+/// let far = [100.0];
+/// let near = [0.1];
+/// assert!(km.nearest(&far).1 > km.nearest(&near).1); // outliers score higher
+/// ```
+/// A k-means model. Centroids are lazily seeded from the first batch.
+#[derive(Debug)]
+pub struct KMeans {
+    config: KMeansConfig,
+    /// Row-major `k × features`; empty until the first batch arrives.
+    centroids: Vec<f64>,
+    /// Points assigned to each centroid so far (mini-batch learning rates).
+    counts: Vec<u64>,
+    rng: StdRng,
+}
+
+impl KMeans {
+    /// Create an untrained model.
+    pub fn new(config: KMeansConfig) -> Self {
+        assert!(config.k > 0, "k must be > 0");
+        assert!(config.features > 0, "features must be > 0");
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self {
+            config,
+            centroids: Vec::new(),
+            counts: Vec::new(),
+            rng,
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &KMeansConfig {
+        &self.config
+    }
+
+    /// Row-major `k × features` centroid matrix (empty before training).
+    pub fn centroids(&self) -> &[f64] {
+        &self.centroids
+    }
+
+    /// True once centroids exist.
+    pub fn is_trained(&self) -> bool {
+        !self.centroids.is_empty()
+    }
+
+    /// k-means++ style seeding: first centroid uniform, subsequent ones
+    /// sampled proportionally to squared distance from the nearest chosen
+    /// centroid. If the batch has fewer rows than k, rows are recycled.
+    fn seed_centroids(&mut self, data: &Dataset<'_>) {
+        let k = self.config.k;
+        let d = self.config.features;
+        let n = data.rows();
+        let mut centroids = Vec::with_capacity(k * d);
+        let first = self.rng.random_range(0..n);
+        centroids.extend_from_slice(data.row(first));
+        let mut dists: Vec<f64> = (0..n)
+            .map(|i| sq_dist(data.row(i), &centroids[0..d]))
+            .collect();
+        while centroids.len() < k * d {
+            let total: f64 = dists.iter().sum();
+            let chosen = if total <= 0.0 {
+                self.rng.random_range(0..n)
+            } else {
+                let mut target = self.rng.random::<f64>() * total;
+                let mut idx = n - 1;
+                for (i, &w) in dists.iter().enumerate() {
+                    if target < w {
+                        idx = i;
+                        break;
+                    }
+                    target -= w;
+                }
+                idx
+            };
+            let start = centroids.len();
+            centroids.extend_from_slice(data.row(chosen));
+            let new_c = centroids[start..start + d].to_vec();
+            for (i, dist) in dists.iter_mut().enumerate() {
+                *dist = dist.min(sq_dist(data.row(i), &new_c));
+            }
+        }
+        self.centroids = centroids;
+        self.counts = vec![1; k];
+    }
+
+    /// Index of (and squared distance to) the centroid nearest to `point`.
+    pub fn nearest(&self, point: &[f64]) -> (usize, f64) {
+        let d = self.config.features;
+        let mut best = (0usize, f64::INFINITY);
+        for c in 0..self.config.k {
+            let dist = sq_dist(point, &self.centroids[c * d..(c + 1) * d]);
+            if dist < best.1 {
+                best = (c, dist);
+            }
+        }
+        best
+    }
+
+    /// Assign every row to its nearest centroid.
+    pub fn predict(&self, data: &Dataset<'_>) -> Vec<usize> {
+        assert!(self.is_trained(), "predict before training");
+        data.iter_rows().map(|r| self.nearest(r).0).collect()
+    }
+
+    /// Sum of squared distances of rows to their nearest centroid.
+    pub fn inertia(&self, data: &Dataset<'_>) -> f64 {
+        data.iter_rows().map(|r| self.nearest(r).1).sum()
+    }
+
+    /// Batch Lloyd's iterations (seeding from the batch if untrained).
+    pub fn fit(&mut self, data: &Dataset<'_>) {
+        assert_eq!(data.cols(), self.config.features, "feature mismatch");
+        if data.is_empty() {
+            return;
+        }
+        if !self.is_trained() {
+            self.seed_centroids(data);
+        }
+        let k = self.config.k;
+        let d = self.config.features;
+        let mut prev_inertia = f64::INFINITY;
+        for _ in 0..self.config.max_iters {
+            // Assignment + accumulation in one pass.
+            let mut sums = vec![0.0; k * d];
+            let mut counts = vec![0u64; k];
+            let mut inertia = 0.0;
+            for row in data.iter_rows() {
+                let (c, dist) = self.nearest(row);
+                inertia += dist;
+                counts[c] += 1;
+                for (s, &v) in sums[c * d..(c + 1) * d].iter_mut().zip(row) {
+                    *s += v;
+                }
+            }
+            // Update step; empty clusters keep their centroid.
+            for c in 0..k {
+                if counts[c] > 0 {
+                    for (ct, &s) in self.centroids[c * d..(c + 1) * d]
+                        .iter_mut()
+                        .zip(&sums[c * d..(c + 1) * d])
+                    {
+                        *ct = s / counts[c] as f64;
+                    }
+                }
+            }
+            if prev_inertia.is_finite()
+                && (prev_inertia - inertia).abs() <= self.config.tol * prev_inertia.abs()
+            {
+                break;
+            }
+            prev_inertia = inertia;
+        }
+    }
+}
+
+impl OutlierModel for KMeans {
+    fn kind(&self) -> ModelKind {
+        ModelKind::KMeans
+    }
+
+    /// One mini-batch pass (Sculley 2010): each point pulls its nearest
+    /// centroid toward it with learning rate `1 / count(centroid)`.
+    fn partial_fit(&mut self, data: &Dataset<'_>) {
+        assert_eq!(data.cols(), self.config.features, "feature mismatch");
+        if data.is_empty() {
+            return;
+        }
+        if !self.is_trained() {
+            self.seed_centroids(data);
+        }
+        let d = self.config.features;
+        for row in data.iter_rows() {
+            let (c, _) = self.nearest(row);
+            self.counts[c] += 1;
+            let eta = 1.0 / self.counts[c] as f64;
+            for (ct, &v) in self.centroids[c * d..(c + 1) * d].iter_mut().zip(row) {
+                *ct += eta * (v - *ct);
+            }
+        }
+    }
+
+    /// Outlier score: Euclidean distance to the nearest centroid.
+    fn score(&self, data: &Dataset<'_>) -> Vec<f64> {
+        assert!(self.is_trained(), "score before training");
+        data.iter_rows().map(|r| self.nearest(r).1.sqrt()).collect()
+    }
+
+    fn weights(&self) -> Vec<f64> {
+        // Layout: [centroids (k·d), counts (k)] — counts travel so that a
+        // worker resuming from the parameter server keeps the learning-rate
+        // schedule.
+        let mut w = self.centroids.clone();
+        w.extend(self.counts.iter().map(|&c| c as f64));
+        w
+    }
+
+    fn set_weights(&mut self, weights: &[f64]) -> bool {
+        let k = self.config.k;
+        let d = self.config.features;
+        if weights.len() != k * d + k {
+            return false;
+        }
+        self.centroids = weights[..k * d].to_vec();
+        self.counts = weights[k * d..]
+            .iter()
+            .map(|&c| c.max(1.0) as u64)
+            .collect();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated 2-D clusters.
+    fn three_clusters() -> (Vec<f64>, usize) {
+        let mut data = Vec::new();
+        let centres = [(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)];
+        let mut rng_state = 1u64;
+        let mut next = || {
+            // xorshift for cheap deterministic jitter
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            (rng_state % 1000) as f64 / 1000.0 - 0.5
+        };
+        for &(cx, cy) in &centres {
+            for _ in 0..50 {
+                data.push(cx + next());
+                data.push(cy + next());
+            }
+        }
+        (data, 150)
+    }
+
+    fn cfg(k: usize, d: usize) -> KMeansConfig {
+        KMeansConfig {
+            k,
+            features: d,
+            max_iters: 50,
+            tol: 1e-6,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn fit_recovers_separated_clusters() {
+        let (data, n) = three_clusters();
+        let ds = Dataset::new(&data, n, 2);
+        let mut km = KMeans::new(cfg(3, 2));
+        km.fit(&ds);
+        // Every point should end up within 1.0 of its centroid.
+        let max_dist = km.score(&ds).into_iter().fold(0.0f64, f64::max);
+        assert!(max_dist < 1.0, "max_dist={max_dist}");
+    }
+
+    #[test]
+    fn fit_reduces_inertia() {
+        let (data, n) = three_clusters();
+        let ds = Dataset::new(&data, n, 2);
+        let mut km = KMeans::new(cfg(3, 2));
+        km.partial_fit(&ds); // rough seeding + one mini-batch pass
+        let before = km.inertia(&ds);
+        km.fit(&ds);
+        let after = km.inertia(&ds);
+        assert!(after <= before + 1e-9, "before={before} after={after}");
+    }
+
+    #[test]
+    fn partial_fit_converges_toward_clusters() {
+        let (data, n) = three_clusters();
+        let ds = Dataset::new(&data, n, 2);
+        let mut km = KMeans::new(cfg(3, 2));
+        for _ in 0..30 {
+            km.partial_fit(&ds);
+        }
+        let mean_score = km.score(&ds).iter().sum::<f64>() / n as f64;
+        assert!(mean_score < 1.0, "mean_score={mean_score}");
+    }
+
+    #[test]
+    fn outliers_score_higher_than_inliers() {
+        let (mut data, n) = three_clusters();
+        data.extend_from_slice(&[100.0, -100.0]); // blatant outlier
+        let ds = Dataset::new(&data, n + 1, 2);
+        let mut km = KMeans::new(cfg(3, 2));
+        km.fit(&ds);
+        let scores = km.score(&ds);
+        let outlier_score = scores[n];
+        let max_inlier = scores[..n].iter().cloned().fold(0.0f64, f64::max);
+        assert!(outlier_score > 10.0 * max_inlier);
+    }
+
+    #[test]
+    fn predict_assigns_consistent_labels() {
+        let (data, n) = three_clusters();
+        let ds = Dataset::new(&data, n, 2);
+        let mut km = KMeans::new(cfg(3, 2));
+        km.fit(&ds);
+        let labels = km.predict(&ds);
+        // Points in the same generated cluster share a label.
+        for chunk in labels.chunks(50) {
+            assert!(chunk.iter().all(|&l| l == chunk[0]), "labels={chunk:?}");
+        }
+    }
+
+    #[test]
+    fn weights_roundtrip() {
+        let (data, n) = three_clusters();
+        let ds = Dataset::new(&data, n, 2);
+        let mut km = KMeans::new(cfg(3, 2));
+        km.fit(&ds);
+        let w = km.weights();
+        assert_eq!(w.len(), 3 * 2 + 3);
+        let mut km2 = KMeans::new(cfg(3, 2));
+        assert!(km2.set_weights(&w));
+        assert_eq!(km2.centroids(), km.centroids());
+        assert_eq!(km2.score(&ds), km.score(&ds));
+    }
+
+    #[test]
+    fn set_weights_rejects_bad_shape() {
+        let mut km = KMeans::new(cfg(3, 2));
+        assert!(!km.set_weights(&[1.0, 2.0]));
+        assert!(!km.is_trained());
+    }
+
+    #[test]
+    fn seeding_with_fewer_rows_than_k() {
+        let data = [0.0, 0.0, 1.0, 1.0]; // 2 rows, k = 3
+        let ds = Dataset::new(&data, 2, 2);
+        let mut km = KMeans::new(cfg(3, 2));
+        km.partial_fit(&ds);
+        assert!(km.is_trained());
+        assert_eq!(km.centroids().len(), 6);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut km = KMeans::new(cfg(3, 2));
+        let data: [f64; 0] = [];
+        km.partial_fit(&Dataset::new(&data, 0, 2));
+        assert!(!km.is_trained());
+    }
+
+    #[test]
+    fn paper_config() {
+        let c = KMeansConfig::paper();
+        assert_eq!(c.k, 25);
+        assert_eq!(c.features, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature mismatch")]
+    fn dimension_mismatch_panics() {
+        let data = [0.0; 6];
+        let ds = Dataset::new(&data, 2, 3);
+        let mut km = KMeans::new(cfg(3, 2));
+        km.fit(&ds);
+    }
+}

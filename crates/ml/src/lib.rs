@@ -1,0 +1,48 @@
+//! # pilot-ml — the outlier-detection models of the Pilot-Edge evaluation
+//!
+//! The paper characterises Pilot-Edge with three machine-learning models for
+//! streaming outlier detection (Section III.2):
+//!
+//! * **k-means** (25 clusters, matching the generator's 25 mixture
+//!   components) — a point's outlier score is its distance to the nearest
+//!   centroid. Implemented in [`kmeans`] with both batch Lloyd's iterations
+//!   and the mini-batch streaming update of Sculley (per-centroid learning
+//!   rate `1/count`), since the paper updates the model "based on the
+//!   incoming data".
+//! * **Isolation forest** (PyOD defaults: 100 trees, 256-point subsamples) —
+//!   implemented in [`isoforest`] following Liu, Ting & Zhou (2008): a
+//!   point's score is `2^(−E[h(x)]/c(ψ))` over the ensemble's path lengths.
+//! * **Auto-encoder** (PyOD's Keras model with hidden layers [64, 32, 32,
+//!   64] and — as the paper states — **11,552 trainable parameters**) —
+//!   implemented in [`autoencoder`] as a dense MLP with ReLU activations
+//!   trained by backpropagation (SGD or Adam); the outlier score is the
+//!   reconstruction error.
+//!
+//! All three implement the [`OutlierModel`] trait so the Pilot-Edge pipeline
+//! can hot-swap them (the paper's "exchanging low- vs high-fidelity models"
+//! at runtime), and all three serialise their parameters to a flat `f64`
+//! vector ([`OutlierModel::weights`]) for distribution through the
+//! parameter server.
+//!
+//! Supporting modules: [`linalg`] (small dense matrix kernels), [`dataset`]
+//! (borrowed row-major views + standardisation), [`preprocess`] (streaming
+//! z-score standardisation — the paper's "pre-processing" stage), [`eval`]
+//! (ROC-AUC, precision@k for ground-truth scoring), and [`federated`]
+//! (FedAvg aggregation — the paper's named future-work scenario).
+
+pub mod autoencoder;
+pub mod dataset;
+pub mod eval;
+pub mod federated;
+pub mod isoforest;
+pub mod kmeans;
+pub mod linalg;
+pub mod outlier;
+pub mod preprocess;
+
+pub use autoencoder::{AutoEncoder, AutoEncoderConfig};
+pub use dataset::Dataset;
+pub use isoforest::{IsolationForest, IsolationForestConfig};
+pub use kmeans::{KMeans, KMeansConfig};
+pub use outlier::{ModelKind, OutlierModel};
+pub use preprocess::StandardScaler;

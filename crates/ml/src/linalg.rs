@@ -1,0 +1,220 @@
+//! Minimal dense linear-algebra kernels for the auto-encoder.
+//!
+//! Only what backpropagation through small dense layers needs: row-major
+//! GEMM in the three transpose configurations, plus a handful of
+//! element-wise helpers. Kernels are written so the inner loops are over
+//! contiguous memory (the perf-book guidance for cache-friendly traversal);
+//! at these sizes (batch × 64 at most) that is all the optimisation the
+//! workload warrants.
+
+/// `C[m×n] = A[m×k] · B[k×n]` (row-major, C overwritten).
+pub fn matmul(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A dims");
+    assert_eq!(b.len(), k * n, "B dims");
+    assert_eq!(c.len(), m * n, "C dims");
+    c.fill(0.0);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_ip * b_v;
+            }
+        }
+    }
+}
+
+/// `C[m×n] = Aᵀ[m×k] · B[k×n]` where `A` is stored `k×m` (row-major).
+pub fn matmul_at_b(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), k * m, "A dims");
+    assert_eq!(b.len(), k * n, "B dims");
+    assert_eq!(c.len(), m * n, "C dims");
+    c.fill(0.0);
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_pi * b_v;
+            }
+        }
+    }
+}
+
+/// `C[m×n] = A[m×k] · Bᵀ[k×n]` where `B` is stored `n×k` (row-major).
+pub fn matmul_a_bt(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A dims");
+    assert_eq!(b.len(), n * k, "B dims");
+    assert_eq!(c.len(), m * n, "C dims");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, c_v) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            *c_v = acc;
+        }
+    }
+}
+
+/// Add row-vector `bias[n]` to every row of `x[m×n]`.
+pub fn add_bias(x: &mut [f64], bias: &[f64]) {
+    let n = bias.len();
+    assert_eq!(x.len() % n, 0, "x not a multiple of bias length");
+    for row in x.chunks_exact_mut(n) {
+        for (v, &b) in row.iter_mut().zip(bias) {
+            *v += b;
+        }
+    }
+}
+
+/// In-place ReLU.
+pub fn relu(x: &mut [f64]) {
+    for v in x.iter_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// In-place ReLU derivative mask: `g[i] = 0` wherever `activ[i] <= 0`.
+pub fn relu_backward(g: &mut [f64], activ: &[f64]) {
+    assert_eq!(g.len(), activ.len());
+    for (gv, &a) in g.iter_mut().zip(activ) {
+        if a <= 0.0 {
+            *gv = 0.0;
+        }
+    }
+}
+
+/// Column sums of `x[m×n]` into `out[n]` (used for bias gradients).
+pub fn column_sums(x: &[f64], out: &mut [f64]) {
+    let n = out.len();
+    assert_eq!(x.len() % n, 0);
+    out.fill(0.0);
+    for row in x.chunks_exact(n) {
+        for (o, &v) in out.iter_mut().zip(row) {
+            *o += v;
+        }
+    }
+}
+
+/// `y ← y + alpha * x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += alpha * xv;
+    }
+}
+
+/// Mean squared error between two equal-length buffers.
+pub fn mse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = [1.0, 2.0, 3.0, 4.0]; // 2x2
+        let i = [1.0, 0.0, 0.0, 1.0];
+        let mut c = [0.0; 4];
+        matmul(&a, &i, &mut c, 2, 2, 2);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        // [1 2; 3 4] · [5 6; 7 8] = [19 22; 43 50]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [0.0; 4];
+        matmul(&a, &b, &mut c, 2, 2, 2);
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        // A 1x3 · B 3x2 = C 1x2
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 4.0, 2.0, 5.0, 3.0, 6.0];
+        let mut c = [0.0; 2];
+        matmul(&a, &b, &mut c, 1, 3, 2);
+        assert_eq!(c, [14.0, 32.0]);
+    }
+
+    #[test]
+    fn at_b_equals_transpose_then_mul() {
+        // A stored 2x3; compute Aᵀ(3x2) · B(2x2).
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let mut c = [0.0; 6];
+        matmul_at_b(&a, &b, &mut c, 3, 2, 2);
+        // Aᵀ = [1 4; 2 5; 3 6]; Aᵀ·B = [13 18; 17 24; 21 30]
+        assert_eq!(c, [13.0, 18.0, 17.0, 24.0, 21.0, 30.0]);
+    }
+
+    #[test]
+    fn a_bt_equals_mul_by_transpose() {
+        // A 2x2 · Bᵀ where B stored 2x2.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0]; // B = [5 6; 7 8], Bᵀ = [5 7; 6 8]
+        let mut c = [0.0; 4];
+        matmul_a_bt(&a, &b, &mut c, 2, 2, 2);
+        assert_eq!(c, [17.0, 23.0, 39.0, 53.0]);
+    }
+
+    #[test]
+    fn bias_broadcast() {
+        let mut x = [0.0, 0.0, 1.0, 1.0];
+        add_bias(&mut x, &[10.0, 20.0]);
+        assert_eq!(x, [10.0, 20.0, 11.0, 21.0]);
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let mut x = [-1.0, 0.0, 2.0];
+        relu(&mut x);
+        assert_eq!(x, [0.0, 0.0, 2.0]);
+        let mut g = [5.0, 5.0, 5.0];
+        relu_backward(&mut g, &x);
+        assert_eq!(g, [0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn column_sums_basic() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 3x2
+        let mut out = [0.0; 2];
+        column_sums(&x, &mut out);
+        assert_eq!(out, [9.0, 12.0]);
+    }
+
+    #[test]
+    fn axpy_basic() {
+        let mut y = [1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, [7.0, 9.0]);
+    }
+
+    #[test]
+    fn mse_basic() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 4.0]), 2.0);
+        assert_eq!(mse(&[], &[]), 0.0);
+    }
+}

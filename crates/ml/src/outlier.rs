@@ -1,0 +1,135 @@
+//! The common interface every evaluation model implements.
+//!
+//! Pilot-Edge's processing functions are hot-swappable at runtime (paper
+//! Section II-D: "exchanging low vs high fidelity models"); the trait object
+//! boundary here is what makes that swap a one-line operation in the
+//! pipeline. The `weights`/`set_weights` pair is the contract with the
+//! parameter server: "a Redis-based parameter server for sharing model
+//! weights across the continuum" (Section II-B).
+
+use crate::dataset::Dataset;
+
+/// Which model a pipeline stage is running; used in experiment labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Identity/no-op processing — the paper's "baseline".
+    Baseline,
+    /// k-means distance-to-centroid scoring.
+    KMeans,
+    /// Isolation forest.
+    IsolationForest,
+    /// Auto-encoder reconstruction error.
+    AutoEncoder,
+}
+
+impl ModelKind {
+    /// Stable label for reports ("baseline", "kmeans", ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelKind::Baseline => "baseline",
+            ModelKind::KMeans => "kmeans",
+            ModelKind::IsolationForest => "isoforest",
+            ModelKind::AutoEncoder => "autoencoder",
+        }
+    }
+
+    /// All kinds, in the order the paper's Fig. 3 presents them.
+    pub fn all() -> [ModelKind; 4] {
+        [
+            ModelKind::Baseline,
+            ModelKind::KMeans,
+            ModelKind::IsolationForest,
+            ModelKind::AutoEncoder,
+        ]
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A streaming outlier-detection model.
+///
+/// The pipeline calls [`OutlierModel::partial_fit`] then
+/// [`OutlierModel::score`] for every incoming message — exactly the paper's
+/// "in all cases, the model is updated based on the incoming data".
+pub trait OutlierModel: Send {
+    /// Which model this is.
+    fn kind(&self) -> ModelKind;
+
+    /// Update the model with a new batch.
+    fn partial_fit(&mut self, data: &Dataset<'_>);
+
+    /// Outlier score per row; **higher means more anomalous**.
+    fn score(&self, data: &Dataset<'_>) -> Vec<f64>;
+
+    /// Flatten all trainable parameters for the parameter server. Models
+    /// without numeric parameters (baseline, isolation forest — a tree
+    /// structure) return an empty vector.
+    fn weights(&self) -> Vec<f64>;
+
+    /// Load parameters previously produced by [`OutlierModel::weights`].
+    /// Returns `false` (leaving the model unchanged) if the shape does not
+    /// match.
+    fn set_weights(&mut self, weights: &[f64]) -> bool;
+}
+
+/// The paper's baseline: no model at all. `partial_fit` is a no-op and every
+/// point scores 0. Exists so the Fig. 2/3 "baseline" rows run through the
+/// identical pipeline code path as the real models.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline;
+
+impl OutlierModel for Baseline {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Baseline
+    }
+
+    fn partial_fit(&mut self, _data: &Dataset<'_>) {}
+
+    fn score(&self, data: &Dataset<'_>) -> Vec<f64> {
+        vec![0.0; data.rows()]
+    }
+
+    fn weights(&self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    fn set_weights(&mut self, weights: &[f64]) -> bool {
+        weights.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ModelKind::Baseline.label(), "baseline");
+        assert_eq!(ModelKind::KMeans.label(), "kmeans");
+        assert_eq!(ModelKind::IsolationForest.label(), "isoforest");
+        assert_eq!(ModelKind::AutoEncoder.label(), "autoencoder");
+    }
+
+    #[test]
+    fn all_in_figure_order() {
+        let all = ModelKind::all();
+        assert_eq!(all[0], ModelKind::Baseline);
+        assert_eq!(all[3], ModelKind::AutoEncoder);
+    }
+
+    #[test]
+    fn baseline_scores_zero() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let ds = Dataset::new(&data, 2, 2);
+        let mut b = Baseline;
+        b.partial_fit(&ds);
+        assert_eq!(b.score(&ds), vec![0.0, 0.0]);
+        assert!(b.weights().is_empty());
+        assert!(b.set_weights(&[]));
+        assert!(!b.set_weights(&[1.0]));
+    }
+}

@@ -1,0 +1,242 @@
+//! Streaming pre-processing: the first stage of the paper's cloud
+//! processing ("the processing tasks, which include pre-processing,
+//! training and inference", Section III.2).
+//!
+//! [`StandardScaler`] maintains running per-feature mean/variance with
+//! Welford's online algorithm (exact, numerically stable, mergeable), so a
+//! stream can be z-scored against statistics accumulated over *all* data
+//! seen so far — the standard preparation before distance-based models
+//! like k-means whose features have unequal scales.
+
+use crate::dataset::Dataset;
+
+/// Online per-feature standardisation (Welford / Chan parallel variant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    count: u64,
+    mean: Vec<f64>,
+    /// Sum of squared deviations (M2 in Welford's formulation).
+    m2: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// A scaler for `features`-dimensional data.
+    pub fn new(features: usize) -> Self {
+        assert!(features > 0, "features must be > 0");
+        Self {
+            count: 0,
+            mean: vec![0.0; features],
+            m2: vec![0.0; features],
+        }
+    }
+
+    /// Feature dimensionality.
+    pub fn features(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Rows seen so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Update statistics with a batch.
+    pub fn partial_fit(&mut self, data: &Dataset<'_>) {
+        assert_eq!(data.cols(), self.features(), "feature mismatch");
+        for row in data.iter_rows() {
+            self.count += 1;
+            let n = self.count as f64;
+            for ((m, s), &x) in self.mean.iter_mut().zip(&mut self.m2).zip(row) {
+                let delta = x - *m;
+                *m += delta / n;
+                *s += delta * (x - *m);
+            }
+        }
+    }
+
+    /// Current per-feature means.
+    pub fn means(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Current per-feature population standard deviations.
+    pub fn stds(&self) -> Vec<f64> {
+        if self.count == 0 {
+            return vec![0.0; self.features()];
+        }
+        self.m2
+            .iter()
+            .map(|&s| (s / self.count as f64).sqrt())
+            .collect()
+    }
+
+    /// Z-score a batch against the accumulated statistics (constant
+    /// features are centred only). Panics if no data has been seen.
+    pub fn transform(&self, data: &Dataset<'_>) -> Vec<f64> {
+        assert!(self.count > 0, "transform before any partial_fit");
+        assert_eq!(data.cols(), self.features(), "feature mismatch");
+        let stds = self.stds();
+        let mut out = Vec::with_capacity(data.rows() * data.cols());
+        for row in data.iter_rows() {
+            for ((&x, &m), &s) in row.iter().zip(&self.mean).zip(&stds) {
+                out.push(if s > 0.0 { (x - m) / s } else { x - m });
+            }
+        }
+        out
+    }
+
+    /// Merge another scaler's statistics into this one (Chan et al.'s
+    /// parallel combination) — lets per-device scalers combine at the
+    /// cloud.
+    pub fn merge(&mut self, other: &StandardScaler) {
+        assert_eq!(self.features(), other.features(), "feature mismatch");
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let (na, nb) = (self.count as f64, other.count as f64);
+        let n = na + nb;
+        for i in 0..self.features() {
+            let delta = other.mean[i] - self.mean[i];
+            self.mean[i] += delta * nb / n;
+            self.m2[i] += other.m2[i] + delta * delta * na * nb / n;
+        }
+        self.count += other.count;
+    }
+
+    /// Flatten for the parameter server: `[count, means..., m2s...]`.
+    pub fn weights(&self) -> Vec<f64> {
+        let mut w = Vec::with_capacity(1 + 2 * self.features());
+        w.push(self.count as f64);
+        w.extend_from_slice(&self.mean);
+        w.extend_from_slice(&self.m2);
+        w
+    }
+
+    /// Restore from [`StandardScaler::weights`] layout; `false` on shape
+    /// mismatch.
+    pub fn set_weights(&mut self, weights: &[f64]) -> bool {
+        let d = self.features();
+        if weights.len() != 1 + 2 * d {
+            return false;
+        }
+        self.count = weights[0].max(0.0) as u64;
+        self.mean = weights[1..1 + d].to_vec();
+        self.m2 = weights[1 + d..].to_vec();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_mean_and_std() {
+        let data = [1.0, 10.0, 3.0, 20.0, 5.0, 30.0];
+        let ds = Dataset::new(&data, 3, 2);
+        let mut sc = StandardScaler::new(2);
+        sc.partial_fit(&ds);
+        assert_eq!(sc.means(), &[3.0, 20.0]);
+        let stds = sc.stds();
+        assert!((stds[0] - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(sc.count(), 3);
+    }
+
+    #[test]
+    fn incremental_equals_batch() {
+        let data: Vec<f64> = (0..40).map(|i| (i as f64).sin() * 5.0 + 2.0).collect();
+        let full = Dataset::new(&data, 20, 2);
+        let mut batch = StandardScaler::new(2);
+        batch.partial_fit(&full);
+        let mut inc = StandardScaler::new(2);
+        for chunk in data.chunks(8) {
+            inc.partial_fit(&Dataset::new(chunk, chunk.len() / 2, 2));
+        }
+        for (a, b) in batch.means().iter().zip(inc.means()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+        for (a, b) in batch.stds().iter().zip(inc.stds()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn transform_standardizes() {
+        let data = [0.0, 2.0, 4.0, 6.0];
+        let ds = Dataset::new(&data, 4, 1);
+        let mut sc = StandardScaler::new(1);
+        sc.partial_fit(&ds);
+        let z = sc.transform(&ds);
+        let zds = Dataset::new(&z, 4, 1);
+        assert!(zds.column_means()[0].abs() < 1e-12);
+        assert!((zds.column_stds()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_feature_centred_only() {
+        let data = [7.0, 7.0, 7.0];
+        let ds = Dataset::new(&data, 3, 1);
+        let mut sc = StandardScaler::new(1);
+        sc.partial_fit(&ds);
+        assert_eq!(sc.transform(&ds), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn merge_equals_combined_fit() {
+        let a_data: Vec<f64> = (0..30).map(|i| i as f64 * 0.7).collect();
+        let b_data: Vec<f64> = (0..24).map(|i| 100.0 - i as f64).collect();
+        let mut a = StandardScaler::new(3);
+        a.partial_fit(&Dataset::new(&a_data, 10, 3));
+        let mut b = StandardScaler::new(3);
+        b.partial_fit(&Dataset::new(&b_data, 8, 3));
+        let mut combined = StandardScaler::new(3);
+        let mut all = a_data.clone();
+        all.extend_from_slice(&b_data);
+        combined.partial_fit(&Dataset::new(&all, 18, 3));
+        a.merge(&b);
+        assert_eq!(a.count(), 18);
+        for (x, y) in a.means().iter().zip(combined.means()) {
+            assert!((x - y).abs() < 1e-10);
+        }
+        for (x, y) in a.stds().iter().zip(combined.stds()) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_sides() {
+        let data = [1.0, 2.0, 3.0];
+        let mut a = StandardScaler::new(1);
+        a.partial_fit(&Dataset::new(&data, 3, 1));
+        let snapshot = a.clone();
+        a.merge(&StandardScaler::new(1));
+        assert_eq!(a, snapshot);
+        let mut empty = StandardScaler::new(1);
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn weights_roundtrip() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let mut a = StandardScaler::new(2);
+        a.partial_fit(&Dataset::new(&data, 2, 2));
+        let w = a.weights();
+        assert_eq!(w.len(), 5);
+        let mut b = StandardScaler::new(2);
+        assert!(b.set_weights(&w));
+        assert_eq!(a, b);
+        assert!(!b.set_weights(&[1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "transform before any partial_fit")]
+    fn transform_untrained_panics() {
+        let data = [1.0];
+        StandardScaler::new(1).transform(&Dataset::new(&data, 1, 1));
+    }
+}

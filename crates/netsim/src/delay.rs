@@ -1,0 +1,144 @@
+//! Propagation-delay sampling models.
+//!
+//! The paper reports *ranges* for its WAN characteristics (140–160 ms RTT,
+//! 60–100 Mbit/s), so the simulator samples per-transfer values from
+//! configurable distributions rather than using constants. Normal sampling
+//! uses the Box–Muller transform (no external distribution crate needed).
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// A delay model sampled once per transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Delay {
+    /// No delay at all (loopback).
+    None,
+    /// Always exactly this many milliseconds.
+    FixedMs(f64),
+    /// Uniformly distributed in `[min_ms, max_ms]`.
+    UniformMs { min_ms: f64, max_ms: f64 },
+    /// Normally distributed with the given mean/stddev (ms), truncated at 0.
+    NormalMs { mean_ms: f64, std_ms: f64 },
+}
+
+impl Delay {
+    /// Sample one delay.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        let ms = match *self {
+            Delay::None => 0.0,
+            Delay::FixedMs(ms) => ms,
+            Delay::UniformMs { min_ms, max_ms } => {
+                debug_assert!(max_ms >= min_ms, "max < min in UniformMs");
+                if max_ms <= min_ms {
+                    min_ms
+                } else {
+                    rng.random_range(min_ms..=max_ms)
+                }
+            }
+            Delay::NormalMs { mean_ms, std_ms } => mean_ms + std_ms * standard_normal(rng),
+        };
+        Duration::from_secs_f64((ms.max(0.0)) / 1e3)
+    }
+
+    /// The expected value of the delay, in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        match *self {
+            Delay::None => 0.0,
+            Delay::FixedMs(ms) => ms,
+            Delay::UniformMs { min_ms, max_ms } => (min_ms + max_ms) / 2.0,
+            Delay::NormalMs { mean_ms, .. } => mean_ms,
+        }
+    }
+}
+
+/// One standard-normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_is_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(Delay::None.sample(&mut rng), Duration::ZERO);
+        assert_eq!(Delay::None.mean_ms(), 0.0);
+    }
+
+    #[test]
+    fn fixed_is_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Delay::FixedMs(12.5).sample(&mut rng);
+        assert!((d.as_secs_f64() - 0.0125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let model = Delay::UniformMs {
+            min_ms: 140.0,
+            max_ms: 160.0,
+        };
+        for _ in 0..1000 {
+            let d = model.sample(&mut rng).as_secs_f64() * 1e3;
+            assert!((140.0..=160.0).contains(&d), "d={d}");
+        }
+        assert_eq!(model.mean_ms(), 150.0);
+    }
+
+    #[test]
+    fn uniform_degenerate_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = Delay::UniformMs {
+            min_ms: 5.0,
+            max_ms: 5.0,
+        };
+        assert!((model.sample(&mut rng).as_secs_f64() * 1e3 - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_truncated_at_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = Delay::NormalMs {
+            mean_ms: 0.1,
+            std_ms: 10.0,
+        };
+        for _ in 0..1000 {
+            assert!(model.sample(&mut rng) >= Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.03, "var={var}");
+    }
+
+    #[test]
+    fn normal_mean_converges() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = Delay::NormalMs {
+            mean_ms: 75.0,
+            std_ms: 5.0,
+        };
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| model.sample(&mut rng).as_secs_f64() * 1e3)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 75.0).abs() < 0.5, "mean={mean}");
+    }
+}

@@ -1,0 +1,334 @@
+//! The simulated link: latency + bandwidth + queueing.
+//!
+//! A [`Link`] models a single shared pipe between two sites. Each transfer
+//! pays:
+//!
+//! 1. **queueing** — if earlier transfers have reserved the pipe, the new
+//!    transfer waits until the pipe frees up (FIFO reservation);
+//! 2. **transit** — serialization delay: `bytes ÷ bandwidth`, with the
+//!    bandwidth sampled per transfer from `[bw_min, bw_max]` to reproduce the
+//!    paper's fluctuating 60–100 Mbit/s measurement;
+//! 3. **propagation** — a latency sample from the link's [`Delay`] model.
+//!    Propagation overlaps for concurrent transfers (it is not capacity), so
+//!    it is added after the reservation, per transfer.
+//!
+//! [`Link::transfer`] *actually blocks* the calling thread for the simulated
+//! total, so pipelines built on the simulator experience real backpressure —
+//! which is what makes the throughput crossovers of Fig. 3 emerge rather
+//! than being computed.
+
+use crate::delay::Delay;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Static description of a link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Human-readable name, used in metric span labels (`net:<name>`).
+    pub name: String,
+    /// One-way propagation latency model. Note: the paper reports 140–160 ms
+    /// as a ping RTT; one-way delivery latency is modelled as RTT/2 (see
+    /// [`crate::profiles::transatlantic`]).
+    pub latency: Delay,
+    /// Minimum bandwidth in bits per second.
+    pub bw_min_bps: f64,
+    /// Maximum bandwidth in bits per second. Sampled uniformly per transfer.
+    pub bw_max_bps: f64,
+    /// RNG seed so experiments are reproducible.
+    pub seed: u64,
+}
+
+impl LinkSpec {
+    /// A link with fixed bandwidth and a fixed latency.
+    pub fn fixed(name: &str, latency_ms: f64, bw_bps: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            latency: if latency_ms == 0.0 {
+                Delay::None
+            } else {
+                Delay::FixedMs(latency_ms)
+            },
+            bw_min_bps: bw_bps,
+            bw_max_bps: bw_bps,
+            seed: 0,
+        }
+    }
+
+    /// Build the shareable runtime link.
+    pub fn build(self) -> Link {
+        Link::new(self)
+    }
+
+    /// Mean time for a transfer of `bytes` with no contention, in seconds.
+    pub fn expected_secs(&self, bytes: u64) -> f64 {
+        let bw = (self.bw_min_bps + self.bw_max_bps) / 2.0;
+        let transit = if bw > 0.0 {
+            (bytes as f64 * 8.0) / bw
+        } else {
+            0.0
+        };
+        transit + self.latency.mean_ms() / 1e3
+    }
+}
+
+/// What one transfer actually cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferReceipt {
+    /// Time spent waiting for earlier transfers to release the pipe.
+    pub queueing: Duration,
+    /// Serialization time: bytes ÷ sampled bandwidth.
+    pub transit: Duration,
+    /// Propagation latency sample.
+    pub propagation: Duration,
+}
+
+impl TransferReceipt {
+    /// Total simulated transfer duration.
+    pub fn total(&self) -> Duration {
+        self.queueing + self.transit + self.propagation
+    }
+}
+
+struct LinkState {
+    /// FIFO reservation horizon: the instant at which the pipe frees up.
+    next_free: Instant,
+    rng: StdRng,
+}
+
+/// # Example
+///
+/// ```
+/// use pilot_netsim::profiles;
+///
+/// // The paper's measured transatlantic path: 70-80 ms one-way,
+/// // 60-100 Mbit/s.
+/// let link = profiles::transatlantic("us->eu", 7).build();
+/// let receipt = link.transfer(250_000); // one 250 KB message
+/// assert!(receipt.propagation.as_millis() >= 70);
+/// assert!(receipt.transit.as_millis() >= 20); // >= 2 Mbit / 100 Mbit/s
+/// ```
+/// A shared, thread-safe simulated link. Clone handles freely.
+#[derive(Clone)]
+pub struct Link {
+    spec: Arc<LinkSpec>,
+    state: Arc<Mutex<LinkState>>,
+}
+
+impl Link {
+    /// Create a link from its spec.
+    pub fn new(spec: LinkSpec) -> Self {
+        let rng = StdRng::seed_from_u64(spec.seed ^ 0x9E37_79B9_7F4A_7C15);
+        Self {
+            spec: Arc::new(spec),
+            state: Arc::new(Mutex::new(LinkState {
+                next_free: Instant::now(),
+                rng,
+            })),
+        }
+    }
+
+    /// A zero-cost loopback link (no latency, effectively infinite bandwidth).
+    pub fn loopback() -> Self {
+        Link::new(LinkSpec {
+            name: "loopback".to_string(),
+            latency: Delay::None,
+            bw_min_bps: f64::INFINITY,
+            bw_max_bps: f64::INFINITY,
+            seed: 0,
+        })
+    }
+
+    /// The link's spec.
+    pub fn spec(&self) -> &LinkSpec {
+        &self.spec
+    }
+
+    /// The link's name (used in metric labels).
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// Compute the cost of transferring `bytes` **without** blocking or
+    /// reserving capacity. Queueing is reported as zero.
+    pub fn estimate(&self, bytes: u64) -> TransferReceipt {
+        let mut st = self.state.lock();
+        let (transit, propagation) = self.sample_costs(bytes, &mut st.rng);
+        TransferReceipt {
+            queueing: Duration::ZERO,
+            transit,
+            propagation,
+        }
+    }
+
+    fn sample_costs(&self, bytes: u64, rng: &mut StdRng) -> (Duration, Duration) {
+        let bw = if self.spec.bw_max_bps <= self.spec.bw_min_bps {
+            self.spec.bw_min_bps
+        } else {
+            rng.random_range(self.spec.bw_min_bps..=self.spec.bw_max_bps)
+        };
+        let transit = if bw.is_finite() && bw > 0.0 {
+            Duration::from_secs_f64(bytes as f64 * 8.0 / bw)
+        } else {
+            Duration::ZERO
+        };
+        let propagation = self.spec.latency.sample(rng);
+        (transit, propagation)
+    }
+
+    /// Transfer `bytes` over the link, blocking the calling thread for the
+    /// simulated duration (queueing + transit + propagation). Returns a
+    /// receipt describing the cost components.
+    pub fn transfer(&self, bytes: u64) -> TransferReceipt {
+        let now = Instant::now();
+        let (queueing, transit, propagation) = {
+            let mut st = self.state.lock();
+            let (transit, propagation) = self.sample_costs(bytes, &mut st.rng);
+            // FIFO reservation of the pipe: transit consumes capacity,
+            // propagation does not.
+            let start = st.next_free.max(now);
+            st.next_free = start + transit;
+            (start.duration_since(now), transit, propagation)
+        };
+        let total = queueing + transit + propagation;
+        if total > Duration::ZERO {
+            // Sleep off whatever simulated time has not already elapsed
+            // while we held the lock.
+            let elapsed = now.elapsed();
+            if total > elapsed {
+                std::thread::sleep(total - elapsed);
+            }
+        }
+        TransferReceipt {
+            queueing,
+            transit,
+            propagation,
+        }
+    }
+
+    /// Observed one-way latency for a zero-byte probe (an `iPerf`-style
+    /// measurement helper used by the `netperf` harness binary).
+    pub fn probe_latency(&self) -> Duration {
+        self.transfer(0).propagation
+    }
+}
+
+impl std::fmt::Debug for Link {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Link").field("spec", &*self.spec).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_is_free() {
+        let l = Link::loopback();
+        let r = l.transfer(1 << 20);
+        assert_eq!(r.total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn transit_matches_bandwidth() {
+        // 1 MB over 80 Mbit/s = 0.1 s.
+        let l = LinkSpec::fixed("t", 0.0, 80e6).build();
+        let start = Instant::now();
+        let r = l.transfer(1_000_000);
+        let wall = start.elapsed();
+        assert!((r.transit.as_secs_f64() - 0.1).abs() < 1e-6);
+        assert!(wall.as_secs_f64() >= 0.099, "wall={wall:?}");
+    }
+
+    #[test]
+    fn propagation_added_once() {
+        let l = LinkSpec::fixed("t", 50.0, f64::INFINITY).build();
+        let r = l.transfer(1_000);
+        assert!((r.propagation.as_secs_f64() - 0.05).abs() < 1e-9);
+        assert_eq!(r.transit, Duration::ZERO);
+    }
+
+    #[test]
+    fn concurrent_transfers_queue_fifo() {
+        // Two concurrent 0.05 s transfers on a shared pipe: combined wall
+        // time must be ~0.1 s because transit serialises.
+        let l = LinkSpec::fixed("t", 0.0, 160e6).build(); // 1 MB = 0.05 s
+        let l2 = l.clone();
+        let start = Instant::now();
+        let h = std::thread::spawn(move || l2.transfer(1_000_000));
+        let r1 = l.transfer(1_000_000);
+        let r2 = h.join().unwrap();
+        let wall = start.elapsed().as_secs_f64();
+        assert!(wall >= 0.095, "wall={wall}");
+        // One of the two must have queued behind the other.
+        let queued = r1.queueing.max(r2.queueing);
+        assert!(queued.as_secs_f64() > 0.03, "queued={queued:?}");
+    }
+
+    #[test]
+    fn bandwidth_sampled_within_range() {
+        let l = LinkSpec {
+            name: "wan".into(),
+            latency: Delay::None,
+            bw_min_bps: 60e6,
+            bw_max_bps: 100e6,
+            seed: 11,
+        }
+        .build();
+        for _ in 0..50 {
+            let r = l.estimate(1_000_000);
+            let bps = 8e6 / r.transit.as_secs_f64();
+            assert!((59.9e6..=100.1e6).contains(&bps), "bps={bps}");
+        }
+    }
+
+    #[test]
+    fn estimate_does_not_reserve_capacity() {
+        let l = LinkSpec::fixed("t", 0.0, 8e6).build(); // 1 B = 1 µs
+        for _ in 0..100 {
+            l.estimate(1_000_000);
+        }
+        // After many estimates, a real transfer still has no queueing.
+        let r = l.transfer(1_000);
+        assert_eq!(r.queueing, Duration::ZERO);
+    }
+
+    #[test]
+    fn expected_secs_combines_components() {
+        let spec = LinkSpec {
+            name: "wan".into(),
+            latency: Delay::FixedMs(75.0),
+            bw_min_bps: 60e6,
+            bw_max_bps: 100e6,
+            seed: 0,
+        };
+        // 1 MB at mean 80 Mbit/s = 0.1 s + 0.075 s latency.
+        assert!((spec.expected_secs(1_000_000) - 0.175).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seeded_links_are_reproducible() {
+        let mk = || {
+            LinkSpec {
+                name: "wan".into(),
+                latency: Delay::UniformMs {
+                    min_ms: 70.0,
+                    max_ms: 80.0,
+                },
+                bw_min_bps: 60e6,
+                bw_max_bps: 100e6,
+                seed: 1234,
+            }
+            .build()
+        };
+        let a = mk();
+        let b = mk();
+        for _ in 0..10 {
+            assert_eq!(a.estimate(1 << 16), b.estimate(1 << 16));
+        }
+    }
+}

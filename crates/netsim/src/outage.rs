@@ -1,0 +1,171 @@
+//! Link failure injection.
+//!
+//! The paper motivates adaptation with "failures and other external
+//! events" and "resource failures" (Section I). [`FlakyLink`] wraps a
+//! [`Link`] with scheduled outage windows: transfers attempted during an
+//! outage block until the link recovers (modelling TCP retransmission
+//! riding out a routing flap) and the extra stall is reported in the
+//! receipt's `queueing` component, so outages show up in pipeline latency
+//! exactly where a real WAN blip would.
+
+use crate::link::{Link, TransferReceipt};
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// An outage window relative to the link's creation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Outage {
+    /// Outage start, relative to [`FlakyLink::new`].
+    pub start: Duration,
+    /// Outage length.
+    pub len: Duration,
+}
+
+/// A link with scheduled outages.
+pub struct FlakyLink {
+    inner: Link,
+    epoch: Instant,
+    outages: Mutex<Vec<Outage>>,
+}
+
+impl FlakyLink {
+    /// Wrap `link` with the given outage schedule.
+    pub fn new(link: Link, outages: Vec<Outage>) -> Self {
+        Self {
+            inner: link,
+            epoch: Instant::now(),
+            outages: Mutex::new(outages),
+        }
+    }
+
+    /// The wrapped link.
+    pub fn inner(&self) -> &Link {
+        &self.inner
+    }
+
+    /// Is the link down right now?
+    pub fn is_down(&self) -> bool {
+        self.remaining_outage().is_some()
+    }
+
+    /// If currently in an outage, how long until it ends?
+    fn remaining_outage(&self) -> Option<Duration> {
+        let now = self.epoch.elapsed();
+        self.outages
+            .lock()
+            .iter()
+            .find(|o| now >= o.start && now < o.start + o.len)
+            .map(|o| o.start + o.len - now)
+    }
+
+    /// Inject an additional outage starting now.
+    pub fn fail_for(&self, len: Duration) {
+        self.outages.lock().push(Outage {
+            start: self.epoch.elapsed(),
+            len,
+        });
+    }
+
+    /// Transfer, stalling through any outage first. The stall is added to
+    /// the receipt's queueing time.
+    pub fn transfer(&self, bytes: u64) -> TransferReceipt {
+        let mut stalled = Duration::ZERO;
+        while let Some(rest) = self.remaining_outage() {
+            std::thread::sleep(rest.min(Duration::from_millis(20)));
+            stalled += rest.min(Duration::from_millis(20));
+        }
+        let receipt = self.inner.transfer(bytes);
+        TransferReceipt {
+            queueing: receipt.queueing + stalled,
+            transit: receipt.transit,
+            propagation: receipt.propagation,
+        }
+    }
+}
+
+impl std::fmt::Debug for FlakyLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlakyLink")
+            .field("link", &self.inner)
+            .field("down", &self.is_down())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkSpec;
+
+    #[test]
+    fn no_outages_is_transparent() {
+        let flaky = FlakyLink::new(LinkSpec::fixed("l", 0.0, 8e9).build(), vec![]);
+        let r = flaky.transfer(1_000);
+        assert!(r.queueing < Duration::from_millis(1));
+        assert!(!flaky.is_down());
+    }
+
+    #[test]
+    fn transfer_stalls_through_outage() {
+        let flaky = FlakyLink::new(
+            LinkSpec::fixed("l", 0.0, f64::INFINITY).build(),
+            vec![Outage {
+                start: Duration::ZERO,
+                len: Duration::from_millis(80),
+            }],
+        );
+        assert!(flaky.is_down());
+        let t0 = Instant::now();
+        let r = flaky.transfer(100);
+        let wall = t0.elapsed();
+        assert!(wall >= Duration::from_millis(70), "wall={wall:?}");
+        assert!(r.queueing >= Duration::from_millis(60), "{r:?}");
+        assert!(!flaky.is_down());
+    }
+
+    #[test]
+    fn transfer_after_outage_window_is_clean() {
+        let flaky = FlakyLink::new(
+            LinkSpec::fixed("l", 0.0, f64::INFINITY).build(),
+            vec![Outage {
+                start: Duration::ZERO,
+                len: Duration::from_millis(30),
+            }],
+        );
+        std::thread::sleep(Duration::from_millis(40));
+        let r = flaky.transfer(100);
+        assert!(r.queueing < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn fail_for_injects_immediately() {
+        let flaky = FlakyLink::new(LinkSpec::fixed("l", 0.0, f64::INFINITY).build(), vec![]);
+        assert!(!flaky.is_down());
+        flaky.fail_for(Duration::from_millis(50));
+        assert!(flaky.is_down());
+        let t0 = Instant::now();
+        flaky.transfer(10);
+        assert!(t0.elapsed() >= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn concurrent_transfers_all_survive_outage() {
+        let flaky = std::sync::Arc::new(FlakyLink::new(
+            LinkSpec::fixed("l", 0.0, f64::INFINITY).build(),
+            vec![Outage {
+                start: Duration::ZERO,
+                len: Duration::from_millis(50),
+            }],
+        ));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let f = std::sync::Arc::clone(&flaky);
+                std::thread::spawn(move || f.transfer(100))
+            })
+            .collect();
+        for h in handles {
+            let r = h.join().unwrap();
+            assert!(r.queueing >= Duration::from_millis(20));
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Sites: named locations along the continuum.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Opaque site identifier within a [`crate::Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SiteId(pub(crate) u32);
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site#{}", self.0)
+    }
+}
+
+/// The continuum tier a site belongs to. The paper's framework is "currently
+/// limited to two layers: edge and cloud"; `Fog` and `Hpc` implement the
+/// generalisation listed as future work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// IoT / sensor-adjacent devices (RasPi class).
+    Edge,
+    /// Intermediate aggregation layer.
+    Fog,
+    /// Cloud data centre (LRZ / Jetstream class).
+    Cloud,
+    /// HPC centre reachable through a batch queue.
+    Hpc,
+}
+
+impl Tier {
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Edge => "edge",
+            Tier::Fog => "fog",
+            Tier::Cloud => "cloud",
+            Tier::Hpc => "hpc",
+        }
+    }
+}
+
+/// A named site on the continuum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Site {
+    pub name: String,
+    pub tier: Tier,
+    /// Free-text region, e.g. "us-east" or "eu-de".
+    pub region: String,
+}
+
+impl Site {
+    /// Construct a site.
+    pub fn new(name: &str, tier: Tier, region: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            tier,
+            region: region.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_labels() {
+        assert_eq!(Tier::Edge.label(), "edge");
+        assert_eq!(Tier::Cloud.label(), "cloud");
+    }
+
+    #[test]
+    fn site_construction() {
+        let s = Site::new("lrz", Tier::Cloud, "eu-de");
+        assert_eq!(s.name, "lrz");
+        assert_eq!(s.tier, Tier::Cloud);
+    }
+
+    #[test]
+    fn site_id_display() {
+        assert_eq!(SiteId(3).to_string(), "site#3");
+    }
+}

@@ -1,0 +1,294 @@
+//! Topologies: sites connected by links, with shortest-path routing.
+//!
+//! The paper's evaluation uses a two-site topology (edge site + cloud site),
+//! but its future-work section asks for "arbitrary architectures and
+//! topologies of resources". [`Topology`] supports any site graph;
+//! [`Topology::route`] finds the minimum-expected-latency path (Dijkstra over
+//! mean link cost for a reference payload) and [`Topology::transfer`] charges
+//! every hop on the path.
+
+use crate::link::{Link, LinkSpec, TransferReceipt};
+use crate::site::{Site, SiteId};
+use std::collections::{BinaryHeap, HashMap};
+
+/// A graph of sites and links.
+#[derive(Debug, Default)]
+pub struct Topology {
+    sites: Vec<Site>,
+    /// adjacency: site → (neighbour, link index)
+    adj: HashMap<SiteId, Vec<(SiteId, usize)>>,
+    links: Vec<Link>,
+}
+
+impl Topology {
+    /// Create an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a site, returning its id.
+    pub fn add_site(&mut self, site: Site) -> SiteId {
+        let id = SiteId(self.sites.len() as u32);
+        self.sites.push(site);
+        self.adj.entry(id).or_default();
+        id
+    }
+
+    /// Add a bidirectional link between two sites.
+    ///
+    /// # Panics
+    /// Panics if either site id is not part of this topology.
+    pub fn connect(&mut self, a: SiteId, b: SiteId, spec: LinkSpec) -> &Link {
+        assert!((a.0 as usize) < self.sites.len(), "unknown site {a}");
+        assert!((b.0 as usize) < self.sites.len(), "unknown site {b}");
+        let idx = self.links.len();
+        self.links.push(spec.build());
+        self.adj.entry(a).or_default().push((b, idx));
+        self.adj.entry(b).or_default().push((a, idx));
+        &self.links[idx]
+    }
+
+    /// Site metadata.
+    pub fn site(&self, id: SiteId) -> &Site {
+        &self.sites[id.0 as usize]
+    }
+
+    /// Find a site id by name.
+    pub fn find(&self, name: &str) -> Option<SiteId> {
+        self.sites
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| SiteId(i as u32))
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// True if the topology has no sites.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Minimum-cost route from `a` to `b` as a sequence of links, using each
+    /// link's expected cost for a 64 KiB reference payload as the edge
+    /// weight. Returns `None` if unreachable; `Some(vec![])` when `a == b`.
+    pub fn route(&self, a: SiteId, b: SiteId) -> Option<Vec<Link>> {
+        if a == b {
+            return Some(Vec::new());
+        }
+        const REF_BYTES: u64 = 64 * 1024;
+        // Dijkstra over f64 costs; BinaryHeap is a max-heap, so order by
+        // negated cost through `std::cmp::Reverse` on integer nanoseconds.
+        let mut dist: HashMap<SiteId, (f64, Option<(SiteId, usize)>)> = HashMap::new();
+        dist.insert(a, (0.0, None));
+        let mut heap = BinaryHeap::new();
+        heap.push(std::cmp::Reverse((0u64, a)));
+        while let Some(std::cmp::Reverse((d_ns, u))) = heap.pop() {
+            let d = d_ns as f64 / 1e9;
+            if let Some(&(best, _)) = dist.get(&u) {
+                if d > best + 1e-12 {
+                    continue;
+                }
+            }
+            if u == b {
+                break;
+            }
+            for &(v, li) in self.adj.get(&u).into_iter().flatten() {
+                let w = self.links[li].spec().expected_secs(REF_BYTES);
+                let nd = d + w;
+                let better = dist.get(&v).map(|&(dv, _)| nd < dv).unwrap_or(true);
+                if better {
+                    dist.insert(v, (nd, Some((u, li))));
+                    heap.push(std::cmp::Reverse(((nd * 1e9) as u64, v)));
+                }
+            }
+        }
+        // Reconstruct path b → a.
+        let mut path = Vec::new();
+        let mut cur = b;
+        while cur != a {
+            let &(_, prev) = dist.get(&cur)?;
+            let (p, li) = prev?;
+            path.push(self.links[li].clone());
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Transfer `bytes` from `a` to `b` along the minimum-cost route,
+    /// blocking for the simulated time of every hop. Returns per-hop
+    /// receipts, or `None` if the sites are not connected.
+    pub fn transfer(&self, a: SiteId, b: SiteId, bytes: u64) -> Option<Vec<TransferReceipt>> {
+        let path = self.route(a, b)?;
+        Some(path.iter().map(|l| l.transfer(bytes)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::Tier;
+
+    fn spec(name: &str, ms: f64) -> LinkSpec {
+        LinkSpec::fixed(name, ms, 1e12)
+    }
+
+    fn three_site() -> (Topology, SiteId, SiteId, SiteId) {
+        let mut t = Topology::new();
+        let e = t.add_site(Site::new("edge", Tier::Edge, "us"));
+        let f = t.add_site(Site::new("fog", Tier::Fog, "us"));
+        let c = t.add_site(Site::new("cloud", Tier::Cloud, "eu"));
+        (t, e, f, c)
+    }
+
+    #[test]
+    fn route_to_self_is_empty() {
+        let (mut t, e, _, _) = three_site();
+        let _ = t.connect(e, e, spec("self", 1.0));
+        assert_eq!(t.route(e, e).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn unreachable_site_returns_none() {
+        let (t, e, _, c) = three_site();
+        assert!(t.route(e, c).is_none());
+    }
+
+    #[test]
+    fn direct_route_found() {
+        let (mut t, e, _, c) = three_site();
+        t.connect(e, c, spec("wan", 75.0));
+        let r = t.route(e, c).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].name(), "wan");
+    }
+
+    #[test]
+    fn shortest_path_prefers_cheaper_two_hop() {
+        let (mut t, e, f, c) = three_site();
+        t.connect(e, c, spec("direct", 200.0));
+        t.connect(e, f, spec("hop1", 10.0));
+        t.connect(f, c, spec("hop2", 10.0));
+        let r = t.route(e, c).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].name(), "hop1");
+        assert_eq!(r[1].name(), "hop2");
+    }
+
+    #[test]
+    fn transfer_charges_every_hop() {
+        let (mut t, e, f, c) = three_site();
+        t.connect(e, f, spec("hop1", 5.0));
+        t.connect(f, c, spec("hop2", 7.0));
+        let receipts = t.transfer(e, c, 1024).unwrap();
+        assert_eq!(receipts.len(), 2);
+        let total_ms: f64 = receipts.iter().map(|r| r.total().as_secs_f64() * 1e3).sum();
+        assert!((total_ms - 12.0).abs() < 1.0, "total={total_ms}");
+    }
+
+    #[test]
+    fn find_by_name() {
+        let (t, _, f, _) = three_site();
+        assert_eq!(t.find("fog"), Some(f));
+        assert_eq!(t.find("nope"), None);
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let t = Topology::new();
+        assert!(t.is_empty());
+        let (t, ..) = three_site();
+        assert_eq!(t.len(), 3);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Brute-force all-pairs shortest path (Floyd–Warshall) over the
+        /// same expected-cost edge weights `Topology::route` uses.
+        fn floyd(n: usize, edges: &[(usize, usize, f64)]) -> Vec<Vec<f64>> {
+            let mut d = vec![vec![f64::INFINITY; n]; n];
+            for (i, row) in d.iter_mut().enumerate() {
+                row[i] = 0.0;
+            }
+            for &(a, b, w) in edges {
+                d[a][b] = d[a][b].min(w);
+                d[b][a] = d[b][a].min(w);
+            }
+            for k in 0..n {
+                for i in 0..n {
+                    for j in 0..n {
+                        if d[i][k] + d[k][j] < d[i][j] {
+                            d[i][j] = d[i][k] + d[k][j];
+                        }
+                    }
+                }
+            }
+            d
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+            /// Dijkstra routing returns a minimum-cost path on arbitrary
+            /// random graphs (validated against Floyd–Warshall), and
+            /// returns None exactly when Floyd–Warshall says unreachable.
+            #[test]
+            fn prop_route_is_shortest(
+                n in 2usize..8,
+                raw_edges in proptest::collection::vec((0usize..8, 0usize..8, 1u32..500), 0..20),
+            ) {
+                let mut topo = Topology::new();
+                for i in 0..n {
+                    topo.add_site(Site::new(&format!("s{i}"), Tier::Cloud, "r"));
+                }
+                let mut edges = Vec::new();
+                for (idx, &(a, b, ms)) in raw_edges.iter().enumerate() {
+                    let (a, b) = (a % n, b % n);
+                    if a == b {
+                        continue;
+                    }
+                    let spec = LinkSpec::fixed(&format!("l{idx}"), ms as f64, 1e12);
+                    let w = spec.expected_secs(64 * 1024);
+                    topo.connect(SiteId(a as u32), SiteId(b as u32), spec);
+                    edges.push((a, b, w));
+                }
+                let dist = floyd(n, &edges);
+                for (i, dist_row) in dist.iter().enumerate() {
+                    for (j, &optimal) in dist_row.iter().enumerate() {
+                        let route = topo.route(SiteId(i as u32), SiteId(j as u32));
+                        if i == j {
+                            prop_assert_eq!(route.unwrap().len(), 0);
+                            continue;
+                        }
+                        match route {
+                            None => prop_assert!(
+                                optimal.is_infinite(),
+                                "route says unreachable but FW cost is {optimal}"
+                            ),
+                            Some(path) => {
+                                let cost: f64 = path
+                                    .iter()
+                                    .map(|l| l.spec().expected_secs(64 * 1024))
+                                    .sum();
+                                prop_assert!(
+                                    (cost - optimal).abs() < 1e-9,
+                                    "route cost {cost} vs optimal {optimal}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # pilot-params — a parameter server for model sharing
+//!
+//! Pilot-Edge "provides a Redis-based parameter server for sharing model
+//! weights across the continuum" (paper Section II-B): processing tasks on
+//! different pilots push and pull model state (k-means centroids,
+//! auto-encoder weights) keyed by job, and "model updates are managed via
+//! the parameter service" (Section III.2). Redis is not available here, so
+//! this crate provides the equivalent semantics in-process:
+//!
+//! * a sharded, versioned key→weight-vector store ([`ParameterServer`]) with
+//!   optimistic concurrency (`compare_and_put`) and monotonically increasing
+//!   per-key versions, so workers can cheaply check "is there a newer model
+//!   than the one I have?" ([`ParameterServer::get_if_newer`]);
+//! * [`MergePolicy`] — how a pushed update combines with the stored value:
+//!   overwrite, element-wise average, exponential moving average, or sum —
+//!   the standard parameter-server aggregation modes for distributed
+//!   training;
+//! * operation counters, so the pipeline's monitoring can report parameter
+//!   traffic alongside broker traffic.
+//!
+//! Like Redis, the server itself is transport-agnostic: the Pilot-Edge
+//! runtime charges a `pilot-netsim` link around each call when the caller
+//! is on a different site.
+
+pub mod policy;
+pub mod server;
+
+pub use policy::MergePolicy;
+pub use server::{ParamStats, ParameterServer, PutOutcome, Version};

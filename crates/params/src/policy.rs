@@ -1,0 +1,99 @@
+//! Merge policies: how pushed updates combine with stored parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// How [`crate::ParameterServer::update`] combines an incoming vector with
+/// the stored one. All element-wise policies require matching lengths; a
+/// mismatch falls back to `Assign` (the new model replaces the old — the
+/// sensible behaviour when a model is re-architected at runtime).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MergePolicy {
+    /// Overwrite the stored value.
+    Assign,
+    /// Element-wise mean of stored and incoming.
+    Average,
+    /// Exponential moving average: `new = alpha·incoming + (1−alpha)·stored`.
+    Ema {
+        /// Weight of the incoming update, in `[0, 1]`.
+        alpha: f64,
+    },
+    /// Element-wise sum (gradient accumulation).
+    Sum,
+}
+
+impl MergePolicy {
+    /// Merge `incoming` into `stored`, producing the value to store.
+    pub fn merge(&self, stored: &[f64], incoming: &[f64]) -> Vec<f64> {
+        if stored.len() != incoming.len() {
+            return incoming.to_vec();
+        }
+        match *self {
+            MergePolicy::Assign => incoming.to_vec(),
+            MergePolicy::Average => stored
+                .iter()
+                .zip(incoming)
+                .map(|(&s, &i)| (s + i) / 2.0)
+                .collect(),
+            MergePolicy::Ema { alpha } => {
+                let a = alpha.clamp(0.0, 1.0);
+                stored
+                    .iter()
+                    .zip(incoming)
+                    .map(|(&s, &i)| a * i + (1.0 - a) * s)
+                    .collect()
+            }
+            MergePolicy::Sum => stored.iter().zip(incoming).map(|(&s, &i)| s + i).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_overwrites() {
+        assert_eq!(
+            MergePolicy::Assign.merge(&[1.0, 2.0], &[3.0, 4.0]),
+            vec![3.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn average_is_midpoint() {
+        assert_eq!(
+            MergePolicy::Average.merge(&[0.0, 10.0], &[10.0, 0.0]),
+            vec![5.0, 5.0]
+        );
+    }
+
+    #[test]
+    fn ema_weights_incoming() {
+        let m = MergePolicy::Ema { alpha: 0.25 };
+        assert_eq!(m.merge(&[0.0], &[8.0]), vec![2.0]);
+    }
+
+    #[test]
+    fn ema_alpha_clamped() {
+        let m = MergePolicy::Ema { alpha: 2.0 };
+        assert_eq!(m.merge(&[0.0], &[8.0]), vec![8.0]);
+        let m = MergePolicy::Ema { alpha: -1.0 };
+        assert_eq!(m.merge(&[3.0], &[8.0]), vec![3.0]);
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        assert_eq!(
+            MergePolicy::Sum.merge(&[1.0, 1.0], &[2.0, 3.0]),
+            vec![3.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn length_mismatch_falls_back_to_assign() {
+        assert_eq!(
+            MergePolicy::Average.merge(&[1.0], &[2.0, 3.0]),
+            vec![2.0, 3.0]
+        );
+    }
+}

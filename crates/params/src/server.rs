@@ -1,0 +1,341 @@
+//! The sharded, versioned parameter store.
+
+use crate::policy::MergePolicy;
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonically increasing per-key version, starting at 1.
+pub type Version = u64;
+
+const SHARDS: usize = 16;
+
+struct Entry {
+    value: Arc<Vec<f64>>,
+    version: Version,
+}
+
+/// Outcome of a conditional put.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PutOutcome {
+    /// The value was stored; this is its new version.
+    Stored(Version),
+    /// The expected version did not match; this is the current version.
+    Conflict(Version),
+}
+
+/// Operation counters (cheap, relaxed atomics).
+#[derive(Debug, Default)]
+pub struct ParamStats {
+    pub gets: AtomicU64,
+    pub puts: AtomicU64,
+    pub bytes_in: AtomicU64,
+    pub bytes_out: AtomicU64,
+}
+
+/// # Example
+///
+/// ```
+/// use pilot_params::{MergePolicy, ParameterServer};
+///
+/// let ps = ParameterServer::new();
+/// let v1 = ps.put("model", vec![1.0, 2.0]);
+/// ps.update("model", MergePolicy::Average, &[3.0, 4.0]);
+/// let (weights, version) = ps.get("model").unwrap();
+/// assert_eq!(&*weights, &[2.0, 3.0]);
+/// assert_eq!(version, v1 + 1);
+/// // Cheap freshness polling between messages:
+/// assert!(ps.get_if_newer("model", version).is_none());
+/// ```
+/// A thread-safe parameter server. Clone handles freely (`Arc` inside).
+#[derive(Clone)]
+pub struct ParameterServer {
+    shards: Arc<[Mutex<HashMap<String, Entry>>; SHARDS]>,
+    stats: Arc<ParamStats>,
+}
+
+impl ParameterServer {
+    /// Create an empty server.
+    pub fn new() -> Self {
+        Self {
+            shards: Arc::new(std::array::from_fn(|_| Mutex::new(HashMap::new()))),
+            stats: Arc::new(ParamStats::default()),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<HashMap<String, Entry>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() % SHARDS as u64) as usize]
+    }
+
+    /// Store `value` under `key`, unconditionally. Returns the new version.
+    pub fn put(&self, key: &str, value: Vec<f64>) -> Version {
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_in
+            .fetch_add((value.len() * 8) as u64, Ordering::Relaxed);
+        let mut shard = self.shard(key).lock();
+        let e = shard.entry(key.to_string()).or_insert(Entry {
+            value: Arc::new(Vec::new()),
+            version: 0,
+        });
+        e.version += 1;
+        e.value = Arc::new(value);
+        e.version
+    }
+
+    /// Fetch the value and version under `key`.
+    pub fn get(&self, key: &str) -> Option<(Arc<Vec<f64>>, Version)> {
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard(key).lock();
+        shard.get(key).map(|e| {
+            self.stats
+                .bytes_out
+                .fetch_add((e.value.len() * 8) as u64, Ordering::Relaxed);
+            (Arc::clone(&e.value), e.version)
+        })
+    }
+
+    /// Fetch only if the stored version is newer than `since`. The cheap
+    /// polling primitive workers use between messages.
+    pub fn get_if_newer(&self, key: &str, since: Version) -> Option<(Arc<Vec<f64>>, Version)> {
+        let shard = self.shard(key).lock();
+        match shard.get(key) {
+            Some(e) if e.version > since => {
+                self.stats.gets.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .bytes_out
+                    .fetch_add((e.value.len() * 8) as u64, Ordering::Relaxed);
+                Some((Arc::clone(&e.value), e.version))
+            }
+            _ => None,
+        }
+    }
+
+    /// Merge `incoming` into the stored value under `policy` (an absent key
+    /// behaves as Assign). Returns the new version.
+    pub fn update(&self, key: &str, policy: MergePolicy, incoming: &[f64]) -> Version {
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_in
+            .fetch_add((incoming.len() * 8) as u64, Ordering::Relaxed);
+        let mut shard = self.shard(key).lock();
+        let e = shard.entry(key.to_string()).or_insert(Entry {
+            value: Arc::new(Vec::new()),
+            version: 0,
+        });
+        let merged = if e.version == 0 {
+            incoming.to_vec()
+        } else {
+            policy.merge(&e.value, incoming)
+        };
+        e.version += 1;
+        e.value = Arc::new(merged);
+        e.version
+    }
+
+    /// Store only if the current version equals `expected` (0 = key absent).
+    pub fn compare_and_put(&self, key: &str, expected: Version, value: Vec<f64>) -> PutOutcome {
+        let mut shard = self.shard(key).lock();
+        let e = shard.entry(key.to_string()).or_insert(Entry {
+            value: Arc::new(Vec::new()),
+            version: 0,
+        });
+        if e.version != expected {
+            return PutOutcome::Conflict(e.version);
+        }
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_in
+            .fetch_add((value.len() * 8) as u64, Ordering::Relaxed);
+        e.version += 1;
+        e.value = Arc::new(value);
+        PutOutcome::Stored(e.version)
+    }
+
+    /// Remove a key; returns true if it existed.
+    pub fn delete(&self, key: &str) -> bool {
+        self.shard(key).lock().remove(key).is_some()
+    }
+
+    /// All keys (unordered).
+    pub fn keys(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            out.extend(shard.lock().keys().cloned());
+        }
+        out
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &ParamStats {
+        &self.stats
+    }
+}
+
+impl Default for ParameterServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ParameterServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParameterServer")
+            .field("keys", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let ps = ParameterServer::new();
+        let v1 = ps.put("model", vec![1.0, 2.0]);
+        assert_eq!(v1, 1);
+        let (val, ver) = ps.get("model").unwrap();
+        assert_eq!(*val, vec![1.0, 2.0]);
+        assert_eq!(ver, 1);
+    }
+
+    #[test]
+    fn versions_increase_monotonically() {
+        let ps = ParameterServer::new();
+        assert_eq!(ps.put("k", vec![1.0]), 1);
+        assert_eq!(ps.put("k", vec![2.0]), 2);
+        assert_eq!(ps.update("k", MergePolicy::Sum, &[1.0]), 3);
+    }
+
+    #[test]
+    fn get_missing_is_none() {
+        let ps = ParameterServer::new();
+        assert!(ps.get("nope").is_none());
+    }
+
+    #[test]
+    fn get_if_newer_filters() {
+        let ps = ParameterServer::new();
+        ps.put("k", vec![1.0]);
+        assert!(ps.get_if_newer("k", 0).is_some());
+        assert!(ps.get_if_newer("k", 1).is_none());
+        ps.put("k", vec![2.0]);
+        let (v, ver) = ps.get_if_newer("k", 1).unwrap();
+        assert_eq!(*v, vec![2.0]);
+        assert_eq!(ver, 2);
+    }
+
+    #[test]
+    fn update_on_absent_key_assigns() {
+        let ps = ParameterServer::new();
+        ps.update("k", MergePolicy::Average, &[4.0]);
+        assert_eq!(*ps.get("k").unwrap().0, vec![4.0]);
+    }
+
+    #[test]
+    fn update_merges_with_policy() {
+        let ps = ParameterServer::new();
+        ps.put("k", vec![0.0, 10.0]);
+        ps.update("k", MergePolicy::Average, &[10.0, 0.0]);
+        assert_eq!(*ps.get("k").unwrap().0, vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn compare_and_put_detects_conflict() {
+        let ps = ParameterServer::new();
+        assert_eq!(ps.compare_and_put("k", 0, vec![1.0]), PutOutcome::Stored(1));
+        assert_eq!(
+            ps.compare_and_put("k", 0, vec![2.0]),
+            PutOutcome::Conflict(1)
+        );
+        assert_eq!(ps.compare_and_put("k", 1, vec![2.0]), PutOutcome::Stored(2));
+        assert_eq!(*ps.get("k").unwrap().0, vec![2.0]);
+    }
+
+    #[test]
+    fn delete_removes() {
+        let ps = ParameterServer::new();
+        ps.put("k", vec![1.0]);
+        assert!(ps.delete("k"));
+        assert!(!ps.delete("k"));
+        assert!(ps.get("k").is_none());
+        assert!(ps.is_empty());
+    }
+
+    #[test]
+    fn keys_and_len() {
+        let ps = ParameterServer::new();
+        ps.put("a", vec![]);
+        ps.put("b", vec![]);
+        let mut keys = ps.keys();
+        keys.sort();
+        assert_eq!(keys, vec!["a", "b"]);
+        assert_eq!(ps.len(), 2);
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let ps = ParameterServer::new();
+        ps.put("k", vec![0.0; 10]);
+        ps.get("k");
+        assert_eq!(ps.stats().puts.load(Ordering::Relaxed), 1);
+        assert_eq!(ps.stats().gets.load(Ordering::Relaxed), 1);
+        assert_eq!(ps.stats().bytes_in.load(Ordering::Relaxed), 80);
+        assert_eq!(ps.stats().bytes_out.load(Ordering::Relaxed), 80);
+    }
+
+    #[test]
+    fn concurrent_updates_none_lost() {
+        let ps = ParameterServer::new();
+        ps.put("k", vec![0.0]);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let ps = ps.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    ps.update("k", MergePolicy::Sum, &[1.0]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (v, ver) = ps.get("k").unwrap();
+        assert_eq!(v[0], 8000.0);
+        assert_eq!(ver, 8001);
+    }
+
+    proptest! {
+        /// put-then-get is always identity, and versions only increase.
+        #[test]
+        fn prop_put_get_identity(values in proptest::collection::vec(-1e6f64..1e6, 0..64)) {
+            let ps = ParameterServer::new();
+            let mut last_ver = 0;
+            for _ in 0..3 {
+                let ver = ps.put("k", values.clone());
+                prop_assert!(ver > last_ver);
+                last_ver = ver;
+                let (got, v) = ps.get("k").unwrap();
+                prop_assert_eq!(&*got, &values);
+                prop_assert_eq!(v, ver);
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Federated learning over Pilot-Edge — the paper's named future-work
+//! scenario ("we will explore novel edge-to-cloud scenarios, e.g.,
+//! federated learning").
+//!
+//! Topology: an *edge-centric* deployment where raw data never leaves the
+//! devices. Each edge device trains a **local** k-means model inside its
+//! `process_edge` function and publishes `(weights, sample_count)` to the
+//! parameter server; only a heavily downsampled summary crosses the WAN.
+//! The cloud's `process_cloud` function acts as the FedAvg server: when
+//! every client has reported for a round, it aggregates
+//! (sample-weighted average) and publishes the new **global** model, which
+//! the devices pull down (`get_if_newer`) and continue training from.
+//!
+//! Run: `cargo run --release --example federated`
+
+use pilot_core::{PilotComputeService, PilotDescription};
+use pilot_datagen::{DataGenConfig, DataGenerator};
+use pilot_edge::processors::datagen_produce_factory;
+use pilot_edge::windows::{aggregate_points, AggKind};
+use pilot_edge::{
+    CloudFactory, Context, DeploymentMode, EdgeFactory, EdgeToCloudPipeline, ProcessOutcome,
+};
+use pilot_ml::federated::{fed_avg, ClientUpdate};
+use pilot_ml::{Dataset, KMeans, KMeansConfig, OutlierModel};
+use pilot_netsim::profiles;
+use pilot_params::MergePolicy;
+use std::sync::Arc;
+use std::time::Duration;
+
+const DEVICES: usize = 4;
+const MESSAGES: usize = 12;
+const POINTS: usize = 500;
+
+fn kmeans_config() -> KMeansConfig {
+    let mut cfg = KMeansConfig::paper();
+    cfg.features = 32;
+    cfg
+}
+
+/// process_edge: local training + update publication + summary forwarding.
+fn federated_edge_factory() -> EdgeFactory {
+    Arc::new(move |_ctx: &Context, device: usize| {
+        let mut local = KMeans::new(kmeans_config());
+        let mut last_global_version = 0;
+        Box::new(move |ctx: &Context, block| {
+            // Pull a newer global model if one was published.
+            let global_key = format!("fed:global:{}", ctx.job_id);
+            if let Some((global, version)) =
+                ctx.params.get_if_newer(&global_key, last_global_version)
+            {
+                last_global_version = version;
+                local.set_weights(&global);
+            }
+            // Local training on raw device data (which never leaves).
+            let ds = Dataset::new(&block.data, block.points, block.features);
+            local.partial_fit(&ds);
+            // Publish this client's update for the current round.
+            let update_key = format!("fed:update:{}:{}", ctx.job_id, device);
+            ctx.params
+                .update(&update_key, MergePolicy::Assign, &local.weights());
+            ctx.counter("client_updates_published").incr();
+            // Only a 20× downsampled summary crosses the network.
+            Ok(aggregate_points(&block, 20, AggKind::Mean))
+        })
+    })
+}
+
+/// process_cloud: the FedAvg aggregation server.
+fn federated_cloud_factory() -> CloudFactory {
+    Arc::new(move |_ctx: &Context| {
+        let mut seen_versions = [0u64; DEVICES];
+        Box::new(move |ctx: &Context, _summary| {
+            // Gather every client's freshest update.
+            let mut updates = Vec::with_capacity(DEVICES);
+            for (device, seen) in seen_versions.iter_mut().enumerate() {
+                let key = format!("fed:update:{}:{device}", ctx.job_id);
+                if let Some((weights, version)) = ctx.params.get(&key) {
+                    if version > *seen {
+                        *seen = version;
+                    }
+                    updates.push(ClientUpdate {
+                        weights: weights.to_vec(),
+                        samples: POINTS as u64,
+                    });
+                }
+            }
+            // A round completes once all clients have reported at least once.
+            if updates.len() == DEVICES {
+                if let Some(global) = fed_avg(&updates) {
+                    let global_key = format!("fed:global:{}", ctx.job_id);
+                    ctx.params.update(&global_key, MergePolicy::Assign, &global);
+                    ctx.counter("federated_rounds").incr();
+                }
+            }
+            Ok(ProcessOutcome::default())
+        })
+    })
+}
+
+fn main() {
+    let svc = PilotComputeService::new();
+    let edge = svc
+        .submit_and_wait(
+            PilotDescription::local(DEVICES, 4.0 * DEVICES as f64).with_site("devices"),
+            Duration::from_secs(10),
+        )
+        .unwrap();
+    let cloud = svc
+        .submit_and_wait(PilotDescription::lrz_large(), Duration::from_secs(10))
+        .unwrap();
+
+    let running = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(
+            DataGenConfig::paper(POINTS),
+            MESSAGES,
+        ))
+        .process_edge_function(federated_edge_factory())
+        .process_cloud_function(federated_cloud_factory())
+        .mode(DeploymentMode::EdgeCentric)
+        .devices(DEVICES)
+        .processors(1) // one FedAvg server
+        .link_edge_to_broker(profiles::transatlantic("devices->cloud", 21).build())
+        .start()
+        .unwrap();
+    let ctx = running.context().clone();
+    let summary = running.wait(Duration::from_secs(300)).unwrap();
+
+    let rounds = ctx.counter("federated_rounds").get();
+    let updates = ctx.counter("client_updates_published").get();
+    println!("# federated k-means over {DEVICES} devices x {MESSAGES} messages");
+    println!("summaries shipped     : {}", summary.messages);
+    println!("client updates        : {updates}");
+    println!("aggregation rounds    : {rounds}");
+    println!(
+        "WAN bytes per message : {} (raw would be {})",
+        pilot_datagen::serialized_size(POINTS / 20, 32),
+        pilot_datagen::serialized_size(POINTS, 32),
+    );
+
+    // Evaluate the final global model on fresh, mixed data.
+    let (global, version) = ctx
+        .params
+        .get(&format!("fed:global:{}", ctx.job_id))
+        .expect("global model");
+    let mut model = KMeans::new(kmeans_config());
+    assert!(model.set_weights(&global));
+    let mut generator = DataGenerator::new(DataGenConfig::paper(2000).with_seed(999));
+    let test = generator.next_block();
+    let ds = Dataset::new(&test.data, test.points, test.features);
+    let scores = model.score(&ds);
+    let auc = pilot_ml::eval::roc_auc(&scores, &test.labels);
+    println!("global model version  : {version}");
+    println!("global model ROC-AUC  : {auc:.3} (on unseen mixed data)");
+}

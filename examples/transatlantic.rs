@@ -1,0 +1,93 @@
+//! Geographic distribution: the paper's Jetstream (US) → LRZ (EU) scenario,
+//! and the hybrid deployment it recommends for it.
+//!
+//! Compares three placements of the same k-means workload over the
+//! transatlantic link model (140–160 ms RTT, 60–100 Mbit/s):
+//!
+//! * cloud-centric — raw 250 KB messages cross the WAN (the paper's Fig. 3
+//!   geo setup, bandwidth-limited);
+//! * hybrid — `process_edge` downsamples 4× before the transfer ("adding a
+//!   data compression step before the data transfer");
+//! * the analytic placement advisor's verdict for this configuration.
+//!
+//! Run: `cargo run --release --example transatlantic`
+
+use pilot_core::{PilotComputeService, PilotDescription};
+use pilot_datagen::{serialized_size, DataGenConfig};
+use pilot_edge::placement::{estimate, StageCost};
+use pilot_edge::processors::{
+    datagen_produce_factory, downsample_edge_factory, paper_model_factory,
+};
+use pilot_edge::{DeploymentMode, EdgeToCloudPipeline};
+use pilot_ml::ModelKind;
+use pilot_netsim::profiles;
+use std::time::Duration;
+
+const POINTS: usize = 1000;
+const MESSAGES: usize = 8;
+const DEVICES: usize = 2;
+
+fn run(mode: DeploymentMode) -> pilot_edge::RunSummary {
+    let svc = PilotComputeService::new();
+    let edge = svc
+        .submit_and_wait(
+            PilotDescription::local(DEVICES, 8.0).with_site("jetstream"),
+            Duration::from_secs(10),
+        )
+        .unwrap();
+    let cloud = svc
+        .submit_and_wait(PilotDescription::lrz_large(), Duration::from_secs(10))
+        .unwrap();
+    let mut builder = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(
+            DataGenConfig::paper(POINTS),
+            MESSAGES,
+        ))
+        .process_cloud_function(paper_model_factory(ModelKind::KMeans, 32))
+        .devices(DEVICES)
+        .mode(mode)
+        .link_edge_to_broker(profiles::transatlantic("us->eu", 11).build())
+        .link_broker_to_cloud(profiles::cloud_local("lrz", 12).build());
+    if mode.edge_processing() {
+        builder = builder.process_edge_function(downsample_edge_factory(4));
+    }
+    builder.run(Duration::from_secs(300)).unwrap()
+}
+
+fn main() {
+    println!(
+        "# k-means over the transatlantic link; {DEVICES} devices x {MESSAGES} messages x {POINTS} points ({:.0} KB each)",
+        serialized_size(POINTS, 32) as f64 / 1024.0
+    );
+    println!("deployment,throughput_msgs_s,throughput_mb_s,latency_mean_ms,latency_p99_ms");
+    for mode in [DeploymentMode::CloudCentric, DeploymentMode::Hybrid] {
+        let s = run(mode);
+        println!(
+            "{},{:.2},{:.3},{:.1},{:.1}",
+            mode.label(),
+            s.throughput_msgs,
+            s.throughput_mb,
+            s.latency_mean_ms,
+            s.latency_p99_ms
+        );
+    }
+
+    // The analytic advisor, fed rough per-message model costs.
+    let cost = StageCost {
+        edge_secs: 0.004,     // downsampling 1000 points is cheap
+        cloud_secs: 0.010,    // k-means partial_fit + score
+        edge_reduction: 0.25, // 4× downsampling
+    };
+    let est = estimate(
+        serialized_size(POINTS, 32) as u64,
+        &profiles::transatlantic("us->eu", 11),
+        cost,
+    );
+    println!("\n# placement advisor (expected per-message seconds):");
+    println!("#   cloud-centric: {:.3}", est.cloud_centric_secs);
+    println!("#   hybrid:        {:.3}", est.hybrid_secs);
+    println!("#   edge-centric:  {:.3}", est.edge_centric_secs);
+    println!("#   recommended:   {}", est.best().label());
+}

@@ -1,0 +1,18 @@
+//! # pilot-edge-repro — umbrella crate
+//!
+//! Re-exports the whole Pilot-Edge reproduction behind one dependency, and
+//! hosts the workspace-spanning integration tests (`tests/`) and runnable
+//! examples (`examples/`).
+//!
+//! Start with [`pilot_edge::EdgeToCloudPipeline`] (the paper's Listing 2)
+//! and `examples/quickstart.rs`.
+
+pub use pilot_broker as broker;
+pub use pilot_core as core;
+pub use pilot_dataflow as dataflow;
+pub use pilot_datagen as datagen;
+pub use pilot_edge as edge;
+pub use pilot_metrics as metrics;
+pub use pilot_ml as ml;
+pub use pilot_netsim as netsim;
+pub use pilot_params as params;

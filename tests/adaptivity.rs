@@ -1,0 +1,173 @@
+//! Runtime-adaptation integration tests (paper Section II-D): function
+//! replacement without new pilots, processor scaling, and fault isolation.
+
+use pilot_core::{PilotComputeService, PilotDescription};
+use pilot_datagen::DataGenConfig;
+use pilot_edge::processors::{baseline_factory, datagen_produce_factory, paper_model_factory};
+use pilot_edge::{CloudFactory, Context, EdgeToCloudPipeline, ProcessOutcome};
+use pilot_ml::ModelKind;
+use std::sync::Arc;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(120);
+
+fn pilots(edge_cores: usize, cloud_cores: usize) -> (pilot_core::Pilot, pilot_core::Pilot) {
+    let svc = PilotComputeService::new();
+    let edge = svc
+        .submit_and_wait(PilotDescription::local(edge_cores, 16.0), WAIT)
+        .unwrap();
+    let cloud = svc
+        .submit_and_wait(PilotDescription::local(cloud_cores, 44.0), WAIT)
+        .unwrap();
+    // Leak the service so pilots outlive this helper (Drop cancels pilots).
+    std::mem::forget(svc);
+    (edge, cloud)
+}
+
+#[test]
+fn swap_low_to_high_fidelity_model_mid_stream() {
+    // The paper's canonical adaptation: "exchanging low vs high fidelity
+    // models" at runtime. Start with the baseline (low fidelity), swap to
+    // k-means (high fidelity); the parameter server must start receiving
+    // model updates only after the swap.
+    let (edge, cloud) = pilots(1, 1);
+    let running = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(DataGenConfig::paper(200), 40))
+        .process_cloud_function(baseline_factory())
+        .devices(1)
+        .rate_per_device(100.0)
+        .start()
+        .unwrap();
+    let ctx = running.context().clone();
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(
+        ctx.params.get(&ctx.model_key()).is_none(),
+        "baseline must not publish a model"
+    );
+    running.replace_cloud_function(paper_model_factory(ModelKind::KMeans, 32));
+    let summary = running.wait(WAIT).unwrap();
+    assert_eq!(summary.messages, 40);
+    let (_, version) = ctx.params.get(&ctx.model_key()).expect("model after swap");
+    assert!((1..40).contains(&version), "version={version}");
+}
+
+#[test]
+fn repeated_swaps_are_safe() {
+    let (edge, cloud) = pilots(1, 1);
+    let running = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(DataGenConfig::paper(100), 30))
+        .process_cloud_function(baseline_factory())
+        .devices(1)
+        .rate_per_device(200.0)
+        .start()
+        .unwrap();
+    for i in 0..5 {
+        std::thread::sleep(Duration::from_millis(20));
+        let gen = running.replace_cloud_function(baseline_factory());
+        assert_eq!(gen, i + 2);
+    }
+    let summary = running.wait(WAIT).unwrap();
+    assert_eq!(summary.messages, 30);
+    assert_eq!(summary.errors, 0);
+}
+
+#[test]
+fn scale_up_during_burst() {
+    // 8 partitions, 1 consumer; scale to 8 mid-run. Everything drains and
+    // the consumer pool reflects the scale.
+    let (edge, cloud) = pilots(8, 8);
+    let running = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(DataGenConfig::paper(200), 12))
+        .process_cloud_function(paper_model_factory(ModelKind::Baseline, 32))
+        .devices(8)
+        .processors(1)
+        .rate_per_device(200.0)
+        .start()
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    running.scale_processors(8).unwrap();
+    assert_eq!(running.processor_count(), 8);
+    let summary = running.wait(WAIT).unwrap();
+    assert_eq!(summary.messages, 96);
+}
+
+#[test]
+fn scale_down_preserves_completeness() {
+    let (edge, cloud) = pilots(4, 4);
+    let running = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(DataGenConfig::paper(200), 15))
+        .process_cloud_function(paper_model_factory(ModelKind::Baseline, 32))
+        .devices(4)
+        .rate_per_device(200.0)
+        .start()
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    running.scale_processors(1).unwrap();
+    assert_eq!(running.processor_count(), 1);
+    let summary = running.wait(WAIT).unwrap();
+    // At-least-once during the rebalance: no message may be LOST.
+    assert_eq!(summary.messages, 60, "all distinct messages observed");
+}
+
+#[test]
+fn poison_messages_do_not_stop_the_stream() {
+    // Fault injection: the processing function fails on specific payloads.
+    let (edge, cloud) = pilots(1, 1);
+    let flaky: CloudFactory = Arc::new(|_ctx| {
+        Box::new(move |_ctx: &Context, block| {
+            if block.msg_id % 3 == 0 {
+                Err(format!("poison at {}", block.msg_id))
+            } else {
+                Ok(ProcessOutcome::default())
+            }
+        })
+    });
+    let running = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(DataGenConfig::paper(50), 9))
+        .process_cloud_function(flaky)
+        .devices(1)
+        .start()
+        .unwrap();
+    let ctx = running.context().clone();
+    let summary = running.wait(WAIT).unwrap();
+    assert_eq!(summary.messages, 9);
+    assert_eq!(summary.errors, 3, "msg ids 0, 3, 6 fail");
+    assert_eq!(ctx.counter("process_errors").get(), 3);
+    assert_eq!(ctx.counter("messages_processed").get(), 6);
+}
+
+#[test]
+fn oversubscribed_cloud_pilot_recovers_via_eviction() {
+    // Occupy all-but-one cloud core with a long foreign task, then ask for
+    // 2 processors. One consumer task can never start; the runtime must
+    // evict its membership and let the live consumer drain everything.
+    let (edge, cloud) = pilots(2, 2);
+    let blocker = cloud
+        .client()
+        .unwrap()
+        .submit("foreign-long-task", || {
+            std::thread::sleep(Duration::from_secs(4));
+            Ok(())
+        })
+        .unwrap();
+    let summary = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(DataGenConfig::paper(50), 6))
+        .process_cloud_function(paper_model_factory(ModelKind::Baseline, 32))
+        .devices(2)
+        .run(WAIT)
+        .unwrap();
+    assert_eq!(summary.messages, 12);
+    blocker.wait().unwrap();
+}

@@ -1,0 +1,139 @@
+//! Federated learning over the full pipeline — the paper's named
+//! future-work scenario, asserted end-to-end: raw data stays on the
+//! devices, FedAvg produces a global model that detects outliers on unseen
+//! mixed data.
+
+use pilot_core::{PilotComputeService, PilotDescription};
+use pilot_datagen::{DataGenConfig, DataGenerator};
+use pilot_edge::processors::datagen_produce_factory;
+use pilot_edge::windows::{aggregate_points, AggKind};
+use pilot_edge::{
+    CloudFactory, Context, DeploymentMode, EdgeFactory, EdgeToCloudPipeline, ProcessOutcome,
+};
+use pilot_ml::eval::roc_auc;
+use pilot_ml::federated::{fed_avg, ClientUpdate};
+use pilot_ml::{Dataset, KMeans, KMeansConfig, OutlierModel};
+use std::sync::Arc;
+use std::time::Duration;
+
+const DEVICES: usize = 3;
+const MESSAGES: usize = 8;
+const POINTS: usize = 400;
+const WAIT: Duration = Duration::from_secs(120);
+
+fn kmeans_config() -> KMeansConfig {
+    KMeansConfig::paper()
+}
+
+fn edge_factory() -> EdgeFactory {
+    Arc::new(move |_ctx: &Context, device: usize| {
+        let mut local = KMeans::new(kmeans_config());
+        let mut last_global = 0;
+        Box::new(move |ctx: &Context, block| {
+            let key = format!("fed:global:{}", ctx.job_id);
+            if let Some((g, v)) = ctx.params.get_if_newer(&key, last_global) {
+                last_global = v;
+                local.set_weights(&g);
+                ctx.counter("global_pulls").incr();
+            }
+            let ds = Dataset::new(&block.data, block.points, block.features);
+            local.partial_fit(&ds);
+            ctx.params.update(
+                &format!("fed:update:{}:{device}", ctx.job_id),
+                pilot_params::MergePolicy::Assign,
+                &local.weights(),
+            );
+            // Only a 10× downsampled summary leaves the device.
+            Ok(aggregate_points(&block, 10, AggKind::Mean))
+        })
+    })
+}
+
+fn cloud_factory() -> CloudFactory {
+    Arc::new(move |_ctx: &Context| {
+        Box::new(move |ctx: &Context, _summary| {
+            let updates: Vec<ClientUpdate> = (0..DEVICES)
+                .filter_map(|d| {
+                    ctx.params
+                        .get(&format!("fed:update:{}:{d}", ctx.job_id))
+                        .map(|(w, _)| ClientUpdate {
+                            weights: w.to_vec(),
+                            samples: POINTS as u64,
+                        })
+                })
+                .collect();
+            if updates.len() == DEVICES {
+                if let Some(global) = fed_avg(&updates) {
+                    ctx.params.update(
+                        &format!("fed:global:{}", ctx.job_id),
+                        pilot_params::MergePolicy::Assign,
+                        &global,
+                    );
+                    ctx.counter("rounds").incr();
+                }
+            }
+            Ok(ProcessOutcome::default())
+        })
+    })
+}
+
+#[test]
+fn federated_kmeans_end_to_end() {
+    let svc = PilotComputeService::new();
+    let edge = svc
+        .submit_and_wait(PilotDescription::local(DEVICES, 16.0), WAIT)
+        .unwrap();
+    let cloud = svc
+        .submit_and_wait(PilotDescription::local(2, 44.0), WAIT)
+        .unwrap();
+    let running = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(
+            DataGenConfig::paper(POINTS),
+            MESSAGES,
+        ))
+        .process_edge_function(edge_factory())
+        .process_cloud_function(cloud_factory())
+        .mode(DeploymentMode::EdgeCentric)
+        .devices(DEVICES)
+        .processors(1)
+        .start()
+        .unwrap();
+    let ctx = running.context().clone();
+    let summary = running.wait(WAIT).unwrap();
+
+    // All summaries arrived, aggregation rounds happened, devices pulled
+    // the global model back down.
+    assert_eq!(summary.messages as usize, DEVICES * MESSAGES);
+    assert!(ctx.counter("rounds").get() >= 1, "no aggregation round ran");
+    assert!(
+        ctx.counter("global_pulls").get() >= 1,
+        "devices never pulled the global model"
+    );
+
+    // Only summaries crossed the network: per-message wire bytes match the
+    // 10×-downsampled block, not the raw one.
+    let broker = summary
+        .report
+        .component(&pilot_metrics::Component::Broker)
+        .unwrap();
+    let per_msg = broker.bytes / broker.count;
+    assert_eq!(
+        per_msg,
+        pilot_datagen::serialized_size(POINTS / 10, 32) as u64
+    );
+
+    // The global model detects outliers on unseen mixed data.
+    let (global, _) = ctx
+        .params
+        .get(&format!("fed:global:{}", ctx.job_id))
+        .expect("global model");
+    let mut model = KMeans::new(kmeans_config());
+    assert!(model.set_weights(&global));
+    let mut generator = DataGenerator::new(DataGenConfig::paper(2_000).with_seed(4242));
+    let test = generator.next_block();
+    let ds = Dataset::new(&test.data, test.points, test.features);
+    let auc = roc_auc(&model.score(&ds), &test.labels);
+    assert!(auc > 0.9, "federated global model AUC {auc}");
+}

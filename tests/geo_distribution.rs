@@ -1,0 +1,139 @@
+//! Geographic-distribution integration tests: the WAN link model must shape
+//! pipeline behaviour exactly as the paper's Section III.2 reports.
+
+use pilot_core::{PilotComputeService, PilotDescription};
+use pilot_datagen::{serialized_size, DataGenConfig};
+use pilot_edge::processors::{
+    datagen_produce_factory, downsample_edge_factory, paper_model_factory,
+};
+use pilot_edge::{DeploymentMode, EdgeToCloudPipeline, RunSummary};
+use pilot_ml::ModelKind;
+use pilot_netsim::profiles;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(300);
+
+fn run_geo(
+    devices: usize,
+    points: usize,
+    messages: usize,
+    mode: DeploymentMode,
+    downsample: usize,
+) -> RunSummary {
+    let svc = PilotComputeService::new();
+    let edge = svc
+        .submit_and_wait(
+            PilotDescription::local(devices, 4.0 * devices as f64).with_site("jetstream"),
+            WAIT,
+        )
+        .unwrap();
+    let cloud = svc
+        .submit_and_wait(PilotDescription::local(2, 44.0).with_site("lrz"), WAIT)
+        .unwrap();
+    let mut builder = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(
+            DataGenConfig::paper(points),
+            messages,
+        ))
+        .process_cloud_function(paper_model_factory(ModelKind::Baseline, 32))
+        .devices(devices)
+        .mode(mode)
+        .link_edge_to_broker(profiles::transatlantic("wan", 3).build())
+        .link_broker_to_cloud(profiles::cloud_local("lrz", 4).build());
+    if mode.edge_processing() {
+        builder = builder.process_edge_function(downsample_edge_factory(downsample));
+    }
+    builder.run(WAIT).unwrap()
+}
+
+#[test]
+fn wan_imposes_latency_floor() {
+    // One-way 70–80 ms propagation: end-to-end latency can never be below
+    // 70 ms, whatever the message size.
+    let s = run_geo(1, 25, 4, DeploymentMode::CloudCentric, 1);
+    assert_eq!(s.messages, 4);
+    let p50 = s.latency_p50_ms;
+    assert!(p50 >= 70.0, "median latency {p50} ms below the WAN floor");
+    assert!(p50 < 250.0, "median latency {p50} ms implausibly high");
+}
+
+#[test]
+fn wan_caps_throughput_at_link_bandwidth() {
+    // 2.5 MB messages from two devices sharing the pipe: goodput must sit
+    // within the link's 60–100 Mbit/s envelope (never above it; somewhat
+    // below it because production time is not pipelined away entirely),
+    // far below what local runs reach (multi-Gbit/s).
+    let s = run_geo(2, 10_000, 4, DeploymentMode::CloudCentric, 1);
+    let mbit = s.throughput_mb * 8.0;
+    assert!(mbit <= 105.0, "goodput {mbit:.1} Mbit/s exceeds the link");
+    assert!(mbit >= 20.0, "goodput {mbit:.1} Mbit/s suspiciously low");
+}
+
+#[test]
+fn hybrid_deployment_beats_cloud_centric_on_wan() {
+    // The paper: WAN-limited scenarios "would benefit from a hybrid
+    // edge-to-cloud deployment, e.g., by adding a data compression step
+    // before the data transfer". 4× downsampling → ~4× less data on the
+    // WAN → higher message throughput and lower latency.
+    // 10,000-point messages with 10× downsampling: the WAN transit term
+    // (≈260 ms) dominates, so the reduction shows through clearly even
+    // with unoptimised (debug-build) compute costs.
+    let cloud_centric = run_geo(1, 10_000, 4, DeploymentMode::CloudCentric, 1);
+    let hybrid = run_geo(1, 10_000, 4, DeploymentMode::Hybrid, 10);
+    assert!(
+        hybrid.throughput_msgs > cloud_centric.throughput_msgs * 1.5,
+        "hybrid {:.2} msgs/s vs cloud-centric {:.2} msgs/s",
+        hybrid.throughput_msgs,
+        cloud_centric.throughput_msgs
+    );
+    assert!(
+        hybrid.latency_mean_ms < cloud_centric.latency_mean_ms,
+        "hybrid {:.1} ms vs cloud-centric {:.1} ms",
+        hybrid.latency_mean_ms,
+        cloud_centric.latency_mean_ms
+    );
+    // The hybrid run recorded edge-processing spans.
+    assert!(hybrid
+        .report
+        .component(&pilot_metrics::Component::EdgeProcessor)
+        .is_some());
+}
+
+#[test]
+fn message_sizes_match_paper_s1() {
+    // S-1: 25 points ≈ 7 KB, 10,000 points ≈ 2.6 MB.
+    let small = serialized_size(25, 32);
+    let large = serialized_size(10_000, 32);
+    assert!((6_000..8_000).contains(&small), "{small}");
+    assert!((2_500_000..2_700_000).contains(&large), "{large}");
+}
+
+#[test]
+fn local_runs_are_far_faster_than_wan() {
+    let svc = PilotComputeService::new();
+    let edge = svc
+        .submit_and_wait(PilotDescription::local(1, 4.0), WAIT)
+        .unwrap();
+    let cloud = svc
+        .submit_and_wait(PilotDescription::local(1, 44.0), WAIT)
+        .unwrap();
+    let local = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(DataGenConfig::paper(25), 4))
+        .process_cloud_function(paper_model_factory(ModelKind::Baseline, 32))
+        .devices(1)
+        .link_edge_to_broker(profiles::cloud_local("lrz-a", 1).build())
+        .link_broker_to_cloud(profiles::cloud_local("lrz-b", 2).build())
+        .run(WAIT)
+        .unwrap();
+    let wan = run_geo(1, 25, 4, DeploymentMode::CloudCentric, 1);
+    assert!(
+        local.latency_mean_ms * 10.0 < wan.latency_mean_ms,
+        "local {:.2} ms vs wan {:.2} ms",
+        local.latency_mean_ms,
+        wan.latency_mean_ms
+    );
+}

@@ -1,0 +1,93 @@
+//! The models must actually *detect* the generator's injected outliers —
+//! systems numbers mean nothing if the ML is broken. Scored with ROC-AUC
+//! and precision@k against ground truth, through public APIs only.
+
+use pilot_datagen::{DataGenConfig, DataGenerator};
+use pilot_ml::eval::{precision_at_k, roc_auc, threshold_by_contamination};
+use pilot_ml::{
+    AutoEncoder, AutoEncoderConfig, Dataset, IsolationForest, IsolationForestConfig, KMeans,
+    KMeansConfig, OutlierModel,
+};
+
+fn train_and_score(model: &mut dyn OutlierModel, passes: usize) -> (f64, f64) {
+    let mut generator = DataGenerator::new(DataGenConfig::paper(2000));
+    let train = generator.next_block();
+    let test = generator.next_block();
+    let train_ds = Dataset::new(&train.data, train.points, train.features);
+    let test_ds = Dataset::new(&test.data, test.points, test.features);
+    for _ in 0..passes {
+        model.partial_fit(&train_ds);
+    }
+    let scores = model.score(&test_ds);
+    let auc = roc_auc(&scores, &test.labels);
+    let p_at_k = precision_at_k(&scores, &test.labels, test.outlier_count());
+    (auc, p_at_k)
+}
+
+#[test]
+fn kmeans_detects_injected_outliers() {
+    let mut model = KMeans::new(KMeansConfig::paper());
+    let (auc, p) = train_and_score(&mut model, 10);
+    assert!(auc > 0.95, "k-means AUC {auc}");
+    assert!(p > 0.85, "k-means precision@k {p}");
+}
+
+#[test]
+fn isolation_forest_detects_injected_outliers() {
+    let mut model = IsolationForest::new(IsolationForestConfig::paper());
+    let (auc, p) = train_and_score(&mut model, 1);
+    assert!(auc > 0.95, "isolation-forest AUC {auc}");
+    assert!(p > 0.85, "isolation-forest precision@k {p}");
+}
+
+#[test]
+fn autoencoder_detects_injected_outliers() {
+    let mut cfg = AutoEncoderConfig::paper();
+    cfg.epochs_per_batch = 3;
+    let mut model = AutoEncoder::new(cfg);
+    let (auc, p) = train_and_score(&mut model, 10);
+    assert!(auc > 0.9, "auto-encoder AUC {auc}");
+    assert!(p > 0.7, "auto-encoder precision@k {p}");
+}
+
+#[test]
+fn contamination_threshold_flags_approximately_five_percent() {
+    let mut generator = DataGenerator::new(DataGenConfig::paper(5000));
+    let block = generator.next_block();
+    let ds = Dataset::new(&block.data, block.points, block.features);
+    let mut model = KMeans::new(KMeansConfig::paper());
+    model.partial_fit(&ds);
+    let scores = model.score(&ds);
+    let flags = threshold_by_contamination(&scores, 0.05);
+    let flagged = flags.iter().filter(|&&f| f).count();
+    // round(5000 * 0.05) = 250, modulo score ties.
+    assert!((225..=300).contains(&flagged), "flagged={flagged}");
+}
+
+#[test]
+fn models_agree_on_strong_outliers() {
+    // Cross-model sanity: the points every model ranks in its top-1% should
+    // be mostly true outliers.
+    let mut generator = DataGenerator::new(DataGenConfig::paper(3000));
+    let block = generator.next_block();
+    let ds = Dataset::new(&block.data, block.points, block.features);
+
+    let mut km = KMeans::new(KMeansConfig::paper());
+    let mut iso = IsolationForest::new(IsolationForestConfig::paper());
+    for _ in 0..5 {
+        km.partial_fit(&ds);
+    }
+    iso.partial_fit(&ds);
+
+    let top_set = |scores: &[f64]| {
+        let mut idx: Vec<usize> = (0..scores.len()).collect();
+        idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
+        idx[..30].to_vec()
+    };
+    let km_top = top_set(&km.score(&ds));
+    let iso_top = top_set(&iso.score(&ds));
+    let km_hits = km_top.iter().filter(|&&i| block.labels[i]).count();
+    let iso_hits = iso_top.iter().filter(|&&i| block.labels[i]).count();
+    assert!(km_hits >= 28, "k-means top-30 hits: {km_hits}");
+    assert!(iso_hits >= 28, "iso-forest top-30 hits: {iso_hits}");
+}

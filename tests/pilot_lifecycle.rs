@@ -1,0 +1,130 @@
+//! Pilot-lifecycle integration: pipelines over every backend class,
+//! HPC queue waits, walltime, energy accounting, and teardown.
+
+use pilot_core::{
+    BatchQueue, BatchQueueBackend, PilotComputeService, PilotDescription, PilotState,
+};
+use pilot_datagen::DataGenConfig;
+use pilot_edge::processors::{datagen_produce_factory, paper_model_factory};
+use pilot_edge::EdgeToCloudPipeline;
+use pilot_ml::ModelKind;
+use std::sync::Arc;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(60);
+
+#[test]
+fn pipeline_on_ssh_edge_and_openstack_cloud() {
+    // The real backend classes, with their simulated boot delays.
+    let svc = PilotComputeService::new();
+    let edge = svc
+        .submit_and_wait(PilotDescription::edge_device("raspi-7", "plant"), WAIT)
+        .unwrap();
+    let cloud = svc
+        .submit_and_wait(PilotDescription::lrz_large(), WAIT)
+        .unwrap();
+    assert_eq!(edge.description().cores, 1);
+    assert_eq!(cloud.description().cores, 10);
+    let summary = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge.clone())
+        .pilot_cloud_processing(cloud.clone())
+        .produce_function(datagen_produce_factory(DataGenConfig::paper(100), 5))
+        .process_cloud_function(paper_model_factory(ModelKind::KMeans, 32))
+        .devices(1)
+        .run(WAIT)
+        .unwrap();
+    assert_eq!(summary.messages, 5);
+    // Both pilots accumulated busy time and therefore energy.
+    assert!(edge.energy().joules() > 0.0);
+    assert!(cloud.energy().joules() > 0.0);
+    // Edge (RasPi class) burns far less power than the large VM.
+    let edge_watts = edge.energy().joules() / edge.uptime().as_secs_f64();
+    let cloud_watts = cloud.energy().joules() / cloud.uptime().as_secs_f64();
+    assert!(
+        edge_watts < cloud_watts / 3.0,
+        "edge {edge_watts:.1} W vs cloud {cloud_watts:.1} W"
+    );
+    edge.release();
+    cloud.release();
+    assert_eq!(edge.state(), PilotState::Done);
+}
+
+#[test]
+fn hpc_pilot_waits_for_queue_then_processes() {
+    let svc = PilotComputeService::new();
+    let queue = BatchQueue::new("normal", 1);
+    svc.register_backend(Arc::new(BatchQueueBackend::new(queue.clone())));
+    // A held slot forces the pilot through a visible Queued phase.
+    let slot = queue.acquire(Duration::from_secs(1)).unwrap();
+    let hpc = svc
+        .create_pilot(PilotDescription::hpc("normal", 4, 64.0))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(hpc.state(), PilotState::Queued);
+    drop(slot);
+    hpc.wait_active(WAIT).unwrap();
+    // Once active, the HPC pilot processes like any other.
+    let edge = svc
+        .submit_and_wait(PilotDescription::local(1, 4.0), WAIT)
+        .unwrap();
+    let summary = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(hpc.clone())
+        .produce_function(datagen_produce_factory(DataGenConfig::paper(100), 4))
+        .process_cloud_function(paper_model_factory(ModelKind::Baseline, 32))
+        .devices(1)
+        .run(WAIT)
+        .unwrap();
+    assert_eq!(summary.messages, 4);
+    hpc.release();
+    // Releasing frees the queue slot for the next job.
+    assert!(queue.acquire(Duration::from_millis(200)).is_some());
+}
+
+#[test]
+fn released_pilot_rejects_new_pipelines() {
+    let svc = PilotComputeService::new();
+    let edge = svc
+        .submit_and_wait(PilotDescription::local(1, 4.0), WAIT)
+        .unwrap();
+    let cloud = svc
+        .submit_and_wait(PilotDescription::local(1, 4.0), WAIT)
+        .unwrap();
+    cloud.release();
+    let err = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(DataGenConfig::paper(10), 1))
+        .process_cloud_function(paper_model_factory(ModelKind::Baseline, 32))
+        .devices(1)
+        .start()
+        .unwrap_err();
+    assert!(
+        matches!(err, pilot_edge::PipelineError::PilotNotReady { .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn walltime_expiry_is_observable_during_runs() {
+    let svc = PilotComputeService::new();
+    let desc = PilotDescription::local(1, 4.0).with_walltime(Duration::from_millis(50));
+    let pilot = svc.submit_and_wait(desc, WAIT).unwrap();
+    assert!(!pilot.is_expired());
+    std::thread::sleep(Duration::from_millis(80));
+    assert!(pilot.is_expired());
+    // Expiry is advisory (the application decides); the pilot still works.
+    assert!(pilot.client().is_ok());
+}
+
+#[test]
+fn service_drop_cancels_everything() {
+    let pilot = {
+        let svc = PilotComputeService::new();
+        svc.submit_and_wait(PilotDescription::local(1, 4.0), WAIT)
+            .unwrap()
+        // svc dropped here → cancel_all
+    };
+    assert_eq!(pilot.state(), PilotState::Cancelled);
+    assert!(pilot.client().is_err());
+}

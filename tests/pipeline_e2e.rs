@@ -1,0 +1,208 @@
+//! End-to-end integration: the full stack (pilots → dataflow → broker →
+//! netsim → ML → params → metrics) exercised through the public API only.
+
+use pilot_core::{PilotComputeService, PilotDescription};
+use pilot_datagen::DataGenConfig;
+use pilot_edge::processors::{datagen_produce_factory, paper_model_factory};
+use pilot_edge::EdgeToCloudPipeline;
+use pilot_metrics::Component;
+use pilot_ml::ModelKind;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(120);
+
+fn pilots(
+    edge_cores: usize,
+    cloud_cores: usize,
+) -> (PilotComputeService, pilot_core::Pilot, pilot_core::Pilot) {
+    let svc = PilotComputeService::new();
+    let edge = svc
+        .submit_and_wait(
+            PilotDescription::local(edge_cores, 4.0 * edge_cores as f64),
+            WAIT,
+        )
+        .unwrap();
+    let cloud = svc
+        .submit_and_wait(PilotDescription::local(cloud_cores, 44.0), WAIT)
+        .unwrap();
+    (svc, edge, cloud)
+}
+
+#[test]
+fn kmeans_pipeline_full_stack() {
+    let (_svc, edge, cloud) = pilots(2, 2);
+    let running = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(DataGenConfig::paper(500), 10))
+        .process_cloud_function(paper_model_factory(ModelKind::KMeans, 32))
+        .devices(2)
+        .start()
+        .unwrap();
+    let ctx = running.context().clone();
+    let summary = running.wait(WAIT).unwrap();
+
+    // Message conservation: 2 devices × 10 messages, no drops, no dupes.
+    assert_eq!(summary.messages, 20);
+    assert_eq!(ctx.counter("messages_processed").get(), 20);
+    assert_eq!(ctx.counter("points_processed").get(), 10_000);
+    assert_eq!(summary.errors, 0);
+
+    // Every pipeline component recorded linked spans.
+    for c in [
+        Component::EdgeProducer,
+        Component::Broker,
+        Component::CloudProcessor,
+        Component::ParamServer,
+    ] {
+        let stats = summary
+            .report
+            .component(&c)
+            .unwrap_or_else(|| panic!("missing {c}"));
+        assert!(stats.count > 0, "{c} recorded nothing");
+    }
+
+    // The shared model exists, with one version per processed message.
+    let (weights, version) = ctx.params.get(&ctx.model_key()).expect("published model");
+    assert_eq!(weights.len(), 25 * 32 + 25, "centroids + counts");
+    assert_eq!(version, 20);
+
+    // ~5% contamination flags outliers on every message.
+    let outliers = summary.outliers_detected;
+    assert!(
+        (20 * 10..=20 * 50).contains(&outliers),
+        "outliers={outliers}"
+    );
+}
+
+#[test]
+fn throughput_scales_with_partitions() {
+    // The core Fig. 2 trend: more devices/partitions → more total
+    // throughput. Each device produces at a fixed rate; the pipeline must
+    // sustain the aggregate, so 4 partitions deliver ~4× the message rate
+    // of 1. (Rate-paced rather than unthrottled so the trend holds even on
+    // single-core CI machines, where unthrottled compute cannot overlap.)
+    let run = |devices: usize| {
+        let (_svc, edge, cloud) = pilots(devices, devices);
+        EdgeToCloudPipeline::builder()
+            .pilot_edge(edge)
+            .pilot_cloud_processing(cloud)
+            .produce_function(datagen_produce_factory(DataGenConfig::paper(100), 30))
+            .process_cloud_function(paper_model_factory(ModelKind::Baseline, 32))
+            .devices(devices)
+            .rate_per_device(100.0)
+            .run(WAIT)
+            .unwrap()
+    };
+    let one = run(1);
+    let four = run(4);
+    assert_eq!(one.messages, 30);
+    assert_eq!(four.messages, 120);
+    assert!(
+        four.throughput_msgs > 2.5 * one.throughput_msgs,
+        "4 partitions ({:.1} msgs/s) should sustain ~4x 1 partition ({:.1} msgs/s)",
+        four.throughput_msgs,
+        one.throughput_msgs
+    );
+}
+
+#[test]
+fn model_complexity_degrades_throughput() {
+    // The core Fig. 3 trend at one message size: baseline ≥ k-means >
+    // auto-encoder.
+    let run = |model: ModelKind| {
+        let (_svc, edge, cloud) = pilots(2, 2);
+        EdgeToCloudPipeline::builder()
+            .pilot_edge(edge)
+            .pilot_cloud_processing(cloud)
+            .produce_function(datagen_produce_factory(DataGenConfig::paper(1000), 8))
+            .process_cloud_function(paper_model_factory(model, 32))
+            .devices(2)
+            .run(WAIT)
+            .unwrap()
+    };
+    let baseline = run(ModelKind::Baseline);
+    let kmeans = run(ModelKind::KMeans);
+    let autoenc = run(ModelKind::AutoEncoder);
+    assert!(
+        baseline.throughput_mb >= kmeans.throughput_mb * 0.8,
+        "baseline {:.1} vs kmeans {:.1}",
+        baseline.throughput_mb,
+        kmeans.throughput_mb
+    );
+    assert!(
+        kmeans.throughput_mb > autoenc.throughput_mb,
+        "kmeans {:.1} vs autoencoder {:.1}",
+        kmeans.throughput_mb,
+        autoenc.throughput_mb
+    );
+    // Latency ordering too.
+    assert!(autoenc.latency_mean_ms > kmeans.latency_mean_ms);
+}
+
+#[test]
+fn fewer_processors_than_partitions_still_drains() {
+    // partition:consumer ratio 4:1 — one consumer owns all partitions.
+    let (_svc, edge, cloud) = pilots(4, 1);
+    let summary = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(DataGenConfig::paper(100), 6))
+        .process_cloud_function(paper_model_factory(ModelKind::Baseline, 32))
+        .devices(4)
+        .processors(1)
+        .run(WAIT)
+        .unwrap();
+    assert_eq!(summary.messages, 24);
+    assert_eq!(summary.errors, 0);
+}
+
+#[test]
+fn broker_on_separate_pilot() {
+    // Listing 2 passes a dedicated pilot_cloud_broker; data must flow
+    // through the broker hosted there.
+    let (svc, edge, cloud) = pilots(1, 1);
+    let broker_pilot = svc
+        .submit_and_wait(PilotDescription::lrz_medium(), WAIT)
+        .unwrap();
+    let running = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .pilot_cloud_broker(broker_pilot.clone())
+        .produce_function(datagen_produce_factory(DataGenConfig::paper(50), 4))
+        .process_cloud_function(paper_model_factory(ModelKind::Baseline, 32))
+        .devices(1)
+        .start()
+        .unwrap();
+    let topic = running.topic().to_string();
+    let summary = running.wait(WAIT).unwrap();
+    assert_eq!(summary.messages, 4);
+    // The topic lives on the broker pilot's broker instance.
+    let broker = broker_pilot.start_broker().unwrap();
+    assert!(broker.topic(&topic).is_ok());
+    // 4 data records + 1 sentinel.
+    assert_eq!(broker.high_watermark(&topic, 0).unwrap(), 5);
+}
+
+#[test]
+fn two_pipelines_share_infrastructure_without_interference() {
+    let (_svc, edge, cloud) = pilots(4, 4);
+    let mk = || {
+        EdgeToCloudPipeline::builder()
+            .pilot_edge(edge.clone())
+            .pilot_cloud_processing(cloud.clone())
+            .produce_function(datagen_produce_factory(DataGenConfig::paper(50), 5))
+            .process_cloud_function(paper_model_factory(ModelKind::Baseline, 32))
+            .devices(2)
+            .start()
+            .unwrap()
+    };
+    let a = mk();
+    let b = mk();
+    assert_ne!(a.job_id(), b.job_id());
+    assert_ne!(a.topic(), b.topic());
+    let sa = a.wait(WAIT).unwrap();
+    let sb = b.wait(WAIT).unwrap();
+    assert_eq!(sa.messages, 10);
+    assert_eq!(sb.messages, 10);
+}

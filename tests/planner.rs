@@ -1,0 +1,109 @@
+//! Planner-vs-simulator validation: the analytic capacity model's
+//! predictions must agree with measured pipeline runs — the planner is only
+//! useful if its whiteboard arithmetic tracks the system it plans for.
+
+use pilot_core::{PilotComputeService, PilotDescription};
+use pilot_datagen::DataGenConfig;
+use pilot_edge::planner::{predict, PlannerInput};
+use pilot_edge::processors::{datagen_produce_factory, paper_model_factory};
+use pilot_edge::EdgeToCloudPipeline;
+use pilot_ml::ModelKind;
+use pilot_netsim::profiles;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(300);
+
+#[test]
+fn wan_prediction_matches_measured_run() {
+    // The planner is used as designed: cost fields come from measurement.
+    // Time one produce (generation + serialization) on this machine — in a
+    // debug build on a loaded CI box this is far from negligible — and, on
+    // a single-core host, producers serialise, so the effective producer
+    // capacity is one device's worth.
+    let mut generator =
+        pilot_datagen::DataGenerator::new(DataGenConfig::paper(5_000).with_seed(9));
+    let t0 = std::time::Instant::now();
+    for _ in 0..3 {
+        let block = generator.next_block();
+        let _ = pilot_datagen::encode_with(pilot_datagen::Codec::F64, &block, 0);
+    }
+    let produce_secs = t0.elapsed().as_secs_f64() / 3.0;
+
+    let mut input = PlannerInput::new(2, 5_000);
+    input.link_edge_broker = profiles::transatlantic("wan", 9);
+    input.produce_secs = produce_secs
+        * if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 2 {
+            2.0 // both producers share one core
+        } else {
+            1.0
+        };
+    let prediction = predict(&input);
+
+    let svc = PilotComputeService::new();
+    let edge = svc
+        .submit_and_wait(PilotDescription::local(2, 8.0), WAIT)
+        .unwrap();
+    let cloud = svc
+        .submit_and_wait(PilotDescription::local(2, 44.0), WAIT)
+        .unwrap();
+    let summary = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(DataGenConfig::paper(5_000), 6))
+        .process_cloud_function(paper_model_factory(ModelKind::Baseline, 32))
+        .devices(2)
+        .link_edge_to_broker(profiles::transatlantic("wan", 9).build())
+        .run(WAIT)
+        .unwrap();
+    let measured = summary.throughput_msgs;
+    let predicted = prediction.throughput_msgs;
+    let ratio = measured / predicted;
+    // First-order model + 12-message run (startup/drain edges included in
+    // the measured window): agreement within a factor of ~2 both ways.
+    assert!(
+        (0.45..=1.6).contains(&ratio),
+        "measured {measured:.2} vs predicted {predicted:.2} (ratio {ratio:.2})"
+    );
+    // The latency floor is a true lower bound (modulo produce cost not in
+    // the floor's serial path on multi-core).
+    assert!(
+        summary.latency_p50_ms >= prediction.latency_floor_ms * 0.5,
+        "measured p50 {:.1} ms far below predicted floor {:.1} ms",
+        summary.latency_p50_ms,
+        prediction.latency_floor_ms
+    );
+}
+
+#[test]
+fn throttled_prediction_matches_measured_run() {
+    // Offered-load-bound configuration: 2 devices × 50 msg/s of small
+    // messages; everything has slack, so throughput ≈ offered load.
+    let mut input = PlannerInput::new(2, 100);
+    input.rate_per_device = 50.0;
+    let prediction = predict(&input);
+    assert_eq!(prediction.bottleneck, "offered load");
+
+    let svc = PilotComputeService::new();
+    let edge = svc
+        .submit_and_wait(PilotDescription::local(2, 8.0), WAIT)
+        .unwrap();
+    let cloud = svc
+        .submit_and_wait(PilotDescription::local(2, 44.0), WAIT)
+        .unwrap();
+    let summary = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(DataGenConfig::paper(100), 30))
+        .process_cloud_function(paper_model_factory(ModelKind::Baseline, 32))
+        .devices(2)
+        .rate_per_device(50.0)
+        .run(WAIT)
+        .unwrap();
+    let ratio = summary.throughput_msgs / prediction.throughput_msgs;
+    assert!(
+        (0.7..=1.2).contains(&ratio),
+        "measured {:.1} vs predicted {:.1}",
+        summary.throughput_msgs,
+        prediction.throughput_msgs
+    );
+}
