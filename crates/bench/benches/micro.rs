@@ -13,10 +13,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pilot_broker::{Broker, Record, RetentionPolicy};
+use pilot_dataflow::ComputePool;
 use pilot_datagen::{codec, DataGenConfig, DataGenerator};
 use pilot_ml::{
     AutoEncoderConfig, Dataset, IsolationForestConfig, KMeansConfig, ModelKind, OutlierModel,
 };
+use std::sync::Arc;
 use std::time::Duration;
 
 fn bench_broker(c: &mut Criterion) {
@@ -72,24 +74,49 @@ fn bench_models(c: &mut Criterion) {
         ModelKind::IsolationForest,
         ModelKind::AutoEncoder,
     ] {
-        group.bench_function(kind.label(), |b| {
-            // The paper's per-message protocol: update + score.
-            let mut model: Box<dyn OutlierModel> = match kind {
-                ModelKind::KMeans => Box::new(pilot_ml::KMeans::new(KMeansConfig::paper())),
-                ModelKind::IsolationForest => Box::new(pilot_ml::IsolationForest::new(
-                    IsolationForestConfig::paper(),
-                )),
-                ModelKind::AutoEncoder => {
-                    Box::new(pilot_ml::AutoEncoder::new(AutoEncoderConfig::paper()))
-                }
-                ModelKind::Baseline => unreachable!(),
-            };
-            let ds = Dataset::new(&block.data, block.points, block.features);
-            b.iter(|| {
-                model.partial_fit(&ds);
-                model.score(&ds)
+        // `seq` is the paper's single-threaded per-message cost; `pool4`
+        // fans the same invocation out across a 4-wide intra-task compute
+        // pool. Scores are bit-identical between the two (the pool's
+        // determinism contract), so the delta is pure speedup.
+        for (variant, threads) in [("seq", 1usize), ("pool4", 4)] {
+            group.bench_function(BenchmarkId::new(kind.label(), variant), |b| {
+                // The paper's per-message protocol: update + score.
+                let mut model: Box<dyn OutlierModel> = match kind {
+                    ModelKind::KMeans => Box::new(pilot_ml::KMeans::new(KMeansConfig::paper())),
+                    ModelKind::IsolationForest => Box::new(pilot_ml::IsolationForest::new(
+                        IsolationForestConfig::paper(),
+                    )),
+                    ModelKind::AutoEncoder => {
+                        Box::new(pilot_ml::AutoEncoder::new(AutoEncoderConfig::paper()))
+                    }
+                    ModelKind::Baseline => unreachable!(),
+                };
+                model.set_compute_pool(Arc::new(ComputePool::new(threads)));
+                let ds = Dataset::new(&block.data, block.points, block.features);
+                b.iter(|| {
+                    model.partial_fit(&ds);
+                    model.score(&ds)
+                });
             });
-        });
+        }
+    }
+    group.finish();
+}
+
+fn bench_compute_pool(c: &mut Criterion) {
+    // The fixed cost of publishing one scoped job (empty closure): what the
+    // per-message hot path pays for the *option* of fanning out. Persistent
+    // workers keep this at one lock + condvar broadcast — no thread spawn.
+    let mut group = c.benchmark_group("compute_pool");
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("scope_overhead", threads),
+            &threads,
+            |b, &threads| {
+                let pool = ComputePool::new(threads);
+                b.iter(|| pool.run(threads, |_| {}));
+            },
+        );
     }
     group.finish();
 }
@@ -138,6 +165,7 @@ criterion_group!(
     benches,
     bench_broker,
     bench_models,
+    bench_compute_pool,
     bench_codec,
     bench_metrics
 );

@@ -205,7 +205,7 @@ mod tests {
         for i in 0..50u32 {
             mqtt.publish(
                 "dev/7",
-                i.to_le_bytes().to_vec(),
+                bytes::Bytes::copy_from_slice(&i.to_le_bytes()),
                 QoS::AtLeastOnce,
                 false,
                 0,

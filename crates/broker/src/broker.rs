@@ -212,7 +212,7 @@ mod tests {
     use super::*;
 
     fn rec(s: &str) -> Record {
-        Record::new(s.as_bytes().to_vec())
+        Record::new(bytes::Bytes::copy_from_slice(s.as_bytes()))
     }
 
     #[test]

@@ -211,7 +211,7 @@ mod tests {
     }
 
     fn rec(s: &str) -> Record {
-        Record::new(s.as_bytes().to_vec())
+        Record::new(bytes::Bytes::copy_from_slice(s.as_bytes()))
     }
 
     #[test]

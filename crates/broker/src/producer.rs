@@ -226,7 +226,7 @@ mod tests {
         };
         let (_, mut p) = setup(4, cfg);
         let part_of = |p: &mut Producer, key: &str| {
-            p.send(Record::new(&b"x"[..]).with_key(key.as_bytes().to_vec()))
+            p.send(Record::new(&b"x"[..]).with_key(bytes::Bytes::copy_from_slice(key.as_bytes())))
                 .unwrap()[0]
                 .partition
         };

@@ -178,7 +178,8 @@ mod tests {
             let t = Arc::clone(&t);
             handles.push(std::thread::spawn(move || {
                 for i in 0..500u32 {
-                    t.append(p, Record::new(i.to_le_bytes().to_vec())).unwrap();
+                    t.append(p, Record::new(bytes::Bytes::copy_from_slice(&i.to_le_bytes())))
+                        .unwrap();
                 }
             }));
         }

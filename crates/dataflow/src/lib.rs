@@ -16,6 +16,10 @@
 //!   dependency-aware [`scheduler`] releases a task only when all of its
 //!   inputs are done, and fails dependents transitively when an upstream
 //!   task fails (Dask's error propagation).
+//! * [`ComputePool`] — the orthogonal *intra*-task axis: persistent scoped
+//!   worker threads that fan one hot kernel (a model fit/score) out across
+//!   the cores a single cloud pilot owns, with deterministic chunked
+//!   primitives (see [`pool`]).
 //! * [`TaskFuture`] — blocking handles to results (`wait`, `wait_timeout`),
 //!   with panics inside tasks captured as [`TaskError::Panicked`] instead of
 //!   tearing down the worker — fault isolation the pipeline's
@@ -28,9 +32,11 @@
 
 pub mod cluster;
 pub mod future;
+pub mod pool;
 pub mod scheduler;
 pub mod task;
 
 pub use cluster::{Client, ClusterStats, LocalCluster};
+pub use pool::ComputePool;
 pub use future::TaskFuture;
 pub use task::{Payload, Resources, TaskError, TaskId, TaskState};

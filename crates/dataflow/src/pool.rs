@@ -1,0 +1,476 @@
+//! Intra-task compute pool: scoped data parallelism inside one pilot task.
+//!
+//! [`LocalCluster`](crate::LocalCluster) models *inter*-task concurrency —
+//! one worker thread per simulated core, each running a whole FaaS
+//! invocation. This module adds the orthogonal *intra*-task axis: a cloud
+//! pilot that owns many cores can fan a single model fit/score out across
+//! them instead of leaving all but one idle (the paper's Fig. 3 bottleneck
+//! is exactly such a single-threaded 100-tree refit). In the spirit of
+//! game-engine task pools, the [`ComputePool`] keeps persistent worker
+//! threads alive for the lifetime of the pilot, so the per-message hot path
+//! pays no thread-spawn cost — publishing a scoped job is one mutex lock
+//! and a condvar broadcast.
+//!
+//! Design rules:
+//!
+//! * **Scoped**: jobs borrow caller data. [`ComputePool::run`] blocks until
+//!   every worker has finished the job, so non-`'static` borrows are sound.
+//! * **Deterministic by construction**: the primitives only distribute
+//!   *which thread* executes unit `i`; callers own unit granularity (fixed
+//!   chunk boundaries) and merge order (by unit index). A pool of width 1
+//!   and width N therefore produce bit-identical results for the same
+//!   inputs — the property the ML kernels rely on.
+//! * **Panic-safe**: a panicking unit is caught on the worker, the scope
+//!   still joins, and the panic is re-raised on the caller — no deadlocks,
+//!   no poisoned pool.
+//!
+//! Width 0/1 pools spawn no threads at all and execute inline; a simulated
+//! 1-core edge device (the paper's Raspberry-Pi-class Dask task) keeps the
+//! exact sequential behaviour for free.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Lifetime-erased pointer to the scoped job closure. Sound because
+/// [`ComputePool::run`] does not return until every worker has dropped its
+/// copy (tracked by the `finished` counter).
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn() + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls are fine) and outlives every
+// worker's use of it because `run` joins the scope before returning.
+unsafe impl Send for Job {}
+
+impl Job {
+    /// # Safety
+    /// The caller must keep the pointee alive and unmoved until all workers
+    /// have finished calling it.
+    unsafe fn new(f: &(dyn Fn() + Sync)) -> Self {
+        // Erase the borrow's lifetime; the join protocol reinstates it.
+        Job(std::mem::transmute::<
+            &(dyn Fn() + Sync),
+            &'static (dyn Fn() + Sync),
+        >(f) as *const _)
+    }
+
+    fn call(&self) {
+        // SAFETY: guaranteed live by the `run` join protocol.
+        unsafe { (*self.0)() }
+    }
+}
+
+/// State shared between the caller and the persistent workers.
+struct State {
+    /// Monotonic job counter; a changed epoch tells a worker a new job is
+    /// published. Each worker runs each epoch exactly once.
+    epoch: u64,
+    /// The current job, valid while `finished < n_workers` for this epoch.
+    job: Option<Job>,
+    /// Workers done with the current epoch.
+    finished: usize,
+    /// A worker's unit panicked during the current epoch.
+    panicked: bool,
+    /// Pool is being dropped.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for a new epoch.
+    work_cv: Condvar,
+    /// The caller waits here for `finished == n_workers`.
+    done_cv: Condvar,
+}
+
+struct Inner {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Serialises concurrent callers: one scoped job owns the workers at a
+    /// time. The pool models the pilot's physical cores, so overlapping
+    /// fan-outs from different tasks queue instead of oversubscribing.
+    run_lock: Mutex<()>,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A pool of persistent worker threads executing scoped data-parallel jobs.
+///
+/// Cheap to share: wrap in an [`Arc`] and hand one clone to every model or
+/// processor of the owning pilot. See the module docs for the determinism
+/// contract.
+pub struct ComputePool {
+    /// `None` → width ≤ 1: no threads, inline execution.
+    inner: Option<Inner>,
+    width: usize,
+}
+
+impl std::fmt::Debug for ComputePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComputePool")
+            .field("threads", &self.width)
+            .finish()
+    }
+}
+
+impl Default for ComputePool {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+impl ComputePool {
+    /// A pool of total width `threads` (the caller participates, so
+    /// `threads - 1` workers are spawned). `threads <= 1` spawns nothing
+    /// and executes every job inline on the caller.
+    pub fn new(threads: usize) -> Self {
+        let width = threads.max(1);
+        if width == 1 {
+            return Self { inner: None, width };
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                finished: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let n_workers = width - 1;
+        let workers = (0..n_workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("compute-{i}"))
+                    .spawn(move || worker_loop(&shared, n_workers))
+                    .expect("spawn compute worker")
+            })
+            .collect();
+        Self {
+            inner: Some(Inner {
+                shared,
+                workers,
+                run_lock: Mutex::new(()),
+            }),
+            width,
+        }
+    }
+
+    /// A width-1 pool: no threads, every job runs inline on the caller.
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// Total parallel width (worker threads + the participating caller).
+    pub fn threads(&self) -> usize {
+        self.width
+    }
+
+    /// Execute `f(i)` for every `i in 0..n_units`, distributing units over
+    /// the pool. Blocks until all units are done; the caller thread
+    /// participates. Units are claimed atomically, so `f` must tolerate any
+    /// execution order — determinism comes from keeping unit boundaries and
+    /// merge order fixed, not from scheduling.
+    ///
+    /// Safe to call from several threads sharing one pool: concurrent jobs
+    /// serialise (the pool is the pilot's core budget, so overlapping
+    /// fan-outs queue rather than oversubscribe).
+    ///
+    /// If any unit panics the panic is re-raised here after the scope joins.
+    pub fn run(&self, n_units: usize, f: impl Fn(usize) + Sync) {
+        if n_units == 0 {
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let drain = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n_units {
+                break;
+            }
+            f(i);
+        };
+        let Some(inner) = &self.inner else {
+            drain();
+            return;
+        };
+        let n_workers = inner.workers.len();
+        // One scoped job at a time: a second caller (another consumer task
+        // sharing the pilot's pool) blocks here until the first job joins.
+        // The lock guards no data (only exclusivity), so a caller that
+        // panicked out of a previous job must not poison it for the rest.
+        let _exclusive = inner
+            .run_lock
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        // SAFETY: `drain` (and everything it borrows) stays alive and
+        // unmoved until the join loop below observes all workers finished.
+        let job = unsafe { Job::new(&drain) };
+        {
+            let mut st = inner.shared.state.lock().unwrap();
+            st.epoch += 1;
+            st.job = Some(job);
+            st.finished = 0;
+            st.panicked = false;
+            inner.shared.work_cv.notify_all();
+        }
+        // The caller is one of the pool's threads: drain units too.
+        let caller_result = catch_unwind(AssertUnwindSafe(&drain));
+        // Join the scope: all workers must check in before `drain` may drop.
+        let mut st = inner.shared.state.lock().unwrap();
+        while st.finished < n_workers {
+            st = inner.shared.done_cv.wait(st).unwrap();
+        }
+        st.job = None;
+        let worker_panicked = st.panicked;
+        drop(st);
+        if let Err(payload) = caller_result {
+            resume_unwind(payload);
+        }
+        if worker_panicked {
+            panic!("compute pool job panicked on a worker thread");
+        }
+    }
+
+    /// Map `f` over `0..n`, returning results in index order. Slots are
+    /// written in place, so output order never depends on scheduling.
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        let slots = SendPtr(out.as_mut_ptr());
+        // `move` so the closure captures the `SendPtr` wrapper, not the raw
+        // pointer field (which is neither `Send` nor `Sync` on its own).
+        self.run(n, move |i| {
+            // SAFETY: each unit index is claimed exactly once, so writes to
+            // `slots[i]` are disjoint; the Vec outlives the (joined) scope.
+            unsafe { *slots.get().add(i) = Some(f(i)) };
+        });
+        out.into_iter()
+            .map(|slot| slot.expect("every unit index runs exactly once"))
+            .collect()
+    }
+
+    /// Split `data` into consecutive chunks of `chunk_len` (the last may be
+    /// short) and run `f(chunk_index, chunk)` over them in parallel. Chunk
+    /// boundaries depend only on `data.len()` and `chunk_len` — never on
+    /// pool width — which is what keeps chunked kernels bit-deterministic.
+    pub fn for_each_chunk_mut<T, F>(&self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(chunk_len > 0, "chunk_len must be > 0");
+        let len = data.len();
+        let n_chunks = len.div_ceil(chunk_len);
+        let base = SendPtr(data.as_mut_ptr());
+        self.run(n_chunks, move |ci| {
+            let start = ci * chunk_len;
+            let end = (start + chunk_len).min(len);
+            // SAFETY: chunks [start, end) are pairwise disjoint across unit
+            // indices and in bounds; `data` outlives the joined scope.
+            let slice =
+                unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+            f(ci, slice);
+        });
+    }
+}
+
+/// Raw pointer wrapper shared by scoped jobs. Soundness of each use is
+/// argued at the call site (disjoint per-unit access + scope join).
+struct SendPtr<T>(*mut T);
+
+unsafe impl<T> Sync for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor instead of direct field reads: closures touching `.0` would
+    /// capture the bare raw pointer (edition-2021 disjoint capture) and lose
+    /// the wrapper's `Send + Sync`.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+fn worker_loop(shared: &Shared, n_workers: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    break st.job.expect("job published with epoch");
+                }
+                st = shared.work_cv.wait(st).unwrap();
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| job.call()));
+        let mut st = shared.state.lock().unwrap();
+        if result.is_err() {
+            st.panicked = true;
+        }
+        st.finished += 1;
+        if st.finished == n_workers {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn sequential_pool_runs_inline() {
+        let pool = ComputePool::sequential();
+        assert_eq!(pool.threads(), 1);
+        let caller = std::thread::current().id();
+        let mut same_thread = true;
+        let flag = Mutex::new(&mut same_thread);
+        pool.run(8, |_| {
+            if std::thread::current().id() != caller {
+                **flag.lock().unwrap() = false;
+            }
+        });
+        assert!(same_thread);
+    }
+
+    #[test]
+    fn zero_width_behaves_like_sequential() {
+        let pool = ComputePool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.map(3, |i| i * 2), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn run_covers_every_unit_exactly_once() {
+        let pool = ComputePool::new(4);
+        let n = 10_000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        pool.run(n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn map_preserves_index_order() {
+        for width in [1, 2, 4, 7] {
+            let pool = ComputePool::new(width);
+            let out = pool.map(1000, |i| i as u64 * 3 + 1);
+            let expect: Vec<u64> = (0..1000).map(|i| i * 3 + 1).collect();
+            assert_eq!(out, expect, "width={width}");
+        }
+    }
+
+    #[test]
+    fn chunks_are_fixed_and_disjoint() {
+        for width in [1, 3, 8] {
+            let pool = ComputePool::new(width);
+            let mut data = vec![0u32; 103];
+            pool.for_each_chunk_mut(&mut data, 10, |ci, chunk| {
+                assert!(chunk.len() == 10 || (ci == 10 && chunk.len() == 3));
+                for v in chunk.iter_mut() {
+                    *v += 1 + ci as u32;
+                }
+            });
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, 1 + (i / 10) as u32, "width={width} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_job_is_noop() {
+        let pool = ComputePool::new(4);
+        pool.run(0, |_| panic!("no units"));
+        assert!(pool.map(0, |_| 0u8).is_empty());
+        pool.for_each_chunk_mut(&mut [0u8; 0], 4, |_, _| panic!("no chunks"));
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_job() {
+        let pool = ComputePool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(64, |i| {
+                if i == 13 {
+                    panic!("unit 13 exploded");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool must still work after the panic.
+        assert_eq!(pool.map(4, |i| i), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn borrows_caller_state() {
+        let pool = ComputePool::new(3);
+        let input: Vec<u64> = (0..512).collect();
+        let sum: u64 = pool.map(8, |ci| input[ci * 64..(ci + 1) * 64].iter().sum::<u64>())
+            .into_iter()
+            .sum();
+        assert_eq!(sum, (0..512).sum::<u64>());
+    }
+
+    #[test]
+    fn back_to_back_jobs_reuse_workers() {
+        let pool = ComputePool::new(4);
+        for round in 0..100 {
+            let out = pool.map(16, move |i| i + round);
+            assert_eq!(out[0], round);
+            assert_eq!(out[15], 15 + round);
+        }
+    }
+
+    #[test]
+    fn concurrent_callers_share_one_pool() {
+        // Two tasks of the same pilot fan out through one shared pool:
+        // jobs serialise, results stay correct for both callers.
+        let pool = Arc::new(ComputePool::new(4));
+        let handles: Vec<_> = (0..3)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for round in 0..50u64 {
+                        let out = pool.map(32, move |i| i as u64 + round * 1000 + t * 100_000);
+                        for (i, v) in out.iter().enumerate() {
+                            assert_eq!(*v, i as u64 + round * 1000 + t * 100_000);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn width_reporting() {
+        assert_eq!(ComputePool::new(6).threads(), 6);
+        assert_eq!(ComputePool::default().threads(), 1);
+    }
+}

@@ -84,7 +84,22 @@ pub fn encode_q16(block: &Block, produced_at_us: u64) -> Bytes {
 }
 
 /// Decode a Q16 buffer.
-pub fn decode_q16(mut buf: &[u8]) -> Result<(Block, u64), WireError> {
+pub fn decode_q16(buf: &[u8]) -> Result<(Block, u64), WireError> {
+    let mut block = Block {
+        msg_id: 0,
+        points: 0,
+        features: 0,
+        data: Vec::new(),
+        labels: Vec::new(),
+    };
+    let produced_at_us = decode_q16_into(buf, &mut block)?;
+    Ok((block, produced_at_us))
+}
+
+/// Decode a Q16 buffer into a caller-owned scratch block, reusing its
+/// `data` allocation (see [`wire::decode_into`]). On error the scratch
+/// block is left unchanged.
+pub fn decode_q16_into(mut buf: &[u8], block: &mut Block) -> Result<u64, WireError> {
     if buf.len() < wire::HEADER_BYTES + 16 {
         return Err(WireError::TooShort { len: buf.len() });
     }
@@ -108,21 +123,17 @@ pub fn decode_q16(mut buf: &[u8]) -> Result<(Block, u64), WireError> {
         });
     }
     let step = if hi > lo { (hi - lo) / 65_535.0 } else { 0.0 };
-    let mut data = Vec::with_capacity(n_values);
+    block.data.clear();
+    block.data.reserve(n_values);
     for _ in 0..n_values {
         let q = buf.get_u16_le() as f64;
-        data.push(lo + q * step);
+        block.data.push(lo + q * step);
     }
-    Ok((
-        Block {
-            msg_id,
-            points,
-            features,
-            data,
-            labels: Vec::new(),
-        },
-        produced_at_us,
-    ))
+    block.msg_id = msg_id;
+    block.points = points;
+    block.features = features;
+    block.labels.clear();
+    Ok(produced_at_us)
 }
 
 /// Decode either codec by inspecting the magic bytes.
@@ -131,6 +142,18 @@ pub fn decode_any(buf: &[u8]) -> Result<(Block, u64), WireError> {
         decode_q16(buf)
     } else {
         wire::decode(buf)
+    }
+}
+
+/// [`decode_any`], but into a caller-owned scratch block. The per-message
+/// consumer loop uses this so the paper's 2.6 MB messages stop costing a
+/// fresh `Vec` each — the scratch reaches steady-state capacity after the
+/// first message.
+pub fn decode_any_into(buf: &[u8], block: &mut Block) -> Result<u64, WireError> {
+    if buf.len() >= 4 && &buf[..4] == MAGIC_Q16 {
+        decode_q16_into(buf, block)
+    } else {
+        wire::decode_into(buf, block)
     }
 }
 
@@ -183,6 +206,29 @@ mod tests {
         assert_eq!(p.data, b.data); // lossless
         assert_ne!(q.data, b.data); // lossy, but close (checked above)
         assert_eq!(q.points, b.points);
+    }
+
+    #[test]
+    fn decode_any_into_matches_owned_decode() {
+        let b = block(50);
+        let mut scratch = Block {
+            msg_id: 0,
+            points: 0,
+            features: 0,
+            data: Vec::new(),
+            labels: Vec::new(),
+        };
+        for encoded in [wire::encode(&b, 3), encode_q16(&b, 4)] {
+            let ts = decode_any_into(&encoded, &mut scratch).unwrap();
+            let (expect, expect_ts) = decode_any(&encoded).unwrap();
+            assert_eq!(ts, expect_ts);
+            assert_eq!(scratch.msg_id, expect.msg_id);
+            assert_eq!(scratch.points, expect.points);
+            assert_eq!(scratch.features, expect.features);
+            assert_eq!(scratch.data, expect.data);
+        }
+        // The second decode reused the f64 buffer's capacity.
+        assert!(scratch.data.capacity() >= 50 * 32);
     }
 
     #[test]

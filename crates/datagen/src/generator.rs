@@ -7,7 +7,7 @@ use rand::{RngExt, SeedableRng};
 /// One generated message: `points × features` values in row-major order,
 /// plus ground-truth outlier labels (out-of-band — not serialized onto the
 /// wire; they exist so tests and quality metrics can score the models).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Block {
     /// Sequence number assigned by the generator, used as the message id.
     pub msg_id: u64,

@@ -28,11 +28,11 @@ pub mod rate;
 pub mod wire;
 pub mod workload;
 
-pub use codec::{decode_any, encode_with, Codec};
+pub use codec::{decode_any, decode_any_into, encode_with, Codec};
 pub use config::DataGenConfig;
 pub use generator::{Block, DataGenerator};
 pub use rate::RateLimiter;
-pub use wire::{decode, encode, serialized_size, WireError, HEADER_BYTES};
+pub use wire::{decode, decode_into, encode, serialized_size, WireError, HEADER_BYTES};
 pub use workload::{PatternedRate, RatePattern};
 
 /// The message sizes (points per message) swept by the paper's experiments:

@@ -7,6 +7,7 @@
 //! copies can hold mutable model state without cross-task locking; state
 //! that must be shared crosses through the [`Context`]'s parameter server.
 
+use pilot_dataflow::ComputePool;
 use pilot_datagen::Block;
 use pilot_metrics::{Counter, JobId, MetricsRegistry};
 use pilot_params::ParameterServer;
@@ -37,6 +38,11 @@ pub struct Context {
     pub metrics: MetricsRegistry,
     /// Immutable application settings ("function_context" in Listing 2).
     pub settings: Arc<HashMap<String, String>>,
+    /// The intra-task compute pool of the pilot hosting cloud processing
+    /// (one shared pool per pilot; width 1 on single-core pilots, so edge
+    /// devices keep their sequential behaviour). Model processors attach it
+    /// via [`pilot_ml::OutlierModel::set_compute_pool`].
+    pub compute: Arc<ComputePool>,
 }
 
 impl Context {
@@ -54,7 +60,15 @@ impl Context {
             params,
             metrics,
             settings: Arc::new(settings),
+            compute: Arc::new(ComputePool::sequential()),
         }
+    }
+
+    /// Attach the pilot's shared intra-task compute pool (the runtime sizes
+    /// one per cloud pilot; the default is a sequential width-1 pool).
+    pub fn with_compute_pool(mut self, pool: Arc<ComputePool>) -> Self {
+        self.compute = pool;
+        self
     }
 
     /// Look up an application setting.
@@ -80,6 +94,7 @@ impl std::fmt::Debug for Context {
         f.debug_struct("Context")
             .field("job_id", &self.job_id)
             .field("devices", &self.devices)
+            .field("compute_threads", &self.compute.threads())
             .finish()
     }
 }
@@ -92,8 +107,12 @@ pub type ProduceFn = Box<dyn FnMut(&Context) -> Option<Block> + Send>;
 /// (mirrors `process_edge(context, data)`).
 pub type EdgeFn = Box<dyn FnMut(&Context, Block) -> Result<Block, String> + Send>;
 
-/// Cloud-side processing (mirrors `process_cloud(context, data)`).
-pub type CloudFn = Box<dyn FnMut(&Context, Block) -> Result<ProcessOutcome, String> + Send>;
+/// Cloud-side processing (mirrors `process_cloud(context, data)`). The
+/// block is borrowed: the consumer loop decodes every message into one
+/// long-lived scratch block ([`pilot_datagen::decode_any_into`]), so the
+/// paper's 2.6 MB messages cost no per-message allocation. Functions that
+/// need to keep data clone the parts they retain.
+pub type CloudFn = Box<dyn FnMut(&Context, &Block) -> Result<ProcessOutcome, String> + Send>;
 
 /// Factory instantiating a producer for edge device `device_id`.
 pub type ProduceFactory = Arc<dyn Fn(&Context, usize) -> ProduceFn + Send + Sync>;
@@ -177,6 +196,15 @@ mod tests {
         let c2 = c.clone();
         c.counter("outliers").add(3);
         assert_eq!(c2.counter("outliers").get(), 3);
+    }
+
+    #[test]
+    fn default_context_pool_is_sequential() {
+        // Without explicit plumbing a context must stay single-threaded —
+        // the 1-core edge-device guarantee.
+        assert_eq!(ctx().compute.threads(), 1);
+        let wide = ctx().with_compute_pool(Arc::new(ComputePool::new(4)));
+        assert_eq!(wide.compute.threads(), 4);
     }
 
     #[test]

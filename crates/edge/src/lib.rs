@@ -63,6 +63,7 @@ pub mod windows;
 pub use adapt::{AutoScalerConfig, ScalingEvent};
 pub use deployment::DeploymentMode;
 pub use faas::{CloudFactory, Context, EdgeFactory, ProcessOutcome, ProduceFactory};
+pub use pilot_dataflow::ComputePool;
 pub use pipeline::{EdgeToCloudPipeline, PipelineConfig, PipelineError};
 pub use runtime::RunningPipeline;
 pub use summary::RunSummary;

@@ -51,6 +51,12 @@ pub struct PipelineConfig {
     /// "data compression to ensure that the amount of data movement is
     /// minimal"). Consumers auto-detect, so it can differ between runs.
     pub codec: pilot_datagen::Codec,
+    /// Width of the cloud pilot's intra-task compute pool (threads a single
+    /// model fit/score may fan out across). `None` (the default) sizes it
+    /// from the cloud pilot's core count, so a 1-core pilot stays
+    /// sequential and a multi-core pilot parallelises the ML hot path.
+    /// Results are bit-identical at any width (see `pilot_dataflow::pool`).
+    pub compute_threads: Option<usize>,
 }
 
 impl Default for PipelineConfig {
@@ -65,6 +71,7 @@ impl Default for PipelineConfig {
             poll_timeout: Duration::from_millis(20),
             retention: RetentionPolicy::default(),
             codec: pilot_datagen::Codec::F64,
+            compute_threads: None,
         }
     }
 }
@@ -244,6 +251,14 @@ impl EdgeToCloudPipeline {
     /// Wire codec for data crossing the network.
     pub fn codec(mut self, codec: pilot_datagen::Codec) -> Self {
         self.config.codec = codec;
+        self
+    }
+
+    /// Width of the intra-task compute pool shared by the cloud processors
+    /// (defaults to the cloud pilot's core count). `1` forces the ML hot
+    /// path fully sequential; scores are bit-identical either way.
+    pub fn compute_threads(mut self, n: usize) -> Self {
+        self.config.compute_threads = Some(n);
         self
     }
 

@@ -47,9 +47,13 @@ where
     M: OutlierModel + 'static,
     F: Fn() -> M + Send + Sync + 'static,
 {
-    Arc::new(move |_ctx: &Context| {
+    Arc::new(move |ctx: &Context| {
         let mut model = make_model();
-        Box::new(move |ctx: &Context, block: Block| {
+        // Fan fit/score out across the hosting pilot's compute pool
+        // (width 1 on single-core pilots → unchanged sequential path;
+        // scores are bit-identical at any width).
+        model.set_compute_pool(Arc::clone(&ctx.compute));
+        Box::new(move |ctx: &Context, block: &Block| {
             let ds = Dataset::new(&block.data, block.points, block.features);
             // Train on the incoming data ("the model is updated based on
             // the incoming data").
@@ -84,7 +88,7 @@ where
 /// measurement of Fig. 2.
 pub fn baseline_factory() -> CloudFactory {
     Arc::new(|_ctx: &Context| {
-        Box::new(|ctx: &Context, block: Block| {
+        Box::new(|ctx: &Context, block: &Block| {
             ctx.counter("points_processed").add(block.points as u64);
             Ok(ProcessOutcome::default())
         })
@@ -147,10 +151,11 @@ where
     M: OutlierModel + 'static,
     F: Fn() -> M + Send + Sync + 'static,
 {
-    Arc::new(move |_ctx: &Context| {
+    Arc::new(move |ctx: &Context| {
         let mut scaler = pilot_ml::StandardScaler::new(features);
         let mut model = make_model();
-        Box::new(move |ctx: &Context, block: Block| {
+        model.set_compute_pool(Arc::clone(&ctx.compute));
+        Box::new(move |ctx: &Context, block: &Block| {
             let raw = Dataset::new(&block.data, block.points, block.features);
             // Stage 1: pre-processing (streaming standardisation).
             scaler.partial_fit(&raw);
@@ -256,7 +261,7 @@ mod tests {
     fn baseline_counts_points_without_scores() {
         let c = ctx();
         let mut f = baseline_factory()(&c);
-        let out = f(&c, block(50)).unwrap();
+        let out = f(&c, &block(50)).unwrap();
         assert!(out.scores.is_none());
         assert_eq!(c.counter("points_processed").get(), 50);
     }
@@ -267,7 +272,7 @@ mod tests {
         let mut cfg = KMeansConfig::paper();
         cfg.features = 32;
         let mut f = kmeans_factory(cfg)(&c);
-        let out = f(&c, block(200)).unwrap();
+        let out = f(&c, &block(200)).unwrap();
         assert_eq!(out.scores.unwrap().len(), 200);
         // ~5% contamination flagged.
         assert!(out.outliers >= 5 && out.outliers <= 25, "{}", out.outliers);
@@ -286,7 +291,7 @@ mod tests {
         let mut cfg = IsolationForestConfig::paper();
         cfg.n_trees = 20; // keep the test fast
         let mut f = isoforest_factory(cfg)(&c);
-        let out = f(&c, block(300)).unwrap();
+        let out = f(&c, &block(300)).unwrap();
         assert_eq!(out.scores.unwrap().len(), 300);
         assert!(c.params.get(&c.model_key()).is_none());
     }
@@ -295,7 +300,7 @@ mod tests {
     fn autoencoder_processor_trains_and_publishes() {
         let c = ctx();
         let mut f = autoencoder_factory(AutoEncoderConfig::paper())(&c);
-        let out = f(&c, block(100)).unwrap();
+        let out = f(&c, &block(100)).unwrap();
         assert_eq!(out.scores.unwrap().len(), 100);
         let (w, _) = c.params.get(&c.model_key()).unwrap();
         assert_eq!(w.len(), 11_552);
@@ -309,7 +314,7 @@ mod tests {
                 continue; // covered above with a smaller forest
             }
             let mut f = paper_model_factory(kind, 32)(&c);
-            assert!(f(&c, block(50)).is_ok(), "{kind}");
+            assert!(f(&c, &block(50)).is_ok(), "{kind}");
         }
     }
 
@@ -319,7 +324,7 @@ mod tests {
         let mut cfg = KMeansConfig::paper();
         cfg.features = 32;
         let mut f = preprocessed_model_factory(32, move || KMeans::new(cfg.clone()))(&c);
-        let out = f(&c, block(300)).unwrap();
+        let out = f(&c, &block(300)).unwrap();
         assert_eq!(out.scores.unwrap().len(), 300);
         // Model weights and scaler statistics both published.
         assert!(c.params.get(&c.model_key()).is_some());
@@ -330,7 +335,7 @@ mod tests {
         assert_eq!(scaler_w.len(), 1 + 2 * 32);
         assert_eq!(scaler_w[0], 300.0, "scaler saw all points");
         // Second batch accumulates.
-        f(&c, block(300)).unwrap();
+        f(&c, &block(300)).unwrap();
         let (scaler_w, _) = c.params.get(&format!("{}:scaler", c.model_key())).unwrap();
         assert_eq!(scaler_w[0], 600.0);
     }
@@ -361,9 +366,9 @@ mod tests {
         let mut cfg = KMeansConfig::paper();
         cfg.features = 32;
         let mut f = kmeans_factory(cfg)(&c);
-        f(&c, block(100)).unwrap();
+        f(&c, &block(100)).unwrap();
         let (_, v1) = c.params.get(&c.model_key()).unwrap();
-        f(&c, block(100)).unwrap();
+        f(&c, &block(100)).unwrap();
         let (_, v2) = c.params.get(&c.model_key()).unwrap();
         assert!(v2 > v1, "model version must advance per message");
     }

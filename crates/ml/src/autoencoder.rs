@@ -23,8 +23,16 @@
 use crate::dataset::Dataset;
 use crate::linalg::{add_bias, column_sums, matmul, matmul_a_bt, matmul_at_b, relu, relu_backward};
 use crate::outlier::{ModelKind, OutlierModel};
+use pilot_dataflow::ComputePool;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// Rows per compute-pool unit in the batch forward/score path. Fixed (never
+/// derived from pool width); each row's activations depend on that row
+/// alone (see the bit-exactness contract in [`crate::linalg`]), so chunked
+/// forward passes reproduce the full-batch result exactly.
+const FORWARD_CHUNK: usize = 128;
 
 /// Optimiser choice for training.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -149,6 +157,10 @@ pub struct AutoEncoder {
     t: u64,
     /// Mean training loss of the last `partial_fit` call.
     last_loss: f64,
+    /// Fan-out for batch forward/score; sequential by default. Training
+    /// stays on the caller thread (its gradient reduction is inherently
+    /// batch-order-dependent).
+    pool: Arc<ComputePool>,
 }
 
 impl AutoEncoder {
@@ -168,6 +180,7 @@ impl AutoEncoder {
             layers,
             t: 0,
             last_loss: f64::NAN,
+            pool: Arc::new(ComputePool::sequential()),
         }
     }
 
@@ -212,9 +225,26 @@ impl AutoEncoder {
     }
 
     /// Reconstruct a batch (the final activation of the forward pass).
+    ///
+    /// Rows are fanned out over the pool in fixed chunks of
+    /// [`FORWARD_CHUNK`]; per-row independence of the dense layers makes the
+    /// chunked result bit-identical to a single full-batch pass.
     pub fn reconstruct(&self, data: &Dataset<'_>) -> Vec<f64> {
         assert_eq!(data.cols(), self.config.features, "feature mismatch");
-        self.forward(data.raw(), data.rows()).pop().unwrap()
+        let d = self.config.features;
+        let raw = data.raw();
+        let mut out = vec![0.0; data.rows() * d];
+        // Chunk length is a multiple of the feature count, so every chunk
+        // covers whole rows.
+        self.pool
+            .for_each_chunk_mut(&mut out, FORWARD_CHUNK * d, |ci, chunk| {
+                let rows = chunk.len() / d;
+                let start = ci * FORWARD_CHUNK * d;
+                let batch = &raw[start..start + chunk.len()];
+                let recon = self.forward(batch, rows).pop().unwrap();
+                chunk.copy_from_slice(&recon);
+            });
+        out
     }
 
     /// One SGD/Adam step on one mini-batch; returns the batch MSE.
@@ -323,6 +353,11 @@ impl AutoEncoder {
     pub fn nudge_weight(&mut self, layer: usize, idx: usize, delta: f64) {
         self.layers[layer].w[idx] += delta;
     }
+
+    /// The compute pool currently attached (sequential by default).
+    pub fn compute_pool(&self) -> &Arc<ComputePool> {
+        &self.pool
+    }
 }
 
 impl OutlierModel for AutoEncoder {
@@ -392,6 +427,10 @@ impl OutlierModel for AutoEncoder {
             off += bl;
         }
         true
+    }
+
+    fn set_compute_pool(&mut self, pool: Arc<ComputePool>) {
+        self.pool = pool;
     }
 }
 
@@ -517,6 +556,23 @@ mod tests {
                 (fd_grad - analytic).abs() < 1e-4 * (1.0 + fd_grad.abs()),
                 "idx={idx} fd={fd_grad} analytic={analytic}"
             );
+        }
+    }
+
+    #[test]
+    fn pool_width_never_changes_reconstruction() {
+        // 300 rows spans multiple FORWARD_CHUNK chunks plus a partial one.
+        let data = manifold_data(300);
+        let ds = Dataset::new(&data, 300, 4);
+        let mut seq = AutoEncoder::new(tiny_config());
+        seq.partial_fit(&ds);
+        let expect = seq.score(&ds);
+        let trained = seq.weights();
+        for width in [2usize, 3, 8] {
+            let mut ae = AutoEncoder::new(tiny_config());
+            assert!(ae.set_weights(&trained));
+            ae.set_compute_pool(Arc::new(ComputePool::new(width)));
+            assert_eq!(ae.score(&ds), expect, "width={width}");
         }
     }
 

@@ -16,8 +16,15 @@
 
 use crate::dataset::Dataset;
 use crate::outlier::{ModelKind, OutlierModel};
+use pilot_dataflow::ComputePool;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// Rows scored per compute-pool unit. Fixed (never derived from pool
+/// width) so chunk boundaries — and therefore scores — are identical for
+/// every pool size.
+const SCORE_CHUNK: usize = 128;
 
 /// Configuration for [`IsolationForest`].
 #[derive(Debug, Clone, PartialEq)]
@@ -178,6 +185,39 @@ pub fn c_factor(n: usize) -> f64 {
     2.0 * h - 2.0 * (nf - 1.0) / nf
 }
 
+/// Derive an independent RNG seed for one tree of one fit. Trees must not
+/// share an RNG stream (that would serialise tree construction), and
+/// successive refits must draw different forests (the streaming pipeline
+/// refits per message), so the seed mixes `(config seed, fit epoch, tree
+/// index)` through a SplitMix64 finaliser.
+fn derive_tree_seed(seed: u64, epoch: u64, tree: u64) -> u64 {
+    let mut z = seed
+        ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ tree.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Sample ψ distinct indices from `0..n` (Floyd's algorithm). The pick set
+/// is kept in a `Vec` — ψ ≤ 256 keeps the linear `contains` cheap and, unlike
+/// a hash set, the resulting order is a pure function of the RNG stream.
+fn sample_indices(n: usize, psi: usize, rng: &mut StdRng) -> Vec<usize> {
+    if psi >= n {
+        return (0..n).collect();
+    }
+    let mut chosen: Vec<usize> = Vec::with_capacity(psi);
+    for j in (n - psi)..n {
+        let t = rng.random_range(0..=j);
+        if chosen.contains(&t) {
+            chosen.push(j);
+        } else {
+            chosen.push(t);
+        }
+    }
+    chosen
+}
+
 /// The isolation-forest ensemble.
 #[derive(Debug)]
 pub struct IsolationForest {
@@ -185,7 +225,11 @@ pub struct IsolationForest {
     trees: Vec<ITree>,
     /// ψ actually used by the last fit (min(subsample, n)).
     effective_subsample: usize,
-    rng: StdRng,
+    /// Fits completed so far; folded into per-tree seeds so successive
+    /// refits (one per streaming message) draw fresh forests.
+    fit_epoch: u64,
+    /// Fan-out for tree building and scoring; sequential by default.
+    pool: Arc<ComputePool>,
 }
 
 impl IsolationForest {
@@ -193,12 +237,12 @@ impl IsolationForest {
     pub fn new(config: IsolationForestConfig) -> Self {
         assert!(config.n_trees > 0, "n_trees must be > 0");
         assert!(config.subsample > 1, "subsample must be > 1");
-        let rng = StdRng::seed_from_u64(config.seed);
         Self {
             config,
             trees: Vec::new(),
             effective_subsample: 0,
-            rng,
+            fit_epoch: 0,
+            pool: Arc::new(ComputePool::sequential()),
         }
     }
 
@@ -218,6 +262,13 @@ impl IsolationForest {
     }
 
     /// Fit the ensemble on a batch (replaces any previous trees).
+    ///
+    /// Every tree owns an RNG seeded from `(seed, fit epoch, tree index)`,
+    /// so the ensemble is a pure function of the config and fit history —
+    /// independent of build order and therefore of pool width. With a
+    /// multi-thread [`ComputePool`] attached the (paper-default) 100 trees
+    /// build in parallel; this is the Fig. 3 hot spot, since streaming
+    /// refits rebuild the whole ensemble per message.
     pub fn fit(&mut self, data: &Dataset<'_>) {
         if data.is_empty() {
             return;
@@ -225,30 +276,14 @@ impl IsolationForest {
         let n = data.rows();
         let psi = self.config.subsample.min(n);
         let height_limit = (psi as f64).log2().ceil().max(1.0) as u32;
-        let mut trees = Vec::with_capacity(self.config.n_trees);
-        let mut sample = vec![0usize; psi];
-        for _ in 0..self.config.n_trees {
-            // Sample ψ indices without replacement (partial Fisher–Yates
-            // over an index pool when ψ < n; the whole range otherwise).
-            if psi == n {
-                for (j, s) in sample.iter_mut().enumerate() {
-                    *s = j;
-                }
-            } else {
-                // Floyd's algorithm for distinct samples.
-                let mut chosen = std::collections::HashSet::with_capacity(psi);
-                for j in (n - psi)..n {
-                    let t = self.rng.random_range(0..=j);
-                    let pick = if chosen.contains(&t) { j } else { t };
-                    chosen.insert(pick);
-                }
-                for (s, &v) in sample.iter_mut().zip(chosen.iter()) {
-                    *s = v;
-                }
-            }
-            trees.push(ITree::build(data, &mut sample, height_limit, &mut self.rng));
-        }
-        self.trees = trees;
+        let seed = self.config.seed;
+        let epoch = self.fit_epoch;
+        self.fit_epoch += 1;
+        self.trees = self.pool.map(self.config.n_trees, |t| {
+            let mut rng = StdRng::seed_from_u64(derive_tree_seed(seed, epoch, t as u64));
+            let mut sample = sample_indices(n, psi, &mut rng);
+            ITree::build(data, &mut sample, height_limit, &mut rng)
+        });
         self.effective_subsample = psi;
     }
 
@@ -272,16 +307,23 @@ impl OutlierModel for IsolationForest {
     }
 
     /// Anomaly score `s(x, ψ) = 2^(−E[h(x)]/c(ψ))` ∈ (0, 1]; higher is more
-    /// anomalous.
+    /// anomalous. Rows are fanned out over the pool in fixed-size chunks;
+    /// each score depends on its row alone, so the result is bit-identical
+    /// at every pool width.
     fn score(&self, data: &Dataset<'_>) -> Vec<f64> {
         assert!(self.is_trained(), "score before training");
         let c = c_factor(self.effective_subsample).max(f64::MIN_POSITIVE);
-        data.iter_rows()
-            .map(|row| {
-                let e_h = self.mean_path_length(row);
-                2f64.powf(-e_h / c)
-            })
-            .collect()
+        let view = *data;
+        let mut scores = vec![0.0; data.rows()];
+        self.pool
+            .for_each_chunk_mut(&mut scores, SCORE_CHUNK, |ci, chunk| {
+                let base = ci * SCORE_CHUNK;
+                for (off, s) in chunk.iter_mut().enumerate() {
+                    let e_h = self.mean_path_length(view.row(base + off));
+                    *s = 2f64.powf(-e_h / c);
+                }
+            });
+        scores
     }
 
     fn weights(&self) -> Vec<f64> {
@@ -293,6 +335,10 @@ impl OutlierModel for IsolationForest {
 
     fn set_weights(&mut self, weights: &[f64]) -> bool {
         weights.is_empty()
+    }
+
+    fn set_compute_pool(&mut self, pool: Arc<ComputePool>) {
+        self.pool = pool;
     }
 }
 
@@ -420,6 +466,47 @@ mod tests {
         a.fit(&ds);
         b.fit(&ds);
         assert_eq!(a.score(&ds), b.score(&ds));
+    }
+
+    #[test]
+    fn pool_width_never_changes_scores() {
+        let (data, n_in, n_out) = blob_with_outliers();
+        let ds = Dataset::new(&data, n_in + n_out, 2);
+        let mut seq = IsolationForest::new(cfg());
+        seq.fit(&ds);
+        let expect = seq.score(&ds);
+        for width in [2usize, 3, 8] {
+            let mut f = IsolationForest::new(cfg());
+            f.set_compute_pool(Arc::new(ComputePool::new(width)));
+            f.fit(&ds);
+            assert_eq!(f.score(&ds), expect, "width={width}");
+        }
+    }
+
+    #[test]
+    fn refits_draw_fresh_forests() {
+        // Streaming refits must not reuse the epoch-0 forest seeds.
+        let (data, n_in, n_out) = blob_with_outliers();
+        let ds = Dataset::new(&data, n_in + n_out, 2);
+        let mut f = IsolationForest::new(cfg());
+        f.fit(&ds);
+        let first = f.score(&ds);
+        f.fit(&ds);
+        assert_ne!(f.score(&ds), first, "second fit reused first fit's RNG streams");
+    }
+
+    #[test]
+    fn sampled_indices_are_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let sample = sample_indices(1000, 256, &mut rng);
+        assert_eq!(sample.len(), 256);
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 256, "duplicates drawn");
+        assert!(sample.iter().all(|&i| i < 1000));
+        // ψ ≥ n degenerates to the identity permutation.
+        assert_eq!(sample_indices(4, 8, &mut rng), vec![0, 1, 2, 3]);
     }
 
     #[test]

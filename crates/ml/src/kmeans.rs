@@ -11,8 +11,17 @@
 
 use crate::dataset::{sq_dist, Dataset};
 use crate::outlier::{ModelKind, OutlierModel};
+use pilot_dataflow::ComputePool;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// Rows per compute-pool unit in the assignment/scoring kernels. Fixed
+/// (never derived from pool width): partial centroid sums are merged in
+/// chunk-index order, so for a given dataset the floating-point operation
+/// order — and therefore every centroid and inertia bit — is identical
+/// whether the pool is 1 or N threads wide.
+const ROW_CHUNK: usize = 256;
 
 /// Configuration for [`KMeans`].
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +73,8 @@ pub struct KMeans {
     /// Points assigned to each centroid so far (mini-batch learning rates).
     counts: Vec<u64>,
     rng: StdRng,
+    /// Fan-out for the assignment/scoring kernels; sequential by default.
+    pool: Arc<ComputePool>,
 }
 
 impl KMeans {
@@ -77,6 +88,7 @@ impl KMeans {
             centroids: Vec::new(),
             counts: Vec::new(),
             rng,
+            pool: Arc::new(ComputePool::sequential()),
         }
     }
 
@@ -151,12 +163,36 @@ impl KMeans {
     /// Assign every row to its nearest centroid.
     pub fn predict(&self, data: &Dataset<'_>) -> Vec<usize> {
         assert!(self.is_trained(), "predict before training");
-        data.iter_rows().map(|r| self.nearest(r).0).collect()
+        let view = *data;
+        let mut labels = vec![0usize; data.rows()];
+        self.pool
+            .for_each_chunk_mut(&mut labels, ROW_CHUNK, |ci, chunk| {
+                let base = ci * ROW_CHUNK;
+                for (off, l) in chunk.iter_mut().enumerate() {
+                    *l = self.nearest(view.row(base + off)).0;
+                }
+            });
+        labels
     }
 
-    /// Sum of squared distances of rows to their nearest centroid.
+    /// Sum of squared distances of rows to their nearest centroid. Summed
+    /// per fixed-size chunk, then over chunks in index order — the same
+    /// operation order at every pool width.
     pub fn inertia(&self, data: &Dataset<'_>) -> f64 {
-        data.iter_rows().map(|r| self.nearest(r).1).sum()
+        let view = *data;
+        let n_chunks = data.rows().div_ceil(ROW_CHUNK);
+        self.pool
+            .map(n_chunks, |ci| {
+                let start = ci * ROW_CHUNK;
+                let end = (start + ROW_CHUNK).min(view.rows());
+                let mut acc = 0.0;
+                for i in start..end {
+                    acc += self.nearest(view.row(i)).1;
+                }
+                acc
+            })
+            .into_iter()
+            .sum()
     }
 
     /// Batch Lloyd's iterations (seeding from the batch if untrained).
@@ -170,19 +206,43 @@ impl KMeans {
         }
         let k = self.config.k;
         let d = self.config.features;
+        let n_chunks = data.rows().div_ceil(ROW_CHUNK);
         let mut prev_inertia = f64::INFINITY;
         for _ in 0..self.config.max_iters {
-            // Assignment + accumulation in one pass.
+            // Assignment + accumulation, fanned over fixed row chunks; each
+            // unit builds partial centroid sums for its rows only.
+            let view = *data;
+            let this = &*self;
+            let partials = this.pool.map(n_chunks, |ci| {
+                let start = ci * ROW_CHUNK;
+                let end = (start + ROW_CHUNK).min(view.rows());
+                let mut sums = vec![0.0; k * d];
+                let mut counts = vec![0u64; k];
+                let mut inertia = 0.0;
+                for i in start..end {
+                    let row = view.row(i);
+                    let (c, dist) = this.nearest(row);
+                    inertia += dist;
+                    counts[c] += 1;
+                    for (s, &v) in sums[c * d..(c + 1) * d].iter_mut().zip(row) {
+                        *s += v;
+                    }
+                }
+                (sums, counts, inertia)
+            });
+            // Deterministic merge: always in chunk-index order, so the
+            // floating-point sums are bit-equal at every pool width.
             let mut sums = vec![0.0; k * d];
             let mut counts = vec![0u64; k];
             let mut inertia = 0.0;
-            for row in data.iter_rows() {
-                let (c, dist) = self.nearest(row);
-                inertia += dist;
-                counts[c] += 1;
-                for (s, &v) in sums[c * d..(c + 1) * d].iter_mut().zip(row) {
+            for (part_sums, part_counts, part_inertia) in partials {
+                for (s, v) in sums.iter_mut().zip(part_sums) {
                     *s += v;
                 }
+                for (c, v) in counts.iter_mut().zip(part_counts) {
+                    *c += v;
+                }
+                inertia += part_inertia;
             }
             // Update step; empty clusters keep their centroid.
             for c in 0..k {
@@ -231,10 +291,20 @@ impl OutlierModel for KMeans {
         }
     }
 
-    /// Outlier score: Euclidean distance to the nearest centroid.
+    /// Outlier score: Euclidean distance to the nearest centroid, fanned
+    /// over fixed row chunks (bit-identical at every pool width).
     fn score(&self, data: &Dataset<'_>) -> Vec<f64> {
         assert!(self.is_trained(), "score before training");
-        data.iter_rows().map(|r| self.nearest(r).1.sqrt()).collect()
+        let view = *data;
+        let mut scores = vec![0.0; data.rows()];
+        self.pool
+            .for_each_chunk_mut(&mut scores, ROW_CHUNK, |ci, chunk| {
+                let base = ci * ROW_CHUNK;
+                for (off, s) in chunk.iter_mut().enumerate() {
+                    *s = self.nearest(view.row(base + off)).1.sqrt();
+                }
+            });
+        scores
     }
 
     fn weights(&self) -> Vec<f64> {
@@ -258,6 +328,10 @@ impl OutlierModel for KMeans {
             .map(|&c| c.max(1.0) as u64)
             .collect();
         true
+    }
+
+    fn set_compute_pool(&mut self, pool: Arc<ComputePool>) {
+        self.pool = pool;
     }
 }
 
@@ -354,6 +428,26 @@ mod tests {
         // Points in the same generated cluster share a label.
         for chunk in labels.chunks(50) {
             assert!(chunk.iter().all(|&l| l == chunk[0]), "labels={chunk:?}");
+        }
+    }
+
+    #[test]
+    fn pool_width_never_changes_fit_or_scores() {
+        let (data, n) = three_clusters();
+        let ds = Dataset::new(&data, n, 2);
+        let mut seq = KMeans::new(cfg(3, 2));
+        seq.fit(&ds);
+        let expect_centroids = seq.centroids().to_vec();
+        let expect_scores = seq.score(&ds);
+        let expect_inertia = seq.inertia(&ds);
+        for width in [2usize, 3, 8] {
+            let mut km = KMeans::new(cfg(3, 2));
+            km.set_compute_pool(Arc::new(ComputePool::new(width)));
+            km.fit(&ds);
+            assert_eq!(km.centroids(), expect_centroids.as_slice(), "width={width}");
+            assert_eq!(km.score(&ds), expect_scores, "width={width}");
+            assert_eq!(km.inertia(&ds), expect_inertia, "width={width}");
+            assert_eq!(km.predict(&ds), seq.predict(&ds), "width={width}");
         }
     }
 

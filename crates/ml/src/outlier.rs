@@ -8,6 +8,8 @@
 //! weights across the continuum" (Section II-B).
 
 use crate::dataset::Dataset;
+use pilot_dataflow::ComputePool;
+use std::sync::Arc;
 
 /// Which model a pipeline stage is running; used in experiment labels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -74,6 +76,14 @@ pub trait OutlierModel: Send {
     /// Returns `false` (leaving the model unchanged) if the shape does not
     /// match.
     fn set_weights(&mut self, weights: &[f64]) -> bool;
+
+    /// Attach a [`ComputePool`] so fit/score kernels can fan out over the
+    /// cores the hosting pilot owns. Models guarantee **bit-identical**
+    /// results for any pool width (fixed chunk boundaries, per-unit seeds,
+    /// deterministic merge order), so attaching a pool is purely a
+    /// performance decision. The default keeps the model sequential —
+    /// stateless models (the baseline) simply ignore the pool.
+    fn set_compute_pool(&mut self, _pool: Arc<ComputePool>) {}
 }
 
 /// The paper's baseline: no model at all. `partial_fit` is a no-op and every

@@ -96,7 +96,7 @@ fn main() {
     let forward: CloudFactory = Arc::new(move |_ctx: &Context| {
         let tx = tx.clone();
         let mut next_id = 0u64;
-        Box::new(move |_ctx: &Context, block: Block| {
+        Box::new(move |_ctx: &Context, block: &Block| {
             // Pre-aggregate: keep a systematic sample as the "summary"
             // (stands in for per-cluster statistics).
             let stride = (block.points / SUMMARY_POINTS).max(1);

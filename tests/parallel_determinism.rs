@@ -1,0 +1,129 @@
+//! The compute pool's determinism contract, checked across crates: for a
+//! fixed seed, running the ML hot path through an intra-task pool of ANY
+//! width produces scores bit-identical to the sequential path. Parallelism
+//! must be purely a performance decision (fixed chunk boundaries, per-tree
+//! seeds, merge in chunk-index order — see `pilot_dataflow::pool`).
+
+use pilot_dataflow::ComputePool;
+use pilot_datagen::{Block, DataGenConfig, DataGenerator};
+use pilot_ml::{
+    AutoEncoder, AutoEncoderConfig, Dataset, IsolationForest, IsolationForestConfig, KMeans,
+    KMeansConfig, OutlierModel,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Pool widths to compare against the width-1 reference. Must include 1
+/// (the inline pool must equal the no-pool default) and widths that do and
+/// do not divide the chunk counts evenly.
+const WIDTHS: &[usize] = &[1, 2, 3, 4, 7];
+
+fn blocks(points: usize, n: usize, seed: u64) -> Vec<Block> {
+    let mut generator = DataGenerator::new(DataGenConfig::paper(points).with_seed(seed));
+    (0..n).map(|_| generator.next_block()).collect()
+}
+
+/// Run the pipeline's per-message protocol (partial_fit then score) over a
+/// message stream and collect every score vector.
+fn score_stream(mut model: Box<dyn OutlierModel>, stream: &[Block]) -> Vec<Vec<f64>> {
+    stream
+        .iter()
+        .map(|b| {
+            let ds = Dataset::new(&b.data, b.points, b.features);
+            model.partial_fit(&ds);
+            model.score(&ds)
+        })
+        .collect()
+}
+
+fn makers() -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn OutlierModel>>)> {
+    vec![
+        (
+            "kmeans",
+            Box::new(|| Box::new(KMeans::new(KMeansConfig::paper())) as Box<dyn OutlierModel>),
+        ),
+        (
+            "isoforest",
+            Box::new(|| {
+                let mut cfg = IsolationForestConfig::paper();
+                cfg.n_trees = 25; // keep the cross-width sweep fast
+                Box::new(IsolationForest::new(cfg)) as Box<dyn OutlierModel>
+            }),
+        ),
+        (
+            "autoencoder",
+            Box::new(|| {
+                Box::new(AutoEncoder::new(AutoEncoderConfig::paper())) as Box<dyn OutlierModel>
+            }),
+        ),
+    ]
+}
+
+/// The headline guarantee: every model kind, several widths, several
+/// messages — scores are *bit*-identical to the sequential reference
+/// (`assert_eq!` on `f64` vectors, no tolerance).
+#[test]
+fn parallel_scores_bit_identical_to_sequential() {
+    // 400 points spans several 128/256-row chunks; 3 messages exercise
+    // streaming refits (fresh per-epoch tree seeds must match too).
+    let stream = blocks(400, 3, 7);
+    for (name, make) in makers() {
+        let reference = score_stream(make(), &stream);
+        for &width in WIDTHS {
+            let mut model = make();
+            model.set_compute_pool(Arc::new(ComputePool::new(width)));
+            let scores = score_stream(model, &stream);
+            assert_eq!(scores, reference, "model={name} width={width}");
+        }
+    }
+}
+
+/// A width-1 explicit pool must equal the implicit no-pool default — the
+/// edge-device path (never given a pool) and a cloud pilot configured with
+/// `compute_threads(1)` are the same computation.
+#[test]
+fn width_one_pool_equals_default() {
+    let stream = blocks(130, 2, 3);
+    for (name, make) in makers() {
+        let implicit = score_stream(make(), &stream);
+        let mut model = make();
+        model.set_compute_pool(Arc::new(ComputePool::sequential()));
+        assert_eq!(score_stream(model, &stream), implicit, "model={name}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16, // each case runs full k-means fits at several widths
+        .. ProptestConfig::default()
+    })]
+
+    /// Property: the k-means inertia *trajectory* (inertia after every
+    /// message of a stream) never depends on pool width, for arbitrary
+    /// block geometry, stream length, and seed.
+    #[test]
+    fn prop_pool_width_never_changes_kmeans_inertia_trajectory(
+        points in 1usize..600,
+        messages in 1usize..4,
+        seed in 0u64..1000,
+        width in 2usize..9,
+    ) {
+        let stream = blocks(points, messages, seed);
+        let trajectory = |pool_width: usize| -> Vec<f64> {
+            let mut km = KMeans::new(KMeansConfig::paper());
+            km.set_compute_pool(Arc::new(ComputePool::new(pool_width)));
+            stream
+                .iter()
+                .map(|b| {
+                    let ds = Dataset::new(&b.data, b.points, b.features);
+                    km.partial_fit(&ds);
+                    km.inertia(&ds)
+                })
+                .collect()
+        };
+        let sequential = trajectory(1);
+        let parallel = trajectory(width);
+        // Bit-exact, message by message.
+        prop_assert_eq!(parallel, sequential);
+    }
+}
