@@ -172,12 +172,37 @@ fn run_cell_with_codec(opts: &CellOpts, codec: pilot_datagen::Codec) -> pilot_ed
         .unwrap()
 }
 
+fn bench_pipeline_wan(c: &mut Criterion) {
+    // End-to-end serial vs pipelined transport on the transatlantic
+    // profile (DESIGN.md §8). Small paper messages (25 points) make
+    // propagation — not bandwidth — the serial bottleneck, which is
+    // exactly what producer batching + consumer prefetch reclaim; at
+    // 10,000 points the link's transit capacity is the ceiling and the
+    // two variants converge (see EXPERIMENTS.md).
+    let mut group = c.benchmark_group("pipeline_wan");
+    group.sample_size(10);
+    let serial = CellOpts {
+        points: 25,
+        devices: 4,
+        processors: Some(2),
+        model: ModelKind::Baseline,
+        messages_per_device: 8,
+        geo: Geo::Transatlantic,
+        ..CellOpts::default()
+    };
+    let pipelined = serial.clone().pipelined(256 * 1024);
+    group.bench_function("serial", |b| b.iter(|| run_cell(&serial)));
+    group.bench_function("pipelined", |b| b.iter(|| run_cell(&pipelined)));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_partitions,
     bench_batching,
     bench_placement,
     bench_params,
-    bench_codec
+    bench_codec,
+    bench_pipeline_wan
 );
 criterion_main!(benches);

@@ -18,6 +18,7 @@ use pilot_datagen::{codec, DataGenConfig, DataGenerator};
 use pilot_ml::{
     AutoEncoderConfig, Dataset, IsolationForestConfig, KMeansConfig, ModelKind, OutlierModel,
 };
+use pilot_netsim::profiles;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -140,6 +141,33 @@ fn bench_codec(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_link_transfer(c: &mut Criterion) {
+    // Propagation delay is charged per `transfer` call; a batch reservation
+    // charges it once for the whole batch (transit still scales with the
+    // summed bytes). The LAN profile keeps the real sleeps benchmarkable —
+    // the per-message/batched ratio only widens on the WAN profiles, where
+    // propagation is ~75 ms instead of sub-millisecond.
+    let mut group = c.benchmark_group("link_transfer");
+    group.sample_size(10);
+    const MSGS: usize = 16;
+    const BYTES: u64 = 6_400;
+    group.throughput(Throughput::Bytes(MSGS as u64 * BYTES));
+    group.bench_function("per_message", |b| {
+        let link = profiles::lan("lan", 1).build();
+        b.iter(|| {
+            for _ in 0..MSGS {
+                link.transfer(BYTES);
+            }
+        });
+    });
+    group.bench_function("batched", |b| {
+        let link = profiles::lan("lan", 1).build();
+        let sizes = [BYTES; MSGS];
+        b.iter(|| link.reserve_batch(&sizes).wait());
+    });
+    group.finish();
+}
+
 fn bench_metrics(c: &mut Criterion) {
     let mut group = c.benchmark_group("metrics");
     group.bench_function("histogram_record", |b| {
@@ -167,6 +195,7 @@ criterion_group!(
     bench_models,
     bench_compute_pool,
     bench_codec,
+    bench_link_transfer,
     bench_metrics
 );
 criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Serial vs pipelined transport over the transatlantic profile
+//! (DESIGN.md §8): the experiment behind `results_pipeline.csv`.
+//!
+//! For each paper message size the same cell runs twice — once with the
+//! per-message blocking transport (the seed behaviour) and once with
+//! producer batching + consumer prefetch — and prints both rows plus the
+//! throughput ratio. Where the win comes from, and where it must stop:
+//!
+//! * **Small messages** (25–1,000 points): transit is microseconds but the
+//!   serial producer pays ~75 ms of propagation per message, so the link
+//!   idles almost all the time. Batching pays propagation once per batch
+//!   and prefetch overlaps the broker→cloud hop with scoring — the
+//!   pipelined variant wins by an order of magnitude.
+//! * **Large messages** (10,000 points = 2.56 MB): at 60–100 Mbit/s the
+//!   transit alone is ~256 ms/message, so the serial run already saturates
+//!   the link's bandwidth (`results_fig3.csv` shows it within a few percent
+//!   of the ~3.9 msg/s ceiling). No transport reordering can beat physics;
+//!   the pipelined run merely holds that ceiling.
+//!
+//! Usage: `cargo run -p pilot-bench --release --bin pipeline_wan`
+//! (honours `PILOT_BENCH_QUICK` / `PILOT_BENCH_MESSAGES`).
+
+use pilot_bench::{csv_header, csv_row, default_messages, message_sizes, run_cell, CellOpts, Geo};
+use pilot_ml::ModelKind;
+
+fn main() {
+    println!("# pipeline_wan — serial vs pipelined transport, transatlantic profile");
+    println!("{}", csv_header());
+    let mut ratios = Vec::new();
+    for points in message_sizes() {
+        let serial = CellOpts {
+            points,
+            devices: 4,
+            processors: Some(2),
+            model: ModelKind::Baseline,
+            messages_per_device: default_messages(Geo::Transatlantic),
+            geo: Geo::Transatlantic,
+            ..CellOpts::default()
+        };
+        let pipelined = serial.clone().pipelined(256 * 1024);
+        let s = run_cell(&serial);
+        println!("{}", csv_row("pipeline_wan/serial", &serial, &s));
+        let p = run_cell(&pipelined);
+        println!("{}", csv_row("pipeline_wan/pipelined", &pipelined, &p));
+        let ratio = if s.throughput_msgs > 0.0 {
+            p.throughput_msgs / s.throughput_msgs
+        } else {
+            0.0
+        };
+        eprintln!("  {points} points: {ratio:.2}x throughput");
+        ratios.push((points, ratio));
+    }
+    if let Some((points, best)) = ratios.iter().copied().max_by(|a, b| a.1.total_cmp(&b.1)) {
+        eprintln!("best speedup: {best:.2}x at {points} points/message");
+    }
+}

@@ -65,6 +65,12 @@ pub struct CellOpts {
     pub downsample: usize,
     /// RNG seed for the generator and links.
     pub seed: u64,
+    /// Producer batch threshold in bytes (0 = serial per-message transport).
+    pub batch_max_bytes: usize,
+    /// Producer batch linger window.
+    pub linger: Duration,
+    /// Consumer prefetch queue depth (0 = no prefetch thread).
+    pub prefetch_depth: usize,
 }
 
 impl Default for CellOpts {
@@ -79,7 +85,22 @@ impl Default for CellOpts {
             mode: DeploymentMode::CloudCentric,
             downsample: 4,
             seed: 42,
+            batch_max_bytes: 0,
+            linger: Duration::ZERO,
+            prefetch_depth: 0,
         }
+    }
+}
+
+impl CellOpts {
+    /// Turn on the pipelined transport: batch up to `batch_max_bytes`
+    /// with a 2 ms linger on the producer side and prefetch two batches
+    /// ahead on the consumer side.
+    pub fn pipelined(mut self, batch_max_bytes: usize) -> Self {
+        self.batch_max_bytes = batch_max_bytes;
+        self.linger = Duration::from_millis(2);
+        self.prefetch_depth = 2;
+        self
     }
 }
 
@@ -148,7 +169,10 @@ pub fn run_cell(opts: &CellOpts) -> RunSummary {
         .processors(opts.processors.unwrap_or(opts.devices))
         .mode(opts.mode)
         .link_edge_to_broker(link_eb)
-        .link_broker_to_cloud(link_bc);
+        .link_broker_to_cloud(link_bc)
+        .batch_max_bytes(opts.batch_max_bytes)
+        .linger(opts.linger)
+        .prefetch_depth(opts.prefetch_depth);
     if opts.mode.edge_processing() {
         builder = builder.process_edge_function(downsample_edge_factory(opts.downsample));
     }

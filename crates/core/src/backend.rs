@@ -158,7 +158,7 @@ impl ResourceBackend for BatchQueueBackend {
 }
 
 /// Serverless cloud functions: the pilot abstraction also covers "a Lambda
-/// function" (paper Section II-A; ref. [11] characterises serverless
+/// function" (paper Section II-A; ref. \[11\] characterises serverless
 /// streaming). Provisioning semantics: bounded provider concurrency, a
 /// cold-start penalty for every instance beyond the warm pool, and
 /// near-instant reuse of warm instances.

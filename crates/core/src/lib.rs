@@ -4,7 +4,7 @@
 //! allocates resources on which the application can execute tasks. A pilot
 //! generally refers to a dedicated resource set that an application owns,
 //! e.g., a virtual machine, a job partition (HPC), or a Lambda function"
-//! (paper Section II-A, citing the P* model [10]). The pilot abstraction
+//! (paper Section II-A, citing the P* model \[10\]). The pilot abstraction
 //! *decouples resource and workload management*: acquiring the resource
 //! (step 1 of Fig. 1) is separate from running tasks on it (step 2).
 //!

@@ -49,15 +49,38 @@ const MAGIC_Q16: &[u8; 4] = b"PEB2";
 
 /// Encode under the chosen codec.
 pub fn encode_with(codec: Codec, block: &Block, produced_at_us: u64) -> Bytes {
+    let mut scratch = BytesMut::new();
+    encode_with_into(codec, block, produced_at_us, &mut scratch)
+}
+
+/// [`encode_with`], but writing through a caller-owned scratch buffer (the
+/// producer-side mirror of [`decode_any_into`]): the hot producer loop keeps
+/// one scratch alive across messages so payload encoding stops allocating
+/// once broker retention recycles earlier payloads.
+pub fn encode_with_into(
+    codec: Codec,
+    block: &Block,
+    produced_at_us: u64,
+    scratch: &mut BytesMut,
+) -> Bytes {
     match codec {
-        Codec::F64 => wire::encode(block, produced_at_us),
-        Codec::Q16 => encode_q16(block, produced_at_us),
+        Codec::F64 => wire::encode_into(block, produced_at_us, scratch),
+        Codec::Q16 => encode_q16_into(block, produced_at_us, scratch),
     }
 }
 
 /// Encode with 16-bit fixed-point quantisation.
 pub fn encode_q16(block: &Block, produced_at_us: u64) -> Bytes {
-    let mut buf = BytesMut::with_capacity(Codec::Q16.serialized_size(block.points, block.features));
+    let mut scratch = BytesMut::new();
+    encode_q16_into(block, produced_at_us, &mut scratch)
+}
+
+/// [`encode_q16`] through a caller-owned scratch buffer (see
+/// [`wire::encode_into`]).
+pub fn encode_q16_into(block: &Block, produced_at_us: u64, scratch: &mut BytesMut) -> Bytes {
+    scratch.clear();
+    scratch.reserve(Codec::Q16.serialized_size(block.points, block.features));
+    let buf = &mut *scratch;
     buf.put_slice(MAGIC_Q16);
     buf.put_u64_le(block.msg_id);
     buf.put_u32_le(block.points as u32);
@@ -80,7 +103,7 @@ pub fn encode_q16(block: &Block, produced_at_us: u64) -> Bytes {
         let q = ((v - lo) * scale).round().clamp(0.0, 65_535.0) as u16;
         buf.put_u16_le(q);
     }
-    buf.freeze()
+    scratch.split().freeze()
 }
 
 /// Decode a Q16 buffer.
@@ -229,6 +252,33 @@ mod tests {
         }
         // The second decode reused the f64 buffer's capacity.
         assert!(scratch.data.capacity() >= 50 * 32);
+    }
+
+    #[test]
+    fn encode_with_into_matches_encode_with() {
+        let b = block(50);
+        let mut scratch = BytesMut::new();
+        for codec in [Codec::F64, Codec::Q16] {
+            let via_scratch = encode_with_into(codec, &b, 9, &mut scratch);
+            let owned = encode_with(codec, &b, 9);
+            assert_eq!(via_scratch, owned);
+            // The scratch stays reusable for the next message.
+            assert_eq!(encode_with_into(codec, &b, 9, &mut scratch), owned);
+        }
+    }
+
+    #[test]
+    fn encode_into_reclaims_scratch_after_payload_drop() {
+        // Once the split-off payload is dropped (broker retention trimming
+        // the record), the next encode reuses the backing allocation
+        // instead of allocating afresh.
+        let b = block(100);
+        let mut scratch = BytesMut::new();
+        let first = wire::encode_into(&b, 1, &mut scratch);
+        let first_ptr = first.as_ptr();
+        drop(first);
+        let second = wire::encode_into(&b, 2, &mut scratch);
+        assert_eq!(second.as_ptr(), first_ptr, "allocation was not reclaimed");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! # pilot-datagen — synthetic IoT data generation
 //!
 //! The Pilot-Edge paper generates its experimental data with the *Mini-App*
-//! data generator of Luckow & Jha's StreamML work (paper ref. [11]):
+//! data generator of Luckow & Jha's StreamML work (paper ref. \[11\]):
 //! messages of 25–10,000 points, each point with 32 features of 8 bytes,
 //! giving serialized message sizes of ~7 KB to ~2.6 MB; 512 messages per run.
 //! The data is a Gaussian mixture (the k-means workload uses 25 clusters,
@@ -28,11 +28,13 @@ pub mod rate;
 pub mod wire;
 pub mod workload;
 
-pub use codec::{decode_any, decode_any_into, encode_with, Codec};
+pub use codec::{decode_any, decode_any_into, encode_with, encode_with_into, Codec};
 pub use config::DataGenConfig;
 pub use generator::{Block, DataGenerator};
 pub use rate::RateLimiter;
-pub use wire::{decode, decode_into, encode, serialized_size, WireError, HEADER_BYTES};
+pub use wire::{
+    decode, decode_into, encode, encode_into, serialized_size, WireError, HEADER_BYTES,
+};
 pub use workload::{PatternedRate, RatePattern};
 
 /// The message sizes (points per message) swept by the paper's experiments:

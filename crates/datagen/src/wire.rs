@@ -60,16 +60,29 @@ pub const fn serialized_size(points: usize, features: usize) -> usize {
 /// Encode a block (plus a producer timestamp in µs) into a contiguous buffer.
 /// Ground-truth labels are *not* serialized — they are experiment metadata.
 pub fn encode(block: &Block, produced_at_us: u64) -> Bytes {
-    let mut buf = BytesMut::with_capacity(serialized_size(block.points, block.features));
-    buf.put_slice(MAGIC);
-    buf.put_u64_le(block.msg_id);
-    buf.put_u32_le(block.points as u32);
-    buf.put_u32_le(block.features as u32);
-    buf.put_u64_le(produced_at_us);
+    let mut scratch = BytesMut::new();
+    encode_into(block, produced_at_us, &mut scratch)
+}
+
+/// [`encode`], but writing through a caller-owned scratch buffer — the
+/// producer-side mirror of [`decode_into`]. The scratch is cleared,
+/// `reserve`d (which reclaims its backing allocation once every previously
+/// split-off payload has been dropped, e.g. after broker retention trims
+/// the record), filled, and split off as the frozen payload. A producer
+/// loop holding one long-lived scratch amortizes payload allocation
+/// instead of paying `with_capacity` per message.
+pub fn encode_into(block: &Block, produced_at_us: u64, scratch: &mut BytesMut) -> Bytes {
+    scratch.clear();
+    scratch.reserve(serialized_size(block.points, block.features));
+    scratch.put_slice(MAGIC);
+    scratch.put_u64_le(block.msg_id);
+    scratch.put_u32_le(block.points as u32);
+    scratch.put_u32_le(block.features as u32);
+    scratch.put_u64_le(produced_at_us);
     for &v in &block.data {
-        buf.put_f64_le(v);
+        scratch.put_f64_le(v);
     }
-    buf.freeze()
+    scratch.split().freeze()
 }
 
 /// Decode a buffer produced by [`encode`]. Returns the block (with empty

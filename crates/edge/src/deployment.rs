@@ -1,6 +1,6 @@
 //! Deployment modalities: where processing happens along the continuum.
 //!
-//! The paper (Section II-D and its companion emulation study [8])
+//! The paper (Section II-D and its companion emulation study \[8\])
 //! distinguishes *cloud-centric* deployments — the pattern used for all of
 //! Fig. 3: "we deploy the data generator on the edge and the processing
 //! tasks ... on the cloud" — from *edge* and *hybrid* deployments, which it

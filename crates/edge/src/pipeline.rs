@@ -57,6 +57,27 @@ pub struct PipelineConfig {
     /// sequential and a multi-core pilot parallelises the ML hot path.
     /// Results are bit-identical at any width (see `pilot_dataflow::pool`).
     pub compute_threads: Option<usize>,
+    /// Producer batching threshold in encoded bytes. `0` (the default)
+    /// disables the batcher entirely: each message pays its own blocking
+    /// edge→broker transfer, exactly as before. Any positive value turns
+    /// on the pipelined transport: encoded messages accumulate until their
+    /// summed size reaches this threshold (or [`Self::linger`] expires),
+    /// then ship over one link reservation whose flight time overlaps the
+    /// encoding of the next batch. Batches pay propagation once.
+    pub batch_max_bytes: usize,
+    /// How long the first message of a producer batch may wait for
+    /// batch-mates before the batch ships anyway (the `linger.ms` of
+    /// Kafka's producer). `Duration::ZERO` (the default) ships every
+    /// message immediately on its own reservation — still pipelined when
+    /// `batch_max_bytes > 0`, just without coalescing.
+    pub linger: Duration,
+    /// Batches each consumer fetches ahead of processing. `0` (the
+    /// default) disables prefetch: the consumer pays the broker→cloud
+    /// transfer inline between fetch and process, exactly as before. Any
+    /// positive value moves fetch + transfer onto a per-consumer prefetch
+    /// thread with a queue of this depth (backpressure), so batch N+1
+    /// crosses the WAN while batch N is processed.
+    pub prefetch_depth: usize,
 }
 
 impl Default for PipelineConfig {
@@ -72,6 +93,9 @@ impl Default for PipelineConfig {
             retention: RetentionPolicy::default(),
             codec: pilot_datagen::Codec::F64,
             compute_threads: None,
+            batch_max_bytes: 0,
+            linger: Duration::ZERO,
+            prefetch_depth: 0,
         }
     }
 }
@@ -259,6 +283,28 @@ impl EdgeToCloudPipeline {
     /// path fully sequential; scores are bit-identical either way.
     pub fn compute_threads(mut self, n: usize) -> Self {
         self.config.compute_threads = Some(n);
+        self
+    }
+
+    /// Producer batching threshold in encoded bytes (0 = off, the
+    /// default). See [`PipelineConfig::batch_max_bytes`].
+    pub fn batch_max_bytes(mut self, bytes: usize) -> Self {
+        self.config.batch_max_bytes = bytes;
+        self
+    }
+
+    /// Max time the first message of a producer batch waits for
+    /// batch-mates (only meaningful with `batch_max_bytes > 0`). See
+    /// [`PipelineConfig::linger`].
+    pub fn linger(mut self, linger: Duration) -> Self {
+        self.config.linger = linger;
+        self
+    }
+
+    /// Batches each consumer prefetches ahead of processing (0 = off, the
+    /// default). See [`PipelineConfig::prefetch_depth`].
+    pub fn prefetch_depth(mut self, depth: usize) -> Self {
+        self.config.prefetch_depth = depth;
         self
     }
 

@@ -22,6 +22,18 @@
 //! its stream ends; a partition is complete once its sentinel is consumed;
 //! the run is complete when every partition is.
 //!
+//! **Pipelined transport** (off by default; see
+//! [`PipelineConfig::batch_max_bytes`] and
+//! [`PipelineConfig::prefetch_depth`]): producers batch encoded messages
+//! and ship each batch over one non-blocking link reservation, completing
+//! the previous batch (wait + per-message append) while the next one is
+//! encoding; consumers move fetch + broker→cloud transfer onto a bounded
+//! prefetch thread so batch N+1 crosses the WAN while batch N is in
+//! `process_cloud`. Per-message metric spans are preserved in both modes:
+//! every message of a batch gets its own Network/Broker/CloudProcessor
+//! spans (network spans share the batch's wall-clock window, carrying the
+//! message's own byte count).
+//!
 //! **Adaptation** (paper Section II-D): [`RunningPipeline::replace_cloud_function`]
 //! hot-swaps the processing function (consumers re-instantiate on the next
 //! message); [`RunningPipeline::scale_processors`] grows or shrinks the
@@ -37,9 +49,10 @@ use pilot_core::Pilot;
 use pilot_dataflow::{Client, Payload, Resources, TaskFuture};
 use pilot_datagen::RateLimiter;
 use pilot_metrics::{Component, MetricsRegistry, PipelineReport};
-use pilot_netsim::Link;
-use std::collections::HashSet;
+use pilot_netsim::{Link, Reservation};
+use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -85,6 +98,95 @@ impl Shared {
     }
 }
 
+/// An encoded message waiting inside (or in flight with) a producer batch.
+struct PendingMsg {
+    payload: Bytes,
+    mid: u64,
+    t0: u64,
+}
+
+/// A producer batch whose link reservation is in flight: the reservation's
+/// deadline, the batch's network-span start, and the messages aboard.
+struct InFlightBatch {
+    reservation: Reservation,
+    net_start_us: u64,
+    msgs: Vec<PendingMsg>,
+}
+
+/// Ship the accumulated batch over one link reservation (non-blocking) and
+/// complete older batches so at most one stays in flight — the double
+/// buffer: the batch in flight crosses the link while the caller encodes
+/// the next one.
+fn flush_batch(
+    shared: &Shared,
+    device: usize,
+    pending: &mut Vec<PendingMsg>,
+    in_flight: &mut VecDeque<InFlightBatch>,
+) -> Result<(), String> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    let metrics = shared.metrics();
+    let sizes: Vec<u64> = pending.iter().map(|m| m.payload.len() as u64).collect();
+    let net_start_us = metrics.now_us();
+    let reservation = shared.link_edge_broker.reserve_batch(&sizes);
+    in_flight.push_back(InFlightBatch {
+        reservation,
+        net_start_us,
+        msgs: std::mem::take(pending),
+    });
+    while in_flight.len() > 1 {
+        complete_oldest_batch(shared, device, in_flight)?;
+    }
+    Ok(())
+}
+
+/// Wait out the oldest in-flight batch's reservation, then append its
+/// messages individually (offsets and ordering as in the serial path) with
+/// per-message Network and Broker spans.
+fn complete_oldest_batch(
+    shared: &Shared,
+    device: usize,
+    in_flight: &mut VecDeque<InFlightBatch>,
+) -> Result<(), String> {
+    let Some(batch) = in_flight.pop_front() else {
+        return Ok(());
+    };
+    let ctx = &shared.ctx;
+    let metrics = shared.metrics();
+    batch.reservation.wait();
+    let net_end_us = metrics.now_us();
+    for msg in batch.msgs {
+        let bytes = msg.payload.len() as u64;
+        metrics.record(
+            ctx.job_id,
+            msg.mid,
+            Component::Network(shared.link_edge_broker.name().to_string()),
+            batch.net_start_us,
+            net_end_us,
+            bytes,
+        );
+        let b0 = metrics.now_us();
+        shared
+            .broker
+            .append(
+                &shared.topic,
+                device,
+                Record::new(msg.payload).with_timestamp(msg.t0),
+            )
+            .map_err(|e| e.to_string())?;
+        metrics.record(
+            ctx.job_id,
+            msg.mid,
+            Component::Broker,
+            b0,
+            metrics.now_us(),
+            bytes,
+        );
+    }
+    Ok(())
+}
+
 /// One edge device's producing loop. Returns messages produced.
 fn producer_loop(shared: &Shared, device: usize, builder_fns: &ProducerFns) -> Result<u64, String> {
     let ctx = &shared.ctx;
@@ -97,6 +199,15 @@ fn producer_loop(shared: &Shared, device: usize, builder_fns: &ProducerFns) -> R
     };
     let mut rate = RateLimiter::new(shared.cfg.rate_per_device);
     let mut sent = 0u64;
+    // One long-lived encode scratch per producer: every message encodes
+    // through it (`encode_with_into`), the producer-side mirror of the
+    // consumer's decode scratch — steady state allocates nothing.
+    let mut enc_scratch = bytes::BytesMut::new();
+    let batching = shared.cfg.batch_max_bytes > 0;
+    let mut pending: Vec<PendingMsg> = Vec::new();
+    let mut pending_bytes = 0usize;
+    let mut batch_open: Option<Instant> = None;
+    let mut in_flight: VecDeque<InFlightBatch> = VecDeque::new();
     while !shared.stop_all.load(Ordering::Relaxed) {
         rate.pace();
         let t0 = metrics.now_us();
@@ -124,7 +235,8 @@ fn producer_loop(shared: &Shared, device: usize, builder_fns: &ProducerFns) -> R
             }
             None => block,
         };
-        let payload = pilot_datagen::encode_with(shared.cfg.codec, &block, t0);
+        let payload =
+            pilot_datagen::encode_with_into(shared.cfg.codec, &block, t0, &mut enc_scratch);
         let bytes = payload.len() as u64;
         metrics.record(
             ctx.job_id,
@@ -134,36 +246,58 @@ fn producer_loop(shared: &Shared, device: usize, builder_fns: &ProducerFns) -> R
             metrics.now_us(),
             bytes,
         );
-        // Edge → broker transport.
-        let n0 = metrics.now_us();
-        shared.link_edge_broker.transfer(bytes);
-        metrics.record(
-            ctx.job_id,
-            mid,
-            Component::Network(shared.link_edge_broker.name().to_string()),
-            n0,
-            metrics.now_us(),
-            bytes,
-        );
-        // Broker append (service time).
-        let b0 = metrics.now_us();
-        shared
-            .broker
-            .append(
-                &shared.topic,
-                device,
-                Record::new(payload).with_timestamp(t0),
-            )
-            .map_err(|e| e.to_string())?;
-        metrics.record(
-            ctx.job_id,
-            mid,
-            Component::Broker,
-            b0,
-            metrics.now_us(),
-            bytes,
-        );
+        if batching {
+            // Pipelined path: accumulate; ship when the batch is full or
+            // its linger window closed. The reservation completes (and the
+            // messages append) while later messages encode.
+            pending_bytes += payload.len();
+            pending.push(PendingMsg { payload, mid, t0 });
+            let opened = *batch_open.get_or_insert_with(Instant::now);
+            if pending_bytes >= shared.cfg.batch_max_bytes || opened.elapsed() >= shared.cfg.linger
+            {
+                flush_batch(shared, device, &mut pending, &mut in_flight)?;
+                pending_bytes = 0;
+                batch_open = None;
+            }
+        } else {
+            // Serial path (the default): every message pays its own
+            // blocking edge → broker transfer.
+            let n0 = metrics.now_us();
+            shared.link_edge_broker.transfer(bytes);
+            metrics.record(
+                ctx.job_id,
+                mid,
+                Component::Network(shared.link_edge_broker.name().to_string()),
+                n0,
+                metrics.now_us(),
+                bytes,
+            );
+            // Broker append (service time).
+            let b0 = metrics.now_us();
+            shared
+                .broker
+                .append(
+                    &shared.topic,
+                    device,
+                    Record::new(payload).with_timestamp(t0),
+                )
+                .map_err(|e| e.to_string())?;
+            metrics.record(
+                ctx.job_id,
+                mid,
+                Component::Broker,
+                b0,
+                metrics.now_us(),
+                bytes,
+            );
+        }
         sent += 1;
+    }
+    // Drain the batcher: everything accumulated or in flight must land in
+    // the partition before the sentinel.
+    flush_batch(shared, device, &mut pending, &mut in_flight)?;
+    while !in_flight.is_empty() {
+        complete_oldest_batch(shared, device, &mut in_flight)?;
     }
     // End-of-stream sentinel for this partition.
     shared
@@ -173,10 +307,84 @@ fn producer_loop(shared: &Shared, device: usize, builder_fns: &ProducerFns) -> R
     Ok(sent)
 }
 
-/// One consumer member's processing loop. Returns messages processed.
-fn consumer_loop(shared: &Shared, member: String, stop: &AtomicBool) -> Result<u64, String> {
+/// Decode one non-sentinel record and run the cloud function on it,
+/// recording the Network span over `[net_start_us, net_end_us]` (the
+/// record's transfer window — per-batch wall clock under prefetch) and a
+/// CloudProcessor span covering decode + invoke. Returns 1 on success,
+/// 0 when the invocation failed (the error span is recorded; the stream
+/// continues — fault isolation).
+#[allow(clippy::too_many_arguments)]
+fn process_record(
+    shared: &Shared,
+    partition: usize,
+    record: &Record,
+    net_start_us: u64,
+    net_end_us: u64,
+    func: &mut CloudFn,
+    scratch: &mut pilot_datagen::Block,
+) -> Result<u64, String> {
     let ctx = &shared.ctx;
     let metrics = shared.metrics();
+    let bytes = record.value.len() as u64;
+    // Cloud processing: deserialization is part of the processing service
+    // time (it is what the paper's Dask consumer tasks spend their floor
+    // cost on).
+    let p0 = metrics.now_us();
+    let _produced_at = match pilot_datagen::decode_any_into(&record.value, scratch) {
+        Ok(v) => v,
+        Err(e) => {
+            ctx.counter("decode_errors").incr();
+            return Err(format!("wire decode failed: {e}"));
+        }
+    };
+    let mid = metric_msg_id(partition, scratch.msg_id);
+    metrics.record(
+        ctx.job_id,
+        mid,
+        Component::Network(shared.link_broker_cloud.name().to_string()),
+        net_start_us,
+        net_end_us,
+        bytes,
+    );
+    match func(ctx, scratch) {
+        Ok(_outcome) => {
+            metrics.record(
+                ctx.job_id,
+                mid,
+                Component::CloudProcessor,
+                p0,
+                metrics.now_us(),
+                bytes,
+            );
+            ctx.counter("messages_processed").incr();
+            Ok(1)
+        }
+        Err(msg) => {
+            metrics.record_span(pilot_metrics::Span {
+                job_id: ctx.job_id,
+                msg_id: mid,
+                component: Component::CloudProcessor,
+                start_us: p0,
+                end_us: metrics.now_us(),
+                bytes,
+                error: true,
+            });
+            ctx.counter("process_errors").incr();
+            // A failing function invocation is recorded and the stream
+            // continues — one bad message must not kill the processor
+            // (fault isolation).
+            let _ = msg;
+            Ok(0)
+        }
+    }
+}
+
+/// One consumer member's processing loop. Returns messages processed.
+fn consumer_loop(shared: &Arc<Shared>, member: String, stop: &AtomicBool) -> Result<u64, String> {
+    if shared.cfg.prefetch_depth > 0 {
+        return consumer_loop_prefetch(shared, member, stop);
+    }
+    let ctx = &shared.ctx;
     let group = format!("pilot-edge-{}", ctx.job_id);
     // Membership is registered synchronously at spawn time (see
     // `spawn_consumer`) so steady-state runs see no startup rebalances and
@@ -196,6 +404,11 @@ fn consumer_loop(shared: &Shared, member: String, stop: &AtomicBool) -> Result<u
     // the paper's 2.6 MB messages — the data Vec reaches its high-water
     // capacity after the first message and is reused thereafter.
     let mut scratch = pilot_datagen::Block::default();
+    // Rotating start index so the blocking poll (and fetch priority) moves
+    // round-robin across assigned partitions instead of always favouring
+    // the first — without this, partition `live[0]` drains ahead of the
+    // rest whenever one consumer owns several partitions.
+    let mut rr = 0usize;
 
     while !stop.load(Ordering::Relaxed)
         && !shared.stop_all.load(Ordering::Relaxed)
@@ -231,9 +444,9 @@ fn consumer_loop(shared: &Shared, member: String, stop: &AtomicBool) -> Result<u
             std::thread::sleep(shared.cfg.poll_timeout);
             continue;
         }
-        let mut got_any = false;
-        for (i, &p) in live.iter().enumerate() {
-            let timeout = if i == 0 && !got_any {
+        for k in 0..live.len() {
+            let p = live[(rr + k) % live.len()];
+            let timeout = if k == 0 {
                 shared.cfg.poll_timeout
             } else {
                 Duration::ZERO
@@ -241,74 +454,222 @@ fn consumer_loop(shared: &Shared, member: String, stop: &AtomicBool) -> Result<u
             let records = consumer
                 .poll_partition(p, shared.cfg.fetch_max, timeout)
                 .map_err(|e| e.to_string())?;
+            let metrics = shared.metrics();
             for record in records {
-                got_any = true;
                 if record.value.is_empty() {
                     shared.mark_partition_done(p);
                     continue;
                 }
-                let bytes = record.value.len() as u64;
-                // Broker → cloud transport.
+                // Broker → cloud transport, paid inline.
                 let n0 = metrics.now_us();
-                shared.link_broker_cloud.transfer(bytes);
+                shared.link_broker_cloud.transfer(record.value.len() as u64);
                 let n1 = metrics.now_us();
-                // Cloud processing: deserialization is part of the
-                // processing service time (it is what the paper's Dask
-                // consumer tasks spend their floor cost on).
-                let _produced_at = match pilot_datagen::decode_any_into(&record.value, &mut scratch)
-                {
-                    Ok(v) => v,
-                    Err(e) => {
-                        ctx.counter("decode_errors").incr();
-                        return Err(format!("wire decode failed: {e}"));
-                    }
-                };
-                let mid = metric_msg_id(p, scratch.msg_id);
-                metrics.record(
-                    ctx.job_id,
-                    mid,
-                    Component::Network(shared.link_broker_cloud.name().to_string()),
-                    n0,
-                    n1,
-                    bytes,
-                );
-                match func(ctx, &scratch) {
-                    Ok(_outcome) => {
-                        metrics.record(
-                            ctx.job_id,
-                            mid,
-                            Component::CloudProcessor,
-                            n1,
-                            metrics.now_us(),
-                            bytes,
-                        );
-                        processed += 1;
-                        ctx.counter("messages_processed").incr();
-                    }
-                    Err(msg) => {
-                        metrics.record_span(pilot_metrics::Span {
-                            job_id: ctx.job_id,
-                            msg_id: mid,
-                            component: Component::CloudProcessor,
-                            start_us: n1,
-                            end_us: metrics.now_us(),
-                            bytes,
-                            error: true,
-                        });
-                        ctx.counter("process_errors").incr();
-                        // A failing function invocation is recorded and the
-                        // stream continues — one bad message must not kill
-                        // the processor (fault isolation).
-                        let _ = msg;
-                    }
-                }
+                processed += process_record(shared, p, &record, n0, n1, &mut func, &mut scratch)?;
             }
             consumer.commit();
         }
+        rr = rr.wrapping_add(1);
     }
     consumer.commit();
     shared.coordinator.leave(&member);
     Ok(processed)
+}
+
+/// A consumer batch fetched (and transferred) ahead by the prefetch
+/// thread: records of one partition plus the wall-clock window their
+/// shared broker→cloud transfer occupied.
+struct FetchedBatch {
+    partition: usize,
+    records: Vec<Record>,
+    net_start_us: u64,
+    net_end_us: u64,
+}
+
+/// The prefetch thread: owns the `Consumer`, handles rebalances, polls
+/// partitions round-robin, pays the broker→cloud transfer per batch (one
+/// reservation, propagation charged once), and hands completed batches to
+/// the processing loop through a depth-bounded queue (send blocks when the
+/// processor is `prefetch_depth` batches behind — backpressure). Errors
+/// travel through the same queue.
+fn prefetch_loop(
+    shared: &Shared,
+    member: &str,
+    quit: &AtomicBool,
+    tx: &mpsc::SyncSender<Result<FetchedBatch, String>>,
+) {
+    let group = format!("pilot-edge-{}", shared.ctx.job_id);
+    let (mut my_gen, mut parts) = shared
+        .coordinator
+        .assignment(member)
+        .unwrap_or_else(|| shared.coordinator.join(member));
+    let mut consumer = match Consumer::new(shared.broker.clone(), &shared.topic, &group, &parts) {
+        Ok(c) => c,
+        Err(e) => {
+            let _ = tx.send(Err(e.to_string()));
+            return;
+        }
+    };
+    let metrics = shared.metrics();
+    let mut rr = 0usize;
+    // Partitions whose sentinel this thread already forwarded: stop
+    // polling them even before the processing loop marks them done.
+    let mut sentinel_sent: HashSet<usize> = HashSet::new();
+    while !quit.load(Ordering::Relaxed)
+        && !shared.stop_all.load(Ordering::Relaxed)
+        && !shared.all_partitions_done()
+    {
+        if shared.coordinator.generation() != my_gen {
+            match shared.coordinator.assignment(member) {
+                Some((g, p)) => {
+                    my_gen = g;
+                    parts = p;
+                    consumer =
+                        match Consumer::new(shared.broker.clone(), &shared.topic, &group, &parts) {
+                            Ok(c) => c,
+                            Err(e) => {
+                                let _ = tx.send(Err(e.to_string()));
+                                return;
+                            }
+                        };
+                    // Redelivery after a rebalance may replay a sentinel.
+                    sentinel_sent.clear();
+                }
+                None => break,
+            }
+        }
+        let live: Vec<usize> = parts
+            .iter()
+            .copied()
+            .filter(|&p| !shared.partition_done(p) && !sentinel_sent.contains(&p))
+            .collect();
+        if live.is_empty() {
+            std::thread::sleep(shared.cfg.poll_timeout);
+            continue;
+        }
+        for k in 0..live.len() {
+            let p = live[(rr + k) % live.len()];
+            let timeout = if k == 0 {
+                shared.cfg.poll_timeout
+            } else {
+                Duration::ZERO
+            };
+            let records = match consumer.poll_partition(p, shared.cfg.fetch_max, timeout) {
+                Ok(r) => r,
+                Err(e) => {
+                    let _ = tx.send(Err(e.to_string()));
+                    return;
+                }
+            };
+            if records.is_empty() {
+                continue;
+            }
+            // Pay the broker → cloud transfer for the whole batch while
+            // the processing loop chews on earlier batches: one
+            // reservation, transit for the summed bytes, propagation once.
+            let sizes: Vec<u64> = records
+                .iter()
+                .filter(|r| !r.value.is_empty())
+                .map(|r| r.value.len() as u64)
+                .collect();
+            let net_start_us = metrics.now_us();
+            if !sizes.is_empty() {
+                shared.link_broker_cloud.reserve_batch(&sizes).wait();
+            }
+            let net_end_us = metrics.now_us();
+            if records.iter().any(|r| r.value.is_empty()) {
+                sentinel_sent.insert(p);
+            }
+            let batch = FetchedBatch {
+                partition: p,
+                records,
+                net_start_us,
+                net_end_us,
+            };
+            if tx.send(Ok(batch)).is_err() {
+                // Processing loop exited; offsets stay uncommitted so a
+                // successor redelivers (at-least-once).
+                return;
+            }
+            // Commit only after the batch is safely queued.
+            consumer.commit();
+        }
+        rr = rr.wrapping_add(1);
+    }
+    consumer.commit();
+}
+
+/// Prefetching variant of [`consumer_loop`]: a dedicated thread fetches
+/// and transfers batch N+1 while this loop decodes and processes batch N,
+/// overlapping WAN flight time with compute.
+fn consumer_loop_prefetch(
+    shared: &Arc<Shared>,
+    member: String,
+    stop: &AtomicBool,
+) -> Result<u64, String> {
+    let ctx = &shared.ctx;
+    let (tx, rx) = mpsc::sync_channel(shared.cfg.prefetch_depth);
+    let quit = Arc::new(AtomicBool::new(false));
+    let fetcher = {
+        let shared2 = Arc::clone(shared);
+        let member2 = member.clone();
+        let quit2 = Arc::clone(&quit);
+        std::thread::spawn(move || prefetch_loop(&shared2, &member2, &quit2, &tx))
+    };
+    let (mut fn_gen, factory) = shared.cloud_slot.current();
+    let mut func: CloudFn = factory(ctx);
+    let mut processed = 0u64;
+    let mut scratch = pilot_datagen::Block::default();
+    let result = loop {
+        if stop.load(Ordering::Relaxed)
+            || shared.stop_all.load(Ordering::Relaxed)
+            || shared.all_partitions_done()
+        {
+            break Ok(());
+        }
+        match rx.recv_timeout(shared.cfg.poll_timeout) {
+            Ok(Ok(batch)) => {
+                // Hot-swapped processing function?
+                let (g, factory) = shared.cloud_slot.current();
+                if g != fn_gen {
+                    fn_gen = g;
+                    func = factory(ctx);
+                }
+                let mut failed = None;
+                for record in &batch.records {
+                    if record.value.is_empty() {
+                        shared.mark_partition_done(batch.partition);
+                        continue;
+                    }
+                    match process_record(
+                        shared,
+                        batch.partition,
+                        record,
+                        batch.net_start_us,
+                        batch.net_end_us,
+                        &mut func,
+                        &mut scratch,
+                    ) {
+                        Ok(n) => processed += n,
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                }
+                if let Some(e) = failed {
+                    break Err(e);
+                }
+            }
+            Ok(Err(e)) => break Err(e),
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break Ok(()),
+        }
+    };
+    quit.store(true, Ordering::Relaxed);
+    drop(rx); // unblocks a fetcher parked on a full queue
+    let _ = fetcher.join();
+    shared.coordinator.leave(&member);
+    result.map(|()| processed)
 }
 
 /// Factories captured for producer tasks.

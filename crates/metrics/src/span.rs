@@ -97,7 +97,8 @@ impl Span {
 
 /// Builder for a span whose end time is not yet known. Obtain one from
 /// [`crate::MetricsRegistry::start_span`], then call
-/// [`SpanBuilder::finish`] (or [`SpanBuilder::fail`]) when the work is done.
+/// [`MetricsRegistry::finish`](crate::MetricsRegistry::finish) (or
+/// [`MetricsRegistry::fail`](crate::MetricsRegistry::fail)) when the work is done.
 #[derive(Debug)]
 pub struct SpanBuilder {
     pub(crate) job_id: JobId,

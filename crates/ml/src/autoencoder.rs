@@ -227,7 +227,7 @@ impl AutoEncoder {
     /// Reconstruct a batch (the final activation of the forward pass).
     ///
     /// Rows are fanned out over the pool in fixed chunks of
-    /// [`FORWARD_CHUNK`]; per-row independence of the dense layers makes the
+    /// `FORWARD_CHUNK`; per-row independence of the dense layers makes the
     /// chunked result bit-identical to a single full-batch pass.
     pub fn reconstruct(&self, data: &Dataset<'_>) -> Vec<f64> {
         assert_eq!(data.cols(), self.config.features, "feature mismatch");

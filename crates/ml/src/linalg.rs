@@ -3,7 +3,7 @@
 //! Only what backpropagation through small dense layers needs: row-major
 //! GEMM in the three transpose configurations, plus a handful of
 //! element-wise helpers. The GEMMs are cache-blocked: loops are tiled by
-//! [`BLOCK`] so the working set of each tile (a block of A, a block of B,
+//! `BLOCK` so the working set of each tile (a block of A, a block of B,
 //! and the touched C rows) stays resident while it is reused, which is what
 //! keeps the 1000-row per-message batches from thrashing once matrices stop
 //! fitting in L1.

@@ -24,7 +24,10 @@
 //! * [`LinkSpec`] / [`Link`] — a shared, thread-safe simulated link. Calling
 //!   [`Link::transfer`] blocks the caller for the simulated duration and
 //!   returns a [`TransferReceipt`] describing queueing, transit, and
-//!   propagation components.
+//!   propagation components. [`Link::reserve`] / [`Link::reserve_batch`]
+//!   split a transfer into a non-blocking FIFO reservation and a deferred
+//!   [`Reservation::wait`], so pipelined transports can overlap flight time
+//!   with compute (batches pay propagation once).
 //! * [`Site`] / [`Topology`] — named sites with tiers (edge/fog/cloud/HPC)
 //!   and links between them, including multi-hop routing for the paper's
 //!   future-work "arbitrary topologies" extension.
@@ -39,7 +42,7 @@ pub mod site;
 pub mod topology;
 
 pub use delay::Delay;
-pub use link::{Link, LinkSpec, TransferReceipt};
+pub use link::{Link, LinkSpec, Reservation, TransferReceipt};
 pub use outage::{FlakyLink, Outage};
 pub use site::{Site, SiteId, Tier};
 pub use topology::Topology;

@@ -16,6 +16,16 @@
 //! total, so pipelines built on the simulator experience real backpressure —
 //! which is what makes the throughput crossovers of Fig. 3 emerge rather
 //! than being computed.
+//!
+//! For pipelined transports, [`Link::reserve`] splits a transfer into a
+//! non-blocking **reservation** (which charges the FIFO capacity horizon
+//! immediately and fixes the completion deadline) and a separate
+//! [`Reservation::wait`]. A sender can therefore overlap encoding or
+//! processing with in-flight transfers while the link still applies exact
+//! queueing/backpressure. [`Link::reserve_batch`] additionally amortizes
+//! propagation: a batch pays transit for the summed bytes but propagation
+//! only once — the simulated equivalent of Kafka's `linger.ms`/`batch.size`
+//! producer batching.
 
 use crate::delay::Delay;
 use parking_lot::Mutex;
@@ -99,6 +109,58 @@ struct LinkState {
     rng: StdRng,
 }
 
+/// A non-blocking claim on link capacity: the transfer's place in the FIFO
+/// queue and its completion deadline are fixed at [`Link::reserve`] time;
+/// the caller decides when (and whether) to block via [`Reservation::wait`].
+///
+/// Dropping a reservation without waiting does **not** release the reserved
+/// capacity — the bytes were committed to the pipe, exactly as a real NIC
+/// send queue would have accepted them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reservation {
+    /// Time the transfer spends queued behind earlier reservations.
+    pub queueing: Duration,
+    /// Serialization time: bytes ÷ sampled bandwidth.
+    pub transit: Duration,
+    /// Propagation latency sample (once per reservation).
+    pub propagation: Duration,
+    /// Wall-clock instant at which the transfer completes (delivery).
+    deadline: Instant,
+}
+
+impl Reservation {
+    /// The instant the transfer completes (queueing + transit + propagation
+    /// past the reservation call).
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+
+    /// Whether the simulated transfer has already completed.
+    pub fn is_complete(&self) -> bool {
+        Instant::now() >= self.deadline
+    }
+
+    /// The receipt this reservation resolves to.
+    pub fn receipt(&self) -> TransferReceipt {
+        TransferReceipt {
+            queueing: self.queueing,
+            transit: self.transit,
+            propagation: self.propagation,
+        }
+    }
+
+    /// Block until the transfer completes. Work done between `reserve` and
+    /// `wait` overlaps with the simulated flight time — only the remainder
+    /// is slept off.
+    pub fn wait(self) -> TransferReceipt {
+        let now = Instant::now();
+        if self.deadline > now {
+            std::thread::sleep(self.deadline - now);
+        }
+        self.receipt()
+    }
+}
+
 /// # Example
 ///
 /// ```
@@ -179,34 +241,45 @@ impl Link {
         (transit, propagation)
     }
 
-    /// Transfer `bytes` over the link, blocking the calling thread for the
-    /// simulated duration (queueing + transit + propagation). Returns a
-    /// receipt describing the cost components.
-    pub fn transfer(&self, bytes: u64) -> TransferReceipt {
+    /// Reserve capacity for `bytes` without blocking. The transfer's FIFO
+    /// position is claimed now (later reservations queue behind it); the
+    /// returned [`Reservation`] carries the completion deadline. One
+    /// bandwidth sample and one propagation sample are drawn, in the same
+    /// order as [`Link::transfer`], so a `reserve` + `wait` pair is
+    /// schedule-identical to a blocking transfer.
+    pub fn reserve(&self, bytes: u64) -> Reservation {
         let now = Instant::now();
-        let (queueing, transit, propagation) = {
-            let mut st = self.state.lock();
-            let (transit, propagation) = self.sample_costs(bytes, &mut st.rng);
-            // FIFO reservation of the pipe: transit consumes capacity,
-            // propagation does not.
-            let start = st.next_free.max(now);
-            st.next_free = start + transit;
-            (start.duration_since(now), transit, propagation)
-        };
-        let total = queueing + transit + propagation;
-        if total > Duration::ZERO {
-            // Sleep off whatever simulated time has not already elapsed
-            // while we held the lock.
-            let elapsed = now.elapsed();
-            if total > elapsed {
-                std::thread::sleep(total - elapsed);
-            }
-        }
-        TransferReceipt {
-            queueing,
+        let mut st = self.state.lock();
+        let (transit, propagation) = self.sample_costs(bytes, &mut st.rng);
+        // FIFO reservation of the pipe: transit consumes capacity,
+        // propagation does not.
+        let start = st.next_free.max(now);
+        st.next_free = start + transit;
+        Reservation {
+            queueing: start.duration_since(now),
             transit,
             propagation,
+            deadline: start + transit + propagation,
         }
+    }
+
+    /// Reserve capacity for a batch of messages shipped back-to-back: one
+    /// bandwidth sample, transit charged for the **summed** bytes, and
+    /// propagation charged **once** for the whole batch (the messages share
+    /// the wire like one framed send, which is how producer batching
+    /// amortizes WAN latency). A one-element batch draws the same RNG
+    /// samples as [`Link::reserve`] of that size.
+    pub fn reserve_batch(&self, sizes: &[u64]) -> Reservation {
+        let total: u64 = sizes.iter().sum();
+        self.reserve(total)
+    }
+
+    /// Transfer `bytes` over the link, blocking the calling thread for the
+    /// simulated duration (queueing + transit + propagation). Returns a
+    /// receipt describing the cost components. Equivalent to
+    /// `reserve(bytes).wait()`.
+    pub fn transfer(&self, bytes: u64) -> TransferReceipt {
+        self.reserve(bytes).wait()
     }
 
     /// Observed one-way latency for a zero-byte probe (an `iPerf`-style
@@ -308,6 +381,121 @@ mod tests {
         };
         // 1 MB at mean 80 Mbit/s = 0.1 s + 0.075 s latency.
         assert!((spec.expected_secs(1_000_000) - 0.175).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reserve_matches_transfer_schedule() {
+        // A seeded link driven by reserve+wait must produce the exact same
+        // receipts as the same link driven by blocking transfers.
+        let mk = || {
+            LinkSpec {
+                name: "wan".into(),
+                latency: Delay::UniformMs {
+                    min_ms: 1.0,
+                    max_ms: 2.0,
+                },
+                bw_min_bps: 4e9,
+                bw_max_bps: 8e9,
+                seed: 99,
+            }
+            .build()
+        };
+        let (a, b) = (mk(), mk());
+        for _ in 0..5 {
+            let via_reserve = a.reserve(100_000).wait();
+            let via_transfer = b.transfer(100_000);
+            assert_eq!(via_reserve.transit, via_transfer.transit);
+            assert_eq!(via_reserve.propagation, via_transfer.propagation);
+        }
+    }
+
+    #[test]
+    fn reservations_queue_fifo() {
+        // Three back-to-back reservations on an idle pipe: each queues
+        // behind the previous one's transit, and deadlines are ordered.
+        let l = LinkSpec::fixed("t", 0.0, 160e6).build(); // 1 MB = 0.05 s
+        let r1 = l.reserve(1_000_000);
+        let r2 = l.reserve(1_000_000);
+        let r3 = l.reserve(1_000_000);
+        assert!(r1.queueing < Duration::from_millis(5));
+        assert!(
+            r2.queueing >= Duration::from_millis(45),
+            "{:?}",
+            r2.queueing
+        );
+        assert!(
+            r3.queueing >= Duration::from_millis(95),
+            "{:?}",
+            r3.queueing
+        );
+        assert!(r1.deadline() < r2.deadline() && r2.deadline() < r3.deadline());
+        // Waiting out of order still resolves to the FIFO deadlines.
+        let t3 = r3.wait();
+        assert!(r1.is_complete() && r2.is_complete());
+        assert!(t3.queueing >= Duration::from_millis(95));
+    }
+
+    #[test]
+    fn reserve_overlaps_compute_with_flight() {
+        // Work done between reserve and wait is absorbed by the flight
+        // time: the wait itself only sleeps the remainder.
+        let l = LinkSpec::fixed("t", 40.0, f64::INFINITY).build();
+        let r = l.reserve(1_000);
+        std::thread::sleep(Duration::from_millis(20)); // overlapped "compute"
+        let start = Instant::now();
+        r.wait();
+        let waited = start.elapsed();
+        assert!(waited < Duration::from_millis(35), "waited {waited:?}");
+    }
+
+    #[test]
+    fn batch_charges_propagation_once() {
+        let l = LinkSpec::fixed("t", 50.0, 80e6).build();
+        // 4 × 1 MB batched: transit for 4 MB, one 50 ms propagation.
+        let r = l.reserve_batch(&[1_000_000; 4]);
+        assert!((r.transit.as_secs_f64() - 0.4).abs() < 1e-6);
+        assert!((r.propagation.as_secs_f64() - 0.05).abs() < 1e-9);
+        // Serial equivalent pays propagation four times.
+        let serial = LinkSpec::fixed("t", 50.0, 80e6).build();
+        let mut total = Duration::ZERO;
+        for _ in 0..4 {
+            let r = serial.reserve(1_000_000);
+            total += r.transit + r.propagation;
+        }
+        assert!(total > r.transit + r.propagation + Duration::from_millis(100));
+    }
+
+    #[test]
+    fn seeded_reservations_are_reproducible() {
+        // Identical seeds + identical reservation sequences → identical
+        // transfer schedules (transit and propagation of every message),
+        // whether issued per message or per batch.
+        let mk = || {
+            LinkSpec {
+                name: "wan".into(),
+                latency: Delay::UniformMs {
+                    min_ms: 70.0,
+                    max_ms: 80.0,
+                },
+                bw_min_bps: 60e6,
+                bw_max_bps: 100e6,
+                seed: 4242,
+            }
+            .build()
+        };
+        let (a, b) = (mk(), mk());
+        for i in 0..10 {
+            let (ra, rb) = if i % 2 == 0 {
+                (a.reserve(1 << 18), b.reserve(1 << 18))
+            } else {
+                (
+                    a.reserve_batch(&[1 << 16; 8]),
+                    b.reserve_batch(&[1 << 16; 8]),
+                )
+            };
+            assert_eq!(ra.transit, rb.transit);
+            assert_eq!(ra.propagation, rb.propagation);
+        }
     }
 
     #[test]

@@ -36,7 +36,9 @@ fn score_stream(mut model: Box<dyn OutlierModel>, stream: &[Block]) -> Vec<Vec<f
         .collect()
 }
 
-fn makers() -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn OutlierModel>>)> {
+type ModelMaker = Box<dyn Fn() -> Box<dyn OutlierModel>>;
+
+fn makers() -> Vec<(&'static str, ModelMaker)> {
     vec![
         (
             "kmeans",
