@@ -178,12 +178,88 @@ fn bench_metrics(c: &mut Criterion) {
             h.record(v);
         });
     });
-    group.bench_function("span_record", |b| {
+    group.finish();
+}
+
+fn bench_span_record(c: &mut Criterion) {
+    // The monitoring fabric at fan-in scale: recording must stay O(1) and
+    // contention-free (thread-pinned shards), reporting must stream spans
+    // by reference (a clone of a ~1M-span store would dwarf the runs it
+    // measures), and the hot counters must be bumpable without a name
+    // lookup per message.
+    let mut group = c.benchmark_group("span_record");
+    group.bench_function("record", |b| {
         let registry = pilot_metrics::MetricsRegistry::new();
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
             registry.record(1, i, pilot_metrics::Component::Broker, i, i + 10, 1024);
+        });
+    });
+    group.sample_size(10);
+    group.bench_function("report_100k_spans", |b| {
+        let registry = pilot_metrics::MetricsRegistry::new();
+        for i in 0..100_000u64 {
+            registry.record(1, i, pilot_metrics::Component::Broker, i, i + 10, 1024);
+        }
+        b.iter(|| registry.report());
+    });
+    group.bench_function("counter_lookup_per_event", |b| {
+        let registry = pilot_metrics::MetricsRegistry::new();
+        b.iter(|| registry.counter("messages_processed").incr());
+    });
+    group.bench_function("counter_cached_handle", |b| {
+        let registry = pilot_metrics::MetricsRegistry::new();
+        let handle = registry.counter("messages_processed");
+        b.iter(|| handle.incr());
+    });
+    group.finish();
+}
+
+fn bench_offset_commit(c: &mut Criterion) {
+    // The consumer-group commit path: the seed hashed (and on miss cloned)
+    // the group and topic Strings per commit; interned ids make the key
+    // Copy, and the batched variant takes the store lock once per poll
+    // round instead of once per partition.
+    let mut group = c.benchmark_group("offset_commit");
+    const PARTS: usize = 64;
+    let setup = || {
+        let broker = Broker::new();
+        broker
+            .create_topic("fan-in-topic", PARTS, RetentionPolicy::unbounded())
+            .unwrap();
+        broker
+    };
+    group.bench_function("string_keys_per_partition", |b| {
+        let broker = setup();
+        let mut off = 0u64;
+        b.iter(|| {
+            off += 1;
+            for p in 0..PARTS {
+                broker.commit_offset("cloud-processors", "fan-in-topic", p, off);
+            }
+        });
+    });
+    group.bench_function("interned_per_partition", |b| {
+        let broker = setup();
+        let group_id = broker.group_id("cloud-processors");
+        let topic_id = broker.topic_id("fan-in-topic");
+        let mut off = 0u64;
+        b.iter(|| {
+            off += 1;
+            for p in 0..PARTS {
+                broker.commit_offset_by_id(group_id, topic_id, p, off);
+            }
+        });
+    });
+    group.bench_function("interned_batched", |b| {
+        let broker = setup();
+        let group_id = broker.group_id("cloud-processors");
+        let topic_id = broker.topic_id("fan-in-topic");
+        let mut off = 0u64;
+        b.iter(|| {
+            off += 1;
+            broker.commit_offsets(group_id, topic_id, (0..PARTS).map(|p| (p, off)));
         });
     });
     group.finish();
@@ -196,6 +272,8 @@ criterion_group!(
     bench_compute_pool,
     bench_codec,
     bench_link_transfer,
-    bench_metrics
+    bench_metrics,
+    bench_span_record,
+    bench_offset_commit
 );
 criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Cell fan-in sweep (DESIGN.md §9): one cell scaled from 4 to 1024 edge
+//! devices at a **fixed aggregate message count** — the experiment behind
+//! `results_fan_in.csv`.
+//!
+//! Every run multiplexes its devices onto a small, constant producer
+//! engine (4 workers) and a constant consumer pool (4 members), so the
+//! thread count stays flat while the partition count grows 256×. What the
+//! sweep measures is therefore pure fan-in overhead: per-device producer
+//! state on the deadline heap, per-partition bookkeeping in the broker,
+//! and the consumer-side multi-partition fetch. With near-flat per-message
+//! overhead the `overhead_us_per_msg` column stays within ~2× between the
+//! 16-device and 1024-device rows; thread-per-device producers and
+//! per-partition poll timeouts would instead blow up both thread count and
+//! wall time.
+//!
+//! Usage: `cargo run -p pilot-bench --release --bin fan_in`
+//! (honours `PILOT_BENCH_QUICK`; `PILOT_BENCH_FAN_IN_TOTAL` overrides the
+//! aggregate message count).
+
+use pilot_bench::{run_cell, CellOpts};
+use std::time::Instant;
+
+/// Producer engine workers and consumer tasks — constant across the sweep.
+const PRODUCER_THREADS: usize = 4;
+const PROCESSORS: usize = 4;
+
+fn device_sweep() -> Vec<usize> {
+    if std::env::var("PILOT_BENCH_QUICK").is_ok() {
+        vec![4, 16]
+    } else {
+        vec![4, 16, 64, 256, 1024]
+    }
+}
+
+/// Aggregate messages per run, split evenly across devices.
+fn total_messages() -> usize {
+    if let Ok(v) = std::env::var("PILOT_BENCH_FAN_IN_TOTAL") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    if std::env::var("PILOT_BENCH_QUICK").is_ok() {
+        64
+    } else {
+        4096
+    }
+}
+
+fn main() {
+    println!("# fan_in — device fan-in sweep at fixed aggregate messages, multiplexed producers");
+    println!(
+        "devices,producer_threads,processors,total_threads,messages,points,wall_ms,\
+         overhead_us_per_msg,throughput_msgs_s,latency_p50_ms,latency_p99_ms,errors"
+    );
+    let total = total_messages();
+    let mut rows: Vec<(usize, f64)> = Vec::new();
+    for devices in device_sweep() {
+        let messages_per_device = (total / devices).max(1);
+        let opts = CellOpts {
+            points: 25,
+            devices,
+            processors: Some(PROCESSORS),
+            messages_per_device,
+            producer_threads: Some(PRODUCER_THREADS),
+            ..CellOpts::default()
+        };
+        let t0 = Instant::now();
+        let s = run_cell(&opts);
+        let wall = t0.elapsed();
+        let messages = devices * messages_per_device;
+        let overhead_us = wall.as_micros() as f64 / messages as f64;
+        println!(
+            "{},{},{},{},{},{},{:.1},{:.2},{:.2},{:.2},{:.2},{}",
+            devices,
+            PRODUCER_THREADS,
+            PROCESSORS,
+            PRODUCER_THREADS + PROCESSORS,
+            messages,
+            opts.points,
+            wall.as_secs_f64() * 1e3,
+            overhead_us,
+            s.throughput_msgs,
+            s.latency_p50_ms,
+            s.latency_p99_ms,
+            s.errors,
+        );
+        assert_eq!(s.messages as usize, messages, "messages lost at fan-in");
+        rows.push((devices, overhead_us));
+    }
+    // The acceptance curve: overhead at the largest fan-in vs the 16-device
+    // anchor (falls back to the smallest row in quick mode).
+    let anchor = rows
+        .iter()
+        .find(|(d, _)| *d == 16)
+        .or_else(|| rows.first())
+        .copied();
+    if let (Some((ad, a)), Some(&(ld, l))) = (anchor, rows.last()) {
+        eprintln!(
+            "overhead {ld} devices / {ad} devices = {:.2}x ({l:.2} us vs {a:.2} us per message)",
+            l / a
+        );
+    }
+}

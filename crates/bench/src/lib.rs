@@ -71,6 +71,11 @@ pub struct CellOpts {
     pub linger: Duration,
     /// Consumer prefetch queue depth (0 = no prefetch thread).
     pub prefetch_depth: usize,
+    /// Multiplex all devices onto this many producer engine workers
+    /// (None = one producer task per device, the seed behaviour). The
+    /// edge pilot is provisioned with this many cores instead of one per
+    /// device — how 1024-device cells run on small hosts.
+    pub producer_threads: Option<usize>,
 }
 
 impl Default for CellOpts {
@@ -88,6 +93,7 @@ impl Default for CellOpts {
             batch_max_bytes: 0,
             linger: Duration::ZERO,
             prefetch_depth: 0,
+            producer_threads: None,
         }
     }
 }
@@ -117,14 +123,16 @@ pub fn default_messages(geo: Geo) -> usize {
     }
 }
 
-/// Provision the pilots for a cell: an edge pilot with one core per device,
-/// and the paper's "large" cloud envelope (10 cores / 44 GB) or bigger if
-/// the cell needs more processors.
+/// Provision the pilots for a cell: an edge pilot with one core per
+/// producer task (per device, or `producer_threads` when the cell
+/// multiplexes), and the paper's "large" cloud envelope (10 cores / 44 GB)
+/// or bigger if the cell needs more processors.
 pub fn provision(svc: &PilotComputeService, opts: &CellOpts) -> (Pilot, Pilot) {
     let procs = opts.processors.unwrap_or(opts.devices);
+    let edge_cores = opts.producer_threads.unwrap_or(opts.devices);
     let edge = svc
         .submit_and_wait(
-            PilotDescription::local(opts.devices, 4.0 * opts.devices as f64).with_site(
+            PilotDescription::local(edge_cores, 4.0 * edge_cores as f64).with_site(
                 if opts.geo == Geo::Transatlantic {
                     "jetstream"
                 } else {
@@ -173,6 +181,9 @@ pub fn run_cell(opts: &CellOpts) -> RunSummary {
         .batch_max_bytes(opts.batch_max_bytes)
         .linger(opts.linger)
         .prefetch_depth(opts.prefetch_depth);
+    if let Some(n) = opts.producer_threads {
+        builder = builder.producer_threads(n);
+    }
     if opts.mode.edge_processing() {
         builder = builder.process_edge_function(downsample_edge_factory(opts.downsample));
     }

@@ -32,10 +32,46 @@ pub struct Broker {
     inner: Arc<Inner>,
 }
 
+/// An interned topic name: a stable, `Copy` key for the hot-path offset
+/// store. Ids survive topic deletion and re-creation (like the names they
+/// intern), so committed offsets behave exactly as with string keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TopicId(u32);
+
+/// An interned consumer-group name (see [`TopicId`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(u32);
+
+/// The offset store's key: three machine words, hashed without touching a
+/// heap allocation — the per-message commit path stops rehashing two owned
+/// `String`s per lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct OffsetKey {
+    group: GroupId,
+    topic: TopicId,
+    partition: u32,
+}
+
+/// Intern `name` into `map`, assigning the next dense id on first sight.
+/// Entries are never removed, so `len()` is a valid id source.
+fn intern(map: &RwLock<HashMap<String, u32>>, name: &str) -> u32 {
+    if let Some(&id) = map.read().get(name) {
+        return id;
+    }
+    let mut w = map.write();
+    let next = w.len() as u32;
+    *w.entry(name.to_string()).or_insert(next)
+}
+
 struct Inner {
     topics: RwLock<HashMap<String, Arc<Topic>>>,
-    /// (group, topic, partition) → committed offset.
-    offsets: RwLock<HashMap<(String, String, usize), Offset>>,
+    /// Interned topic names. Insert-only: ids stay valid across topic
+    /// deletion, preserving the string-keyed offset semantics.
+    topic_ids: RwLock<HashMap<String, u32>>,
+    /// Interned consumer-group names. Insert-only.
+    group_ids: RwLock<HashMap<String, u32>>,
+    /// (group, topic, partition) → committed offset, keyed by interned ids.
+    offsets: RwLock<HashMap<OffsetKey, Offset>>,
 }
 
 impl Broker {
@@ -44,9 +80,23 @@ impl Broker {
         Self {
             inner: Arc::new(Inner {
                 topics: RwLock::new(HashMap::new()),
+                topic_ids: RwLock::new(HashMap::new()),
+                group_ids: RwLock::new(HashMap::new()),
                 offsets: RwLock::new(HashMap::new()),
             }),
         }
+    }
+
+    /// Intern a topic name into a stable [`TopicId`]. Cheap after the first
+    /// call for a given name; consumers cache the id and commit offsets
+    /// without re-hashing strings.
+    pub fn topic_id(&self, name: &str) -> TopicId {
+        TopicId(intern(&self.inner.topic_ids, name))
+    }
+
+    /// Intern a consumer-group name into a stable [`GroupId`].
+    pub fn group_id(&self, name: &str) -> GroupId {
+        GroupId(intern(&self.inner.group_ids, name))
     }
 
     /// Create a topic. Errors if it already exists with a different
@@ -164,19 +214,82 @@ impl Broker {
     }
 
     /// Commit a consumer-group offset (the *next* offset to read).
+    ///
+    /// Interns the group and topic names (a read-lock hash of `&str`, no
+    /// allocation after first use) — the per-message hot path no longer
+    /// clones two `String`s per commit. Hot loops should intern once via
+    /// [`Broker::group_id`]/[`Broker::topic_id`] and use
+    /// [`Broker::commit_offset_by_id`] or [`Broker::commit_offsets`].
     pub fn commit_offset(&self, group: &str, topic: &str, partition: usize, offset: Offset) {
-        self.inner
-            .offsets
-            .write()
-            .insert((group.to_string(), topic.to_string(), partition), offset);
+        let key = OffsetKey {
+            group: self.group_id(group),
+            topic: self.topic_id(topic),
+            partition: partition as u32,
+        };
+        self.inner.offsets.write().insert(key, offset);
+    }
+
+    /// Commit an offset under pre-interned ids: three-word key, one write
+    /// lock, zero allocation.
+    pub fn commit_offset_by_id(
+        &self,
+        group: GroupId,
+        topic: TopicId,
+        partition: usize,
+        offset: Offset,
+    ) {
+        let key = OffsetKey {
+            group,
+            topic,
+            partition: partition as u32,
+        };
+        self.inner.offsets.write().insert(key, offset);
+    }
+
+    /// Batched commit: all of a member's partition offsets land under one
+    /// write lock — a member owning 128 partitions pays one lock instead
+    /// of 128.
+    pub fn commit_offsets(
+        &self,
+        group: GroupId,
+        topic: TopicId,
+        entries: impl IntoIterator<Item = (usize, Offset)>,
+    ) {
+        let mut offsets = self.inner.offsets.write();
+        for (partition, offset) in entries {
+            offsets.insert(
+                OffsetKey {
+                    group,
+                    topic,
+                    partition: partition as u32,
+                },
+                offset,
+            );
+        }
     }
 
     /// Last committed offset for a group (None if never committed).
     pub fn committed(&self, group: &str, topic: &str, partition: usize) -> Option<Offset> {
+        let group = GroupId(*self.inner.group_ids.read().get(group)?);
+        let topic = TopicId(*self.inner.topic_ids.read().get(topic)?);
+        self.committed_by_id(group, topic, partition)
+    }
+
+    /// Last committed offset under pre-interned ids.
+    pub fn committed_by_id(
+        &self,
+        group: GroupId,
+        topic: TopicId,
+        partition: usize,
+    ) -> Option<Offset> {
         self.inner
             .offsets
             .read()
-            .get(&(group.to_string(), topic.to_string(), partition))
+            .get(&OffsetKey {
+                group,
+                topic,
+                partition: partition as u32,
+            })
             .copied()
     }
 
@@ -322,6 +435,50 @@ mod tests {
         assert_eq!(b.offset_for_timestamp("t", 0, 150).unwrap(), 1);
         assert_eq!(b.offset_for_timestamp("t", 0, 301).unwrap(), 3);
         assert!(b.offset_for_timestamp("t", 9, 0).is_err());
+    }
+
+    #[test]
+    fn interned_ids_are_stable_and_interoperate_with_strings() {
+        let b = Broker::new();
+        b.create_topic("t", 1, RetentionPolicy::unbounded())
+            .unwrap();
+        let g = b.group_id("g");
+        let t = b.topic_id("t");
+        assert_eq!(b.group_id("g"), g);
+        assert_eq!(b.topic_id("t"), t);
+        assert_ne!(b.topic_id("other"), t);
+        // Commit by id, read by string (and vice versa).
+        b.commit_offset_by_id(g, t, 0, 7);
+        assert_eq!(b.committed("g", "t", 0), Some(7));
+        b.commit_offset("g", "t", 0, 9);
+        assert_eq!(b.committed_by_id(g, t, 0), Some(9));
+    }
+
+    #[test]
+    fn batched_commit_covers_all_partitions() {
+        let b = Broker::new();
+        b.create_topic("t", 4, RetentionPolicy::unbounded())
+            .unwrap();
+        let g = b.group_id("g");
+        let t = b.topic_id("t");
+        b.commit_offsets(g, t, (0..4).map(|p| (p, p as u64 * 10)));
+        for p in 0..4 {
+            assert_eq!(b.committed("g", "t", p), Some(p as u64 * 10));
+        }
+    }
+
+    #[test]
+    fn offsets_survive_topic_recreation() {
+        // Ids intern names, not topic instances: delete + recreate keeps
+        // the committed offsets, exactly as the string-keyed store did.
+        let b = Broker::new();
+        b.create_topic("t", 1, RetentionPolicy::unbounded())
+            .unwrap();
+        b.commit_offset("g", "t", 0, 5);
+        b.delete_topic("t");
+        b.create_topic("t", 1, RetentionPolicy::unbounded())
+            .unwrap();
+        assert_eq!(b.committed("g", "t", 0), Some(5));
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! The consumer: position tracking, blocking polls, group commits.
 
-use crate::broker::Broker;
+use crate::broker::{Broker, GroupId, TopicId};
 use crate::error::BrokerError;
 use crate::record::{Offset, Record};
+use crate::topic::Topic;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A consumer bound to one topic, reading an explicit set of partitions on
@@ -13,14 +15,24 @@ use std::time::Duration;
 /// Pilot-Edge runtime creates one consumer per processing task, one task per
 /// partition ("we keep the ratio of partitions constant between Kafka and
 /// Dask").
+///
+/// The topic handle and the interned group/topic ids are resolved once at
+/// construction: polls read straight off the `Arc<Topic>` (no registry
+/// lookup per fetch) and commits use `Copy` keys (no string hashing per
+/// message) — the hot path is O(1) in allocations.
 pub struct Consumer {
     broker: Broker,
     topic: String,
+    /// Cached handle: polls skip the broker's topic-registry lock.
+    handle: Arc<Topic>,
     group: String,
+    group_id: GroupId,
+    topic_id: TopicId,
     /// partition → next offset to read.
     positions: HashMap<usize, Offset>,
-    /// Paused partitions are skipped by [`Consumer::poll`] but keep their
-    /// positions (Kafka's pause/resume flow-control primitive).
+    /// Paused partitions are skipped by [`Consumer::poll`] /
+    /// [`Consumer::poll_many`] but keep their positions (Kafka's
+    /// pause/resume flow-control primitive).
     paused: std::collections::HashSet<usize>,
 }
 
@@ -47,13 +59,28 @@ impl Consumer {
                 .unwrap_or_else(|| t.log_start(p).unwrap_or(0));
             positions.insert(p, start);
         }
+        let group_id = broker.group_id(group);
+        let topic_id = broker.topic_id(topic);
         Ok(Self {
             broker,
             topic: topic.to_string(),
+            handle: t,
             group: group.to_string(),
+            group_id,
+            topic_id,
             positions,
             paused: std::collections::HashSet::new(),
         })
+    }
+
+    /// The topic this consumer reads.
+    pub fn topic(&self) -> &str {
+        &self.topic
+    }
+
+    /// The consumer group this consumer commits on behalf of.
+    pub fn group(&self) -> &str {
+        &self.group
     }
 
     /// Partitions this consumer reads.
@@ -66,6 +93,29 @@ impl Consumer {
     /// Next offset to read for a partition.
     pub fn position(&self, partition: usize) -> Option<Offset> {
         self.positions.get(&partition).copied()
+    }
+
+    /// Read one partition through the cached topic handle, mapping the
+    /// trimmed-offset case to [`BrokerError::OffsetOutOfRange`].
+    fn fetch_via_handle(
+        &self,
+        partition: usize,
+        offset: Offset,
+        max: usize,
+        timeout: Duration,
+    ) -> Result<Vec<Record>, BrokerError> {
+        match self.handle.read_wait(partition, offset, max, timeout) {
+            None => Err(BrokerError::UnknownPartition {
+                topic: self.topic.clone(),
+                partition,
+            }),
+            Some(Ok(recs)) => Ok(recs),
+            Some(Err(log_start)) => Err(BrokerError::OffsetOutOfRange {
+                requested: offset,
+                log_start,
+                high_watermark: self.handle.high_watermark(partition).unwrap_or(log_start),
+            }),
+        }
     }
 
     /// Poll one partition: up to `max` records, blocking up to `timeout`.
@@ -83,7 +133,7 @@ impl Consumer {
                 topic: self.topic.clone(),
                 partition,
             })?;
-        match self.broker.fetch(&self.topic, partition, pos, max, timeout) {
+        match self.fetch_via_handle(partition, pos, max, timeout) {
             Ok(recs) => {
                 if let Some(last) = recs.last() {
                     self.positions.insert(partition, last.offset + 1);
@@ -94,9 +144,7 @@ impl Consumer {
                 // Auto-reset to the earliest retained offset (Kafka's
                 // `auto.offset.reset = earliest`) and retry once.
                 self.positions.insert(partition, log_start);
-                let recs = self
-                    .broker
-                    .fetch(&self.topic, partition, log_start, max, timeout)?;
+                let recs = self.fetch_via_handle(partition, log_start, max, timeout)?;
                 if let Some(last) = recs.last() {
                     self.positions.insert(partition, last.offset + 1);
                 }
@@ -104,6 +152,52 @@ impl Consumer {
             }
             Err(e) => Err(e),
         }
+    }
+
+    /// Poll every non-paused assigned partition in **one** multi-partition
+    /// fetch: up to `max_per_partition` records each, blocking up to
+    /// `timeout` for any partition to have data (one shared condvar wait,
+    /// not one timeout per partition — see [`Topic::read_many`]).
+    ///
+    /// Returns `(partition, records)` pairs for the partitions that had
+    /// data, sorted by partition. Positions advance like
+    /// [`Consumer::poll_partition`]; trimmed offsets auto-reset to the log
+    /// start (Kafka's `auto.offset.reset = earliest`).
+    pub fn poll_many(
+        &mut self,
+        max_per_partition: usize,
+        timeout: Duration,
+    ) -> Result<Vec<(usize, Vec<Record>)>, BrokerError> {
+        let mut reqs: Vec<(usize, Offset)> = self
+            .positions
+            .iter()
+            .filter(|(p, _)| !self.paused.contains(p))
+            .map(|(&p, &off)| (p, off))
+            .collect();
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        reqs.sort_unstable_by_key(|&(p, _)| p);
+        let mut ready = self.handle.read_many(&reqs, max_per_partition, timeout);
+        ready.sort_unstable_by_key(|&(p, _)| p);
+        let mut out = Vec::with_capacity(ready.len());
+        for (p, res) in ready {
+            let recs = match res {
+                Ok(recs) => recs,
+                Err(log_start) => {
+                    // Auto-reset and retry this partition non-blocking.
+                    self.positions.insert(p, log_start);
+                    self.fetch_via_handle(p, log_start, max_per_partition, Duration::ZERO)?
+                }
+            };
+            if let Some(last) = recs.last() {
+                self.positions.insert(p, last.offset + 1);
+            }
+            if !recs.is_empty() {
+                out.push((p, recs));
+            }
+        }
+        Ok(out)
     }
 
     /// Poll every assigned partition once (round-robin), collecting up to
@@ -152,11 +246,14 @@ impl Consumer {
         p
     }
 
-    /// Commit current positions for the group.
+    /// Commit current positions for the group: one batched write under
+    /// interned ids, regardless of how many partitions this member owns.
     pub fn commit(&self) {
-        for (&p, &off) in &self.positions {
-            self.broker.commit_offset(&self.group, &self.topic, p, off);
-        }
+        self.broker.commit_offsets(
+            self.group_id,
+            self.topic_id,
+            self.positions.iter().map(|(&p, &off)| (p, off)),
+        );
     }
 
     /// Seek a partition to an absolute offset.
@@ -191,7 +288,13 @@ impl Consumer {
     pub fn lag(&self) -> Result<u64, BrokerError> {
         let mut total = 0;
         for (&p, &pos) in &self.positions {
-            let hwm = self.broker.high_watermark(&self.topic, p)?;
+            let hwm =
+                self.handle
+                    .high_watermark(p)
+                    .ok_or_else(|| BrokerError::UnknownPartition {
+                        topic: self.topic.clone(),
+                        partition: p,
+                    })?;
             total += hwm.saturating_sub(pos);
         }
         Ok(total)
@@ -365,5 +468,70 @@ mod tests {
     fn bad_partition_at_construction() {
         let b = setup(1);
         assert!(Consumer::new(b, "t", "g", &[7]).is_err());
+    }
+
+    #[test]
+    fn poll_many_returns_per_partition_batches() {
+        let b = setup(4);
+        b.append("t", 0, rec("a")).unwrap();
+        b.append("t", 2, rec("b")).unwrap();
+        b.append("t", 2, rec("c")).unwrap();
+        let mut c = Consumer::new(b, "t", "g", &[0, 1, 2, 3]).unwrap();
+        let got = c.poll_many(10, Duration::ZERO).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, 0);
+        assert_eq!(got[0].1.len(), 1);
+        assert_eq!(got[1].0, 2);
+        assert_eq!(got[1].1.len(), 2);
+        // Positions advanced: a second poll sees nothing.
+        assert!(c.poll_many(10, Duration::ZERO).unwrap().is_empty());
+        assert_eq!(c.position(2), Some(2));
+    }
+
+    #[test]
+    fn poll_many_skips_paused() {
+        let b = setup(2);
+        b.append("t", 0, rec("a")).unwrap();
+        b.append("t", 1, rec("b")).unwrap();
+        let mut c = Consumer::new(b, "t", "g", &[0, 1]).unwrap();
+        c.pause(0).unwrap();
+        let got = c.poll_many(10, Duration::ZERO).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 1);
+    }
+
+    #[test]
+    fn poll_many_auto_resets_trimmed_offsets() {
+        let b = Broker::new();
+        b.create_topic(
+            "t",
+            1,
+            RetentionPolicy::by_records(crate::log::SEGMENT_RECORDS as u64),
+        )
+        .unwrap();
+        let mut c = Consumer::new(b.clone(), "t", "g", &[0]).unwrap();
+        for _ in 0..(crate::log::SEGMENT_RECORDS * 2 + 1) {
+            b.append("t", 0, rec("x")).unwrap();
+        }
+        let got = c.poll_many(5, Duration::ZERO).unwrap();
+        assert_eq!(got.len(), 1);
+        assert!(got[0].1[0].offset >= crate::log::SEGMENT_RECORDS as u64);
+    }
+
+    #[test]
+    fn poll_many_commit_roundtrip() {
+        let b = setup(3);
+        for p in 0..3 {
+            b.append("t", p, rec("x")).unwrap();
+        }
+        {
+            let mut c = Consumer::new(b.clone(), "t", "g", &[0, 1, 2]).unwrap();
+            c.poll_many(10, Duration::ZERO).unwrap();
+            c.commit();
+        }
+        // Batched commit landed for every partition: a successor sees
+        // nothing left.
+        let mut c2 = Consumer::new(b, "t", "g", &[0, 1, 2]).unwrap();
+        assert!(c2.poll_many(10, Duration::ZERO).unwrap().is_empty());
     }
 }

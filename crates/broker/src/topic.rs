@@ -4,7 +4,7 @@ use crate::log::PartitionLog;
 use crate::record::{Offset, Record};
 use crate::retention::RetentionPolicy;
 use parking_lot::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One partition plus its data-arrival condition variable.
 struct Partition {
@@ -20,6 +20,11 @@ struct Partition {
 pub struct Topic {
     name: String,
     partitions: Vec<Partition>,
+    /// Topic-wide arrival sequence number: bumped on every append so
+    /// multi-partition waiters ([`Topic::read_many`]) block on one condvar
+    /// instead of one `read_wait` timeout per partition.
+    arrivals: Mutex<u64>,
+    any_arrival: Condvar,
 }
 
 impl Topic {
@@ -34,6 +39,8 @@ impl Topic {
                     data_arrived: Condvar::new(),
                 })
                 .collect(),
+            arrivals: Mutex::new(0),
+            any_arrival: Condvar::new(),
         }
     }
 
@@ -52,6 +59,8 @@ impl Topic {
         let p = self.partitions.get(partition)?;
         let offset = p.log.lock().append(record);
         p.data_arrived.notify_all();
+        *self.arrivals.lock() += 1;
+        self.any_arrival.notify_all();
         Some(offset)
     }
 
@@ -68,6 +77,11 @@ impl Topic {
 
     /// Blocking read: waits up to `timeout` for data at `offset` before
     /// returning (possibly empty on timeout).
+    ///
+    /// The wait tracks an absolute deadline, so total block time is bounded
+    /// by `timeout` even when the condvar wakes repeatedly (appends racing
+    /// ahead of `offset`, spurious wakes) without the read turning
+    /// non-empty.
     pub fn read_wait(
         &self,
         partition: usize,
@@ -76,16 +90,71 @@ impl Topic {
         timeout: Duration,
     ) -> Option<Result<Vec<Record>, Offset>> {
         let p = self.partitions.get(partition)?;
+        let deadline = Instant::now() + timeout;
         let mut log = p.log.lock();
         loop {
             match log.read(offset, max) {
                 Ok(recs) if recs.is_empty() => {
-                    if p.data_arrived.wait_for(&mut log, timeout).timed_out() {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero()
+                        || p.data_arrived.wait_for(&mut log, remaining).timed_out()
+                    {
                         return Some(Ok(Vec::new()));
                     }
                     // else: new data (or spurious wake) — retry the read.
                 }
                 other => return Some(other),
+            }
+        }
+    }
+
+    /// Multi-partition fetch: read up to `max_per_partition` records from
+    /// each `(partition, offset)` request in one pass, blocking up to
+    /// `timeout` for *any* of them to have data.
+    ///
+    /// Returns one `(partition, result)` pair per partition that yielded
+    /// records or a trimmed-offset error (`Err(log_start)`); partitions
+    /// that are merely empty are omitted, and unknown partitions are
+    /// skipped. A member consuming many partitions blocks on the topic's
+    /// shared arrival condvar instead of paying one `read_wait` timeout per
+    /// partition — the consumer-side half of the cell fan-in scale-out.
+    pub fn read_many(
+        &self,
+        requests: &[(usize, Offset)],
+        max_per_partition: usize,
+        timeout: Duration,
+    ) -> Vec<(usize, Result<Vec<Record>, Offset>)> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            // Snapshot the arrival sequence *before* the sweep: an append
+            // landing mid-sweep bumps it, so the re-check below cannot
+            // miss a wakeup between "sweep saw nothing" and "wait".
+            let seq = *self.arrivals.lock();
+            let mut out = Vec::new();
+            for &(p, offset) in requests {
+                let Some(part) = self.partitions.get(p) else {
+                    continue;
+                };
+                match part.log.lock().read(offset, max_per_partition) {
+                    Ok(recs) if recs.is_empty() => {}
+                    other => out.push((p, other)),
+                }
+            }
+            if !out.is_empty() {
+                return out;
+            }
+            let mut arrivals = self.arrivals.lock();
+            if *arrivals != seq {
+                continue; // an append raced the sweep — re-read immediately
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero()
+                || self
+                    .any_arrival
+                    .wait_for(&mut arrivals, remaining)
+                    .timed_out()
+            {
+                return Vec::new();
             }
         }
     }
@@ -178,8 +247,11 @@ mod tests {
             let t = Arc::clone(&t);
             handles.push(std::thread::spawn(move || {
                 for i in 0..500u32 {
-                    t.append(p, Record::new(bytes::Bytes::copy_from_slice(&i.to_le_bytes())))
-                        .unwrap();
+                    t.append(
+                        p,
+                        Record::new(bytes::Bytes::copy_from_slice(&i.to_le_bytes())),
+                    )
+                    .unwrap();
                 }
             }));
         }
@@ -202,5 +274,74 @@ mod tests {
     #[should_panic(expected = "at least one partition")]
     fn zero_partitions_panics() {
         topic(0);
+    }
+
+    #[test]
+    fn read_wait_deadline_survives_unrelated_wakes() {
+        // Appends at offsets below the requested one keep waking the
+        // condvar without satisfying the read; the total block time must
+        // still be bounded by the timeout, not reset on every wake.
+        let t = Arc::new(topic(1));
+        let t2 = Arc::clone(&t);
+        let keep_waking = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let kw = Arc::clone(&keep_waking);
+        let waker = std::thread::spawn(move || {
+            while kw.load(std::sync::atomic::Ordering::Relaxed) {
+                // Wakes the waiter but never reaches offset 100.
+                t2.append(0, Record::new(&b"x"[..])).unwrap();
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+        let start = std::time::Instant::now();
+        let r = t
+            .read_wait(0, 100, 10, Duration::from_millis(60))
+            .unwrap()
+            .unwrap();
+        let elapsed = start.elapsed();
+        keep_waking.store(false, std::sync::atomic::Ordering::Relaxed);
+        waker.join().unwrap();
+        assert!(r.is_empty());
+        assert!(
+            elapsed < Duration::from_millis(400),
+            "read_wait blocked {elapsed:?} — timeout reset on every wake?"
+        );
+    }
+
+    #[test]
+    fn read_many_collects_across_partitions() {
+        let t = topic(4);
+        t.append(1, Record::new(&b"a"[..])).unwrap();
+        t.append(3, Record::new(&b"b"[..])).unwrap();
+        t.append(3, Record::new(&b"c"[..])).unwrap();
+        let reqs = [(0, 0), (1, 0), (2, 0), (3, 0)];
+        let mut got = t.read_many(&reqs, 10, Duration::ZERO);
+        got.sort_by_key(|(p, _)| *p);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, 1);
+        assert_eq!(got[0].1.as_ref().unwrap().len(), 1);
+        assert_eq!(got[1].0, 3);
+        assert_eq!(got[1].1.as_ref().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn read_many_wakes_on_any_partition() {
+        let t = Arc::new(topic(8));
+        let t2 = Arc::clone(&t);
+        let h = std::thread::spawn(move || {
+            let reqs: Vec<(usize, u64)> = (0..8).map(|p| (p, 0)).collect();
+            t2.read_many(&reqs, 10, Duration::from_secs(5))
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        t.append(6, Record::new(&b"late"[..])).unwrap();
+        let got = h.join().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 6);
+    }
+
+    #[test]
+    fn read_many_times_out_empty_and_skips_unknown() {
+        let t = topic(2);
+        let got = t.read_many(&[(0, 0), (9, 0)], 5, Duration::from_millis(10));
+        assert!(got.is_empty());
     }
 }

@@ -78,6 +78,15 @@ pub struct PipelineConfig {
     /// thread with a queue of this depth (backpressure), so batch N+1
     /// crosses the WAN while batch N is processed.
     pub prefetch_depth: usize,
+    /// Edge producer engine. `None` (the default) runs one producer task
+    /// per device (the paper's "edge devices are simulated with a Dask
+    /// task"), requiring `devices` edge cores. `Some(k)` multiplexes all
+    /// devices onto `k` engine worker tasks via a deadline heap keyed by
+    /// each device's next send time ([`Self::rate_per_device`]) — the
+    /// fan-in scale-out for ~1000-device cells, where thread-per-device
+    /// would need ~1000 edge cores. Per-device message content, ordering,
+    /// and sentinel semantics are identical between the two engines.
+    pub producer_threads: Option<usize>,
 }
 
 impl Default for PipelineConfig {
@@ -96,6 +105,7 @@ impl Default for PipelineConfig {
             batch_max_bytes: 0,
             linger: Duration::ZERO,
             prefetch_depth: 0,
+            producer_threads: None,
         }
     }
 }
@@ -308,6 +318,13 @@ impl EdgeToCloudPipeline {
         self
     }
 
+    /// Multiplex all edge devices onto `n` producer engine workers instead
+    /// of one task per device. See [`PipelineConfig::producer_threads`].
+    pub fn producer_threads(mut self, n: usize) -> Self {
+        self.config.producer_threads = Some(n);
+        self
+    }
+
     /// Override the full config.
     pub fn config(mut self, config: PipelineConfig) -> Self {
         self.config = config;
@@ -347,13 +364,24 @@ impl EdgeToCloudPipeline {
         if cfg.processors == 0 {
             return Err(PipelineError::Capacity("processors must be > 0".into()));
         }
-        // One core per edge device, one per consumer — the paper's task
-        // granularity. Undersized pilots would deadlock, so reject them.
-        if edge.description().cores < cfg.devices {
+        if cfg.producer_threads == Some(0) {
+            return Err(PipelineError::Capacity(
+                "producer_threads must be > 0 when set".into(),
+            ));
+        }
+        // One core per edge task, one per consumer — the paper's task
+        // granularity. The multiplexed engine needs `producer_threads`
+        // edge cores; thread-per-device needs one per device. Undersized
+        // pilots would deadlock, so reject them.
+        let edge_tasks = cfg.producer_threads.unwrap_or(cfg.devices);
+        if edge.description().cores < edge_tasks {
             return Err(PipelineError::Capacity(format!(
-                "edge pilot has {} cores but {} devices were requested",
+                "edge pilot has {} cores but {} producer tasks were requested \
+                 ({} devices, producer_threads = {:?})",
                 edge.description().cores,
-                cfg.devices
+                edge_tasks,
+                cfg.devices,
+                cfg.producer_threads
             )));
         }
         if cloud.description().cores < cfg.processors {

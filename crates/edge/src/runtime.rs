@@ -34,6 +34,16 @@
 //! spans (network spans share the batch's wall-clock window, carrying the
 //! message's own byte count).
 //!
+//! **Fan-in scale-out** (off by default; see
+//! [`PipelineConfig::producer_threads`]): with `producer_threads = Some(k)`
+//! the thread-per-device producers are replaced by a multiplexed engine — a
+//! deadline heap of per-device `DeviceProducer` states driven by `k`
+//! engine workers — so a 1024-device cell needs `k` edge cores instead of
+//! 1024. Per-device message sets are identical between the two engines
+//! under a fixed seed. Consumers always fetch via one multi-partition
+//! `poll_many` (one shared condvar wait per member, not one timeout per
+//! partition), pausing partitions whose sentinel arrived.
+//!
 //! **Adaptation** (paper Section II-D): [`RunningPipeline::replace_cloud_function`]
 //! hot-swaps the processing function (consumers re-instantiate on the next
 //! message); [`RunningPipeline::scale_processors`] grows or shrinks the
@@ -43,7 +53,7 @@ use crate::faas::{CloudFactory, CloudFn, Context, SwappableCloudFactory};
 use crate::pipeline::{EdgeToCloudPipeline, PipelineConfig, PipelineError};
 use crate::summary::RunSummary;
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use pilot_broker::{Broker, Consumer, GroupCoordinator, Record};
 use pilot_core::Pilot;
 use pilot_dataflow::{Client, Payload, Resources, TaskFuture};
@@ -187,39 +197,83 @@ fn complete_oldest_batch(
     Ok(())
 }
 
-/// One edge device's producing loop. Returns messages produced.
-fn producer_loop(shared: &Shared, device: usize, builder_fns: &ProducerFns) -> Result<u64, String> {
-    let ctx = &shared.ctx;
-    let metrics = shared.metrics();
-    let mut produce = (builder_fns.produce)(ctx, device);
-    let mut edge_fn = if shared.cfg.mode.edge_processing() {
-        Some((builder_fns.edge)(ctx, device))
-    } else {
-        None
-    };
-    let mut rate = RateLimiter::new(shared.cfg.rate_per_device);
-    let mut sent = 0u64;
+/// The complete producing state of one edge device, stepped one message at
+/// a time so it can be driven either by a dedicated task per device
+/// ([`producer_loop`]) or interleaved with hundreds of other devices on a
+/// multiplexed engine worker ([`engine_worker`]). Message identity (the
+/// per-device `msg_id` sequence), the long-lived encode scratch, the
+/// batching double-buffer, and the sentinel all live here — so both drivers
+/// produce byte-identical per-device message sets.
+struct DeviceProducer {
+    device: usize,
+    produce: crate::faas::ProduceFn,
+    edge_fn: Option<crate::faas::EdgeFn>,
+    sent: u64,
     // One long-lived encode scratch per producer: every message encodes
     // through it (`encode_with_into`), the producer-side mirror of the
     // consumer's decode scratch — steady state allocates nothing.
-    let mut enc_scratch = bytes::BytesMut::new();
-    let batching = shared.cfg.batch_max_bytes > 0;
-    let mut pending: Vec<PendingMsg> = Vec::new();
-    let mut pending_bytes = 0usize;
-    let mut batch_open: Option<Instant> = None;
-    let mut in_flight: VecDeque<InFlightBatch> = VecDeque::new();
-    while !shared.stop_all.load(Ordering::Relaxed) {
-        rate.pace();
+    enc_scratch: bytes::BytesMut,
+    pending: Vec<PendingMsg>,
+    pending_bytes: usize,
+    batch_open: Option<Instant>,
+    in_flight: VecDeque<InFlightBatch>,
+    /// Pacing schedule origin: message `n` is due at `epoch + interval × n`
+    /// (the same ideal-schedule pacing as [`RateLimiter`]).
+    epoch: Instant,
+    interval: Option<Duration>,
+}
+
+impl DeviceProducer {
+    fn new(shared: &Shared, device: usize, fns: &ProducerFns) -> Self {
+        let ctx = &shared.ctx;
+        let rate = shared.cfg.rate_per_device;
+        let interval =
+            (rate.is_finite() && rate > 0.0).then(|| Duration::from_secs_f64(1.0 / rate));
+        Self {
+            device,
+            produce: (fns.produce)(ctx, device),
+            edge_fn: shared
+                .cfg
+                .mode
+                .edge_processing()
+                .then(|| (fns.edge)(ctx, device)),
+            sent: 0,
+            enc_scratch: bytes::BytesMut::new(),
+            pending: Vec::new(),
+            pending_bytes: 0,
+            batch_open: None,
+            in_flight: VecDeque::new(),
+            epoch: Instant::now(),
+            interval,
+        }
+    }
+
+    /// When this device's next message may be emitted — the multiplexed
+    /// engine's deadline-heap key. Unthrottled devices are always due.
+    fn next_due(&self) -> Instant {
+        match self.interval {
+            Some(iv) => self.epoch + iv * self.sent as u32,
+            None => self.epoch,
+        }
+    }
+
+    /// Produce, (optionally) edge-process, encode, and ship one message.
+    /// `Ok(false)` means the device's stream ended.
+    fn step(&mut self, shared: &Shared) -> Result<bool, String> {
+        let ctx = &shared.ctx;
+        let metrics = shared.metrics();
         let t0 = metrics.now_us();
-        let Some(mut block) = produce(ctx) else { break };
+        let Some(mut block) = (self.produce)(ctx) else {
+            return Ok(false);
+        };
         // The framework owns message identity ("a unique job identifier
         // ensures that progress and errors can be consistently tracked"):
         // a per-device sequence replaces whatever the produce function set,
         // so duplicate user-assigned ids cannot corrupt metric linking.
-        block.msg_id = sent;
-        let mid = metric_msg_id(device, block.msg_id);
+        block.msg_id = self.sent;
+        let mid = metric_msg_id(self.device, block.msg_id);
         // Edge processing (hybrid / edge-centric deployments).
-        let block = match edge_fn.as_mut() {
+        let block = match self.edge_fn.as_mut() {
             Some(f) => {
                 let e0 = metrics.now_us();
                 let out = f(ctx, block)?;
@@ -236,7 +290,7 @@ fn producer_loop(shared: &Shared, device: usize, builder_fns: &ProducerFns) -> R
             None => block,
         };
         let payload =
-            pilot_datagen::encode_with_into(shared.cfg.codec, &block, t0, &mut enc_scratch);
+            pilot_datagen::encode_with_into(shared.cfg.codec, &block, t0, &mut self.enc_scratch);
         let bytes = payload.len() as u64;
         metrics.record(
             ctx.job_id,
@@ -246,18 +300,19 @@ fn producer_loop(shared: &Shared, device: usize, builder_fns: &ProducerFns) -> R
             metrics.now_us(),
             bytes,
         );
-        if batching {
+        if shared.cfg.batch_max_bytes > 0 {
             // Pipelined path: accumulate; ship when the batch is full or
             // its linger window closed. The reservation completes (and the
             // messages append) while later messages encode.
-            pending_bytes += payload.len();
-            pending.push(PendingMsg { payload, mid, t0 });
-            let opened = *batch_open.get_or_insert_with(Instant::now);
-            if pending_bytes >= shared.cfg.batch_max_bytes || opened.elapsed() >= shared.cfg.linger
+            self.pending_bytes += payload.len();
+            self.pending.push(PendingMsg { payload, mid, t0 });
+            let opened = *self.batch_open.get_or_insert_with(Instant::now);
+            if self.pending_bytes >= shared.cfg.batch_max_bytes
+                || opened.elapsed() >= shared.cfg.linger
             {
-                flush_batch(shared, device, &mut pending, &mut in_flight)?;
-                pending_bytes = 0;
-                batch_open = None;
+                flush_batch(shared, self.device, &mut self.pending, &mut self.in_flight)?;
+                self.pending_bytes = 0;
+                self.batch_open = None;
             }
         } else {
             // Serial path (the default): every message pays its own
@@ -278,7 +333,7 @@ fn producer_loop(shared: &Shared, device: usize, builder_fns: &ProducerFns) -> R
                 .broker
                 .append(
                     &shared.topic,
-                    device,
+                    self.device,
                     Record::new(payload).with_timestamp(t0),
                 )
                 .map_err(|e| e.to_string())?;
@@ -291,20 +346,199 @@ fn producer_loop(shared: &Shared, device: usize, builder_fns: &ProducerFns) -> R
                 bytes,
             );
         }
-        sent += 1;
+        self.sent += 1;
+        Ok(true)
     }
-    // Drain the batcher: everything accumulated or in flight must land in
-    // the partition before the sentinel.
-    flush_batch(shared, device, &mut pending, &mut in_flight)?;
-    while !in_flight.is_empty() {
-        complete_oldest_batch(shared, device, &mut in_flight)?;
+
+    /// Drain the batcher (everything accumulated or in flight must land in
+    /// the partition first) and append the end-of-stream sentinel.
+    fn finish(&mut self, shared: &Shared) -> Result<(), String> {
+        flush_batch(shared, self.device, &mut self.pending, &mut self.in_flight)?;
+        self.pending_bytes = 0;
+        self.batch_open = None;
+        while !self.in_flight.is_empty() {
+            complete_oldest_batch(shared, self.device, &mut self.in_flight)?;
+        }
+        shared
+            .broker
+            .append(&shared.topic, self.device, Record::new(Bytes::new()))
+            .map_err(|e| e.to_string())?;
+        Ok(())
     }
-    // End-of-stream sentinel for this partition.
-    shared
-        .broker
-        .append(&shared.topic, device, Record::new(Bytes::new()))
-        .map_err(|e| e.to_string())?;
-    Ok(sent)
+}
+
+/// One edge device's producing loop (the default, thread-per-device
+/// engine). Returns messages produced.
+fn producer_loop(shared: &Shared, device: usize, builder_fns: &ProducerFns) -> Result<u64, String> {
+    let mut state = DeviceProducer::new(shared, device, builder_fns);
+    let mut rate = RateLimiter::new(shared.cfg.rate_per_device);
+    while !shared.stop_all.load(Ordering::Relaxed) {
+        rate.pace();
+        if !state.step(shared)? {
+            break;
+        }
+    }
+    state.finish(shared)?;
+    Ok(state.sent)
+}
+
+/// One device's place in the multiplexed engine's deadline heap. Ordered
+/// earliest-due first (the heap is a max-heap, so `Ord` is reversed), with
+/// the requeue sequence number as tie-break so simultaneously-due devices
+/// round-robin fairly instead of starving.
+struct DueEntry {
+    due: Instant,
+    seq: u64,
+    state: Box<DeviceProducer>,
+}
+
+impl PartialEq for DueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for DueEntry {}
+impl PartialOrd for DueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The multiplexed producer engine ([`PipelineConfig::producer_threads`]):
+/// every device's [`DeviceProducer`] sits in a deadline heap keyed by its
+/// next send time; a small pool of workers pops the earliest-due device,
+/// steps it one message, and requeues it. A 1024-device cell therefore
+/// needs `producer_threads` OS threads instead of 1024 — the producer-side
+/// half of the fan-in scale-out. Per-device FIFO ordering is preserved
+/// because a device is owned by exactly one worker while popped.
+struct ProducerEngine {
+    heap: Mutex<std::collections::BinaryHeap<DueEntry>>,
+    work: Condvar,
+    /// Devices whose sentinel has not been appended yet.
+    active: AtomicUsize,
+    /// Monotonic requeue counter (heap tie-break fairness).
+    next_seq: AtomicU64,
+}
+
+impl ProducerEngine {
+    fn new(devices: usize) -> Self {
+        Self {
+            heap: Mutex::new(std::collections::BinaryHeap::with_capacity(devices)),
+            work: Condvar::new(),
+            active: AtomicUsize::new(devices),
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// (Re)queue a device at its next deadline and wake waiting workers.
+    fn push(&self, state: Box<DeviceProducer>) {
+        let entry = DueEntry {
+            due: state.next_due(),
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            state,
+        };
+        self.heap.lock().push(entry);
+        self.work.notify_all();
+    }
+
+    /// A device appended its sentinel (or failed terminally).
+    fn device_finished(&self) {
+        if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last device done: wake idle workers so they can exit.
+            self.work.notify_all();
+        }
+    }
+}
+
+/// One worker of the multiplexed producer engine: pop the earliest-due
+/// device, step it one message, requeue it. Exits once every device has
+/// finished. On `stop_all` the remaining devices are drained and their
+/// sentinels appended, exactly like the threaded path. Returns the number
+/// of messages this worker stepped.
+fn engine_worker(shared: &Shared, engine: &ProducerEngine) -> Result<u64, String> {
+    let mut stepped = 0u64;
+    loop {
+        let mut entry = {
+            let mut heap = engine.heap.lock();
+            loop {
+                if engine.active.load(Ordering::Acquire) == 0 {
+                    return Ok(stepped);
+                }
+                let stopping = shared.stop_all.load(Ordering::Relaxed);
+                match heap.peek() {
+                    // Every unfinished device is held by another worker:
+                    // wait for a requeue (bounded, so stop/finish without a
+                    // notify are still observed).
+                    None => {
+                        engine.work.wait_for(&mut heap, Duration::from_millis(10));
+                    }
+                    Some(top) => {
+                        let now = Instant::now();
+                        if stopping || top.due <= now {
+                            break heap.pop().expect("peeked entry");
+                        }
+                        // Sleep until the earliest deadline; a push with an
+                        // earlier one notifies and we re-peek.
+                        let wait = top.due - now;
+                        engine.work.wait_for(&mut heap, wait);
+                    }
+                }
+            }
+        };
+        let more = if shared.stop_all.load(Ordering::Relaxed) {
+            false
+        } else {
+            match entry.state.step(shared) {
+                Ok(more) => more,
+                Err(e) => {
+                    // A failed device fails the run (threaded-path
+                    // semantics); unblock the other workers first.
+                    shared.stop_all.store(true, Ordering::Relaxed);
+                    engine.device_finished();
+                    return Err(e);
+                }
+            }
+        };
+        if more {
+            stepped += 1;
+            engine.push(entry.state);
+        } else {
+            let res = entry.state.finish(shared);
+            if res.is_err() {
+                shared.stop_all.store(true, Ordering::Relaxed);
+            }
+            engine.device_finished();
+            res?;
+        }
+    }
+}
+
+/// Hot-path counters resolved once per consumer loop. `ctx.counter(name)`
+/// takes the registry's counter-map lock and hashes the name; at ~1M
+/// messages per run that lookup is pure overhead, so the loops cache the
+/// `Arc<Counter>` handles up front and bump them lock-free per message.
+struct HotCounters {
+    messages_processed: Arc<pilot_metrics::Counter>,
+    process_errors: Arc<pilot_metrics::Counter>,
+    decode_errors: Arc<pilot_metrics::Counter>,
+}
+
+impl HotCounters {
+    fn new(ctx: &Context) -> Self {
+        Self {
+            messages_processed: ctx.counter("messages_processed"),
+            process_errors: ctx.counter("process_errors"),
+            decode_errors: ctx.counter("decode_errors"),
+        }
+    }
 }
 
 /// Decode one non-sentinel record and run the cloud function on it,
@@ -322,6 +556,7 @@ fn process_record(
     net_end_us: u64,
     func: &mut CloudFn,
     scratch: &mut pilot_datagen::Block,
+    counters: &HotCounters,
 ) -> Result<u64, String> {
     let ctx = &shared.ctx;
     let metrics = shared.metrics();
@@ -333,7 +568,7 @@ fn process_record(
     let _produced_at = match pilot_datagen::decode_any_into(&record.value, scratch) {
         Ok(v) => v,
         Err(e) => {
-            ctx.counter("decode_errors").incr();
+            counters.decode_errors.incr();
             return Err(format!("wire decode failed: {e}"));
         }
     };
@@ -356,7 +591,7 @@ fn process_record(
                 metrics.now_us(),
                 bytes,
             );
-            ctx.counter("messages_processed").incr();
+            counters.messages_processed.incr();
             Ok(1)
         }
         Err(msg) => {
@@ -369,12 +604,23 @@ fn process_record(
                 bytes,
                 error: true,
             });
-            ctx.counter("process_errors").incr();
+            counters.process_errors.incr();
             // A failing function invocation is recorded and the stream
             // continues — one bad message must not kill the processor
             // (fault isolation).
             let _ = msg;
             Ok(0)
+        }
+    }
+}
+
+/// Pause every assigned partition that already saw its sentinel so
+/// `poll_many` stops asking for it — a fresh consumer after a rebalance may
+/// be handed partitions an earlier owner finished.
+fn pause_finished(consumer: &mut Consumer, shared: &Shared, parts: &[usize]) {
+    for &p in parts {
+        if shared.partition_done(p) {
+            let _ = consumer.pause(p);
         }
     }
 }
@@ -396,19 +642,16 @@ fn consumer_loop(shared: &Arc<Shared>, member: String, stop: &AtomicBool) -> Res
         .unwrap_or_else(|| shared.coordinator.join(&member));
     let mut consumer = Consumer::new(shared.broker.clone(), &shared.topic, &group, &parts)
         .map_err(|e| e.to_string())?;
+    pause_finished(&mut consumer, shared, &parts);
     let (mut fn_gen, factory) = shared.cloud_slot.current();
     let mut func: CloudFn = factory(ctx);
+    let counters = HotCounters::new(ctx);
     let mut processed = 0u64;
     // One scratch block per consumer: every message decodes into it
     // (`decode_any_into`), so the steady state allocates nothing even for
     // the paper's 2.6 MB messages — the data Vec reaches its high-water
     // capacity after the first message and is reused thereafter.
     let mut scratch = pilot_datagen::Block::default();
-    // Rotating start index so the blocking poll (and fetch priority) moves
-    // round-robin across assigned partitions instead of always favouring
-    // the first — without this, partition `live[0]` drains ahead of the
-    // rest whenever one consumer owns several partitions.
-    let mut rr = 0usize;
 
     while !stop.load(Ordering::Relaxed)
         && !shared.stop_all.load(Ordering::Relaxed)
@@ -422,6 +665,7 @@ fn consumer_loop(shared: &Arc<Shared>, member: String, stop: &AtomicBool) -> Res
                     parts = p;
                     consumer = Consumer::new(shared.broker.clone(), &shared.topic, &group, &parts)
                         .map_err(|e| e.to_string())?;
+                    pause_finished(&mut consumer, shared, &parts);
                 }
                 None => break,
             }
@@ -433,42 +677,47 @@ fn consumer_loop(shared: &Arc<Shared>, member: String, stop: &AtomicBool) -> Res
             func = factory(ctx);
         }
 
-        let live: Vec<usize> = parts
-            .iter()
-            .copied()
-            .filter(|&p| !shared.partition_done(p))
-            .collect();
-        if live.is_empty() {
+        if parts.is_empty() || consumer.paused().len() == parts.len() {
             // Nothing assigned (or all assigned partitions finished): idle
             // politely until rebalance or completion.
             std::thread::sleep(shared.cfg.poll_timeout);
             continue;
         }
-        for k in 0..live.len() {
-            let p = live[(rr + k) % live.len()];
-            let timeout = if k == 0 {
-                shared.cfg.poll_timeout
-            } else {
-                Duration::ZERO
-            };
-            let records = consumer
-                .poll_partition(p, shared.cfg.fetch_max, timeout)
-                .map_err(|e| e.to_string())?;
-            let metrics = shared.metrics();
+        // One multi-partition fetch for everything this member owns: a
+        // single blocking wait on the topic's arrival condvar, however many
+        // partitions are assigned (a member owning 128 partitions of a
+        // 1024-device cell pays one wakeup, not 128 poll timeouts).
+        let batches = consumer
+            .poll_many(shared.cfg.fetch_max, shared.cfg.poll_timeout)
+            .map_err(|e| e.to_string())?;
+        if batches.is_empty() {
+            continue;
+        }
+        let metrics = shared.metrics();
+        for (p, records) in batches {
             for record in records {
                 if record.value.is_empty() {
                     shared.mark_partition_done(p);
+                    let _ = consumer.pause(p);
                     continue;
                 }
                 // Broker → cloud transport, paid inline.
                 let n0 = metrics.now_us();
                 shared.link_broker_cloud.transfer(record.value.len() as u64);
                 let n1 = metrics.now_us();
-                processed += process_record(shared, p, &record, n0, n1, &mut func, &mut scratch)?;
+                processed += process_record(
+                    shared,
+                    p,
+                    &record,
+                    n0,
+                    n1,
+                    &mut func,
+                    &mut scratch,
+                    &counters,
+                )?;
             }
-            consumer.commit();
         }
-        rr = rr.wrapping_add(1);
+        consumer.commit();
     }
     consumer.commit();
     shared.coordinator.leave(&member);
@@ -509,11 +758,8 @@ fn prefetch_loop(
             return;
         }
     };
+    pause_finished(&mut consumer, shared, &parts);
     let metrics = shared.metrics();
-    let mut rr = 0usize;
-    // Partitions whose sentinel this thread already forwarded: stop
-    // polling them even before the processing loop marks them done.
-    let mut sentinel_sent: HashSet<usize> = HashSet::new();
     while !quit.load(Ordering::Relaxed)
         && !shared.stop_all.load(Ordering::Relaxed)
         && !shared.all_partitions_done()
@@ -531,38 +777,30 @@ fn prefetch_loop(
                                 return;
                             }
                         };
-                    // Redelivery after a rebalance may replay a sentinel.
-                    sentinel_sent.clear();
+                    // A replayed sentinel after a rebalance is forwarded
+                    // again; marking done is idempotent downstream.
+                    pause_finished(&mut consumer, shared, &parts);
                 }
                 None => break,
             }
         }
-        let live: Vec<usize> = parts
-            .iter()
-            .copied()
-            .filter(|&p| !shared.partition_done(p) && !sentinel_sent.contains(&p))
-            .collect();
-        if live.is_empty() {
+        if parts.is_empty() || consumer.paused().len() == parts.len() {
             std::thread::sleep(shared.cfg.poll_timeout);
             continue;
         }
-        for k in 0..live.len() {
-            let p = live[(rr + k) % live.len()];
-            let timeout = if k == 0 {
-                shared.cfg.poll_timeout
-            } else {
-                Duration::ZERO
-            };
-            let records = match consumer.poll_partition(p, shared.cfg.fetch_max, timeout) {
-                Ok(r) => r,
-                Err(e) => {
-                    let _ = tx.send(Err(e.to_string()));
-                    return;
-                }
-            };
-            if records.is_empty() {
-                continue;
+        // One multi-partition fetch across everything this member owns
+        // (shared condvar wait, not a timeout per partition).
+        let batches = match consumer.poll_many(shared.cfg.fetch_max, shared.cfg.poll_timeout) {
+            Ok(b) => b,
+            Err(e) => {
+                let _ = tx.send(Err(e.to_string()));
+                return;
             }
+        };
+        if batches.is_empty() {
+            continue;
+        }
+        for (p, records) in batches {
             // Pay the broker → cloud transfer for the whole batch while
             // the processing loop chews on earlier batches: one
             // reservation, transit for the summed bytes, propagation once.
@@ -577,7 +815,9 @@ fn prefetch_loop(
             }
             let net_end_us = metrics.now_us();
             if records.iter().any(|r| r.value.is_empty()) {
-                sentinel_sent.insert(p);
+                // Sentinel forwarded: stop polling this partition even
+                // before the processing loop marks it done.
+                let _ = consumer.pause(p);
             }
             let batch = FetchedBatch {
                 partition: p,
@@ -590,10 +830,9 @@ fn prefetch_loop(
                 // successor redelivers (at-least-once).
                 return;
             }
-            // Commit only after the batch is safely queued.
-            consumer.commit();
         }
-        rr = rr.wrapping_add(1);
+        // Commit only after the fetched batches are safely queued.
+        consumer.commit();
     }
     consumer.commit();
 }
@@ -617,6 +856,7 @@ fn consumer_loop_prefetch(
     };
     let (mut fn_gen, factory) = shared.cloud_slot.current();
     let mut func: CloudFn = factory(ctx);
+    let counters = HotCounters::new(ctx);
     let mut processed = 0u64;
     let mut scratch = pilot_datagen::Block::default();
     let result = loop {
@@ -648,6 +888,7 @@ fn consumer_loop_prefetch(
                         batch.net_end_us,
                         &mut func,
                         &mut scratch,
+                        &counters,
                     ) {
                         Ok(n) => processed += n,
                         Err(e) => {
@@ -753,23 +994,45 @@ pub(crate) fn start(
         .client()
         .map_err(|e| PipelineError::Task(e.to_string()))?;
 
-    // Producer tasks: one per device, each occupying one edge worker core
-    // (the paper's "edge devices are simulated with a Dask task").
     let fns = Arc::new(ProducerFns {
         produce: builder.produce_factory.clone().expect("validated"),
         edge: builder.edge_factory.clone(),
     });
-    let mut producers = Vec::with_capacity(cfg.devices);
-    for device in 0..cfg.devices {
-        let shared2 = Arc::clone(&shared);
-        let fns2 = Arc::clone(&fns);
-        let fut = edge_client.submit_full(
-            &format!("produce-edge-{device}"),
-            Resources::default(),
-            &[],
-            move |_| producer_loop(&shared2, device, &fns2).map(|n| Arc::new(n) as Payload),
-        )?;
-        producers.push(fut);
+    let mut producers = Vec::new();
+    if let Some(workers) = cfg.producer_threads {
+        // Multiplexed engine: N devices share `workers` engine tasks via a
+        // deadline heap — the fan-in scale-out path for 1000-device cells,
+        // where thread-per-device would need 1000 edge cores.
+        let engine = Arc::new(ProducerEngine::new(cfg.devices));
+        for device in 0..cfg.devices {
+            engine.push(Box::new(DeviceProducer::new(&shared, device, &fns)));
+        }
+        for w in 0..workers {
+            let shared2 = Arc::clone(&shared);
+            let engine2 = Arc::clone(&engine);
+            let fut = edge_client.submit_full(
+                &format!("produce-mux-{w}"),
+                Resources::default(),
+                &[],
+                move |_| engine_worker(&shared2, &engine2).map(|n| Arc::new(n) as Payload),
+            )?;
+            producers.push(fut);
+        }
+    } else {
+        // Producer tasks: one per device, each occupying one edge worker
+        // core (the paper's "edge devices are simulated with a Dask task").
+        producers.reserve(cfg.devices);
+        for device in 0..cfg.devices {
+            let shared2 = Arc::clone(&shared);
+            let fns2 = Arc::clone(&fns);
+            let fut = edge_client.submit_full(
+                &format!("produce-edge-{device}"),
+                Resources::default(),
+                &[],
+                move |_| producer_loop(&shared2, device, &fns2).map(|n| Arc::new(n) as Payload),
+            )?;
+            producers.push(fut);
+        }
     }
 
     let ctl = Arc::new(PipelineCtl {

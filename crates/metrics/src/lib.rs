@@ -44,6 +44,6 @@ pub use energy::{EnergyModel, ResourceClass};
 pub use export::{read_csv, write_csv};
 pub use histogram::Histogram;
 pub use registry::MetricsRegistry;
-pub use report::{ComponentStats, EndToEnd, PipelineReport};
+pub use report::{ComponentStats, EndToEnd, PipelineReport, ReportBuilder};
 pub use span::{Component, JobId, MsgId, Span, SpanBuilder};
 pub use timeline::{TimeBucket, Timeline};

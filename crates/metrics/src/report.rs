@@ -76,46 +76,43 @@ pub struct PipelineReport {
     pub end_to_end: EndToEnd,
 }
 
-impl PipelineReport {
-    /// Build a report from raw spans.
-    pub fn from_spans(spans: &[Span]) -> Self {
-        // --- per-component aggregation -----------------------------------
-        let mut per_comp: BTreeMap<Component, (Histogram, u64, u64, u64, u64, u64)> =
-            BTreeMap::new();
-        // value = (hist, count, errors, bytes, min_start, max_end)
-        for s in spans {
-            let e = per_comp
-                .entry(s.component.clone())
-                .or_insert_with(|| (Histogram::new(), 0, 0, 0, u64::MAX, 0));
-            if s.error {
-                e.2 += 1;
-            } else {
-                e.0.record(s.duration_us());
-                e.1 += 1;
-                e.3 += s.bytes;
-            }
-            e.4 = e.4.min(s.start_us);
-            e.5 = e.5.max(s.end_us);
-        }
-        let components = per_comp
-            .into_iter()
-            .map(
-                |(component, (service_us, count, errors, bytes, min_s, max_e))| ComponentStats {
-                    component,
-                    count,
-                    errors,
-                    bytes,
-                    service_us,
-                    window_us: max_e.saturating_sub(if min_s == u64::MAX { 0 } else { min_s }),
-                },
-            )
-            .collect();
+/// Incremental report aggregation: feed spans one at a time ([`Self::add`])
+/// and [`Self::finish`]. One pass, no span clones — the registry's report
+/// paths stream shard contents through this instead of materialising a
+/// cloned `Vec<Span>` (ruinous at ~1M spans).
+#[derive(Debug, Default)]
+pub struct ReportBuilder {
+    /// component → (hist, count, errors, bytes, min_start, max_end)
+    per_comp: BTreeMap<Component, (Histogram, u64, u64, u64, u64, u64)>,
+    /// (job_id, msg_id) → (first_start, last_end, payload_bytes)
+    per_msg: BTreeMap<(u64, u64), (u64, u64, u64)>,
+}
 
-        // --- end-to-end linking by (job_id, msg_id) ----------------------
-        let mut per_msg: BTreeMap<(u64, u64), (u64, u64, u64)> = BTreeMap::new();
-        // value = (first_start, last_end, payload_bytes)
-        for s in spans.iter().filter(|s| !s.error) {
-            let e = per_msg
+impl ReportBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one span into the aggregate.
+    pub fn add(&mut self, s: &Span) {
+        let e = self
+            .per_comp
+            .entry(s.component.clone())
+            .or_insert_with(|| (Histogram::new(), 0, 0, 0, u64::MAX, 0));
+        if s.error {
+            e.2 += 1;
+        } else {
+            e.0.record(s.duration_us());
+            e.1 += 1;
+            e.3 += s.bytes;
+        }
+        e.4 = e.4.min(s.start_us);
+        e.5 = e.5.max(s.end_us);
+
+        if !s.error {
+            let e = self
+                .per_msg
                 .entry((s.job_id, s.msg_id))
                 .or_insert((u64::MAX, 0, 0));
             e.0 = e.0.min(s.start_us);
@@ -129,17 +126,36 @@ impl PipelineReport {
                 e.2 = e.2.max(s.bytes);
             }
         }
+    }
+
+    /// Aggregate everything folded so far into the final report.
+    pub fn finish(self) -> PipelineReport {
+        let components = self
+            .per_comp
+            .into_iter()
+            .map(
+                |(component, (service_us, count, errors, bytes, min_s, max_e))| ComponentStats {
+                    component,
+                    count,
+                    errors,
+                    bytes,
+                    service_us,
+                    window_us: max_e.saturating_sub(if min_s == u64::MAX { 0 } else { min_s }),
+                },
+            )
+            .collect();
+
         let mut latency_us = Histogram::new();
         let mut total_bytes = 0u64;
         let mut job_start = u64::MAX;
         let mut job_end = 0u64;
-        for &(first, last, bytes) in per_msg.values() {
+        for &(first, last, bytes) in self.per_msg.values() {
             latency_us.record(last.saturating_sub(first));
             total_bytes += bytes;
             job_start = job_start.min(first);
             job_end = job_end.max(last);
         }
-        let messages = per_msg.len() as u64;
+        let messages = self.per_msg.len() as u64;
         let window = job_end.saturating_sub(if job_start == u64::MAX { 0 } else { job_start });
         let (throughput_msgs, throughput_mb) = if window == 0 {
             (0.0, 0.0)
@@ -157,6 +173,17 @@ impl PipelineReport {
                 throughput_mb,
             },
         }
+    }
+}
+
+impl PipelineReport {
+    /// Build a report from raw spans.
+    pub fn from_spans(spans: &[Span]) -> Self {
+        let mut b = ReportBuilder::new();
+        for s in spans {
+            b.add(s);
+        }
+        b.finish()
     }
 
     /// Number of distinct messages observed.
