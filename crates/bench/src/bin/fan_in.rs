@@ -6,7 +6,7 @@
 //! engine (4 workers) and a constant consumer pool (4 members), so the
 //! thread count stays flat while the partition count grows 256×. What the
 //! sweep measures is therefore pure fan-in overhead: per-device producer
-//! state on the deadline heap, per-partition bookkeeping in the broker,
+//! state on the deadline queue, per-partition bookkeeping in the broker,
 //! and the consumer-side multi-partition fetch. With near-flat per-message
 //! overhead the `overhead_us_per_msg` column stays within ~2× between the
 //! 16-device and 1024-device rows; thread-per-device producers and

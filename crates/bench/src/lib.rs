@@ -76,6 +76,9 @@ pub struct CellOpts {
     /// edge pilot is provisioned with this many cores instead of one per
     /// device — how 1024-device cells run on small hosts.
     pub producer_threads: Option<usize>,
+    /// Width of the intra-task compute pool shared by the cloud
+    /// processors (None = one lane per cloud core, the default sizing).
+    pub compute_threads: Option<usize>,
 }
 
 impl Default for CellOpts {
@@ -94,6 +97,7 @@ impl Default for CellOpts {
             linger: Duration::ZERO,
             prefetch_depth: 0,
             producer_threads: None,
+            compute_threads: None,
         }
     }
 }
@@ -183,6 +187,9 @@ pub fn run_cell(opts: &CellOpts) -> RunSummary {
         .prefetch_depth(opts.prefetch_depth);
     if let Some(n) = opts.producer_threads {
         builder = builder.producer_threads(n);
+    }
+    if let Some(n) = opts.compute_threads {
+        builder = builder.compute_threads(n);
     }
     if opts.mode.edge_processing() {
         builder = builder.process_edge_function(downsample_edge_factory(opts.downsample));

@@ -246,6 +246,15 @@ impl Consumer {
         p
     }
 
+    /// Whether every assigned partition is paused (`false` when nothing is
+    /// assigned). The consumer's idle condition: with all partitions paused
+    /// a poll would return nothing, so callers should sleep instead of
+    /// spinning. Allocation-free, unlike comparing [`Consumer::paused`]
+    /// against the assignment length.
+    pub fn all_paused(&self) -> bool {
+        !self.positions.is_empty() && self.paused.len() == self.positions.len()
+    }
+
     /// Commit current positions for the group: one batched write under
     /// interned ids, regardless of how many partitions this member owns.
     pub fn commit(&self) {
@@ -315,6 +324,19 @@ mod tests {
 
     fn rec(s: &str) -> Record {
         Record::new(bytes::Bytes::copy_from_slice(s.as_bytes()))
+    }
+
+    #[test]
+    fn all_paused_tracks_assignment() {
+        let b = setup(2);
+        let mut c = Consumer::new(b, "t", "g", &[0, 1]).unwrap();
+        assert!(!c.all_paused());
+        c.pause(0).unwrap();
+        assert!(!c.all_paused());
+        c.pause(1).unwrap();
+        assert!(c.all_paused());
+        c.resume(0);
+        assert!(!c.all_paused());
     }
 
     #[test]

@@ -37,6 +37,6 @@ pub mod scheduler;
 pub mod task;
 
 pub use cluster::{Client, ClusterStats, LocalCluster};
-pub use pool::ComputePool;
 pub use future::TaskFuture;
+pub use pool::ComputePool;
 pub use task::{Payload, Resources, TaskError, TaskId, TaskState};

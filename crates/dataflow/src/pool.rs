@@ -49,10 +49,7 @@ impl Job {
     /// have finished calling it.
     unsafe fn new(f: &(dyn Fn() + Sync)) -> Self {
         // Erase the borrow's lifetime; the join protocol reinstates it.
-        Job(std::mem::transmute::<
-            &(dyn Fn() + Sync),
-            &'static (dyn Fn() + Sync),
-        >(f) as *const _)
+        Job(std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(f) as *const _)
     }
 
     fn call(&self) {
@@ -429,7 +426,8 @@ mod tests {
     fn borrows_caller_state() {
         let pool = ComputePool::new(3);
         let input: Vec<u64> = (0..512).collect();
-        let sum: u64 = pool.map(8, |ci| input[ci * 64..(ci + 1) * 64].iter().sum::<u64>())
+        let sum: u64 = pool
+            .map(8, |ci| input[ci * 64..(ci + 1) * 64].iter().sum::<u64>())
             .into_iter()
             .sum();
         assert_eq!(sum, (0..512).sum::<u64>());

@@ -26,10 +26,12 @@
 //!   can be programmatically replaced at runtime").
 //! * [`pipeline`] — [`EdgeToCloudPipeline`], the Listing-2 builder, plus
 //!   validation of pilot capacities against the paper's resource envelopes.
-//! * [`runtime`] — the running pipeline: producer tasks on the edge pilot,
-//!   consumer tasks on the cloud pilot (partition:consumer ratio 1:1 by
-//!   default), sentinel-based termination, dynamic processor scaling via
-//!   consumer-group rebalancing.
+//! * [`runtime`] — the running pipeline as a *staged engine*: every task
+//!   (producer engine workers on the edge pilot, consumer members on the
+//!   cloud pilot, partition:consumer ratio 1:1 by default) follows one
+//!   `Stage` lifecycle — spawn → step → drain → abort — with sentinel-based
+//!   termination and dynamic processor scaling via consumer-group
+//!   rebalancing. See DESIGN.md §10 for the module map.
 //! * [`deployment`] — the paper's deployment modalities (cloud-centric /
 //!   hybrid / edge-centric) deciding where `process_edge` runs and what
 //!   crosses the WAN.
@@ -65,5 +67,8 @@ pub use deployment::DeploymentMode;
 pub use faas::{CloudFactory, Context, EdgeFactory, ProcessOutcome, ProduceFactory};
 pub use pilot_dataflow::ComputePool;
 pub use pipeline::{EdgeToCloudPipeline, PipelineConfig, PipelineError};
+pub use runtime::config::{
+    ConsumerConfig, ProducerConfig, ProducerEngineKind, StageConfigs, TransportConfig,
+};
 pub use runtime::RunningPipeline;
 pub use summary::RunSummary;

@@ -69,7 +69,10 @@ pub struct PipelineConfig {
     /// batch-mates before the batch ships anyway (the `linger.ms` of
     /// Kafka's producer). `Duration::ZERO` (the default) ships every
     /// message immediately on its own reservation — still pipelined when
-    /// `batch_max_bytes > 0`, just without coalescing.
+    /// `batch_max_bytes > 0`, just without coalescing. A positive linger
+    /// with `batch_max_bytes == 0` is rejected by [`Self::validate`]
+    /// (there is no batcher for the window to apply to, so it would
+    /// silently do nothing).
     pub linger: Duration,
     /// Batches each consumer fetches ahead of processing. `0` (the
     /// default) disables prefetch: the consumer pays the broker→cloud
@@ -81,7 +84,7 @@ pub struct PipelineConfig {
     /// Edge producer engine. `None` (the default) runs one producer task
     /// per device (the paper's "edge devices are simulated with a Dask
     /// task"), requiring `devices` edge cores. `Some(k)` multiplexes all
-    /// devices onto `k` engine worker tasks via a deadline heap keyed by
+    /// devices onto `k` engine worker tasks via a deadline queue keyed by
     /// each device's next send time ([`Self::rate_per_device`]) — the
     /// fan-in scale-out for ~1000-device cells, where thread-per-device
     /// would need ~1000 edge cores. Per-device message content, ordering,
@@ -123,6 +126,9 @@ pub enum PipelineError {
     },
     /// A pilot is too small for the requested topology.
     Capacity(String),
+    /// The knob combination is inconsistent (see
+    /// [`PipelineConfig::validate`]).
+    Config(String),
     /// The broker rejected an operation.
     Broker(String),
     /// Task submission failed.
@@ -139,6 +145,7 @@ impl std::fmt::Display for PipelineError {
                 write!(f, "pilot '{which}' is not active (state: {state})")
             }
             PipelineError::Capacity(msg) => write!(f, "insufficient pilot capacity: {msg}"),
+            PipelineError::Config(msg) => write!(f, "invalid pipeline config: {msg}"),
             PipelineError::Broker(msg) => write!(f, "broker error: {msg}"),
             PipelineError::Task(msg) => write!(f, "task error: {msg}"),
             PipelineError::Timeout => write!(f, "pipeline run timed out"),
@@ -304,7 +311,8 @@ impl EdgeToCloudPipeline {
     }
 
     /// Max time the first message of a producer batch waits for
-    /// batch-mates (only meaningful with `batch_max_bytes > 0`). See
+    /// batch-mates. Requires `batch_max_bytes > 0` (a positive linger
+    /// without batching is rejected at start). See
     /// [`PipelineConfig::linger`].
     pub fn linger(mut self, linger: Duration) -> Self {
         self.config.linger = linger;
@@ -358,17 +366,9 @@ impl EdgeToCloudPipeline {
             return Err(PipelineError::Missing("process_cloud_function"));
         }
         let cfg = &self.config;
-        if cfg.devices == 0 {
-            return Err(PipelineError::Capacity("devices must be > 0".into()));
-        }
-        if cfg.processors == 0 {
-            return Err(PipelineError::Capacity("processors must be > 0".into()));
-        }
-        if cfg.producer_threads == Some(0) {
-            return Err(PipelineError::Capacity(
-                "producer_threads must be > 0 when set".into(),
-            ));
-        }
+        // Knob consistency (devices/processors > 0, no zero-width pools,
+        // no linger without batching) — see `PipelineConfig::validate`.
+        cfg.validate()?;
         // One core per edge task, one per consumer — the paper's task
         // granularity. The multiplexed engine needs `producer_threads`
         // edge cores; thread-per-device needs one per device. Undersized
@@ -454,6 +454,24 @@ mod tests {
             .start()
             .unwrap_err();
         assert!(matches!(err, PipelineError::Capacity(_)), "{err}");
+    }
+
+    #[test]
+    fn start_rejects_inconsistent_knobs() {
+        // validate() runs inside start(): a linger without batching must
+        // be rejected before any resource is provisioned.
+        let svc = PilotComputeService::new();
+        let edge = active_pilot(&svc, 1);
+        let cloud = active_pilot(&svc, 1);
+        let err = EdgeToCloudPipeline::builder()
+            .pilot_edge(edge)
+            .pilot_cloud_processing(cloud)
+            .produce_function(datagen_produce_factory(DataGenConfig::paper(5), 1))
+            .process_cloud_function(baseline_factory())
+            .linger(Duration::from_millis(2))
+            .start()
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Config(_)), "{err}");
     }
 
     #[test]

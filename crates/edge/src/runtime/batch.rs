@@ -1,0 +1,144 @@
+//! Producer-side batching — the accumulate / flush / double-buffer logic of
+//! the pipelined transport, implemented exactly once.
+//!
+//! Encoded messages accumulate in a [`Batcher`] until their summed size
+//! reaches `batch_max_bytes` or the linger window closes; the batch then
+//! ships over one non-blocking link reservation while the next batch
+//! encodes (at most one batch stays in flight — a double buffer). When the
+//! reservation completes, each message is appended to the broker
+//! individually with its own Network and Broker spans, so offsets, ordering
+//! and the per-message span chain are identical to the serial path.
+
+use super::Shared;
+use bytes::Bytes;
+use pilot_broker::Record;
+use pilot_metrics::Component;
+use pilot_netsim::Reservation;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// An encoded message waiting inside (or in flight with) a producer batch.
+pub(crate) struct PendingMsg {
+    /// Encoded wire payload.
+    pub(crate) payload: Bytes,
+    /// Metric msg id (device packed into the high bits).
+    pub(crate) mid: u64,
+    /// Produce start timestamp (also the record timestamp).
+    pub(crate) t0: u64,
+}
+
+/// A batch whose link reservation is in flight: the reservation, the
+/// batch's network-span start, and the messages aboard.
+struct InFlightBatch {
+    reservation: Reservation,
+    net_start_us: u64,
+    msgs: Vec<PendingMsg>,
+}
+
+/// One device's batching state: the open (accumulating) batch and the
+/// in-flight double buffer. Owned by a `DeviceProducer`, so interleaved
+/// stepping on multiplexed engine workers can never mix batches across
+/// devices.
+pub(crate) struct Batcher {
+    device: usize,
+    pending: Vec<PendingMsg>,
+    pending_bytes: usize,
+    batch_open: Option<Instant>,
+    in_flight: VecDeque<InFlightBatch>,
+}
+
+impl Batcher {
+    pub(crate) fn new(device: usize) -> Self {
+        Self {
+            device,
+            pending: Vec::new(),
+            pending_bytes: 0,
+            batch_open: None,
+            in_flight: VecDeque::new(),
+        }
+    }
+
+    /// Accumulate one encoded message; the batch ships when it is full or
+    /// its linger window closed. The reservation completes (and the
+    /// messages append) while later messages encode.
+    pub(crate) fn push(&mut self, shared: &Shared, msg: PendingMsg) -> Result<(), String> {
+        self.pending_bytes += msg.payload.len();
+        self.pending.push(msg);
+        let opened = *self.batch_open.get_or_insert_with(Instant::now);
+        if self.pending_bytes >= shared.transport.batch_max_bytes
+            || opened.elapsed() >= shared.transport.linger
+        {
+            self.flush(shared)?;
+        }
+        Ok(())
+    }
+
+    /// Ship the accumulated batch over one link reservation (non-blocking)
+    /// and complete older batches so at most one stays in flight.
+    pub(crate) fn flush(&mut self, shared: &Shared) -> Result<(), String> {
+        self.pending_bytes = 0;
+        self.batch_open = None;
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let sizes: Vec<u64> = self
+            .pending
+            .iter()
+            .map(|m| m.payload.len() as u64)
+            .collect();
+        let net_start_us = shared.metrics().now_us();
+        let reservation = shared.link_edge_broker.reserve_batch(&sizes);
+        self.in_flight.push_back(InFlightBatch {
+            reservation,
+            net_start_us,
+            msgs: std::mem::take(&mut self.pending),
+        });
+        while self.in_flight.len() > 1 {
+            self.complete_oldest(shared)?;
+        }
+        Ok(())
+    }
+
+    /// Flush and wait out everything still in flight — called before the
+    /// sentinel so every message lands in the partition first.
+    pub(crate) fn drain(&mut self, shared: &Shared) -> Result<(), String> {
+        self.flush(shared)?;
+        while !self.in_flight.is_empty() {
+            self.complete_oldest(shared)?;
+        }
+        Ok(())
+    }
+
+    /// Wait out the oldest in-flight batch's reservation, then append its
+    /// messages individually (offsets and ordering as in the serial path)
+    /// with per-message Network and Broker spans.
+    fn complete_oldest(&mut self, shared: &Shared) -> Result<(), String> {
+        let Some(batch) = self.in_flight.pop_front() else {
+            return Ok(());
+        };
+        let spans = shared.spans();
+        batch.reservation.wait();
+        let net_end_us = spans.now_us();
+        for msg in batch.msgs {
+            let bytes = msg.payload.len() as u64;
+            spans.record(
+                msg.mid,
+                Component::Network(shared.link_edge_broker.name().to_string()),
+                batch.net_start_us,
+                net_end_us,
+                bytes,
+            );
+            let b0 = spans.now_us();
+            shared
+                .broker
+                .append(
+                    &shared.topic,
+                    self.device,
+                    Record::new(msg.payload).with_timestamp(msg.t0),
+                )
+                .map_err(|e| e.to_string())?;
+            spans.record(msg.mid, Component::Broker, b0, spans.now_us(), bytes);
+        }
+        Ok(())
+    }
+}

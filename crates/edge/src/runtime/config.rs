@@ -1,0 +1,253 @@
+//! Per-stage configuration: the validated form of [`PipelineConfig`].
+//!
+//! The flat [`PipelineConfig`] (and its builder methods) stays the public
+//! compatibility surface; [`PipelineConfig::resolve`] turns it into
+//! [`StageConfigs`] — one sub-config per stage, checked by
+//! [`PipelineConfig::validate`] — at `start()`. The stages only ever see
+//! their own sub-config, so a knob cannot leak into the wrong stage.
+
+use crate::deployment::DeploymentMode;
+use crate::pipeline::{PipelineConfig, PipelineError};
+use std::time::Duration;
+
+/// Which engine drives the edge producers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProducerEngineKind {
+    /// One dedicated engine worker per device (the default, the paper's
+    /// "edge devices are simulated with a Dask task"): each device gets its
+    /// own task driving a degenerate one-device engine.
+    Dedicated,
+    /// All devices multiplexed onto `workers` engine workers via the
+    /// deadline queue ([`PipelineConfig::producer_threads`]).
+    Multiplexed {
+        /// Engine worker tasks sharing the device set.
+        workers: usize,
+    },
+}
+
+/// Producer-stage configuration (who produces, how fast, where edge
+/// processing runs).
+#[derive(Debug, Clone)]
+pub struct ProducerConfig {
+    /// Edge devices = broker partitions.
+    pub devices: usize,
+    /// Dedicated task per device, or a multiplexed worker pool.
+    pub engine: ProducerEngineKind,
+    /// Per-device send rate in messages/second (0 = unthrottled).
+    pub rate_per_device: f64,
+    /// Deployment modality (decides whether `process_edge` runs).
+    pub mode: DeploymentMode,
+}
+
+/// Transport-stage configuration (how encoded messages cross the
+/// edge→broker link).
+#[derive(Debug, Clone)]
+pub struct TransportConfig {
+    /// Wire codec for blocks crossing the network.
+    pub codec: pilot_datagen::Codec,
+    /// Producer batch threshold in encoded bytes (0 = serial per-message
+    /// transfers, the default).
+    pub batch_max_bytes: usize,
+    /// How long the first message of a batch may wait for batch-mates.
+    pub linger: Duration,
+}
+
+impl TransportConfig {
+    /// Whether producer batching (the pipelined transport) is on.
+    pub fn batching(&self) -> bool {
+        self.batch_max_bytes > 0
+    }
+}
+
+/// Consumer-stage configuration (fetch, prefetch, and processor pool).
+#[derive(Debug, Clone)]
+pub struct ConsumerConfig {
+    /// Initial consumer-task count.
+    pub processors: usize,
+    /// Batches each consumer fetches ahead of processing (0 = fetch
+    /// inlined in the processing loop, the default).
+    pub prefetch_depth: usize,
+    /// Max records per partition per fetch.
+    pub fetch_max: usize,
+    /// Blocking-poll timeout per consumer loop iteration.
+    pub poll_timeout: Duration,
+}
+
+/// The per-stage sub-configs resolved from a validated [`PipelineConfig`]
+/// at `start()`.
+#[derive(Debug, Clone)]
+pub struct StageConfigs {
+    /// Producer stage.
+    pub producer: ProducerConfig,
+    /// Edge→broker transport.
+    pub transport: TransportConfig,
+    /// Consumer stage.
+    pub consumer: ConsumerConfig,
+}
+
+impl PipelineConfig {
+    /// Check knob consistency without needing pilots.
+    ///
+    /// Rejected configurations:
+    /// * `devices == 0` or `processors == 0` ([`PipelineError::Capacity`]);
+    /// * `producer_threads == Some(0)` — a multiplexed engine with no
+    ///   workers would strand every device ([`PipelineError::Config`]);
+    /// * `compute_threads == Some(0)` — a width-0 compute pool cannot run
+    ///   anything ([`PipelineError::Config`]);
+    /// * `linger > 0` with `batch_max_bytes == 0` — the linger window only
+    ///   exists inside the batcher, so this combination used to be a silent
+    ///   no-op; it is now an error so the intent (batching) is explicit
+    ///   ([`PipelineError::Config`]).
+    ///
+    /// Called by `EdgeToCloudPipeline::start()` before any resource is
+    /// provisioned; also usable directly on a hand-built config.
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        if self.devices == 0 {
+            return Err(PipelineError::Capacity("devices must be > 0".into()));
+        }
+        if self.processors == 0 {
+            return Err(PipelineError::Capacity("processors must be > 0".into()));
+        }
+        if self.producer_threads == Some(0) {
+            return Err(PipelineError::Config(
+                "producer_threads must be > 0 when set".into(),
+            ));
+        }
+        if self.compute_threads == Some(0) {
+            return Err(PipelineError::Config(
+                "compute_threads must be > 0 when set".into(),
+            ));
+        }
+        if self.linger > Duration::ZERO && self.batch_max_bytes == 0 {
+            return Err(PipelineError::Config(
+                "linger requires batch_max_bytes > 0 (a linger window without \
+                 batching would silently do nothing)"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Validate and split into per-stage sub-configs.
+    pub fn resolve(&self) -> Result<StageConfigs, PipelineError> {
+        self.validate()?;
+        Ok(StageConfigs {
+            producer: ProducerConfig {
+                devices: self.devices,
+                engine: match self.producer_threads {
+                    Some(workers) => ProducerEngineKind::Multiplexed { workers },
+                    None => ProducerEngineKind::Dedicated,
+                },
+                rate_per_device: self.rate_per_device,
+                mode: self.mode,
+            },
+            transport: TransportConfig {
+                codec: self.codec,
+                batch_max_bytes: self.batch_max_bytes,
+                linger: self.linger,
+            },
+            consumer: ConsumerConfig {
+                processors: self.processors,
+                prefetch_depth: self.prefetch_depth,
+                fetch_max: self.fetch_max,
+                poll_timeout: self.poll_timeout,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        assert!(PipelineConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_devices_rejected() {
+        let cfg = PipelineConfig {
+            devices: 0,
+            ..PipelineConfig::default()
+        };
+        assert!(matches!(cfg.validate(), Err(PipelineError::Capacity(_))));
+    }
+
+    #[test]
+    fn zero_processors_rejected() {
+        let cfg = PipelineConfig {
+            processors: 0,
+            ..PipelineConfig::default()
+        };
+        assert!(matches!(cfg.validate(), Err(PipelineError::Capacity(_))));
+    }
+
+    #[test]
+    fn zero_producer_threads_rejected() {
+        let cfg = PipelineConfig {
+            producer_threads: Some(0),
+            ..PipelineConfig::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(err, PipelineError::Config(_)), "{err}");
+        assert!(err.to_string().contains("producer_threads"));
+    }
+
+    #[test]
+    fn zero_compute_threads_rejected() {
+        let cfg = PipelineConfig {
+            compute_threads: Some(0),
+            ..PipelineConfig::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(err, PipelineError::Config(_)), "{err}");
+        assert!(err.to_string().contains("compute_threads"));
+    }
+
+    #[test]
+    fn linger_without_batching_rejected() {
+        let cfg = PipelineConfig {
+            linger: Duration::from_millis(2),
+            ..PipelineConfig::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(err, PipelineError::Config(_)), "{err}");
+        assert!(err.to_string().contains("batch_max_bytes"));
+    }
+
+    #[test]
+    fn linger_with_batching_accepted() {
+        let cfg = PipelineConfig {
+            linger: Duration::from_millis(2),
+            batch_max_bytes: 64 * 1024,
+            ..PipelineConfig::default()
+        };
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn resolve_maps_knobs_onto_stages() {
+        let cfg = PipelineConfig {
+            devices: 8,
+            processors: 2,
+            producer_threads: Some(3),
+            batch_max_bytes: 1024,
+            linger: Duration::from_millis(1),
+            prefetch_depth: 2,
+            ..PipelineConfig::default()
+        };
+        let stages = cfg.resolve().unwrap();
+        assert_eq!(stages.producer.devices, 8);
+        assert_eq!(
+            stages.producer.engine,
+            ProducerEngineKind::Multiplexed { workers: 3 }
+        );
+        assert!(stages.transport.batching());
+        assert_eq!(stages.consumer.processors, 2);
+        assert_eq!(stages.consumer.prefetch_depth, 2);
+        let dedicated = PipelineConfig::default().resolve().unwrap();
+        assert_eq!(dedicated.producer.engine, ProducerEngineKind::Dedicated);
+        assert!(!dedicated.transport.batching());
+    }
+}

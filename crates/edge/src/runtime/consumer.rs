@@ -1,0 +1,451 @@
+//! The consumer stage: group membership, fetch, broker→cloud transport,
+//! and cloud processing — one implementation for both consumer shapes.
+//!
+//! A [`ConsumerStage`] is either **inline** (prefetch depth 0, the
+//! default): the [`Fetcher`] runs in the processing task and each record
+//! pays its broker→cloud transfer between fetch and process — or
+//! **prefetching** (`prefetch_depth > 0`): the same `Fetcher` moves onto a
+//! dedicated thread that fetches and transfers batch N+1 (one link
+//! reservation per batch) while the stage processes batch N, connected by
+//! a depth-bounded queue (backpressure). The [`Processor`] — decode
+//! scratch, hot-swappable cloud function, counters, span recording — is
+//! identical in both shapes.
+//!
+//! Commit policy (at-least-once): offsets commit once per poll round after
+//! processing (inline) or after queueing (prefetch — records handed to the
+//! processing side count as delivered), plus a final commit on drain.
+
+use super::sentinel;
+use super::spans::{metric_msg_id, HotCounters};
+use super::stage::{Stage, StepOutcome};
+use super::Shared;
+use crate::faas::CloudFn;
+use pilot_broker::{Consumer, Record};
+use pilot_metrics::Component;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// Records fetched (and transferred) from one partition, plus the
+/// wall-clock window their shared broker→cloud transfer occupied.
+struct FetchedBatch {
+    partition: usize,
+    records: Vec<Record>,
+    net_start_us: u64,
+    net_end_us: u64,
+}
+
+/// One member's view of the consumer group: assignment, rebalance
+/// tracking, and the multi-partition fetch. Used directly by the inline
+/// shape and owned by the prefetch thread otherwise — membership logic
+/// exists once.
+struct Fetcher {
+    shared: Arc<Shared>,
+    member: String,
+    group: String,
+    consumer: Consumer,
+    my_gen: u64,
+    parts: Vec<usize>,
+}
+
+impl Fetcher {
+    /// Resolve the member's assignment (membership is normally registered
+    /// at spawn time so the first poll sees the final assignment; join
+    /// here as a fallback) and subscribe to it.
+    fn new(shared: Arc<Shared>, member: String) -> Result<Self, String> {
+        let group = shared.group();
+        let (my_gen, parts) = shared
+            .coordinator
+            .assignment(&member)
+            .unwrap_or_else(|| shared.coordinator.join(&member));
+        let consumer = Self::subscribe(&shared, &group, &parts)?;
+        Ok(Self {
+            shared,
+            member,
+            group,
+            consumer,
+            my_gen,
+            parts,
+        })
+    }
+
+    /// Build a consumer over `parts`, pausing every partition whose
+    /// sentinel was already consumed — a fresh consumer after a rebalance
+    /// may be handed partitions an earlier owner finished.
+    fn subscribe(shared: &Shared, group: &str, parts: &[usize]) -> Result<Consumer, String> {
+        let mut consumer = Consumer::new(shared.broker.clone(), &shared.topic, group, parts)
+            .map_err(|e| e.to_string())?;
+        for &p in parts {
+            if shared.sentinels.is_done(p) {
+                let _ = consumer.pause(p);
+            }
+        }
+        Ok(consumer)
+    }
+
+    /// Re-subscribe if the group generation moved. `Ok(false)` means this
+    /// member is no longer part of the group (retired by a scale-down) and
+    /// the caller should finish.
+    fn sync(&mut self) -> Result<bool, String> {
+        if self.shared.coordinator.generation() != self.my_gen {
+            match self.shared.coordinator.assignment(&self.member) {
+                Some((g, p)) => {
+                    self.my_gen = g;
+                    self.parts = p;
+                    self.consumer = Self::subscribe(&self.shared, &self.group, &self.parts)?;
+                }
+                None => return Ok(false),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Nothing to fetch: no assignment, or every assigned partition
+    /// already finished.
+    fn idle(&self) -> bool {
+        self.parts.is_empty() || self.consumer.all_paused()
+    }
+
+    /// One multi-partition fetch for everything this member owns: a single
+    /// blocking wait on the topic's arrival condvar, however many
+    /// partitions are assigned (a member owning 128 partitions of a
+    /// 1024-device cell pays one wakeup, not 128 poll timeouts).
+    fn poll(&mut self) -> Result<Vec<(usize, Vec<Record>)>, String> {
+        self.consumer
+            .poll_many(
+                self.shared.consumer.fetch_max,
+                self.shared.consumer.poll_timeout,
+            )
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// The cloud-side processing state shared by both consumer shapes: the
+/// hot-swappable function, cached counters, and the decode scratch.
+struct Processor {
+    fn_gen: u64,
+    func: CloudFn,
+    counters: HotCounters,
+    // One scratch block per consumer: every message decodes into it
+    // (`decode_any_into`), so the steady state allocates nothing even for
+    // the paper's 2.6 MB messages — the data Vec reaches its high-water
+    // capacity after the first message and is reused thereafter.
+    scratch: pilot_datagen::Block,
+}
+
+impl Processor {
+    fn new(shared: &Shared) -> Self {
+        let (fn_gen, factory) = shared.cloud_slot.current();
+        Self {
+            fn_gen,
+            func: factory(&shared.ctx),
+            counters: HotCounters::new(&shared.ctx),
+            scratch: pilot_datagen::Block::default(),
+        }
+    }
+
+    /// Re-instantiate the cloud function if it was hot-swapped.
+    fn refresh(&mut self, shared: &Shared) {
+        let (g, factory) = shared.cloud_slot.current();
+        if g != self.fn_gen {
+            self.fn_gen = g;
+            self.func = factory(&shared.ctx);
+        }
+    }
+
+    /// Decode one non-sentinel record and run the cloud function on it,
+    /// recording the Network span over `[net_start_us, net_end_us]` (the
+    /// record's transfer window — per-batch wall clock under prefetch) and
+    /// a CloudProcessor span covering decode + invoke. Returns 1 on
+    /// success, 0 when the invocation failed (the error span is recorded;
+    /// the stream continues — fault isolation).
+    fn process(
+        &mut self,
+        shared: &Shared,
+        partition: usize,
+        record: &Record,
+        net_start_us: u64,
+        net_end_us: u64,
+    ) -> Result<u64, String> {
+        let ctx = &shared.ctx;
+        let spans = shared.spans();
+        let bytes = record.value.len() as u64;
+        // Cloud processing: deserialization is part of the processing
+        // service time (it is what the paper's Dask consumer tasks spend
+        // their floor cost on).
+        let p0 = spans.now_us();
+        let _produced_at = match pilot_datagen::decode_any_into(&record.value, &mut self.scratch) {
+            Ok(v) => v,
+            Err(e) => {
+                self.counters.decode_errors.incr();
+                return Err(format!("wire decode failed: {e}"));
+            }
+        };
+        let mid = metric_msg_id(partition, self.scratch.msg_id);
+        spans.record(
+            mid,
+            Component::Network(shared.link_broker_cloud.name().to_string()),
+            net_start_us,
+            net_end_us,
+            bytes,
+        );
+        match (self.func)(ctx, &self.scratch) {
+            Ok(_outcome) => {
+                spans.record(mid, Component::CloudProcessor, p0, spans.now_us(), bytes);
+                self.counters.messages_processed.incr();
+                Ok(1)
+            }
+            Err(msg) => {
+                spans.record_error(mid, Component::CloudProcessor, p0, spans.now_us(), bytes);
+                self.counters.process_errors.incr();
+                // A failing function invocation is recorded and the stream
+                // continues — one bad message must not kill the processor
+                // (fault isolation).
+                let _ = msg;
+                Ok(0)
+            }
+        }
+    }
+}
+
+/// Where this stage's records come from.
+enum Source {
+    /// Fetch + broker→cloud transfer inlined in the processing task
+    /// (prefetch depth 0, the default). Boxed: the fetcher (consumer
+    /// positions, pause set, scratch) dwarfs the prefetch variant.
+    Inline(Box<Fetcher>),
+    /// A prefetch thread owns the [`Fetcher`]; batches arrive through a
+    /// depth-bounded queue, errors travel through the same queue.
+    Prefetch {
+        rx: Option<mpsc::Receiver<Result<FetchedBatch, String>>>,
+        quit: Arc<AtomicBool>,
+        thread: Option<std::thread::JoinHandle<()>>,
+    },
+}
+
+/// One consumer member as a [`Stage`]: stepping processes one poll round
+/// (inline) or one prefetched batch; draining commits and leaves the
+/// group.
+pub(crate) struct ConsumerStage {
+    shared: Arc<Shared>,
+    member: String,
+    proc: Processor,
+    source: Source,
+}
+
+impl ConsumerStage {
+    pub(crate) fn new(shared: Arc<Shared>, member: String) -> Result<Self, String> {
+        let proc = Processor::new(&shared);
+        let source = if shared.consumer.prefetch_depth == 0 {
+            Source::Inline(Box::new(Fetcher::new(Arc::clone(&shared), member.clone())?))
+        } else {
+            let (tx, rx) = mpsc::sync_channel(shared.consumer.prefetch_depth);
+            let quit = Arc::new(AtomicBool::new(false));
+            let thread = {
+                let shared2 = Arc::clone(&shared);
+                let member2 = member.clone();
+                let quit2 = Arc::clone(&quit);
+                std::thread::spawn(move || prefetch_loop(shared2, member2, &quit2, &tx))
+            };
+            Source::Prefetch {
+                rx: Some(rx),
+                quit,
+                thread: Some(thread),
+            }
+        };
+        Ok(Self {
+            shared,
+            member,
+            proc,
+            source,
+        })
+    }
+
+    /// Stop the prefetch thread (if any), commit when `commit` (on orderly
+    /// shutdown the inline shape commits its final positions; the prefetch
+    /// thread commits its own on exit), and release group membership.
+    fn close(&mut self, commit: bool) {
+        match &mut self.source {
+            Source::Inline(fetcher) => {
+                if commit {
+                    fetcher.consumer.commit();
+                }
+            }
+            Source::Prefetch { rx, quit, thread } => {
+                quit.store(true, Ordering::Relaxed);
+                drop(rx.take()); // unblocks a fetcher parked on a full queue
+                if let Some(t) = thread.take() {
+                    let _ = t.join();
+                }
+            }
+        }
+        self.shared.coordinator.leave(&self.member);
+    }
+}
+
+impl Stage for ConsumerStage {
+    fn step(&mut self) -> Result<StepOutcome, String> {
+        if self.shared.sentinels.all_done() {
+            return Ok(StepOutcome::Finished);
+        }
+        match &mut self.source {
+            Source::Inline(fetcher) => {
+                if !fetcher.sync()? {
+                    // Retired by a scale-down rebalance.
+                    return Ok(StepOutcome::Finished);
+                }
+                self.proc.refresh(&self.shared);
+                if fetcher.idle() {
+                    // Nothing assigned (or all assigned partitions
+                    // finished): idle politely until rebalance or
+                    // completion.
+                    std::thread::sleep(self.shared.consumer.poll_timeout);
+                    return Ok(StepOutcome::Idle);
+                }
+                let batches = fetcher.poll()?;
+                if batches.is_empty() {
+                    return Ok(StepOutcome::Idle);
+                }
+                let spans = self.shared.spans();
+                let mut processed = 0u64;
+                for (p, records) in batches {
+                    for record in records {
+                        if sentinel::is_sentinel(&record) {
+                            self.shared.sentinels.mark_done(p);
+                            let _ = fetcher.consumer.pause(p);
+                            continue;
+                        }
+                        // Broker → cloud transport, paid inline.
+                        let n0 = spans.now_us();
+                        self.shared
+                            .link_broker_cloud
+                            .transfer(record.value.len() as u64);
+                        let n1 = spans.now_us();
+                        processed += self.proc.process(&self.shared, p, &record, n0, n1)?;
+                    }
+                }
+                fetcher.consumer.commit();
+                Ok(StepOutcome::Progress(processed))
+            }
+            Source::Prefetch { rx, .. } => {
+                let batch = match rx
+                    .as_ref()
+                    .expect("receiver lives until drain/abort")
+                    .recv_timeout(self.shared.consumer.poll_timeout)
+                {
+                    Ok(Ok(batch)) => batch,
+                    Ok(Err(e)) => return Err(e),
+                    Err(mpsc::RecvTimeoutError::Timeout) => return Ok(StepOutcome::Idle),
+                    // Fetch thread exited (e.g. retired by a scale-down).
+                    Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(StepOutcome::Finished),
+                };
+                self.proc.refresh(&self.shared);
+                let mut processed = 0u64;
+                for record in &batch.records {
+                    if sentinel::is_sentinel(record) {
+                        self.shared.sentinels.mark_done(batch.partition);
+                        continue;
+                    }
+                    processed += self.proc.process(
+                        &self.shared,
+                        batch.partition,
+                        record,
+                        batch.net_start_us,
+                        batch.net_end_us,
+                    )?;
+                }
+                Ok(StepOutcome::Progress(processed))
+            }
+        }
+    }
+
+    fn drain(&mut self) -> Result<(), String> {
+        self.close(true);
+        Ok(())
+    }
+
+    /// Failure path: same shutdown minus the offset commit (positions past
+    /// a failed record must stay uncommitted). Also fixes the seed's
+    /// serial consumer leaving its group membership dangling on error.
+    fn abort(&mut self) {
+        self.close(false);
+    }
+}
+
+/// The prefetch thread: owns the [`Fetcher`], pays the broker→cloud
+/// transfer per batch (one reservation, propagation charged once), and
+/// hands completed batches to the stage through the bounded queue (send
+/// blocks when the processor is `prefetch_depth` batches behind —
+/// backpressure). Offsets commit only after a round's batches are safely
+/// queued; a send failure means the stage exited, so offsets stay
+/// uncommitted and a successor redelivers (at-least-once).
+fn prefetch_loop(
+    shared: Arc<Shared>,
+    member: String,
+    quit: &AtomicBool,
+    tx: &mpsc::SyncSender<Result<FetchedBatch, String>>,
+) {
+    let mut fetcher = match Fetcher::new(Arc::clone(&shared), member) {
+        Ok(f) => f,
+        Err(e) => {
+            let _ = tx.send(Err(e));
+            return;
+        }
+    };
+    let spans = shared.spans();
+    while !quit.load(Ordering::Relaxed) && !shared.stopping() && !shared.sentinels.all_done() {
+        match fetcher.sync() {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(e) => {
+                let _ = tx.send(Err(e));
+                return;
+            }
+        }
+        if fetcher.idle() {
+            std::thread::sleep(shared.consumer.poll_timeout);
+            continue;
+        }
+        let batches = match fetcher.poll() {
+            Ok(b) => b,
+            Err(e) => {
+                let _ = tx.send(Err(e));
+                return;
+            }
+        };
+        if batches.is_empty() {
+            continue;
+        }
+        for (p, records) in batches {
+            // Pay the broker → cloud transfer for the whole batch while
+            // the stage chews on earlier batches: one reservation, transit
+            // for the summed bytes, propagation once.
+            let sizes: Vec<u64> = records
+                .iter()
+                .filter(|r| !sentinel::is_sentinel(r))
+                .map(|r| r.value.len() as u64)
+                .collect();
+            let net_start_us = spans.now_us();
+            if !sizes.is_empty() {
+                shared.link_broker_cloud.reserve_batch(&sizes).wait();
+            }
+            let net_end_us = spans.now_us();
+            if records.iter().any(sentinel::is_sentinel) {
+                // Sentinel forwarded: stop polling this partition even
+                // before the stage marks it done.
+                let _ = fetcher.consumer.pause(p);
+            }
+            let batch = FetchedBatch {
+                partition: p,
+                records,
+                net_start_us,
+                net_end_us,
+            };
+            if tx.send(Ok(batch)).is_err() {
+                return;
+            }
+        }
+        // Commit only after the fetched batches are safely queued.
+        fetcher.consumer.commit();
+    }
+    fetcher.consumer.commit();
+}

@@ -1,0 +1,333 @@
+//! The pipeline control surface: [`PipelineCtl`] (what monitor threads
+//! observe and adapt) and [`RunningPipeline`] (what applications hold).
+//!
+//! Shutdown paths all converge on the stage lifecycle: `wait()` lets every
+//! stage finish and drain; `abort()` raises `stop_all` so stages drain at
+//! their next step boundary; and *dropping* a mid-run pipeline now aborts
+//! and joins everything with a bounded grace period, so a dropped handle
+//! cannot leak producer, consumer, or prefetch threads.
+
+use super::consumer::ConsumerStage;
+use super::{stage, Shared};
+use crate::faas::{CloudFactory, Context};
+use crate::pipeline::PipelineError;
+use crate::summary::RunSummary;
+use parking_lot::Mutex;
+use pilot_dataflow::{Client, TaskFuture};
+use pilot_metrics::PipelineReport;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The shared control surface of a running pipeline: everything a monitor
+/// thread (e.g. the [`crate::adapt::AutoScaler`]) needs to observe and
+/// adapt it. Internal — applications hold a [`RunningPipeline`].
+pub(crate) struct PipelineCtl {
+    pub(crate) shared: Arc<Shared>,
+    consumers: Mutex<Vec<(String, Arc<AtomicBool>, TaskFuture)>>,
+    retired: Mutex<Vec<TaskFuture>>,
+    cloud_client: Client,
+    next_member: AtomicUsize,
+}
+
+impl PipelineCtl {
+    pub(crate) fn new(shared: Arc<Shared>, cloud_client: Client) -> Self {
+        Self {
+            shared,
+            consumers: Mutex::new(Vec::new()),
+            retired: Mutex::new(Vec::new()),
+            cloud_client,
+            next_member: AtomicUsize::new(0),
+        }
+    }
+
+    /// Register the next consumer member with the coordinator *before* its
+    /// task runs, so partition assignment is stable from the first poll
+    /// (no startup rebalance churn).
+    pub(crate) fn join_member(&self) -> String {
+        let member = format!(
+            "processor-{}",
+            self.next_member.fetch_add(1, Ordering::Relaxed)
+        );
+        self.shared.coordinator.join(&member);
+        member
+    }
+
+    fn spawn_consumer(&self) -> Result<(), PipelineError> {
+        let member = self.join_member();
+        self.spawn_joined_consumer(member)
+    }
+
+    /// Submit the consumer task for an already-joined member.
+    pub(crate) fn spawn_joined_consumer(&self, member: String) -> Result<(), PipelineError> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let member2 = member.clone();
+        let fut = stage::spawn(
+            &self.cloud_client,
+            &format!("process-cloud-{member}"),
+            Arc::clone(&self.shared),
+            Some(Arc::clone(&stop)),
+            move |shared| ConsumerStage::new(Arc::clone(shared), member2).map(|s| Box::new(s) as _),
+        )?;
+        self.consumers.lock().push((member, stop, fut));
+        Ok(())
+    }
+
+    pub(crate) fn processor_count(&self) -> usize {
+        self.consumers.lock().len()
+    }
+
+    /// Total consumer-group lag (records behind the watermarks).
+    pub(crate) fn total_lag(&self) -> u64 {
+        self.shared
+            .broker
+            .lag(&self.shared.group(), &self.shared.topic)
+            .map(|v| v.iter().sum())
+            .unwrap_or(0)
+    }
+
+    pub(crate) fn is_stopped(&self) -> bool {
+        self.shared.stopping()
+    }
+
+    pub(crate) fn all_done(&self) -> bool {
+        self.shared.sentinels.all_done()
+    }
+
+    pub(crate) fn scale_processors(&self, n: usize) -> Result<(), PipelineError> {
+        if n == 0 {
+            return Err(PipelineError::Capacity(
+                "cannot scale processors to 0".into(),
+            ));
+        }
+        loop {
+            let current = self.consumers.lock().len();
+            if current == n {
+                return Ok(());
+            }
+            if current < n {
+                self.spawn_consumer()?;
+            } else {
+                let (_, stop, fut) = self.consumers.lock().pop().expect("non-empty");
+                stop.store(true, Ordering::Relaxed);
+                self.retired.lock().push(fut);
+            }
+        }
+    }
+}
+
+/// A live pipeline. Obtain via [`crate::pipeline::EdgeToCloudPipeline::start`].
+///
+/// Dropping a `RunningPipeline` without calling [`RunningPipeline::wait`]
+/// aborts the run: every stage is stopped at its next step boundary,
+/// drains (batch flush, sentinel append, group leave), and is joined with
+/// a bounded grace period — no threads outlive the drop.
+pub struct RunningPipeline {
+    pub(crate) ctl: Arc<PipelineCtl>,
+    producers: Vec<TaskFuture>,
+    scaler: Mutex<Option<crate::adapt::AutoScalerHandle>>,
+}
+
+impl RunningPipeline {
+    pub(crate) fn new(ctl: Arc<PipelineCtl>, producers: Vec<TaskFuture>) -> Self {
+        Self {
+            ctl,
+            producers,
+            scaler: Mutex::new(None),
+        }
+    }
+
+    /// The job id linking this run's metrics.
+    pub fn job_id(&self) -> u64 {
+        self.ctl.shared.ctx.job_id
+    }
+
+    /// The context shared with the FaaS functions.
+    pub fn context(&self) -> &Context {
+        &self.ctl.shared.ctx
+    }
+
+    /// The broker topic carrying this pipeline's data.
+    pub fn topic(&self) -> &str {
+        &self.ctl.shared.topic
+    }
+
+    /// Current consumer-pool size.
+    pub fn processor_count(&self) -> usize {
+        self.ctl.processor_count()
+    }
+
+    /// Total consumer-group lag: records produced but not yet consumed.
+    /// The autoscaler's input signal; also useful for dashboards.
+    pub fn lag(&self) -> u64 {
+        self.ctl.total_lag()
+    }
+
+    /// Hot-swap the cloud-processing function (paper Section II-D). Every
+    /// consumer re-instantiates from the new factory before its next
+    /// message. Returns the new function generation.
+    pub fn replace_cloud_function(&self, factory: CloudFactory) -> u64 {
+        self.ctl.shared.cloud_slot.replace(factory)
+    }
+
+    /// Scale the consumer pool to `n` members at runtime; partitions are
+    /// rebalanced across the new member set. During the rebalance, records
+    /// in flight at the old owner may be redelivered to the new one
+    /// (at-least-once, as in Kafka); distinct-message accounting in the
+    /// run summary is unaffected.
+    pub fn scale_processors(&self, n: usize) -> Result<(), PipelineError> {
+        self.ctl.scale_processors(n)
+    }
+
+    /// Attach a lag-driven autoscaler (paper Section V: "a distributed
+    /// workload management system that can select, acquire and dynamically
+    /// scale resources across the continuum at runtime based on the
+    /// application's objectives"). Replaces any previously attached scaler.
+    pub fn autoscale(&self, config: crate::adapt::AutoScalerConfig) {
+        let handle = crate::adapt::AutoScaler::spawn(Arc::clone(&self.ctl), config);
+        if let Some(old) = self.scaler.lock().replace(handle) {
+            old.stop();
+        }
+    }
+
+    /// Scaling decisions made by the attached autoscaler so far.
+    pub fn scaling_events(&self) -> Vec<crate::adapt::ScalingEvent> {
+        self.scaler
+            .lock()
+            .as_ref()
+            .map(|s| s.events())
+            .unwrap_or_default()
+    }
+
+    /// Linked metrics for this job so far (usable mid-run).
+    pub fn report(&self) -> PipelineReport {
+        self.ctl.shared.metrics().report_for_job(self.job_id())
+    }
+
+    /// Stop everything without waiting for stream completion.
+    pub fn abort(&self) {
+        self.ctl.shared.stop_all.store(true, Ordering::Relaxed);
+    }
+
+    /// Wait for the run to complete: producers finish their streams,
+    /// consumers drain every partition's sentinel. Returns the run summary.
+    pub fn wait(self, timeout: Duration) -> Result<RunSummary, PipelineError> {
+        let deadline = Instant::now() + timeout;
+        // 1. Producers run to end-of-stream.
+        for fut in &self.producers {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match fut.wait_timeout(remaining) {
+                None => {
+                    self.abort();
+                    return Err(PipelineError::Timeout);
+                }
+                Some(Err(e)) => {
+                    self.abort();
+                    return Err(PipelineError::Task(e.to_string()));
+                }
+                Some(Ok(_)) => {}
+            }
+        }
+        // 2. Consumers drain all partitions (skipped when the run was
+        // aborted — consumers exit on `stop_all` without draining).
+        let grace = Instant::now() + Duration::from_millis(500);
+        let mut evicted: HashSet<String> = HashSet::new();
+        while !self.ctl.all_done() && !self.ctl.is_stopped() {
+            if Instant::now() >= deadline {
+                self.abort();
+                return Err(PipelineError::Timeout);
+            }
+            for (member, stop, fut) in self.ctl.consumers.lock().iter() {
+                // Surface consumer crashes instead of spinning to timeout.
+                if fut.is_finished() {
+                    if let Some(Err(e)) = fut.wait_timeout(Duration::ZERO) {
+                        self.abort();
+                        return Err(PipelineError::Task(e.to_string()));
+                    }
+                }
+                // Starvation eviction: a member whose task still has no
+                // worker core after the grace period (e.g. its pilot is
+                // oversubscribed by another pipeline) must not hold
+                // partitions hostage — hand them to live members.
+                if Instant::now() > grace
+                    && !evicted.contains(member)
+                    && matches!(
+                        fut.state(),
+                        Some(pilot_dataflow::TaskState::Pending)
+                            | Some(pilot_dataflow::TaskState::Ready)
+                    )
+                {
+                    stop.store(true, Ordering::Relaxed);
+                    self.ctl.shared.coordinator.leave(member);
+                    evicted.insert(member.clone());
+                }
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // 3. Shut the pool down and collect.
+        if let Some(scaler) = self.scaler.lock().take() {
+            scaler.stop();
+        }
+        self.ctl.shared.stop_all.store(true, Ordering::Relaxed);
+        let consumers = std::mem::take(&mut *self.ctl.consumers.lock());
+        for (_, _, fut) in consumers {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if fut
+                .wait_timeout(remaining.max(Duration::from_millis(100)))
+                .is_none()
+            {
+                return Err(PipelineError::Timeout);
+            }
+        }
+        for fut in std::mem::take(&mut *self.ctl.retired.lock()) {
+            let _ = fut.wait_timeout(Duration::from_millis(100));
+        }
+        let ctx = &self.ctl.shared.ctx;
+        Ok(RunSummary::from_report(
+            ctx.job_id,
+            ctx.metrics.report_for_job(ctx.job_id),
+            ctx.counter("outliers_detected").get(),
+        ))
+    }
+}
+
+impl Drop for RunningPipeline {
+    /// Abort-and-join: stop the scaler, raise `stop_all`, flag every
+    /// consumer, and give each task a bounded grace period to drain. After
+    /// a completed [`RunningPipeline::wait`] every future is already
+    /// settled and this is instantaneous; after a mid-run drop the stages
+    /// drain (producers flush batches and append their sentinels, the
+    /// sentinel count is conserved) and their pilot cores free up for the
+    /// next pipeline.
+    fn drop(&mut self) {
+        const GRACE: Duration = Duration::from_secs(5);
+        if let Some(scaler) = self.scaler.lock().take() {
+            scaler.stop();
+        }
+        self.ctl.shared.stop_all.store(true, Ordering::Relaxed);
+        let consumers = std::mem::take(&mut *self.ctl.consumers.lock());
+        for (_, stop, _) in &consumers {
+            stop.store(true, Ordering::Relaxed);
+        }
+        for fut in self.producers.drain(..) {
+            let _ = fut.wait_timeout(GRACE);
+        }
+        for (_, _, fut) in consumers {
+            let _ = fut.wait_timeout(GRACE);
+        }
+        for fut in std::mem::take(&mut *self.ctl.retired.lock()) {
+            let _ = fut.wait_timeout(GRACE);
+        }
+    }
+}
+
+impl std::fmt::Debug for RunningPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunningPipeline")
+            .field("job_id", &self.job_id())
+            .field("topic", &self.ctl.shared.topic)
+            .field("processors", &self.processor_count())
+            .finish()
+    }
+}

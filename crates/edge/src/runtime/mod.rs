@@ -1,0 +1,229 @@
+//! The running pipeline: a staged engine of producer and consumer stages
+//! (task wiring, dataflow, termination, adaptation).
+//!
+//! What `start` builds (paper Fig. 1, step 2):
+//!
+//! ```text
+//!  edge pilot                     broker pilot                cloud pilot
+//!  ┌───────────────┐   link      ┌──────────────┐   link     ┌──────────────┐
+//!  │ producer task ├────────────▶│ topic, 1 part│◀───────────┤ consumer task│
+//!  │  (per device) │  e→broker   │  per device  │  broker→c  │ (per proc.)  │
+//!  └───────────────┘             │ param server │            └──────────────┘
+//!                                └──────────────┘
+//! ```
+//!
+//! Producers run `produce_edge` (and, in hybrid mode, `process_edge`),
+//! serialize, cross the simulated edge→broker link, and append to their
+//! device's partition. Consumers poll their assigned partitions (range
+//! assignment via the consumer-group coordinator), cross the broker→cloud
+//! link, decode, and run `process_cloud`. Every step records a linked
+//! metric span keyed by `(job_id, msg_id)`.
+//!
+//! # Module map (DESIGN.md §10)
+//!
+//! Every runtime task is a `stage::Stage` (spawn → step → drain → abort)
+//! driven by `stage::drive`; the cross-cutting concerns each live in
+//! exactly one module:
+//!
+//! * `stage` — the shared lifecycle and uniform error propagation;
+//! * [`config`] — validated per-stage sub-configs resolved from the flat
+//!   [`PipelineConfig`](crate::pipeline::PipelineConfig) at `start()`;
+//! * `producer` — `DeviceProducer` state + the deadline-queue
+//!   `ProducerEngine`; thread-per-device is the one-device/one-worker
+//!   configuration of the same engine;
+//! * `consumer` — the `ConsumerStage` (membership, fetch, transport,
+//!   processing); serial consumption is the prefetch-depth-0 shape with
+//!   the fetch step inlined;
+//! * `batch` — producer-side batching (accumulate / flush / double
+//!   buffer) of the pipelined transport;
+//! * `sentinel` — the end-of-stream protocol and per-partition tracker;
+//! * `spans` — metric message identity and hot-path counters;
+//! * `ctl` — `PipelineCtl` / [`RunningPipeline`]: scaling, hot-swap,
+//!   wait/abort/drop shutdown.
+//!
+//! **Termination**: each producer appends an empty *sentinel* record after
+//! its stream ends; a partition is complete once its sentinel is consumed;
+//! the run is complete when every partition is.
+//!
+//! **Pipelined transport** (off by default; see
+//! [`PipelineConfig::batch_max_bytes`](crate::pipeline::PipelineConfig::batch_max_bytes)
+//! and
+//! [`PipelineConfig::prefetch_depth`](crate::pipeline::PipelineConfig::prefetch_depth)):
+//! producers batch encoded messages
+//! and ship each batch over one non-blocking link reservation, completing
+//! the previous batch (wait + per-message append) while the next one is
+//! encoding; consumers move fetch + broker→cloud transfer onto a bounded
+//! prefetch thread so batch N+1 crosses the WAN while batch N is in
+//! `process_cloud`. Per-message metric spans are preserved in both modes:
+//! every message of a batch gets its own Network/Broker/CloudProcessor
+//! spans (network spans share the batch's wall-clock window, carrying the
+//! message's own byte count).
+//!
+//! **Fan-in scale-out** (off by default; see
+//! [`PipelineConfig::producer_threads`](crate::pipeline::PipelineConfig::producer_threads)):
+//! with `producer_threads = Some(k)`
+//! the dedicated per-device producer tasks are replaced by `k` engine
+//! workers multiplexing every device over one deadline queue, so a
+//! 1024-device cell needs `k` edge cores instead of 1024. Per-device
+//! message sets are identical between the two shapes under a fixed seed.
+//! Consumers always fetch via one multi-partition `poll_many` (one shared
+//! condvar wait per member, not one timeout per partition), pausing
+//! partitions whose sentinel arrived.
+//!
+//! **Adaptation** (paper Section II-D): [`RunningPipeline::replace_cloud_function`]
+//! hot-swaps the processing function (consumers re-instantiate on the next
+//! message); [`RunningPipeline::scale_processors`] grows or shrinks the
+//! consumer pool at runtime, rebalancing partitions across members.
+
+pub mod config;
+
+mod batch;
+mod consumer;
+mod ctl;
+mod producer;
+mod sentinel;
+mod spans;
+mod stage;
+
+#[cfg(test)]
+mod tests;
+
+pub(crate) use ctl::PipelineCtl;
+pub use ctl::RunningPipeline;
+
+use crate::faas::{Context, SwappableCloudFactory};
+use crate::pipeline::{EdgeToCloudPipeline, PipelineError};
+use config::{ConsumerConfig, ProducerConfig, TransportConfig};
+use pilot_broker::{Broker, GroupCoordinator};
+use pilot_core::Pilot;
+use pilot_metrics::{JobSpans, MetricsRegistry};
+use pilot_netsim::Link;
+use sentinel::SentinelTracker;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Process-global job-id source so concurrent pipelines never collide.
+static NEXT_JOB_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Everything the stages of one pipeline share: context, broker, links,
+/// the resolved per-stage configs, and the termination state.
+pub(crate) struct Shared {
+    pub(crate) ctx: Context,
+    pub(crate) broker: Broker,
+    pub(crate) topic: String,
+    pub(crate) producer: ProducerConfig,
+    pub(crate) transport: TransportConfig,
+    pub(crate) consumer: ConsumerConfig,
+    pub(crate) link_edge_broker: Link,
+    pub(crate) link_broker_cloud: Link,
+    pub(crate) cloud_slot: SwappableCloudFactory,
+    pub(crate) coordinator: GroupCoordinator,
+    pub(crate) sentinels: SentinelTracker,
+    pub(crate) stop_all: AtomicBool,
+}
+
+impl Shared {
+    pub(crate) fn metrics(&self) -> &MetricsRegistry {
+        &self.ctx.metrics
+    }
+
+    /// A span recorder bound to this pipeline's job id.
+    pub(crate) fn spans(&self) -> JobSpans<'_> {
+        self.ctx.metrics.for_job(self.ctx.job_id)
+    }
+
+    /// The consumer-group name of this pipeline.
+    pub(crate) fn group(&self) -> String {
+        format!("pilot-edge-{}", self.ctx.job_id)
+    }
+
+    /// Whether the pipeline-wide stop flag is raised.
+    pub(crate) fn stopping(&self) -> bool {
+        self.stop_all.load(Ordering::Relaxed)
+    }
+}
+
+/// Factories captured for producer tasks.
+pub(crate) struct ProducerFns {
+    pub(crate) produce: crate::faas::ProduceFactory,
+    pub(crate) edge: crate::faas::EdgeFactory,
+}
+
+pub(crate) fn start(
+    builder: EdgeToCloudPipeline,
+    edge: Pilot,
+    cloud: Pilot,
+    broker_pilot: Pilot,
+) -> Result<RunningPipeline, PipelineError> {
+    let job_id = NEXT_JOB_ID.fetch_add(1, Ordering::Relaxed);
+    let cfg = builder.config.clone();
+    let stages = cfg.resolve()?;
+    let broker = broker_pilot
+        .start_broker()
+        .map_err(|e| PipelineError::Task(e.to_string()))?;
+    let params = broker_pilot
+        .start_param_server()
+        .map_err(|e| PipelineError::Task(e.to_string()))?;
+    let metrics = builder.metrics.clone().unwrap_or_default();
+    let topic = cfg
+        .topic
+        .clone()
+        .unwrap_or_else(|| format!("pilot-edge-{job_id}"));
+    broker.create_topic(&topic, cfg.devices, cfg.retention)?;
+    // One intra-task compute pool per cloud pilot, sized from its cores
+    // unless overridden: a 1-core pilot gets a width-1 (inline) pool, a
+    // multi-core one lets each model invocation fan out. All consumers of
+    // this pipeline share the pool; concurrent jobs serialise inside it.
+    let compute_width = cfg
+        .compute_threads
+        .unwrap_or_else(|| cloud.description().cores);
+    let ctx = Context::new(
+        job_id,
+        cfg.devices,
+        params,
+        metrics,
+        builder.settings.clone(),
+    )
+    .with_compute_pool(Arc::new(pilot_dataflow::ComputePool::new(compute_width)));
+    let shared = Arc::new(Shared {
+        ctx,
+        broker,
+        topic,
+        producer: stages.producer,
+        transport: stages.transport,
+        consumer: stages.consumer,
+        link_edge_broker: builder.link_edge_broker.clone(),
+        link_broker_cloud: builder.link_broker_cloud.clone(),
+        cloud_slot: SwappableCloudFactory::new(
+            builder.cloud_factory.clone().expect("validated by builder"),
+        ),
+        coordinator: GroupCoordinator::new(cfg.devices),
+        sentinels: SentinelTracker::new(cfg.devices),
+        stop_all: AtomicBool::new(false),
+    });
+
+    let edge_client = edge
+        .client()
+        .map_err(|e| PipelineError::Task(e.to_string()))?;
+    let cloud_client = cloud
+        .client()
+        .map_err(|e| PipelineError::Task(e.to_string()))?;
+
+    let fns = Arc::new(ProducerFns {
+        produce: builder.produce_factory.clone().expect("validated"),
+        edge: builder.edge_factory.clone(),
+    });
+    let producers = producer::spawn_producers(&edge_client, &shared, &fns)?;
+
+    let ctl = Arc::new(PipelineCtl::new(shared, cloud_client));
+    // Join every startup member before submitting any consumer task, so
+    // the first poll already sees the final assignment (no startup
+    // rebalance, no at-least-once redelivery). Scale events later may
+    // still redeliver in-flight batches — inherent to consumer-group
+    // semantics and documented on `scale_processors`.
+    let members: Vec<String> = (0..cfg.processors).map(|_| ctl.join_member()).collect();
+    for member in members {
+        ctl.spawn_joined_consumer(member)?;
+    }
+    Ok(RunningPipeline::new(ctl, producers))
+}

@@ -1,0 +1,382 @@
+//! The producer stage: per-device producing state and the deadline-queue
+//! engine that drives it.
+//!
+//! There is exactly one producer implementation. A [`DeviceProducer`] holds
+//! everything that defines a device's stream — message identity, the encode
+//! scratch, the batching state, the pacing schedule, the sentinel — and a
+//! [`ProducerEngine`] schedules devices by their next send deadline across
+//! one or more [`ProducerWorker`] stages:
+//!
+//! * **Dedicated** (the default): one worker task per device, each driving
+//!   a degenerate one-device engine — the thread-per-device behaviour of
+//!   the seed, bit-identical message sets included.
+//! * **Multiplexed** (`producer_threads = Some(k)`): all devices share one
+//!   engine and `k` worker tasks — the fan-in scale-out, where a
+//!   1024-device cell needs `k` edge cores instead of 1024.
+//!
+//! Per-device FIFO ordering holds in both shapes because a device is owned
+//! by exactly one worker while popped.
+
+use super::batch::{Batcher, PendingMsg};
+use super::config::ProducerEngineKind;
+use super::sentinel;
+use super::spans::metric_msg_id;
+use super::stage::{Stage, StepOutcome};
+use super::{ProducerFns, Shared};
+use parking_lot::{Condvar, Mutex};
+use pilot_broker::Record;
+use pilot_metrics::Component;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The complete producing state of one edge device, stepped one message at
+/// a time. Message identity (the per-device `msg_id` sequence), the
+/// long-lived encode scratch, the batching double-buffer, and the sentinel
+/// all live here — so any driver produces byte-identical per-device
+/// message sets.
+pub(crate) struct DeviceProducer {
+    device: usize,
+    produce: crate::faas::ProduceFn,
+    edge_fn: Option<crate::faas::EdgeFn>,
+    sent: u64,
+    // One long-lived encode scratch per producer: every message encodes
+    // through it (`encode_with_into`), the producer-side mirror of the
+    // consumer's decode scratch — steady state allocates nothing.
+    enc_scratch: bytes::BytesMut,
+    batcher: Batcher,
+    /// Pacing schedule origin: message `n` is due at `epoch + interval × n`
+    /// (the ideal-schedule pacing of `pilot_datagen::RateLimiter`).
+    epoch: Instant,
+    interval: Option<Duration>,
+}
+
+impl DeviceProducer {
+    /// Build a device's state. The pacing epoch is *now*, so construct
+    /// inside the driving task when the schedule should start at task
+    /// start (the dedicated engine does).
+    pub(crate) fn new(shared: &Shared, device: usize, fns: &ProducerFns) -> Box<Self> {
+        let ctx = &shared.ctx;
+        let rate = shared.producer.rate_per_device;
+        let interval =
+            (rate.is_finite() && rate > 0.0).then(|| Duration::from_secs_f64(1.0 / rate));
+        Box::new(Self {
+            device,
+            produce: (fns.produce)(ctx, device),
+            edge_fn: shared
+                .producer
+                .mode
+                .edge_processing()
+                .then(|| (fns.edge)(ctx, device)),
+            sent: 0,
+            enc_scratch: bytes::BytesMut::new(),
+            batcher: Batcher::new(device),
+            epoch: Instant::now(),
+            interval,
+        })
+    }
+
+    /// When this device's next message may be emitted — the engine's
+    /// deadline key. Unthrottled devices are always due.
+    fn next_due(&self) -> Instant {
+        match self.interval {
+            Some(iv) => self.epoch + iv * self.sent as u32,
+            None => self.epoch,
+        }
+    }
+
+    /// Produce, (optionally) edge-process, encode, and ship one message.
+    /// `Ok(false)` means the device's stream ended.
+    fn step(&mut self, shared: &Shared) -> Result<bool, String> {
+        let ctx = &shared.ctx;
+        let spans = shared.spans();
+        let t0 = spans.now_us();
+        let Some(mut block) = (self.produce)(ctx) else {
+            return Ok(false);
+        };
+        // The framework owns message identity ("a unique job identifier
+        // ensures that progress and errors can be consistently tracked"):
+        // a per-device sequence replaces whatever the produce function set,
+        // so duplicate user-assigned ids cannot corrupt metric linking.
+        block.msg_id = self.sent;
+        let mid = metric_msg_id(self.device, block.msg_id);
+        // Edge processing (hybrid / edge-centric deployments).
+        let block = match self.edge_fn.as_mut() {
+            Some(f) => {
+                let e0 = spans.now_us();
+                let out = f(ctx, block)?;
+                spans.record(mid, Component::EdgeProcessor, e0, spans.now_us(), 0);
+                out
+            }
+            None => block,
+        };
+        let payload = pilot_datagen::encode_with_into(
+            shared.transport.codec,
+            &block,
+            t0,
+            &mut self.enc_scratch,
+        );
+        let bytes = payload.len() as u64;
+        spans.record(mid, Component::EdgeProducer, t0, spans.now_us(), bytes);
+        if shared.transport.batching() {
+            // Pipelined path: accumulate; the batcher ships when full or
+            // when the linger window closes.
+            self.batcher.push(shared, PendingMsg { payload, mid, t0 })?;
+        } else {
+            // Serial path (the default): every message pays its own
+            // blocking edge → broker transfer.
+            let n0 = spans.now_us();
+            shared.link_edge_broker.transfer(bytes);
+            spans.record(
+                mid,
+                Component::Network(shared.link_edge_broker.name().to_string()),
+                n0,
+                spans.now_us(),
+                bytes,
+            );
+            // Broker append (service time).
+            let b0 = spans.now_us();
+            shared
+                .broker
+                .append(
+                    &shared.topic,
+                    self.device,
+                    Record::new(payload).with_timestamp(t0),
+                )
+                .map_err(|e| e.to_string())?;
+            spans.record(mid, Component::Broker, b0, spans.now_us(), bytes);
+        }
+        self.sent += 1;
+        Ok(true)
+    }
+
+    /// Drain the batcher (everything accumulated or in flight must land in
+    /// the partition first) and append the end-of-stream sentinel.
+    fn finish(&mut self, shared: &Shared) -> Result<(), String> {
+        self.batcher.drain(shared)?;
+        sentinel::append_sentinel(shared, self.device)
+    }
+}
+
+/// Devices parked until their next send deadline, ordered by `(due, seq)`.
+/// The plain `BTreeMap` tuple-key ordering replaces the hand-written
+/// `Ord`/`PartialOrd`/`Eq` boilerplate of the former `DueEntry` binary
+/// heap; `seq` is a monotonic requeue counter that makes keys unique and
+/// round-robins simultaneously-due devices fairly instead of starving one.
+struct DueQueue {
+    due: BTreeMap<(Instant, u64), Box<DeviceProducer>>,
+    next_seq: u64,
+}
+
+/// What [`ProducerEngine::try_pop`] yielded.
+enum Popped {
+    /// The earliest-due device, owned by the caller until re-pushed or
+    /// finished.
+    Device(Box<DeviceProducer>),
+    /// Nothing due (or every device held by another worker); try again.
+    Idle,
+    /// Every device has finished — workers may exit.
+    Done,
+}
+
+/// The deadline-queue scheduler shared by a producer worker pool: every
+/// device's [`DeviceProducer`] sits in a queue keyed by its next send
+/// time; workers pop the earliest-due device, step it one message, and
+/// requeue it.
+pub(crate) struct ProducerEngine {
+    q: Mutex<DueQueue>,
+    work: Condvar,
+    /// Devices whose sentinel has not been appended yet.
+    active: AtomicUsize,
+}
+
+impl ProducerEngine {
+    pub(crate) fn new(devices: usize) -> Self {
+        Self {
+            q: Mutex::new(DueQueue {
+                due: BTreeMap::new(),
+                next_seq: 0,
+            }),
+            work: Condvar::new(),
+            active: AtomicUsize::new(devices),
+        }
+    }
+
+    /// (Re)queue a device at its next deadline and wake waiting workers.
+    pub(crate) fn push(&self, state: Box<DeviceProducer>) {
+        let mut q = self.q.lock();
+        let seq = q.next_seq;
+        q.next_seq += 1;
+        q.due.insert((state.next_due(), seq), state);
+        drop(q);
+        self.work.notify_all();
+    }
+
+    /// A device appended its sentinel (or failed terminally).
+    fn device_finished(&self) {
+        if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last device done: wake idle workers so they can exit.
+            self.work.notify_all();
+        }
+    }
+
+    /// Pop the earliest-due device, or report why none came out. Blocks
+    /// briefly (bounded condvar waits) so workers neither spin nor miss a
+    /// stop: an empty queue waits for a requeue, a not-yet-due head waits
+    /// until its deadline, and `stopping` pops regardless of deadlines so
+    /// the caller can drain the device.
+    fn try_pop(&self, stopping: bool) -> Popped {
+        let mut q = self.q.lock();
+        if self.active.load(Ordering::Acquire) == 0 {
+            return Popped::Done;
+        }
+        match q.due.first_key_value() {
+            // Every unfinished device is held by another worker: wait for
+            // a requeue (bounded, so stop/finish without a notify are
+            // still observed).
+            None => {
+                self.work.wait_for(&mut q, Duration::from_millis(10));
+                Popped::Idle
+            }
+            Some((&(due, _), _)) => {
+                let now = Instant::now();
+                if stopping || due <= now {
+                    let (_, state) = q.due.pop_first().expect("peeked entry");
+                    Popped::Device(state)
+                } else {
+                    // Sleep until the earliest deadline; a push with an
+                    // earlier one notifies and we re-peek.
+                    self.work.wait_for(&mut q, due - now);
+                    Popped::Idle
+                }
+            }
+        }
+    }
+}
+
+/// One worker [`Stage`] of a producer engine: pop the earliest-due device,
+/// step it one message, requeue it. Progress is counted per stepped
+/// message, so the task's payload equals the messages this worker sent.
+pub(crate) struct ProducerWorker {
+    shared: Arc<Shared>,
+    engine: Arc<ProducerEngine>,
+}
+
+impl ProducerWorker {
+    pub(crate) fn new(shared: Arc<Shared>, engine: Arc<ProducerEngine>) -> Self {
+        Self { shared, engine }
+    }
+
+    /// Finish a popped device (flush + sentinel) and retire it from the
+    /// engine, surfacing the finish error after the retirement so other
+    /// workers never hang on the active count.
+    fn retire(&self, state: &mut DeviceProducer) -> Result<(), String> {
+        let res = state.finish(&self.shared);
+        self.engine.device_finished();
+        res
+    }
+}
+
+impl Stage for ProducerWorker {
+    fn step(&mut self) -> Result<StepOutcome, String> {
+        match self.engine.try_pop(self.shared.stopping()) {
+            Popped::Done => Ok(StepOutcome::Finished),
+            Popped::Idle => Ok(StepOutcome::Idle),
+            Popped::Device(mut state) => {
+                if self.shared.stopping() {
+                    // Raced with a stop after the pop: drain, don't step.
+                    self.retire(&mut state)?;
+                    return Ok(StepOutcome::Progress(0));
+                }
+                match state.step(&self.shared) {
+                    Ok(true) => {
+                        self.engine.push(state);
+                        Ok(StepOutcome::Progress(1))
+                    }
+                    Ok(false) => {
+                        self.retire(&mut state)?;
+                        Ok(StepOutcome::Progress(0))
+                    }
+                    Err(e) => {
+                        // A failed device fails the run; retire it first so
+                        // the other workers can exit.
+                        self.engine.device_finished();
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// On stop (cooperative cancel) the queue still holds unfinished
+    /// devices: drain every one — flush its batches, append its sentinel —
+    /// exactly like the threaded seed path, so consumers terminate instead
+    /// of waiting for sentinels that would never come.
+    fn drain(&mut self) -> Result<(), String> {
+        loop {
+            match self.engine.try_pop(true) {
+                Popped::Done => return Ok(()),
+                // Devices held by other workers; wait for them to retire.
+                Popped::Idle => continue,
+                Popped::Device(mut state) => self.retire(&mut state)?,
+            }
+        }
+    }
+
+    fn abort(&mut self) {}
+}
+
+/// Spawn the producer stage: one worker task per device (dedicated), or
+/// `workers` tasks sharing one engine (multiplexed). Returns the task
+/// futures in spawn order.
+pub(crate) fn spawn_producers(
+    client: &pilot_dataflow::Client,
+    shared: &Arc<Shared>,
+    fns: &Arc<ProducerFns>,
+) -> Result<Vec<pilot_dataflow::TaskFuture>, pilot_dataflow::TaskError> {
+    let mut producers = Vec::new();
+    match shared.producer.engine {
+        ProducerEngineKind::Multiplexed { workers } => {
+            // All devices enter one deadline queue up front (their pacing
+            // epoch is engine creation) shared by `workers` worker tasks.
+            let engine = Arc::new(ProducerEngine::new(shared.producer.devices));
+            for device in 0..shared.producer.devices {
+                engine.push(DeviceProducer::new(shared, device, fns));
+            }
+            for w in 0..workers {
+                let engine2 = Arc::clone(&engine);
+                let fut = super::stage::spawn(
+                    client,
+                    &format!("produce-mux-{w}"),
+                    Arc::clone(shared),
+                    None,
+                    move |shared| Ok(Box::new(ProducerWorker::new(Arc::clone(shared), engine2))),
+                )?;
+                producers.push(fut);
+            }
+        }
+        ProducerEngineKind::Dedicated => {
+            // One task per device, each driving a degenerate one-device
+            // engine built *inside* the task so the pacing epoch starts at
+            // task start (the seed's thread-per-device schedule).
+            producers.reserve(shared.producer.devices);
+            for device in 0..shared.producer.devices {
+                let fns2 = Arc::clone(fns);
+                let fut = super::stage::spawn(
+                    client,
+                    &format!("produce-edge-{device}"),
+                    Arc::clone(shared),
+                    None,
+                    move |shared| {
+                        let engine = Arc::new(ProducerEngine::new(1));
+                        engine.push(DeviceProducer::new(shared, device, &fns2));
+                        Ok(Box::new(ProducerWorker::new(Arc::clone(shared), engine)))
+                    },
+                )?;
+                producers.push(fut);
+            }
+        }
+    }
+    Ok(producers)
+}

@@ -1,0 +1,82 @@
+//! The end-of-stream sentinel protocol — the one place that defines what a
+//! sentinel is and who has seen one.
+//!
+//! Each producer appends an empty record after its stream ends
+//! ([`append_sentinel`]); a partition is complete once its sentinel is
+//! consumed ([`SentinelTracker::mark_done`]); the run is complete when
+//! every partition is ([`SentinelTracker::all_done`]).
+
+use super::Shared;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use pilot_broker::Record;
+use std::collections::HashSet;
+
+/// Whether a record is the end-of-stream sentinel (an empty payload).
+pub(crate) fn is_sentinel(record: &Record) -> bool {
+    record.value.is_empty()
+}
+
+/// Append the end-of-stream sentinel to `partition`.
+pub(crate) fn append_sentinel(shared: &Shared, partition: usize) -> Result<(), String> {
+    shared
+        .broker
+        .append(&shared.topic, partition, Record::new(Bytes::new()))
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+}
+
+/// Which partitions have had their sentinel consumed. Marking is
+/// idempotent — a sentinel redelivered across a rebalance is harmless.
+pub(crate) struct SentinelTracker {
+    done: Mutex<HashSet<usize>>,
+    total: usize,
+}
+
+impl SentinelTracker {
+    pub(crate) fn new(total: usize) -> Self {
+        Self {
+            done: Mutex::new(HashSet::new()),
+            total,
+        }
+    }
+
+    /// A partition's sentinel was consumed.
+    pub(crate) fn mark_done(&self, p: usize) {
+        self.done.lock().insert(p);
+    }
+
+    /// Whether this partition's sentinel was consumed.
+    pub(crate) fn is_done(&self, p: usize) -> bool {
+        self.done.lock().contains(&p)
+    }
+
+    /// Whether every partition's sentinel was consumed — run completion.
+    pub(crate) fn all_done(&self) -> bool {
+        self.done.lock().len() >= self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_counts_distinct_partitions() {
+        let t = SentinelTracker::new(2);
+        assert!(!t.all_done());
+        t.mark_done(0);
+        t.mark_done(0); // idempotent
+        assert!(t.is_done(0));
+        assert!(!t.is_done(1));
+        assert!(!t.all_done());
+        t.mark_done(1);
+        assert!(t.all_done());
+    }
+
+    #[test]
+    fn sentinel_is_the_empty_record() {
+        assert!(is_sentinel(&Record::new(Bytes::new())));
+        assert!(!is_sentinel(&Record::new(Bytes::from_static(b"x"))));
+    }
+}

@@ -1,0 +1,110 @@
+//! The shared stage lifecycle: **spawn → step → drain → abort**.
+//!
+//! Every runtime task — producer engine workers and consumer members alike
+//! — is a [`Stage`] driven by [`drive`]:
+//!
+//! ```text
+//!   spawn ──▶ step ──▶ step ──▶ … ──▶ Finished ──▶ drain ──▶ Ok(units)
+//!               │                        ▲
+//!               │   stop / stop_all ─────┘   (stopped stages still drain:
+//!               │                             flush batches, append
+//!               └──▶ Err ──▶ stop_all ──▶ abort ──▶ Err(e)   sentinels,
+//!                                                            leave groups)
+//! ```
+//!
+//! Error propagation is uniform: the first stage to fail raises the shared
+//! `stop_all` flag (stopping every other stage at its next step boundary),
+//! releases what it holds via [`Stage::abort`], and surfaces the error
+//! through its task future to `RunningPipeline::wait`. This is the single
+//! hook point future robustness work (retry, backoff, fault injection,
+//! tracing) extends — one lifecycle, not one per loop.
+
+use super::Shared;
+use pilot_dataflow::{Client, Payload, Resources, TaskError, TaskFuture};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// What one [`Stage::step`] call accomplished.
+pub(crate) enum StepOutcome {
+    /// Work was done: `n` units (messages) to add to the task's total.
+    Progress(u64),
+    /// Nothing available right now; step again.
+    Idle,
+    /// The stage's stream is complete; proceed to drain.
+    Finished,
+}
+
+/// One schedulable unit of the pipeline with a uniform lifecycle.
+pub(crate) trait Stage: Send {
+    /// Perform one bounded unit of work.
+    fn step(&mut self) -> Result<StepOutcome, String>;
+
+    /// Orderly shutdown after the last step — also on a *stop*, so
+    /// cooperative cancellation still flushes batches, appends sentinels,
+    /// commits offsets, and releases group membership.
+    fn drain(&mut self) -> Result<(), String>;
+
+    /// Release held resources after a failure (or failed drain). Must not
+    /// block on other stages and must not fail.
+    fn abort(&mut self);
+}
+
+/// Drive a stage through its lifecycle. Returns the summed
+/// [`StepOutcome::Progress`] units on success. On any error the shared
+/// `stop_all` flag is raised before the error propagates, so one failing
+/// stage stops the whole pipeline (uniform error propagation).
+pub(crate) fn drive(
+    shared: &Shared,
+    stop: Option<&AtomicBool>,
+    stage: &mut dyn Stage,
+) -> Result<u64, String> {
+    let mut units = 0u64;
+    let failed = loop {
+        if stop.is_some_and(|s| s.load(Ordering::Relaxed)) || shared.stopping() {
+            break None;
+        }
+        match stage.step() {
+            Ok(StepOutcome::Progress(n)) => units += n,
+            Ok(StepOutcome::Idle) => {}
+            Ok(StepOutcome::Finished) => break None,
+            Err(e) => break Some(e),
+        }
+    };
+    let failed = match failed {
+        Some(e) => Some(e),
+        None => stage.drain().err(),
+    };
+    match failed {
+        None => Ok(units),
+        Some(e) => {
+            shared.stop_all.store(true, Ordering::Relaxed);
+            stage.abort();
+            Err(e)
+        }
+    }
+}
+
+/// Submit a task that builds a stage and [`drive`]s it. The stage is
+/// constructed *inside* the task (so e.g. a producer's pacing epoch starts
+/// when the task starts, not when it was submitted); a construction failure
+/// propagates like a step failure, stopping the pipeline.
+pub(crate) fn spawn(
+    client: &Client,
+    name: &str,
+    shared: Arc<Shared>,
+    stop: Option<Arc<AtomicBool>>,
+    make: impl FnOnce(&Arc<Shared>) -> Result<Box<dyn Stage>, String> + Send + 'static,
+) -> Result<TaskFuture, TaskError> {
+    client.submit_full(name, Resources::default(), &[], move |_| {
+        let mut stage = match make(&shared) {
+            Ok(s) => s,
+            Err(e) => {
+                shared
+                    .stop_all
+                    .store(true, std::sync::atomic::Ordering::Relaxed);
+                return Err(e);
+            }
+        };
+        drive(&shared, stop.as_deref(), stage.as_mut()).map(|n| Arc::new(n) as Payload)
+    })
+}

@@ -1,0 +1,190 @@
+//! Runtime integration tests: end-to-end runs, fault isolation, hot swap,
+//! scaling, abort. (Stage- and module-level unit tests live next to their
+//! modules; knob-composition and drop-semantics suites live in the
+//! workspace `tests/` directory.)
+
+use crate::faas::{CloudFactory, Context, ProcessOutcome};
+use crate::pipeline::EdgeToCloudPipeline;
+use crate::processors::{baseline_factory, datagen_produce_factory};
+use pilot_core::{Pilot, PilotComputeService, PilotDescription};
+use pilot_datagen::DataGenConfig;
+use pilot_metrics::Component;
+use std::sync::Arc;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(30);
+
+fn pilots(svc: &PilotComputeService, edge_cores: usize, cloud_cores: usize) -> (Pilot, Pilot) {
+    let edge = svc
+        .submit_and_wait(PilotDescription::local(edge_cores, 16.0), WAIT)
+        .unwrap();
+    let cloud = svc
+        .submit_and_wait(PilotDescription::local(cloud_cores, 16.0), WAIT)
+        .unwrap();
+    (edge, cloud)
+}
+
+#[test]
+fn end_to_end_baseline_run() {
+    let svc = PilotComputeService::new();
+    let (edge, cloud) = pilots(&svc, 2, 2);
+    let summary = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(DataGenConfig::paper(25), 8))
+        .process_cloud_function(baseline_factory())
+        .devices(2)
+        .run(WAIT)
+        .unwrap();
+    assert_eq!(summary.messages, 16, "2 devices × 8 messages");
+    assert_eq!(summary.errors, 0);
+    assert!(summary.throughput_msgs > 0.0);
+    // All expected components reported.
+    assert!(summary.report.component(&Component::EdgeProducer).is_some());
+    assert!(summary.report.component(&Component::Broker).is_some());
+    assert!(summary
+        .report
+        .component(&Component::CloudProcessor)
+        .is_some());
+}
+
+#[test]
+fn per_message_point_counts_survive_transport() {
+    let svc = PilotComputeService::new();
+    let (edge, cloud) = pilots(&svc, 1, 1);
+    let running = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(DataGenConfig::paper(40), 5))
+        .process_cloud_function(baseline_factory())
+        .devices(1)
+        .start()
+        .unwrap();
+    let ctx_points = running.context().counter("points_processed");
+    let summary = running.wait(WAIT).unwrap();
+    assert_eq!(summary.messages, 5);
+    assert_eq!(ctx_points.get(), 200, "5 messages × 40 points");
+}
+
+#[test]
+fn processing_error_is_isolated() {
+    let svc = PilotComputeService::new();
+    let (edge, cloud) = pilots(&svc, 1, 1);
+    // Fail on every other message; the stream must still complete.
+    let flaky: CloudFactory = Arc::new(|_ctx| {
+        let mut n = 0u64;
+        Box::new(move |_ctx: &Context, _block| {
+            n += 1;
+            if n.is_multiple_of(2) {
+                Err("synthetic failure".into())
+            } else {
+                Ok(ProcessOutcome::default())
+            }
+        })
+    });
+    let summary = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(DataGenConfig::paper(10), 6))
+        .process_cloud_function(flaky)
+        .devices(1)
+        .run(WAIT)
+        .unwrap();
+    assert_eq!(summary.errors, 3, "3 of 6 messages fail");
+    // All 6 still linked end-to-end through producer/broker spans.
+    assert_eq!(summary.messages, 6);
+}
+
+#[test]
+fn hot_swap_changes_function_mid_run() {
+    let svc = PilotComputeService::new();
+    let (edge, cloud) = pilots(&svc, 1, 1);
+    let running = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(DataGenConfig::paper(10), 30))
+        .process_cloud_function(baseline_factory())
+        .devices(1)
+        .rate_per_device(100.0) // ~300 ms stream: time to swap
+        .start()
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(60));
+    let swapped: CloudFactory = Arc::new(|_ctx| {
+        Box::new(move |ctx: &Context, _block| {
+            ctx.counter("swapped_invocations").incr();
+            Ok(ProcessOutcome::default())
+        })
+    });
+    let gen = running.replace_cloud_function(swapped);
+    assert_eq!(gen, 2);
+    let ctx_counter = running.context().counter("swapped_invocations");
+    let summary = running.wait(WAIT).unwrap();
+    assert_eq!(summary.messages, 30);
+    let swapped_count = ctx_counter.get();
+    assert!(
+        swapped_count > 0 && swapped_count < 30,
+        "swap must take effect mid-stream (got {swapped_count})"
+    );
+}
+
+#[test]
+fn scale_processors_up_and_down() {
+    let svc = PilotComputeService::new();
+    let (edge, cloud) = pilots(&svc, 4, 6);
+    let running = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(DataGenConfig::paper(10), 20))
+        .process_cloud_function(baseline_factory())
+        .devices(4)
+        .processors(1)
+        .rate_per_device(100.0)
+        .start()
+        .unwrap();
+    assert_eq!(running.processor_count(), 1);
+    running.scale_processors(4).unwrap();
+    assert_eq!(running.processor_count(), 4);
+    std::thread::sleep(Duration::from_millis(50));
+    running.scale_processors(2).unwrap();
+    assert_eq!(running.processor_count(), 2);
+    let summary = running.wait(WAIT).unwrap();
+    assert_eq!(summary.messages, 80, "4 devices × 20 messages");
+    assert_eq!(summary.errors, 0);
+}
+
+#[test]
+fn scale_to_zero_rejected() {
+    let svc = PilotComputeService::new();
+    let (edge, cloud) = pilots(&svc, 1, 1);
+    let running = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(DataGenConfig::paper(5), 2))
+        .process_cloud_function(baseline_factory())
+        .devices(1)
+        .start()
+        .unwrap();
+    assert!(running.scale_processors(0).is_err());
+    running.wait(WAIT).unwrap();
+}
+
+#[test]
+fn abort_stops_early() {
+    let svc = PilotComputeService::new();
+    let (edge, cloud) = pilots(&svc, 1, 1);
+    let running = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(DataGenConfig::paper(10), 100_000))
+        .process_cloud_function(baseline_factory())
+        .devices(1)
+        .rate_per_device(50.0) // would take ~2000 s to finish
+        .start()
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    running.abort();
+    // After abort the producers stop, append sentinels, and wait()
+    // completes quickly.
+    let summary = running.wait(Duration::from_secs(10)).unwrap();
+    assert!(summary.messages < 100_000);
+}

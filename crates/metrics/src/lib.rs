@@ -43,7 +43,7 @@ pub use counter::Counter;
 pub use energy::{EnergyModel, ResourceClass};
 pub use export::{read_csv, write_csv};
 pub use histogram::Histogram;
-pub use registry::MetricsRegistry;
+pub use registry::{JobSpans, MetricsRegistry};
 pub use report::{ComponentStats, EndToEnd, PipelineReport, ReportBuilder};
 pub use span::{Component, JobId, MsgId, Span, SpanBuilder};
 pub use timeline::{TimeBucket, Timeline};

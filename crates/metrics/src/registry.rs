@@ -139,6 +139,17 @@ impl MetricsRegistry {
         });
     }
 
+    /// A [`JobSpans`] recorder pre-bound to one job — the span-chain helper
+    /// pipeline stages use so every component span of a message is keyed by
+    /// the same `(job_id, msg_id)` without threading the job id through
+    /// every call site.
+    pub fn for_job(&self, job_id: JobId) -> JobSpans<'_> {
+        JobSpans {
+            registry: self,
+            job_id,
+        }
+    }
+
     /// Fetch (creating if absent) the named counter.
     ///
     /// The returned handle is cheap to clone and updates lock-free — hot
@@ -237,6 +248,73 @@ impl std::fmt::Debug for MetricsRegistry {
     }
 }
 
+/// A span recorder bound to one job (see [`MetricsRegistry::for_job`]).
+///
+/// Every record call keys its span by the bound `job_id`, so a pipeline
+/// stage recording the per-message chain (EdgeProducer → Network → Broker →
+/// Network → CloudProcessor) only supplies the message id — one fewer
+/// argument to get wrong per call site, and the reason span-chain recording
+/// can live in exactly one place.
+#[derive(Clone, Copy)]
+pub struct JobSpans<'a> {
+    registry: &'a MetricsRegistry,
+    job_id: JobId,
+}
+
+impl JobSpans<'_> {
+    /// The job this recorder is bound to.
+    pub fn job_id(&self) -> JobId {
+        self.job_id
+    }
+
+    /// Microseconds since the registry epoch (see [`MetricsRegistry::now_us`]).
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        self.registry.now_us()
+    }
+
+    /// Record a successful span of known window for `msg_id`.
+    pub fn record(
+        &self,
+        msg_id: MsgId,
+        component: Component,
+        start_us: u64,
+        end_us: u64,
+        bytes: u64,
+    ) {
+        self.registry
+            .record(self.job_id, msg_id, component, start_us, end_us, bytes);
+    }
+
+    /// Record a failed span of known window for `msg_id`.
+    pub fn record_error(
+        &self,
+        msg_id: MsgId,
+        component: Component,
+        start_us: u64,
+        end_us: u64,
+        bytes: u64,
+    ) {
+        self.registry.record_span(Span {
+            job_id: self.job_id,
+            msg_id,
+            component,
+            start_us,
+            end_us,
+            bytes,
+            error: true,
+        });
+    }
+}
+
+impl std::fmt::Debug for JobSpans<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobSpans")
+            .field("job_id", &self.job_id)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +336,19 @@ mod tests {
         let b = reg.start_span(1, 2, Component::CloudProcessor);
         reg.fail(b);
         assert!(reg.snapshot()[0].error);
+    }
+
+    #[test]
+    fn job_spans_records_under_bound_job() {
+        let reg = MetricsRegistry::new();
+        let spans = reg.for_job(7);
+        assert_eq!(spans.job_id(), 7);
+        spans.record(3, Component::Broker, 10, 20, 64);
+        spans.record_error(3, Component::CloudProcessor, 20, 30, 64);
+        let all = reg.snapshot();
+        assert_eq!(all.len(), 2);
+        assert!(all.iter().all(|s| s.job_id == 7 && s.msg_id == 3));
+        assert_eq!(all.iter().filter(|s| s.error).count(), 1);
     }
 
     #[test]

@@ -191,9 +191,8 @@ pub fn c_factor(n: usize) -> f64 {
 /// refits per message), so the seed mixes `(config seed, fit epoch, tree
 /// index)` through a SplitMix64 finaliser.
 fn derive_tree_seed(seed: u64, epoch: u64, tree: u64) -> u64 {
-    let mut z = seed
-        ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ tree.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    let mut z =
+        seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ tree.wrapping_mul(0xD1B5_4A32_D192_ED03);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -492,7 +491,11 @@ mod tests {
         f.fit(&ds);
         let first = f.score(&ds);
         f.fit(&ds);
-        assert_ne!(f.score(&ds), first, "second fit reused first fit's RNG streams");
+        assert_ne!(
+            f.score(&ds),
+            first,
+            "second fit reused first fit's RNG streams"
+        );
     }
 
     #[test]

@@ -243,7 +243,13 @@ mod tests {
 
     #[test]
     fn blocked_matmul_is_bit_identical_across_block_edges() {
-        for &(m, k, n) in &[(1, 1, 1), (7, 5, 3), (64, 64, 64), (70, 130, 65), (129, 3, 64)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (7, 5, 3),
+            (64, 64, 64),
+            (70, 130, 65),
+            (129, 3, 64),
+        ] {
             let a = test_matrix(m * k, 5);
             let b = test_matrix(k * n, 11);
             let mut c = vec![0.0; m * n];

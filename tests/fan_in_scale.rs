@@ -161,7 +161,7 @@ fn rebalance_with_few_processors_over_many_partitions() {
 
 #[test]
 fn multiplexed_respects_rate_pacing() {
-    // The deadline heap must reproduce the RateLimiter schedule: message n
+    // The deadline queue must reproduce the RateLimiter schedule: message n
     // of a device is due at epoch + n × interval, so 4 messages at 50 /s
     // cannot finish faster than ~3 intervals.
     let (edge, cloud) = pilots(2, 2);

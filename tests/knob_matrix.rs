@@ -1,0 +1,142 @@
+//! Knob-matrix equivalence (DESIGN.md §10): the staged runtime collapses
+//! four formerly-divergent loops into two engines, so the producer-engine
+//! shape (thread-per-device vs multiplexed) and the consumer shape (inline
+//! fetch vs prefetch thread) must be *observationally interchangeable*.
+//! Every combination of the 2×2 matrix at a fixed seed must process the
+//! identical message set — ids, exact payload content — and record a
+//! complete five-span chain (EdgeProducer, edge→broker Network, Broker,
+//! broker→cloud Network, CloudProcessor) for every message.
+
+use parking_lot::Mutex;
+use pilot_core::{Pilot, PilotComputeService, PilotDescription};
+use pilot_datagen::DataGenConfig;
+use pilot_edge::faas::{CloudFactory, ProcessOutcome};
+use pilot_edge::processors::datagen_produce_factory;
+use pilot_edge::EdgeToCloudPipeline;
+use pilot_metrics::{Component, MetricsRegistry};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(120);
+const DEVICES: usize = 4;
+const MESSAGES: usize = 6;
+
+fn pilots(edge_cores: usize, cloud_cores: usize) -> (Pilot, Pilot) {
+    let svc = PilotComputeService::new();
+    let edge = svc
+        .submit_and_wait(
+            PilotDescription::local(edge_cores, 4.0 * edge_cores as f64),
+            WAIT,
+        )
+        .unwrap();
+    let cloud = svc
+        .submit_and_wait(PilotDescription::local(cloud_cores, 16.0), WAIT)
+        .unwrap();
+    std::mem::forget(svc);
+    (edge, cloud)
+}
+
+/// FNV-style content hash over a block's payload: identifies a message's
+/// exact data without retaining it.
+fn block_hash(data: &[f64]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for v in data {
+        h = (h ^ v.to_bits()).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// One run of the seeded workload under a given engine/prefetch combo.
+/// Returns the sorted `(msg_id, content-hash)` set the cloud function saw.
+fn run_combo(producer_threads: Option<usize>, prefetch_depth: usize) -> BTreeSet<(u64, u64)> {
+    let combo = format!("producer_threads={producer_threads:?} prefetch_depth={prefetch_depth}");
+    let edge_cores = producer_threads.unwrap_or(DEVICES);
+    let (edge, cloud) = pilots(edge_cores, 2);
+    let seen = Arc::new(Mutex::new(BTreeSet::new()));
+    let seen2 = Arc::clone(&seen);
+    let capture: CloudFactory = Arc::new(move |_ctx| {
+        let seen = Arc::clone(&seen2);
+        Box::new(
+            move |_ctx: &pilot_edge::faas::Context, block: &pilot_datagen::Block| {
+                seen.lock().insert((block.msg_id, block_hash(&block.data)));
+                Ok(ProcessOutcome::default())
+            },
+        )
+    });
+    let registry = MetricsRegistry::new();
+    let mut builder = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(DataGenConfig::paper(20), MESSAGES))
+        .process_cloud_function(capture)
+        .metrics(registry.clone())
+        .devices(DEVICES)
+        .processors(2)
+        .prefetch_depth(prefetch_depth);
+    if let Some(n) = producer_threads {
+        builder = builder.producer_threads(n);
+    }
+    let running = builder.start().unwrap();
+    let job_id = running.job_id();
+    let summary = running.wait(WAIT).unwrap();
+    assert_eq!(summary.messages as usize, DEVICES * MESSAGES, "{combo}");
+    assert_eq!(summary.errors, 0, "{combo}");
+
+    // Span-chain completeness: group this job's spans by metric msg id and
+    // demand the full five-component chain for every one of them.
+    let mut chains: HashMap<u64, Vec<Component>> = HashMap::new();
+    for span in registry.snapshot() {
+        if span.job_id == job_id {
+            chains.entry(span.msg_id).or_default().push(span.component);
+        }
+    }
+    assert_eq!(
+        chains.len(),
+        DEVICES * MESSAGES,
+        "{combo}: distinct metric msg ids"
+    );
+    for (mid, components) in &chains {
+        let count = |want: &Component| components.iter().filter(|c| *c == want).count();
+        let networks = components
+            .iter()
+            .filter(|c| matches!(c, Component::Network(_)))
+            .count();
+        assert_eq!(
+            count(&Component::EdgeProducer),
+            1,
+            "{combo}: msg {mid} EdgeProducer spans"
+        );
+        assert_eq!(
+            count(&Component::Broker),
+            1,
+            "{combo}: msg {mid} Broker spans"
+        );
+        assert_eq!(
+            networks, 2,
+            "{combo}: msg {mid} Network spans (edge→broker + broker→cloud)"
+        );
+        assert_eq!(
+            count(&Component::CloudProcessor),
+            1,
+            "{combo}: msg {mid} CloudProcessor spans"
+        );
+    }
+    Arc::try_unwrap(seen)
+        .map(|m| m.into_inner())
+        .unwrap_or_else(|arc| arc.lock().clone())
+}
+
+#[test]
+fn all_engine_prefetch_combos_process_identical_sets() {
+    let baseline = run_combo(None, 0); // the seed shape: threaded + serial
+    assert_eq!(baseline.len(), DEVICES * MESSAGES);
+    for (producer_threads, prefetch_depth) in [(None, 2), (Some(2), 0), (Some(2), 2usize)] {
+        let set = run_combo(producer_threads, prefetch_depth);
+        assert_eq!(
+            set, baseline,
+            "producer_threads={producer_threads:?} prefetch_depth={prefetch_depth} \
+             diverged from the threaded/serial baseline"
+        );
+    }
+}

@@ -20,8 +20,7 @@ fn wan_prediction_matches_measured_run() {
     // debug build on a loaded CI box this is far from negligible — and, on
     // a single-core host, producers serialise, so the effective producer
     // capacity is one device's worth.
-    let mut generator =
-        pilot_datagen::DataGenerator::new(DataGenConfig::paper(5_000).with_seed(9));
+    let mut generator = pilot_datagen::DataGenerator::new(DataGenConfig::paper(5_000).with_seed(9));
     let t0 = std::time::Instant::now();
     for _ in 0..3 {
         let block = generator.next_block();
@@ -32,7 +31,11 @@ fn wan_prediction_matches_measured_run() {
     let mut input = PlannerInput::new(2, 5_000);
     input.link_edge_broker = profiles::transatlantic("wan", 9);
     input.produce_secs = produce_secs
-        * if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 2 {
+        * if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            < 2
+        {
             2.0 // both producers share one core
         } else {
             1.0
