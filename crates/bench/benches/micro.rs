@@ -213,6 +213,29 @@ fn bench_span_record(c: &mut Criterion) {
         let handle = registry.counter("messages_processed");
         b.iter(|| handle.incr());
     });
+    // The telemetry-plane ladder: what one stage-gauge update costs the
+    // hot path. `gauge_off_option_check` is the telemetry-off shape (the
+    // `Option` null check every stage pays when `telemetry_sample_ms` is
+    // unset); `gauge_on_update` adds the relaxed atomic add behind a
+    // cached handle; `gauge_lookup_per_event` shows why the stages cache
+    // handles instead of resolving names per message.
+    group.bench_function("gauge_off_option_check", |b| {
+        let gauge: Option<Arc<pilot_metrics::Gauge>> = None;
+        b.iter(|| {
+            if let Some(g) = &gauge {
+                g.incr();
+            }
+        });
+    });
+    group.bench_function("gauge_on_update", |b| {
+        let registry = pilot_metrics::MetricsRegistry::new();
+        let gauge = registry.gauge("producer.deadline_queue_depth");
+        b.iter(|| gauge.incr());
+    });
+    group.bench_function("gauge_lookup_per_event", |b| {
+        let registry = pilot_metrics::MetricsRegistry::new();
+        b.iter(|| registry.gauge("producer.deadline_queue_depth").incr());
+    });
     group.finish();
 }
 

@@ -1,0 +1,147 @@
+//! `pilot_top` — a live per-stage view of a running pipeline, driven by
+//! the telemetry plane (DESIGN.md §11).
+//!
+//! Starts one experiment cell with `telemetry_sample_ms` on, prints a
+//! `top`-style table of the stage gauges while the run is in flight, and
+//! finishes with the online bottleneck attribution (critical-path share
+//! per component) plus an optional Chrome `trace_event` export.
+//!
+//! ```text
+//! pilot_top [wan|compute]
+//!
+//!   wan      transatlantic edge→broker link, baseline model — the
+//!            network link dominates (default)
+//!   compute  local links, isolation-forest model on large messages —
+//!            the cloud processors dominate
+//!
+//! Env:
+//!   PILOT_TOP_TRACE=<path>  write a Perfetto-loadable Chrome trace and
+//!                           validate it (exit 1 on malformed JSON or an
+//!                           empty event list)
+//!   PILOT_BENCH_QUICK       shrink the cell for CI smoke runs
+//!   PILOT_BENCH_MESSAGES=N  override messages per device
+//! ```
+
+use pilot_bench::{start_cell, CellOpts, Geo};
+use pilot_metrics::{attribute, validate_trace_json, TelemetryFrame};
+use pilot_ml::ModelKind;
+use std::time::{Duration, Instant};
+
+/// Gauges shown in the live table, in display order.
+const LIVE_GAUGES: &[&str] = &[
+    "producer.deadline_queue_depth",
+    "producer.inflight_batch_bytes",
+    "consumer.prefetch_occupancy",
+    "broker.lag.total",
+    "net.edge_broker.pending_us",
+    "net.broker_cloud.pending_us",
+    "cloud.compute_pool_occupancy",
+];
+
+fn scenario(name: &str) -> CellOpts {
+    let quick = std::env::var("PILOT_BENCH_QUICK").is_ok();
+    match name {
+        "compute" => CellOpts {
+            points: if quick { 1000 } else { 10_000 },
+            devices: 2,
+            model: ModelKind::IsolationForest,
+            geo: Geo::Local,
+            messages_per_device: pilot_bench::default_messages(Geo::Local),
+            telemetry_sample_ms: Some(5),
+            ..CellOpts::default()
+        },
+        _ => CellOpts {
+            points: if quick { 100 } else { 1000 },
+            devices: 2,
+            model: ModelKind::Baseline,
+            geo: Geo::Transatlantic,
+            messages_per_device: pilot_bench::default_messages(Geo::Transatlantic),
+            telemetry_sample_ms: Some(5),
+            ..CellOpts::default()
+        },
+    }
+}
+
+fn print_frame(frame: &TelemetryFrame, processed: u64, expected: u64) {
+    println!("t={:>9}µs  processed {processed}/{expected}", frame.t_us);
+    for name in LIVE_GAUGES {
+        if let Some(v) = frame.value(name) {
+            println!("  {name:<34} {v:>12}");
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let scenario_name = std::env::args().nth(1).unwrap_or_else(|| "wan".into());
+    let opts = scenario(&scenario_name);
+    let expected = (opts.devices * opts.messages_per_device) as u64;
+    eprintln!(
+        "pilot_top: scenario '{scenario_name}' — {} devices × {} msgs, {} points, {} geo",
+        opts.devices,
+        opts.messages_per_device,
+        opts.points,
+        opts.geo.label()
+    );
+
+    let cell = start_cell(&opts);
+    let job_id = cell.pipeline.job_id();
+    let registry = cell.pipeline.context().metrics.clone();
+
+    // Live loop: one table per tick until every message is processed.
+    let deadline = Instant::now() + Duration::from_secs(600);
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        let processed = cell.pipeline.report().total_messages();
+        if let Some(frame) = cell.pipeline.telemetry().last() {
+            print_frame(frame, processed, expected);
+        }
+        if processed >= expected || Instant::now() > deadline {
+            break;
+        }
+    }
+
+    // Grab the frames before `wait` consumes the handle, then finish.
+    let frames = cell.pipeline.telemetry();
+    let summary = cell.wait(Duration::from_secs(600));
+    assert!(
+        !frames.is_empty(),
+        "telemetry plane was on but produced no frames"
+    );
+    println!("run complete: {}", summary.to_csv_row());
+
+    // Offline half of the telemetry plane: fold the span stream and the
+    // gauge frames into the per-window bottleneck attribution.
+    let spans: Vec<_> = registry
+        .snapshot()
+        .into_iter()
+        .filter(|s| s.job_id == job_id)
+        .collect();
+    let attribution = attribute(&spans, &frames, 100_000);
+    println!(
+        "critical-path attribution ({} windows):",
+        attribution.windows.len()
+    );
+    print!("{}", attribution.to_table());
+    if let Some(c) = attribution.dominant() {
+        println!("bottleneck: {}", c.label());
+    }
+
+    if let Ok(path) = std::env::var("PILOT_TOP_TRACE") {
+        let json = pilot_metrics::chrome_trace_json(&spans, &frames);
+        std::fs::write(&path, &json).expect("write trace");
+        match validate_trace_json(&json) {
+            Ok(events) if events > 0 => {
+                println!("chrome trace: {events} events -> {path}");
+            }
+            Ok(_) => {
+                eprintln!("chrome trace at {path} has no events");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("chrome trace at {path} is malformed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -18,7 +18,7 @@ use pilot_datagen::DataGenConfig;
 use pilot_edge::processors::{
     datagen_produce_factory, downsample_edge_factory, paper_model_factory,
 };
-use pilot_edge::{DeploymentMode, EdgeToCloudPipeline, RunSummary};
+use pilot_edge::{DeploymentMode, EdgeToCloudPipeline, RunSummary, RunningPipeline};
 use pilot_ml::ModelKind;
 use pilot_netsim::profiles;
 use std::time::Duration;
@@ -79,6 +79,9 @@ pub struct CellOpts {
     /// Width of the intra-task compute pool shared by the cloud
     /// processors (None = one lane per cloud core, the default sizing).
     pub compute_threads: Option<usize>,
+    /// Telemetry sampling interval in milliseconds (None = telemetry
+    /// plane off, the default — zero instrumentation overhead).
+    pub telemetry_sample_ms: Option<u64>,
 }
 
 impl Default for CellOpts {
@@ -98,6 +101,7 @@ impl Default for CellOpts {
             prefetch_depth: 0,
             producer_threads: None,
             compute_threads: None,
+            telemetry_sample_ms: None,
         }
     }
 }
@@ -155,8 +159,26 @@ pub fn provision(svc: &PilotComputeService, opts: &CellOpts) -> (Pilot, Pilot) {
     (edge, cloud)
 }
 
-/// Run one cell end-to-end and return its summary.
-pub fn run_cell(opts: &CellOpts) -> RunSummary {
+/// A cell whose pipeline has been started but not yet awaited — what the
+/// live tools (`pilot_top`) observe mid-run. Holds the pilot service so
+/// the pilots outlive the run.
+pub struct StartedCell {
+    _svc: PilotComputeService,
+    /// The live pipeline handle: poll [`RunningPipeline::telemetry`] /
+    /// [`RunningPipeline::report`] mid-run, then
+    /// [`StartedCell::wait`] for the summary.
+    pub pipeline: RunningPipeline,
+}
+
+impl StartedCell {
+    /// Wait for the run to finish and return its summary.
+    pub fn wait(self, timeout: Duration) -> RunSummary {
+        self.pipeline.wait(timeout).expect("pipeline run")
+    }
+}
+
+/// Provision and start one cell's pipeline without waiting for it.
+pub fn start_cell(opts: &CellOpts) -> StartedCell {
     let svc = PilotComputeService::new();
     let (edge, cloud) = provision(&svc, opts);
     let (link_eb, link_bc) = match opts.geo {
@@ -191,12 +213,21 @@ pub fn run_cell(opts: &CellOpts) -> RunSummary {
     if let Some(n) = opts.compute_threads {
         builder = builder.compute_threads(n);
     }
+    if let Some(ms) = opts.telemetry_sample_ms {
+        builder = builder.telemetry_sample_ms(ms);
+    }
     if opts.mode.edge_processing() {
         builder = builder.process_edge_function(downsample_edge_factory(opts.downsample));
     }
-    builder
-        .run(Duration::from_secs(3600))
-        .expect("pipeline run")
+    StartedCell {
+        _svc: svc,
+        pipeline: builder.start().expect("pipeline start"),
+    }
+}
+
+/// Run one cell end-to-end and return its summary.
+pub fn run_cell(opts: &CellOpts) -> RunSummary {
+    start_cell(opts).wait(Duration::from_secs(3600))
 }
 
 /// The paper's message-size sweep, honouring `PILOT_BENCH_QUICK` (which

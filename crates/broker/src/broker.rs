@@ -295,14 +295,51 @@ impl Broker {
 
     /// Consumer-group lag: high watermark − committed, per partition.
     pub fn lag(&self, group: &str, topic: &str) -> Result<Vec<u64>, BrokerError> {
+        Ok(self
+            .partition_lags(group, topic)?
+            .into_iter()
+            .map(|p| p.lag())
+            .collect())
+    }
+
+    /// Per-partition consumer position detail: committed offset vs. head
+    /// offset (high watermark) for every partition of `topic` under
+    /// `group`. This is the accessor the telemetry sampler's lag probe
+    /// uses — unlike [`Self::lag`] it keeps both sides of the subtraction,
+    /// so a dashboard can distinguish "idle, fully caught up" from "idle,
+    /// nothing produced yet".
+    pub fn partition_lags(
+        &self,
+        group: &str,
+        topic: &str,
+    ) -> Result<Vec<PartitionLag>, BrokerError> {
         let t = self.topic(topic)?;
         Ok((0..t.partition_count())
-            .map(|p| {
-                let hwm = t.high_watermark(p).unwrap_or(0);
-                let committed = self.committed(group, topic, p).unwrap_or(0);
-                hwm.saturating_sub(committed)
+            .map(|partition| PartitionLag {
+                partition,
+                committed: self.committed(group, topic, partition).unwrap_or(0),
+                head: t.high_watermark(partition).unwrap_or(0),
             })
             .collect())
+    }
+}
+
+/// One partition's consumer position: committed vs. head offset (see
+/// [`Broker::partition_lags`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionLag {
+    /// Partition index within the topic.
+    pub partition: usize,
+    /// Last committed offset of the consumer group (0 if none).
+    pub committed: u64,
+    /// Head offset (high watermark) of the partition.
+    pub head: u64,
+}
+
+impl PartitionLag {
+    /// Records appended but not yet committed by the group.
+    pub fn lag(&self) -> u64 {
+        self.head.saturating_sub(self.committed)
     }
 }
 
@@ -402,6 +439,38 @@ mod tests {
         b.append("t", 1, rec("x")).unwrap();
         b.commit_offset("g", "t", 0, 3);
         assert_eq!(b.lag("g", "t").unwrap(), vec![2, 1]);
+    }
+
+    #[test]
+    fn partition_lags_expose_both_sides() {
+        let b = Broker::new();
+        b.create_topic("t", 2, RetentionPolicy::unbounded())
+            .unwrap();
+        for _ in 0..5 {
+            b.append("t", 0, rec("x")).unwrap();
+        }
+        b.commit_offset("g", "t", 0, 3);
+        let lags = b.partition_lags("g", "t").unwrap();
+        assert_eq!(
+            lags[0],
+            PartitionLag {
+                partition: 0,
+                committed: 3,
+                head: 5
+            }
+        );
+        assert_eq!(lags[0].lag(), 2);
+        // "Idle, nothing produced" is distinguishable from "caught up":
+        // both lag 0, but committed/head differ.
+        assert_eq!(
+            lags[1],
+            PartitionLag {
+                partition: 1,
+                committed: 0,
+                head: 0
+            }
+        );
+        assert!(b.partition_lags("g", "missing").is_err());
     }
 
     #[test]

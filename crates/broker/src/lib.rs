@@ -44,7 +44,7 @@ pub mod retention;
 pub mod topic;
 
 pub use bridge::{BridgeConfig, BridgePartitioning, MqttBridge};
-pub use broker::{Broker, GroupId, TopicId};
+pub use broker::{Broker, GroupId, PartitionLag, TopicId};
 pub use consumer::Consumer;
 pub use error::BrokerError;
 pub use group::GroupCoordinator;

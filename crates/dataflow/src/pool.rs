@@ -29,7 +29,7 @@
 //! exact sequential behaviour for free.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -112,6 +112,13 @@ pub struct ComputePool {
     /// `None` → width ≤ 1: no threads, inline execution.
     inner: Option<Inner>,
     width: usize,
+    /// Callers currently inside [`ComputePool::run`] (inline path
+    /// included) — the telemetry occupancy gauge. Queued callers waiting
+    /// on the run lock count too: occupancy > 1 means the pool is the
+    /// contended resource.
+    active: AtomicUsize,
+    /// Scoped jobs started since creation.
+    jobs: AtomicU64,
 }
 
 impl std::fmt::Debug for ComputePool {
@@ -135,7 +142,12 @@ impl ComputePool {
     pub fn new(threads: usize) -> Self {
         let width = threads.max(1);
         if width == 1 {
-            return Self { inner: None, width };
+            return Self {
+                inner: None,
+                width,
+                active: AtomicUsize::new(0),
+                jobs: AtomicU64::new(0),
+            };
         }
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
@@ -165,6 +177,8 @@ impl ComputePool {
                 run_lock: Mutex::new(()),
             }),
             width,
+            active: AtomicUsize::new(0),
+            jobs: AtomicU64::new(0),
         }
     }
 
@@ -176,6 +190,19 @@ impl ComputePool {
     /// Total parallel width (worker threads + the participating caller).
     pub fn threads(&self) -> usize {
         self.width
+    }
+
+    /// Callers currently inside (or queued on) [`ComputePool::run`]. 0 when
+    /// idle, 1 while one task fans out, >1 when concurrent tasks contend
+    /// for the pool — the level the telemetry sampler snapshots.
+    pub fn occupancy(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Scoped jobs started since creation (a monotonic activity counter a
+    /// sampler can differentiate into a job rate).
+    pub fn jobs_started(&self) -> u64 {
+        self.jobs.load(Ordering::Relaxed)
     }
 
     /// Execute `f(i)` for every `i in 0..n_units`, distributing units over
@@ -193,6 +220,12 @@ impl ComputePool {
         if n_units == 0 {
             return;
         }
+        // Occupancy bracket around the whole call (queueing on the run
+        // lock included), restored by a guard so a panicking unit cannot
+        // leave the gauge stuck non-zero.
+        self.active.fetch_add(1, Ordering::Relaxed);
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+        let _occupancy = OccupancyGuard(&self.active);
         let next = AtomicUsize::new(0);
         let drain = || loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -287,6 +320,15 @@ impl ComputePool {
                 unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
             f(ci, slice);
         });
+    }
+}
+
+/// Decrements the pool's active count on drop (normal return or unwind).
+struct OccupancyGuard<'a>(&'a AtomicUsize);
+
+impl Drop for OccupancyGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -470,5 +512,64 @@ mod tests {
     fn width_reporting() {
         assert_eq!(ComputePool::new(6).threads(), 6);
         assert_eq!(ComputePool::default().threads(), 1);
+    }
+
+    #[test]
+    fn occupancy_tracks_running_jobs() {
+        for width in [1, 4] {
+            let pool = Arc::new(ComputePool::new(width));
+            assert_eq!(pool.occupancy(), 0, "width={width}");
+            let seen = Arc::new(AtomicUsize::new(0));
+            let (pool2, seen2) = (Arc::clone(&pool), Arc::clone(&seen));
+            pool.run(8, |_| {
+                // Sampled from inside the job: the pool is occupied.
+                seen2.fetch_max(pool2.occupancy(), Ordering::Relaxed);
+            });
+            assert_eq!(seen.load(Ordering::Relaxed), 1, "width={width}");
+            assert_eq!(pool.occupancy(), 0, "width={width}");
+            assert_eq!(pool.jobs_started(), 1, "width={width}");
+        }
+    }
+
+    #[test]
+    fn occupancy_recovers_after_panic() {
+        let pool = ComputePool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, |i| {
+                if i == 2 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(pool.occupancy(), 0, "guard must restore the gauge");
+    }
+
+    #[test]
+    fn concurrent_callers_raise_occupancy() {
+        let pool = Arc::new(ComputePool::new(2));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let (pool, peak) = (Arc::clone(&pool), Arc::clone(&peak));
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let p2 = Arc::clone(&pool);
+                        let peak = Arc::clone(&peak);
+                        pool.run(4, move |_| {
+                            peak.fetch_max(p2.occupancy(), Ordering::Relaxed);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // With 3 callers racing, at least once two were in run() at the
+        // same time (one running, one queued on the run lock).
+        assert!(peak.load(Ordering::Relaxed) >= 2);
+        assert_eq!(pool.occupancy(), 0);
+        assert_eq!(pool.jobs_started(), 600);
     }
 }

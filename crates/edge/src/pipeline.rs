@@ -90,6 +90,18 @@ pub struct PipelineConfig {
     /// would need ~1000 edge cores. Per-device message content, ordering,
     /// and sentinel semantics are identical between the two engines.
     pub producer_threads: Option<usize>,
+    /// Live-telemetry sampling interval in milliseconds. `None` (the
+    /// default) disables the telemetry plane entirely: no gauges are
+    /// registered, no sampler thread runs, and the per-message hot path
+    /// carries zero extra instructions. `Some(ms)` registers per-stage
+    /// gauges (producer deadline-queue depth, in-flight batch bytes,
+    /// prefetch occupancy, per-partition consumer lag, link
+    /// reservation-queue depth and busy time, compute-pool occupancy) and
+    /// spawns a sampler thread snapshotting them every `ms` milliseconds
+    /// into a frame ring retrievable mid-run from
+    /// [`RunningPipeline::telemetry`]. `Some(0)` is rejected by
+    /// [`Self::validate`].
+    pub telemetry_sample_ms: Option<u64>,
 }
 
 impl Default for PipelineConfig {
@@ -109,6 +121,7 @@ impl Default for PipelineConfig {
             linger: Duration::ZERO,
             prefetch_depth: 0,
             producer_threads: None,
+            telemetry_sample_ms: None,
         }
     }
 }
@@ -330,6 +343,14 @@ impl EdgeToCloudPipeline {
     /// of one task per device. See [`PipelineConfig::producer_threads`].
     pub fn producer_threads(mut self, n: usize) -> Self {
         self.config.producer_threads = Some(n);
+        self
+    }
+
+    /// Turn on the live telemetry plane, sampling stage gauges every `ms`
+    /// milliseconds. See [`PipelineConfig::telemetry_sample_ms`] and
+    /// [`RunningPipeline::telemetry`].
+    pub fn telemetry_sample_ms(mut self, ms: u64) -> Self {
+        self.config.telemetry_sample_ms = Some(ms);
         self
     }
 

@@ -33,6 +33,8 @@ struct InFlightBatch {
     reservation: Reservation,
     net_start_us: u64,
     msgs: Vec<PendingMsg>,
+    /// Summed payload bytes aboard (the in-flight telemetry gauge's unit).
+    bytes: u64,
 }
 
 /// One device's batching state: the open (accumulating) batch and the
@@ -88,10 +90,15 @@ impl Batcher {
             .collect();
         let net_start_us = shared.metrics().now_us();
         let reservation = shared.link_edge_broker.reserve_batch(&sizes);
+        let bytes: u64 = sizes.iter().sum();
+        if let Some(g) = shared.stage_gauges() {
+            g.inflight_batch_bytes.add(bytes as i64);
+        }
         self.in_flight.push_back(InFlightBatch {
             reservation,
             net_start_us,
             msgs: std::mem::take(&mut self.pending),
+            bytes,
         });
         while self.in_flight.len() > 1 {
             self.complete_oldest(shared)?;
@@ -118,6 +125,9 @@ impl Batcher {
         };
         let spans = shared.spans();
         batch.reservation.wait();
+        if let Some(g) = shared.stage_gauges() {
+            g.inflight_batch_bytes.sub(batch.bytes as i64);
+        }
         let net_end_us = spans.now_us();
         for msg in batch.msgs {
             let bytes = msg.payload.len() as u64;

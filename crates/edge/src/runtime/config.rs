@@ -97,6 +97,9 @@ impl PipelineConfig {
     /// * `linger > 0` with `batch_max_bytes == 0` — the linger window only
     ///   exists inside the batcher, so this combination used to be a silent
     ///   no-op; it is now an error so the intent (batching) is explicit
+    ///   ([`PipelineError::Config`]);
+    /// * `telemetry_sample_ms == Some(0)` — a zero sampling interval would
+    ///   spin the sampler thread flat out; use `None` to disable telemetry
     ///   ([`PipelineError::Config`]).
     ///
     /// Called by `EdgeToCloudPipeline::start()` before any resource is
@@ -122,6 +125,13 @@ impl PipelineConfig {
             return Err(PipelineError::Config(
                 "linger requires batch_max_bytes > 0 (a linger window without \
                  batching would silently do nothing)"
+                    .into(),
+            ));
+        }
+        if self.telemetry_sample_ms == Some(0) {
+            return Err(PipelineError::Config(
+                "telemetry_sample_ms must be > 0 when set (use None to \
+                 disable telemetry)"
                     .into(),
             ));
         }
@@ -203,6 +213,22 @@ mod tests {
         let err = cfg.validate().unwrap_err();
         assert!(matches!(err, PipelineError::Config(_)), "{err}");
         assert!(err.to_string().contains("compute_threads"));
+    }
+
+    #[test]
+    fn zero_telemetry_interval_rejected() {
+        let cfg = PipelineConfig {
+            telemetry_sample_ms: Some(0),
+            ..PipelineConfig::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(err, PipelineError::Config(_)), "{err}");
+        assert!(err.to_string().contains("telemetry_sample_ms"));
+        let on = PipelineConfig {
+            telemetry_sample_ms: Some(5),
+            ..PipelineConfig::default()
+        };
+        assert!(on.validate().is_ok());
     }
 
     #[test]

@@ -24,6 +24,7 @@ use pilot_broker::{Consumer, Record};
 use pilot_metrics::Component;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 /// Records fetched (and transferred) from one partition, plus the
 /// wall-clock window their shared broker→cloud transfer occupied.
@@ -272,7 +273,33 @@ impl ConsumerStage {
             }
             Source::Prefetch { rx, quit, thread } => {
                 quit.store(true, Ordering::Relaxed);
-                drop(rx.take()); // unblocks a fetcher parked on a full queue
+                // Drain the queue before dropping it: the drain unblocks a
+                // fetcher parked on a full queue (like the old plain drop
+                // did), and each discarded batch decrements the occupancy
+                // gauge, so post-shutdown telemetry reads zero instead of
+                // leaking the queued count.
+                if let Some(rx) = rx.take() {
+                    loop {
+                        match rx.try_recv() {
+                            Ok(item) => {
+                                if item.is_ok() {
+                                    if let Some(g) = self.shared.stage_gauges() {
+                                        g.prefetch_occupancy.decr();
+                                    }
+                                }
+                            }
+                            Err(mpsc::TryRecvError::Empty) => match thread {
+                                // Fetcher still live (it observes `quit` at
+                                // its next loop top, a bounded poll away).
+                                Some(t) if !t.is_finished() => {
+                                    std::thread::sleep(Duration::from_millis(1))
+                                }
+                                _ => break,
+                            },
+                            Err(mpsc::TryRecvError::Disconnected) => break,
+                        }
+                    }
+                }
                 if let Some(t) = thread.take() {
                     let _ = t.join();
                 }
@@ -332,7 +359,12 @@ impl Stage for ConsumerStage {
                     .expect("receiver lives until drain/abort")
                     .recv_timeout(self.shared.consumer.poll_timeout)
                 {
-                    Ok(Ok(batch)) => batch,
+                    Ok(Ok(batch)) => {
+                        if let Some(g) = self.shared.stage_gauges() {
+                            g.prefetch_occupancy.decr();
+                        }
+                        batch
+                    }
                     Ok(Err(e)) => return Err(e),
                     Err(mpsc::RecvTimeoutError::Timeout) => return Ok(StepOutcome::Idle),
                     // Fetch thread exited (e.g. retired by a scale-down).
@@ -440,7 +472,16 @@ fn prefetch_loop(
                 net_start_us,
                 net_end_us,
             };
+            // Occupancy is incremented before the (blocking) send so the
+            // gauge can never dip negative against the stage's decrement;
+            // a failed send (stage gone) undoes it.
+            if let Some(g) = shared.stage_gauges() {
+                g.prefetch_occupancy.incr();
+            }
             if tx.send(Ok(batch)).is_err() {
+                if let Some(g) = shared.stage_gauges() {
+                    g.prefetch_occupancy.decr();
+                }
                 return;
             }
         }

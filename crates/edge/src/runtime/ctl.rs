@@ -14,7 +14,7 @@ use crate::pipeline::PipelineError;
 use crate::summary::RunSummary;
 use parking_lot::Mutex;
 use pilot_dataflow::{Client, TaskFuture};
-use pilot_metrics::PipelineReport;
+use pilot_metrics::{PipelineReport, TelemetryFrame, TelemetrySampler};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -29,16 +29,25 @@ pub(crate) struct PipelineCtl {
     retired: Mutex<Vec<TaskFuture>>,
     cloud_client: Client,
     next_member: AtomicUsize,
+    /// The telemetry sampler thread, when `telemetry_sample_ms` is set.
+    /// Stopped explicitly at the end of `wait()` (so the final frame sees
+    /// the drained gauge levels) and implicitly by its own `Drop`.
+    telemetry: Option<TelemetrySampler>,
 }
 
 impl PipelineCtl {
-    pub(crate) fn new(shared: Arc<Shared>, cloud_client: Client) -> Self {
+    pub(crate) fn new(
+        shared: Arc<Shared>,
+        cloud_client: Client,
+        telemetry: Option<TelemetrySampler>,
+    ) -> Self {
         Self {
             shared,
             consumers: Mutex::new(Vec::new()),
             retired: Mutex::new(Vec::new()),
             cloud_client,
             next_member: AtomicUsize::new(0),
+            telemetry,
         }
     }
 
@@ -205,6 +214,23 @@ impl RunningPipeline {
         self.ctl.shared.metrics().report_for_job(self.job_id())
     }
 
+    /// Telemetry frames sampled so far (usable mid-run). Each frame is one
+    /// timestamped snapshot of every stage gauge — deadline-queue depth,
+    /// in-flight batch bytes, prefetch occupancy, per-partition lag, link
+    /// backlog/busy time, compute-pool occupancy — taken every
+    /// `telemetry_sample_ms` milliseconds. Empty when the telemetry plane
+    /// is off (the default). Feed these and the span stream to
+    /// [`pilot_metrics::attribute`] for an online bottleneck attribution,
+    /// or to [`pilot_metrics::chrome_trace_json`] for a Perfetto-loadable
+    /// trace with gauge counter tracks.
+    pub fn telemetry(&self) -> Vec<TelemetryFrame> {
+        self.ctl
+            .telemetry
+            .as_ref()
+            .map(|s| s.frames())
+            .unwrap_or_default()
+    }
+
     /// Stop everything without waiting for stream completion.
     pub fn abort(&self) {
         self.ctl.shared.stop_all.store(true, Ordering::Relaxed);
@@ -283,6 +309,11 @@ impl RunningPipeline {
         for fut in std::mem::take(&mut *self.ctl.retired.lock()) {
             let _ = fut.wait_timeout(Duration::from_millis(100));
         }
+        // Stop the sampler after every stage drained, so its final frame
+        // records the quiesced gauge levels (zero depth, zero in-flight).
+        if let Some(t) = &self.ctl.telemetry {
+            t.stop();
+        }
         let ctx = &self.ctl.shared.ctx;
         Ok(RunSummary::from_report(
             ctx.job_id,
@@ -318,6 +349,9 @@ impl Drop for RunningPipeline {
         }
         for fut in std::mem::take(&mut *self.ctl.retired.lock()) {
             let _ = fut.wait_timeout(GRACE);
+        }
+        if let Some(t) = &self.ctl.telemetry {
+            t.stop();
         }
     }
 }

@@ -84,6 +84,7 @@ mod producer;
 mod sentinel;
 mod spans;
 mod stage;
+pub mod telemetry;
 
 #[cfg(test)]
 mod tests;
@@ -96,11 +97,13 @@ use crate::pipeline::{EdgeToCloudPipeline, PipelineError};
 use config::{ConsumerConfig, ProducerConfig, TransportConfig};
 use pilot_broker::{Broker, GroupCoordinator};
 use pilot_core::Pilot;
-use pilot_metrics::{JobSpans, MetricsRegistry};
+use pilot_metrics::{JobSpans, MetricsRegistry, TelemetrySampler};
 use pilot_netsim::Link;
 use sentinel::SentinelTracker;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+use telemetry::StageGauges;
 
 /// Process-global job-id source so concurrent pipelines never collide.
 static NEXT_JOB_ID: AtomicU64 = AtomicU64::new(1);
@@ -120,6 +123,10 @@ pub(crate) struct Shared {
     pub(crate) coordinator: GroupCoordinator,
     pub(crate) sentinels: SentinelTracker,
     pub(crate) stop_all: AtomicBool,
+    /// Stage gauges of the live telemetry plane; `None` (the default, when
+    /// `telemetry_sample_ms` is unset) keeps every hot-path update a single
+    /// null check.
+    pub(crate) gauges: Option<Arc<StageGauges>>,
 }
 
 impl Shared {
@@ -140,6 +147,11 @@ impl Shared {
     /// Whether the pipeline-wide stop flag is raised.
     pub(crate) fn stopping(&self) -> bool {
         self.stop_all.load(Ordering::Relaxed)
+    }
+
+    /// The stage gauges, when the telemetry plane is on.
+    pub(crate) fn stage_gauges(&self) -> Option<&StageGauges> {
+        self.gauges.as_deref()
     }
 }
 
@@ -177,6 +189,11 @@ pub(crate) fn start(
     let compute_width = cfg
         .compute_threads
         .unwrap_or_else(|| cloud.description().cores);
+    // Telemetry plane (off by default): register the stage gauges before
+    // any stage runs, so the first sampler frame already has every name.
+    let gauges = cfg
+        .telemetry_sample_ms
+        .map(|_| Arc::new(StageGauges::new(&metrics, cfg.devices)));
     let ctx = Context::new(
         job_id,
         cfg.devices,
@@ -200,6 +217,17 @@ pub(crate) fn start(
         coordinator: GroupCoordinator::new(cfg.devices),
         sentinels: SentinelTracker::new(cfg.devices),
         stop_all: AtomicBool::new(false),
+        gauges,
+    });
+    // The sampler thread snapshots the gauges every `telemetry_sample_ms`;
+    // it is owned by the ctl (not by Shared), stopped on wait()/drop.
+    let sampler = cfg.telemetry_sample_ms.map(|ms| {
+        TelemetrySampler::spawn(
+            shared.metrics().clone(),
+            Duration::from_millis(ms),
+            TelemetrySampler::DEFAULT_CAPACITY,
+            StageGauges::probes(&shared),
+        )
     });
 
     let edge_client = edge
@@ -215,7 +243,7 @@ pub(crate) fn start(
     });
     let producers = producer::spawn_producers(&edge_client, &shared, &fns)?;
 
-    let ctl = Arc::new(PipelineCtl::new(shared, cloud_client));
+    let ctl = Arc::new(PipelineCtl::new(shared, cloud_client, sampler));
     // Join every startup member before submitting any consumer task, so
     // the first poll already sees the final assignment (no startup
     // rebalance, no at-least-once redelivery). Scale events later may

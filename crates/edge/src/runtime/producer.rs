@@ -25,7 +25,7 @@ use super::stage::{Stage, StepOutcome};
 use super::{ProducerFns, Shared};
 use parking_lot::{Condvar, Mutex};
 use pilot_broker::Record;
-use pilot_metrics::Component;
+use pilot_metrics::{Component, Gauge};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -189,10 +189,14 @@ pub(crate) struct ProducerEngine {
     work: Condvar,
     /// Devices whose sentinel has not been appended yet.
     active: AtomicUsize,
+    /// Telemetry: devices currently parked in the queue. Dedicated engines
+    /// all share one handle, so per-engine adds and subs sum into the
+    /// cell-wide depth. `None` (telemetry off) costs one null check.
+    depth: Option<Arc<Gauge>>,
 }
 
 impl ProducerEngine {
-    pub(crate) fn new(devices: usize) -> Self {
+    pub(crate) fn new(devices: usize, depth: Option<Arc<Gauge>>) -> Self {
         Self {
             q: Mutex::new(DueQueue {
                 due: BTreeMap::new(),
@@ -200,6 +204,7 @@ impl ProducerEngine {
             }),
             work: Condvar::new(),
             active: AtomicUsize::new(devices),
+            depth,
         }
     }
 
@@ -210,6 +215,9 @@ impl ProducerEngine {
         q.next_seq += 1;
         q.due.insert((state.next_due(), seq), state);
         drop(q);
+        if let Some(g) = &self.depth {
+            g.incr();
+        }
         self.work.notify_all();
     }
 
@@ -243,6 +251,9 @@ impl ProducerEngine {
                 let now = Instant::now();
                 if stopping || due <= now {
                     let (_, state) = q.due.pop_first().expect("peeked entry");
+                    if let Some(g) = &self.depth {
+                        g.decr();
+                    }
                     Popped::Device(state)
                 } else {
                     // Sleep until the earliest deadline; a push with an
@@ -336,11 +347,16 @@ pub(crate) fn spawn_producers(
     fns: &Arc<ProducerFns>,
 ) -> Result<Vec<pilot_dataflow::TaskFuture>, pilot_dataflow::TaskError> {
     let mut producers = Vec::new();
+    // Telemetry: one shared depth gauge across every engine of this
+    // pipeline (a dedicated engine per device still sums correctly).
+    let depth = shared
+        .stage_gauges()
+        .map(|g| Arc::clone(&g.producer_queue_depth));
     match shared.producer.engine {
         ProducerEngineKind::Multiplexed { workers } => {
             // All devices enter one deadline queue up front (their pacing
             // epoch is engine creation) shared by `workers` worker tasks.
-            let engine = Arc::new(ProducerEngine::new(shared.producer.devices));
+            let engine = Arc::new(ProducerEngine::new(shared.producer.devices, depth));
             for device in 0..shared.producer.devices {
                 engine.push(DeviceProducer::new(shared, device, fns));
             }
@@ -363,13 +379,14 @@ pub(crate) fn spawn_producers(
             producers.reserve(shared.producer.devices);
             for device in 0..shared.producer.devices {
                 let fns2 = Arc::clone(fns);
+                let depth2 = depth.clone();
                 let fut = super::stage::spawn(
                     client,
                     &format!("produce-edge-{device}"),
                     Arc::clone(shared),
                     None,
                     move |shared| {
-                        let engine = Arc::new(ProducerEngine::new(1));
+                        let engine = Arc::new(ProducerEngine::new(1, depth2));
                         engine.push(DeviceProducer::new(shared, device, &fns2));
                         Ok(Box::new(ProducerWorker::new(Arc::clone(shared), engine)))
                     },

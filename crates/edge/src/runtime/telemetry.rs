@@ -1,0 +1,149 @@
+//! The pipeline's stage gauges — the push/pull instrumentation points of
+//! the live telemetry plane (DESIGN.md §11).
+//!
+//! When [`PipelineConfig::telemetry_sample_ms`] is set, `start()` registers
+//! one [`Gauge`] per instrumentation point under a stable name in the job's
+//! [`MetricsRegistry`] and stores the handles here. **Push** gauges are
+//! updated inline by the stage that owns the state (deadline-queue depth by
+//! the producer engine, in-flight batch bytes by the batcher, prefetch
+//! occupancy by the consumer) — one relaxed atomic add on a path that
+//! already crosses a simulated network link. **Pull** gauges (link
+//! reservation queues, compute-pool occupancy, per-partition consumer lag)
+//! are refreshed by `StageGauges::probes` closures the
+//! [`TelemetrySampler`](pilot_metrics::TelemetrySampler) runs before each
+//! snapshot, so the hot path never pays for state it does not own.
+//!
+//! With the knob unset, `Shared::gauges` is `None` and none of this exists:
+//! no registry entries, no sampler thread, and every hot-path update is a
+//! single pointer-null check (asserted zero-overhead in
+//! `tests/telemetry.rs`).
+//!
+//! [`PipelineConfig::telemetry_sample_ms`]: crate::pipeline::PipelineConfig::telemetry_sample_ms
+
+use super::Shared;
+use pilot_metrics::{Gauge, MetricsRegistry, Probe};
+use std::sync::Arc;
+
+/// Stable gauge name: producer deadline-queue depth (devices parked in the
+/// engine, waiting for their next send deadline or a free worker).
+pub const GAUGE_PRODUCER_QUEUE_DEPTH: &str = "producer.deadline_queue_depth";
+/// Stable gauge name: encoded bytes aboard in-flight producer batches
+/// (reservation issued, messages not yet appended).
+pub const GAUGE_INFLIGHT_BATCH_BYTES: &str = "producer.inflight_batch_bytes";
+/// Stable gauge name: batches queued between the prefetch threads and the
+/// consumer stages (summed over all consumers).
+pub const GAUGE_PREFETCH_OCCUPANCY: &str = "consumer.prefetch_occupancy";
+/// Stable gauge name: jobs currently running inside the cloud compute pool.
+pub const GAUGE_COMPUTE_POOL_OCCUPANCY: &str = "cloud.compute_pool_occupancy";
+/// Stable gauge name: µs of transfer already reserved but not yet elapsed
+/// on the edge→broker link (its queueing backlog).
+pub const GAUGE_NET_EDGE_BROKER_PENDING: &str = "net.edge_broker.pending_us";
+/// Stable gauge name: cumulative µs of transit reserved on the edge→broker
+/// link since creation (its busy time).
+pub const GAUGE_NET_EDGE_BROKER_BUSY: &str = "net.edge_broker.busy_us";
+/// Stable gauge name: reservation backlog of the broker→cloud link.
+pub const GAUGE_NET_BROKER_CLOUD_PENDING: &str = "net.broker_cloud.pending_us";
+/// Stable gauge name: cumulative busy time of the broker→cloud link.
+pub const GAUGE_NET_BROKER_CLOUD_BUSY: &str = "net.broker_cloud.busy_us";
+/// Stable gauge name: total consumer-group lag (records behind the
+/// watermarks, summed over partitions). Per-partition gauges live under
+/// `broker.lag.p<N>`.
+pub const GAUGE_BROKER_LAG_TOTAL: &str = "broker.lag.total";
+
+/// The per-partition lag gauge name.
+pub fn partition_lag_gauge(partition: usize) -> String {
+    format!("broker.lag.p{partition}")
+}
+
+/// The pipeline's registered gauge handles. Lives in `Shared::gauges` (as
+/// `Option<Arc<_>>`); `None` means telemetry is off and every hot-path
+/// update short-circuits on the null check.
+pub(crate) struct StageGauges {
+    /// Devices parked in the producer engine(s). Dedicated engines all
+    /// share this one handle; their adds and subs sum into the cell-wide
+    /// depth, exactly like the multiplexed engine's single queue.
+    pub(crate) producer_queue_depth: Arc<Gauge>,
+    /// Bytes aboard in-flight producer batches.
+    pub(crate) inflight_batch_bytes: Arc<Gauge>,
+    /// Batches queued between prefetch threads and consumer stages.
+    pub(crate) prefetch_occupancy: Arc<Gauge>,
+    /// Compute-pool occupancy (pull — refreshed by the sampler probe).
+    compute_pool_occupancy: Arc<Gauge>,
+    /// Link backlog / busy-time gauges (pull).
+    net_edge_broker_pending: Arc<Gauge>,
+    net_edge_broker_busy: Arc<Gauge>,
+    net_broker_cloud_pending: Arc<Gauge>,
+    net_broker_cloud_busy: Arc<Gauge>,
+    /// Consumer lag, one gauge per partition plus the total (pull).
+    lag_total: Arc<Gauge>,
+    lag_partitions: Vec<Arc<Gauge>>,
+}
+
+impl StageGauges {
+    /// Register every stage gauge under its stable name.
+    pub(crate) fn new(registry: &MetricsRegistry, devices: usize) -> Self {
+        Self {
+            producer_queue_depth: registry.gauge(GAUGE_PRODUCER_QUEUE_DEPTH),
+            inflight_batch_bytes: registry.gauge(GAUGE_INFLIGHT_BATCH_BYTES),
+            prefetch_occupancy: registry.gauge(GAUGE_PREFETCH_OCCUPANCY),
+            compute_pool_occupancy: registry.gauge(GAUGE_COMPUTE_POOL_OCCUPANCY),
+            net_edge_broker_pending: registry.gauge(GAUGE_NET_EDGE_BROKER_PENDING),
+            net_edge_broker_busy: registry.gauge(GAUGE_NET_EDGE_BROKER_BUSY),
+            net_broker_cloud_pending: registry.gauge(GAUGE_NET_BROKER_CLOUD_PENDING),
+            net_broker_cloud_busy: registry.gauge(GAUGE_NET_BROKER_CLOUD_BUSY),
+            lag_total: registry.gauge(GAUGE_BROKER_LAG_TOTAL),
+            lag_partitions: (0..devices)
+                .map(|p| registry.gauge(&partition_lag_gauge(p)))
+                .collect(),
+        }
+    }
+
+    /// The sampler probes refreshing the pull gauges before each snapshot:
+    /// link backlog and busy time, compute-pool occupancy, and consumer
+    /// lag via the broker's `partition_lags` accessor. The probes capture
+    /// the pipeline's `Shared` — the sampler is owned by `PipelineCtl`,
+    /// not by `Shared`, so no reference cycle forms.
+    pub(crate) fn probes(shared: &Arc<Shared>) -> Vec<Probe> {
+        let links = Arc::clone(shared);
+        let pool = Arc::clone(shared);
+        let lag = Arc::clone(shared);
+        vec![
+            Box::new(move || {
+                let Some(g) = links.gauges.as_deref() else {
+                    return;
+                };
+                g.net_edge_broker_pending
+                    .set(links.link_edge_broker.pending_us() as i64);
+                g.net_edge_broker_busy
+                    .set(links.link_edge_broker.busy_us() as i64);
+                g.net_broker_cloud_pending
+                    .set(links.link_broker_cloud.pending_us() as i64);
+                g.net_broker_cloud_busy
+                    .set(links.link_broker_cloud.busy_us() as i64);
+            }),
+            Box::new(move || {
+                let Some(g) = pool.gauges.as_deref() else {
+                    return;
+                };
+                g.compute_pool_occupancy
+                    .set(pool.ctx.compute.occupancy() as i64);
+            }),
+            Box::new(move || {
+                let Some(g) = lag.gauges.as_deref() else {
+                    return;
+                };
+                let Ok(lags) = lag.broker.partition_lags(&lag.group(), &lag.topic) else {
+                    return;
+                };
+                let mut total = 0i64;
+                for pl in &lags {
+                    total += pl.lag() as i64;
+                    if let Some(gauge) = g.lag_partitions.get(pl.partition) {
+                        gauge.set(pl.lag() as i64);
+                    }
+                }
+                g.lag_total.set(total);
+            }),
+        ]
+    }
+}

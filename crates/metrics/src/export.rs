@@ -5,21 +5,99 @@
 //! is the storage half: a flat CSV schema, stable across versions, written
 //! with plain `std::fs` so external tooling (pandas, gnuplot) can consume
 //! experiment runs directly.
+//!
+//! The `component` field is the only one that can contain arbitrary text
+//! (`net:{link}` / `custom:{name}` labels), so it is quoted per RFC 4180
+//! whenever it holds a delimiter, quote, or newline; the loader is strict —
+//! a malformed row is an error, not a silently dropped measurement.
 
 use crate::span::{Component, Span};
-use std::io::{BufRead, BufWriter, Write};
+use std::io::{BufWriter, Write};
 use std::path::Path;
 
 /// The CSV header written by [`write_csv`].
 pub const CSV_HEADER: &str = "job_id,msg_id,component,start_us,end_us,bytes,error";
 
-/// Serialize one span as a CSV row.
+/// Quote `field` per RFC 4180 if it contains a comma, quote, or line break
+/// (doubling embedded quotes); otherwise return it unchanged.
+fn escape_csv_field(field: &str) -> String {
+    if field.contains(['"', ',', '\n', '\r']) {
+        let mut out = String::with_capacity(field.len() + 2);
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        field.to_string()
+    }
+}
+
+/// Split one CSV row into exactly `n` fields, honouring RFC 4180 quoting.
+/// Returns `None` on unbalanced quotes, garbage after a closing quote, or a
+/// field count other than `n`.
+fn split_row(row: &str, n: usize) -> Option<Vec<String>> {
+    let mut fields = Vec::with_capacity(n);
+    let mut chars = row.chars().peekable();
+    loop {
+        let mut field = String::new();
+        if chars.peek() == Some(&'"') {
+            chars.next();
+            loop {
+                match chars.next()? {
+                    '"' => match chars.peek() {
+                        Some('"') => {
+                            chars.next();
+                            field.push('"');
+                        }
+                        Some(',') | None => break,
+                        // Garbage between the closing quote and the
+                        // delimiter: reject rather than guess.
+                        Some(_) => return None,
+                    },
+                    c => field.push(c),
+                }
+            }
+        } else {
+            while let Some(&c) = chars.peek() {
+                if c == ',' {
+                    break;
+                }
+                // A bare quote inside an unquoted field is malformed.
+                if c == '"' {
+                    return None;
+                }
+                field.push(c);
+                chars.next();
+            }
+        }
+        fields.push(field);
+        match chars.next() {
+            Some(',') => continue,
+            None => break,
+            Some(_) => return None,
+        }
+    }
+    if fields.len() == n {
+        Some(fields)
+    } else {
+        None
+    }
+}
+
+/// Serialize one span as a CSV row. The component label — the only field
+/// that can carry arbitrary text, e.g. `net:{link}` — is quoted/escaped
+/// when it contains a delimiter, so hostile link names round-trip.
 pub fn span_to_row(s: &Span) -> String {
     format!(
         "{},{},{},{},{},{},{}",
         s.job_id,
         s.msg_id,
-        s.component.label(),
+        escape_csv_field(&s.component.label()),
         s.start_us,
         s.end_us,
         s.bytes,
@@ -48,23 +126,21 @@ pub fn component_from_label(label: &str) -> Component {
 }
 
 /// Parse a row written by [`span_to_row`]. Returns `None` on malformed rows
-/// (including the header).
+/// (wrong field count, unbalanced quotes, non-numeric fields, the header).
 pub fn span_from_row(row: &str) -> Option<Span> {
-    let mut parts = row.trim().splitn(7, ',');
-    let job_id = parts.next()?.parse().ok()?;
-    let msg_id = parts.next()?.parse().ok()?;
-    let component = component_from_label(parts.next()?);
-    let start_us = parts.next()?.parse().ok()?;
-    let end_us = parts.next()?.parse().ok()?;
-    let bytes = parts.next()?.parse().ok()?;
-    let error = parts.next()? == "1";
+    let fields = split_row(row.trim_end_matches(['\n', '\r']), 7)?;
+    let error = match fields[6].as_str() {
+        "0" => false,
+        "1" => true,
+        _ => return None,
+    };
     Some(Span {
-        job_id,
-        msg_id,
-        component,
-        start_us,
-        end_us,
-        bytes,
+        job_id: fields[0].parse().ok()?,
+        msg_id: fields[1].parse().ok()?,
+        component: component_from_label(&fields[2]),
+        start_us: fields[3].parse().ok()?,
+        end_us: fields[4].parse().ok()?,
+        bytes: fields[5].parse().ok()?,
         error,
     })
 }
@@ -80,19 +156,54 @@ pub fn write_csv(path: &Path, spans: &[Span]) -> std::io::Result<()> {
     w.flush()
 }
 
-/// Load spans from a CSV written by [`write_csv`]; malformed rows are
-/// skipped (robust to hand-edited files).
+/// Split CSV text into records on newlines *outside* quoted fields, so a
+/// quoted component label containing `\n` stays one record.
+fn split_records(text: &str) -> Vec<String> {
+    let mut records = Vec::new();
+    let mut record = String::new();
+    let mut in_quotes = false;
+    for c in text.chars() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                record.push(c);
+            }
+            '\n' if !in_quotes => {
+                records.push(std::mem::take(&mut record));
+            }
+            '\r' if !in_quotes => {} // swallow CR of CRLF record breaks
+            c => record.push(c),
+        }
+    }
+    if !record.is_empty() {
+        records.push(record);
+    }
+    records
+}
+
+/// Load spans from a CSV written by [`write_csv`].
+///
+/// Records are split quote-aware (a quoted label containing a newline is
+/// one record), and the loader is strict: a record that is neither the
+/// leading header, blank, nor a well-formed span row is an `InvalidData`
+/// error naming the record — a corrupted measurement file should fail
+/// loudly, not silently drop the very rows (e.g. hostile `net:{link}`
+/// labels) most likely to matter.
 pub fn read_csv(path: &Path) -> std::io::Result<Vec<Span>> {
-    let file = std::fs::File::open(path)?;
-    let reader = std::io::BufReader::new(file);
+    let text = std::fs::read_to_string(path)?;
     let mut out = Vec::new();
-    for line in reader.lines() {
-        let line = line?;
-        if line.starts_with("job_id") || line.trim().is_empty() {
+    for (i, record) in split_records(&text).into_iter().enumerate() {
+        if (i == 0 && record.trim() == CSV_HEADER) || record.trim().is_empty() {
             continue;
         }
-        if let Some(span) = span_from_row(&line) {
-            out.push(span);
+        match span_from_row(&record) {
+            Some(span) => out.push(span),
+            None => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("malformed span row at record {}: {record:?}", i + 1),
+                ))
+            }
         }
     }
     Ok(out)
@@ -164,17 +275,104 @@ mod tests {
     }
 
     #[test]
-    fn malformed_rows_skipped() {
+    fn hostile_network_labels_roundtrip_through_rows() {
+        for label in [
+            "a,b",
+            "quote\"inside",
+            "new\nline",
+            "cr\rlf",
+            "trailing,comma,",
+            "\"already quoted\"",
+            ",",
+            "",
+        ] {
+            let span = Span {
+                job_id: 1,
+                msg_id: 2,
+                component: Component::Network(label.to_string()),
+                start_us: 3,
+                end_us: 4,
+                bytes: 5,
+                error: false,
+            };
+            let row = span_to_row(&span);
+            assert!(!row.contains('\n') || row.contains('"'), "{row:?}");
+            let parsed = span_from_row(&row).expect("row must parse");
+            assert_eq!(parsed, span, "label {label:?}");
+        }
+    }
+
+    #[test]
+    fn quoted_rows_survive_a_disk_roundtrip() {
+        let spans = vec![
+            Span {
+                job_id: 1,
+                msg_id: 1,
+                component: Component::Network("edge,zone-\"A\"\n->broker".into()),
+                start_us: 0,
+                end_us: 10,
+                bytes: 64,
+                error: false,
+            },
+            Span {
+                job_id: 1,
+                msg_id: 1,
+                component: Component::Custom("a,b".into()),
+                start_us: 10,
+                end_us: 20,
+                bytes: 64,
+                error: true,
+            },
+        ];
+        let path = tmp("quoted");
+        write_csv(&path, &spans).unwrap();
+        // The newline-bearing label is one quoted record across two
+        // physical lines; the quote-aware record splitter keeps it whole.
+        assert_eq!(read_csv(&path).unwrap(), spans);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_rows_are_rejected() {
         let path = tmp("malformed");
         std::fs::write(
             &path,
             format!("{CSV_HEADER}\n1,1,broker,0,10,8,0\nnot,a,row\n\n2,1,broker,0,10,8,1\n"),
         )
         .unwrap();
-        let spans = read_csv(&path).unwrap();
-        assert_eq!(spans.len(), 2);
-        assert!(spans[1].error);
+        let err = read_csv(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("record 3"), "{err}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unbalanced_quotes_are_rejected() {
+        for bad in [
+            "1,1,\"net:open,0,10,8,0",   // unterminated quote
+            "1,1,\"net:a\"x,0,10,8,0",   // garbage after closing quote
+            "1,1,net:\"a\",0,10,8,0",    // bare quote in unquoted field
+            "1,1,broker,0,10,8,2",       // error flag out of range
+            "1,1,broker,0,10,8,0,extra", // too many fields
+            "1,1,broker,0,10,8",         // too few fields
+            "x,1,broker,0,10,8,0",       // non-numeric id
+        ] {
+            assert!(span_from_row(bad).is_none(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn clean_rows_stay_unquoted() {
+        let span = Span {
+            job_id: 9,
+            msg_id: 8,
+            component: Component::Broker,
+            start_us: 1,
+            end_us: 2,
+            bytes: 3,
+            error: false,
+        };
+        assert_eq!(span_to_row(&span), "9,8,broker,1,2,3,0");
     }
 
     #[test]

@@ -23,6 +23,12 @@
 //!   and quantile queries, mergeable across shards.
 //! * [`EnergyModel`] — the simple active-time × wattage energy estimate the
 //!   paper lists as future work.
+//! * [`telemetry`] — the *live* plane: lock-free [`Gauge`]s, the
+//!   [`TelemetrySampler`] frame ring, and the online bottleneck
+//!   [`attribute`]-or over linked span chains.
+//! * [`trace`] — Chrome `trace_event` JSON export
+//!   (`chrome://tracing` / Perfetto-loadable) of span chains + gauge
+//!   series, with a dependency-free validator for CI smokes.
 //!
 //! The registry is designed for the hot path of a streaming pipeline: span
 //! recording takes one shard lock (sharded by thread to avoid contention) and
@@ -36,7 +42,9 @@ pub mod histogram;
 pub mod registry;
 pub mod report;
 pub mod span;
+pub mod telemetry;
 pub mod timeline;
+pub mod trace;
 
 pub use clock::Clock;
 pub use counter::Counter;
@@ -46,4 +54,8 @@ pub use histogram::Histogram;
 pub use registry::{JobSpans, MetricsRegistry};
 pub use report::{ComponentStats, EndToEnd, PipelineReport, ReportBuilder};
 pub use span::{Component, JobId, MsgId, Span, SpanBuilder};
+pub use telemetry::{
+    attribute, Attribution, Gauge, Probe, TelemetryFrame, TelemetrySampler, WindowAttribution,
+};
 pub use timeline::{TimeBucket, Timeline};
+pub use trace::{chrome_trace_json, validate_trace_json, write_chrome_trace};

@@ -5,6 +5,7 @@ use crate::clock::Clock;
 use crate::counter::Counter;
 use crate::report::{PipelineReport, ReportBuilder};
 use crate::span::{Component, JobId, MsgId, Span, SpanBuilder};
+use crate::telemetry::Gauge;
 use parking_lot::Mutex;
 use std::cell::Cell;
 use std::collections::HashMap;
@@ -52,6 +53,16 @@ struct Inner {
     shards: Vec<Mutex<Vec<Span>>>,
     next_shard: AtomicUsize,
     counters: Mutex<HashMap<String, Arc<Counter>>>,
+    gauges: Mutex<GaugeStore>,
+}
+
+/// Insertion-ordered gauge inventory: samplers and dashboards enumerate
+/// gauges in registration order, so the columns of a frame series stay
+/// stable across a run.
+#[derive(Default)]
+struct GaugeStore {
+    by_name: HashMap<Arc<str>, usize>,
+    ordered: Vec<(Arc<str>, Arc<Gauge>)>,
 }
 
 impl MetricsRegistry {
@@ -63,6 +74,7 @@ impl MetricsRegistry {
                 shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
                 next_shard: AtomicUsize::new(0),
                 counters: Mutex::new(HashMap::new()),
+                gauges: Mutex::new(GaugeStore::default()),
             }),
         }
     }
@@ -173,6 +185,43 @@ impl MetricsRegistry {
             .get(name)
             .map(|c| c.get())
             .unwrap_or(0)
+    }
+
+    /// Fetch (creating if absent) the named gauge.
+    ///
+    /// Like [`Self::counter`], the returned handle is cheap to clone and
+    /// updates lock-free — hot paths fetch it once and cache it. Gauges
+    /// are enumerated by the telemetry sampler in registration order.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut guard = self.inner.gauges.lock();
+        if let Some(&idx) = guard.by_name.get(name) {
+            return Arc::clone(&guard.ordered[idx].1);
+        }
+        let name: Arc<str> = Arc::from(name);
+        let g = Arc::new(Gauge::new());
+        let idx = guard.ordered.len();
+        guard.by_name.insert(Arc::clone(&name), idx);
+        guard.ordered.push((name, Arc::clone(&g)));
+        g
+    }
+
+    /// Current level of a named gauge (`None` if it was never registered).
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        let guard = self.inner.gauges.lock();
+        guard
+            .by_name
+            .get(name)
+            .map(|&idx| guard.ordered[idx].1.get())
+    }
+
+    /// Snapshot the gauge inventory `(name, handle)` in registration order.
+    pub fn gauges(&self) -> Vec<(Arc<str>, Arc<Gauge>)> {
+        self.inner.gauges.lock().ordered.clone()
+    }
+
+    /// Number of registered gauges.
+    pub fn gauge_count(&self) -> usize {
+        self.inner.gauges.lock().ordered.len()
     }
 
     /// Snapshot all spans recorded so far (cloned, in no particular order).

@@ -13,12 +13,16 @@ use crate::span::{Component, Span};
 pub struct TimeBucket {
     /// Bucket start, µs since the clock epoch.
     pub start_us: u64,
-    /// Spans completed in this bucket.
+    /// Spans completed successfully in this bucket.
     pub count: u64,
-    /// Payload bytes completed in this bucket.
+    /// Payload bytes completed in this bucket (successful spans).
     pub bytes: u64,
-    /// Mean service time of spans completing in this bucket (µs).
+    /// Mean service time of spans completing in this bucket (µs,
+    /// successful spans only).
     pub mean_service_us: f64,
+    /// Error spans ending in this bucket — without this a window of
+    /// failures is indistinguishable from an idle window.
+    pub errors: u64,
 }
 
 impl TimeBucket {
@@ -51,12 +55,13 @@ pub struct Timeline {
 
 impl Timeline {
     /// Bucket the spans of `component` (or all components when `None`) by
-    /// completion time.
+    /// completion time. Error spans count toward each bucket's `errors`
+    /// (and extend the bucket range) but not toward throughput/service.
     pub fn from_spans(spans: &[Span], component: Option<&Component>, bucket_us: u64) -> Self {
         assert!(bucket_us > 0, "bucket width must be > 0");
         let selected: Vec<&Span> = spans
             .iter()
-            .filter(|s| !s.error && component.is_none_or(|c| &s.component == c))
+            .filter(|s| component.is_none_or(|c| &s.component == c))
             .collect();
         if selected.is_empty() {
             return Self {
@@ -70,11 +75,16 @@ impl Timeline {
         let mut counts = vec![0u64; n];
         let mut bytes = vec![0u64; n];
         let mut service = vec![0u64; n];
+        let mut errors = vec![0u64; n];
         for s in &selected {
             let b = (s.end_us / bucket_us - first) as usize;
-            counts[b] += 1;
-            bytes[b] += s.bytes;
-            service[b] += s.duration_us();
+            if s.error {
+                errors[b] += 1;
+            } else {
+                counts[b] += 1;
+                bytes[b] += s.bytes;
+                service[b] += s.duration_us();
+            }
         }
         let buckets = (0..n)
             .map(|b| TimeBucket {
@@ -86,6 +96,7 @@ impl Timeline {
                 } else {
                     service[b] as f64 / counts[b] as f64
                 },
+                errors: errors[b],
             })
             .collect();
         Self { bucket_us, buckets }
@@ -99,14 +110,15 @@ impl Timeline {
             .fold(0.0, f64::max)
     }
 
-    /// CSV rendering: `t_ms,count,msgs_per_s,mb_per_s,mean_service_ms`.
+    /// CSV rendering: `t_ms,count,errors,msgs_per_s,mb_per_s,mean_service_ms`.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("t_ms,count,msgs_per_s,mb_per_s,mean_service_ms\n");
+        let mut out = String::from("t_ms,count,errors,msgs_per_s,mb_per_s,mean_service_ms\n");
         for b in &self.buckets {
             out.push_str(&format!(
-                "{:.1},{},{:.2},{:.4},{:.3}\n",
+                "{:.1},{},{},{:.2},{:.4},{:.3}\n",
                 b.start_us as f64 / 1e3,
                 b.count,
+                b.errors,
                 b.rate(self.bucket_us),
                 b.mb_rate(self.bucket_us),
                 b.mean_service_us / 1e3,
@@ -174,11 +186,36 @@ mod tests {
     }
 
     #[test]
-    fn errors_excluded() {
-        let mut bad = span(100, 1, 10);
+    fn errors_counted_but_not_throughput() {
+        let mut bad = span(100, 64, 10);
         bad.error = true;
         let t = Timeline::from_spans(&[bad], None, 1_000);
-        assert!(t.buckets.is_empty());
+        // A window of failures is visible — not an empty timeline …
+        assert_eq!(t.buckets.len(), 1);
+        assert_eq!(t.buckets[0].errors, 1);
+        // … but contributes nothing to the success-side series.
+        assert_eq!(t.buckets[0].count, 0);
+        assert_eq!(t.buckets[0].bytes, 0);
+        assert_eq!(t.buckets[0].mean_service_us, 0.0);
+        assert_eq!(t.peak_rate(), 0.0);
+    }
+
+    #[test]
+    fn errors_and_successes_split_per_bucket() {
+        let mut spans = vec![span(500, 10, 5), span(600, 10, 5)];
+        let mut bad = span(700, 10, 5);
+        bad.error = true;
+        spans.push(bad);
+        let mut bad2 = span(1_500, 10, 5);
+        bad2.error = true;
+        spans.push(bad2);
+        let t = Timeline::from_spans(&spans, None, 1_000);
+        assert_eq!(t.buckets.len(), 2);
+        assert_eq!((t.buckets[0].count, t.buckets[0].errors), (2, 1));
+        assert_eq!((t.buckets[1].count, t.buckets[1].errors), (0, 1));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("t_ms,count,errors,"));
+        assert!(csv.lines().nth(1).unwrap().contains(",2,1,"));
     }
 
     #[test]

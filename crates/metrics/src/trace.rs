@@ -1,0 +1,484 @@
+//! Chrome `trace_event` export: serialize span chains and gauge frames to
+//! the JSON Array Format loadable by `chrome://tracing` and Perfetto.
+//!
+//! Each [`Span`] becomes a complete (`"ph":"X"`) event whose `pid` is the
+//! job id and whose `tid` is a stable per-component row, so a loaded trace
+//! shows one horizontal track per pipeline component with the linked
+//! per-message chain (EdgeProducer → Network → Broker → Network →
+//! CloudProcessor) readable left to right. Each gauge series from the
+//! [`TelemetryFrame`] ring becomes a counter
+//! (`"ph":"C"`) track. Metadata (`"ph":"M"`) events name the rows.
+//!
+//! No JSON library is taken on as a dependency: the writer hand-rolls the
+//! (flat, fully controlled) output, and [`validate_trace_json`] is a small
+//! recursive-descent checker used by tests and the CI smoke to prove the
+//! export is well-formed and non-empty.
+
+use crate::span::Span;
+use crate::telemetry::TelemetryFrame;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+/// Render spans + telemetry frames as a Chrome `trace_event` JSON object
+/// (`{"traceEvents": [...], "displayTimeUnit": "ms"}`).
+pub fn chrome_trace_json(spans: &[Span], frames: &[TelemetryFrame]) -> String {
+    let mut out = String::with_capacity(128 + spans.len() * 160);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    // Stable per-component rows: tid by first appearance, named via
+    // metadata events so the viewer shows labels instead of numbers.
+    let mut tids: BTreeMap<String, u64> = BTreeMap::new();
+    for s in spans {
+        let label = s.component.label();
+        let next = tids.len() as u64 + 1;
+        let tid = *tids.entry(label.clone()).or_insert(next);
+        push_event(&mut out, &mut first, |e| {
+            e.push_str("\"name\":");
+            push_json_string(e, &label);
+            e.push_str(",\"cat\":\"span\",\"ph\":\"X\",\"ts\":");
+            e.push_str(&s.start_us.to_string());
+            e.push_str(",\"dur\":");
+            e.push_str(&s.duration_us().to_string());
+            e.push_str(",\"pid\":");
+            e.push_str(&s.job_id.to_string());
+            e.push_str(",\"tid\":");
+            e.push_str(&tid.to_string());
+            e.push_str(",\"args\":{\"msg_id\":");
+            e.push_str(&s.msg_id.to_string());
+            e.push_str(",\"bytes\":");
+            e.push_str(&s.bytes.to_string());
+            e.push_str(",\"error\":");
+            e.push_str(if s.error { "true" } else { "false" });
+            e.push('}');
+        });
+    }
+    for (label, tid) in &tids {
+        push_event(&mut out, &mut first, |e| {
+            e.push_str("\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":");
+            e.push_str(&tid.to_string());
+            e.push_str(",\"args\":{\"name\":");
+            push_json_string(e, label);
+            e.push('}');
+        });
+    }
+    // Gauge series as counter tracks: one "C" event per gauge per frame.
+    for f in frames {
+        for (name, value) in &f.values {
+            push_event(&mut out, &mut first, |e| {
+                e.push_str("\"name\":");
+                push_json_string(e, name);
+                e.push_str(",\"cat\":\"gauge\",\"ph\":\"C\",\"ts\":");
+                e.push_str(&f.t_us.to_string());
+                e.push_str(",\"pid\":0,\"args\":{\"value\":");
+                e.push_str(&value.to_string());
+                e.push('}');
+            });
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Write the Chrome trace for `spans` + `frames` to `path`.
+pub fn write_chrome_trace(
+    path: impl AsRef<Path>,
+    spans: &[Span],
+    frames: &[TelemetryFrame],
+) -> std::io::Result<()> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    file.write_all(chrome_trace_json(spans, frames).as_bytes())
+}
+
+fn push_event(out: &mut String, first: &mut bool, body: impl FnOnce(&mut String)) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push('{');
+    body(out);
+    out.push('}');
+}
+
+/// Append `s` as a JSON string literal, escaping per RFC 8259.
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Validate `text` as Chrome-trace JSON: it must parse as a JSON value
+/// (full grammar — objects, arrays, strings with escapes, numbers, bools,
+/// null) and contain a `traceEvents` array. Returns the number of events.
+///
+/// This is deliberately a *validator*, not a parser into a document tree —
+/// it exists so tests and the CI smoke can assert "the export is loadable"
+/// without taking a JSON crate dependency.
+pub fn validate_trace_json(text: &str) -> Result<usize, String> {
+    let mut v = Validator {
+        bytes: text.as_bytes(),
+        pos: 0,
+        events: None,
+        depth: 0,
+    };
+    v.skip_ws();
+    v.value()?;
+    v.skip_ws();
+    if v.pos != v.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", v.pos));
+    }
+    v.events
+        .ok_or_else(|| "no traceEvents array found".to_string())
+}
+
+struct Validator<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Number of elements of the top-level `traceEvents` array, once seen.
+    events: Option<usize>,
+    depth: usize,
+}
+
+impl Validator<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                c as char,
+                self.pos,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > 128 {
+            return Err("nesting too deep".into());
+        }
+        self.skip_ws();
+        let r = match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => {
+                self.array()?;
+                Ok(())
+            }
+            Some(b'"') => self.string().map(|_| ()),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            )),
+        };
+        self.depth -= 1;
+        r
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            if key == "traceEvents" && self.peek() == Some(b'[') {
+                let n = self.array()?;
+                if self.events.is_none() {
+                    self.events = Some(n);
+                }
+            } else {
+                self.value()?;
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Validate an array, returning its element count.
+    fn array(&mut self) -> Result<usize, String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(0);
+        }
+        let mut n = 0;
+        loop {
+            self.value()?;
+            n += 1;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(n);
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(c @ (b'"' | b'\\' | b'/')) => {
+                            out.push(c as char);
+                            self.pos += 1;
+                        }
+                        Some(b'n') => {
+                            out.push('\n');
+                            self.pos += 1;
+                        }
+                        Some(b'r' | b't' | b'b' | b'f') => {
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.pos += 1,
+                                    _ => {
+                                        return Err(format!("bad \\u escape at byte {}", self.pos))
+                                    }
+                                }
+                            }
+                        }
+                        other => {
+                            return Err(format!(
+                                "bad escape {:?} at byte {}",
+                                other.map(|b| b as char),
+                                self.pos
+                            ))
+                        }
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(format!("raw control byte {c:#04x} in string")),
+                Some(_) => {
+                    // Skip one UTF-8 scalar (input is a &str, so boundaries
+                    // are valid by construction).
+                    let ch = self.remaining_char();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn remaining_char(&self) -> char {
+        // Safe: `bytes` comes from a &str and pos is always on a boundary.
+        std::str::from_utf8(&self.bytes[self.pos..])
+            .expect("validator input is UTF-8")
+            .chars()
+            .next()
+            .expect("peeked non-empty")
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits = |v: &mut Self| {
+            let s = v.pos;
+            while matches!(v.peek(), Some(c) if c.is_ascii_digit()) {
+                v.pos += 1;
+            }
+            v.pos > s
+        };
+        let int_start = self.pos;
+        if !digits(self) {
+            return Err(format!("bad number at byte {start}"));
+        }
+        // JSON forbids leading zeros ("01" is not a number).
+        if self.pos - int_start > 1 && self.bytes[int_start] == b'0' {
+            return Err(format!("leading zero in number at byte {start}"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !digits(self) {
+                return Err(format!("bad number at byte {start}"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !digits(self) {
+                return Err(format!("bad number at byte {start}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Component;
+    use std::sync::Arc;
+
+    fn span(component: Component, msg_id: u64, start: u64, end: u64) -> Span {
+        Span {
+            job_id: 3,
+            msg_id,
+            component,
+            start_us: start,
+            end_us: end,
+            bytes: 64,
+            error: false,
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_valid_with_zero_events() {
+        let json = chrome_trace_json(&[], &[]);
+        assert_eq!(validate_trace_json(&json), Ok(0));
+    }
+
+    #[test]
+    fn spans_and_frames_counted_as_events() {
+        let spans = vec![
+            span(Component::EdgeProducer, 1, 0, 10),
+            span(Component::Broker, 1, 10, 20),
+        ];
+        let frames = vec![TelemetryFrame {
+            t_us: 5,
+            values: vec![(Arc::from("depth"), 3), (Arc::from("lag"), 7)],
+        }];
+        let json = chrome_trace_json(&spans, &frames);
+        // 2 span events + 2 thread_name metadata + 2 counter events.
+        assert_eq!(validate_trace_json(&json), Ok(6));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"ph\":\"M\""));
+    }
+
+    #[test]
+    fn hostile_component_labels_are_escaped() {
+        let nasty = Component::Network("a,\"b\"\n\\c\td\u{1}".to_string());
+        let json = chrome_trace_json(&[span(nasty, 9, 0, 5)], &[]);
+        let n = validate_trace_json(&json).expect("escaped output must validate");
+        assert_eq!(n, 2); // span + its thread_name metadata
+    }
+
+    #[test]
+    fn same_component_shares_a_tid() {
+        let spans = vec![
+            span(Component::Broker, 1, 0, 1),
+            span(Component::Broker, 2, 1, 2),
+            span(Component::CloudProcessor, 1, 2, 3),
+        ];
+        let json = chrome_trace_json(&spans, &[]);
+        // 3 spans but only 2 distinct rows → 2 metadata events.
+        assert_eq!(validate_trace_json(&json), Ok(5));
+    }
+
+    #[test]
+    fn write_chrome_trace_roundtrips_through_disk() {
+        let dir = std::env::temp_dir().join("pilot_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let spans = vec![span(Component::EdgeProducer, 1, 0, 10)];
+        write_chrome_trace(&path, &spans, &[]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(validate_trace_json(&text), Ok(2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn validator_rejects_malformed_json() {
+        for bad in [
+            "",
+            "{",
+            "{\"traceEvents\":[}",
+            "{\"traceEvents\":[]} trailing",
+            "{\"traceEvents\":[{\"a\":01}]}",
+            "{\"traceEvents\":[\"unterminated]}",
+            "{'traceEvents':[]}",
+        ] {
+            assert!(validate_trace_json(bad).is_err(), "accepted: {bad:?}");
+        }
+        // Valid JSON without the required array is also rejected.
+        assert!(validate_trace_json("{\"other\":[]}").is_err());
+        assert!(validate_trace_json("[1,2,3]").is_err());
+    }
+
+    #[test]
+    fn validator_accepts_full_grammar() {
+        let json = "{\"traceEvents\":[{\"s\":\"\\u00e9\\n\",\"n\":-1.5e+3,\
+                    \"b\":true,\"x\":null,\"a\":[1,[2,{}]]}],\"k\":false}";
+        assert_eq!(validate_trace_json(json), Ok(1));
+    }
+}

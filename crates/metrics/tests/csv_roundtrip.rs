@@ -1,0 +1,120 @@
+//! Property round-trip: `write_csv` → `read_csv` is the identity over
+//! arbitrary spans covering *every* [`Component`] variant, including
+//! `Network`/`Custom` labels built from a hostile character set (commas,
+//! quotes, CR/LF, tabs) that would corrupt a naive unquoted CSV row.
+
+use pilot_metrics::export::{component_from_label, span_from_row, span_to_row};
+use pilot_metrics::{read_csv, write_csv, Component, Span};
+use proptest::prelude::*;
+
+/// Characters chosen to break unquoted CSV: delimiters, quotes, record
+/// separators, plus benign filler.
+const HOSTILE: &[char] = &[
+    ',', '"', '\n', '\r', '\t', 'a', 'z', '0', '-', '>', ' ', 'é', '|',
+];
+
+/// Build a label from charset indices (the stub proptest has no string
+/// strategy, so strings are generated via `collection::vec` of indices).
+fn label_from(indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(|&i| HOSTILE[i % HOSTILE.len()])
+        .collect()
+}
+
+/// Decode a component from a variant selector + label material. Covers all
+/// seven variants; `Network`/`Custom` get the hostile label.
+fn component_from(selector: usize, label: String) -> Component {
+    match selector % 7 {
+        0 => Component::EdgeProducer,
+        1 => Component::EdgeProcessor,
+        2 => Component::Broker,
+        3 => Component::CloudProcessor,
+        4 => Component::ParamServer,
+        5 => Component::Network(label),
+        _ => Component::Custom(label),
+    }
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "pilot-metrics-prop-{}-{name}.csv",
+        std::process::id()
+    ));
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        .. ProptestConfig::default()
+    })]
+
+    /// A single span of any shape survives row serialization.
+    #[test]
+    fn prop_row_roundtrip(
+        selector in 0usize..7,
+        label_idx in proptest::collection::vec(0usize..64, 0..12),
+        job_id in 0u64..1 << 40,
+        msg_id in 0u64..u64::MAX / 2,
+        start in 0u64..1 << 40,
+        dur in 0u64..1 << 20,
+        bytes in 0u64..1 << 32,
+        error in proptest::bool::ANY,
+    ) {
+        let span = Span {
+            job_id,
+            msg_id,
+            component: component_from(selector, label_from(&label_idx)),
+            start_us: start,
+            end_us: start + dur,
+            bytes,
+            error,
+        };
+        let row = span_to_row(&span);
+        let parsed = span_from_row(&row);
+        prop_assert_eq!(parsed.as_ref(), Some(&span), "row {:?}", row);
+    }
+
+    /// A whole file of hostile spans survives the disk round-trip, in
+    /// order, via the quote-aware record splitter.
+    #[test]
+    fn prop_file_roundtrip(
+        shapes in proptest::collection::vec(
+            (0usize..7, proptest::collection::vec(0usize..64, 0..10), 0u64..1000),
+            1..20,
+        ),
+        case_tag in 0u64..u64::MAX / 2,
+    ) {
+        let spans: Vec<Span> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, (selector, label_idx, start))| Span {
+                job_id: 1,
+                msg_id: i as u64,
+                component: component_from(*selector, label_from(label_idx)),
+                start_us: *start,
+                end_us: *start + 5,
+                bytes: 64,
+                error: i % 3 == 0,
+            })
+            .collect();
+        let path = tmp(&format!("file-{case_tag}"));
+        write_csv(&path, &spans).unwrap();
+        let loaded = read_csv(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(loaded, spans);
+    }
+
+    /// Label → component parsing is total and agrees with `label()` for
+    /// whatever `Component::label` can emit.
+    #[test]
+    fn prop_label_roundtrip(
+        selector in 0usize..7,
+        label_idx in proptest::collection::vec(0usize..64, 0..12),
+    ) {
+        let c = component_from(selector, label_from(&label_idx));
+        prop_assert_eq!(component_from_label(&c.label()), c);
+    }
+}

@@ -107,6 +107,11 @@ struct LinkState {
     /// FIFO reservation horizon: the instant at which the pipe frees up.
     next_free: Instant,
     rng: StdRng,
+    /// Cumulative transit time reserved on the pipe since creation, µs.
+    /// (Capacity actually consumed — the link's busy-time integral.)
+    busy_us: u64,
+    /// Reservations issued since creation (transfers + estimates excluded).
+    reservations: u64,
 }
 
 /// A non-blocking claim on link capacity: the transfer's place in the FIFO
@@ -189,6 +194,8 @@ impl Link {
             state: Arc::new(Mutex::new(LinkState {
                 next_free: Instant::now(),
                 rng,
+                busy_us: 0,
+                reservations: 0,
             })),
         }
     }
@@ -255,6 +262,8 @@ impl Link {
         // propagation does not.
         let start = st.next_free.max(now);
         st.next_free = start + transit;
+        st.busy_us += transit.as_micros() as u64;
+        st.reservations += 1;
         Reservation {
             queueing: start.duration_since(now),
             transit,
@@ -286,6 +295,29 @@ impl Link {
     /// measurement helper used by the `netperf` harness binary).
     pub fn probe_latency(&self) -> Duration {
         self.transfer(0).propagation
+    }
+
+    /// Remaining depth of the FIFO reservation queue in microseconds: how
+    /// far ahead of *now* the pipe is already committed (0 when idle).
+    /// This is the telemetry gauge for "how backed up is the WAN".
+    pub fn pending_us(&self) -> u64 {
+        let next_free = self.state.lock().next_free;
+        next_free
+            .saturating_duration_since(Instant::now())
+            .as_micros() as u64
+    }
+
+    /// Cumulative transit time reserved on the pipe since creation, in
+    /// microseconds — the busy-time integral a sampler differentiates into
+    /// link utilization.
+    pub fn busy_us(&self) -> u64 {
+        self.state.lock().busy_us
+    }
+
+    /// Number of reservations issued since creation (blocking transfers
+    /// included; estimates excluded).
+    pub fn reservations(&self) -> u64 {
+        self.state.lock().reservations
     }
 }
 
@@ -496,6 +528,38 @@ mod tests {
             assert_eq!(ra.transit, rb.transit);
             assert_eq!(ra.propagation, rb.propagation);
         }
+    }
+
+    #[test]
+    fn busy_and_pending_track_reservations() {
+        let l = LinkSpec::fixed("t", 0.0, 80e6).build(); // 1 MB = 0.1 s
+        assert_eq!(l.busy_us(), 0);
+        assert_eq!(l.pending_us(), 0);
+        assert_eq!(l.reservations(), 0);
+        let _r1 = l.reserve(1_000_000);
+        let _r2 = l.reserve(1_000_000);
+        assert_eq!(l.reservations(), 2);
+        // 2 × 0.1 s of transit accumulated.
+        assert!(
+            (l.busy_us() as i64 - 200_000).abs() < 100,
+            "{}",
+            l.busy_us()
+        );
+        // Pipe committed ~0.2 s ahead of now.
+        let pending = l.pending_us();
+        assert!((150_000..=200_000).contains(&pending), "{pending}");
+        // Pending decays back to zero as simulated time passes; busy does not.
+        std::thread::sleep(Duration::from_millis(210));
+        assert_eq!(l.pending_us(), 0);
+        assert!(l.busy_us() >= 199_000);
+    }
+
+    #[test]
+    fn estimates_do_not_count_as_reservations() {
+        let l = LinkSpec::fixed("t", 0.0, 8e6).build();
+        l.estimate(1_000_000);
+        assert_eq!(l.reservations(), 0);
+        assert_eq!(l.busy_us(), 0);
     }
 
     #[test]
