@@ -1,17 +1,25 @@
-//! Cell fan-in sweep (DESIGN.md §9): one cell scaled from 4 to 1024 edge
-//! devices at a **fixed aggregate message count** — the experiment behind
-//! `results_fan_in.csv`.
+//! Cell fan-in sweep (DESIGN.md §9, §12): one cell scaled from 1k to 64k
+//! edge devices at a **fixed aggregate message count**, with the consumer
+//! side in both shapes — the experiment behind `results_fan_in.csv`.
 //!
 //! Every run multiplexes its devices onto a small, constant producer
-//! engine (4 workers) and a constant consumer pool (4 members), so the
-//! thread count stays flat while the partition count grows 256×. What the
-//! sweep measures is therefore pure fan-in overhead: per-device producer
-//! state on the deadline queue, per-partition bookkeeping in the broker,
-//! and the consumer-side multi-partition fetch. With near-flat per-message
-//! overhead the `overhead_us_per_msg` column stays within ~2× between the
-//! 16-device and 1024-device rows; thread-per-device producers and
-//! per-partition poll timeouts would instead blow up both thread count and
-//! wall time.
+//! engine, so producer-side threads stay flat while the partition count
+//! grows 64×. The consumer side runs each device count twice:
+//!
+//! * **tasks** — the thread-backed shape: a constant pool of 4 consumer
+//!   members, each multiplexing thousands of partitions through the
+//!   multi-partition fetch. Threads stay flat, but every batch transfer
+//!   blocks its member for the link's propagation delay, so at most 4
+//!   transfers are ever in flight.
+//! * **reactor** — the event-driven core (`reactor_threads`): one member
+//!   *per partition* (the paper's 1:1 ratio), all driven by a fixed pool
+//!   of reactor threads. Members park on the broker's arrival registry
+//!   and on transfer deadlines instead of blocking, so 64k members cost
+//!   64k state machines — not 64k OS threads — and thousands of simulated
+//!   transfers overlap.
+//!
+//! The acceptance curve is the reactor column: per-message overhead at
+//! 64k devices must stay within 2× of the 1k-device anchor.
 //!
 //! Usage: `cargo run -p pilot-bench --release --bin fan_in`
 //! (honours `PILOT_BENCH_QUICK`; `PILOT_BENCH_FAN_IN_TOTAL` overrides the
@@ -20,15 +28,25 @@
 use pilot_bench::{run_cell, CellOpts};
 use std::time::Instant;
 
-/// Producer engine workers and consumer tasks — constant across the sweep.
-const PRODUCER_THREADS: usize = 4;
-const PROCESSORS: usize = 4;
+/// Producer engine workers — constant across the sweep.
+const PRODUCER_THREADS: usize = 8;
+/// Consumer members in the thread-backed shape.
+const TASK_PROCESSORS: usize = 4;
+
+/// Reactor pool width: small in CI smoke runs, 8 for the full sweep.
+fn reactor_threads() -> usize {
+    if std::env::var("PILOT_BENCH_QUICK").is_ok() {
+        2
+    } else {
+        8
+    }
+}
 
 fn device_sweep() -> Vec<usize> {
     if std::env::var("PILOT_BENCH_QUICK").is_ok() {
-        vec![4, 16]
+        vec![1024, 4096]
     } else {
-        vec![4, 16, 64, 256, 1024]
+        vec![1024, 4096, 16384, 65536]
     }
 }
 
@@ -40,64 +58,102 @@ fn total_messages() -> usize {
         }
     }
     if std::env::var("PILOT_BENCH_QUICK").is_ok() {
-        64
-    } else {
         4096
+    } else {
+        65536
     }
 }
 
+/// One consumer shape at one device count.
+struct Shape {
+    label: &'static str,
+    processors: Option<usize>,
+    reactor_threads: Option<usize>,
+}
+
 fn main() {
-    println!("# fan_in — device fan-in sweep at fixed aggregate messages, multiplexed producers");
     println!(
-        "devices,producer_threads,processors,total_threads,messages,points,wall_ms,\
-         overhead_us_per_msg,throughput_msgs_s,latency_p50_ms,latency_p99_ms,errors"
+        "# fan_in — device fan-in sweep at fixed aggregate messages, \
+         multiplexed producers, consumer tasks vs reactor"
+    );
+    println!(
+        "devices,producer_threads,consumer,processors,reactor_threads,consumer_threads,\
+         messages,points,wall_ms,overhead_us_per_msg,throughput_msgs_s,\
+         latency_p50_ms,latency_p99_ms,errors"
     );
     let total = total_messages();
-    let mut rows: Vec<(usize, f64)> = Vec::new();
+    let rt = reactor_threads();
+    let mut reactor_rows: Vec<(usize, f64)> = Vec::new();
     for devices in device_sweep() {
-        let messages_per_device = (total / devices).max(1);
-        let opts = CellOpts {
-            points: 25,
-            devices,
-            processors: Some(PROCESSORS),
-            messages_per_device,
-            producer_threads: Some(PRODUCER_THREADS),
-            ..CellOpts::default()
-        };
-        let t0 = Instant::now();
-        let s = run_cell(&opts);
-        let wall = t0.elapsed();
-        let messages = devices * messages_per_device;
-        let overhead_us = wall.as_micros() as f64 / messages as f64;
-        println!(
-            "{},{},{},{},{},{},{:.1},{:.2},{:.2},{:.2},{:.2},{}",
-            devices,
-            PRODUCER_THREADS,
-            PROCESSORS,
-            PRODUCER_THREADS + PROCESSORS,
-            messages,
-            opts.points,
-            wall.as_secs_f64() * 1e3,
-            overhead_us,
-            s.throughput_msgs,
-            s.latency_p50_ms,
-            s.latency_p99_ms,
-            s.errors,
-        );
-        assert_eq!(s.messages as usize, messages, "messages lost at fan-in");
-        rows.push((devices, overhead_us));
+        let shapes = [
+            Shape {
+                label: "tasks",
+                processors: Some(TASK_PROCESSORS),
+                reactor_threads: None,
+            },
+            Shape {
+                label: "reactor",
+                // One member per partition — the fan-in the reactor exists
+                // to make affordable.
+                processors: None,
+                reactor_threads: Some(rt),
+            },
+        ];
+        for shape in shapes {
+            let messages_per_device = (total / devices).max(1);
+            let opts = CellOpts {
+                points: 25,
+                devices,
+                processors: shape.processors,
+                messages_per_device,
+                producer_threads: Some(PRODUCER_THREADS),
+                reactor_threads: shape.reactor_threads,
+                ..CellOpts::default()
+            };
+            let t0 = Instant::now();
+            let s = run_cell(&opts);
+            let wall = t0.elapsed();
+            let messages = devices * messages_per_device;
+            let overhead_us = wall.as_micros() as f64 / messages as f64;
+            let consumer_threads = shape.reactor_threads.unwrap_or(TASK_PROCESSORS);
+            println!(
+                "{},{},{},{},{},{},{},{},{:.1},{:.2},{:.2},{:.2},{:.2},{}",
+                devices,
+                PRODUCER_THREADS,
+                shape.label,
+                shape.processors.unwrap_or(devices),
+                shape.reactor_threads.unwrap_or(0),
+                consumer_threads,
+                messages,
+                opts.points,
+                wall.as_secs_f64() * 1e3,
+                overhead_us,
+                s.throughput_msgs,
+                s.latency_p50_ms,
+                s.latency_p99_ms,
+                s.errors,
+            );
+            assert_eq!(s.messages as usize, messages, "messages lost at fan-in");
+            assert_eq!(s.errors, 0, "errors at fan-in");
+            if shape.reactor_threads.is_some() {
+                reactor_rows.push((devices, overhead_us));
+            }
+        }
     }
-    // The acceptance curve: overhead at the largest fan-in vs the 16-device
-    // anchor (falls back to the smallest row in quick mode).
-    let anchor = rows
-        .iter()
-        .find(|(d, _)| *d == 16)
-        .or_else(|| rows.first())
-        .copied();
-    if let (Some((ad, a)), Some(&(ld, l))) = (anchor, rows.last()) {
+    // The acceptance curve: reactor overhead at the largest fan-in vs the
+    // smallest (1k-device) anchor must stay within 2×.
+    if let (Some(&(ad, a)), Some(&(ld, l))) = (reactor_rows.first(), reactor_rows.last()) {
+        let ratio = l / a;
         eprintln!(
-            "overhead {ld} devices / {ad} devices = {:.2}x ({l:.2} us vs {a:.2} us per message)",
-            l / a
+            "reactor overhead {ld} devices / {ad} devices = {ratio:.2}x \
+             ({l:.2} us vs {a:.2} us per message)"
         );
+        if ld > ad {
+            assert!(
+                ratio <= 2.0,
+                "reactor per-message overhead grew {ratio:.2}x from {ad} to {ld} devices \
+                 (acceptance bound: 2x)"
+            );
+        }
     }
 }

@@ -76,6 +76,13 @@ pub struct CellOpts {
     /// edge pilot is provisioned with this many cores instead of one per
     /// device — how 1024-device cells run on small hosts.
     pub producer_threads: Option<usize>,
+    /// Drive all consumer members from this many reactor threads
+    /// (None = one thread-backed cloud task per member, the seed
+    /// behaviour). With the reactor on, the cloud pilot is provisioned
+    /// for the reactor pool rather than one core per member — how
+    /// 64k-member cells (`processors = devices`, the paper's 1:1 ratio)
+    /// run on small hosts. See DESIGN.md §12.
+    pub reactor_threads: Option<usize>,
     /// Width of the intra-task compute pool shared by the cloud
     /// processors (None = one lane per cloud core, the default sizing).
     pub compute_threads: Option<usize>,
@@ -100,6 +107,7 @@ impl Default for CellOpts {
             linger: Duration::ZERO,
             prefetch_depth: 0,
             producer_threads: None,
+            reactor_threads: None,
             compute_threads: None,
             telemetry_sample_ms: None,
         }
@@ -137,6 +145,10 @@ pub fn default_messages(geo: Geo) -> usize {
 /// or bigger if the cell needs more processors.
 pub fn provision(svc: &PilotComputeService, opts: &CellOpts) -> (Pilot, Pilot) {
     let procs = opts.processors.unwrap_or(opts.devices);
+    // With the reactor on, the cloud pilot hosts `reactor_threads`
+    // polling threads — not one task per member — so its core count
+    // follows the pool, however many members the cell runs.
+    let cloud_tasks = opts.reactor_threads.unwrap_or(procs);
     let edge_cores = opts.producer_threads.unwrap_or(opts.devices);
     let edge = svc
         .submit_and_wait(
@@ -152,7 +164,7 @@ pub fn provision(svc: &PilotComputeService, opts: &CellOpts) -> (Pilot, Pilot) {
         .expect("edge pilot");
     let cloud = svc
         .submit_and_wait(
-            PilotDescription::local(procs.max(10), 44.0).with_site("lrz"),
+            PilotDescription::local(cloud_tasks.max(10), 44.0).with_site("lrz"),
             Duration::from_secs(10),
         )
         .expect("cloud pilot");
@@ -209,6 +221,9 @@ pub fn start_cell(opts: &CellOpts) -> StartedCell {
         .prefetch_depth(opts.prefetch_depth);
     if let Some(n) = opts.producer_threads {
         builder = builder.producer_threads(n);
+    }
+    if let Some(n) = opts.reactor_threads {
+        builder = builder.reactor_threads(n);
     }
     if let Some(n) = opts.compute_threads {
         builder = builder.compute_threads(n);

@@ -3,10 +3,15 @@
 use crate::broker::{Broker, GroupId, TopicId};
 use crate::error::BrokerError;
 use crate::record::{Offset, Record};
-use crate::topic::Topic;
+use crate::topic::{ArrivalWaiter, Topic};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::task::Waker;
 use std::time::Duration;
+
+/// Batches returned by a multi-partition poll round: `(partition,
+/// records)` pairs, sorted by partition, empty partitions omitted.
+pub type PartitionBatches = Vec<(usize, Vec<Record>)>;
 
 /// A consumer bound to one topic, reading an explicit set of partitions on
 /// behalf of a consumer group.
@@ -34,6 +39,9 @@ pub struct Consumer {
     /// [`Consumer::poll_many`] but keep their positions (Kafka's
     /// pause/resume flow-control primitive).
     paused: std::collections::HashSet<usize>,
+    /// Lazily-allocated readiness slot for [`Consumer::poll_many_ready`];
+    /// held for the consumer's lifetime and released on drop.
+    waiter: Option<ArrivalWaiter>,
 }
 
 impl Consumer {
@@ -70,6 +78,7 @@ impl Consumer {
             topic_id,
             positions,
             paused: std::collections::HashSet::new(),
+            waiter: None,
         })
     }
 
@@ -200,6 +209,68 @@ impl Consumer {
         Ok(out)
     }
 
+    /// Non-blocking, event-driven variant of [`Consumer::poll_many`] for
+    /// reactor-driven consumers.
+    ///
+    /// Sweeps every non-paused assigned partition once. If anything is
+    /// ready, returns `Ok(Some(batches))` exactly like a successful
+    /// `poll_many` (positions advance, trimmed offsets auto-reset). If
+    /// nothing is ready, `waker` is registered with the topic's arrival
+    /// registry — the next append to any polled partition fires it — and
+    /// `Ok(None)` is returned, meaning *parked, a wake is guaranteed*.
+    ///
+    /// When there is nothing to poll (no assignment, or every partition
+    /// paused), returns `Ok(Some(vec![]))` **without registering**: no
+    /// append is expected to wake the caller, so the caller must pace
+    /// itself (check [`Consumer::all_paused`]) instead of waiting on the
+    /// broker. Spurious wakes are possible; treat a wake as "poll again",
+    /// not "data present".
+    pub fn poll_many_ready(
+        &mut self,
+        max_per_partition: usize,
+        waker: &Waker,
+    ) -> Result<Option<PartitionBatches>, BrokerError> {
+        let mut reqs: Vec<(usize, Offset)> = self
+            .positions
+            .iter()
+            .filter(|(p, _)| !self.paused.contains(p))
+            .map(|(&p, &off)| (p, off))
+            .collect();
+        if reqs.is_empty() {
+            return Ok(Some(Vec::new()));
+        }
+        reqs.sort_unstable_by_key(|&(p, _)| p);
+        if self.waiter.is_none() {
+            self.waiter = Some(self.handle.arrival_waiter());
+        }
+        let waiter = self.waiter.as_ref().expect("waiter just ensured");
+        let mut ready = self
+            .handle
+            .read_many_or_register(&reqs, max_per_partition, waiter, waker);
+        if ready.is_empty() {
+            return Ok(None);
+        }
+        ready.sort_unstable_by_key(|&(p, _)| p);
+        let mut out = Vec::with_capacity(ready.len());
+        for (p, res) in ready {
+            let recs = match res {
+                Ok(recs) => recs,
+                Err(log_start) => {
+                    // Auto-reset and retry this partition non-blocking.
+                    self.positions.insert(p, log_start);
+                    self.fetch_via_handle(p, log_start, max_per_partition, Duration::ZERO)?
+                }
+            };
+            if let Some(last) = recs.last() {
+                self.positions.insert(p, last.offset + 1);
+            }
+            if !recs.is_empty() {
+                out.push((p, recs));
+            }
+        }
+        Ok(Some(out))
+    }
+
     /// Poll every assigned partition once (round-robin), collecting up to
     /// `max_per_partition` records each. The timeout applies to the first
     /// partition only; later partitions are polled non-blocking so one idle
@@ -310,10 +381,20 @@ impl Consumer {
     }
 }
 
+impl Drop for Consumer {
+    fn drop(&mut self) {
+        if let Some(w) = self.waiter.take() {
+            self.handle.release_waiter(w);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::retention::RetentionPolicy;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::task::{Wake, Waker};
 
     fn setup(partitions: usize) -> Broker {
         let b = Broker::new();
@@ -538,6 +619,89 @@ mod tests {
         let got = c.poll_many(5, Duration::ZERO).unwrap();
         assert_eq!(got.len(), 1);
         assert!(got[0].1[0].offset >= crate::log::SEGMENT_RECORDS as u64);
+    }
+
+    struct CountingWake(AtomicUsize);
+
+    impl Wake for CountingWake {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+        fn wake_by_ref(self: &Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn counting_waker() -> (Arc<CountingWake>, Waker) {
+        let c = Arc::new(CountingWake(AtomicUsize::new(0)));
+        let w = Waker::from(Arc::clone(&c));
+        (c, w)
+    }
+
+    #[test]
+    fn poll_many_ready_returns_data_immediately() {
+        let b = setup(2);
+        b.append("t", 1, rec("a")).unwrap();
+        let mut c = Consumer::new(b, "t", "g", &[0, 1]).unwrap();
+        let (count, waker) = counting_waker();
+        let got = c.poll_many_ready(10, &waker).unwrap().expect("data ready");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 1);
+        assert_eq!(c.position(1), Some(1));
+        assert_eq!(
+            count.0.load(Ordering::SeqCst),
+            0,
+            "no wake when data was ready"
+        );
+    }
+
+    #[test]
+    fn poll_many_ready_registers_then_wakes_on_append() {
+        let b = setup(2);
+        let mut c = Consumer::new(b.clone(), "t", "g", &[0, 1]).unwrap();
+        let (count, waker) = counting_waker();
+        assert!(c.poll_many_ready(10, &waker).unwrap().is_none(), "parked");
+        assert_eq!(count.0.load(Ordering::SeqCst), 0);
+        b.append("t", 0, rec("x")).unwrap();
+        assert_eq!(count.0.load(Ordering::SeqCst), 1, "append fired the waker");
+        // Re-poll after the wake: the data is there.
+        let got = c
+            .poll_many_ready(10, &waker)
+            .unwrap()
+            .expect("data after wake");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 0);
+    }
+
+    #[test]
+    fn poll_many_ready_all_paused_does_not_register() {
+        let b = setup(1);
+        let mut c = Consumer::new(b.clone(), "t", "g", &[0]).unwrap();
+        c.pause(0).unwrap();
+        let (count, waker) = counting_waker();
+        let got = c.poll_many_ready(10, &waker).unwrap();
+        assert_eq!(got, Some(Vec::new()), "nothing to poll, not parked");
+        b.append("t", 0, rec("x")).unwrap();
+        assert_eq!(
+            count.0.load(Ordering::SeqCst),
+            0,
+            "a fully-paused consumer must not be woken by appends"
+        );
+    }
+
+    #[test]
+    fn dropped_consumer_releases_its_waiter() {
+        let b = setup(1);
+        let t = b.topic("t").unwrap();
+        {
+            let mut c = Consumer::new(b.clone(), "t", "g", &[0]).unwrap();
+            let (_count, waker) = counting_waker();
+            assert!(c.poll_many_ready(10, &waker).unwrap().is_none());
+        }
+        // The registration died with the consumer: appends wake nobody and
+        // the stale entry is cleaned up lazily.
+        b.append("t", 0, rec("x")).unwrap();
+        assert_eq!(t.watcher_entries(), 0);
     }
 
     #[test]

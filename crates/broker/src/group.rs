@@ -34,6 +34,12 @@ struct GroupState {
     /// Member id → assigned partitions. BTreeMap gives deterministic order.
     members: BTreeMap<String, Vec<usize>>,
     generation: u64,
+    /// Membership changed since the last assignment recompute. Leaves mark
+    /// the state dirty instead of recomputing eagerly: when a 64k-member
+    /// cell winds down, every member leaves in turn, and an eager
+    /// per-leave rebalance would be O(n²) partition-vector writes. The
+    /// next assignment query recomputes once.
+    dirty: bool,
 }
 
 /// Coordinates one consumer group over one topic's partitions.
@@ -54,11 +60,18 @@ impl GroupCoordinator {
 
     fn rebalance(&self, state: &mut GroupState) {
         state.generation += 1;
+        self.recompute(state);
+    }
+
+    /// Recompute every member's range without bumping the generation
+    /// (the membership change that made the state dirty already did).
+    fn recompute(&self, state: &mut GroupState) {
         let ids: Vec<String> = state.members.keys().cloned().collect();
         let assignment = range_assignment(self.n_partitions, ids.len());
         for (id, parts) in ids.into_iter().zip(assignment) {
             state.members.insert(id, parts);
         }
+        state.dirty = false;
     }
 
     /// Join the group; returns `(generation, assigned partitions)`.
@@ -73,11 +86,36 @@ impl GroupCoordinator {
         )
     }
 
-    /// Leave the group; remaining members are rebalanced.
+    /// Join many members in **one** rebalance. Returns the generation and
+    /// the assignments aligned with `member_ids`.
+    ///
+    /// A cell spinning up n members through [`GroupCoordinator::join`] pays
+    /// n rebalances of n members each — O(n²) assignment writes, minutes of
+    /// setup at 64k members. Batch-joining is a single rebalance: O(n).
+    /// Members already in the group keep their membership (idempotent, like
+    /// `join`).
+    pub fn join_many<S: AsRef<str>>(&self, member_ids: &[S]) -> (u64, Vec<Vec<usize>>) {
+        let mut st = self.state.lock();
+        for id in member_ids {
+            st.members.entry(id.as_ref().to_string()).or_default();
+        }
+        self.rebalance(&mut st);
+        let assignments = member_ids
+            .iter()
+            .map(|id| st.members.get(id.as_ref()).cloned().unwrap_or_default())
+            .collect();
+        (st.generation, assignments)
+    }
+
+    /// Leave the group; remaining members are rebalanced lazily — the
+    /// generation bumps now (stale members can detect it immediately) but
+    /// the range recompute is deferred to the next assignment query, so a
+    /// wave of departures costs one recompute instead of one per leave.
     pub fn leave(&self, member_id: &str) {
         let mut st = self.state.lock();
         if st.members.remove(member_id).is_some() {
-            self.rebalance(&mut st);
+            st.generation += 1;
+            st.dirty = true;
         }
     }
 
@@ -85,7 +123,10 @@ impl GroupCoordinator {
     /// compares the generation against its joined generation to detect a
     /// rebalance.
     pub fn assignment(&self, member_id: &str) -> Option<(u64, Vec<usize>)> {
-        let st = self.state.lock();
+        let mut st = self.state.lock();
+        if st.dirty {
+            self.recompute(&mut st);
+        }
         st.members
             .get(member_id)
             .map(|p| (st.generation, p.clone()))
@@ -161,12 +202,65 @@ mod tests {
     }
 
     #[test]
+    fn leave_wave_coalesces_into_one_recompute() {
+        // A burst of departures (cell teardown) bumps the generation per
+        // leave but defers the range recompute; the survivor's next
+        // assignment query sees the fully rebalanced state.
+        let c = GroupCoordinator::new(8);
+        let ids: Vec<String> = (0..4).map(|i| format!("m{i}")).collect();
+        let (gen0, _) = c.join_many(&ids);
+        c.leave("m0");
+        c.leave("m1");
+        c.leave("m2");
+        assert_eq!(c.generation(), gen0 + 3, "each leave is detectable");
+        let (gen, parts) = c.assignment("m3").unwrap();
+        assert_eq!(gen, gen0 + 3);
+        assert_eq!(parts, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn leave_unknown_member_is_noop() {
         let c = GroupCoordinator::new(2);
         c.join("a");
         let gen = c.generation();
         c.leave("ghost");
         assert_eq!(c.generation(), gen);
+    }
+
+    #[test]
+    fn join_many_is_one_rebalance() {
+        let c = GroupCoordinator::new(8);
+        let ids: Vec<String> = (0..4).map(|i| format!("m{i}")).collect();
+        let (gen, assigns) = c.join_many(&ids);
+        assert_eq!(gen, 1, "batch join bumps the generation exactly once");
+        assert_eq!(c.member_count(), 4);
+        let mut all: Vec<usize> = assigns.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_many_matches_sequential_joins() {
+        let seq = GroupCoordinator::new(10);
+        let batch = GroupCoordinator::new(10);
+        let ids: Vec<String> = (0..3).map(|i| format!("m{i}")).collect();
+        for id in &ids {
+            seq.join(id);
+        }
+        let (_, batch_assigns) = batch.join_many(&ids);
+        for (id, got) in ids.iter().zip(&batch_assigns) {
+            let (_, expect) = seq.assignment(id).unwrap();
+            assert_eq!(got, &expect, "member {id}");
+        }
+    }
+
+    #[test]
+    fn join_many_is_idempotent_with_existing_members() {
+        let c = GroupCoordinator::new(4);
+        c.join("a");
+        let (gen, _) = c.join_many(&["a", "b"]);
+        assert_eq!(gen, 2);
+        assert_eq!(c.member_count(), 2);
     }
 
     #[test]

@@ -92,6 +92,15 @@ struct SubscriberQueue {
     queue: VecDeque<MqttMessage>,
     capacity: usize,
     closed: bool,
+    /// Receivers currently blocked in [`Subscription::recv`]. Publishers
+    /// notify only when this is non-zero — no waiter, no syscall.
+    msg_waiters: usize,
+    /// QoS-1 publishers currently blocked on a full queue; receivers
+    /// notify only when this is non-zero.
+    space_waiters: usize,
+    /// Wakes that found the queue still empty (should stay ~0: wakes are
+    /// only issued to counted waiters after a push).
+    spurious_wakes: u64,
 }
 
 /// (queue, message-available condvar, space-available condvar)
@@ -120,6 +129,10 @@ struct Inner {
     state: Mutex<MqttState>,
     published: AtomicU64,
     dropped: AtomicU64,
+    /// Condvar notifications actually issued by publish/recv (close-time
+    /// broadcasts excluded). With waiter-gated wakes this tracks *useful*
+    /// wakeups: publishing into an undrained mailbox issues none.
+    notified: AtomicU64,
 }
 
 /// The broker. Clone handles freely.
@@ -187,11 +200,23 @@ impl MqttBroker {
             } else {
                 QoS::AtMostOnce
             };
+            // Wake exactly one counted waiter, and only *after* releasing
+            // the queue lock: the woken receiver takes the lock immediately,
+            // so notifying while still holding it would bounce it straight
+            // back to sleep on the mutex ("hurry up and wait"). No waiter →
+            // no notification at all — at cell fan-in scale most publishes
+            // land in an undrained mailbox, and skipping the futex syscall
+            // there is the point.
             match effective {
                 QoS::AtMostOnce => {
                     if guard.queue.len() < guard.capacity {
                         guard.queue.push_back(msg.clone());
-                        msg_avail.notify_one();
+                        let wake = guard.msg_waiters > 0;
+                        drop(guard);
+                        if wake {
+                            self.inner.notified.fetch_add(1, Ordering::Relaxed);
+                            msg_avail.notify_one();
+                        }
                         delivered += 1;
                     } else {
                         self.inner.dropped.fetch_add(1, Ordering::Relaxed);
@@ -199,11 +224,18 @@ impl MqttBroker {
                 }
                 QoS::AtLeastOnce => {
                     while guard.queue.len() >= guard.capacity && !guard.closed {
+                        guard.space_waiters += 1;
                         space_avail.wait(&mut guard);
+                        guard.space_waiters -= 1;
                     }
                     if !guard.closed {
                         guard.queue.push_back(msg.clone());
-                        msg_avail.notify_one();
+                        let wake = guard.msg_waiters > 0;
+                        drop(guard);
+                        if wake {
+                            self.inner.notified.fetch_add(1, Ordering::Relaxed);
+                            msg_avail.notify_one();
+                        }
                         delivered += 1;
                     }
                 }
@@ -230,6 +262,9 @@ impl MqttBroker {
                 queue: VecDeque::new(),
                 capacity,
                 closed: false,
+                msg_waiters: 0,
+                space_waiters: 0,
+                spurious_wakes: 0,
             }),
             Condvar::new(),
             Condvar::new(),
@@ -274,6 +309,14 @@ impl MqttBroker {
         self.inner.dropped.load(Ordering::Relaxed)
     }
 
+    /// Condvar notifications issued by publish/recv so far (close-time
+    /// broadcasts excluded). Wakes are gated on counted waiters, so this
+    /// measures wakeups that had someone to wake — the regression guard for
+    /// the "one futex syscall per publish, waiter or not" overhead.
+    pub fn notifications(&self) -> u64 {
+        self.inner.notified.load(Ordering::Relaxed)
+    }
+
     /// Active subscription count.
     pub fn subscriber_count(&self) -> usize {
         self.inner.state.lock().subs.len()
@@ -300,14 +343,27 @@ impl Subscription {
         let mut guard = lock.lock();
         loop {
             if let Some(msg) = guard.queue.pop_front() {
-                space_avail.notify_one();
+                // Wake one blocked QoS-1 publisher, outside the lock, only
+                // if one is actually waiting (see the publish-side comment).
+                let wake = guard.space_waiters > 0;
+                drop(guard);
+                if wake {
+                    self.broker.inner.notified.fetch_add(1, Ordering::Relaxed);
+                    space_avail.notify_one();
+                }
                 return Some(msg);
             }
             if guard.closed {
                 return None;
             }
-            if msg_avail.wait_for(&mut guard, timeout).timed_out() {
+            guard.msg_waiters += 1;
+            let timed_out = msg_avail.wait_for(&mut guard, timeout).timed_out();
+            guard.msg_waiters -= 1;
+            if timed_out {
                 return None;
+            }
+            if guard.queue.is_empty() && !guard.closed {
+                guard.spurious_wakes += 1;
             }
         }
     }
@@ -320,6 +376,13 @@ impl Subscription {
     /// Messages currently buffered.
     pub fn backlog(&self) -> usize {
         self.queue.0.lock().queue.len()
+    }
+
+    /// Wakes this subscription received that found nothing to read. Wakes
+    /// are only issued to counted waiters right after a push, so anything
+    /// beyond OS-level condvar noise here is a broker bug.
+    pub fn spurious_wakes(&self) -> u64 {
+        self.queue.0.lock().spurious_wakes
     }
 }
 
@@ -534,6 +597,60 @@ mod tests {
             drop(sub);
             publisher.join().unwrap();
         }
+    }
+
+    #[test]
+    fn publish_without_blocked_receiver_issues_no_wakeups() {
+        // Regression: publish used to fire a condvar notification per
+        // message whether or not anyone was waiting — one wasted futex
+        // syscall per append, multiplied by the whole cell at fan-in scale.
+        let b = MqttBroker::new();
+        let sub = b.subscribe("t", QoS::AtMostOnce, 16).unwrap();
+        for i in 0..10u8 {
+            b.publish("t", vec![i], QoS::AtMostOnce, false, 0).unwrap();
+        }
+        assert_eq!(b.notifications(), 0, "nobody was waiting");
+        // Draining without a blocked publisher is just as silent.
+        while sub.try_recv().is_some() {}
+        assert_eq!(b.notifications(), 0);
+        // A receiver that *is* parked gets exactly one wake for one publish.
+        let b2 = b.clone();
+        let h = std::thread::spawn(move || sub.recv(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(40));
+        b2.publish("t", &b"wake"[..], QoS::AtMostOnce, false, 0)
+            .unwrap();
+        assert!(h.join().unwrap().is_some());
+        assert_eq!(b.notifications(), 1);
+    }
+
+    #[test]
+    fn steady_flow_has_no_spurious_wakeups() {
+        // Every wake recv observes must come with a message to read: the
+        // waiter-gated wake protocol never notifies an empty queue.
+        let b = MqttBroker::new();
+        let sub = b.subscribe("t", QoS::AtLeastOnce, 4).unwrap();
+        let b2 = b.clone();
+        const N: usize = 400;
+        let publisher = std::thread::spawn(move || {
+            for i in 0..N {
+                b2.publish("t", vec![i as u8], QoS::AtLeastOnce, false, 0)
+                    .unwrap();
+            }
+        });
+        let mut got = 0;
+        while got < N {
+            if sub.recv(Duration::from_secs(5)).is_some() {
+                got += 1;
+            }
+        }
+        publisher.join().unwrap();
+        assert_eq!(got, N);
+        assert!(
+            sub.spurious_wakes() <= 2,
+            "{} wakes found an empty queue — wakes are being broadcast, \
+             not targeted",
+            sub.spurious_wakes()
+        );
     }
 
     #[test]

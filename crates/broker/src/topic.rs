@@ -1,9 +1,13 @@
-//! Topics: named sets of partitions with blocking-fetch support.
+//! Topics: named sets of partitions with blocking-fetch support and a
+//! waker-based readiness registry for event-driven consumers.
 
 use crate::log::PartitionLog;
 use crate::record::{Offset, Record};
 use crate::retention::RetentionPolicy;
 use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Wake, Waker};
 use std::time::{Duration, Instant};
 
 /// One partition plus its data-arrival condition variable.
@@ -12,19 +16,77 @@ struct Partition {
     data_arrived: Condvar,
 }
 
+/// A registered readiness slot in a topic's arrival registry.
+///
+/// Obtained from [`Topic::arrival_waiter`]; passed to
+/// [`Topic::read_many_or_register`] to arm a [`Waker`] that fires when any
+/// watched partition receives an append. The handle is *owned*: callers that
+/// keep one across polls (e.g. a consumer driving a reactor task) must give
+/// it back via [`Topic::release_waiter`] so the slot can be reused.
+///
+/// The handle is deliberately not `Clone`: one slot, one logical waiter.
+#[derive(Debug)]
+pub struct ArrivalWaiter {
+    slot: usize,
+}
+
+/// One waiter's slot: the armed waker plus an epoch that invalidates stale
+/// watcher-list entries lazily (no O(partitions) cleanup on wake).
+#[derive(Default)]
+struct WaiterSlot {
+    epoch: u64,
+    waker: Option<Waker>,
+}
+
+/// The arrival registry: which waiter watches which partition.
+///
+/// `seq` is bumped under the lock on every append so registration can detect
+/// an append that raced the caller's (lock-free) partition sweep — the
+/// classic lost-wakeup window. `watchers[p]` holds `(slot, epoch)` pairs;
+/// an entry is live only while the slot's epoch still matches, so a wake (or
+/// a re-registration) invalidates every other entry of that waiter in O(1)
+/// and stale pairs are discarded the next time something walks the list.
+struct ArrivalState {
+    seq: u64,
+    slots: Vec<WaiterSlot>,
+    free: Vec<usize>,
+    watchers: Vec<Vec<(usize, u64)>>,
+}
+
+/// Wakes a parked thread: the [`Waker`] backing the *blocking* fetch paths,
+/// so one-shot waiters ride the same exact-wake registry as reactor tasks.
+struct ThreadUnparker {
+    thread: std::thread::Thread,
+    notified: AtomicBool,
+}
+
+impl Wake for ThreadUnparker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.notified.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+}
+
 /// A named topic with a fixed number of partitions.
 ///
 /// The paper keeps "one partition per edge device for simplicity and ... the
 /// ratio of partitions constant between Kafka and Dask" — partition count is
 /// therefore fixed at creation, like Kafka's.
+///
+/// Multi-partition waits are event-driven: a waiter registers a [`Waker`]
+/// for exactly the partitions it reads ([`Topic::read_many_or_register`]),
+/// and an append wakes *only* the waiters registered on that partition —
+/// not every blocked consumer on the topic. With tens of thousands of cell
+/// members this replaces an O(members) `notify_all` broadcast per append
+/// with O(watchers-of-one-partition) targeted wakes (usually one).
 pub struct Topic {
     name: String,
     partitions: Vec<Partition>,
-    /// Topic-wide arrival sequence number: bumped on every append so
-    /// multi-partition waiters ([`Topic::read_many`]) block on one condvar
-    /// instead of one `read_wait` timeout per partition.
-    arrivals: Mutex<u64>,
-    any_arrival: Condvar,
+    arrivals: Mutex<ArrivalState>,
 }
 
 impl Topic {
@@ -39,8 +101,12 @@ impl Topic {
                     data_arrived: Condvar::new(),
                 })
                 .collect(),
-            arrivals: Mutex::new(0),
-            any_arrival: Condvar::new(),
+            arrivals: Mutex::new(ArrivalState {
+                seq: 0,
+                slots: Vec::new(),
+                free: Vec::new(),
+                watchers: (0..partitions).map(|_| Vec::new()).collect(),
+            }),
         }
     }
 
@@ -55,13 +121,73 @@ impl Topic {
     }
 
     /// Append to a partition, waking blocked fetchers. Returns the offset.
+    ///
+    /// Wakes exactly the waiters registered on this partition (plus the
+    /// partition's own [`Topic::read_wait`] condvar); wakers are invoked
+    /// *outside* the registry lock so a woken reactor thread never contends
+    /// with the publisher still holding it.
     pub fn append(&self, partition: usize, record: Record) -> Option<Offset> {
         let p = self.partitions.get(partition)?;
         let offset = p.log.lock().append(record);
         p.data_arrived.notify_all();
-        *self.arrivals.lock() += 1;
-        self.any_arrival.notify_all();
+        let mut wakers: Vec<Waker> = Vec::new();
+        {
+            let mut st = self.arrivals.lock();
+            st.seq += 1;
+            let ArrivalState {
+                slots, watchers, ..
+            } = &mut *st;
+            for (slot, epoch) in watchers[partition].drain(..) {
+                let s = &mut slots[slot];
+                if s.epoch == epoch {
+                    // Live registration: consume it. Bumping the epoch
+                    // invalidates this waiter's entries on every *other*
+                    // partition it watched, without touching their lists.
+                    s.epoch = s.epoch.wrapping_add(1);
+                    if let Some(w) = s.waker.take() {
+                        wakers.push(w);
+                    }
+                }
+            }
+        }
+        for w in wakers {
+            w.wake();
+        }
         Some(offset)
+    }
+
+    /// Allocate a readiness slot for [`Topic::read_many_or_register`].
+    ///
+    /// Long-lived callers (one per consumer) should hold one across polls
+    /// and hand it back with [`Topic::release_waiter`] when done.
+    pub fn arrival_waiter(&self) -> ArrivalWaiter {
+        let mut st = self.arrivals.lock();
+        let slot = match st.free.pop() {
+            Some(s) => s,
+            None => {
+                st.slots.push(WaiterSlot::default());
+                st.slots.len() - 1
+            }
+        };
+        ArrivalWaiter { slot }
+    }
+
+    /// Return a readiness slot; any armed waker is dropped un-fired and
+    /// stale watcher entries die lazily via the epoch bump.
+    pub fn release_waiter(&self, waiter: ArrivalWaiter) {
+        let mut st = self.arrivals.lock();
+        let s = &mut st.slots[waiter.slot];
+        s.epoch = s.epoch.wrapping_add(1);
+        s.waker = None;
+        st.free.push(waiter.slot);
+    }
+
+    /// Diagnostic: total `(slot, epoch)` entries across all partition
+    /// watcher lists, including stale ones awaiting lazy cleanup. Stress
+    /// tests use this to show the registry doesn't leak under churn.
+    pub fn watcher_entries(&self) -> usize {
+        let st = self.arrivals.lock();
+        st.watchers.iter().map(Vec::len).sum()
     }
 
     /// Non-blocking read. `Err(log_start)` when `offset` was trimmed.
@@ -108,28 +234,35 @@ impl Topic {
         }
     }
 
-    /// Multi-partition fetch: read up to `max_per_partition` records from
-    /// each `(partition, offset)` request in one pass, blocking up to
-    /// `timeout` for *any* of them to have data.
+    /// Multi-partition fetch *or* waker registration: the non-blocking core
+    /// of both [`Topic::read_many`] and the reactor consumer.
     ///
-    /// Returns one `(partition, result)` pair per partition that yielded
-    /// records or a trimmed-offset error (`Err(log_start)`); partitions
-    /// that are merely empty are omitted, and unknown partitions are
-    /// skipped. A member consuming many partitions blocks on the topic's
-    /// shared arrival condvar instead of paying one `read_wait` timeout per
-    /// partition — the consumer-side half of the cell fan-in scale-out.
-    pub fn read_many(
+    /// Sweeps every `(partition, offset)` request once (unknown partitions
+    /// skipped). If anything is ready it is returned and any previous
+    /// registration of `waiter` is cancelled. If nothing is ready, `waker`
+    /// is armed on `waiter`'s slot and the slot is enrolled on each
+    /// requested partition's watcher list — the next append to any of them
+    /// fires the waker exactly once. Returning empty therefore means
+    /// "registered": the caller can park/yield without a lost-wakeup
+    /// window, because registration re-checks the arrival sequence number
+    /// captured before the sweep and restarts if an append raced it.
+    ///
+    /// Spurious wakes are possible (an append at offsets the caller already
+    /// read still fires the waker); callers must tolerate a wake followed
+    /// by another empty sweep.
+    pub fn read_many_or_register(
         &self,
         requests: &[(usize, Offset)],
         max_per_partition: usize,
-        timeout: Duration,
+        waiter: &ArrivalWaiter,
+        waker: &Waker,
     ) -> Vec<(usize, Result<Vec<Record>, Offset>)> {
-        let deadline = Instant::now() + timeout;
         loop {
             // Snapshot the arrival sequence *before* the sweep: an append
-            // landing mid-sweep bumps it, so the re-check below cannot
-            // miss a wakeup between "sweep saw nothing" and "wait".
-            let seq = *self.arrivals.lock();
+            // landing mid-sweep bumps it, so the registration-time re-check
+            // below cannot miss a wakeup between "sweep saw nothing" and
+            // "armed the waker".
+            let seq = self.arrivals.lock().seq;
             let mut out = Vec::new();
             for &(p, offset) in requests {
                 let Some(part) = self.partitions.get(p) else {
@@ -140,21 +273,80 @@ impl Topic {
                     other => out.push((p, other)),
                 }
             }
+            let mut st = self.arrivals.lock();
             if !out.is_empty() {
+                // Data found: cancel any previous registration so a later
+                // append can't deliver a wake for a poll that already
+                // completed.
+                let s = &mut st.slots[waiter.slot];
+                s.epoch = s.epoch.wrapping_add(1);
+                s.waker = None;
                 return out;
             }
-            let mut arrivals = self.arrivals.lock();
-            if *arrivals != seq {
+            if st.seq != seq {
                 continue; // an append raced the sweep — re-read immediately
             }
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero()
-                || self
-                    .any_arrival
-                    .wait_for(&mut arrivals, remaining)
-                    .timed_out()
-            {
-                return Vec::new();
+            let ArrivalState {
+                slots, watchers, ..
+            } = &mut *st;
+            let s = &mut slots[waiter.slot];
+            s.epoch = s.epoch.wrapping_add(1); // invalidate prior registration
+            s.waker = Some(waker.clone());
+            let epoch = s.epoch;
+            for &(p, _) in requests {
+                if let Some(list) = watchers.get_mut(p) {
+                    // Self-clean: this waiter keeps at most one entry per
+                    // partition list no matter how often it re-registers.
+                    list.retain(|&(sl, _)| sl != waiter.slot);
+                    list.push((waiter.slot, epoch));
+                }
+            }
+            return Vec::new();
+        }
+    }
+
+    /// Multi-partition fetch: read up to `max_per_partition` records from
+    /// each `(partition, offset)` request in one pass, blocking up to
+    /// `timeout` for *any* of them to have data.
+    ///
+    /// Returns one `(partition, result)` pair per partition that yielded
+    /// records or a trimmed-offset error (`Err(log_start)`); partitions
+    /// that are merely empty are omitted, and unknown partitions are
+    /// skipped. Built on [`Topic::read_many_or_register`] with a
+    /// thread-parking waker: a blocked member is woken only by appends to
+    /// partitions it actually reads, so ten thousand parked members cost an
+    /// appender exactly as much as one.
+    pub fn read_many(
+        &self,
+        requests: &[(usize, Offset)],
+        max_per_partition: usize,
+        timeout: Duration,
+    ) -> Vec<(usize, Result<Vec<Record>, Offset>)> {
+        let deadline = Instant::now() + timeout;
+        let waiter = self.arrival_waiter();
+        let unparker = Arc::new(ThreadUnparker {
+            thread: std::thread::current(),
+            notified: AtomicBool::new(false),
+        });
+        let waker = Waker::from(Arc::clone(&unparker));
+        loop {
+            let out = self.read_many_or_register(requests, max_per_partition, &waiter, &waker);
+            if !out.is_empty() {
+                self.release_waiter(waiter);
+                return out;
+            }
+            loop {
+                if unparker.notified.swap(false, Ordering::AcqRel) {
+                    break; // woken by an append on a watched partition
+                }
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    self.release_waiter(waiter);
+                    return Vec::new();
+                }
+                // `park_timeout` may return spuriously; the deadline (not a
+                // per-wait timeout) bounds total block time.
+                std::thread::park_timeout(remaining);
             }
         }
     }
@@ -190,10 +382,29 @@ impl Topic {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
     use std::sync::Arc;
 
     fn topic(parts: usize) -> Topic {
         Topic::new("t", parts, RetentionPolicy::unbounded())
+    }
+
+    /// A waker that counts its invocations.
+    struct CountingWake(AtomicUsize);
+
+    impl Wake for CountingWake {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+        fn wake_by_ref(self: &Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn counting_waker() -> (Arc<CountingWake>, Waker) {
+        let c = Arc::new(CountingWake(AtomicUsize::new(0)));
+        let w = Waker::from(Arc::clone(&c));
+        (c, w)
     }
 
     #[test]
@@ -283,10 +494,10 @@ mod tests {
         // still be bounded by the timeout, not reset on every wake.
         let t = Arc::new(topic(1));
         let t2 = Arc::clone(&t);
-        let keep_waking = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let keep_waking = Arc::new(AtomicBool::new(true));
         let kw = Arc::clone(&keep_waking);
         let waker = std::thread::spawn(move || {
-            while kw.load(std::sync::atomic::Ordering::Relaxed) {
+            while kw.load(Ordering::Relaxed) {
                 // Wakes the waiter but never reaches offset 100.
                 t2.append(0, Record::new(&b"x"[..])).unwrap();
                 std::thread::sleep(Duration::from_millis(5));
@@ -298,7 +509,7 @@ mod tests {
             .unwrap()
             .unwrap();
         let elapsed = start.elapsed();
-        keep_waking.store(false, std::sync::atomic::Ordering::Relaxed);
+        keep_waking.store(false, Ordering::Relaxed);
         waker.join().unwrap();
         assert!(r.is_empty());
         assert!(
@@ -343,5 +554,104 @@ mod tests {
         let t = topic(2);
         let got = t.read_many(&[(0, 0), (9, 0)], 5, Duration::from_millis(10));
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn register_returns_data_without_arming() {
+        let t = topic(2);
+        t.append(1, Record::new(&b"a"[..])).unwrap();
+        let waiter = t.arrival_waiter();
+        let (count, waker) = counting_waker();
+        let got = t.read_many_or_register(&[(0, 0), (1, 0)], 10, &waiter, &waker);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 1);
+        // Data was ready: the waker must not have been armed, so a later
+        // append fires nothing.
+        t.append(0, Record::new(&b"b"[..])).unwrap();
+        assert_eq!(count.0.load(Ordering::SeqCst), 0);
+        t.release_waiter(waiter);
+    }
+
+    #[test]
+    fn armed_waker_fires_once_on_watched_partition() {
+        let t = topic(4);
+        let waiter = t.arrival_waiter();
+        let (count, waker) = counting_waker();
+        let empty = t.read_many_or_register(&[(1, 0), (2, 0)], 10, &waiter, &waker);
+        assert!(empty.is_empty(), "nothing appended yet");
+        // Appends on unwatched partitions must not wake.
+        t.append(0, Record::new(&b"x"[..])).unwrap();
+        t.append(3, Record::new(&b"x"[..])).unwrap();
+        assert_eq!(count.0.load(Ordering::SeqCst), 0);
+        // First append on a watched partition wakes exactly once …
+        t.append(2, Record::new(&b"hit"[..])).unwrap();
+        assert_eq!(count.0.load(Ordering::SeqCst), 1);
+        // … and the registration is consumed: further appends are silent.
+        t.append(1, Record::new(&b"late"[..])).unwrap();
+        t.append(2, Record::new(&b"late"[..])).unwrap();
+        assert_eq!(count.0.load(Ordering::SeqCst), 1);
+        t.release_waiter(waiter);
+    }
+
+    #[test]
+    fn append_wakes_only_the_partitions_waiters() {
+        // Two waiters on disjoint partitions: an append wakes its own
+        // watcher and leaves the other parked — the no-thundering-herd
+        // property the registry exists for.
+        let t = topic(2);
+        let w0 = t.arrival_waiter();
+        let w1 = t.arrival_waiter();
+        let (c0, k0) = counting_waker();
+        let (c1, k1) = counting_waker();
+        assert!(t.read_many_or_register(&[(0, 0)], 10, &w0, &k0).is_empty());
+        assert!(t.read_many_or_register(&[(1, 0)], 10, &w1, &k1).is_empty());
+        t.append(0, Record::new(&b"x"[..])).unwrap();
+        assert_eq!(c0.0.load(Ordering::SeqCst), 1);
+        assert_eq!(c1.0.load(Ordering::SeqCst), 0);
+        t.release_waiter(w0);
+        t.release_waiter(w1);
+    }
+
+    #[test]
+    fn reregistration_replaces_not_accumulates() {
+        let t = topic(1);
+        let waiter = t.arrival_waiter();
+        let (count, waker) = counting_waker();
+        for _ in 0..100 {
+            // Future offset: never satisfied, registers every time.
+            assert!(t
+                .read_many_or_register(&[(0, 1_000)], 10, &waiter, &waker)
+                .is_empty());
+        }
+        assert_eq!(
+            t.watcher_entries(),
+            1,
+            "re-registration must replace the old entry, not pile up"
+        );
+        // One append: exactly one (spurious, offset-wise) wake.
+        t.append(0, Record::new(&b"x"[..])).unwrap();
+        assert_eq!(count.0.load(Ordering::SeqCst), 1);
+        t.release_waiter(waiter);
+    }
+
+    #[test]
+    fn released_waiter_never_fires() {
+        let t = topic(1);
+        let waiter = t.arrival_waiter();
+        let (count, waker) = counting_waker();
+        assert!(t
+            .read_many_or_register(&[(0, 0)], 10, &waiter, &waker)
+            .is_empty());
+        t.release_waiter(waiter);
+        t.append(0, Record::new(&b"x"[..])).unwrap();
+        assert_eq!(
+            count.0.load(Ordering::SeqCst),
+            0,
+            "a released slot's stale watcher entry must not fire"
+        );
+        // The slot is reusable and the stale entry got cleaned lazily.
+        let w2 = t.arrival_waiter();
+        t.release_waiter(w2);
+        assert_eq!(t.watcher_entries(), 0);
     }
 }

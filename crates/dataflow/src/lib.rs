@@ -20,6 +20,10 @@
 //!   worker threads that fan one hot kernel (a model fit/score) out across
 //!   the cores a single cloud pilot owns, with deterministic chunked
 //!   primitives (see [`pool`]).
+//! * [`LocalExecutor`] — the *event-driven* axis: a fixed pool of reactor
+//!   threads driving waker-based [`ReactorTask`] state machines, so tens of
+//!   thousands of mostly-idle consumers cost N threads, not N×threads (see
+//!   [`reactor`]).
 //! * [`TaskFuture`] — blocking handles to results (`wait`, `wait_timeout`),
 //!   with panics inside tasks captured as [`TaskError::Panicked`] instead of
 //!   tearing down the worker — fault isolation the pipeline's
@@ -33,10 +37,12 @@
 pub mod cluster;
 pub mod future;
 pub mod pool;
+pub mod reactor;
 pub mod scheduler;
 pub mod task;
 
 pub use cluster::{Client, ClusterStats, LocalCluster};
 pub use future::TaskFuture;
 pub use pool::ComputePool;
+pub use reactor::{LocalExecutor, ReactorHandle, ReactorPoll, ReactorTask};
 pub use task::{Payload, Resources, TaskError, TaskId, TaskState};

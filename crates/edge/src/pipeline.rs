@@ -102,6 +102,21 @@ pub struct PipelineConfig {
     /// [`RunningPipeline::telemetry`]. `Some(0)` is rejected by
     /// [`Self::validate`].
     pub telemetry_sample_ms: Option<u64>,
+    /// The event-driven consumer core. `None` (the default) runs one
+    /// thread-backed cloud task per consumer member, requiring
+    /// `processors` cloud cores — exactly as before. `Some(k)` drives
+    /// *every* member as a waker-based state machine on a fixed pool of
+    /// `k` reactor threads: a parked member costs no thread, fetch readiness
+    /// comes from the broker's arrival registry (exact wakeups, no
+    /// `notify_all` herd), and broker→cloud transfers park on the link
+    /// reservation's deadline instead of sleeping — the fan-in scale-out
+    /// for the consumer side, where thread-per-member tops out around 1k
+    /// members. Message sets and span chains are identical between the
+    /// two shapes under a fixed seed; `prefetch_depth` is subsumed (the
+    /// reactor's deadline-parked transfers already overlap the WAN with
+    /// other members' processing). `Some(0)` is rejected by
+    /// [`Self::validate`].
+    pub reactor_threads: Option<usize>,
 }
 
 impl Default for PipelineConfig {
@@ -122,6 +137,7 @@ impl Default for PipelineConfig {
             prefetch_depth: 0,
             producer_threads: None,
             telemetry_sample_ms: None,
+            reactor_threads: None,
         }
     }
 }
@@ -354,6 +370,14 @@ impl EdgeToCloudPipeline {
         self
     }
 
+    /// Drive all consumer members on a fixed pool of `n` reactor threads
+    /// instead of one cloud task per member. See
+    /// [`PipelineConfig::reactor_threads`].
+    pub fn reactor_threads(mut self, n: usize) -> Self {
+        self.config.reactor_threads = Some(n);
+        self
+    }
+
     /// Override the full config.
     pub fn config(mut self, config: PipelineConfig) -> Self {
         self.config = config;
@@ -405,11 +429,18 @@ impl EdgeToCloudPipeline {
                 cfg.producer_threads
             )));
         }
-        if cloud.description().cores < cfg.processors {
+        // The reactor multiplexes every member onto `reactor_threads`
+        // threads, so the cloud pilot only needs cores for those; the
+        // thread-backed default needs one per processor.
+        let cloud_tasks = cfg.reactor_threads.unwrap_or(cfg.processors);
+        if cloud.description().cores < cloud_tasks {
             return Err(PipelineError::Capacity(format!(
-                "cloud pilot has {} cores but {} processors were requested",
+                "cloud pilot has {} cores but {} consumer-side tasks were \
+                 requested ({} processors, reactor_threads = {:?})",
                 cloud.description().cores,
-                cfg.processors
+                cloud_tasks,
+                cfg.processors,
+                cfg.reactor_threads
             )));
         }
         runtime::start(self, edge, cloud, broker_pilot)

@@ -71,6 +71,9 @@ pub struct ConsumerConfig {
     pub fetch_max: usize,
     /// Blocking-poll timeout per consumer loop iteration.
     pub poll_timeout: Duration,
+    /// Reactor threads driving every member as a waker-based state machine
+    /// (`None` = one thread-backed cloud task per member, the default).
+    pub reactor_threads: Option<usize>,
 }
 
 /// The per-stage sub-configs resolved from a validated [`PipelineConfig`]
@@ -94,6 +97,9 @@ impl PipelineConfig {
     ///   workers would strand every device ([`PipelineError::Config`]);
     /// * `compute_threads == Some(0)` — a width-0 compute pool cannot run
     ///   anything ([`PipelineError::Config`]);
+    /// * `reactor_threads == Some(0)` — an event-driven consumer core with
+    ///   no reactor threads would never poll any member
+    ///   ([`PipelineError::Config`]);
     /// * `linger > 0` with `batch_max_bytes == 0` — the linger window only
     ///   exists inside the batcher, so this combination used to be a silent
     ///   no-op; it is now an error so the intent (batching) is explicit
@@ -119,6 +125,13 @@ impl PipelineConfig {
         if self.compute_threads == Some(0) {
             return Err(PipelineError::Config(
                 "compute_threads must be > 0 when set".into(),
+            ));
+        }
+        if self.reactor_threads == Some(0) {
+            return Err(PipelineError::Config(
+                "reactor_threads must be > 0 when set (use None for \
+                 thread-backed consumer tasks)"
+                    .into(),
             ));
         }
         if self.linger > Duration::ZERO && self.batch_max_bytes == 0 {
@@ -161,6 +174,7 @@ impl PipelineConfig {
                 prefetch_depth: self.prefetch_depth,
                 fetch_max: self.fetch_max,
                 poll_timeout: self.poll_timeout,
+                reactor_threads: self.reactor_threads,
             },
         })
     }
@@ -216,6 +230,22 @@ mod tests {
     }
 
     #[test]
+    fn zero_reactor_threads_rejected() {
+        let cfg = PipelineConfig {
+            reactor_threads: Some(0),
+            ..PipelineConfig::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(err, PipelineError::Config(_)), "{err}");
+        assert!(err.to_string().contains("reactor_threads"));
+        let on = PipelineConfig {
+            reactor_threads: Some(2),
+            ..PipelineConfig::default()
+        };
+        assert!(on.validate().is_ok());
+    }
+
+    #[test]
     fn zero_telemetry_interval_rejected() {
         let cfg = PipelineConfig {
             telemetry_sample_ms: Some(0),
@@ -261,6 +291,7 @@ mod tests {
             batch_max_bytes: 1024,
             linger: Duration::from_millis(1),
             prefetch_depth: 2,
+            reactor_threads: Some(4),
             ..PipelineConfig::default()
         };
         let stages = cfg.resolve().unwrap();
@@ -272,8 +303,10 @@ mod tests {
         assert!(stages.transport.batching());
         assert_eq!(stages.consumer.processors, 2);
         assert_eq!(stages.consumer.prefetch_depth, 2);
+        assert_eq!(stages.consumer.reactor_threads, Some(4));
         let dedicated = PipelineConfig::default().resolve().unwrap();
         assert_eq!(dedicated.producer.engine, ProducerEngineKind::Dedicated);
         assert!(!dedicated.transport.batching());
+        assert_eq!(dedicated.consumer.reactor_threads, None);
     }
 }

@@ -20,6 +20,7 @@ use super::spans::{metric_msg_id, HotCounters};
 use super::stage::{Stage, StepOutcome};
 use super::Shared;
 use crate::faas::CloudFn;
+use pilot_broker::consumer::PartitionBatches;
 use pilot_broker::{Consumer, Record};
 use pilot_metrics::Component;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -37,13 +38,13 @@ struct FetchedBatch {
 
 /// One member's view of the consumer group: assignment, rebalance
 /// tracking, and the multi-partition fetch. Used directly by the inline
-/// shape and owned by the prefetch thread otherwise — membership logic
-/// exists once.
-struct Fetcher {
+/// shape, owned by the prefetch thread otherwise, and embedded in the
+/// reactor stage (`super::reactor`) — membership logic exists once.
+pub(super) struct Fetcher {
     shared: Arc<Shared>,
     member: String,
     group: String,
-    consumer: Consumer,
+    pub(super) consumer: Consumer,
     my_gen: u64,
     parts: Vec<usize>,
 }
@@ -52,7 +53,7 @@ impl Fetcher {
     /// Resolve the member's assignment (membership is normally registered
     /// at spawn time so the first poll sees the final assignment; join
     /// here as a fallback) and subscribe to it.
-    fn new(shared: Arc<Shared>, member: String) -> Result<Self, String> {
+    pub(super) fn new(shared: Arc<Shared>, member: String) -> Result<Self, String> {
         let group = shared.group();
         let (my_gen, parts) = shared
             .coordinator
@@ -86,7 +87,7 @@ impl Fetcher {
     /// Re-subscribe if the group generation moved. `Ok(false)` means this
     /// member is no longer part of the group (retired by a scale-down) and
     /// the caller should finish.
-    fn sync(&mut self) -> Result<bool, String> {
+    pub(super) fn sync(&mut self) -> Result<bool, String> {
         if self.shared.coordinator.generation() != self.my_gen {
             match self.shared.coordinator.assignment(&self.member) {
                 Some((g, p)) => {
@@ -102,7 +103,7 @@ impl Fetcher {
 
     /// Nothing to fetch: no assignment, or every assigned partition
     /// already finished.
-    fn idle(&self) -> bool {
+    pub(super) fn idle(&self) -> bool {
         self.parts.is_empty() || self.consumer.all_paused()
     }
 
@@ -118,11 +119,24 @@ impl Fetcher {
             )
             .map_err(|e| e.to_string())
     }
+
+    /// Non-blocking readiness variant of [`Fetcher::poll`] for the reactor
+    /// stage: `Ok(None)` means no data was ready and `waker` is armed on
+    /// the topic's arrival registry — the next append to a watched
+    /// partition wakes it (exact wake, no timeout polling).
+    pub(super) fn poll_ready(
+        &mut self,
+        waker: &std::task::Waker,
+    ) -> Result<Option<PartitionBatches>, String> {
+        self.consumer
+            .poll_many_ready(self.shared.consumer.fetch_max, waker)
+            .map_err(|e| e.to_string())
+    }
 }
 
-/// The cloud-side processing state shared by both consumer shapes: the
+/// The cloud-side processing state shared by all consumer shapes: the
 /// hot-swappable function, cached counters, and the decode scratch.
-struct Processor {
+pub(super) struct Processor {
     fn_gen: u64,
     func: CloudFn,
     counters: HotCounters,
@@ -134,7 +148,7 @@ struct Processor {
 }
 
 impl Processor {
-    fn new(shared: &Shared) -> Self {
+    pub(super) fn new(shared: &Shared) -> Self {
         let (fn_gen, factory) = shared.cloud_slot.current();
         Self {
             fn_gen,
@@ -145,7 +159,7 @@ impl Processor {
     }
 
     /// Re-instantiate the cloud function if it was hot-swapped.
-    fn refresh(&mut self, shared: &Shared) {
+    pub(super) fn refresh(&mut self, shared: &Shared) {
         let (g, factory) = shared.cloud_slot.current();
         if g != self.fn_gen {
             self.fn_gen = g;
@@ -159,7 +173,7 @@ impl Processor {
     /// a CloudProcessor span covering decode + invoke. Returns 1 on
     /// success, 0 when the invocation failed (the error span is recorded;
     /// the stream continues — fault isolation).
-    fn process(
+    pub(super) fn process(
         &mut self,
         shared: &Shared,
         partition: usize,

@@ -8,25 +8,63 @@
 //! cannot leak producer, consumer, or prefetch threads.
 
 use super::consumer::ConsumerStage;
+use super::reactor::ReactorConsumerStage;
 use super::{stage, Shared};
 use crate::faas::{CloudFactory, Context};
 use crate::pipeline::PipelineError;
 use crate::summary::RunSummary;
 use parking_lot::Mutex;
-use pilot_dataflow::{Client, TaskFuture};
+use pilot_dataflow::{Client, ReactorHandle, TaskFuture, TaskState};
 use pilot_metrics::{PipelineReport, TelemetryFrame, TelemetrySampler};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Where a consumer member runs: its own cloud task (thread-backed, the
+/// default) or the shared reactor (`reactor_threads = Some(k)`). The
+/// control plane treats both uniformly through this handle.
+pub(crate) enum ConsumerHandle {
+    Task(TaskFuture),
+    Reactor(ReactorHandle),
+}
+
+impl ConsumerHandle {
+    fn is_finished(&self) -> bool {
+        match self {
+            Self::Task(f) => f.is_finished(),
+            Self::Reactor(h) => h.is_finished(),
+        }
+    }
+
+    fn wait_timeout(&self, timeout: Duration) -> Option<Result<(), String>> {
+        match self {
+            Self::Task(f) => f
+                .wait_timeout(timeout)
+                .map(|r| r.map(|_| ()).map_err(|e| e.to_string())),
+            Self::Reactor(h) => h.wait_timeout(timeout).map(|r| r.map(|_| ())),
+        }
+    }
+
+    /// Scheduler state of the backing cloud task. `None` for reactor
+    /// members: they are driven by dedicated reactor threads, so the
+    /// starvation eviction that watches for never-scheduled tasks does
+    /// not apply.
+    fn task_state(&self) -> Option<TaskState> {
+        match self {
+            Self::Task(f) => f.state(),
+            Self::Reactor(_) => None,
+        }
+    }
+}
+
 /// The shared control surface of a running pipeline: everything a monitor
 /// thread (e.g. the [`crate::adapt::AutoScaler`]) needs to observe and
 /// adapt it. Internal — applications hold a [`RunningPipeline`].
 pub(crate) struct PipelineCtl {
     pub(crate) shared: Arc<Shared>,
-    consumers: Mutex<Vec<(String, Arc<AtomicBool>, TaskFuture)>>,
-    retired: Mutex<Vec<TaskFuture>>,
+    consumers: Mutex<Vec<(String, Arc<AtomicBool>, ConsumerHandle)>>,
+    retired: Mutex<Vec<ConsumerHandle>>,
     cloud_client: Client,
     next_member: AtomicUsize,
     /// The telemetry sampler thread, when `telemetry_sample_ms` is set.
@@ -63,24 +101,70 @@ impl PipelineCtl {
         member
     }
 
+    /// Register `n` members in **one** coordinator rebalance (the batch
+    /// variant of [`PipelineCtl::join_member`] — O(n) instead of O(n²)
+    /// at startup).
+    pub(crate) fn join_members(&self, n: usize) -> Vec<String> {
+        let members: Vec<String> = (0..n)
+            .map(|_| {
+                format!(
+                    "processor-{}",
+                    self.next_member.fetch_add(1, Ordering::Relaxed)
+                )
+            })
+            .collect();
+        self.shared.coordinator.join_many(&members);
+        members
+    }
+
     fn spawn_consumer(&self) -> Result<(), PipelineError> {
         let member = self.join_member();
         self.spawn_joined_consumer(member)
     }
 
-    /// Submit the consumer task for an already-joined member.
+    /// Start the consumer for an already-joined member: a reactor task
+    /// when the event-driven core is on, a dedicated cloud task otherwise.
+    /// With the reactor on, `prefetch_depth` is subsumed — the reactor
+    /// stage's deadline-parked link reservations already overlap transfer
+    /// with other members' processing, without a prefetch thread.
     pub(crate) fn spawn_joined_consumer(&self, member: String) -> Result<(), PipelineError> {
         let stop = Arc::new(AtomicBool::new(false));
-        let member2 = member.clone();
-        let fut = stage::spawn(
-            &self.cloud_client,
-            &format!("process-cloud-{member}"),
-            Arc::clone(&self.shared),
-            Some(Arc::clone(&stop)),
-            move |shared| ConsumerStage::new(Arc::clone(shared), member2).map(|s| Box::new(s) as _),
-        )?;
-        self.consumers.lock().push((member, stop, fut));
+        let handle = match &self.shared.reactor {
+            Some(executor) => {
+                let stage = ReactorConsumerStage::new(
+                    Arc::clone(&self.shared),
+                    member.clone(),
+                    Arc::clone(&stop),
+                )
+                .map_err(PipelineError::Task)?;
+                ConsumerHandle::Reactor(
+                    executor.spawn(&format!("process-cloud-{member}"), Box::new(stage)),
+                )
+            }
+            None => {
+                let member2 = member.clone();
+                ConsumerHandle::Task(stage::spawn(
+                    &self.cloud_client,
+                    &format!("process-cloud-{member}"),
+                    Arc::clone(&self.shared),
+                    Some(Arc::clone(&stop)),
+                    move |shared| {
+                        ConsumerStage::new(Arc::clone(shared), member2).map(|s| Box::new(s) as _)
+                    },
+                )?)
+            }
+        };
+        self.consumers.lock().push((member, stop, handle));
         Ok(())
+    }
+
+    /// Re-queue every parked reactor task so it observes freshly raised
+    /// stop flags (a task parked on the arrival registry is only woken by
+    /// data otherwise). No-op without the reactor.
+    pub(crate) fn wake_reactor(&self) {
+        if let Some(executor) = &self.shared.reactor {
+            executor.wake_all();
+        }
     }
 
     pub(crate) fn processor_count(&self) -> usize {
@@ -113,14 +197,19 @@ impl PipelineCtl {
         loop {
             let current = self.consumers.lock().len();
             if current == n {
+                // One wake for the whole scale event: parked members
+                // re-sync against the new generation instead of waiting
+                // for data (or the idle backstop) to surface it.
+                self.wake_reactor();
                 return Ok(());
             }
             if current < n {
                 self.spawn_consumer()?;
             } else {
-                let (_, stop, fut) = self.consumers.lock().pop().expect("non-empty");
+                let (_, stop, handle) = self.consumers.lock().pop().expect("non-empty");
                 stop.store(true, Ordering::Relaxed);
-                self.retired.lock().push(fut);
+                self.wake_reactor();
+                self.retired.lock().push(handle);
             }
         }
     }
@@ -234,6 +323,7 @@ impl RunningPipeline {
     /// Stop everything without waiting for stream completion.
     pub fn abort(&self) {
         self.ctl.shared.stop_all.store(true, Ordering::Relaxed);
+        self.ctl.wake_reactor();
     }
 
     /// Wait for the run to complete: producers finish their streams,
@@ -264,24 +354,25 @@ impl RunningPipeline {
                 self.abort();
                 return Err(PipelineError::Timeout);
             }
-            for (member, stop, fut) in self.ctl.consumers.lock().iter() {
+            for (member, stop, handle) in self.ctl.consumers.lock().iter() {
                 // Surface consumer crashes instead of spinning to timeout.
-                if fut.is_finished() {
-                    if let Some(Err(e)) = fut.wait_timeout(Duration::ZERO) {
+                if handle.is_finished() {
+                    if let Some(Err(e)) = handle.wait_timeout(Duration::ZERO) {
                         self.abort();
-                        return Err(PipelineError::Task(e.to_string()));
+                        return Err(PipelineError::Task(e));
                     }
                 }
                 // Starvation eviction: a member whose task still has no
                 // worker core after the grace period (e.g. its pilot is
                 // oversubscribed by another pipeline) must not hold
-                // partitions hostage — hand them to live members.
+                // partitions hostage — hand them to live members. Reactor
+                // members report no task state and are exempt: the
+                // executor's threads always run them.
                 if Instant::now() > grace
                     && !evicted.contains(member)
                     && matches!(
-                        fut.state(),
-                        Some(pilot_dataflow::TaskState::Pending)
-                            | Some(pilot_dataflow::TaskState::Ready)
+                        handle.task_state(),
+                        Some(TaskState::Pending) | Some(TaskState::Ready)
                     )
                 {
                     stop.store(true, Ordering::Relaxed);
@@ -296,18 +387,24 @@ impl RunningPipeline {
             scaler.stop();
         }
         self.ctl.shared.stop_all.store(true, Ordering::Relaxed);
+        self.ctl.wake_reactor();
         let consumers = std::mem::take(&mut *self.ctl.consumers.lock());
-        for (_, _, fut) in consumers {
+        for (_, _, handle) in consumers {
             let remaining = deadline.saturating_duration_since(Instant::now());
-            if fut
+            if handle
                 .wait_timeout(remaining.max(Duration::from_millis(100)))
                 .is_none()
             {
                 return Err(PipelineError::Timeout);
             }
         }
-        for fut in std::mem::take(&mut *self.ctl.retired.lock()) {
-            let _ = fut.wait_timeout(Duration::from_millis(100));
+        for handle in std::mem::take(&mut *self.ctl.retired.lock()) {
+            let _ = handle.wait_timeout(Duration::from_millis(100));
+        }
+        // Every reactor task is settled; join the reactor threads now so
+        // a completed wait() leaves no pool threads behind.
+        if let Some(executor) = &self.ctl.shared.reactor {
+            executor.shutdown();
         }
         // Stop the sampler after every stage drained, so its final frame
         // records the quiesced gauge levels (zero depth, zero in-flight).
@@ -341,14 +438,18 @@ impl Drop for RunningPipeline {
         for (_, stop, _) in &consumers {
             stop.store(true, Ordering::Relaxed);
         }
+        self.ctl.wake_reactor();
         for fut in self.producers.drain(..) {
             let _ = fut.wait_timeout(GRACE);
         }
-        for (_, _, fut) in consumers {
-            let _ = fut.wait_timeout(GRACE);
+        for (_, _, handle) in consumers {
+            let _ = handle.wait_timeout(GRACE);
         }
-        for fut in std::mem::take(&mut *self.ctl.retired.lock()) {
-            let _ = fut.wait_timeout(GRACE);
+        for handle in std::mem::take(&mut *self.ctl.retired.lock()) {
+            let _ = handle.wait_timeout(GRACE);
+        }
+        if let Some(executor) = &self.ctl.shared.reactor {
+            executor.shutdown();
         }
         if let Some(t) = &self.ctl.telemetry {
             t.stop();

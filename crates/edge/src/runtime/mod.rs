@@ -34,6 +34,9 @@
 //! * `consumer` — the `ConsumerStage` (membership, fetch, transport,
 //!   processing); serial consumption is the prefetch-depth-0 shape with
 //!   the fetch step inlined;
+//! * `reactor` — the `ReactorConsumerStage`: the same consumer round as a
+//!   waker-based state machine on a fixed pool of reactor threads
+//!   (`reactor_threads = Some(k)`; DESIGN.md §12);
 //! * `batch` — producer-side batching (accumulate / flush / double
 //!   buffer) of the pipelined transport;
 //! * `sentinel` — the end-of-stream protocol and per-partition tracker;
@@ -81,6 +84,7 @@ mod batch;
 mod consumer;
 mod ctl;
 mod producer;
+mod reactor;
 mod sentinel;
 mod spans;
 mod stage;
@@ -127,6 +131,10 @@ pub(crate) struct Shared {
     /// `telemetry_sample_ms` is unset) keeps every hot-path update a single
     /// null check.
     pub(crate) gauges: Option<Arc<StageGauges>>,
+    /// The shared reactor driving `ReactorConsumerStage` members; `None`
+    /// (the default, when `reactor_threads` is unset) keeps consumers on
+    /// their thread-backed cloud tasks.
+    pub(crate) reactor: Option<Arc<pilot_dataflow::LocalExecutor>>,
 }
 
 impl Shared {
@@ -194,6 +202,13 @@ pub(crate) fn start(
     let gauges = cfg
         .telemetry_sample_ms
         .map(|_| Arc::new(StageGauges::new(&metrics, cfg.devices)));
+    // Event-driven consumer core (off by default): a fixed pool of
+    // reactor threads drives every member as a waker-based state machine,
+    // so member count no longer dictates cloud-side thread count.
+    let reactor = stages
+        .consumer
+        .reactor_threads
+        .map(|k| Arc::new(pilot_dataflow::LocalExecutor::new(k)));
     let ctx = Context::new(
         job_id,
         cfg.devices,
@@ -218,6 +233,7 @@ pub(crate) fn start(
         sentinels: SentinelTracker::new(cfg.devices),
         stop_all: AtomicBool::new(false),
         gauges,
+        reactor,
     });
     // The sampler thread snapshots the gauges every `telemetry_sample_ms`;
     // it is owned by the ctl (not by Shared), stopped on wait()/drop.
@@ -246,11 +262,12 @@ pub(crate) fn start(
     let ctl = Arc::new(PipelineCtl::new(shared, cloud_client, sampler));
     // Join every startup member before submitting any consumer task, so
     // the first poll already sees the final assignment (no startup
-    // rebalance, no at-least-once redelivery). Scale events later may
-    // still redeliver in-flight batches — inherent to consumer-group
+    // rebalance, no at-least-once redelivery). The batch join is one
+    // rebalance for the whole pool — O(n), where n sequential joins cost
+    // O(n²) assignment writes (minutes at 64k members). Scale events later
+    // may still redeliver in-flight batches — inherent to consumer-group
     // semantics and documented on `scale_processors`.
-    let members: Vec<String> = (0..cfg.processors).map(|_| ctl.join_member()).collect();
-    for member in members {
+    for member in ctl.join_members(cfg.processors) {
         ctl.spawn_joined_consumer(member)?;
     }
     Ok(RunningPipeline::new(ctl, producers))

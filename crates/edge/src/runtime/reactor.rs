@@ -1,0 +1,229 @@
+//! The event-driven consumer core: one group member as a polled state
+//! machine on the shared reactor.
+//!
+//! With `reactor_threads = Some(k)` the cell stops dedicating a cloud task
+//! (and its OS thread) to every consumer member. Instead each member is a
+//! [`ReactorConsumerStage`] — a [`ReactorTask`] driven by the
+//! [`pilot_dataflow::LocalExecutor`]'s fixed pool of `k` threads. The
+//! stage never blocks a reactor thread waiting for data or for a link
+//! reservation:
+//!
+//! * **Fetch** goes through [`Fetcher::poll_ready`] → the broker's arrival
+//!   registry. No data means the member's waker is armed on exactly the
+//!   partitions it watches and the task returns `Pending`; the append that
+//!   makes a watched partition non-empty re-queues it. Ten thousand parked
+//!   members cost an appender one waker, not a `notify_all` herd.
+//! * **Broker→cloud transport** reserves the link for the whole batch and
+//!   parks on the reservation's *deadline* (`PendingUntil`) instead of
+//!   sleeping in [`Reservation::wait`] — the reactor thread is free to
+//!   poll other members while the simulated bytes are in flight.
+//!
+//! The state machine mirrors the inline [`ConsumerStage`] round — sync →
+//! refresh → fetch → transfer → process → commit — and keeps its commit
+//! policy: offsets commit only after a fetched round is fully processed,
+//! so a member stopped mid-transfer redelivers (at-least-once).
+//!
+//! [`ConsumerStage`]: super::consumer::ConsumerStage
+//! [`Reservation::wait`]: pilot_netsim::Reservation::wait
+
+use super::consumer::{Fetcher, Processor};
+use super::sentinel;
+use super::Shared;
+use pilot_broker::Record;
+use pilot_dataflow::{ReactorPoll, ReactorTask};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::Waker;
+use std::time::{Duration, Instant};
+
+/// Idle members re-poll at least this often even if no wake reaches them.
+const IDLE_BACKSTOP: Duration = Duration::from_secs(1);
+
+/// Where the member is inside its poll round.
+enum State {
+    /// Ready to sync membership and fetch the next round.
+    Fetch,
+    /// A batch's broker→cloud transfer is in flight; the front of `queue`
+    /// completes at `deadline`.
+    Transfer {
+        queue: VecDeque<(usize, Vec<Record>)>,
+        deadline: Instant,
+        net_start_us: u64,
+    },
+}
+
+/// One consumer member as a reactor task. Construction resolves the
+/// group assignment and subscribes (same as the thread-backed shapes);
+/// polling advances the round state machine by one bounded step.
+pub(crate) struct ReactorConsumerStage {
+    shared: Arc<Shared>,
+    member: String,
+    stop: Arc<AtomicBool>,
+    fetcher: Fetcher,
+    proc: Processor,
+    state: State,
+    processed: u64,
+}
+
+impl ReactorConsumerStage {
+    pub(crate) fn new(
+        shared: Arc<Shared>,
+        member: String,
+        stop: Arc<AtomicBool>,
+    ) -> Result<Self, String> {
+        let fetcher = Fetcher::new(Arc::clone(&shared), member.clone())?;
+        let proc = Processor::new(&shared);
+        Ok(Self {
+            shared,
+            member,
+            stop,
+            fetcher,
+            proc,
+            state: State::Fetch,
+            processed: 0,
+        })
+    }
+
+    /// Reserve the broker→cloud link for the batch at the front of the
+    /// queue and return the instant the transfer completes. The
+    /// reservation object is dropped immediately — the link accounted the
+    /// busy window at reserve time; only the deadline matters here.
+    fn start_transfer(&self, queue: &VecDeque<(usize, Vec<Record>)>) -> (Instant, u64) {
+        let (_, records) = queue.front().expect("transfer starts with a batch");
+        let sizes: Vec<u64> = records.iter().map(|r| r.value.len() as u64).collect();
+        let net_start_us = self.shared.spans().now_us();
+        let reservation = self.shared.link_broker_cloud.reserve_batch(&sizes);
+        (reservation.deadline(), net_start_us)
+    }
+
+    /// Orderly completion: commit (only when no fetched round is left
+    /// half-processed — positions past unprocessed records must stay
+    /// uncommitted so a successor redelivers), leave the group.
+    fn finish(&mut self) -> ReactorPoll {
+        if matches!(self.state, State::Fetch) {
+            self.fetcher.consumer.commit();
+        }
+        self.shared.coordinator.leave(&self.member);
+        ReactorPoll::Complete(Ok(self.processed))
+    }
+
+    /// Failure path: raise the shared stop flag (mirrors `stage::drive`),
+    /// release membership without committing.
+    fn fail(&mut self, e: String) -> ReactorPoll {
+        self.shared.stop_all.store(true, Ordering::Relaxed);
+        self.shared.coordinator.leave(&self.member);
+        ReactorPoll::Complete(Err(e))
+    }
+}
+
+impl ReactorTask for ReactorConsumerStage {
+    fn poll(&mut self, waker: &Waker) -> ReactorPoll {
+        loop {
+            if self.stop.load(Ordering::Relaxed) || self.shared.stopping() {
+                return self.finish();
+            }
+            match std::mem::replace(&mut self.state, State::Fetch) {
+                State::Fetch => {
+                    if self.shared.sentinels.all_done() {
+                        return self.finish();
+                    }
+                    match self.fetcher.sync() {
+                        Ok(true) => {}
+                        // Retired by a scale-down rebalance.
+                        Ok(false) => return self.finish(),
+                        Err(e) => return self.fail(e),
+                    }
+                    self.proc.refresh(&self.shared);
+                    if self.fetcher.idle() {
+                        // Nothing assigned (or all assigned partitions
+                        // finished): no arrival can wake us. Rebalances,
+                        // completion, and shutdown all `wake_all` the
+                        // executor, so the timer is only a coarse backstop
+                        // — at 64k members a `poll_timeout`-paced idle
+                        // would saturate the pool with no-op polls during
+                        // the drain tail.
+                        let pace = self.shared.consumer.poll_timeout.max(IDLE_BACKSTOP);
+                        return ReactorPoll::PendingUntil(Instant::now() + pace);
+                    }
+                    let batches = match self.fetcher.poll_ready(waker) {
+                        Ok(Some(b)) => b,
+                        // Waker armed on the arrival registry: the next
+                        // append to a watched partition re-queues us.
+                        Ok(None) => return ReactorPoll::Pending,
+                        Err(e) => return self.fail(e),
+                    };
+                    let mut queue: VecDeque<(usize, Vec<Record>)> = VecDeque::new();
+                    for (p, records) in batches {
+                        let mut kept = Vec::with_capacity(records.len());
+                        for record in records {
+                            if sentinel::is_sentinel(&record) {
+                                self.shared.sentinels.mark_done(p);
+                                let _ = self.fetcher.consumer.pause(p);
+                            } else {
+                                kept.push(record);
+                            }
+                        }
+                        if !kept.is_empty() {
+                            queue.push_back((p, kept));
+                        }
+                    }
+                    if queue.is_empty() {
+                        // The round was sentinels only (consumed — commit
+                        // records that) or empty; yield for fairness.
+                        self.fetcher.consumer.commit();
+                        return ReactorPoll::Ready;
+                    }
+                    let (deadline, net_start_us) = self.start_transfer(&queue);
+                    self.state = State::Transfer {
+                        queue,
+                        deadline,
+                        net_start_us,
+                    };
+                    // Fall through to the Transfer arm: a zero-latency
+                    // link completes inline instead of bouncing through
+                    // the timer heap.
+                }
+                State::Transfer {
+                    mut queue,
+                    deadline,
+                    net_start_us,
+                } => {
+                    if Instant::now() < deadline {
+                        self.state = State::Transfer {
+                            queue,
+                            deadline,
+                            net_start_us,
+                        };
+                        return ReactorPoll::PendingUntil(deadline);
+                    }
+                    let net_end_us = self.shared.spans().now_us();
+                    let (p, records) = queue.pop_front().expect("transfer state has a batch");
+                    for record in &records {
+                        match self
+                            .proc
+                            .process(&self.shared, p, record, net_start_us, net_end_us)
+                        {
+                            Ok(n) => self.processed += n,
+                            Err(e) => return self.fail(e),
+                        }
+                    }
+                    if queue.front().is_some() {
+                        let (deadline, net_start_us) = self.start_transfer(&queue);
+                        self.state = State::Transfer {
+                            queue,
+                            deadline,
+                            net_start_us,
+                        };
+                        continue;
+                    }
+                    // Round fully processed: commit and yield (Ready, not
+                    // another fetch — one round per poll keeps a hot
+                    // member from starving its reactor thread's siblings).
+                    self.fetcher.consumer.commit();
+                    return ReactorPoll::Ready;
+                }
+            }
+        }
+    }
+}

@@ -49,6 +49,14 @@ pub const GAUGE_NET_BROKER_CLOUD_BUSY: &str = "net.broker_cloud.busy_us";
 /// watermarks, summed over partitions). Per-partition gauges live under
 /// `broker.lag.p<N>`.
 pub const GAUGE_BROKER_LAG_TOTAL: &str = "broker.lag.total";
+/// Stable gauge name: reactor tasks queued ready to poll (consumer members
+/// with data or an expired timer, waiting for a reactor thread). Stays 0
+/// when the event-driven core is off.
+pub const GAUGE_REACTOR_READY_DEPTH: &str = "consumer.reactor.ready_queue_depth";
+/// Stable gauge name: cumulative µs the reactor threads spent inside task
+/// polls (the reactor's busy time; compare against wall clock × threads
+/// for utilisation). Stays 0 when the event-driven core is off.
+pub const GAUGE_REACTOR_POLL_US: &str = "consumer.reactor.poll_us";
 
 /// The per-partition lag gauge name.
 pub fn partition_lag_gauge(partition: usize) -> String {
@@ -77,6 +85,10 @@ pub(crate) struct StageGauges {
     /// Consumer lag, one gauge per partition plus the total (pull).
     lag_total: Arc<Gauge>,
     lag_partitions: Vec<Arc<Gauge>>,
+    /// Reactor ready-queue depth and cumulative poll time (pull; zero
+    /// unless the event-driven consumer core is on).
+    reactor_ready_depth: Arc<Gauge>,
+    reactor_poll_us: Arc<Gauge>,
 }
 
 impl StageGauges {
@@ -95,6 +107,8 @@ impl StageGauges {
             lag_partitions: (0..devices)
                 .map(|p| registry.gauge(&partition_lag_gauge(p)))
                 .collect(),
+            reactor_ready_depth: registry.gauge(GAUGE_REACTOR_READY_DEPTH),
+            reactor_poll_us: registry.gauge(GAUGE_REACTOR_POLL_US),
         }
     }
 
@@ -107,6 +121,7 @@ impl StageGauges {
         let links = Arc::clone(shared);
         let pool = Arc::clone(shared);
         let lag = Arc::clone(shared);
+        let reactor = Arc::clone(shared);
         vec![
             Box::new(move || {
                 let Some(g) = links.gauges.as_deref() else {
@@ -143,6 +158,16 @@ impl StageGauges {
                     }
                 }
                 g.lag_total.set(total);
+            }),
+            Box::new(move || {
+                let Some(g) = reactor.gauges.as_deref() else {
+                    return;
+                };
+                let Some(executor) = &reactor.reactor else {
+                    return;
+                };
+                g.reactor_ready_depth.set(executor.ready_depth());
+                g.reactor_poll_us.set(executor.poll_time_us() as i64);
             }),
         ]
     }

@@ -58,10 +58,12 @@ fn capturing_factory(seen: Arc<Mutex<HashSet<(u64, u64)>>>) -> CloudFactory {
 
 #[test]
 fn defaults_leave_multiplexing_off() {
-    // The knob must be opt-in: a default config runs thread-per-device,
-    // exactly the seed behaviour.
+    // The knobs must be opt-in: a default config runs thread-per-device
+    // producers and thread-backed consumer tasks, exactly the seed
+    // behaviour.
     let cfg = PipelineConfig::default();
     assert_eq!(cfg.producer_threads, None);
+    assert_eq!(cfg.reactor_threads, None);
 }
 
 #[test]

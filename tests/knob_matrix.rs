@@ -1,11 +1,13 @@
-//! Knob-matrix equivalence (DESIGN.md §10): the staged runtime collapses
-//! four formerly-divergent loops into two engines, so the producer-engine
-//! shape (thread-per-device vs multiplexed) and the consumer shape (inline
-//! fetch vs prefetch thread) must be *observationally interchangeable*.
-//! Every combination of the 2×2 matrix at a fixed seed must process the
-//! identical message set — ids, exact payload content — and record a
-//! complete five-span chain (EdgeProducer, edge→broker Network, Broker,
-//! broker→cloud Network, CloudProcessor) for every message.
+//! Knob-matrix equivalence (DESIGN.md §10, §12): the staged runtime
+//! collapses formerly-divergent loops into shared engines, so the
+//! producer-engine shape (thread-per-device vs multiplexed), the consumer
+//! shape (inline fetch vs prefetch thread), and the consumer scheduling
+//! shape (thread-backed cloud tasks vs the waker-based reactor) must be
+//! *observationally interchangeable*. Every combination of the 2×2×2
+//! matrix at a fixed seed must process the identical message set — ids,
+//! exact payload content — and record a complete five-span chain
+//! (EdgeProducer, edge→broker Network, Broker, broker→cloud Network,
+//! CloudProcessor) for every message.
 
 use parking_lot::Mutex;
 use pilot_core::{Pilot, PilotComputeService, PilotDescription};
@@ -47,10 +49,18 @@ fn block_hash(data: &[f64]) -> u64 {
     h
 }
 
-/// One run of the seeded workload under a given engine/prefetch combo.
-/// Returns the sorted `(msg_id, content-hash)` set the cloud function saw.
-fn run_combo(producer_threads: Option<usize>, prefetch_depth: usize) -> BTreeSet<(u64, u64)> {
-    let combo = format!("producer_threads={producer_threads:?} prefetch_depth={prefetch_depth}");
+/// One run of the seeded workload under a given engine/prefetch/reactor
+/// combo. Returns the sorted `(msg_id, content-hash)` set the cloud
+/// function saw.
+fn run_combo(
+    producer_threads: Option<usize>,
+    prefetch_depth: usize,
+    reactor_threads: Option<usize>,
+) -> BTreeSet<(u64, u64)> {
+    let combo = format!(
+        "producer_threads={producer_threads:?} prefetch_depth={prefetch_depth} \
+         reactor_threads={reactor_threads:?}"
+    );
     let edge_cores = producer_threads.unwrap_or(DEVICES);
     let (edge, cloud) = pilots(edge_cores, 2);
     let seen = Arc::new(Mutex::new(BTreeSet::new()));
@@ -76,6 +86,9 @@ fn run_combo(producer_threads: Option<usize>, prefetch_depth: usize) -> BTreeSet
         .prefetch_depth(prefetch_depth);
     if let Some(n) = producer_threads {
         builder = builder.producer_threads(n);
+    }
+    if let Some(n) = reactor_threads {
+        builder = builder.reactor_threads(n);
     }
     let running = builder.start().unwrap();
     let job_id = running.job_id();
@@ -128,15 +141,25 @@ fn run_combo(producer_threads: Option<usize>, prefetch_depth: usize) -> BTreeSet
 }
 
 #[test]
-fn all_engine_prefetch_combos_process_identical_sets() {
-    let baseline = run_combo(None, 0); // the seed shape: threaded + serial
+fn all_engine_prefetch_reactor_combos_process_identical_sets() {
+    // The seed shape: threaded producers + serial consumers on cloud tasks.
+    let baseline = run_combo(None, 0, None);
     assert_eq!(baseline.len(), DEVICES * MESSAGES);
-    for (producer_threads, prefetch_depth) in [(None, 2), (Some(2), 0), (Some(2), 2usize)] {
-        let set = run_combo(producer_threads, prefetch_depth);
-        assert_eq!(
-            set, baseline,
-            "producer_threads={producer_threads:?} prefetch_depth={prefetch_depth} \
-             diverged from the threaded/serial baseline"
-        );
+    for producer_threads in [None, Some(2)] {
+        for prefetch_depth in [0usize, 2] {
+            for reactor_threads in [None, Some(2)] {
+                if (producer_threads, prefetch_depth, reactor_threads) == (None, 0, None) {
+                    continue;
+                }
+                let set = run_combo(producer_threads, prefetch_depth, reactor_threads);
+                assert_eq!(
+                    set, baseline,
+                    "producer_threads={producer_threads:?} \
+                     prefetch_depth={prefetch_depth} \
+                     reactor_threads={reactor_threads:?} \
+                     diverged from the threaded/serial baseline"
+                );
+            }
+        }
     }
 }

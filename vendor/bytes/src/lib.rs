@@ -1,0 +1,354 @@
+//! Offline stand-in for the `bytes` crate (see `vendor/README.md`).
+//!
+//! Reproduces the subset this workspace uses: [`Bytes`] as a cheaply
+//! cloneable shared byte buffer, [`BytesMut`] as a growable builder with
+//! `split().freeze()`, and the [`Buf`]/[`BufMut`] cursor traits with the
+//! little-endian accessors the datagen wire formats rely on. Backed by
+//! `Arc<[u8]>`; zero-copy slicing of a shared allocation is preserved,
+//! zero-copy `from_static` is not (it copies — nothing here depends on the
+//! distinction).
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy `data` into a new shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        let data: Arc<[u8]> = Arc::from(data);
+        let len = data.len();
+        Self { data, off: 0, len }
+    }
+
+    /// Buffer over static data (copies; the real crate borrows).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Self::copy_from_slice(data)
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
+    }
+
+    /// Zero-copy sub-slice sharing the same allocation.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
+        assert!(range.start <= range.end && range.end <= self.len);
+        Self {
+            data: Arc::clone(&self.data),
+            off: self.off + range.start,
+            len: range.end - range.start,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let data: Arc<[u8]> = Arc::from(v.into_boxed_slice());
+        let len = data.len();
+        Self { data, off: 0, len }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Self {
+        Self::copy_from_slice(v)
+    }
+}
+
+impl<const N: usize> From<&'static [u8; N]> for Bytes {
+    fn from(v: &'static [u8; N]) -> Self {
+        Self::copy_from_slice(v)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+fn debug_bytes(bytes: &[u8], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "b\"")?;
+    for &b in bytes.iter().take(32) {
+        for c in std::ascii::escape_default(b) {
+            write!(f, "{}", c as char)?;
+        }
+    }
+    if bytes.len() > 32 {
+        write!(f, "…({} bytes)", bytes.len())?;
+    }
+    write!(f, "\"")
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        debug_bytes(self.as_slice(), f)
+    }
+}
+
+/// A growable, uniquely owned byte builder.
+#[derive(Clone, Default)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            vec: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.vec
+    }
+
+    /// Split off all written bytes, leaving `self` empty. (The real crate
+    /// keeps the allocation shared; here the returned half owns it and
+    /// `self` starts fresh — same observable behaviour, one extra alloc on
+    /// reuse.)
+    pub fn split(&mut self) -> BytesMut {
+        BytesMut {
+            vec: std::mem::take(&mut self.vec),
+        }
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        debug_bytes(&self.vec, f)
+    }
+}
+
+/// Read cursor over a byte source. Little-endian accessors panic when the
+/// source is exhausted, matching the real crate.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len, "advance past end");
+        self.off += cnt;
+        self.len -= cnt;
+    }
+}
+
+/// Write cursor appending to a byte sink.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le_through_bytesmut() {
+        let mut b = BytesMut::new();
+        b.put_u16_le(7);
+        b.put_u32_le(1 << 20);
+        b.put_u64_le(u64::MAX - 3);
+        b.put_f64_le(2.5);
+        b.put_slice(b"tail");
+        let frozen = b.split().freeze();
+        assert!(b.is_empty());
+        let mut cur: &[u8] = &frozen;
+        assert_eq!(cur.get_u16_le(), 7);
+        assert_eq!(cur.get_u32_le(), 1 << 20);
+        assert_eq!(cur.get_u64_le(), u64::MAX - 3);
+        assert_eq!(cur.get_f64_le(), 2.5);
+        let mut tail = [0u8; 4];
+        cur.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"tail");
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_clone_is_shallow_and_slices_share() {
+        let b = Bytes::copy_from_slice(b"hello world");
+        let c = b.clone();
+        assert_eq!(b, c);
+        let s = b.slice(6..11);
+        assert_eq!(s.as_ref(), b"world");
+        assert_eq!(Arc::strong_count(&b.data), 3);
+    }
+
+    #[test]
+    fn bytes_as_buf_advances() {
+        let mut b = Bytes::copy_from_slice(&42u64.to_le_bytes());
+        assert_eq!(b.get_u64_le(), 42);
+        assert_eq!(b.remaining(), 0);
+    }
+}

@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! The workspace derives `Serialize`/`Deserialize` as wire-ability markers
+//! but never takes the traits as bounds nor drives a serializer, so this
+//! stand-in only re-exports the no-op derive macros from the vendored
+//! `serde_derive`.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as
+//! documentation of wire-ability — nothing in the tree takes a
+//! `T: Serialize` bound or invokes a serializer (all export formats are
+//! hand-rolled CSV/JSON writers). The derives therefore expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
