@@ -288,9 +288,55 @@ fn bench_offset_commit(c: &mut Criterion) {
     group.finish();
 }
 
+/// The durable-log append ladder: the same 64 KiB append under each
+/// storage shape, from the seed's memory-only log to fsync-per-append.
+/// `group_commit` should sit within a small factor of `memory` (the
+/// flusher thread absorbs the fsyncs); `fsync_each` shows the cliff the
+/// group commit removes. Retention is bounded so the on-disk log recycles
+/// segment files instead of filling the scratch disk.
+fn bench_log_append(c: &mut Criterion) {
+    use pilot_broker::{DurabilityConfig, SyncPolicy};
+    const SIZE: usize = 65_536;
+    let mut group = c.benchmark_group("log_append");
+    group.throughput(Throughput::Bytes(SIZE as u64));
+    let shapes: [(&str, Option<SyncPolicy>); 4] = [
+        ("memory", None),
+        ("durable_nofsync", Some(SyncPolicy::OsOnly)),
+        ("group_commit", Some(SyncPolicy::group_commit_default())),
+        ("fsync_each", Some(SyncPolicy::EachAppend)),
+    ];
+    for (label, policy) in shapes {
+        group.bench_function(label, |b| {
+            let dir = std::env::temp_dir()
+                .join(format!("pilot-micro-log-{}-{label}", std::process::id()));
+            std::fs::remove_dir_all(&dir).ok();
+            let broker = Broker::new();
+            match policy {
+                None => broker
+                    .create_topic("t", 1, RetentionPolicy::by_records(4096))
+                    .unwrap(),
+                Some(p) => broker
+                    .create_topic_durable(
+                        "t",
+                        1,
+                        RetentionPolicy::by_records(4096),
+                        &DurabilityConfig::new(&dir).with_policy(p),
+                    )
+                    .unwrap(),
+            }
+            let payload = bytes::Bytes::from(vec![7u8; SIZE]);
+            b.iter(|| broker.append("t", 0, Record::new(payload.clone())).unwrap());
+            drop(broker);
+            std::fs::remove_dir_all(&dir).ok();
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_broker,
+    bench_log_append,
     bench_models,
     bench_compute_pool,
     bench_codec,

@@ -1,0 +1,209 @@
+//! Durable-log overhead sweep (DESIGN.md §13) — the experiment behind
+//! `results_durability.csv`. Two sections share one table:
+//!
+//! **`append_ladder`** — raw broker appends per message size under the
+//! four storage shapes:
+//!
+//! * **memory** — the seed's in-memory log (the zero-copy floor: an
+//!   `Arc` bump and a `Vec` push, whatever the payload size).
+//! * **durable_nofsync** — `SyncPolicy::OsOnly`: every record framed,
+//!   CRC'd, and written to its segment file; the kernel decides when it
+//!   reaches the platter. The pure frame+write cost.
+//! * **group_commit** — the default policy: a shared flusher fsyncs each
+//!   commit window; appends never wait for the disk.
+//! * **fsync_each** — fsync inline on every append, the naive durable
+//!   counterfactual. Orders of magnitude slower for small records — the
+//!   cliff group commit exists to remove.
+//!
+//! Every durable cell ends with a full sync *inside* the clock, so a
+//! row's cost includes making its records actually durable — group
+//! commit's advantage is amortisation, not deferral.
+//!
+//! **`pipeline`** — the acceptance section: a full pipeline cell at the
+//! paper's 256 KB message size (1000 points), memory-only vs the durable
+//! log under group commit. The storage engine rides the producer's append
+//! path, whose per-message cost is dominated by encode + simulated link
+//! transfer — the buffered segment write and amortised fsync must keep
+//! end-to-end per-message time within ~1.25× of the memory baseline
+//! (`overhead_x` of the `pipeline_group_commit` row).
+//!
+//! Usage: `cargo run -p pilot-bench --release --bin log_durability`
+//! (honours `PILOT_BENCH_QUICK` and `PILOT_BENCH_MESSAGES`;
+//! `PILOT_BENCH_DURABILITY_BYTES` overrides the append-ladder byte
+//! budget).
+
+use pilot_bench::{default_messages, run_cell as run_pipeline_cell, CellOpts, Geo};
+use pilot_broker::{Broker, DurabilityConfig, Record, RetentionPolicy, SyncPolicy};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// The storage shapes under test, in baseline-first order.
+const SHAPES: [&str; 4] = ["memory", "durable_nofsync", "group_commit", "fsync_each"];
+
+/// `fsync_each` is orders of magnitude slower; cap its record count so a
+/// full sweep stays in minutes while the cost-per-record stays honest.
+const FSYNC_EACH_MAX_MESSAGES: usize = 256;
+
+fn message_sizes() -> Vec<usize> {
+    if std::env::var("PILOT_BENCH_QUICK").is_ok() {
+        vec![1_024, 65_536]
+    } else {
+        vec![1_024, 16_384, 262_144]
+    }
+}
+
+/// Bytes appended per append-ladder cell (split into `bytes / size`
+/// records).
+fn cell_bytes() -> usize {
+    if let Ok(v) = std::env::var("PILOT_BENCH_DURABILITY_BYTES") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    if std::env::var("PILOT_BENCH_QUICK").is_ok() {
+        8 << 20
+    } else {
+        128 << 20
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pilot-log-durability-{}-{tag}", std::process::id()))
+}
+
+fn print_row(
+    section: &str,
+    policy: &str,
+    value_bytes: usize,
+    messages: usize,
+    elapsed: Duration,
+    baseline_per_msg_us: f64,
+) -> f64 {
+    let wall_ms = elapsed.as_secs_f64() * 1e3;
+    let per_msg_us = elapsed.as_secs_f64() * 1e6 / messages as f64;
+    let mib_per_s = (messages * value_bytes) as f64 / (1 << 20) as f64 / elapsed.as_secs_f64();
+    let overhead = if baseline_per_msg_us > 0.0 {
+        per_msg_us / baseline_per_msg_us
+    } else {
+        1.0
+    };
+    println!(
+        "{section},{policy},{value_bytes},{messages},{wall_ms:.1},{per_msg_us:.2},\
+         {mib_per_s:.1},{overhead:.2}"
+    );
+    per_msg_us
+}
+
+/// One append-ladder cell: `messages` raw broker appends of `size` bytes
+/// under `shape`, ending with a full sync for the durable shapes.
+fn run_append_cell(shape: &str, size: usize, messages: usize) -> Duration {
+    let dir = scratch_dir(&format!("{shape}-{size}"));
+    std::fs::remove_dir_all(&dir).ok();
+    let broker = Broker::new();
+    let policy = match shape {
+        "memory" => None,
+        "durable_nofsync" => Some(SyncPolicy::OsOnly),
+        "group_commit" => Some(SyncPolicy::group_commit_default()),
+        "fsync_each" => Some(SyncPolicy::EachAppend),
+        other => unreachable!("unknown shape {other}"),
+    };
+    match policy {
+        None => broker
+            .create_topic("t", 1, RetentionPolicy::unbounded())
+            .unwrap(),
+        Some(p) => broker
+            .create_topic_durable(
+                "t",
+                1,
+                RetentionPolicy::unbounded(),
+                &DurabilityConfig::new(&dir).with_policy(p),
+            )
+            .unwrap(),
+    }
+    let payload = bytes::Bytes::from(vec![0x5au8; size]);
+    let topic = broker.topic("t").unwrap();
+    let start = Instant::now();
+    for i in 0..messages {
+        topic
+            .append(0, Record::new(payload.clone()).with_timestamp(i as u64))
+            .unwrap();
+    }
+    // Full durability inside the clock: whatever is still dirty gets
+    // fsynced before the cell ends (no-op for memory and fsync_each).
+    topic.sync();
+    let elapsed = start.elapsed();
+    drop(topic);
+    drop(broker);
+    std::fs::remove_dir_all(&dir).ok();
+    elapsed
+}
+
+/// One pipeline cell at the paper's 256 KB message size, with or without
+/// the durable log. Returns (per-message wall time, bytes per message,
+/// total messages).
+fn run_pipeline(durable: bool) -> (Duration, usize, usize) {
+    let dir = scratch_dir(if durable {
+        "pipeline-durable"
+    } else {
+        "pipeline-memory"
+    });
+    std::fs::remove_dir_all(&dir).ok();
+    let opts = CellOpts {
+        points: 1000, // 256 KB serialized — the acceptance message size
+        devices: 4,
+        messages_per_device: default_messages(Geo::Local),
+        log_dir: durable.then(|| dir.clone()),
+        ..CellOpts::default()
+    };
+    let start = Instant::now();
+    let summary = run_pipeline_cell(&opts);
+    let elapsed = start.elapsed();
+    assert_eq!(summary.errors, 0);
+    let messages = summary.messages as usize;
+    let bytes = pilot_datagen::serialized_size(opts.points, 32);
+    std::fs::remove_dir_all(&dir).ok();
+    (elapsed, bytes, messages)
+}
+
+fn main() {
+    println!(
+        "# log_durability — storage-shape sweep: raw append ladder (full sync \
+         inside the clock) + end-to-end pipeline overhead at 256 KB messages; \
+         overhead_x is per-message time vs that section's memory row"
+    );
+    println!("section,policy,value_bytes,messages,wall_ms,per_msg_us,mib_per_s,overhead_x");
+    for size in message_sizes() {
+        let messages = (cell_bytes() / size).clamp(64, 16_384);
+        let mut baseline = 0.0f64;
+        for shape in SHAPES {
+            let n = if shape == "fsync_each" {
+                messages.min(FSYNC_EACH_MAX_MESSAGES)
+            } else {
+                messages
+            };
+            let elapsed = run_append_cell(shape, size, n);
+            let per_msg = print_row("append_ladder", shape, size, n, elapsed, baseline);
+            if shape == "memory" {
+                baseline = per_msg;
+            }
+        }
+    }
+    let (mem_elapsed, bytes, mem_messages) = run_pipeline(false);
+    let baseline = print_row(
+        "pipeline",
+        "pipeline_memory",
+        bytes,
+        mem_messages,
+        mem_elapsed,
+        0.0,
+    );
+    let (dur_elapsed, bytes, dur_messages) = run_pipeline(true);
+    print_row(
+        "pipeline",
+        "pipeline_group_commit",
+        bytes,
+        dur_messages,
+        dur_elapsed,
+        baseline,
+    );
+}

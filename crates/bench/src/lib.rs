@@ -89,6 +89,11 @@ pub struct CellOpts {
     /// Telemetry sampling interval in milliseconds (None = telemetry
     /// plane off, the default — zero instrumentation overhead).
     pub telemetry_sample_ms: Option<u64>,
+    /// Root directory for the durable broker log (None = the seed's
+    /// memory-only log, the default). With a directory set the topic
+    /// persists through the storage engine under the group-commit fsync
+    /// defaults (DESIGN.md §13).
+    pub log_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for CellOpts {
@@ -110,6 +115,7 @@ impl Default for CellOpts {
             reactor_threads: None,
             compute_threads: None,
             telemetry_sample_ms: None,
+            log_dir: None,
         }
     }
 }
@@ -230,6 +236,9 @@ pub fn start_cell(opts: &CellOpts) -> StartedCell {
     }
     if let Some(ms) = opts.telemetry_sample_ms {
         builder = builder.telemetry_sample_ms(ms);
+    }
+    if let Some(dir) = &opts.log_dir {
+        builder = builder.log_dir(dir.clone());
     }
     if opts.mode.edge_processing() {
         builder = builder.process_edge_function(downsample_edge_factory(opts.downsample));

@@ -125,6 +125,55 @@ impl Broker {
         Ok(())
     }
 
+    /// Create a *durable* topic: partitions persist to
+    /// `cfg.dir/p{n}/` through the storage engine (see
+    /// [`Topic::new_durable`]). Re-creation semantics match
+    /// [`Broker::create_topic`] — an existing topic with the same partition
+    /// count is left as-is (its open log keeps running; it is **not**
+    /// re-recovered). Reopening after a restart recovers the on-disk log,
+    /// truncating any torn tail.
+    pub fn create_topic_durable(
+        &self,
+        name: &str,
+        partitions: usize,
+        retention: RetentionPolicy,
+        cfg: &crate::storage::DurabilityConfig,
+    ) -> Result<(), BrokerError> {
+        let mut topics = self.inner.topics.write();
+        if let Some(existing) = topics.get(name) {
+            if existing.partition_count() == partitions {
+                return Ok(());
+            }
+            return Err(BrokerError::TopicExists {
+                topic: name.to_string(),
+                partitions: existing.partition_count(),
+            });
+        }
+        let topic = Topic::new_durable(name, partitions, retention, cfg)
+            .map_err(|e| BrokerError::Storage(format!("open durable topic '{name}': {e}")))?;
+        topics.insert(name.to_string(), Arc::new(topic));
+        Ok(())
+    }
+
+    /// Aggregate storage-engine stats across every topic (the
+    /// `broker.log.*` telemetry gauges sample this). Cheap for memory-only
+    /// brokers: per-topic segment counts plus a handful of atomic loads.
+    pub fn log_stats(&self) -> crate::storage::LogStats {
+        let topics: Vec<Arc<Topic>> = self.inner.topics.read().values().cloned().collect();
+        let mut out = crate::storage::LogStats::default();
+        for t in topics {
+            out.merge(&t.log_stats());
+        }
+        out
+    }
+
+    /// Force an fsync cycle on every durable topic (clean-shutdown hook).
+    /// Returns total bytes retired.
+    pub fn sync_all(&self) -> u64 {
+        let topics: Vec<Arc<Topic>> = self.inner.topics.read().values().cloned().collect();
+        topics.iter().map(|t| t.sync()).sum()
+    }
+
     /// Look up a topic handle.
     pub fn topic(&self, name: &str) -> Result<Arc<Topic>, BrokerError> {
         self.inner

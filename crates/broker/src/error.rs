@@ -20,6 +20,9 @@ pub enum BrokerError {
     TopicExists { topic: String, partitions: usize },
     /// The consumer is not assigned the partition it tried to read.
     NotAssigned { topic: String, partition: usize },
+    /// The durable storage engine failed (I/O error opening or recovering
+    /// a topic's log directory).
+    Storage(String),
 }
 
 impl std::fmt::Display for BrokerError {
@@ -49,6 +52,7 @@ impl std::fmt::Display for BrokerError {
                     "partition {partition} of '{topic}' is not assigned to this consumer"
                 )
             }
+            BrokerError::Storage(msg) => write!(f, "storage engine: {msg}"),
         }
     }
 }

@@ -41,6 +41,7 @@ pub mod mqtt;
 pub mod producer;
 pub mod record;
 pub mod retention;
+pub mod storage;
 pub mod topic;
 
 pub use bridge::{BridgeConfig, BridgePartitioning, MqttBridge};
@@ -52,3 +53,4 @@ pub use mqtt::{MqttBroker, MqttMessage, QoS, Subscription};
 pub use producer::{Partitioner, Producer, ProducerConfig};
 pub use record::{Offset, Record, RecordMetadata};
 pub use retention::RetentionPolicy;
+pub use storage::{DurabilityConfig, LogStats, SyncPolicy};

@@ -3,19 +3,57 @@
 //! A [`PartitionLog`] is an append-only sequence of [`Record`]s with dense
 //! offsets, stored in fixed-capacity segments so retention can trim from
 //! the head in O(1) amortised (whole segments are dropped, never spliced).
+//!
+//! A log is either **memory-only** (the seed structure: every record
+//! resident, nothing survives the process) or **durable**
+//! ([`PartitionLog::open_durable`]): each segment is mirrored to an
+//! append-only file through the [`storage`](crate::storage) engine, cold
+//! segments are *evicted* — records dropped from memory, served back from
+//! the page cache on fetch — and retention unlinks whole segment files.
+//! The append hot path is identical in shape either way; durability adds
+//! one frame encode into a user-space buffer (see
+//! [`storage::writer`](crate::storage::writer)) and *never* a syscall —
+//! the buffered bytes move to the files on the sync cycle, outside the
+//! partition lock. A sealed segment is only evicted once the durable
+//! watermark covers it, so a cold fetch never reads a file region whose
+//! write is still pending.
+//!
+//! Disk I/O failures on the append path (segment-file creation at a roll)
+//! panic with context rather than propagate: the append API is infallible
+//! by design (every producer and reactor path assumes it), and a broker
+//! whose disk is gone has no useful degraded mode in this simulation.
 
 use crate::record::{Offset, Record};
 use crate::retention::RetentionPolicy;
+use crate::storage::flusher::sync_now;
+use crate::storage::writer::{DiskSegment, PartitionWriter, SyncBatch};
+use crate::storage::{DurableMark, StoreStats, SyncPolicy};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Records per segment. Small enough that retention is reasonably granular,
 /// large enough that segment bookkeeping is negligible.
 pub const SEGMENT_RECORDS: usize = 1024;
 
+/// Sealed segments kept fully in memory behind the active one (a durable
+/// log's hot tail). Older sealed segments are evicted: their records drop
+/// to disk-backed form and fetches read them back through the page cache.
+pub const RESIDENT_SEALED_SEGMENTS: usize = 1;
+
 #[derive(Debug)]
 struct Segment {
     base_offset: Offset,
+    /// Resident records. Empty for an evicted segment (`count` still
+    /// reflects the segment's true population).
     records: Vec<Record>,
+    /// Records in the segment, resident or not.
+    count: usize,
     bytes: u64,
+    /// Largest record timestamp (0 while empty).
+    max_ts: u64,
+    /// On-disk identity, once sealed in a durable log.
+    disk: Option<DiskSegment>,
 }
 
 impl Segment {
@@ -23,16 +61,41 @@ impl Segment {
         Self {
             base_offset,
             records: Vec::with_capacity(SEGMENT_RECORDS.min(64)),
+            count: 0,
             bytes: 0,
+            max_ts: 0,
+            disk: None,
         }
     }
 
     fn next_offset(&self) -> Offset {
-        self.base_offset + self.records.len() as u64
+        self.base_offset + self.count as u64
     }
 
     fn is_full(&self) -> bool {
-        self.records.len() >= SEGMENT_RECORDS
+        self.count >= SEGMENT_RECORDS
+    }
+
+    fn is_evicted(&self) -> bool {
+        self.count > 0 && self.records.is_empty()
+    }
+}
+
+/// The durable half of a [`PartitionLog`]: the buffered file appender plus
+/// the shared handles through which the flusher publishes durability.
+struct Store {
+    writer: PartitionWriter,
+    policy: SyncPolicy,
+    stats: Arc<StoreStats>,
+    durable: Arc<AtomicU64>,
+    mark: Arc<DurableMark>,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
     }
 }
 
@@ -45,10 +108,12 @@ pub struct PartitionLog {
     total_records: u64,
     /// Offset of the first retained record.
     log_start: Offset,
+    /// `Some` for a durable log; `None` is the seed memory-only structure.
+    store: Option<Store>,
 }
 
 impl PartitionLog {
-    /// Create an empty log with the given retention policy.
+    /// Create an empty memory-only log with the given retention policy.
     pub fn new(retention: RetentionPolicy) -> Self {
         Self {
             segments: vec![Segment::new(0)],
@@ -56,7 +121,65 @@ impl PartitionLog {
             total_bytes: 0,
             total_records: 0,
             log_start: 0,
+            store: None,
         }
+    }
+
+    /// Open (or create) a durable log rooted at `dir`, recovering any
+    /// existing segment files: torn tails are truncated, the clean prefix
+    /// becomes the log (see [`storage::recovery`](crate::storage::recovery)).
+    /// Recovered segments come back evicted — reopening costs one
+    /// sequential scan, not the log's RAM footprint. `durable` and `mark`
+    /// are initialised to the recovered high watermark (everything
+    /// recovered is on disk by definition).
+    pub fn open_durable(
+        dir: PathBuf,
+        retention: RetentionPolicy,
+        policy: SyncPolicy,
+        stats: Arc<StoreStats>,
+        durable: Arc<AtomicU64>,
+        mark: Arc<DurableMark>,
+    ) -> std::io::Result<Self> {
+        let recovered = crate::storage::recovery::recover_partition(&dir)?;
+        let next = recovered.next_offset;
+        let mut segments: Vec<Segment> = Vec::with_capacity(recovered.segments.len() + 1);
+        let mut total_bytes = 0u64;
+        let mut total_records = 0u64;
+        for seg in recovered.segments {
+            let count = seg.disk.positions.len();
+            total_bytes += seg.wire_bytes;
+            total_records += count as u64;
+            segments.push(Segment {
+                base_offset: seg.base_offset,
+                records: Vec::new(),
+                count,
+                bytes: seg.wire_bytes,
+                max_ts: seg.max_ts,
+                disk: Some(seg.disk),
+            });
+        }
+        let log_start = segments.first().map_or(next, |s| s.base_offset);
+        // A fresh active segment (and file) always starts at the recovered
+        // high watermark — recovered segments are sealed even when short,
+        // so a crash-heavy history shows up as variable-length segments.
+        segments.push(Segment::new(next));
+        let writer = PartitionWriter::create(dir, next, Arc::clone(&stats))?;
+        durable.store(next, Ordering::Release);
+        mark.set(next, 0);
+        Ok(Self {
+            segments,
+            retention,
+            total_bytes,
+            total_records,
+            log_start,
+            store: Some(Store {
+                writer,
+                policy,
+                stats,
+                durable,
+                mark,
+            }),
+        })
     }
 
     /// Offset of the first retained record.
@@ -70,6 +193,17 @@ impl PartitionLog {
             .last()
             .map(|s| s.next_offset())
             .unwrap_or(self.log_start)
+    }
+
+    /// Offset below which every record survives a crash. For a memory-only
+    /// log this is the high watermark (there is no stronger durability to
+    /// wait for); for a durable log it advances when the flusher's fsync
+    /// covers the appends.
+    pub fn durable_watermark(&self) -> Offset {
+        match &self.store {
+            Some(s) => s.durable.load(Ordering::Acquire),
+            None => self.high_watermark(),
+        }
     }
 
     /// Retained records.
@@ -87,16 +221,44 @@ impl PartitionLog {
         self.total_bytes
     }
 
+    /// Retained segments (resident and evicted alike).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Records currently resident in memory (diagnostic: shows eviction
+    /// bounding the footprint of a long durable run).
+    pub fn resident_records(&self) -> u64 {
+        self.segments.iter().map(|s| s.records.len() as u64).sum()
+    }
+
     /// Append a record; the log assigns and returns its offset.
     pub fn append(&mut self, mut record: Record) -> Offset {
         let offset = self.high_watermark();
         record.offset = offset;
         let size = record.wire_size() as u64;
         if self.segments.last().is_none_or(|s| s.is_full()) {
-            self.segments.push(Segment::new(offset));
+            self.roll_segment(offset);
+        }
+        if let Some(store) = &mut self.store {
+            store.writer.append(&record);
+            if matches!(store.policy, SyncPolicy::EachAppend) {
+                // The measured counterfactual: capture + write + fsync
+                // inline, under the partition lock, once per record. The
+                // lock itself serialises these cycles (no `sync_mu` here —
+                // taking it under the partition lock would invert the
+                // ordering `sync_partition` uses), and an explicit sync
+                // racing this path always captures an empty batch.
+                if let Some(b) = store.writer.prepare_sync(offset + 1) {
+                    sync_now(&b, &store.stats, &store.durable, &store.mark)
+                        .unwrap_or_else(|e| panic!("inline fsync: {e}"));
+                }
+            }
         }
         let seg = self.segments.last_mut().expect("segment just ensured");
+        seg.max_ts = seg.max_ts.max(record.timestamp_us);
         seg.records.push(record);
+        seg.count += 1;
         seg.bytes += size;
         self.total_bytes += size;
         self.total_records += 1;
@@ -104,8 +266,43 @@ impl PartitionLog {
         offset
     }
 
+    /// Seal the active segment (mirroring the roll to the segment file in a
+    /// durable log) and open the next one, evicting whatever sealed segment
+    /// fell off the resident tail.
+    fn roll_segment(&mut self, next_base: Offset) {
+        if let Some(store) = &mut self.store {
+            let disk = store
+                .writer
+                .seal_and_roll(next_base)
+                .unwrap_or_else(|e| panic!("segment roll at offset {next_base}: {e}"));
+            if let Some(last) = self.segments.last_mut() {
+                last.disk = Some(disk);
+            }
+        }
+        self.segments.push(Segment::new(next_base));
+        // Eviction only changes state on a roll (one new sealed segment),
+        // so the scan happens here, not per-append. The durable gate: a
+        // segment may only drop its resident records once the watermark
+        // covers it — its file bytes are guaranteed on disk — so a cold
+        // fetch never races the write-behind. Segments that miss the gate
+        // now are re-examined at the next roll.
+        if let Some(store) = &self.store {
+            let durable = store.durable.load(Ordering::Acquire);
+            let keep_from = self
+                .segments
+                .len()
+                .saturating_sub(1 + RESIDENT_SEALED_SEGMENTS);
+            for seg in &mut self.segments[..keep_from] {
+                if seg.disk.is_some() && !seg.records.is_empty() && seg.next_offset() <= durable {
+                    seg.records = Vec::new();
+                }
+            }
+        }
+    }
+
     /// Drop head segments while the policy is exceeded. The active (last)
-    /// segment is never dropped.
+    /// segment is never dropped. In a durable log the drop is the whole
+    /// point: one `unlink`, O(1) in the segment's record count.
     fn enforce_retention(&mut self) {
         while self.segments.len() > 1
             && self
@@ -114,29 +311,72 @@ impl PartitionLog {
         {
             let seg = self.segments.remove(0);
             self.total_bytes -= seg.bytes;
-            self.total_records -= seg.records.len() as u64;
+            self.total_records -= seg.count as u64;
             self.log_start = self.segments[0].base_offset;
+            if let Some(disk) = seg.disk {
+                // An unsynced sealed file may still sit in the writer's
+                // pending list; its handle stays valid (fsync of a deleted
+                // file is harmless), only the name goes away.
+                let _ = std::fs::remove_file(&disk.path);
+            }
+        }
+    }
+
+    /// Capture what the next sync cycle must write and fsync (see
+    /// [`storage::flusher`](crate::storage::flusher)). `None` for a
+    /// memory-only or clean log. Pure bookkeeping — safe under the lock.
+    pub(crate) fn prepare_sync(&mut self) -> Option<SyncBatch> {
+        let hwm = self.high_watermark();
+        match &mut self.store {
+            Some(s) => s.writer.prepare_sync(hwm),
+            None => None,
+        }
+    }
+
+    /// Test-only inline sync cycle: capture, write, fsync, publish —
+    /// what `Topic::sync` does through the flusher plumbing.
+    #[cfg(test)]
+    fn test_sync(&mut self) {
+        if let Some(b) = self.prepare_sync() {
+            let s = self.store.as_ref().expect("durable log");
+            sync_now(&b, &s.stats, &s.durable, &s.mark).expect("test sync");
         }
     }
 
     /// First retained offset whose record timestamp is `>= ts_us`, or the
     /// high watermark if every retained record is older (Kafka's
-    /// `offsetsForTimes`). Linear scan over retained records — retention
-    /// bounds the cost.
+    /// `offsetsForTimes`). Binary search — segments by their max timestamp,
+    /// then records within the hit segment — O(log n), assuming per-
+    /// partition timestamps are non-decreasing (the same assumption
+    /// Kafka's time index makes; every producer in this repo stamps
+    /// monotonically).
     pub fn offset_for_timestamp(&self, ts_us: u64) -> Offset {
-        for seg in &self.segments {
-            for rec in &seg.records {
-                if rec.timestamp_us >= ts_us {
-                    return rec.offset;
-                }
-            }
+        // Trailing empty segment (a fresh active) has max_ts == 0 and would
+        // break the predicate's monotonicity; it holds nothing anyway.
+        let mut upper = self.segments.len();
+        while upper > 0 && self.segments[upper - 1].count == 0 {
+            upper -= 1;
         }
-        self.high_watermark()
+        let segs = &self.segments[..upper];
+        let i = segs.partition_point(|s| s.max_ts < ts_us);
+        let Some(seg) = segs.get(i) else {
+            return self.high_watermark();
+        };
+        // max_ts >= ts_us, so some record in `seg` qualifies: j < count.
+        let j = match &seg.disk {
+            Some(d) if seg.is_evicted() => d.timestamps.partition_point(|&t| t < ts_us),
+            _ => seg.records.partition_point(|r| r.timestamp_us < ts_us),
+        };
+        seg.base_offset + j as u64
     }
 
     /// Read up to `max` records starting at `offset`. An offset below
     /// `log_start` is an error (data trimmed); an offset at or above the
     /// high watermark returns an empty vec (nothing there *yet*).
+    ///
+    /// Resident segments clone records (a `Bytes` refcount bump); evicted
+    /// segments are read back from their file in one buffered read — the
+    /// page cache serves anything recent — and decoded zero-copy.
     pub fn read(&self, offset: Offset, max: usize) -> Result<Vec<Record>, Offset> {
         if offset < self.log_start {
             return Err(self.log_start);
@@ -158,8 +398,13 @@ impl PartitionLog {
         let mut pos = (offset - self.segments[seg_idx].base_offset) as usize;
         while out.len() < max && idx < self.segments.len() {
             let seg = &self.segments[idx];
-            let take = (max - out.len()).min(seg.records.len() - pos);
-            out.extend_from_slice(&seg.records[pos..pos + take]);
+            let take = (max - out.len()).min(seg.count - pos);
+            if seg.is_evicted() {
+                let disk = seg.disk.as_ref().expect("evicted segment has disk");
+                out.extend(disk.read_records(pos, take));
+            } else {
+                out.extend_from_slice(&seg.records[pos..pos + take]);
+            }
             pos = 0;
             idx += 1;
         }
@@ -174,6 +419,28 @@ mod tests {
 
     fn rec(n: usize) -> Record {
         Record::new(vec![0u8; n])
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pilot-log-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open(dir: PathBuf, retention: RetentionPolicy) -> PartitionLog {
+        PartitionLog::open_durable(
+            dir,
+            retention,
+            SyncPolicy::OsOnly,
+            Arc::new(StoreStats::default()),
+            Arc::new(AtomicU64::new(0)),
+            Arc::new(DurableMark::default()),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -274,6 +541,130 @@ mod tests {
         assert_eq!(log.offset_for_timestamp(99), log.high_watermark());
     }
 
+    #[test]
+    fn offset_for_timestamp_spans_segments() {
+        let mut log = PartitionLog::new(RetentionPolicy::unbounded());
+        let n = SEGMENT_RECORDS * 3 + 7;
+        for i in 0..n {
+            log.append(Record::new(vec![0u8; 4]).with_timestamp(i as u64 * 2));
+        }
+        // Exact hits, between-records hits, segment boundaries.
+        for probe in [
+            0u64,
+            5,
+            (SEGMENT_RECORDS as u64) * 2,
+            (SEGMENT_RECORDS as u64) * 2 + 1,
+            (n as u64 - 1) * 2,
+        ] {
+            let expect = probe.div_ceil(2).min(n as u64);
+            assert_eq!(log.offset_for_timestamp(probe), expect, "probe {probe}");
+        }
+        assert_eq!(log.offset_for_timestamp(u64::MAX), log.high_watermark());
+    }
+
+    #[test]
+    fn durable_log_reads_match_memory_log() {
+        let dir = tmp_dir("parity");
+        let mut mem = PartitionLog::new(RetentionPolicy::unbounded());
+        let mut dur = open(dir.clone(), RetentionPolicy::unbounded());
+        let n = SEGMENT_RECORDS * 3 + 100; // forces eviction of early segments
+        for i in 0..n {
+            let r = Record::new(vec![(i % 251) as u8; 1 + i % 60]).with_timestamp(i as u64);
+            assert_eq!(mem.append(r.clone()), dur.append(r));
+            if i % 512 == 511 {
+                // Advance the durable watermark so the eviction gate opens
+                // (resident records only drop once their bytes are synced).
+                dur.test_sync();
+            }
+        }
+        assert!(dur.resident_records() < n as u64, "cold segments evicted");
+        for (offset, max) in [(0u64, 10usize), (500, 2000), (2047, 3), (0, n + 10)] {
+            assert_eq!(
+                mem.read(offset, max).unwrap(),
+                dur.read(offset, max).unwrap(),
+                "read({offset},{max})"
+            );
+        }
+        assert_eq!(
+            mem.offset_for_timestamp(1234),
+            dur.offset_for_timestamp(1234)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_log_survives_reopen() {
+        let dir = tmp_dir("reopen");
+        let n = SEGMENT_RECORDS + 77;
+        {
+            let mut log = open(dir.clone(), RetentionPolicy::unbounded());
+            for i in 0..n {
+                log.append(Record::new(vec![i as u8; 33]).with_timestamp(i as u64));
+            }
+        } // drop flushes the writer buffer (clean shutdown)
+        let log = open(dir.clone(), RetentionPolicy::unbounded());
+        assert_eq!(log.high_watermark(), n as u64);
+        assert_eq!(log.durable_watermark(), n as u64);
+        assert_eq!(log.len(), n as u64);
+        let recs = log.read(SEGMENT_RECORDS as u64 - 2, 5).unwrap();
+        assert_eq!(recs.len(), 5);
+        assert_eq!(recs[0].offset, SEGMENT_RECORDS as u64 - 2);
+        assert_eq!(
+            recs[0].value.as_ref(),
+            &[(SEGMENT_RECORDS - 2) as u8; 33][..]
+        );
+        assert_eq!(log.offset_for_timestamp(500), 500);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_retention_unlinks_segment_files() {
+        let dir = tmp_dir("retention");
+        let mut log = open(
+            dir.clone(),
+            RetentionPolicy::by_records(SEGMENT_RECORDS as u64),
+        );
+        for _ in 0..(SEGMENT_RECORDS * 3) {
+            log.append(rec(8));
+        }
+        assert!(log.log_start() > 0);
+        let files = std::fs::read_dir(&dir).unwrap().count();
+        // Only the retained segments' files remain.
+        assert!(
+            files <= log.segment_count(),
+            "{files} files on disk for {} segments",
+            log.segment_count()
+        );
+        // Reopen sees the same trimmed log.
+        drop(log);
+        let log = open(dir.clone(), RetentionPolicy::unbounded());
+        assert_eq!(log.high_watermark(), (SEGMENT_RECORDS * 3) as u64);
+        assert!(log.log_start() > 0);
+        assert_eq!(log.read(0, 1), Err(log.log_start()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn each_append_policy_is_immediately_durable() {
+        let dir = tmp_dir("each-append");
+        let durable = Arc::new(AtomicU64::new(0));
+        let mut log = PartitionLog::open_durable(
+            dir.clone(),
+            RetentionPolicy::unbounded(),
+            SyncPolicy::EachAppend,
+            Arc::new(StoreStats::default()),
+            Arc::clone(&durable),
+            Arc::new(DurableMark::default()),
+        )
+        .unwrap();
+        for i in 0..5u64 {
+            log.append(rec(16));
+            assert_eq!(durable.load(Ordering::Acquire), i + 1);
+            assert_eq!(log.durable_watermark(), i + 1);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     proptest! {
         /// Any sequence of appends yields dense offsets and reads return
         /// exactly the records asked for, in order.
@@ -311,6 +702,30 @@ mod tests {
             let from_start = log.read(log.log_start(), 10).unwrap();
             prop_assert!(!from_start.is_empty());
             prop_assert_eq!(from_start[0].offset, log.log_start());
+        }
+
+        /// Monotonic timestamps: the binary-search `offset_for_timestamp`
+        /// agrees with a reference linear scan at every probe.
+        #[test]
+        fn prop_offset_for_timestamp_matches_linear_scan(
+            gaps in proptest::collection::vec(0u64..5, 1..300),
+            probes in proptest::collection::vec(0u64..800, 1..20),
+        ) {
+            let mut log = PartitionLog::new(RetentionPolicy::unbounded());
+            let mut ts = 0u64;
+            let mut stamps = Vec::new();
+            for g in &gaps {
+                ts += g; // non-decreasing, duplicates allowed
+                stamps.push(ts);
+                log.append(Record::new(vec![0u8; 4]).with_timestamp(ts));
+            }
+            for &probe in &probes {
+                let linear = stamps
+                    .iter()
+                    .position(|&t| t >= probe)
+                    .map_or(log.high_watermark(), |i| i as u64);
+                prop_assert_eq!(log.offset_for_timestamp(probe), linear, "probe {}", probe);
+            }
         }
     }
 }

@@ -1,0 +1,397 @@
+//! Reopening a partition directory after a crash (or a clean restart).
+//!
+//! Recovery's contract is the **clean-prefix guarantee**: whatever state a
+//! crash left on disk, reopening yields a log that is exactly some prefix of
+//! what was appended — specifically a prefix covering at least everything at
+//! or below the durable watermark at crash time. To get there the scan walks
+//! segment files in base-offset order and validates every frame (length
+//! plausibility, CRC32C, and offset == base + index). The first invalid frame
+//! marks the torn tail: the file is truncated back to its last valid frame
+//! (deleted outright if nothing in it survived) and every later file is
+//! deleted — a lost intermediate write must not resurrect data *after* the
+//! tear, or offsets would lie.
+//!
+//! The scan also rebuilds, per segment, exactly the index a cold fetch
+//! needs: frame positions and record timestamps. Recovered segments come
+//! back in evicted form — metadata resident, records on disk — so reopening
+//! a huge log costs one sequential read, not its RAM footprint.
+
+use super::segment_file::{parse_segment_base, BODY_FIXED, FRAME_HEADER, MAX_BODY};
+use super::writer::DiskSegment;
+use super::Crc32c;
+use crate::record::Offset;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read};
+use std::path::Path;
+use std::sync::Arc;
+
+/// One segment as the scan recovered it.
+pub struct RecoveredSegment {
+    /// First offset in the segment.
+    pub base_offset: Offset,
+    /// On-disk identity and index (positions, timestamps).
+    pub disk: DiskSegment,
+    /// Sum of the records' in-log `wire_size` (== sum of frame body
+    /// lengths: both count key + value + 24 fixed bytes).
+    pub wire_bytes: u64,
+    /// Largest record timestamp in the segment.
+    pub max_ts: u64,
+}
+
+/// The result of scanning a partition directory.
+pub struct RecoveredPartition {
+    /// Valid segments in offset order (possibly empty).
+    pub segments: Vec<RecoveredSegment>,
+    /// The next offset to assign: `base + count` of the last valid segment,
+    /// or 0 for a fresh directory.
+    pub next_offset: Offset,
+}
+
+/// Scan `dir`, repairing torn state in place (truncating the torn file,
+/// deleting unreachable later files). Creates `dir` if absent.
+pub fn recover_partition(dir: &Path) -> io::Result<RecoveredPartition> {
+    std::fs::create_dir_all(dir)?;
+    let mut files: Vec<(Offset, std::path::PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if let Some(base) = name.to_str().and_then(parse_segment_base) {
+            files.push((base, entry.path()));
+        }
+    }
+    files.sort_by_key(|(base, _)| *base);
+
+    let mut segments = Vec::new();
+    let mut next_offset: Offset = 0;
+    let mut torn = false;
+    for (i, (base, path)) in files.iter().enumerate() {
+        if torn || (i > 0 && *base != next_offset) {
+            // Past the tear, or a base that doesn't continue the previous
+            // segment (lost intermediate writes): nothing after this point
+            // is trustworthy.
+            std::fs::remove_file(path)?;
+            torn = true;
+            continue;
+        }
+        let scan = scan_file(path, *base)?;
+        if scan.valid_len < scan.total_len {
+            torn = true;
+        }
+        if scan.positions.is_empty() {
+            std::fs::remove_file(path)?;
+            continue;
+        }
+        if scan.valid_len < scan.total_len {
+            scan.file.set_len(scan.valid_len)?;
+        }
+        next_offset = *base + scan.positions.len() as u64;
+        segments.push(RecoveredSegment {
+            base_offset: *base,
+            disk: DiskSegment {
+                path: path.clone(),
+                file: Arc::new(scan.file),
+                positions: scan.positions,
+                timestamps: scan.timestamps,
+                data_len: scan.valid_len,
+            },
+            wire_bytes: scan.wire_bytes,
+            max_ts: scan.max_ts,
+        });
+    }
+    Ok(RecoveredPartition {
+        segments,
+        next_offset,
+    })
+}
+
+struct ScanResult {
+    file: File,
+    positions: Vec<u64>,
+    timestamps: Vec<u64>,
+    wire_bytes: u64,
+    max_ts: u64,
+    /// File length covered by valid frames.
+    valid_len: u64,
+    /// Actual file length on disk.
+    total_len: u64,
+}
+
+/// Stream the file front to back, stopping at the first invalid frame.
+fn scan_file(path: &Path, base: Offset) -> io::Result<ScanResult> {
+    let file = OpenOptions::new().read(true).write(true).open(path)?;
+    let total_len = file.metadata()?.len();
+    let mut reader = io::BufReader::with_capacity(256 * 1024, &file);
+    let mut positions = Vec::new();
+    let mut timestamps = Vec::new();
+    let mut wire_bytes = 0u64;
+    let mut max_ts = 0u64;
+    let mut valid_len = 0u64;
+    let mut body = Vec::new();
+    let mut header = [0u8; FRAME_HEADER];
+
+    loop {
+        match check_frame(
+            &mut reader,
+            &mut header,
+            &mut body,
+            base + positions.len() as u64,
+        ) {
+            Ok(frame) => {
+                positions.push(valid_len);
+                timestamps.push(frame.timestamp_us);
+                wire_bytes += frame.body_len as u64;
+                max_ts = max_ts.max(frame.timestamp_us);
+                valid_len += (FRAME_HEADER + frame.body_len) as u64;
+            }
+            Err(ScanStop::Eof) => break,
+            Err(ScanStop::Bad) => break,
+            Err(ScanStop::Io(e)) => return Err(e),
+        }
+    }
+    Ok(ScanResult {
+        file,
+        positions,
+        timestamps,
+        wire_bytes,
+        max_ts,
+        valid_len,
+        total_len,
+    })
+}
+
+struct ScannedFrame {
+    timestamp_us: u64,
+    body_len: usize,
+}
+
+enum ScanStop {
+    /// Clean end of file (no partial header).
+    Eof,
+    /// Invalid frame — the tear starts here. What *kind* of invalid is
+    /// irrelevant to the repair (truncate either way), so no payload.
+    Bad,
+    /// A real I/O failure (not corruption).
+    Io(io::Error),
+}
+
+fn check_frame(
+    reader: &mut impl Read,
+    header: &mut [u8; FRAME_HEADER],
+    body: &mut Vec<u8>,
+    expect_offset: Offset,
+) -> Result<ScannedFrame, ScanStop> {
+    match read_exact_or_eof(reader, header) {
+        Ok(true) => {}
+        Ok(false) => return Err(ScanStop::Eof),
+        Err(e) => return Err(ScanStop::Io(e)),
+    }
+    let body_len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if body_len > MAX_BODY || (body_len as usize) < BODY_FIXED {
+        return Err(ScanStop::Bad);
+    }
+    let crc_stored = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    let body_len = body_len as usize;
+    body.resize(body_len, 0);
+    match read_exact_or_eof(reader, body) {
+        Ok(true) => {}
+        Ok(false) => return Err(ScanStop::Bad),
+        Err(e) => return Err(ScanStop::Io(e)),
+    }
+    let mut crc = Crc32c::new();
+    crc.update(body);
+    if crc.finish() != crc_stored {
+        return Err(ScanStop::Bad);
+    }
+    let offset = u64::from_le_bytes(body[0..8].try_into().unwrap());
+    if offset != expect_offset {
+        // CRC-valid frame at the wrong position: a lost intermediate write
+        // landed later data here. Treat as the tear.
+        return Err(ScanStop::Bad);
+    }
+    let timestamp_us = u64::from_le_bytes(body[8..16].try_into().unwrap());
+    Ok(ScannedFrame {
+        timestamp_us,
+        body_len,
+    })
+}
+
+/// `Ok(true)` = filled; `Ok(false)` = EOF before any or all bytes.
+fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(false),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use crate::storage::segment_file::{encode_frame, segment_file_name};
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pilot-recovery-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_segment(dir: &Path, base: Offset, count: u64) -> Vec<u64> {
+        let mut buf = Vec::new();
+        let mut ends = Vec::new();
+        for i in 0..count {
+            let mut r = Record::new(vec![(base + i) as u8; 50]).with_timestamp((base + i) * 10);
+            r.offset = base + i;
+            encode_frame(&mut buf, &r);
+            ends.push(buf.len() as u64);
+        }
+        std::fs::write(dir.join(segment_file_name(base)), &buf).unwrap();
+        ends
+    }
+
+    #[test]
+    fn fresh_directory_recovers_empty() {
+        let dir = tmp_dir("fresh");
+        let nested = dir.join("does-not-exist-yet");
+        let rec = recover_partition(&nested).unwrap();
+        assert!(rec.segments.is_empty());
+        assert_eq!(rec.next_offset, 0);
+        assert!(nested.is_dir(), "directory created");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clean_segments_recover_fully() {
+        let dir = tmp_dir("clean");
+        write_segment(&dir, 0, 4);
+        write_segment(&dir, 4, 3);
+        let rec = recover_partition(&dir).unwrap();
+        assert_eq!(rec.segments.len(), 2);
+        assert_eq!(rec.next_offset, 7);
+        assert_eq!(rec.segments[0].disk.positions.len(), 4);
+        assert_eq!(rec.segments[1].base_offset, 4);
+        assert_eq!(rec.segments[1].max_ts, 60);
+        // Recovered index serves reads.
+        let recs = rec.segments[1].disk.read_records(1, 2);
+        assert_eq!(recs[0].offset, 5);
+        assert_eq!(recs[0].value.as_ref(), &[5u8; 50][..]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let dir = tmp_dir("torn");
+        let ends = write_segment(&dir, 0, 5);
+        let path = dir.join(segment_file_name(0));
+        // Tear mid-way through the last frame.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(ends[4] - 7).unwrap();
+        drop(f);
+        let rec = recover_partition(&dir).unwrap();
+        assert_eq!(rec.next_offset, 4, "last frame lost");
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            ends[3],
+            "file truncated to valid prefix"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_frame_drops_it_and_everything_after() {
+        let dir = tmp_dir("corrupt");
+        let ends = write_segment(&dir, 0, 6);
+        let path = dir.join(segment_file_name(0));
+        let mut data = std::fs::read(&path).unwrap();
+        data[ends[2] as usize + 12] ^= 0xFF; // corrupt frame 3's body
+        std::fs::write(&path, &data).unwrap();
+        let rec = recover_partition(&dir).unwrap();
+        assert_eq!(
+            rec.next_offset, 3,
+            "frames 3..6 gone even though 4,5 are intact"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tear_in_earlier_file_deletes_later_files() {
+        let dir = tmp_dir("later-files");
+        let ends = write_segment(&dir, 0, 4);
+        write_segment(&dir, 4, 4);
+        let p0 = dir.join(segment_file_name(0));
+        let p4 = dir.join(segment_file_name(4));
+        let f = OpenOptions::new().write(true).open(&p0).unwrap();
+        f.set_len(ends[1] + 3).unwrap(); // tear inside frame 2
+        drop(f);
+        let rec = recover_partition(&dir).unwrap();
+        assert_eq!(rec.next_offset, 2);
+        assert_eq!(rec.segments.len(), 1);
+        assert!(!p4.exists(), "post-tear file removed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn base_gap_is_a_tear() {
+        let dir = tmp_dir("gap");
+        write_segment(&dir, 0, 4);
+        write_segment(&dir, 9, 2); // should start at 4
+        let rec = recover_partition(&dir).unwrap();
+        assert_eq!(rec.next_offset, 4);
+        assert!(!dir.join(segment_file_name(9)).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fully_torn_file_is_deleted() {
+        let dir = tmp_dir("all-torn");
+        write_segment(&dir, 0, 4);
+        let _ends = write_segment(&dir, 4, 2);
+        let p4 = dir.join(segment_file_name(4));
+        let f = OpenOptions::new().write(true).open(&p4).unwrap();
+        f.set_len(3).unwrap(); // 3 bytes: not even a header
+        drop(f);
+        let rec = recover_partition(&dir).unwrap();
+        assert_eq!(rec.next_offset, 4);
+        assert!(!p4.exists(), "zero-valid-record file removed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_offset_frame_is_a_tear() {
+        let dir = tmp_dir("wrong-offset");
+        // A CRC-valid frame whose stored offset disagrees with its position.
+        let mut buf = Vec::new();
+        let mut r = Record::new(vec![1u8; 20]).with_timestamp(5);
+        r.offset = 7; // file is named for base 0, so frame 0 must be offset 0
+        encode_frame(&mut buf, &r);
+        std::fs::write(dir.join(segment_file_name(0)), &buf).unwrap();
+        let rec = recover_partition(&dir).unwrap();
+        assert_eq!(rec.next_offset, 0);
+        assert!(rec.segments.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn head_trimmed_log_recovers_from_first_retained_segment() {
+        let dir = tmp_dir("head-trim");
+        // Retention already dropped segment 0; the log starts at 4.
+        write_segment(&dir, 4, 3);
+        write_segment(&dir, 7, 2);
+        let rec = recover_partition(&dir).unwrap();
+        assert_eq!(rec.segments.len(), 2);
+        assert_eq!(rec.segments[0].base_offset, 4);
+        assert_eq!(rec.next_offset, 9);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

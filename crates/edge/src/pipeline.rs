@@ -117,6 +117,29 @@ pub struct PipelineConfig {
     /// other members' processing). `Some(0)` is rejected by
     /// [`Self::validate`].
     pub reactor_threads: Option<usize>,
+    /// Durable broker log. `None` (the default) keeps the seed's
+    /// memory-only commit log: nothing touches disk, nothing survives the
+    /// process. `Some(dir)` persists every partition of the pipeline topic
+    /// under `dir` through the broker's segmented storage engine: appends
+    /// mirror into per-partition segment files, a group-commit flusher
+    /// fsyncs all partitions once per commit window and advances the
+    /// durable watermark, cold segments are evicted from memory (bounding
+    /// the resident footprint of unbounded runs), and reopening the same
+    /// directory recovers the log — truncating any torn tail a crash left.
+    /// See `pilot_broker::storage`.
+    pub log_dir: Option<std::path::PathBuf>,
+    /// Group-commit window in milliseconds for the durable log (the
+    /// broker-side analogue of the producer [`Self::linger`]: one fsync
+    /// covers every append of every partition in the window). `None` with
+    /// `log_dir` set uses the engine default (5 ms). Requires `log_dir`;
+    /// `Some(0)` is rejected by [`Self::validate`].
+    pub fsync_interval_ms: Option<u64>,
+    /// Early-kick threshold for the group-commit flusher: when un-synced
+    /// bytes reach this figure the fsync happens immediately instead of
+    /// waiting out the interval. `None` with `log_dir` set uses the engine
+    /// default (1 MiB). Requires `log_dir`; `Some(0)` is rejected by
+    /// [`Self::validate`].
+    pub fsync_batch_bytes: Option<u64>,
 }
 
 impl Default for PipelineConfig {
@@ -138,6 +161,9 @@ impl Default for PipelineConfig {
             producer_threads: None,
             telemetry_sample_ms: None,
             reactor_threads: None,
+            log_dir: None,
+            fsync_interval_ms: None,
+            fsync_batch_bytes: None,
         }
     }
 }
@@ -375,6 +401,28 @@ impl EdgeToCloudPipeline {
     /// [`PipelineConfig::reactor_threads`].
     pub fn reactor_threads(mut self, n: usize) -> Self {
         self.config.reactor_threads = Some(n);
+        self
+    }
+
+    /// Persist the broker log under `dir` (durable, crash-recoverable
+    /// topic). See [`PipelineConfig::log_dir`].
+    pub fn log_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.config.log_dir = Some(dir.into());
+        self
+    }
+
+    /// Group-commit fsync window in milliseconds (requires
+    /// [`Self::log_dir`]). See [`PipelineConfig::fsync_interval_ms`].
+    pub fn fsync_interval_ms(mut self, ms: u64) -> Self {
+        self.config.fsync_interval_ms = Some(ms);
+        self
+    }
+
+    /// Early-kick dirty-bytes threshold for the group-commit flusher
+    /// (requires [`Self::log_dir`]). See
+    /// [`PipelineConfig::fsync_batch_bytes`].
+    pub fn fsync_batch_bytes(mut self, bytes: u64) -> Self {
+        self.config.fsync_batch_bytes = Some(bytes);
         self
     }
 

@@ -148,7 +148,66 @@ impl PipelineConfig {
                     .into(),
             ));
         }
+        if self.log_dir.is_none() {
+            if self.fsync_interval_ms.is_some() {
+                return Err(PipelineError::Config(
+                    "fsync_interval_ms requires log_dir (there is no durable \
+                     log for the fsync window to apply to)"
+                        .into(),
+                ));
+            }
+            if self.fsync_batch_bytes.is_some() {
+                return Err(PipelineError::Config(
+                    "fsync_batch_bytes requires log_dir (there is no durable \
+                     log for the early-kick threshold to apply to)"
+                        .into(),
+                ));
+            }
+        }
+        if self.fsync_interval_ms == Some(0) {
+            return Err(PipelineError::Config(
+                "fsync_interval_ms must be > 0 when set (a zero commit \
+                 window would fsync per append; omit it for the default)"
+                    .into(),
+            ));
+        }
+        if self.fsync_batch_bytes == Some(0) {
+            return Err(PipelineError::Config(
+                "fsync_batch_bytes must be > 0 when set (a zero threshold \
+                 would kick the flusher on every append; omit it for the \
+                 default)"
+                    .into(),
+            ));
+        }
         Ok(())
+    }
+
+    /// Resolve the durable-log knobs into the broker's
+    /// [`DurabilityConfig`](pilot_broker::DurabilityConfig) — `None` when
+    /// [`log_dir`](PipelineConfig::log_dir) is unset (the seed memory-only
+    /// log). Assumes [`Self::validate`] passed.
+    pub fn durability(&self) -> Option<pilot_broker::DurabilityConfig> {
+        let dir = self.log_dir.as_ref()?;
+        let (mut interval, mut batch_bytes) = match pilot_broker::SyncPolicy::group_commit_default()
+        {
+            pilot_broker::SyncPolicy::GroupCommit {
+                interval,
+                batch_bytes,
+            } => (interval, batch_bytes),
+            _ => unreachable!("default policy is group commit"),
+        };
+        if let Some(ms) = self.fsync_interval_ms {
+            interval = Duration::from_millis(ms);
+        }
+        if let Some(b) = self.fsync_batch_bytes {
+            batch_bytes = b;
+        }
+        Some(pilot_broker::DurabilityConfig::new(dir).with_policy(
+            pilot_broker::SyncPolicy::GroupCommit {
+                interval,
+                batch_bytes,
+            },
+        ))
     }
 
     /// Validate and split into per-stage sub-configs.
@@ -259,6 +318,72 @@ mod tests {
             ..PipelineConfig::default()
         };
         assert!(on.validate().is_ok());
+    }
+
+    #[test]
+    fn fsync_knobs_require_log_dir() {
+        for cfg in [
+            PipelineConfig {
+                fsync_interval_ms: Some(5),
+                ..PipelineConfig::default()
+            },
+            PipelineConfig {
+                fsync_batch_bytes: Some(1 << 20),
+                ..PipelineConfig::default()
+            },
+        ] {
+            let err = cfg.validate().unwrap_err();
+            assert!(matches!(err, PipelineError::Config(_)), "{err}");
+            assert!(err.to_string().contains("log_dir"), "{err}");
+        }
+    }
+
+    #[test]
+    fn zero_fsync_knobs_rejected() {
+        let base = PipelineConfig {
+            log_dir: Some(std::env::temp_dir().join("pilot-knob-test")),
+            ..PipelineConfig::default()
+        };
+        assert!(base.validate().is_ok());
+        assert!(base.durability().is_some());
+        let cfg = PipelineConfig {
+            fsync_interval_ms: Some(0),
+            ..base.clone()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = PipelineConfig {
+            fsync_batch_bytes: Some(0),
+            ..base
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn durability_resolves_knobs_onto_policy() {
+        assert!(PipelineConfig::default().durability().is_none());
+        let cfg = PipelineConfig {
+            log_dir: Some(std::env::temp_dir().join("pilot-knob-test")),
+            fsync_interval_ms: Some(7),
+            fsync_batch_bytes: Some(4096),
+            ..PipelineConfig::default()
+        };
+        let d = cfg.durability().unwrap();
+        assert_eq!(
+            d.policy,
+            pilot_broker::SyncPolicy::GroupCommit {
+                interval: Duration::from_millis(7),
+                batch_bytes: 4096,
+            }
+        );
+        // Unset knobs fall back to the engine default.
+        let cfg = PipelineConfig {
+            log_dir: Some(std::env::temp_dir().join("pilot-knob-test")),
+            ..PipelineConfig::default()
+        };
+        assert_eq!(
+            cfg.durability().unwrap().policy,
+            pilot_broker::SyncPolicy::group_commit_default()
+        );
     }
 
     #[test]

@@ -189,7 +189,16 @@ pub(crate) fn start(
         .topic
         .clone()
         .unwrap_or_else(|| format!("pilot-edge-{job_id}"));
-    broker.create_topic(&topic, cfg.devices, cfg.retention)?;
+    // Durable broker log (off by default): with `log_dir` set the topic
+    // persists through the broker's segmented storage engine — group-commit
+    // fsync, crash recovery, O(1) segment-file retention. Without it the
+    // topic is the seed's memory-only structure, byte for byte.
+    match cfg.durability() {
+        Some(durability) => {
+            broker.create_topic_durable(&topic, cfg.devices, cfg.retention, &durability)?
+        }
+        None => broker.create_topic(&topic, cfg.devices, cfg.retention)?,
+    }
     // One intra-task compute pool per cloud pilot, sized from its cores
     // unless overridden: a 1-core pilot gets a width-1 (inline) pool, a
     // multi-core one lets each model invocation fan out. All consumers of

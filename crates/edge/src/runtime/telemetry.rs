@@ -57,6 +57,20 @@ pub const GAUGE_REACTOR_READY_DEPTH: &str = "consumer.reactor.ready_queue_depth"
 /// polls (the reactor's busy time; compare against wall clock × threads
 /// for utilisation). Stays 0 when the event-driven core is off.
 pub const GAUGE_REACTOR_POLL_US: &str = "consumer.reactor.poll_us";
+/// Stable gauge name: bytes appended to the durable broker log but not yet
+/// covered by an fsync. Stays 0 when `log_dir` is unset.
+pub const GAUGE_LOG_DIRTY_BYTES: &str = "broker.log.dirty_bytes";
+/// Stable gauge name: cumulative µs the storage engine has spent inside
+/// fsync — when this grows as fast as wall clock, the platter is the choke
+/// point and the bottleneck attributor should say so.
+pub const GAUGE_LOG_FSYNC_US: &str = "broker.log.fsync_us";
+/// Stable gauge name: log segments across all topics and partitions
+/// (resident and on-disk alike).
+pub const GAUGE_LOG_SEGMENT_COUNT: &str = "broker.log.segment_count";
+/// Stable gauge name: records appended but not yet durable, summed over
+/// partitions (high watermark − durable watermark). Bounded by one commit
+/// window of traffic when the group-commit flusher keeps up.
+pub const GAUGE_LOG_DURABLE_LAG: &str = "broker.log.durable_lag";
 
 /// The per-partition lag gauge name.
 pub fn partition_lag_gauge(partition: usize) -> String {
@@ -89,6 +103,12 @@ pub(crate) struct StageGauges {
     /// unless the event-driven consumer core is on).
     reactor_ready_depth: Arc<Gauge>,
     reactor_poll_us: Arc<Gauge>,
+    /// Storage-engine gauges (pull; all but `segment_count` stay zero
+    /// unless the durable log is on).
+    log_dirty_bytes: Arc<Gauge>,
+    log_fsync_us: Arc<Gauge>,
+    log_segment_count: Arc<Gauge>,
+    log_durable_lag: Arc<Gauge>,
 }
 
 impl StageGauges {
@@ -109,6 +129,10 @@ impl StageGauges {
                 .collect(),
             reactor_ready_depth: registry.gauge(GAUGE_REACTOR_READY_DEPTH),
             reactor_poll_us: registry.gauge(GAUGE_REACTOR_POLL_US),
+            log_dirty_bytes: registry.gauge(GAUGE_LOG_DIRTY_BYTES),
+            log_fsync_us: registry.gauge(GAUGE_LOG_FSYNC_US),
+            log_segment_count: registry.gauge(GAUGE_LOG_SEGMENT_COUNT),
+            log_durable_lag: registry.gauge(GAUGE_LOG_DURABLE_LAG),
         }
     }
 
@@ -122,6 +146,7 @@ impl StageGauges {
         let pool = Arc::clone(shared);
         let lag = Arc::clone(shared);
         let reactor = Arc::clone(shared);
+        let storage = Arc::clone(shared);
         vec![
             Box::new(move || {
                 let Some(g) = links.gauges.as_deref() else {
@@ -168,6 +193,16 @@ impl StageGauges {
                 };
                 g.reactor_ready_depth.set(executor.ready_depth());
                 g.reactor_poll_us.set(executor.poll_time_us() as i64);
+            }),
+            Box::new(move || {
+                let Some(g) = storage.gauges.as_deref() else {
+                    return;
+                };
+                let stats = storage.broker.log_stats();
+                g.log_dirty_bytes.set(stats.dirty_bytes as i64);
+                g.log_fsync_us.set(stats.fsync_us as i64);
+                g.log_segment_count.set(stats.segment_count as i64);
+                g.log_durable_lag.set(stats.durable_lag as i64);
             }),
         ]
     }

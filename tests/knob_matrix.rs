@@ -56,10 +56,11 @@ fn run_combo(
     producer_threads: Option<usize>,
     prefetch_depth: usize,
     reactor_threads: Option<usize>,
+    log_dir: Option<std::path::PathBuf>,
 ) -> BTreeSet<(u64, u64)> {
     let combo = format!(
         "producer_threads={producer_threads:?} prefetch_depth={prefetch_depth} \
-         reactor_threads={reactor_threads:?}"
+         reactor_threads={reactor_threads:?} log_dir={log_dir:?}"
     );
     let edge_cores = producer_threads.unwrap_or(DEVICES);
     let (edge, cloud) = pilots(edge_cores, 2);
@@ -89,6 +90,9 @@ fn run_combo(
     }
     if let Some(n) = reactor_threads {
         builder = builder.reactor_threads(n);
+    }
+    if let Some(dir) = log_dir {
+        builder = builder.log_dir(dir);
     }
     let running = builder.start().unwrap();
     let job_id = running.job_id();
@@ -143,7 +147,7 @@ fn run_combo(
 #[test]
 fn all_engine_prefetch_reactor_combos_process_identical_sets() {
     // The seed shape: threaded producers + serial consumers on cloud tasks.
-    let baseline = run_combo(None, 0, None);
+    let baseline = run_combo(None, 0, None, None);
     assert_eq!(baseline.len(), DEVICES * MESSAGES);
     for producer_threads in [None, Some(2)] {
         for prefetch_depth in [0usize, 2] {
@@ -151,7 +155,7 @@ fn all_engine_prefetch_reactor_combos_process_identical_sets() {
                 if (producer_threads, prefetch_depth, reactor_threads) == (None, 0, None) {
                     continue;
                 }
-                let set = run_combo(producer_threads, prefetch_depth, reactor_threads);
+                let set = run_combo(producer_threads, prefetch_depth, reactor_threads, None);
                 assert_eq!(
                     set, baseline,
                     "producer_threads={producer_threads:?} \
@@ -162,4 +166,27 @@ fn all_engine_prefetch_reactor_combos_process_identical_sets() {
             }
         }
     }
+}
+
+/// The durability axis: turning on the durable broker log (`log_dir`) is a
+/// storage-engine change only — the message set the cloud function sees is
+/// identical to the memory-only baseline, and the run leaves a recoverable
+/// on-disk log behind.
+#[test]
+fn durable_log_is_observationally_identical_to_memory() {
+    let dir =
+        std::env::temp_dir().join(format!("pilot-knob-matrix-durable-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let baseline = run_combo(None, 0, None, None);
+    let durable = run_combo(None, 0, None, Some(dir.clone()));
+    assert_eq!(
+        durable, baseline,
+        "log_dir changed the observable message set"
+    );
+    // The run persisted real segment files (one directory per partition).
+    let partitions = std::fs::read_dir(&dir)
+        .expect("durable run must create the log directory")
+        .count();
+    assert_eq!(partitions, DEVICES, "one p<N>/ directory per partition");
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,248 @@
+//! Crash-recovery property test for the durable broker log (DESIGN.md §13).
+//!
+//! Each case builds a durable topic, appends a known record sequence,
+//! fsyncs at a random commit point, keeps appending, then "crashes": the
+//! broker is dropped (user-space buffers flush, nothing fsyncs) and the
+//! on-disk tail is torn at a random byte at-or-after the durable file
+//! mark — exactly the region a real power cut may corrupt, since
+//! everything at-or-before the mark has been fsynced. Reopening the same
+//! directory must then uphold the recovery contract:
+//!
+//! 1. **Clean prefix** — the recovered log is a prefix of the appended
+//!    sequence, byte-for-byte (no holes, no reordering, no invented
+//!    records).
+//! 2. **Durability floor** — every record at-or-below the durable
+//!    watermark observed before the crash survives; only un-synced tail
+//!    records may be lost.
+//! 3. **Torn tails truncate, not poison** — a mid-frame tear costs at most
+//!    the suffix from the tear onward, and the reopened log accepts new
+//!    appends at the recovered high watermark.
+
+use pilot_broker::{Broker, DurabilityConfig, Record, RetentionPolicy, SyncPolicy};
+use proptest::prelude::*;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TEST_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh scratch directory (no `tempfile` crate in the build image).
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pilot-log-recovery-{}-{}",
+        std::process::id(),
+        TEST_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The deterministic record for sequence index `i`: content derivable from
+/// the index alone, so recovery can be checked without retaining payloads.
+fn record_for(i: u64, size: usize) -> Record {
+    let mut value = vec![0u8; size.max(8)];
+    value[..8].copy_from_slice(&i.to_le_bytes());
+    for (j, b) in value.iter_mut().enumerate().skip(8) {
+        *b = (i as u8).wrapping_mul(31).wrapping_add(j as u8);
+    }
+    Record::new(value)
+        .with_key(format!("k{i}").into_bytes())
+        .with_timestamp(1_000 + i * 10)
+}
+
+/// Sorted `.seg` files of partition 0 under `dir` (lexicographic order ==
+/// base-offset order by the zero-padded naming scheme).
+fn segment_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir.join("p0"))
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "seg"))
+        .collect();
+    files.sort();
+    files
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case writes + tears + recovers a real on-disk log
+        .. ProptestConfig::default()
+    })]
+
+    /// Random workload, random commit point, random tear point: the
+    /// reopened log is always the longest clean prefix, never shorter than
+    /// the durable watermark.
+    #[test]
+    fn prop_reopen_yields_clean_prefix_at_or_above_watermark(
+        total in 8u64..400,
+        commit_frac in 0u64..1000,
+        tear_frac in 0u64..1000,
+        value_size in 16usize..600,
+    ) {
+        let dir = scratch_dir();
+        let cfg = DurabilityConfig::new(&dir).with_policy(SyncPolicy::OsOnly);
+        let commit_at = total * commit_frac / 1000; // records synced before the crash
+
+        // --- First life: append, sync part-way, append more, "crash". ---
+        let (durable, mark) = {
+            let broker = Broker::new();
+            broker.create_topic_durable("t", 1, RetentionPolicy::unbounded(), &cfg).unwrap();
+            let topic = broker.topic("t").unwrap();
+            for i in 0..total {
+                let off = topic.append(0, record_for(i, value_size)).unwrap();
+                prop_assert_eq!(off, i);
+                if i + 1 == commit_at {
+                    topic.sync();
+                }
+            }
+            // commit_at == 0 never syncs: the mark stays at the file start
+            // the log was opened with, and nothing is durable.
+            let durable = topic.durable_watermark(0).unwrap();
+            prop_assert_eq!(durable, commit_at);
+            (durable, topic.durable_file_mark(0).unwrap())
+            // Drop: writers flush their buffers but never fsync.
+        };
+
+        // --- The crash: tear the log at a random byte after the mark. ---
+        // Candidate tear sites are (file, len ≥ mark) pairs from the marked
+        // segment onward; everything past the chosen site is deleted, the
+        // chosen file truncated — the prefix a failed flush leaves behind.
+        let (mark_base, mark_bytes) = mark;
+        let mark_name = format!("{mark_base:020}.seg");
+        let files = segment_files(&dir);
+        let tail: Vec<&PathBuf> = files
+            .iter()
+            .filter(|p| p.file_name().unwrap().to_str().unwrap() >= mark_name.as_str())
+            .collect();
+        prop_assert!(!tail.is_empty(), "durable mark must point at an existing file");
+        // Total tearable bytes across the tail, then pick one by fraction.
+        let floors: Vec<u64> = tail
+            .iter()
+            .map(|p| if p.file_name().unwrap().to_str().unwrap() == mark_name { mark_bytes } else { 0 })
+            .collect();
+        let lens: Vec<u64> = tail.iter().map(|p| fs::metadata(p).unwrap().len()).collect();
+        let tearable: u64 = lens.iter().zip(&floors).map(|(l, f)| l - f).sum();
+        let mut tear_at = tearable * tear_frac / 1000;
+        for ((path, len), floor) in tail.iter().zip(&lens).zip(&floors) {
+            if tear_at <= len - floor {
+                let keep = floor + tear_at;
+                fs::OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .unwrap()
+                    .set_len(keep)
+                    .unwrap();
+                // Everything after the torn file is gone with the crash.
+                let torn_name = path.file_name().unwrap().to_str().unwrap().to_string();
+                for later in &files {
+                    if later.file_name().unwrap().to_str().unwrap() > torn_name.as_str() {
+                        fs::remove_file(later).unwrap();
+                    }
+                }
+                break;
+            }
+            tear_at -= len - floor;
+        }
+
+        // --- Second life: recover and check the contract. ---
+        let broker = Broker::new();
+        broker.create_topic_durable("t", 1, RetentionPolicy::unbounded(), &cfg).unwrap();
+        let topic = broker.topic("t").unwrap();
+        let hwm = topic.high_watermark(0).unwrap();
+        // Durability floor: every synced record survived the tear.
+        prop_assert!(
+            hwm >= durable,
+            "recovered hwm {hwm} lost durable records (watermark was {durable})"
+        );
+        prop_assert!(hwm <= total, "recovery invented records: hwm {hwm} > appended {total}");
+        // Clean prefix: recovered records match the appended sequence.
+        let mut offset = 0;
+        while offset < hwm {
+            let records = topic.read(0, offset, 64).unwrap().unwrap();
+            prop_assert!(!records.is_empty());
+            for r in records {
+                let want = record_for(r.offset, value_size);
+                prop_assert_eq!(r.offset, offset);
+                prop_assert_eq!(&r.value, &want.value);
+                prop_assert_eq!(&r.key, &want.key);
+                prop_assert_eq!(r.timestamp_us, want.timestamp_us);
+                offset += 1;
+            }
+        }
+        // The reopened log keeps accepting appends at the recovered hwm.
+        let next = topic.append(0, record_for(hwm, value_size)).unwrap();
+        prop_assert_eq!(next, hwm);
+
+        drop(broker);
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Group commit publishes its watermark only after the fsync completes, so
+/// a consumer that commits offsets it has *waited durable on* can never
+/// commit past what recovery reproduces — even if the process dies the
+/// instant after the wait returns.
+#[test]
+fn committed_offsets_never_exceed_recovered_watermark() {
+    let dir = scratch_dir();
+    let cfg = DurabilityConfig::new(&dir).with_policy(SyncPolicy::GroupCommit {
+        interval: std::time::Duration::from_millis(2),
+        batch_bytes: 0,
+    });
+    let committed = {
+        let broker = Broker::new();
+        broker
+            .create_topic_durable("t", 1, RetentionPolicy::unbounded(), &cfg)
+            .unwrap();
+        let topic = broker.topic("t").unwrap();
+        for i in 0..200 {
+            topic.append(0, record_for(i, 64)).unwrap();
+        }
+        // Commit only up to the durable watermark, the rule a
+        // durability-aware consumer group must follow.
+        assert_eq!(
+            topic.wait_durable(0, 120, std::time::Duration::from_secs(10)),
+            Some(true)
+        );
+        let durable = topic.durable_watermark(0).unwrap();
+        assert!(durable >= 120);
+        broker.commit_offset("g", "t", 0, durable);
+        durable
+    };
+    // Crash with whatever the OS was handed; recovery must cover the
+    // committed prefix (fsync preceded the watermark the commit used).
+    let broker = Broker::new();
+    broker
+        .create_topic_durable("t", 1, RetentionPolicy::unbounded(), &cfg)
+        .unwrap();
+    let topic = broker.topic("t").unwrap();
+    let hwm = topic.high_watermark(0).unwrap();
+    assert!(
+        hwm >= committed,
+        "recovered hwm {hwm} below an offset a consumer already committed ({committed})"
+    );
+    drop(broker);
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Defaults-off guard: with `log_dir` unset the broker stays the seed's
+/// memory-only structure — no durable watermark distinct from the high
+/// watermark, no storage stats, no files anywhere.
+#[test]
+fn memory_only_defaults_are_seed_identical() {
+    let broker = Broker::new();
+    broker
+        .create_topic("t", 2, RetentionPolicy::unbounded())
+        .unwrap();
+    let topic = broker.topic("t").unwrap();
+    for i in 0..50u64 {
+        topic.append((i % 2) as usize, record_for(i, 32)).unwrap();
+    }
+    assert!(!topic.is_durable());
+    // Memory-only "durable" watermark is the high watermark (nothing lags).
+    assert_eq!(topic.durable_watermark(0), topic.high_watermark(0));
+    assert_eq!(topic.durable_file_mark(0), None);
+    let stats = broker.log_stats();
+    assert_eq!(stats.dirty_bytes, 0);
+    assert_eq!(stats.fsync_count, 0);
+    assert_eq!(stats.durable_lag, 0);
+}
