@@ -1,6 +1,7 @@
 //! The broker: topic registry + consumer-group offset store.
 
 use crate::error::BrokerError;
+use crate::log::ReadError;
 use crate::record::{Offset, Record};
 use crate::retention::RetentionPolicy;
 use crate::topic::Topic;
@@ -102,6 +103,9 @@ impl Broker {
     /// Create a topic. Errors if it already exists with a different
     /// partition count; re-creating with the same count is a no-op
     /// (mirroring the framework's "automatically created Kafka topic").
+    /// An existing *durable* topic of the same name is a
+    /// [`BrokerError::DurabilityMismatch`], not a silent no-op — the caller
+    /// asked for memory-only semantics it would not get.
     pub fn create_topic(
         &self,
         name: &str,
@@ -110,13 +114,19 @@ impl Broker {
     ) -> Result<(), BrokerError> {
         let mut topics = self.inner.topics.write();
         if let Some(existing) = topics.get(name) {
-            if existing.partition_count() == partitions {
-                return Ok(());
+            if existing.partition_count() != partitions {
+                return Err(BrokerError::TopicExists {
+                    topic: name.to_string(),
+                    partitions: existing.partition_count(),
+                });
             }
-            return Err(BrokerError::TopicExists {
-                topic: name.to_string(),
-                partitions: existing.partition_count(),
-            });
+            if existing.is_durable() {
+                return Err(BrokerError::DurabilityMismatch {
+                    topic: name.to_string(),
+                    existing_durable: true,
+                });
+            }
+            return Ok(());
         }
         topics.insert(
             name.to_string(),
@@ -128,10 +138,13 @@ impl Broker {
     /// Create a *durable* topic: partitions persist to
     /// `cfg.dir/p{n}/` through the storage engine (see
     /// [`Topic::new_durable`]). Re-creation semantics match
-    /// [`Broker::create_topic`] — an existing topic with the same partition
-    /// count is left as-is (its open log keeps running; it is **not**
-    /// re-recovered). Reopening after a restart recovers the on-disk log,
-    /// truncating any torn tail.
+    /// [`Broker::create_topic`] — an existing *durable* topic with the same
+    /// partition count is left as-is (its open log keeps running; it is
+    /// **not** re-recovered), while an existing memory-only topic is a
+    /// [`BrokerError::DurabilityMismatch`]: returning `Ok` would let the
+    /// caller believe its appends persist when nothing reaches disk.
+    /// Reopening after a restart recovers the on-disk log, truncating any
+    /// torn tail.
     pub fn create_topic_durable(
         &self,
         name: &str,
@@ -141,13 +154,19 @@ impl Broker {
     ) -> Result<(), BrokerError> {
         let mut topics = self.inner.topics.write();
         if let Some(existing) = topics.get(name) {
-            if existing.partition_count() == partitions {
-                return Ok(());
+            if existing.partition_count() != partitions {
+                return Err(BrokerError::TopicExists {
+                    topic: name.to_string(),
+                    partitions: existing.partition_count(),
+                });
             }
-            return Err(BrokerError::TopicExists {
-                topic: name.to_string(),
-                partitions: existing.partition_count(),
-            });
+            if !existing.is_durable() {
+                return Err(BrokerError::DurabilityMismatch {
+                    topic: name.to_string(),
+                    existing_durable: false,
+                });
+            }
+            return Ok(());
         }
         let topic = Topic::new_durable(name, partitions, retention, cfg)
             .map_err(|e| BrokerError::Storage(format!("open durable topic '{name}': {e}")))?;
@@ -221,11 +240,12 @@ impl Broker {
                 partition,
             }),
             Some(Ok(recs)) => Ok(recs),
-            Some(Err(log_start)) => Err(BrokerError::OffsetOutOfRange {
+            Some(Err(ReadError::Trimmed(log_start))) => Err(BrokerError::OffsetOutOfRange {
                 requested: offset,
                 log_start,
                 high_watermark: t.high_watermark(partition).unwrap_or(log_start),
             }),
+            Some(Err(ReadError::Storage(msg))) => Err(BrokerError::Storage(msg)),
         }
     }
 
@@ -539,6 +559,48 @@ mod tests {
         assert!(b.delete_topic("t"));
         assert!(!b.delete_topic("t"));
         assert!(b.topic("t").is_err());
+    }
+
+    #[test]
+    fn recreate_with_different_durability_errors() {
+        let dir = std::env::temp_dir().join(format!(
+            "pilot-broker-durability-mismatch-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = crate::storage::DurabilityConfig::new(&dir);
+        let b = Broker::new();
+        b.create_topic("mem", 1, RetentionPolicy::unbounded())
+            .unwrap();
+        // Memory-only exists: a durable create must not claim persistence.
+        assert_eq!(
+            b.create_topic_durable("mem", 1, RetentionPolicy::unbounded(), &cfg),
+            Err(BrokerError::DurabilityMismatch {
+                topic: "mem".into(),
+                existing_durable: false
+            })
+        );
+        b.create_topic_durable("dur", 1, RetentionPolicy::unbounded(), &cfg)
+            .unwrap();
+        // Durable exists: idempotent durable re-create is fine …
+        assert!(b
+            .create_topic_durable("dur", 1, RetentionPolicy::unbounded(), &cfg)
+            .is_ok());
+        // … but a memory-only create of the same name is a mismatch.
+        assert_eq!(
+            b.create_topic("dur", 1, RetentionPolicy::unbounded()),
+            Err(BrokerError::DurabilityMismatch {
+                topic: "dur".into(),
+                existing_durable: true
+            })
+        );
+        // Partition-count mismatch still reports TopicExists first.
+        assert!(matches!(
+            b.create_topic_durable("mem", 2, RetentionPolicy::unbounded(), &cfg),
+            Err(BrokerError::TopicExists { .. })
+        ));
+        drop(b);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::broker::{Broker, GroupId, TopicId};
 use crate::error::BrokerError;
+use crate::log::ReadError;
 use crate::record::{Offset, Record};
 use crate::topic::{ArrivalWaiter, Topic};
 use std::collections::HashMap;
@@ -119,11 +120,12 @@ impl Consumer {
                 partition,
             }),
             Some(Ok(recs)) => Ok(recs),
-            Some(Err(log_start)) => Err(BrokerError::OffsetOutOfRange {
+            Some(Err(ReadError::Trimmed(log_start))) => Err(BrokerError::OffsetOutOfRange {
                 requested: offset,
                 log_start,
                 high_watermark: self.handle.high_watermark(partition).unwrap_or(log_start),
             }),
+            Some(Err(ReadError::Storage(msg))) => Err(BrokerError::Storage(msg)),
         }
     }
 
@@ -193,11 +195,12 @@ impl Consumer {
         for (p, res) in ready {
             let recs = match res {
                 Ok(recs) => recs,
-                Err(log_start) => {
+                Err(ReadError::Trimmed(log_start)) => {
                     // Auto-reset and retry this partition non-blocking.
                     self.positions.insert(p, log_start);
                     self.fetch_via_handle(p, log_start, max_per_partition, Duration::ZERO)?
                 }
+                Err(ReadError::Storage(msg)) => return Err(BrokerError::Storage(msg)),
             };
             if let Some(last) = recs.last() {
                 self.positions.insert(p, last.offset + 1);
@@ -255,11 +258,12 @@ impl Consumer {
         for (p, res) in ready {
             let recs = match res {
                 Ok(recs) => recs,
-                Err(log_start) => {
+                Err(ReadError::Trimmed(log_start)) => {
                     // Auto-reset and retry this partition non-blocking.
                     self.positions.insert(p, log_start);
                     self.fetch_via_handle(p, log_start, max_per_partition, Duration::ZERO)?
                 }
+                Err(ReadError::Storage(msg)) => return Err(BrokerError::Storage(msg)),
             };
             if let Some(last) = recs.last() {
                 self.positions.insert(p, last.offset + 1);

@@ -18,6 +18,15 @@ pub enum BrokerError {
     },
     /// A topic was created twice with different partition counts.
     TopicExists { topic: String, partitions: usize },
+    /// A topic was re-created with a different durability mode than the
+    /// existing one (memory-only vs. durable) — silently keeping the
+    /// existing topic would give the caller the wrong persistence
+    /// guarantees.
+    DurabilityMismatch {
+        topic: String,
+        /// Whether the *existing* topic is durable.
+        existing_durable: bool,
+    },
     /// The consumer is not assigned the partition it tried to read.
     NotAssigned { topic: String, partition: usize },
     /// The durable storage engine failed (I/O error opening or recovering
@@ -44,6 +53,20 @@ impl std::fmt::Display for BrokerError {
                 write!(
                     f,
                     "topic '{topic}' already exists with {partitions} partitions"
+                )
+            }
+            BrokerError::DurabilityMismatch {
+                topic,
+                existing_durable,
+            } => {
+                let existing = if *existing_durable {
+                    "durable"
+                } else {
+                    "memory-only"
+                };
+                write!(
+                    f,
+                    "topic '{topic}' already exists as {existing}; re-creation must match"
                 )
             }
             BrokerError::NotAssigned { topic, partition } => {

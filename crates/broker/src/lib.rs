@@ -49,6 +49,7 @@ pub use broker::{Broker, GroupId, PartitionLag, TopicId};
 pub use consumer::Consumer;
 pub use error::BrokerError;
 pub use group::GroupCoordinator;
+pub use log::ReadError;
 pub use mqtt::{MqttBroker, MqttMessage, QoS, Subscription};
 pub use producer::{Partitioner, Producer, ProducerConfig};
 pub use record::{Offset, Record, RecordMetadata};

@@ -36,6 +36,28 @@ use std::sync::Arc;
 /// large enough that segment bookkeeping is negligible.
 pub const SEGMENT_RECORDS: usize = 1024;
 
+/// Why a [`PartitionLog::read`] failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadError {
+    /// The requested offset precedes the retained log (trimmed by
+    /// retention). Carries the current log start, so callers can auto-reset
+    /// (Kafka's `auto.offset.reset = earliest`).
+    Trimmed(Offset),
+    /// A cold segment's file could not be read back, or its frames no
+    /// longer decode — an I/O fault or latent corruption discovered after
+    /// recovery. Only durable logs can produce this.
+    Storage(String),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Trimmed(start) => write!(f, "offset trimmed; log starts at {start}"),
+            ReadError::Storage(msg) => write!(f, "cold segment read failed: {msg}"),
+        }
+    }
+}
+
 /// Sealed segments kept fully in memory behind the active one (a durable
 /// log's hot tail). Older sealed segments are evicted: their records drop
 /// to disk-backed form and fetches read them back through the page cache.
@@ -333,6 +355,17 @@ impl PartitionLog {
         }
     }
 
+    /// Hand a *failed* sync cycle's batch back to the writer so the next
+    /// cycle retries the same positioned writes (see
+    /// [`storage::flusher`](crate::storage::flusher)). Without this the
+    /// batch's bytes would never reach the file, and a later successful
+    /// cycle would advance the durable watermark over the hole.
+    pub(crate) fn requeue_failed_sync(&mut self, batch: SyncBatch) {
+        if let Some(s) = &mut self.store {
+            s.writer.requeue_failed_sync(batch);
+        }
+    }
+
     /// Test-only inline sync cycle: capture, write, fsync, publish —
     /// what `Topic::sync` does through the flusher plumbing.
     #[cfg(test)]
@@ -371,15 +404,16 @@ impl PartitionLog {
     }
 
     /// Read up to `max` records starting at `offset`. An offset below
-    /// `log_start` is an error (data trimmed); an offset at or above the
-    /// high watermark returns an empty vec (nothing there *yet*).
+    /// `log_start` is [`ReadError::Trimmed`]; an offset at or above the
+    /// high watermark returns an empty vec (nothing there *yet*); a cold
+    /// segment whose file fails to read back is [`ReadError::Storage`].
     ///
     /// Resident segments clone records (a `Bytes` refcount bump); evicted
     /// segments are read back from their file in one buffered read — the
     /// page cache serves anything recent — and decoded zero-copy.
-    pub fn read(&self, offset: Offset, max: usize) -> Result<Vec<Record>, Offset> {
+    pub fn read(&self, offset: Offset, max: usize) -> Result<Vec<Record>, ReadError> {
         if offset < self.log_start {
-            return Err(self.log_start);
+            return Err(ReadError::Trimmed(self.log_start));
         }
         let hwm = self.high_watermark();
         if offset >= hwm || max == 0 {
@@ -401,7 +435,10 @@ impl PartitionLog {
             let take = (max - out.len()).min(seg.count - pos);
             if seg.is_evicted() {
                 let disk = seg.disk.as_ref().expect("evicted segment has disk");
-                out.extend(disk.read_records(pos, take));
+                out.extend(
+                    disk.read_records(pos, take)
+                        .map_err(|e| ReadError::Storage(e.to_string()))?,
+                );
             } else {
                 out.extend_from_slice(&seg.records[pos..pos + take]);
             }
@@ -509,7 +546,7 @@ mod tests {
         }
         let start = log.log_start();
         assert!(start > 0);
-        assert_eq!(log.read(0, 1), Err(start));
+        assert_eq!(log.read(0, 1), Err(ReadError::Trimmed(start)));
     }
 
     #[test]
@@ -640,7 +677,44 @@ mod tests {
         let log = open(dir.clone(), RetentionPolicy::unbounded());
         assert_eq!(log.high_watermark(), (SEGMENT_RECORDS * 3) as u64);
         assert!(log.log_start() > 0);
-        assert_eq!(log.read(0, 1), Err(log.log_start()));
+        assert_eq!(log.read(0, 1), Err(ReadError::Trimmed(log.log_start())));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_sync_requeues_no_hole_and_honest_watermark() {
+        let dir = tmp_dir("requeue");
+        let n = 10u64;
+        {
+            let mut log = open(dir.clone(), RetentionPolicy::unbounded());
+            for i in 0..n {
+                log.append(Record::new(vec![i as u8; 24]).with_timestamp(i));
+            }
+            // Simulate a failed cycle: the batch is captured but none of
+            // its writes land (what sync_partition does on an I/O error).
+            let batch = log.prepare_sync().expect("dirty");
+            log.requeue_failed_sync(batch);
+            assert_eq!(
+                log.durable_watermark(),
+                0,
+                "a failed cycle must not publish durability"
+            );
+            for i in n..2 * n {
+                log.append(Record::new(vec![i as u8; 24]).with_timestamp(i));
+            }
+            // The retry cycle covers the requeued bytes AND the new ones.
+            log.test_sync();
+            assert_eq!(log.durable_watermark(), 2 * n);
+        }
+        // Reopen: no hole — the full record set is a clean prefix.
+        let log = open(dir.clone(), RetentionPolicy::unbounded());
+        assert_eq!(log.high_watermark(), 2 * n);
+        let recs = log.read(0, 2 * n as usize).unwrap();
+        assert_eq!(recs.len(), 2 * n as usize);
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.offset, i as u64);
+            assert_eq!(r.value.as_ref(), &[i as u8; 24][..]);
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

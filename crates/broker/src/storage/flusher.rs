@@ -59,14 +59,27 @@ pub(crate) fn sync_now(
 /// One full capture-and-sync cycle for a single partition. Shared by the
 /// scheduler loop and the explicit [`Topic::sync`](crate::Topic::sync)
 /// path. Returns the bytes retired (0 if the partition was clean).
+///
+/// On failure the captured batch is handed back to the writer
+/// ([`PartitionLog::requeue_failed_sync`](crate::log::PartitionLog)) so the
+/// next cycle retries the same positioned writes. Dropping it would punch a
+/// hole in the segment file that a *later* successful cycle's
+/// `fetch_max(hwm)` would then claim durable — recovery would truncate at
+/// the hole, losing records the watermark promised, and a cold fetch of an
+/// evicted segment spanning it would fail. The bytes also stay accounted in
+/// `dirty_bytes` (never decremented on the failed path), keeping the
+/// early-kick threshold honest while the disk misbehaves.
 pub(crate) fn sync_partition(handle: &PartitionHandle, stats: &StoreStats) -> io::Result<u64> {
     let _cycle = handle.sync_mu.lock();
     let batch = handle.log.lock().prepare_sync();
     match batch {
-        Some(b) => {
-            sync_now(&b, stats, &handle.durable, &handle.mark)?;
-            Ok(b.bytes)
-        }
+        Some(b) => match sync_now(&b, stats, &handle.durable, &handle.mark) {
+            Ok(()) => Ok(b.bytes),
+            Err(e) => {
+                handle.log.lock().requeue_failed_sync(b);
+                Err(e)
+            }
+        },
         None => Ok(0),
     }
 }
@@ -192,8 +205,9 @@ fn run_loop(inner: &FlushInner) {
         }
         for handle in &inner.partitions {
             if let Err(e) = sync_partition(handle, &inner.stats) {
-                // A failing disk can't be handled from here; surface it and
-                // keep the watermark honest by *not* advancing it.
+                // A failing disk can't be handled from here; surface it.
+                // The batch was re-queued and the watermark held back, so
+                // the next cycle retries the same writes.
                 eprintln!("pilot-broker flusher: sync failed: {e}");
             }
         }

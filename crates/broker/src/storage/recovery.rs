@@ -283,7 +283,7 @@ mod tests {
         assert_eq!(rec.segments[1].base_offset, 4);
         assert_eq!(rec.segments[1].max_ts, 60);
         // Recovered index serves reads.
-        let recs = rec.segments[1].disk.read_records(1, 2);
+        let recs = rec.segments[1].disk.read_records(1, 2).unwrap();
         assert_eq!(recs[0].offset, 5);
         assert_eq!(recs[0].value.as_ref(), &[5u8; 50][..]);
         let _ = std::fs::remove_dir_all(&dir);

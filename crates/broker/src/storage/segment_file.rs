@@ -52,10 +52,28 @@ pub fn frame_size(record: &Record) -> usize {
     FRAME_HEADER + BODY_FIXED + record.key.as_ref().map_or(0, |k| k.len()) + record.value.len()
 }
 
+/// True when a frame body of `body_len` bytes can be decoded back.
+/// Decode/recovery treat anything larger than [`MAX_BODY`] as corruption,
+/// so writing such a frame would make reopen truncate the log at it —
+/// silently dropping it and every later record the durable watermark
+/// covered (and past 4 GiB the u32 length field would wrap).
+pub const fn body_fits(body_len: usize) -> bool {
+    body_len as u64 <= MAX_BODY as u64
+}
+
 /// Append `record`'s frame to `buf`. Returns the frame's size in bytes.
+///
+/// # Panics
+/// If the body exceeds [`MAX_BODY`]: an unrecoverable frame must never
+/// reach a segment file (see [`body_fits`]).
 pub fn encode_frame(buf: &mut Vec<u8>, record: &Record) -> usize {
     let key_len = record.key.as_ref().map_or(0, |k| k.len());
     let body_len = BODY_FIXED + key_len + record.value.len();
+    assert!(
+        body_fits(body_len),
+        "record frame body of {body_len} bytes exceeds MAX_BODY ({MAX_BODY}); \
+         refusing to write a frame recovery could never read back"
+    );
     buf.reserve(FRAME_HEADER + body_len);
     buf.extend_from_slice(&(body_len as u32).to_le_bytes());
     let crc_at = buf.len();
@@ -253,6 +271,17 @@ mod tests {
             decode_frame(&Bytes::from(buf), 0),
             Err(FrameError::BadLength)
         );
+    }
+
+    #[test]
+    fn body_size_gate_matches_decode_limit() {
+        // Everything encode accepts, decode's length check accepts too —
+        // and the first rejected size is exactly decode's corruption
+        // threshold, so no frame can be written that reopen would truncate.
+        assert!(body_fits(BODY_FIXED));
+        assert!(body_fits(MAX_BODY as usize));
+        assert!(!body_fits(MAX_BODY as usize + 1));
+        assert!(!body_fits(u32::MAX as usize + 2)); // would wrap the u32 len
     }
 
     #[test]

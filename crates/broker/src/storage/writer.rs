@@ -58,10 +58,14 @@ impl DiskSegment {
     /// Read `take` records starting at in-segment index `rel` — one
     /// buffered read covering exactly the wanted frames (served from the
     /// page cache for anything recent), then zero-copy frame decode.
-    pub fn read_records(&self, rel: usize, take: usize) -> Vec<Record> {
+    ///
+    /// Errors (a bad sector, corruption that slipped past recovery) are
+    /// returned, not panicked: a fetch hitting latent damage must surface
+    /// it to the caller, not take down the consumer thread.
+    pub fn read_records(&self, rel: usize, take: usize) -> io::Result<Vec<Record>> {
         let take = take.min(self.positions.len().saturating_sub(rel));
         if take == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let start = self.positions[rel];
         let end = self
@@ -70,24 +74,30 @@ impl DiskSegment {
             .copied()
             .unwrap_or(self.data_len);
         let mut buf = vec![0u8; (end - start) as usize];
-        read_exact_at(&self.file, &mut buf, start).unwrap_or_else(|e| {
-            panic!("segment read {}@{start}: {e}", self.path.display());
-        });
+        read_exact_at(&self.file, &mut buf, start).map_err(|e| {
+            io::Error::new(
+                e.kind(),
+                format!("segment read {}@{start}: {e}", self.path.display()),
+            )
+        })?;
         let data = Bytes::from(buf);
         let mut out = Vec::with_capacity(take);
         let mut pos = 0usize;
         for _ in 0..take {
-            let (rec, next) = decode_frame(&data, pos).unwrap_or_else(|e| {
-                panic!(
-                    "segment {} corrupt at file pos {}: {e}",
-                    self.path.display(),
-                    start + pos as u64
-                );
-            });
+            let (rec, next) = decode_frame(&data, pos).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "segment {} corrupt at file pos {}: {e}",
+                        self.path.display(),
+                        start + pos as u64
+                    ),
+                )
+            })?;
             out.push(rec);
             pos = next;
         }
-        out
+        Ok(out)
     }
 }
 
@@ -148,7 +158,10 @@ impl PendingWrite {
 pub struct SyncBatch {
     /// Buffered bytes to write before the fsync, with their positions.
     /// Handles are clones, so retention or a concurrent roll cannot
-    /// invalidate them mid-cycle. At most one entry per file.
+    /// invalidate them mid-cycle. Usually one entry per file; a batch
+    /// re-queued after a failed cycle may contribute additional entries
+    /// for the same file (harmless — writes are positioned, the covering
+    /// fsync just runs once more).
     pub writes: Vec<PendingWrite>,
     /// High watermark at capture time — the durable watermark once the
     /// writes land and their files are synced.
@@ -283,6 +296,24 @@ impl PartitionWriter {
             file_len: self.captured_len,
         })
     }
+
+    /// Hand a *failed* sync cycle's batch back for retry: its positioned
+    /// writes rejoin the pending list (order-free — every write carries its
+    /// own file position) and the dirty count is restored so the next
+    /// [`PartitionWriter::prepare_sync`] captures them again. Dropping the
+    /// batch instead would leave a hole in the segment file that a later
+    /// successful cycle's watermark would then claim durable.
+    ///
+    /// `StoreStats::dirty_bytes` is deliberately untouched: the failed
+    /// cycle never decremented it, so the bytes are still accounted dirty.
+    pub fn requeue_failed_sync(&mut self, batch: SyncBatch) {
+        let SyncBatch {
+            mut writes, bytes, ..
+        } = batch;
+        writes.append(&mut self.pending);
+        self.pending = writes;
+        self.dirty += bytes;
+    }
 }
 
 impl Drop for PartitionWriter {
@@ -293,7 +324,14 @@ impl Drop for PartitionWriter {
         // contract, not Drop's.
         self.capture_buf();
         for w in &self.pending {
-            let _ = w.perform();
+            if let Err(e) = w.perform() {
+                // Can't propagate from Drop; make the lost tail observable
+                // (reopen will recover only what reached the files).
+                eprintln!(
+                    "pilot-broker writer: shutdown flush of {} failed: {e}",
+                    self.path.display()
+                );
+            }
         }
     }
 }
@@ -359,14 +397,14 @@ mod tests {
         for pw in &batch.writes {
             pw.perform().unwrap();
         }
-        let recs = sealed.read_records(3, 4);
+        let recs = sealed.read_records(3, 4).unwrap();
         assert_eq!(recs.len(), 4);
         assert_eq!(recs[0].offset, 3);
         assert_eq!(recs[3].offset, 6);
         assert_eq!(recs[1].value.as_ref(), &[4u8; 64][..]);
         // Reading past the end clamps.
-        assert_eq!(sealed.read_records(8, 10).len(), 2);
-        assert!(sealed.read_records(10, 1).is_empty());
+        assert_eq!(sealed.read_records(8, 10).unwrap().len(), 2);
+        assert!(sealed.read_records(10, 1).unwrap().is_empty());
         drop(w);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -387,6 +425,69 @@ mod tests {
         assert_eq!(batch.seg_base, 4);
         assert!(batch.bytes > 0);
         assert!(w.prepare_sync(5).is_none(), "clean after capture");
+        drop(w);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn requeue_failed_sync_retries_the_same_bytes() {
+        let dir = tmp_dir("requeue");
+        let stats = Arc::new(StoreStats::default());
+        let seg_path = dir.join(segment_file_name(0));
+        let mut w = PartitionWriter::create(dir.clone(), 0, Arc::clone(&stats)).unwrap();
+        for i in 0..4 {
+            w.append(&rec(i, 32));
+        }
+        let batch = w.prepare_sync(4).expect("dirty");
+        let first_bytes = batch.bytes;
+        // Simulate a failed cycle: none of the writes performed. The batch
+        // goes back; the writer must stay dirty with the same bytes.
+        w.requeue_failed_sync(batch);
+        w.append(&rec(4, 32));
+        let retry = w.prepare_sync(5).expect("still dirty after requeue");
+        assert!(
+            retry.bytes > first_bytes,
+            "retry covers the requeued bytes plus the new append"
+        );
+        for pw in &retry.writes {
+            pw.perform().unwrap();
+        }
+        // No hole: the sealed file decodes end to end.
+        let sealed = w.seal_and_roll(5).unwrap();
+        assert_eq!(file_len(&seg_path), sealed.data_len);
+        let recs = sealed.read_records(0, 5).unwrap();
+        assert_eq!(recs.len(), 5);
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.offset, i as u64);
+        }
+        assert!(
+            w.prepare_sync(5).is_none(),
+            "clean once the retry performed"
+        );
+        drop(w);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cold_segment_read_errors_instead_of_panicking() {
+        let dir = tmp_dir("corrupt-read");
+        let stats = Arc::new(StoreStats::default());
+        let mut w = PartitionWriter::create(dir.clone(), 0, stats).unwrap();
+        for i in 0..3 {
+            w.append(&rec(i, 48));
+        }
+        let sealed = w.seal_and_roll(3).unwrap();
+        let batch = w.prepare_sync(3).expect("dirty");
+        for pw in &batch.writes {
+            pw.perform().unwrap();
+        }
+        assert_eq!(sealed.read_records(0, 3).unwrap().len(), 3);
+        // Latent corruption after recovery: flip a body byte of record 1.
+        write_all_at(&sealed.file, &[0xFF], sealed.positions[1] + 20).unwrap();
+        let err = sealed.read_records(0, 3).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Undamaged records before the corruption still read fine.
+        assert_eq!(sealed.read_records(0, 1).unwrap().len(), 1);
         drop(w);
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -1,7 +1,7 @@
 //! Topics: named sets of partitions with blocking-fetch support and a
 //! waker-based readiness registry for event-driven consumers.
 
-use crate::log::PartitionLog;
+use crate::log::{PartitionLog, ReadError};
 use crate::record::{Offset, Record};
 use crate::retention::RetentionPolicy;
 use crate::storage::flusher::{sync_partition, FlushScheduler};
@@ -288,13 +288,15 @@ impl Topic {
         st.watchers.iter().map(Vec::len).sum()
     }
 
-    /// Non-blocking read. `Err(log_start)` when `offset` was trimmed.
+    /// Non-blocking read. `Err(ReadError::Trimmed)` when `offset` was
+    /// trimmed; `Err(ReadError::Storage)` when a cold segment failed to
+    /// read back.
     pub fn read(
         &self,
         partition: usize,
         offset: Offset,
         max: usize,
-    ) -> Option<Result<Vec<Record>, Offset>> {
+    ) -> Option<Result<Vec<Record>, ReadError>> {
         let p = self.partitions.get(partition)?;
         Some(p.log.lock().read(offset, max))
     }
@@ -312,7 +314,7 @@ impl Topic {
         offset: Offset,
         max: usize,
         timeout: Duration,
-    ) -> Option<Result<Vec<Record>, Offset>> {
+    ) -> Option<Result<Vec<Record>, ReadError>> {
         let p = self.partitions.get(partition)?;
         let deadline = Instant::now() + timeout;
         let mut log = p.log.lock();
@@ -354,7 +356,7 @@ impl Topic {
         max_per_partition: usize,
         waiter: &ArrivalWaiter,
         waker: &Waker,
-    ) -> Vec<(usize, Result<Vec<Record>, Offset>)> {
+    ) -> Vec<(usize, Result<Vec<Record>, ReadError>)> {
         loop {
             // Snapshot the arrival sequence *before* the sweep: an append
             // landing mid-sweep bumps it, so the registration-time re-check
@@ -408,8 +410,9 @@ impl Topic {
     /// `timeout` for *any* of them to have data.
     ///
     /// Returns one `(partition, result)` pair per partition that yielded
-    /// records or a trimmed-offset error (`Err(log_start)`); partitions
-    /// that are merely empty are omitted, and unknown partitions are
+    /// records or a read error ([`ReadError::Trimmed`] /
+    /// [`ReadError::Storage`]); partitions that are merely empty are
+    /// omitted, and unknown partitions are
     /// skipped. Built on [`Topic::read_many_or_register`] with a
     /// thread-parking waker: a blocked member is woken only by appends to
     /// partitions it actually reads, so ten thousand parked members cost an
@@ -419,7 +422,7 @@ impl Topic {
         requests: &[(usize, Offset)],
         max_per_partition: usize,
         timeout: Duration,
-    ) -> Vec<(usize, Result<Vec<Record>, Offset>)> {
+    ) -> Vec<(usize, Result<Vec<Record>, ReadError>)> {
         let deadline = Instant::now() + timeout;
         let waiter = self.arrival_waiter();
         let unparker = Arc::new(ThreadUnparker {
