@@ -333,6 +333,67 @@ fn bench_log_append(c: &mut Criterion) {
     group.finish();
 }
 
+/// The parameter-plane ladder behind the federation merge loop: reading
+/// 64 cell keys per merge round, per-key vs batched. `get_many` and
+/// `get_many_if_newer` group keys by shard and take each shard lock once
+/// per batch — one lock round per *shard*, not per *cell* — which is what
+/// keeps a 1024-cell parameter plane off the lock-acquisition cliff.
+/// `put_many` is the regions' fan-down write-back path.
+fn bench_params_ops(c: &mut Criterion) {
+    use pilot_params::ParameterServer;
+    const KEYS: usize = 64;
+    const DIM: usize = 33; // [samples, 32-feature model]
+    let keys: Vec<String> = (0..KEYS).map(|k| format!("cell:{k}")).collect();
+    let seeded = || {
+        let server = ParameterServer::new();
+        for key in &keys {
+            server.put(key, vec![1.0; DIM]);
+        }
+        server
+    };
+    let mut group = c.benchmark_group("params_ops");
+    group.bench_function("get_per_key", |b| {
+        let server = seeded();
+        b.iter(|| keys.iter().map(|k| server.get(k)).collect::<Vec<_>>());
+    });
+    group.bench_function("get_many_batched", |b| {
+        let server = seeded();
+        b.iter(|| server.get_many(&keys));
+    });
+    group.bench_function("get_if_newer_per_key", |b| {
+        let server = seeded();
+        b.iter(|| {
+            keys.iter()
+                .map(|k| server.get_if_newer(k, 0))
+                .collect::<Vec<_>>()
+        });
+    });
+    group.bench_function("get_many_if_newer_batched", |b| {
+        let server = seeded();
+        let reqs: Vec<(String, u64)> = keys.iter().map(|k| (k.clone(), 0u64)).collect();
+        b.iter(|| server.get_many_if_newer(&reqs));
+    });
+    group.bench_function("put_per_key", |b| {
+        let server = seeded();
+        b.iter(|| {
+            for key in &keys {
+                server.put(key, vec![1.0; DIM]);
+            }
+        });
+    });
+    group.bench_function("put_many_batched", |b| {
+        let server = seeded();
+        b.iter(|| {
+            server.put_many(
+                keys.iter()
+                    .map(|k| (k.clone(), vec![1.0; DIM]))
+                    .collect::<Vec<_>>(),
+            )
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_broker,
@@ -343,6 +404,7 @@ criterion_group!(
     bench_link_transfer,
     bench_metrics,
     bench_span_record,
-    bench_offset_commit
+    bench_offset_commit,
+    bench_params_ops
 );
 criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Federation scale-out sweep (DESIGN.md §14): 1 → 1024 edge cells at a
+//! **fixed aggregate message count**, every cell on one shared reactor
+//! and one shared compute pool, with hierarchical FedAvg running
+//! continuously over the sharded parameter plane — the experiment behind
+//! `results_federation.csv`.
+//!
+//! What the sweep isolates is pure *federation* overhead: total work is
+//! constant (same messages, same points), only the number of cells it is
+//! spread across changes. Each added cell brings its own broker, its own
+//! pooled pilot, a producer + consumer reactor task, and a share of the
+//! region/cloud merge traffic — but **no OS threads**. The acceptance
+//! bounds:
+//!
+//! * per-message overhead at 1024 cells ≤ 2× the 16-cell anchor, and
+//! * the 1024-cell run adds ≤ 64 OS threads over the pre-run baseline
+//!   (checked on Linux via `/proc/self/status`).
+//!
+//! Usage: `cargo run -p pilot-bench --release --bin federation`
+//! (honours `PILOT_BENCH_QUICK`; `PILOT_BENCH_FED_TOTAL` overrides the
+//! aggregate message count; `PILOT_BENCH_FED_CELLS` caps the sweep).
+
+use pilot_edge::federation::{self, FederationConfig};
+use std::time::Duration;
+
+/// Devices (= broker partitions) per cell, constant across the sweep.
+const DEVICES_PER_CELL: usize = 4;
+/// Points per message (the paper's workload).
+const POINTS: usize = 25;
+
+fn quick() -> bool {
+    std::env::var("PILOT_BENCH_QUICK").is_ok()
+}
+
+fn reactor_threads() -> usize {
+    if quick() {
+        2
+    } else {
+        8
+    }
+}
+
+/// Aggregate messages per run, split evenly across cells × devices.
+fn total_messages() -> usize {
+    if let Ok(v) = std::env::var("PILOT_BENCH_FED_TOTAL") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    if quick() {
+        2048
+    } else {
+        16384
+    }
+}
+
+fn cell_sweep() -> Vec<usize> {
+    let cap = std::env::var("PILOT_BENCH_FED_CELLS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(if quick() { 64 } else { 1024 });
+    [1usize, 4, 16, 64, 256, 1024]
+        .into_iter()
+        .filter(|c| *c <= cap)
+        .collect()
+}
+
+#[cfg(target_os = "linux")]
+fn os_thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+                .ok_or_else(|| std::io::Error::other("no Threads: line"))
+        })
+        .unwrap_or(0)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn os_thread_count() -> usize {
+    0
+}
+
+fn main() {
+    let total = total_messages();
+    let rt = reactor_threads();
+    println!(
+        "# federation — 1..1024-cell scale-out at fixed aggregate messages \
+         ({total} msgs x {POINTS} points), shared reactor ({rt} threads), \
+         shared sequential compute pool, hierarchical FedAvg"
+    );
+    println!(
+        "cells,regions,devices_per_cell,messages_per_device,messages,points,\
+         reactor_threads,wall_ms,overhead_us_per_msg,throughput_msgs_s,\
+         cloud_rounds,region_rounds,params_gets,params_puts,threads_added"
+    );
+    let mut anchor_16: Option<f64> = None;
+    let mut at_1024: Option<f64> = None;
+    for cells in cell_sweep() {
+        let messages_per_device = (total / (cells * DEVICES_PER_CELL)).max(1);
+        let cfg = FederationConfig {
+            cells,
+            regions: cells.min(8),
+            devices_per_cell: DEVICES_PER_CELL,
+            messages_per_device,
+            points: POINTS,
+            skew: 1.0,
+            reactor_threads: rt,
+            merge_interval: Duration::from_micros(500),
+            telemetry_sample_ms: Some(10),
+            ..FederationConfig::default()
+        };
+        let regions = cfg.regions;
+        let expected = cfg.expected_messages();
+        let before = os_thread_count();
+        let running = federation::start(cfg).expect("federation start");
+        let during = os_thread_count();
+        let summary = running
+            .wait(Duration::from_secs(600))
+            .expect("federation run");
+        assert_eq!(
+            summary.processed, expected,
+            "messages lost at {cells} cells"
+        );
+        assert!(summary.global.is_some(), "no global model at {cells} cells");
+        let threads_added = during.saturating_sub(before);
+        let overhead_us = summary.per_message_us();
+        println!(
+            "{},{},{},{},{},{},{},{:.1},{:.2},{:.2},{},{},{},{},{}",
+            cells,
+            regions,
+            DEVICES_PER_CELL,
+            messages_per_device,
+            summary.processed,
+            POINTS,
+            rt,
+            summary.wall.as_secs_f64() * 1e3,
+            overhead_us,
+            summary.throughput(),
+            summary.cloud_rounds,
+            summary.region_rounds,
+            summary.params_gets,
+            summary.params_puts,
+            threads_added,
+        );
+        if cells == 16 {
+            anchor_16 = Some(overhead_us);
+        }
+        if cells == 1024 {
+            at_1024 = Some(overhead_us);
+            assert!(
+                threads_added <= 64,
+                "1024 cells added {threads_added} OS threads (budget 64)"
+            );
+        }
+    }
+    // Acceptance curve: 1024-cell per-message overhead vs the 16-cell
+    // anchor must stay within 2×.
+    if let (Some(anchor), Some(large)) = (anchor_16, at_1024) {
+        let ratio = large / anchor;
+        eprintln!(
+            "federation overhead 1024 cells / 16 cells = {ratio:.2}x \
+             ({large:.2} us vs {anchor:.2} us per message)"
+        );
+        assert!(
+            ratio <= 2.0,
+            "per-message overhead grew {ratio:.2}x from 16 to 1024 cells \
+             (acceptance bound: 2x)"
+        );
+    }
+}

@@ -7,12 +7,15 @@
 //! per component) plus an optional Chrome `trace_event` export.
 //!
 //! ```text
-//! pilot_top [wan|compute]
+//! pilot_top [wan|compute|federation]
 //!
-//!   wan      transatlantic edge→broker link, baseline model — the
-//!            network link dominates (default)
-//!   compute  local links, isolation-forest model on large messages —
-//!            the cloud processors dominate
+//!   wan        transatlantic edge→broker link, baseline model — the
+//!              network link dominates (default)
+//!   compute    local links, isolation-forest model on large messages —
+//!              the cloud processors dominate
+//!   federation 64 edge cells -> 4 regions -> cloud on one shared
+//!              reactor: per-tier lag, merge rounds, and parameter-plane
+//!              traffic (DESIGN.md §14)
 //!
 //! Env:
 //!   PILOT_TOP_TRACE=<path>  write a Perfetto-loadable Chrome trace and
@@ -72,8 +75,92 @@ fn print_frame(frame: &TelemetryFrame, processed: u64, expected: u64) {
     println!();
 }
 
+/// Gauges of the federation scenario's live table, in display order.
+const FED_GAUGES: &[&str] = &[
+    pilot_edge::federation::GAUGE_FED_CELLS_ACTIVE,
+    pilot_edge::federation::GAUGE_FED_LAG_CELLS,
+    pilot_edge::federation::GAUGE_FED_LAG_REGIONS,
+    pilot_edge::federation::GAUGE_FED_LAG_CLOUD,
+    pilot_edge::federation::GAUGE_FED_ROUNDS,
+    pilot_edge::federation::GAUGE_FED_ROUND_MS,
+    pilot_edge::federation::GAUGE_PARAMS_GETS,
+    pilot_edge::federation::GAUGE_PARAMS_PUTS,
+    "consumer.reactor.ready_queue_depth",
+];
+
+/// The federation scenario: a live per-tier view of a 64-cell continuum
+/// (cells → regions → cloud) on one shared reactor.
+fn run_federation_scenario() {
+    use pilot_edge::federation::{self, FederationConfig};
+    let quick = std::env::var("PILOT_BENCH_QUICK").is_ok();
+    let messages = std::env::var("PILOT_BENCH_MESSAGES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 8 } else { 64 });
+    let cfg = FederationConfig {
+        cells: 64,
+        regions: 4,
+        devices_per_cell: 2,
+        messages_per_device: messages,
+        points: if quick { 25 } else { 100 },
+        skew: 1.0,
+        reactor_threads: 4,
+        telemetry_sample_ms: Some(5),
+        ..FederationConfig::default()
+    };
+    let expected = cfg.expected_messages();
+    eprintln!(
+        "pilot_top: scenario 'federation' — {} cells × {} devices × {} msgs \
+         -> {} regions -> cloud",
+        cfg.cells, cfg.devices_per_cell, cfg.messages_per_device, cfg.regions
+    );
+    let running = federation::start(cfg).expect("federation start");
+
+    let deadline = Instant::now() + Duration::from_secs(600);
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        let processed = running.processed();
+        if let Some(frame) = running.sampler().and_then(|s| s.latest()) {
+            println!("t={:>9}µs  processed {processed}/{expected}", frame.t_us);
+            for name in FED_GAUGES {
+                if let Some(v) = frame.value(name) {
+                    println!("  {name:<34} {v:>12}");
+                }
+            }
+            println!();
+        }
+        if processed >= expected || Instant::now() > deadline {
+            break;
+        }
+    }
+    let frames = running.sampler().map(|s| s.frames()).unwrap_or_default();
+    let summary = running
+        .wait(Duration::from_secs(600))
+        .expect("federation run");
+    assert!(
+        !frames.is_empty(),
+        "telemetry plane was on but produced no frames"
+    );
+    println!(
+        "run complete: {} msgs in {:.1} ms ({:.1} msgs/s, {:.2} us/msg), \
+         {} regional + {} cloud rounds, {} gets / {} puts",
+        summary.processed,
+        summary.wall.as_secs_f64() * 1e3,
+        summary.throughput(),
+        summary.per_message_us(),
+        summary.region_rounds,
+        summary.cloud_rounds,
+        summary.params_gets,
+        summary.params_puts,
+    );
+}
+
 fn main() {
     let scenario_name = std::env::args().nth(1).unwrap_or_else(|| "wan".into());
+    if scenario_name == "federation" {
+        run_federation_scenario();
+        return;
+    }
     let opts = scenario(&scenario_name);
     let expected = (opts.devices * opts.messages_per_device) as u64;
     eprintln!(

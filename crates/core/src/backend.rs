@@ -296,6 +296,7 @@ mod tests {
             walltime: None,
             site: "cloud".into(),
             class: pilot_metrics::ResourceClass::CloudMedium,
+            pooled: false,
         };
         let p1 = b.provision(&desc).unwrap();
         assert_eq!(p1.boot_delay, b.cold_start);
@@ -317,6 +318,7 @@ mod tests {
             walltime: None,
             site: "cloud".into(),
             class: pilot_metrics::ResourceClass::CloudMedium,
+            pooled: false,
         };
         let held = b.provision(&desc).unwrap();
         assert_eq!(b.provision(&desc).err(), Some(PilotError::Timeout));

@@ -24,6 +24,12 @@ pub struct PilotDescription {
     pub site: String,
     /// Hardware class for energy accounting.
     pub class: ResourceClass,
+    /// Pooled pilots book capacity (cores/memory accounting, broker and
+    /// parameter-server hosting) without booting a private task cluster —
+    /// their compute runs on an externally shared pool. This is how a
+    /// 1024-cell federation activates 1024 pilots while adding zero
+    /// worker threads per pilot; see `pilot_edge::federation`.
+    pub pooled: bool,
 }
 
 impl PilotDescription {
@@ -36,6 +42,7 @@ impl PilotDescription {
             walltime: None,
             site: "local".to_string(),
             class: ResourceClass::CloudMedium,
+            pooled: false,
         }
     }
 
@@ -51,6 +58,7 @@ impl PilotDescription {
             walltime: None,
             site: site.to_string(),
             class: ResourceClass::EdgeDevice,
+            pooled: false,
         }
     }
 
@@ -63,6 +71,7 @@ impl PilotDescription {
             walltime: None,
             site: "lrz".to_string(),
             class: ResourceClass::CloudMedium,
+            pooled: false,
         }
     }
 
@@ -76,6 +85,7 @@ impl PilotDescription {
             walltime: None,
             site: "lrz".to_string(),
             class: ResourceClass::CloudLarge,
+            pooled: false,
         }
     }
 
@@ -88,6 +98,7 @@ impl PilotDescription {
             walltime: None,
             site: "jetstream".to_string(),
             class: ResourceClass::CloudMedium,
+            pooled: false,
         }
     }
 
@@ -100,7 +111,24 @@ impl PilotDescription {
             walltime: Some(Duration::from_secs(3600)),
             site: "hpc".to_string(),
             class: ResourceClass::HpcNode,
+            pooled: false,
         }
+    }
+
+    /// A pooled local pilot: books `cores`/`memory_gb` of capacity and can
+    /// host a broker or parameter server, but boots no private task
+    /// cluster — its compute multiplexes onto an externally shared pool.
+    /// The per-cell pilot shape for large federations.
+    pub fn pooled(cores: usize, memory_gb: f64) -> Self {
+        let mut d = Self::local(cores, memory_gb);
+        d.pooled = true;
+        d
+    }
+
+    /// Builder: mark the pilot pooled (no private task cluster).
+    pub fn with_pooled(mut self) -> Self {
+        self.pooled = true;
+        self
     }
 
     /// Builder: set the walltime.
@@ -182,5 +210,15 @@ mod tests {
             .with_site("lab");
         assert_eq!(d.walltime, Some(Duration::from_secs(60)));
         assert_eq!(d.site, "lab");
+    }
+
+    #[test]
+    fn pooled_constructor_and_builder() {
+        assert!(!PilotDescription::local(1, 1.0).pooled);
+        let p = PilotDescription::pooled(2, 4.0);
+        assert!(p.pooled);
+        assert_eq!(p.scheme(), "local");
+        assert!(PilotDescription::local(1, 1.0).with_pooled().pooled);
+        assert!(p.validate().is_ok());
     }
 }

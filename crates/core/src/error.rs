@@ -15,6 +15,9 @@ pub enum PilotError {
     Timeout,
     /// The pilot's walltime was exceeded.
     WalltimeExceeded,
+    /// The pilot is pooled: it books capacity but hosts no private task
+    /// cluster, so cluster-backed operations are unavailable.
+    Pooled,
 }
 
 impl std::fmt::Display for PilotError {
@@ -26,6 +29,9 @@ impl std::fmt::Display for PilotError {
             PilotError::NotActive(s) => write!(f, "pilot not active (state: {s})"),
             PilotError::Timeout => write!(f, "timed out waiting for pilot"),
             PilotError::WalltimeExceeded => write!(f, "pilot walltime exceeded"),
+            PilotError::Pooled => {
+                write!(f, "pooled pilot hosts no task cluster (compute is shared)")
+            }
         }
     }
 }

@@ -113,8 +113,13 @@ impl Pilot {
             let mut slot = self.inner.slot.lock();
             *slot = provisioned.slot;
         }
-        let cluster = LocalCluster::new(self.desc.cores, self.desc.memory_gb);
-        *self.inner.cluster.lock() = Some(cluster);
+        // Pooled pilots book capacity only: no private worker cluster, so
+        // a 1024-pilot federation activates without spawning 1024×cores
+        // threads. Their compute multiplexes onto a shared external pool.
+        if !self.desc.pooled {
+            let cluster = LocalCluster::new(self.desc.cores, self.desc.memory_gb);
+            *self.inner.cluster.lock() = Some(cluster);
+        }
         if !self.transition(PilotState::Active) {
             // Cancelled during boot: tear the cluster back down.
             self.inner.cluster.lock().take();
@@ -149,10 +154,14 @@ impl Pilot {
     }
 
     /// A task-submission client for the pilot's cluster (Active only).
+    /// Pooled pilots have no cluster and return [`PilotError::Pooled`].
     pub fn client(&self) -> Result<Client, PilotError> {
         let state = self.state();
         if state != PilotState::Active {
             return Err(PilotError::NotActive(state));
+        }
+        if self.desc.pooled {
+            return Err(PilotError::Pooled);
         }
         let guard = self.inner.cluster.lock();
         guard

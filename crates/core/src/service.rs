@@ -86,6 +86,56 @@ impl PilotComputeService {
         Ok(pilot)
     }
 
+    /// Provision a fleet of pilots on ONE background thread and block
+    /// until every one is Active (or the first failure/timeout).
+    ///
+    /// [`Self::create_pilot`] spawns a lifecycle thread per pilot; for a
+    /// 1024-cell federation that is a 1024-thread spike just to flip
+    /// state machines whose local backend boots instantly. Here the whole
+    /// fleet shares a single transient `pilot-fleet-lifecycle` thread —
+    /// the federation layer's O(k)-threads budget starts at provisioning.
+    pub fn submit_fleet(
+        &self,
+        descs: Vec<PilotDescription>,
+        timeout: Duration,
+    ) -> Result<Vec<Pilot>, PilotError> {
+        let mut work = Vec::with_capacity(descs.len());
+        let mut fleet = Vec::with_capacity(descs.len());
+        for desc in descs {
+            desc.validate().map_err(PilotError::InvalidDescription)?;
+            let backend = self
+                .backends
+                .lock()
+                .get(desc.scheme())
+                .cloned()
+                .ok_or_else(|| PilotError::UnknownScheme(desc.scheme().to_string()))?;
+            let id = {
+                let mut n = self.next_id.lock();
+                let id = *n;
+                *n += 1;
+                id
+            };
+            let pilot = Pilot::new(id, desc);
+            self.pilots.lock().push(pilot.clone());
+            fleet.push(pilot.clone());
+            work.push((pilot, backend));
+        }
+        std::thread::Builder::new()
+            .name("pilot-fleet-lifecycle".to_string())
+            .spawn(move || {
+                for (pilot, backend) in work {
+                    pilot.run_lifecycle(backend);
+                }
+            })
+            .expect("spawn fleet lifecycle thread");
+        let deadline = std::time::Instant::now() + timeout;
+        for pilot in &fleet {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            pilot.wait_active(left)?;
+        }
+        Ok(fleet)
+    }
+
     /// All pilots ever created by this service.
     pub fn pilots(&self) -> Vec<Pilot> {
         self.pilots.lock().clone()
@@ -354,6 +404,40 @@ mod tests {
         let pilot = svc.submit_and_wait(desc, WAIT).unwrap();
         let f = pilot.client().unwrap().submit("fn", || Ok(1u8)).unwrap();
         assert_eq!(f.wait_as::<u8>().unwrap(), 1);
+    }
+
+    #[test]
+    fn fleet_activates_on_one_lifecycle_thread() {
+        let svc = PilotComputeService::new();
+        let fleet = svc
+            .submit_fleet(
+                (0..32).map(|_| PilotDescription::pooled(1, 0.5)).collect(),
+                WAIT,
+            )
+            .unwrap();
+        assert_eq!(fleet.len(), 32);
+        let mut ids = std::collections::BTreeSet::new();
+        for p in &fleet {
+            assert_eq!(p.state(), PilotState::Active);
+            // Pooled: capacity booked, but no private cluster to submit to.
+            assert_eq!(p.client().err(), Some(PilotError::Pooled));
+            // Hosting still works without a cluster.
+            assert!(p.start_broker().is_ok());
+            ids.insert(p.id());
+        }
+        assert_eq!(ids.len(), 32, "fleet ids are unique");
+        assert_eq!(svc.pilots().len(), 32);
+    }
+
+    #[test]
+    fn fleet_rejects_invalid_description_up_front() {
+        let svc = PilotComputeService::new();
+        let mut bad = PilotDescription::local(1, 1.0);
+        bad.cores = 0;
+        let err = svc
+            .submit_fleet(vec![PilotDescription::local(1, 1.0), bad], WAIT)
+            .unwrap_err();
+        assert!(matches!(err, PilotError::InvalidDescription(_)));
     }
 
     #[test]

@@ -54,6 +54,7 @@
 pub mod adapt;
 pub mod deployment;
 pub mod faas;
+pub mod federation;
 pub mod pipeline;
 pub mod placement;
 pub mod planner;
@@ -65,6 +66,7 @@ pub mod windows;
 pub use adapt::{AutoScalerConfig, ScalingEvent};
 pub use deployment::DeploymentMode;
 pub use faas::{CloudFactory, Context, EdgeFactory, ProcessOutcome, ProduceFactory};
+pub use federation::{FederationConfig, FederationSummary, RunningFederation};
 pub use pilot_dataflow::ComputePool;
 pub use pipeline::{EdgeToCloudPipeline, PipelineConfig, PipelineError};
 pub use runtime::config::{

@@ -85,7 +85,7 @@ mod consumer;
 mod ctl;
 mod producer;
 mod reactor;
-mod sentinel;
+pub(crate) mod sentinel;
 mod spans;
 mod stage;
 pub mod telemetry;

@@ -116,6 +116,119 @@ impl ParameterServer {
         }
     }
 
+    /// Shard index for a key (stable for the server's lifetime).
+    fn shard_index(&self, key: &str) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % SHARDS as u64) as usize
+    }
+
+    /// Batched fetch: results come back in input order. The batch is
+    /// grouped by shard so each shard lock is acquired **once per batch**
+    /// (not once per key), and the op/byte counters are updated with a
+    /// single atomic add each — the federation merge loop's read path.
+    pub fn get_many<K: AsRef<str>>(&self, keys: &[K]) -> Vec<Option<(Arc<Vec<f64>>, Version)>> {
+        let mut out: Vec<Option<(Arc<Vec<f64>>, Version)>> = Vec::with_capacity(keys.len());
+        out.resize_with(keys.len(), || None);
+        let mut by_shard: [Vec<usize>; SHARDS] = std::array::from_fn(|_| Vec::new());
+        for (i, key) in keys.iter().enumerate() {
+            by_shard[self.shard_index(key.as_ref())].push(i);
+        }
+        let mut bytes_out = 0u64;
+        for (s, indices) in by_shard.iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let shard = self.shards[s].lock();
+            for &i in indices {
+                if let Some(e) = shard.get(keys[i].as_ref()) {
+                    bytes_out += (e.value.len() * 8) as u64;
+                    out[i] = Some((Arc::clone(&e.value), e.version));
+                }
+            }
+        }
+        self.stats
+            .gets
+            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+        self.stats.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
+        out
+    }
+
+    /// Batched conditional fetch: for each `(key, since)` pair, the value
+    /// and version only if the stored version is newer than `since`. Same
+    /// one-lock-per-shard-per-batch discipline as [`Self::get_many`];
+    /// version checks happen under the already-held lock, so a k-key poll
+    /// costs at most `SHARDS` lock rounds however many cells share a shard.
+    pub fn get_many_if_newer<K: AsRef<str>>(
+        &self,
+        reqs: &[(K, Version)],
+    ) -> Vec<Option<(Arc<Vec<f64>>, Version)>> {
+        let mut out: Vec<Option<(Arc<Vec<f64>>, Version)>> = Vec::with_capacity(reqs.len());
+        out.resize_with(reqs.len(), || None);
+        let mut by_shard: [Vec<usize>; SHARDS] = std::array::from_fn(|_| Vec::new());
+        for (i, (key, _)) in reqs.iter().enumerate() {
+            by_shard[self.shard_index(key.as_ref())].push(i);
+        }
+        let mut hits = 0u64;
+        let mut bytes_out = 0u64;
+        for (s, indices) in by_shard.iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let shard = self.shards[s].lock();
+            for &i in indices {
+                let (key, since) = &reqs[i];
+                if let Some(e) = shard.get(key.as_ref()) {
+                    if e.version > *since {
+                        hits += 1;
+                        bytes_out += (e.value.len() * 8) as u64;
+                        out[i] = Some((Arc::clone(&e.value), e.version));
+                    }
+                }
+            }
+        }
+        if hits > 0 {
+            self.stats.gets.fetch_add(hits, Ordering::Relaxed);
+            self.stats.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Batched store: writes every entry and returns the new versions in
+    /// input order, acquiring each shard lock once per batch — the
+    /// federation merge loop's publish path (one region's worth of cell
+    /// models lands in one lock round per shard, not one per key).
+    pub fn put_many(&self, entries: Vec<(String, Vec<f64>)>) -> Vec<Version> {
+        let n = entries.len() as u64;
+        let bytes_in: u64 = entries.iter().map(|(_, v)| (v.len() * 8) as u64).sum();
+        let mut out = vec![0; entries.len()];
+        let mut by_shard: [Vec<usize>; SHARDS] = std::array::from_fn(|_| Vec::new());
+        let mut entries: Vec<Option<(String, Vec<f64>)>> = entries.into_iter().map(Some).collect();
+        for (i, e) in entries.iter().enumerate() {
+            let key = &e.as_ref().expect("unconsumed entry").0;
+            by_shard[self.shard_index(key)].push(i);
+        }
+        for (s, indices) in by_shard.iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[s].lock();
+            for &i in indices {
+                let (key, value) = entries[i].take().expect("entry consumed twice");
+                let e = shard.entry(key).or_insert(Entry {
+                    value: Arc::new(Vec::new()),
+                    version: 0,
+                });
+                e.version += 1;
+                e.value = Arc::new(value);
+                out[i] = e.version;
+            }
+        }
+        self.stats.puts.fetch_add(n, Ordering::Relaxed);
+        self.stats.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
+        out
+    }
+
     /// Merge `incoming` into the stored value under `policy` (an absent key
     /// behaves as Assign). Returns the new version.
     pub fn update(&self, key: &str, policy: MergePolicy, incoming: &[f64]) -> Version {
@@ -322,7 +435,97 @@ mod tests {
         assert_eq!(ver, 8001);
     }
 
+    #[test]
+    fn get_many_preserves_input_order_and_misses() {
+        let ps = ParameterServer::new();
+        ps.put("a", vec![1.0]);
+        ps.put("c", vec![3.0]);
+        let got = ps.get_many(&["a", "missing", "c", "a"]);
+        assert_eq!(*got[0].as_ref().unwrap().0, vec![1.0]);
+        assert!(got[1].is_none());
+        assert_eq!(*got[2].as_ref().unwrap().0, vec![3.0]);
+        assert_eq!(*got[3].as_ref().unwrap().0, vec![1.0]);
+    }
+
+    #[test]
+    fn put_many_versions_in_input_order() {
+        let ps = ParameterServer::new();
+        ps.put("b", vec![0.0]);
+        let versions = ps.put_many(vec![
+            ("a".to_string(), vec![1.0]),
+            ("b".to_string(), vec![2.0]),
+            ("a".to_string(), vec![3.0]),
+        ]);
+        // "a" was fresh (v1 then v3 via the duplicate), "b" had v1 already.
+        assert_eq!(versions, vec![1, 2, 2]);
+        assert_eq!(*ps.get("a").unwrap().0, vec![3.0]);
+        assert_eq!(*ps.get("b").unwrap().0, vec![2.0]);
+    }
+
+    #[test]
+    fn get_many_if_newer_filters_per_key() {
+        let ps = ParameterServer::new();
+        ps.put("a", vec![1.0]);
+        ps.put("b", vec![2.0]);
+        ps.put("b", vec![3.0]); // b is now v2
+        let got = ps.get_many_if_newer(&[("a", 1), ("b", 1), ("missing", 0)]);
+        assert!(got[0].is_none(), "a has not moved past v1");
+        let (v, ver) = got[1].as_ref().unwrap();
+        assert_eq!(**v, vec![3.0]);
+        assert_eq!(*ver, 2);
+        assert!(got[2].is_none());
+    }
+
+    #[test]
+    fn batched_ops_amortize_stats() {
+        let ps = ParameterServer::new();
+        ps.put_many(vec![
+            ("a".to_string(), vec![0.0; 4]),
+            ("b".to_string(), vec![0.0; 6]),
+        ]);
+        assert_eq!(ps.stats().puts.load(Ordering::Relaxed), 2);
+        assert_eq!(ps.stats().bytes_in.load(Ordering::Relaxed), 80);
+        ps.get_many(&["a", "b", "nope"]);
+        assert_eq!(ps.stats().gets.load(Ordering::Relaxed), 3);
+        assert_eq!(ps.stats().bytes_out.load(Ordering::Relaxed), 80);
+    }
+
     proptest! {
+        /// Batched ops agree with the per-key ops on any key/value mix
+        /// (keys drawn from a small pool so duplicates and shard
+        /// collisions are exercised).
+        #[test]
+        fn prop_batched_matches_per_key(
+            raw in proptest::collection::vec(
+                (0usize..6, proptest::collection::vec(-1e6f64..1e6, 0..8)),
+                1..16,
+            )
+        ) {
+            const KEYS: [&str; 6] = ["a", "b", "cc", "dd", "e1", "f2"];
+            let entries: Vec<(String, Vec<f64>)> = raw
+                .into_iter()
+                .map(|(i, v)| (KEYS[i].to_string(), v))
+                .collect();
+            let batched = ParameterServer::new();
+            let serial = ParameterServer::new();
+            let versions = batched.put_many(entries.clone());
+            let mut expect = Vec::new();
+            for (k, v) in &entries {
+                expect.push(serial.put(k, v.clone()));
+            }
+            prop_assert_eq!(versions, expect);
+            let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+            let got = batched.get_many(&keys);
+            for (i, k) in keys.iter().enumerate() {
+                let per_key = serial.get(k);
+                let batch = got[i].clone();
+                prop_assert_eq!(
+                    batch.map(|(v, ver)| ((*v).clone(), ver)),
+                    per_key.map(|(v, ver)| ((*v).clone(), ver))
+                );
+            }
+        }
+
         /// put-then-get is always identity, and versions only increase.
         #[test]
         fn prop_put_get_identity(values in proptest::collection::vec(-1e6f64..1e6, 0..64)) {

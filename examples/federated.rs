@@ -11,6 +11,12 @@
 //! (sample-weighted average) and publishes the new **global** model, which
 //! the devices pull down (`get_if_newer`) and continue training from.
 //!
+//! A second phase then scales the same idea out **hierarchically** with
+//! the federation layer (DESIGN.md §14): many cells run FedAvg rounds
+//! against *regional* parameter servers, regions merge upward, and the
+//! cloud folds the regional models into one global model that fans back
+//! down — two aggregation hops instead of one, on shared thread pools.
+//!
 //! Run: `cargo run --release --example federated`
 
 use pilot_core::{PilotComputeService, PilotDescription};
@@ -153,4 +159,48 @@ fn main() {
     let auc = pilot_ml::eval::roc_auc(&scores, &test.labels);
     println!("global model version  : {version}");
     println!("global model ROC-AUC  : {auc:.3} (on unseen mixed data)");
+
+    hierarchical_rounds();
+}
+
+/// Phase 2: the same FedAvg protocol run hierarchically — cells publish
+/// to their region's parameter server, regions merge (batched) and push
+/// to the cloud, the cloud publishes the global model, regions mirror it
+/// back down. Continuous rounds at every tier, on one shared reactor.
+fn hierarchical_rounds() {
+    use pilot_edge::federation::{self, FederationConfig};
+
+    const CELLS: usize = 8;
+    const REGIONS: usize = 2;
+    let cfg = FederationConfig {
+        cells: CELLS,
+        regions: REGIONS,
+        devices_per_cell: 2,
+        messages_per_device: 10,
+        points: 100,
+        skew: 1.0, // non-iid: later cells see more outliers
+        reactor_threads: 4,
+        ..FederationConfig::default()
+    };
+    let expected = cfg.expected_messages();
+    let summary = federation::run(cfg, Duration::from_secs(300)).expect("federation run");
+    assert_eq!(summary.processed, expected);
+
+    println!("\n# hierarchical rounds: {CELLS} cells -> {REGIONS} regions -> cloud");
+    println!("messages processed    : {}", summary.processed);
+    println!(
+        "aggregation rounds    : {} regional + {} cloud",
+        summary.region_rounds, summary.cloud_rounds
+    );
+    println!(
+        "param-plane traffic   : {} gets / {} puts (batched merges)",
+        summary.params_gets, summary.params_puts
+    );
+    let (samples, global) = summary.global.expect("global model");
+    println!(
+        "global model          : sample-weighted mean of {} points across \
+         every cell ({} features)",
+        samples as u64,
+        global.len()
+    );
 }

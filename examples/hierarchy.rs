@@ -2,35 +2,34 @@
 //! ("currently, it is limited to two layers: edge and cloud. ... we will
 //! generalize the abstraction to arbitrary architectures and topologies").
 //!
-//! Builds a three-tier edge → fog → cloud continuum:
+//! This demo drives the **federation layer** (DESIGN.md §14): a real
+//! three-tier continuum of edge *cells* → *regional* aggregators → one
+//! *cloud* tier, rather than two chained two-tier pipelines.
 //!
-//! * a `pilot-netsim` topology with an edge site, a regional fog site, and
-//!   a cloud site, routed by minimum expected latency;
-//! * stage 1: devices stream into a *fog* pipeline whose processing
-//!   function pre-aggregates each message down to per-cluster summaries and
-//!   forwards them into a second broker topic;
-//! * stage 2: a *cloud* pipeline consumes the summaries and maintains the
-//!   global k-means model.
+//! * 12 cells, each a pooled pilot hosting its own broker shard, with 3
+//!   devices streaming skewed (non-iid) data;
+//! * every cell's producer and consumer multiplexed onto **one** shared
+//!   reactor and one shared compute pool — the whole continuum costs a
+//!   handful of OS threads, not `cells × stages`;
+//! * 3 regional parameter servers merging their cells' model updates with
+//!   batched reads (`get_many_if_newer`), feeding a cloud server that
+//!   folds the regional models into the global one, which fans back down
+//!   to every region (`put_many`) — continuous hierarchical FedAvg.
 //!
 //! Run: `cargo run --release --example hierarchy`
 
-use pilot_core::{PilotComputeService, PilotDescription};
-use pilot_datagen::{Block, DataGenConfig};
-use pilot_edge::processors::{datagen_produce_factory, paper_model_factory};
-use pilot_edge::{CloudFactory, Context, EdgeToCloudPipeline, ProcessOutcome, ProduceFactory};
-use pilot_ml::ModelKind;
+use pilot_edge::federation::{self, FederationConfig, GLOBAL_KEY, REGION_KEY};
 use pilot_netsim::{profiles, Site, Tier, Topology};
-use std::sync::Arc;
 use std::time::Duration;
 
-const DEVICES: usize = 2;
-const MESSAGES: usize = 8;
-const POINTS: usize = 500;
-/// Fog pre-aggregation: each message is reduced to this many summary points.
-const SUMMARY_POINTS: usize = 25;
+const CELLS: usize = 12;
+const REGIONS: usize = 3;
+const DEVICES: usize = 3;
+const MESSAGES: usize = 16;
+const POINTS: usize = 50;
 
 fn main() {
-    // ---- The three-tier network ------------------------------------------
+    // ---- The three-tier network the federation models --------------------
     let mut topo = Topology::new();
     let edge_site = topo.add_site(Site::new("factory-floor", Tier::Edge, "us-east"));
     let fog_site = topo.add_site(Site::new("regional-fog", Tier::Fog, "us-east"));
@@ -52,103 +51,74 @@ fn main() {
             .join(" + ")
     );
 
-    // ---- Pilots on every tier --------------------------------------------
-    let svc = PilotComputeService::new();
-    let p_edge = svc
-        .submit_and_wait(
-            PilotDescription::local(DEVICES, 8.0).with_site("factory-floor"),
-            Duration::from_secs(10),
-        )
-        .unwrap();
-    let p_fog = svc
-        .submit_and_wait(
-            PilotDescription::local(DEVICES.max(2), 16.0).with_site("regional-fog"),
-            Duration::from_secs(10),
-        )
-        .unwrap();
-    let p_cloud = svc
-        .submit_and_wait(PilotDescription::lrz_large(), Duration::from_secs(10))
-        .unwrap();
-
-    // ---- Stage 2 first: the cloud pipeline consumes fog summaries --------
-    // Summaries flow through an in-process queue bridging the two stages
-    // (in the two-layer API, chaining pipelines is how deeper hierarchies
-    // compose).
-    let (tx, rx) = crossbeam::channel::unbounded::<Option<Block>>();
-    let summaries_in: ProduceFactory = {
-        let rx = rx.clone();
-        Arc::new(move |_ctx: &Context, _device| {
-            let rx = rx.clone();
-            Box::new(move |_ctx: &Context| rx.recv().ok().flatten())
-        })
+    // ---- The federation: cells -> regions -> cloud ------------------------
+    let cfg = FederationConfig {
+        cells: CELLS,
+        regions: REGIONS,
+        devices_per_cell: DEVICES,
+        messages_per_device: MESSAGES,
+        points: POINTS,
+        skew: 2.0, // later cells see progressively more outliers
+        reactor_threads: 4,
+        telemetry_sample_ms: Some(5),
+        ..FederationConfig::default()
     };
-    let cloud_stage = EdgeToCloudPipeline::builder()
-        .pilot_edge(p_fog.clone()) // the fog acts as stage-2's "edge"
-        .pilot_cloud_processing(p_cloud)
-        .produce_function(summaries_in)
-        .process_cloud_function(paper_model_factory(ModelKind::KMeans, 32))
-        .devices(1)
-        .link_edge_to_broker(profiles::transatlantic("fog->cloud", 6).build())
-        .start()
-        .unwrap();
-
-    // ---- Stage 1: devices -> fog, aggregating then forwarding ------------
-    let forward: CloudFactory = Arc::new(move |_ctx: &Context| {
-        let tx = tx.clone();
-        let mut next_id = 0u64;
-        Box::new(move |_ctx: &Context, block: &Block| {
-            // Pre-aggregate: keep a systematic sample as the "summary"
-            // (stands in for per-cluster statistics).
-            let stride = (block.points / SUMMARY_POINTS).max(1);
-            let d = block.features;
-            let mut data = Vec::with_capacity(SUMMARY_POINTS * d);
-            for i in (0..block.points).step_by(stride) {
-                data.extend_from_slice(&block.data[i * d..(i + 1) * d]);
-            }
-            let points = data.len() / d;
-            let summary = Block {
-                msg_id: next_id,
-                points,
-                features: d,
-                data,
-                labels: Vec::new(),
-            };
-            next_id += 1;
-            tx.send(Some(summary)).map_err(|e| e.to_string())?;
-            Ok(ProcessOutcome::default())
-        })
-    });
-    let fog_stage = EdgeToCloudPipeline::builder()
-        .pilot_edge(p_edge)
-        .pilot_cloud_processing(p_fog)
-        .produce_function(datagen_produce_factory(
-            DataGenConfig::paper(POINTS),
-            MESSAGES,
-        ))
-        .process_cloud_function(forward)
-        .devices(DEVICES)
-        .link_edge_to_broker(profiles::edge_uplink("edge->fog", 5).build())
-        .start()
-        .unwrap();
-
-    let fog_summary = fog_stage.wait(Duration::from_secs(300)).unwrap();
-    // All `tx` clones lived inside the fog stage's processors; when
-    // `wait()` tears the fog pipeline down they are dropped, `rx.recv()`
-    // starts failing, and stage 2's producer returns `None` — ending the
-    // cloud stage's stream naturally.
-    drop(rx);
-    let cloud_summary = cloud_stage.wait(Duration::from_secs(300)).unwrap();
-
     println!(
-        "\n# stage 1 (edge->fog): {} messages, {:.1} msgs/s, mean latency {:.1} ms",
-        fog_summary.messages, fog_summary.throughput_msgs, fog_summary.latency_mean_ms
+        "# federation: {CELLS} cells x {DEVICES} devices x {MESSAGES} msgs \
+         ({POINTS} points each) -> {REGIONS} regions -> 1 cloud"
+    );
+    let running = federation::start(cfg).expect("federation start");
+    let region_servers = running.region_servers().to_vec();
+    let summary = running
+        .wait(Duration::from_secs(300))
+        .expect("federation run");
+
+    println!("\n# tier 1 — edge cells (shared reactor, per-cell brokers)");
+    println!("messages processed    : {}", summary.processed);
+    println!(
+        "throughput            : {:.1} msgs/s ({:.1} us/msg)",
+        summary.throughput(),
+        summary.per_message_us()
     );
     println!(
-        "# stage 2 (fog->cloud): {} summaries, {:.1} msgs/s, mean latency {:.1} ms",
-        cloud_summary.messages, cloud_summary.throughput_msgs, cloud_summary.latency_mean_ms
+        "reactor threads       : {} for {} cells ({} tasks)",
+        summary.reactor_threads,
+        summary.cells,
+        2 * summary.cells + summary.regions + 1
     );
+
+    println!("\n# tier 2 — regional aggregators (batched parameter plane)");
+    println!("region merge rounds   : {}", summary.region_rounds);
     println!(
-        "# data reduction at the fog: {POINTS} -> {SUMMARY_POINTS} points per message ({}x)",
-        POINTS / SUMMARY_POINTS
+        "param-plane traffic   : {} gets / {} puts across {} servers",
+        summary.params_gets,
+        summary.params_puts,
+        summary.regions + 1
     );
+    for (r, server) in region_servers.iter().enumerate() {
+        if let Some((model, _)) = server.get(REGION_KEY) {
+            println!(
+                "region {r} model       : {} samples, feature-0 mean {:+.4}",
+                model[0] as u64, model[1]
+            );
+        }
+    }
+
+    println!("\n# tier 3 — cloud (global FedAvg)");
+    println!("cloud merge rounds    : {}", summary.cloud_rounds);
+    let (samples, model) = summary.global.expect("global model published");
+    println!(
+        "global model          : {} samples over {} features",
+        samples as u64,
+        model.len()
+    );
+    println!("feature-0 global mean : {:+.4}", model[0]);
+    // Every region also holds a mirror of the global model (fanned back
+    // down by its aggregator), so cells can read it without touching the
+    // cloud server.
+    let mirrored = region_servers
+        .iter()
+        .filter(|s| s.get(GLOBAL_KEY).is_some())
+        .count();
+    println!("global mirrored to    : {mirrored}/{REGIONS} regions");
 }
