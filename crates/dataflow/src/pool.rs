@@ -65,6 +65,11 @@ struct State {
     epoch: u64,
     /// The current job, valid while `finished < n_workers` for this epoch.
     job: Option<Job>,
+    /// Workers that drain units this epoch (the live width minus the
+    /// caller). Workers with a higher index check in without claiming any
+    /// unit, so `finished == n_workers` still joins the scope after a
+    /// resize.
+    active: usize,
     /// Workers done with the current epoch.
     finished: usize,
     /// A worker's unit panicked during the current epoch.
@@ -109,9 +114,14 @@ impl Drop for Inner {
 /// processor of the owning pilot. See the module docs for the determinism
 /// contract.
 pub struct ComputePool {
-    /// `None` → width ≤ 1: no threads, inline execution.
+    /// `None` → capacity ≤ 1: no threads, inline execution.
     inner: Option<Inner>,
-    width: usize,
+    /// Live parallel width ≤ `capacity`; jobs published after a
+    /// [`ComputePool::set_width`] fan out over the new width.
+    width: AtomicUsize,
+    /// Workers spawned at construction (+1 for the caller). Fixed for the
+    /// pool's lifetime; resizing only changes how many of them participate.
+    capacity: usize,
     /// Callers currently inside [`ComputePool::run`] (inline path
     /// included) — the telemetry occupancy gauge. Queued callers waiting
     /// on the run lock count too: occupancy > 1 means the pool is the
@@ -124,7 +134,8 @@ pub struct ComputePool {
 impl std::fmt::Debug for ComputePool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ComputePool")
-            .field("threads", &self.width)
+            .field("threads", &self.threads())
+            .field("capacity", &self.capacity)
             .finish()
     }
 }
@@ -140,11 +151,24 @@ impl ComputePool {
     /// `threads - 1` workers are spawned). `threads <= 1` spawns nothing
     /// and executes every job inline on the caller.
     pub fn new(threads: usize) -> Self {
-        let width = threads.max(1);
-        if width == 1 {
+        Self::resizable(threads, threads)
+    }
+
+    /// A pool that starts at width `threads` but can be resized live up to
+    /// `max_threads` via [`ComputePool::set_width`]. All `max_threads - 1`
+    /// workers are spawned up front; a resize only changes how many of them
+    /// claim units per job, so the epoch join protocol (every spawned
+    /// worker checks in once per job) is untouched and resizing is safe
+    /// even while a job is being published. `max_threads <= 1` spawns
+    /// nothing and executes inline, exactly like [`ComputePool::new`] with one thread.
+    pub fn resizable(threads: usize, max_threads: usize) -> Self {
+        let capacity = max_threads.max(threads).max(1);
+        let width = threads.clamp(1, capacity);
+        if capacity == 1 {
             return Self {
                 inner: None,
-                width,
+                width: AtomicUsize::new(1),
+                capacity,
                 active: AtomicUsize::new(0),
                 jobs: AtomicU64::new(0),
             };
@@ -153,6 +177,7 @@ impl ComputePool {
             state: Mutex::new(State {
                 epoch: 0,
                 job: None,
+                active: 0,
                 finished: 0,
                 panicked: false,
                 shutdown: false,
@@ -160,13 +185,13 @@ impl ComputePool {
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
         });
-        let n_workers = width - 1;
+        let n_workers = capacity - 1;
         let workers = (0..n_workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("compute-{i}"))
-                    .spawn(move || worker_loop(&shared, n_workers))
+                    .spawn(move || worker_loop(&shared, n_workers, i))
                     .expect("spawn compute worker")
             })
             .collect();
@@ -176,7 +201,8 @@ impl ComputePool {
                 workers,
                 run_lock: Mutex::new(()),
             }),
-            width,
+            width: AtomicUsize::new(width),
+            capacity,
             active: AtomicUsize::new(0),
             jobs: AtomicU64::new(0),
         }
@@ -187,9 +213,25 @@ impl ComputePool {
         Self::new(1)
     }
 
-    /// Total parallel width (worker threads + the participating caller).
+    /// Total parallel width (participating worker threads + the caller).
     pub fn threads(&self) -> usize {
-        self.width
+        self.width.load(Ordering::Relaxed)
+    }
+
+    /// The resize ceiling: `set_width` clamps into `1..=capacity()`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Set the live width, clamped into `1..=capacity()`; returns the
+    /// effective width. Takes effect for the next published job — units
+    /// claimed atomically within a running job keep their fixed chunk
+    /// boundaries, so results stay bit-identical across any resize
+    /// schedule (the module's determinism contract).
+    pub fn set_width(&self, threads: usize) -> usize {
+        let w = threads.clamp(1, self.capacity);
+        self.width.store(w, Ordering::Relaxed);
+        w
     }
 
     /// Callers currently inside (or queued on) [`ComputePool::run`]. 0 when
@@ -254,6 +296,10 @@ impl ComputePool {
             let mut st = inner.shared.state.lock().unwrap();
             st.epoch += 1;
             st.job = Some(job);
+            // The live width is latched per job: workers beyond it check in
+            // without draining, so a concurrent `set_width` affects the
+            // next job, never a half-published one.
+            st.active = (self.threads() - 1).min(n_workers);
             st.finished = 0;
             st.panicked = false;
             inner.shared.work_cv.notify_all();
@@ -348,7 +394,7 @@ impl<T> SendPtr<T> {
     }
 }
 
-fn worker_loop(shared: &Shared, n_workers: usize) {
+fn worker_loop(shared: &Shared, n_workers: usize, idx: usize) {
     let mut seen_epoch = 0u64;
     loop {
         let job = {
@@ -359,12 +405,18 @@ fn worker_loop(shared: &Shared, n_workers: usize) {
                 }
                 if st.epoch != seen_epoch {
                     seen_epoch = st.epoch;
-                    break st.job.expect("job published with epoch");
+                    // Workers outside the epoch's live width check in
+                    // immediately: the scope join still counts every
+                    // spawned worker, so resizing can never deadlock it.
+                    break (st.active > idx).then(|| st.job.expect("job published with epoch"));
                 }
                 st = shared.work_cv.wait(st).unwrap();
             }
         };
-        let result = catch_unwind(AssertUnwindSafe(|| job.call()));
+        let result = match &job {
+            Some(job) => catch_unwind(AssertUnwindSafe(|| job.call())),
+            None => Ok(()),
+        };
         let mut st = shared.state.lock().unwrap();
         if result.is_err() {
             st.panicked = true;
@@ -512,6 +564,94 @@ mod tests {
     fn width_reporting() {
         assert_eq!(ComputePool::new(6).threads(), 6);
         assert_eq!(ComputePool::default().threads(), 1);
+        assert_eq!(ComputePool::new(6).capacity(), 6);
+    }
+
+    #[test]
+    fn set_width_clamps_to_capacity() {
+        let pool = ComputePool::resizable(2, 4);
+        assert_eq!(pool.threads(), 2);
+        assert_eq!(pool.capacity(), 4);
+        assert_eq!(pool.set_width(9), 4);
+        assert_eq!(pool.threads(), 4);
+        assert_eq!(pool.set_width(0), 1);
+        assert_eq!(pool.threads(), 1);
+        // A fixed pool clamps to its construction width.
+        let fixed = ComputePool::new(3);
+        assert_eq!(fixed.set_width(16), 3);
+    }
+
+    #[test]
+    fn inline_pool_ignores_resize() {
+        let pool = ComputePool::resizable(1, 1);
+        assert_eq!(pool.set_width(8), 1);
+        assert_eq!(pool.map(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn results_identical_across_live_resizes() {
+        // The determinism contract under resize: the same chunked kernel
+        // produces bit-identical output at every width, including widths
+        // changed between (and raced with) jobs.
+        let pool = ComputePool::resizable(1, 8);
+        let expect: Vec<u64> = (0..1000).map(|i| i * 7 + 3).collect();
+        for width in [1, 4, 8, 2, 5, 1, 8] {
+            pool.set_width(width);
+            assert_eq!(
+                pool.map(1000, |i| i as u64 * 7 + 3),
+                expect,
+                "width={width}"
+            );
+        }
+        let mut data = vec![0u32; 103];
+        pool.set_width(3);
+        pool.for_each_chunk_mut(&mut data, 10, |ci, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1 + ci as u32;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, 1 + (i / 10) as u32);
+        }
+    }
+
+    #[test]
+    fn resized_down_pool_still_joins_every_job() {
+        // Shrinking to width 1 parks all workers but each job must still
+        // join (all spawned workers check in per epoch).
+        let pool = ComputePool::resizable(4, 4);
+        pool.set_width(1);
+        for round in 0..50u64 {
+            let out = pool.map(16, move |i| i as u64 + round);
+            assert_eq!(out[0], round);
+        }
+        pool.set_width(4);
+        assert_eq!(pool.map(4, |i| i), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn concurrent_resize_and_run() {
+        let pool = Arc::new(ComputePool::resizable(2, 8));
+        let stop = Arc::new(AtomicUsize::new(0));
+        let resizer = {
+            let (pool, stop) = (Arc::clone(&pool), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                let mut w = 1;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    w = w % 8 + 1;
+                    pool.set_width(w);
+                    std::thread::yield_now();
+                }
+            })
+        };
+        for round in 0..300u64 {
+            let out = pool.map(64, move |i| i as u64 * 3 + round);
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i as u64 * 3 + round);
+            }
+        }
+        stop.store(1, Ordering::Relaxed);
+        resizer.join().unwrap();
     }
 
     #[test]

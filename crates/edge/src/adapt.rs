@@ -1,4 +1,5 @@
-//! The lag-driven autoscaler.
+//! The lag-driven autoscaler — now a thin shim over the feedback
+//! controller ([`crate::control`]).
 //!
 //! The paper's vision (Section V): "a distributed workload management
 //! system that can select, acquire and dynamically scale resources across
@@ -8,17 +9,24 @@
 //! due to increased data rates".
 //!
 //! The implemented objective is the canonical streaming one: bound consumer
-//! lag. A monitor thread samples the pipeline's total consumer-group lag at
-//! a fixed interval and, with hysteresis (several consecutive observations
-//! before acting), grows the consumer pool toward `max_processors` when lag
-//! exceeds `scale_up_lag` and shrinks it toward `min_processors` when lag
-//! falls below `scale_down_lag`.
+//! lag. [`AutoScalerConfig`] maps onto the controller with every knob
+//! except the processor count pinned (min = max = current), zero cooldown,
+//! and attribution off — which reproduces the legacy scaler's decisions
+//! exactly: sample total lag every `interval`, count consecutive
+//! observations above `scale_up_lag` (or at/below `scale_down_lag`), and
+//! at `hysteresis` grow or shrink the consumer pool by one within
+//! `[min_processors, max_processors]`. The full controller — multiple
+//! knobs, bottleneck attribution, cooldowns, migration — is configured via
+//! [`ControllerConfig`] instead.
 
+use crate::control::{Action, ControlBounds, ControlEvent, Controller, ControllerConfig};
 use crate::runtime::PipelineCtl;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+/// Handle to a running autoscaler thread (the controller handle — the
+/// autoscaler *is* a controller with pinned bounds).
+pub type AutoScalerHandle = crate::control::ControllerHandle;
 
 /// Autoscaler tuning.
 #[derive(Debug, Clone)]
@@ -51,6 +59,42 @@ impl Default for AutoScalerConfig {
     }
 }
 
+impl AutoScalerConfig {
+    /// The equivalent controller configuration: lag-only (no attribution),
+    /// every non-processor knob pinned to its current live value, and zero
+    /// cooldown — the legacy scaler acted every `hysteresis` ticks with no
+    /// extra spacing.
+    pub(crate) fn to_controller(&self, ctl: &PipelineCtl) -> ControllerConfig {
+        let tune = &ctl.shared.tune;
+        let compute = ctl.shared.ctx.compute.threads();
+        let batch = tune.batch_max_bytes();
+        let prefetch = tune.prefetch_depth();
+        let fetch = tune.fetch_max();
+        ControllerConfig {
+            tick: self.interval,
+            hysteresis: self.hysteresis,
+            cooldown: Duration::ZERO,
+            lag_bound: self.scale_up_lag,
+            lag_low: self.scale_down_lag,
+            bounds: ControlBounds {
+                min_processors: self.min_processors,
+                max_processors: self.max_processors,
+                min_compute: compute,
+                max_compute: compute,
+                min_batch_bytes: batch,
+                max_batch_bytes: batch,
+                min_prefetch: prefetch,
+                max_prefetch: prefetch,
+                min_fetch_max: fetch,
+                max_fetch_max: fetch,
+            },
+            use_attribution: false,
+            migration: None,
+            ..ControllerConfig::default()
+        }
+    }
+}
+
 /// One scaling decision, for post-run analysis.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScalingEvent {
@@ -62,35 +106,28 @@ pub struct ScalingEvent {
     pub from: usize,
     /// Pool size after.
     pub to: usize,
+    /// The attributed bottleneck component at decision time (`None` for
+    /// the lag-only autoscaler, or when telemetry is off).
+    pub bottleneck: Option<String>,
+    /// The latest telemetry frame's gauge levels at decision time (empty
+    /// when the telemetry plane is off).
+    pub gauges: Vec<(String, i64)>,
 }
 
-/// Handle to a running autoscaler thread.
-pub struct AutoScalerHandle {
-    stop: Arc<AtomicBool>,
-    events: Arc<Mutex<Vec<ScalingEvent>>>,
-    thread: Option<std::thread::JoinHandle<()>>,
-}
-
-impl AutoScalerHandle {
-    /// Stop the scaler and join its thread.
-    pub fn stop(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
-    }
-
-    /// Scaling decisions so far.
-    pub fn events(&self) -> Vec<ScalingEvent> {
-        self.events.lock().clone()
-    }
-}
-
-impl Drop for AutoScalerHandle {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
+impl ScalingEvent {
+    /// Project a journal entry onto the legacy shape; `None` for
+    /// non-processor actions (those only exist in the full journal).
+    pub(crate) fn from_control(e: &ControlEvent) -> Option<Self> {
+        match e.action {
+            Action::ScaleProcessors { from, to } => Some(Self {
+                at: e.at,
+                lag: e.cause.lag,
+                from,
+                to,
+                bottleneck: e.cause.bottleneck.clone(),
+                gauges: e.gauges.clone(),
+            }),
+            _ => None,
         }
     }
 }
@@ -100,64 +137,8 @@ pub struct AutoScaler;
 
 impl AutoScaler {
     pub(crate) fn spawn(ctl: Arc<PipelineCtl>, config: AutoScalerConfig) -> AutoScalerHandle {
-        let stop = Arc::new(AtomicBool::new(false));
-        let events = Arc::new(Mutex::new(Vec::new()));
-        let stop2 = Arc::clone(&stop);
-        let events2 = Arc::clone(&events);
-        let thread = std::thread::Builder::new()
-            .name("pilot-edge-autoscaler".into())
-            .spawn(move || Self::run(&ctl, &config, &stop2, &events2))
-            .expect("spawn autoscaler thread");
-        AutoScalerHandle {
-            stop,
-            events,
-            thread: Some(thread),
-        }
-    }
-
-    fn run(
-        ctl: &PipelineCtl,
-        config: &AutoScalerConfig,
-        stop: &AtomicBool,
-        events: &Mutex<Vec<ScalingEvent>>,
-    ) {
-        let started = Instant::now();
-        let mut over = 0usize;
-        let mut under = 0usize;
-        while !stop.load(Ordering::Relaxed) && !ctl.is_stopped() && !ctl.all_done() {
-            std::thread::sleep(config.interval);
-            let lag = ctl.total_lag();
-            if lag > config.scale_up_lag {
-                over += 1;
-                under = 0;
-            } else if lag <= config.scale_down_lag {
-                under += 1;
-                over = 0;
-            } else {
-                over = 0;
-                under = 0;
-            }
-            let current = ctl.processor_count();
-            let target = if over >= config.hysteresis && current < config.max_processors {
-                over = 0;
-                Some(current + 1)
-            } else if under >= config.hysteresis && current > config.min_processors {
-                under = 0;
-                Some(current - 1)
-            } else {
-                None
-            };
-            if let Some(target) = target {
-                if ctl.scale_processors(target).is_ok() {
-                    events.lock().push(ScalingEvent {
-                        at: started.elapsed(),
-                        lag,
-                        from: current,
-                        to: target,
-                    });
-                }
-            }
-        }
+        let controller = config.to_controller(&ctl);
+        Controller::spawn(ctl, controller)
     }
 }
 
@@ -227,6 +208,8 @@ mod tests {
                 mid_events.iter().any(|e| e.to > e.from),
                 "expected at least one scale-up, got {mid_events:?}"
             );
+            // The lag-only shim never attributes a bottleneck.
+            assert!(mid_events.iter().all(|e| e.bottleneck.is_none()));
             running.wait(WAIT).unwrap()
         };
         assert_eq!(summary.messages, 240);

@@ -1,0 +1,158 @@
+//! Typed control actions and the append-only action journal.
+//!
+//! Every decision the controller makes is a value of [`Action`]; every
+//! applied decision is journalled as a [`ControlEvent`] carrying the
+//! [`Cause`] (observed lag, hysteresis verdict, attributed bottleneck) and
+//! the gauge snapshot that triggered it — so a run's adaptation history is
+//! fully replayable from the journal alone.
+
+use std::time::Duration;
+
+/// Which knob an [`Action`] turns. Cooldowns are tracked per knob: two
+/// actions on the same knob are never closer than the configured cooldown,
+/// while distinct knobs may fire on consecutive ticks (escalation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Knob {
+    /// Consumer-pool size (`scale_processors`).
+    Processors,
+    /// Intra-task compute-pool width (`ComputePool::set_width`).
+    Compute,
+    /// Producer batch threshold (`TuneTable::set_batch_max_bytes`).
+    Batch,
+    /// Prefetch admission depth (`TuneTable::set_prefetch_depth`).
+    Prefetch,
+    /// Per-partition fetch budget (`TuneTable::set_fetch_max`).
+    Fetch,
+    /// Where the processing function runs (model migration).
+    Placement,
+}
+
+impl Knob {
+    pub(crate) const COUNT: usize = 6;
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Knob::Processors => 0,
+            Knob::Compute => 1,
+            Knob::Batch => 2,
+            Knob::Prefetch => 3,
+            Knob::Fetch => 4,
+            Knob::Placement => 5,
+        }
+    }
+}
+
+/// One typed control decision. `from`/`to` carry the knob level before and
+/// after, so the journal needs no out-of-band state to interpret.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Grow or shrink the consumer pool to `to` members.
+    ScaleProcessors { from: usize, to: usize },
+    /// Widen or narrow the shared compute pool to `to` worker threads.
+    ResizeComputePool { from: usize, to: usize },
+    /// Widen (or, at 0, disable) producer batching.
+    SetBatchMaxBytes { from: usize, to: usize },
+    /// Deepen or shallow the consumer prefetch admission gate.
+    SetPrefetchDepth { from: usize, to: usize },
+    /// Raise or lower the per-partition fetch budget.
+    SetFetchMax { from: usize, to: usize },
+    /// Hot-swap processing to the migration policy's edge-side factory
+    /// (shed WAN bytes when the edge→broker link is the bottleneck).
+    MigrateToEdge,
+    /// Restore the cloud-side factory once the pressure passed.
+    MigrateToCloud,
+}
+
+impl Action {
+    /// The knob this action turns (for cooldown bookkeeping).
+    pub fn knob(&self) -> Knob {
+        match self {
+            Action::ScaleProcessors { .. } => Knob::Processors,
+            Action::ResizeComputePool { .. } => Knob::Compute,
+            Action::SetBatchMaxBytes { .. } => Knob::Batch,
+            Action::SetPrefetchDepth { .. } => Knob::Prefetch,
+            Action::SetFetchMax { .. } => Knob::Fetch,
+            Action::MigrateToEdge | Action::MigrateToCloud => Knob::Placement,
+        }
+    }
+
+    /// Knob level before the action (placement encoded 0 = cloud, 1 = edge).
+    pub fn before(&self) -> i64 {
+        match self {
+            Action::ScaleProcessors { from, .. }
+            | Action::ResizeComputePool { from, .. }
+            | Action::SetBatchMaxBytes { from, .. }
+            | Action::SetPrefetchDepth { from, .. }
+            | Action::SetFetchMax { from, .. } => *from as i64,
+            Action::MigrateToEdge => 0,
+            Action::MigrateToCloud => 1,
+        }
+    }
+
+    /// Knob level after the action (placement encoded 0 = cloud, 1 = edge).
+    pub fn after(&self) -> i64 {
+        match self {
+            Action::ScaleProcessors { to, .. }
+            | Action::ResizeComputePool { to, .. }
+            | Action::SetBatchMaxBytes { to, .. }
+            | Action::SetPrefetchDepth { to, .. }
+            | Action::SetFetchMax { to, .. } => *to as i64,
+            Action::MigrateToEdge => 1,
+            Action::MigrateToCloud => 0,
+        }
+    }
+
+    /// Short stable label for CSV output and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Action::ScaleProcessors { .. } => "scale_processors",
+            Action::ResizeComputePool { .. } => "resize_compute_pool",
+            Action::SetBatchMaxBytes { .. } => "set_batch_max_bytes",
+            Action::SetPrefetchDepth { .. } => "set_prefetch_depth",
+            Action::SetFetchMax { .. } => "set_fetch_max",
+            Action::MigrateToEdge => "migrate_to_edge",
+            Action::MigrateToCloud => "migrate_to_cloud",
+        }
+    }
+}
+
+/// The hysteresis verdict that released an action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Lag stayed above the bound for `hysteresis` consecutive ticks.
+    LagOver,
+    /// Lag stayed at or below the low-water mark for `hysteresis` ticks.
+    LagUnder,
+}
+
+/// Why the controller acted: the lag sample, the verdict, and — when the
+/// telemetry plane is on — the dominant component of the bottleneck
+/// attribution at decision time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cause {
+    /// Observed total consumer-group lag (records).
+    pub lag: u64,
+    /// Which hysteresis threshold tripped.
+    pub verdict: Verdict,
+    /// Dominant component label from [`pilot_metrics::attribute`], when
+    /// telemetry was on and recent spans existed (e.g. `"net:b->c"`).
+    pub bottleneck: Option<String>,
+}
+
+/// One entry of the append-only action journal.
+#[derive(Debug, Clone)]
+pub struct ControlEvent {
+    /// Time since the controller started.
+    pub at: Duration,
+    /// What triggered the decision.
+    pub cause: Cause,
+    /// The typed decision.
+    pub action: Action,
+    /// Knob level before (mirrors `action`, for flat CSV export).
+    pub before: i64,
+    /// Knob level after.
+    pub after: i64,
+    /// The latest telemetry frame's gauge levels at decision time (empty
+    /// when the telemetry plane is off).
+    pub gauges: Vec<(String, i64)>,
+}

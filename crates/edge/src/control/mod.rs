@@ -1,0 +1,356 @@
+//! The feedback controller: closes the loop from the telemetry plane back
+//! into the live knob table (DESIGN.md §15).
+//!
+//! ```text
+//!   gauges ──▶ TelemetrySampler ──▶ frames ─┐
+//!   spans  ──▶ MetricsRegistry ──▶ snapshot ┼─▶ attribute() ─▶ dominant
+//!   broker ──▶ total_lag ────────────────────┘        │
+//!                                                     ▼
+//!                 ControllerCore (hysteresis, cooldowns, bounds)
+//!                                                     │ Action
+//!                     ┌───────────────┬───────────────┼──────────────┐
+//!                     ▼               ▼               ▼              ▼
+//!              scale_processors  ComputePool      TuneTable     cloud_slot
+//!              (consumer pool)   set_width      (batch/prefetch  .replace
+//!                                               /fetch cells)   (migration)
+//! ```
+//!
+//! A controller thread ticks at `tick`, samples total consumer-group lag,
+//! runs [`pilot_metrics::attribute`] over the recent span/frame window to
+//! find the dominant component, and feeds the [`ControllerCore`] decision
+//! machine. Released actions are applied to the live pipeline and appended
+//! to a journal of [`ControlEvent`]s; two gauges export the loop's own
+//! activity to the same telemetry plane it consumes:
+//! [`GAUGE_CONTROL_ACTIONS`] (actions applied so far) and
+//! [`GAUGE_CONTROL_LAST_CAUSE`] (coded cause of the most recent action).
+//!
+//! With `PipelineConfig::controller` unset (the default) none of this
+//! exists: no thread, no gauges, a fixed-width compute pool, and stage
+//! behaviour bit-identical to the frozen-config seed
+//! (`tests/control.rs::defaults_leave_zero_footprint`).
+
+mod action;
+mod core;
+
+pub use action::{Action, Cause, ControlEvent, Knob, Verdict};
+pub use core::{BottleneckStage, ControlBounds, ControllerCore, Observation};
+
+use crate::faas::CloudFactory;
+use crate::runtime::PipelineCtl;
+use parking_lot::Mutex;
+use pilot_metrics::Component;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Gauge counting actions the controller has applied (monotonic).
+pub const GAUGE_CONTROL_ACTIONS: &str = "control.actions";
+
+/// Gauge holding the coded cause of the most recent action: 0 = none yet,
+/// 1 = lag-over (unattributed), 2 = lag-under, 3–8 = lag-over attributed
+/// to producers / edge link / broker / cloud link / processors / other.
+pub const GAUGE_CONTROL_LAST_CAUSE: &str = "control.last_cause";
+
+/// Model-migration lever: the pair of processing factories the controller
+/// may swap between when a WAN link becomes the bottleneck (paper Section
+/// II-D adaptation). `to_edge` should be the cheaper/lossier edge-side
+/// variant, `to_cloud` the full-fidelity one restored after recovery.
+#[derive(Clone)]
+pub struct MigrationPolicy {
+    /// Factory swapped in by [`Action::MigrateToEdge`].
+    pub to_edge: CloudFactory,
+    /// Factory restored by [`Action::MigrateToCloud`].
+    pub to_cloud: CloudFactory,
+}
+
+impl std::fmt::Debug for MigrationPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MigrationPolicy").finish_non_exhaustive()
+    }
+}
+
+/// Controller tuning. Attach via
+/// [`PipelineConfig::controller`](crate::pipeline::PipelineConfig) (the
+/// runtime spawns it with the pipeline) or
+/// [`RunningPipeline::attach_controller`](crate::runtime::RunningPipeline::attach_controller).
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Sampling interval of the control loop.
+    pub tick: Duration,
+    /// Consecutive same-direction observations required before acting.
+    pub hysteresis: usize,
+    /// Minimum spacing between two actions on the *same* knob. Distinct
+    /// knobs may fire on consecutive ticks (escalation).
+    pub cooldown: Duration,
+    /// Act (scale up) when total lag exceeds this many records.
+    pub lag_bound: u64,
+    /// Walk knobs back down when total lag falls to or below this.
+    pub lag_low: u64,
+    /// Per-knob bounds; see [`ControlBounds::from_planner`] to derive the
+    /// processor ceiling from an analytic plan.
+    pub bounds: ControlBounds,
+    /// Window width for [`pilot_metrics::attribute`], µs.
+    pub attribution_window_us: u64,
+    /// Whether to run bottleneck attribution at all (needs the telemetry
+    /// plane; `false` gives the legacy lag-only behaviour at lower cost).
+    pub use_attribution: bool,
+    /// Optional model-migration lever.
+    pub migration: Option<MigrationPolicy>,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self {
+            tick: Duration::from_millis(50),
+            hysteresis: 2,
+            cooldown: Duration::from_millis(200),
+            lag_bound: 16,
+            lag_low: 2,
+            bounds: ControlBounds::default(),
+            attribution_window_us: 250_000,
+            use_attribution: true,
+            migration: None,
+        }
+    }
+}
+
+impl ControllerConfig {
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        if self.tick.is_zero() {
+            return Err("controller tick must be > 0".into());
+        }
+        if self.hysteresis == 0 {
+            return Err("controller hysteresis must be >= 1".into());
+        }
+        if self.lag_low > self.lag_bound {
+            return Err(format!(
+                "controller lag_low {} exceeds lag_bound {}",
+                self.lag_low, self.lag_bound
+            ));
+        }
+        if self.attribution_window_us == 0 {
+            return Err("controller attribution_window_us must be > 0".into());
+        }
+        self.bounds.validate()
+    }
+}
+
+/// Handle to a running controller thread: stop it, read its journal.
+pub struct ControllerHandle {
+    stop: Arc<AtomicBool>,
+    events: Arc<Mutex<Vec<ControlEvent>>>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ControllerHandle {
+    /// Stop the controller and join its thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// The action journal so far (append-only; clones the entries).
+    pub fn events(&self) -> Vec<ControlEvent> {
+        self.events.lock().clone()
+    }
+}
+
+impl Drop for ControllerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The controller loop (spawned by the runtime when
+/// `PipelineConfig::controller` is set, or by `attach_controller`).
+pub(crate) struct Controller;
+
+impl Controller {
+    pub(crate) fn spawn(ctl: Arc<PipelineCtl>, config: ControllerConfig) -> ControllerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let stop2 = Arc::clone(&stop);
+        let events2 = Arc::clone(&events);
+        let thread = std::thread::Builder::new()
+            .name("pilot-edge-controller".into())
+            .spawn(move || Self::run(&ctl, &config, &stop2, &events2))
+            .expect("spawn controller thread");
+        ControllerHandle {
+            stop,
+            events,
+            thread: Some(thread),
+        }
+    }
+
+    fn run(
+        ctl: &PipelineCtl,
+        config: &ControllerConfig,
+        stop: &AtomicBool,
+        events: &Mutex<Vec<ControlEvent>>,
+    ) {
+        let metrics = ctl.shared.metrics();
+        let actions_gauge = metrics.gauge(GAUGE_CONTROL_ACTIONS);
+        let cause_gauge = metrics.gauge(GAUGE_CONTROL_LAST_CAUSE);
+        let started = Instant::now();
+        let mut core = ControllerCore::from_config(config);
+        while !stop.load(Ordering::Relaxed) && !ctl.is_stopped() && !ctl.all_done() {
+            std::thread::sleep(config.tick);
+            let (bottleneck, label, gauges) = Self::sense(ctl, config);
+            let obs = Observation {
+                now: started.elapsed(),
+                lag: ctl.total_lag(),
+                bottleneck,
+                bottleneck_label: label,
+                processors: ctl.processor_count(),
+                compute_width: ctl.shared.ctx.compute.threads(),
+                batch_max_bytes: ctl.shared.tune.batch_max_bytes(),
+                prefetch_depth: ctl.shared.tune.prefetch_depth(),
+                fetch_max: ctl.shared.tune.fetch_max(),
+            };
+            let Some((cause, action)) = core.observe(&obs) else {
+                continue;
+            };
+            if Self::apply(ctl, config, &action) {
+                actions_gauge.incr();
+                cause_gauge.set(cause_code(cause.verdict, obs.bottleneck));
+                events.lock().push(ControlEvent {
+                    at: obs.now,
+                    before: action.before(),
+                    after: action.after(),
+                    cause,
+                    action,
+                    gauges,
+                });
+            }
+        }
+    }
+
+    /// One sensing pass: the latest gauge frame (for the journal) and —
+    /// when attribution is on and telemetry exists — the dominant
+    /// component of the most recent attribution window, mapped onto the
+    /// planner's stage model via the pipeline's own link names.
+    #[allow(clippy::type_complexity)]
+    fn sense(
+        ctl: &PipelineCtl,
+        config: &ControllerConfig,
+    ) -> (Option<BottleneckStage>, Option<String>, Vec<(String, i64)>) {
+        let Some(sampler) = ctl.telemetry_sampler() else {
+            return (None, None, Vec::new());
+        };
+        let gauges: Vec<(String, i64)> = sampler
+            .latest()
+            .map(|f| f.values.iter().map(|(n, v)| (n.to_string(), *v)).collect())
+            .unwrap_or_default();
+        if !config.use_attribution {
+            return (None, None, gauges);
+        }
+        let frames = sampler.frames();
+        if frames.len() < 2 {
+            return (None, None, gauges);
+        }
+        let shared = &ctl.shared;
+        // Only recent spans: the controller wants the bottleneck *now*,
+        // not the run-to-date average (a drained early phase must not
+        // outvote the current one).
+        let cutoff = shared
+            .metrics()
+            .now_us()
+            .saturating_sub(config.attribution_window_us.saturating_mul(4));
+        let spans: Vec<pilot_metrics::Span> = shared
+            .metrics()
+            .snapshot()
+            .into_iter()
+            .filter(|s| s.job_id == shared.ctx.job_id && s.end_us >= cutoff)
+            .collect();
+        if spans.is_empty() {
+            return (None, None, gauges);
+        }
+        let attr = pilot_metrics::attribute(&spans, &frames, config.attribution_window_us);
+        let dominant = attr
+            .windows
+            .last()
+            .and_then(|w| w.dominant())
+            .or_else(|| attr.dominant())
+            .cloned();
+        let stage = dominant.as_ref().map(|c| map_component(ctl, c));
+        let label = dominant.as_ref().map(|c| c.label());
+        (stage, label, gauges)
+    }
+
+    fn apply(ctl: &PipelineCtl, config: &ControllerConfig, action: &Action) -> bool {
+        let tune = &ctl.shared.tune;
+        match action {
+            Action::ScaleProcessors { to, .. } => ctl.scale_processors(*to).is_ok(),
+            Action::ResizeComputePool { to, .. } => {
+                let applied = ctl.shared.ctx.compute.set_width(*to);
+                tune.set_compute_width(applied);
+                applied != action.before() as usize
+            }
+            Action::SetBatchMaxBytes { to, .. } => {
+                tune.set_batch_max_bytes(*to);
+                true
+            }
+            Action::SetPrefetchDepth { to, .. } => {
+                tune.set_prefetch_depth(*to);
+                true
+            }
+            Action::SetFetchMax { to, .. } => {
+                tune.set_fetch_max(*to);
+                true
+            }
+            Action::MigrateToEdge => match &config.migration {
+                Some(policy) => {
+                    ctl.shared.cloud_slot.replace(Arc::clone(&policy.to_edge));
+                    true
+                }
+                None => false,
+            },
+            Action::MigrateToCloud => match &config.migration {
+                Some(policy) => {
+                    ctl.shared.cloud_slot.replace(Arc::clone(&policy.to_cloud));
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+}
+
+/// Map an attributed component onto the planner's stage model using this
+/// pipeline's link names (the spans carry the names verbatim).
+fn map_component(ctl: &PipelineCtl, c: &Component) -> BottleneckStage {
+    let shared = &ctl.shared;
+    match c {
+        Component::EdgeProducer | Component::EdgeProcessor => BottleneckStage::Producers,
+        Component::Broker => BottleneckStage::Broker,
+        Component::CloudProcessor => BottleneckStage::Processors,
+        Component::Network(name) if name == shared.link_edge_broker.name() => {
+            BottleneckStage::EdgeLink
+        }
+        Component::Network(name) if name == shared.link_broker_cloud.name() => {
+            BottleneckStage::CloudLink
+        }
+        _ => BottleneckStage::Other,
+    }
+}
+
+/// The [`GAUGE_CONTROL_LAST_CAUSE`] encoding.
+fn cause_code(verdict: Verdict, stage: Option<BottleneckStage>) -> i64 {
+    match verdict {
+        Verdict::LagUnder => 2,
+        Verdict::LagOver => match stage {
+            None => 1,
+            Some(BottleneckStage::Producers) => 3,
+            Some(BottleneckStage::EdgeLink) => 4,
+            Some(BottleneckStage::Broker) => 5,
+            Some(BottleneckStage::CloudLink) => 6,
+            Some(BottleneckStage::Processors) => 7,
+            Some(BottleneckStage::Other) => 8,
+        },
+    }
+}

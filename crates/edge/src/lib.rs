@@ -39,9 +39,15 @@
 //!   the `pilot-ml` models (baseline, k-means, isolation forest,
 //!   auto-encoder) with parameter-server weight publication, used by the
 //!   experiments.
+//! * [`control`] — the feedback controller closing the telemetry→knob loop
+//!   (DESIGN.md §15): a control thread maps lag + bottleneck attribution
+//!   onto typed actions over the live knob table — consumer pool, compute
+//!   width, batching, prefetch, fetch budget, model placement — with
+//!   hysteresis, per-knob cooldowns, and an append-only action journal.
 //! * [`adapt`] — the lag-driven autoscaler (Section V's "dynamically scale
 //!   resources across the continuum at runtime based on the application's
-//!   objectives").
+//!   objectives"); now the pinned-bounds, lag-only special case of the
+//!   controller.
 //! * [`planner`] — analytic capacity planning: predict throughput,
 //!   bottleneck, and the latency floor of a deployment before running it
 //!   (the conclusion's "optimal resource layout").
@@ -52,6 +58,7 @@
 //!   quantiles, bottleneck) the experiment harness prints.
 
 pub mod adapt;
+pub mod control;
 pub mod deployment;
 pub mod faas;
 pub mod federation;
@@ -64,6 +71,9 @@ pub mod summary;
 pub mod windows;
 
 pub use adapt::{AutoScalerConfig, ScalingEvent};
+pub use control::{
+    Action, BottleneckStage, ControlBounds, ControlEvent, ControllerConfig, MigrationPolicy,
+};
 pub use deployment::DeploymentMode;
 pub use faas::{CloudFactory, Context, EdgeFactory, ProcessOutcome, ProduceFactory};
 pub use federation::{FederationConfig, FederationSummary, RunningFederation};

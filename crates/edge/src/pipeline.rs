@@ -140,6 +140,19 @@ pub struct PipelineConfig {
     /// default (1 MiB). Requires `log_dir`; `Some(0)` is rejected by
     /// [`Self::validate`].
     pub fsync_batch_bytes: Option<u64>,
+    /// The feedback controller (DESIGN.md §15). `None` (the default) runs
+    /// no control loop: no controller thread, no `control.*` gauges, a
+    /// fixed-width compute pool, and every stage knob frozen at its
+    /// configured value — bit-identical to the pre-controller runtime.
+    /// `Some(cfg)` spawns a controller thread with the pipeline that
+    /// samples consumer lag (and, with the telemetry plane on, the
+    /// bottleneck attribution) every `cfg.tick`, and turns the live knobs
+    /// — consumer pool, compute-pool width, batching, prefetch depth,
+    /// fetch budget, optionally model placement — within `cfg.bounds`.
+    /// Decisions are journalled; read them via
+    /// [`RunningPipeline::control_events`]. The compute pool is created
+    /// resizable up to `cfg.bounds.max_compute`.
+    pub controller: Option<crate::control::ControllerConfig>,
 }
 
 impl Default for PipelineConfig {
@@ -164,6 +177,7 @@ impl Default for PipelineConfig {
             log_dir: None,
             fsync_interval_ms: None,
             fsync_batch_bytes: None,
+            controller: None,
         }
     }
 }
@@ -423,6 +437,15 @@ impl EdgeToCloudPipeline {
     /// [`PipelineConfig::fsync_batch_bytes`].
     pub fn fsync_batch_bytes(mut self, bytes: u64) -> Self {
         self.config.fsync_batch_bytes = Some(bytes);
+        self
+    }
+
+    /// Attach the feedback controller: a control loop spawned with the
+    /// pipeline that closes the telemetry→knob loop (consumer pool,
+    /// compute width, batching, prefetch, fetch budget, model placement).
+    /// See [`PipelineConfig::controller`] and [`crate::control`].
+    pub fn controller(mut self, config: crate::control::ControllerConfig) -> Self {
+        self.config.controller = Some(config);
         self
     }
 

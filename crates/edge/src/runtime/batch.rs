@@ -62,17 +62,25 @@ impl Batcher {
 
     /// Accumulate one encoded message; the batch ships when it is full or
     /// its linger window closed. The reservation completes (and the
-    /// messages append) while later messages encode.
+    /// messages append) while later messages encode. The threshold and
+    /// linger window are live [`TuneTable`](super::TuneTable) cells,
+    /// re-read per push, so a widened batch takes effect mid-stream.
     pub(crate) fn push(&mut self, shared: &Shared, msg: PendingMsg) -> Result<(), String> {
         self.pending_bytes += msg.payload.len();
         self.pending.push(msg);
         let opened = *self.batch_open.get_or_insert_with(Instant::now);
-        if self.pending_bytes >= shared.transport.batch_max_bytes
-            || opened.elapsed() >= shared.transport.linger
+        if self.pending_bytes >= shared.tune.batch_max_bytes()
+            || opened.elapsed() >= shared.tune.linger()
         {
             self.flush(shared)?;
         }
         Ok(())
+    }
+
+    /// Whether nothing is accumulated or in flight — the producer's guard
+    /// for switching to the serial path when batching is turned off live.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.in_flight.is_empty()
     }
 
     /// Ship the accumulated batch over one link reservation (non-blocking)

@@ -106,7 +106,10 @@ impl PipelineConfig {
     ///   ([`PipelineError::Config`]);
     /// * `telemetry_sample_ms == Some(0)` — a zero sampling interval would
     ///   spin the sampler thread flat out; use `None` to disable telemetry
-    ///   ([`PipelineError::Config`]).
+    ///   ([`PipelineError::Config`]);
+    /// * an inconsistent [`controller`](PipelineConfig::controller) config
+    ///   — zero tick or hysteresis, inverted lag thresholds, or any
+    ///   per-knob bound with `min > max` ([`PipelineError::Config`]).
     ///
     /// Called by `EdgeToCloudPipeline::start()` before any resource is
     /// provisioned; also usable directly on a hand-built config.
@@ -178,6 +181,9 @@ impl PipelineConfig {
                  default)"
                     .into(),
             ));
+        }
+        if let Some(ctl) = &self.controller {
+            ctl.validate().map_err(PipelineError::Config)?;
         }
         Ok(())
     }
@@ -384,6 +390,47 @@ mod tests {
             cfg.durability().unwrap().policy,
             pilot_broker::SyncPolicy::group_commit_default()
         );
+    }
+
+    #[test]
+    fn inconsistent_controller_rejected() {
+        use crate::control::{ControlBounds, ControllerConfig};
+        let ok = PipelineConfig {
+            controller: Some(ControllerConfig::default()),
+            ..PipelineConfig::default()
+        };
+        assert!(ok.validate().is_ok());
+        for bad in [
+            ControllerConfig {
+                tick: Duration::ZERO,
+                ..ControllerConfig::default()
+            },
+            ControllerConfig {
+                hysteresis: 0,
+                ..ControllerConfig::default()
+            },
+            ControllerConfig {
+                lag_low: 100,
+                lag_bound: 10,
+                ..ControllerConfig::default()
+            },
+            ControllerConfig {
+                bounds: ControlBounds {
+                    min_processors: 8,
+                    max_processors: 2,
+                    ..ControlBounds::default()
+                },
+                ..ControllerConfig::default()
+            },
+        ] {
+            let cfg = PipelineConfig {
+                controller: Some(bad),
+                ..PipelineConfig::default()
+            };
+            let err = cfg.validate().unwrap_err();
+            assert!(matches!(err, PipelineError::Config(_)), "{err}");
+            assert!(err.to_string().contains("controller"), "{err}");
+        }
     }
 
     #[test]

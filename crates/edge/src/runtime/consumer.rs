@@ -23,7 +23,7 @@ use crate::faas::CloudFn;
 use pilot_broker::consumer::PartitionBatches;
 use pilot_broker::{Consumer, Record};
 use pilot_metrics::Component;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
@@ -110,11 +110,13 @@ impl Fetcher {
     /// One multi-partition fetch for everything this member owns: a single
     /// blocking wait on the topic's arrival condvar, however many
     /// partitions are assigned (a member owning 128 partitions of a
-    /// 1024-device cell pays one wakeup, not 128 poll timeouts).
+    /// 1024-device cell pays one wakeup, not 128 poll timeouts). The fetch
+    /// budget is a live [`TuneTable`](super::TuneTable) cell, re-read per
+    /// poll.
     fn poll(&mut self) -> Result<Vec<(usize, Vec<Record>)>, String> {
         self.consumer
             .poll_many(
-                self.shared.consumer.fetch_max,
+                self.shared.tune.fetch_max(),
                 self.shared.consumer.poll_timeout,
             )
             .map_err(|e| e.to_string())
@@ -129,7 +131,7 @@ impl Fetcher {
         waker: &std::task::Waker,
     ) -> Result<Option<PartitionBatches>, String> {
         self.consumer
-            .poll_many_ready(self.shared.consumer.fetch_max, waker)
+            .poll_many_ready(self.shared.tune.fetch_max(), waker)
             .map_err(|e| e.to_string())
     }
 }
@@ -222,6 +224,11 @@ impl Processor {
     }
 }
 
+/// Hard cap on a prefetch channel's capacity: the admission gate (the live
+/// `prefetch_depth` knob) bounds the queue below this; the channel itself
+/// only backstops a knob raised beyond it.
+const PREFETCH_QUEUE_CAP: usize = 64;
+
 /// Where this stage's records come from.
 enum Source {
     /// Fetch + broker→cloud transfer inlined in the processing task
@@ -233,6 +240,9 @@ enum Source {
     Prefetch {
         rx: Option<mpsc::Receiver<Result<FetchedBatch, String>>>,
         quit: Arc<AtomicBool>,
+        /// Batches currently in the queue — the admission-gate counter the
+        /// prefetch loop checks against the live `prefetch_depth` knob.
+        queued: Arc<AtomicUsize>,
         thread: Option<std::thread::JoinHandle<()>>,
     },
 }
@@ -250,20 +260,30 @@ pub(crate) struct ConsumerStage {
 impl ConsumerStage {
     pub(crate) fn new(shared: Arc<Shared>, member: String) -> Result<Self, String> {
         let proc = Processor::new(&shared);
-        let source = if shared.consumer.prefetch_depth == 0 {
+        // The shape is picked from the *live* knob at member spawn: depth 0
+        // inlines the fetch; depth > 0 spawns the prefetch thread, whose
+        // queue admission then tracks the knob live (a scaled-up member
+        // joining after a `set_prefetch_depth` gets the new shape).
+        let depth = shared.tune.prefetch_depth();
+        let source = if depth == 0 {
             Source::Inline(Box::new(Fetcher::new(Arc::clone(&shared), member.clone())?))
         } else {
-            let (tx, rx) = mpsc::sync_channel(shared.consumer.prefetch_depth);
+            // Capacity covers the deepest admissible knob so the gate (not
+            // the channel) is what bounds the queue as the knob moves.
+            let (tx, rx) = mpsc::sync_channel(depth.max(PREFETCH_QUEUE_CAP));
             let quit = Arc::new(AtomicBool::new(false));
+            let queued = Arc::new(AtomicUsize::new(0));
             let thread = {
                 let shared2 = Arc::clone(&shared);
                 let member2 = member.clone();
                 let quit2 = Arc::clone(&quit);
-                std::thread::spawn(move || prefetch_loop(shared2, member2, &quit2, &tx))
+                let queued2 = Arc::clone(&queued);
+                std::thread::spawn(move || prefetch_loop(shared2, member2, &quit2, &queued2, &tx))
             };
             Source::Prefetch {
                 rx: Some(rx),
                 quit,
+                queued,
                 thread: Some(thread),
             }
         };
@@ -278,27 +298,67 @@ impl ConsumerStage {
     /// Stop the prefetch thread (if any), commit when `commit` (on orderly
     /// shutdown the inline shape commits its final positions; the prefetch
     /// thread commits its own on exit), and release group membership.
-    fn close(&mut self, commit: bool) {
+    fn close(&mut self, commit: bool) -> Result<(), String> {
+        let mut failure: Option<String> = None;
         match &mut self.source {
             Source::Inline(fetcher) => {
                 if commit {
                     fetcher.consumer.commit();
                 }
             }
-            Source::Prefetch { rx, quit, thread } => {
+            Source::Prefetch {
+                rx,
+                quit,
+                queued,
+                thread,
+            } => {
                 quit.store(true, Ordering::Relaxed);
                 // Drain the queue before dropping it: the drain unblocks a
-                // fetcher parked on a full queue (like the old plain drop
-                // did), and each discarded batch decrements the occupancy
-                // gauge, so post-shutdown telemetry reads zero instead of
-                // leaking the queued count.
+                // fetcher parked on a full queue, and each dequeued batch
+                // decrements the occupancy gauge, so post-shutdown
+                // telemetry reads zero instead of leaking the queued count.
+                //
+                // Queued batches are already *committed* (the fetcher
+                // commits after queueing — records handed to the
+                // processing side count as delivered), so the orderly
+                // drain must still process them: a successor member reads
+                // from the committed offset and would never redeliver
+                // them. Discarding here would silently lose delivered
+                // records on a scale-down retirement. Only the abort path
+                // (a failing run) drops them.
+                if commit {
+                    self.proc.refresh(&self.shared);
+                }
                 if let Some(rx) = rx.take() {
                     loop {
                         match rx.try_recv() {
                             Ok(item) => {
-                                if item.is_ok() {
+                                if let Ok(batch) = item {
+                                    queued.fetch_sub(1, Ordering::Relaxed);
                                     if let Some(g) = self.shared.stage_gauges() {
                                         g.prefetch_occupancy.decr();
+                                    }
+                                    if !commit || failure.is_some() {
+                                        continue;
+                                    }
+                                    for record in &batch.records {
+                                        if sentinel::is_sentinel(record) {
+                                            self.shared.sentinels.mark_done(batch.partition);
+                                            continue;
+                                        }
+                                        if let Err(e) = self.proc.process(
+                                            &self.shared,
+                                            batch.partition,
+                                            record,
+                                            batch.net_start_us,
+                                            batch.net_end_us,
+                                        ) {
+                                            // Keep draining (the fetcher
+                                            // must unpark), but surface
+                                            // the first failure.
+                                            failure = Some(e);
+                                            break;
+                                        }
                                     }
                                 }
                             }
@@ -320,6 +380,10 @@ impl ConsumerStage {
             }
         }
         self.shared.coordinator.leave(&self.member);
+        match failure {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 }
 
@@ -367,13 +431,14 @@ impl Stage for ConsumerStage {
                 fetcher.consumer.commit();
                 Ok(StepOutcome::Progress(processed))
             }
-            Source::Prefetch { rx, .. } => {
+            Source::Prefetch { rx, queued, .. } => {
                 let batch = match rx
                     .as_ref()
                     .expect("receiver lives until drain/abort")
                     .recv_timeout(self.shared.consumer.poll_timeout)
                 {
                     Ok(Ok(batch)) => {
+                        queued.fetch_sub(1, Ordering::Relaxed);
                         if let Some(g) = self.shared.stage_gauges() {
                             g.prefetch_occupancy.decr();
                         }
@@ -405,29 +470,32 @@ impl Stage for ConsumerStage {
     }
 
     fn drain(&mut self) -> Result<(), String> {
-        self.close(true);
-        Ok(())
+        self.close(true)
     }
 
     /// Failure path: same shutdown minus the offset commit (positions past
-    /// a failed record must stay uncommitted). Also fixes the seed's
-    /// serial consumer leaving its group membership dangling on error.
+    /// a failed record must stay uncommitted) and minus processing of
+    /// already-queued batches. Also fixes the seed's serial consumer
+    /// leaving its group membership dangling on error.
     fn abort(&mut self) {
-        self.close(false);
+        let _ = self.close(false);
     }
 }
 
 /// The prefetch thread: owns the [`Fetcher`], pays the broker→cloud
 /// transfer per batch (one reservation, propagation charged once), and
-/// hands completed batches to the stage through the bounded queue (send
-/// blocks when the processor is `prefetch_depth` batches behind —
-/// backpressure). Offsets commit only after a round's batches are safely
-/// queued; a send failure means the stage exited, so offsets stay
-/// uncommitted and a successor redelivers (at-least-once).
+/// hands completed batches to the stage through the admission-gated queue
+/// (the gate parks this thread while the processor is `prefetch_depth`
+/// batches behind — backpressure against the *live* knob, so a controller
+/// can deepen or shallow the window mid-run). Offsets commit only after a
+/// round's batches are safely queued; a send failure means the stage
+/// exited, so offsets stay uncommitted and a successor redelivers
+/// (at-least-once).
 fn prefetch_loop(
     shared: Arc<Shared>,
     member: String,
     quit: &AtomicBool,
+    queued: &AtomicUsize,
     tx: &mpsc::SyncSender<Result<FetchedBatch, String>>,
 ) {
     let mut fetcher = match Fetcher::new(Arc::clone(&shared), member) {
@@ -486,13 +554,25 @@ fn prefetch_loop(
                 net_start_us,
                 net_end_us,
             };
+            // Admission gate: park while the stage is a full window behind
+            // the *live* depth knob (clamped to ≥ 1 — a live 0 cannot turn
+            // this thread back inline). The channel capacity only backstops
+            // knobs raised beyond `PREFETCH_QUEUE_CAP`.
+            while queued.load(Ordering::Relaxed) >= shared.tune.prefetch_depth().max(1)
+                && !quit.load(Ordering::Relaxed)
+                && !shared.stopping()
+            {
+                std::thread::sleep(Duration::from_micros(200));
+            }
             // Occupancy is incremented before the (blocking) send so the
             // gauge can never dip negative against the stage's decrement;
             // a failed send (stage gone) undoes it.
+            queued.fetch_add(1, Ordering::Relaxed);
             if let Some(g) = shared.stage_gauges() {
                 g.prefetch_occupancy.incr();
             }
             if tx.send(Ok(batch)).is_err() {
+                queued.fetch_sub(1, Ordering::Relaxed);
                 if let Some(g) = shared.stage_gauges() {
                     g.prefetch_occupancy.decr();
                 }

@@ -188,6 +188,12 @@ impl PipelineCtl {
         self.shared.sentinels.all_done()
     }
 
+    /// The telemetry sampler, when the telemetry plane is on (the
+    /// controller reads frames and attribution input through this).
+    pub(crate) fn telemetry_sampler(&self) -> Option<&TelemetrySampler> {
+        self.telemetry.as_ref()
+    }
+
     pub(crate) fn scale_processors(&self, n: usize) -> Result<(), PipelineError> {
         if n == 0 {
             return Err(PipelineError::Capacity(
@@ -201,6 +207,8 @@ impl PipelineCtl {
                 // re-sync against the new generation instead of waiting
                 // for data (or the idle backstop) to surface it.
                 self.wake_reactor();
+                // Keep the tune-table mirror in step for observers.
+                self.shared.tune.set_processors(n);
                 return Ok(());
             }
             if current < n {
@@ -224,7 +232,11 @@ impl PipelineCtl {
 pub struct RunningPipeline {
     pub(crate) ctl: Arc<PipelineCtl>,
     producers: Vec<TaskFuture>,
-    scaler: Mutex<Option<crate::adapt::AutoScalerHandle>>,
+    /// The attached control loop — the full feedback controller
+    /// (`attach_controller` / `PipelineConfig::controller`) or the legacy
+    /// lag-only autoscaler (`autoscale`, a pinned-bounds special case of
+    /// the same loop). One slot: attaching either replaces the other.
+    scaler: Mutex<Option<crate::control::ControllerHandle>>,
 }
 
 impl RunningPipeline {
@@ -282,6 +294,10 @@ impl RunningPipeline {
     /// workload management system that can select, acquire and dynamically
     /// scale resources across the continuum at runtime based on the
     /// application's objectives"). Replaces any previously attached scaler.
+    ///
+    /// This is the legacy, lag-only special case of
+    /// [`RunningPipeline::attach_controller`]: every knob except the
+    /// processor count is pinned, and no attribution runs.
     pub fn autoscale(&self, config: crate::adapt::AutoScalerConfig) {
         let handle = crate::adapt::AutoScaler::spawn(Arc::clone(&self.ctl), config);
         if let Some(old) = self.scaler.lock().replace(handle) {
@@ -289,13 +305,48 @@ impl RunningPipeline {
         }
     }
 
-    /// Scaling decisions made by the attached autoscaler so far.
+    /// Attach the feedback controller (DESIGN.md §15), closing the
+    /// telemetry→knob loop over this pipeline. Replaces any previously
+    /// attached controller or autoscaler. Called automatically by the
+    /// runtime when [`PipelineConfig::controller`] is set.
+    ///
+    /// [`PipelineConfig::controller`]: crate::pipeline::PipelineConfig::controller
+    pub fn attach_controller(&self, config: crate::control::ControllerConfig) {
+        let handle = crate::control::Controller::spawn(Arc::clone(&self.ctl), config);
+        if let Some(old) = self.scaler.lock().replace(handle) {
+            old.stop();
+        }
+    }
+
+    /// Processor-scaling decisions made by the attached control loop so
+    /// far, in the legacy [`ScalingEvent`](crate::adapt::ScalingEvent)
+    /// shape (enriched with the attributed bottleneck and the gauge
+    /// snapshot). Non-processor actions are in
+    /// [`RunningPipeline::control_events`].
     pub fn scaling_events(&self) -> Vec<crate::adapt::ScalingEvent> {
+        self.control_events()
+            .iter()
+            .filter_map(crate::adapt::ScalingEvent::from_control)
+            .collect()
+    }
+
+    /// The attached control loop's full action journal: every applied
+    /// action with its cause, knob levels before/after, and the gauge
+    /// snapshot at decision time. Empty when no controller is attached
+    /// (the default — asserted zero-footprint in `tests/control.rs`).
+    pub fn control_events(&self) -> Vec<crate::control::ControlEvent> {
         self.scaler
             .lock()
             .as_ref()
             .map(|s| s.events())
             .unwrap_or_default()
+    }
+
+    /// The live knob table shared with the stages: batch threshold,
+    /// linger, prefetch depth, fetch budget. Writes take effect within one
+    /// stage round; an attached controller writes the same cells.
+    pub fn tune(&self) -> Arc<crate::runtime::TuneTable> {
+        Arc::clone(&self.ctl.shared.tune)
     }
 
     /// Linked metrics for this job so far (usable mid-run).
@@ -398,8 +449,17 @@ impl RunningPipeline {
                 return Err(PipelineError::Timeout);
             }
         }
+        // Retired members (scale-downs) may still be draining their
+        // committed prefetch queues; those records count as delivered, so
+        // the run is not over — and the span store not complete — until
+        // they finish. Join them under the same deadline as live members.
         for handle in std::mem::take(&mut *self.ctl.retired.lock()) {
-            let _ = handle.wait_timeout(Duration::from_millis(100));
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match handle.wait_timeout(remaining.max(Duration::from_millis(100))) {
+                None => return Err(PipelineError::Timeout),
+                Some(Err(e)) => return Err(PipelineError::Task(e)),
+                Some(Ok(())) => {}
+            }
         }
         // Every reactor task is settled; join the reactor threads now so
         // a completed wait() leaves no pool threads behind.

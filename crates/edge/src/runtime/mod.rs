@@ -89,12 +89,14 @@ pub(crate) mod sentinel;
 mod spans;
 mod stage;
 pub mod telemetry;
+pub mod tune;
 
 #[cfg(test)]
 mod tests;
 
 pub(crate) use ctl::PipelineCtl;
 pub use ctl::RunningPipeline;
+pub use tune::TuneTable;
 
 use crate::faas::{Context, SwappableCloudFactory};
 use crate::pipeline::{EdgeToCloudPipeline, PipelineError};
@@ -127,6 +129,10 @@ pub(crate) struct Shared {
     pub(crate) coordinator: GroupCoordinator,
     pub(crate) sentinels: SentinelTracker,
     pub(crate) stop_all: AtomicBool,
+    /// Live knob cells the stages re-read at loop/poll boundaries; seeded
+    /// from the resolved configs, so an untouched table is bit-identical
+    /// to the frozen-config behaviour.
+    pub(crate) tune: Arc<TuneTable>,
     /// Stage gauges of the live telemetry plane; `None` (the default, when
     /// `telemetry_sample_ms` is unset) keeps every hot-path update a single
     /// null check.
@@ -206,6 +212,16 @@ pub(crate) fn start(
     let compute_width = cfg
         .compute_threads
         .unwrap_or_else(|| cloud.description().cores);
+    // With a controller configured the pool is resizable up to the
+    // controller's compute bound; without one it is the seed's fixed-width
+    // pool, byte for byte.
+    let compute_pool = match &cfg.controller {
+        Some(ctl_cfg) => pilot_dataflow::ComputePool::resizable(
+            compute_width,
+            ctl_cfg.bounds.max_compute.max(compute_width),
+        ),
+        None => pilot_dataflow::ComputePool::new(compute_width),
+    };
     // Telemetry plane (off by default): register the stage gauges before
     // any stage runs, so the first sampler frame already has every name.
     let gauges = cfg
@@ -225,7 +241,8 @@ pub(crate) fn start(
         metrics,
         builder.settings.clone(),
     )
-    .with_compute_pool(Arc::new(pilot_dataflow::ComputePool::new(compute_width)));
+    .with_compute_pool(Arc::new(compute_pool));
+    let tune = Arc::new(TuneTable::from_stages(&stages, compute_width));
     let shared = Arc::new(Shared {
         ctx,
         broker,
@@ -241,6 +258,7 @@ pub(crate) fn start(
         coordinator: GroupCoordinator::new(cfg.devices),
         sentinels: SentinelTracker::new(cfg.devices),
         stop_all: AtomicBool::new(false),
+        tune,
         gauges,
         reactor,
     });
@@ -279,5 +297,11 @@ pub(crate) fn start(
     for member in ctl.join_members(cfg.processors) {
         ctl.spawn_joined_consumer(member)?;
     }
-    Ok(RunningPipeline::new(ctl, producers))
+    let running = RunningPipeline::new(ctl, producers);
+    // Close the loop last: the controller's first tick already sees every
+    // startup member and the seeded tune table.
+    if let Some(ctl_cfg) = cfg.controller.clone() {
+        running.attach_controller(ctl_cfg);
+    }
+    Ok(running)
 }

@@ -119,11 +119,18 @@ impl DeviceProducer {
         );
         let bytes = payload.len() as u64;
         spans.record(mid, Component::EdgeProducer, t0, spans.now_us(), bytes);
-        if shared.transport.batching() {
+        // Live knob: the batch threshold is re-read per message, so a
+        // controller can widen/narrow/disable batching mid-stream.
+        if shared.tune.batch_max_bytes() > 0 {
             // Pipelined path: accumulate; the batcher ships when full or
             // when the linger window closes.
             self.batcher.push(shared, PendingMsg { payload, mid, t0 })?;
         } else {
+            // Batching was just turned off live: ship what accumulated
+            // first so no message trails the ones sent serially below.
+            if !self.batcher.is_idle() {
+                self.batcher.drain(shared)?;
+            }
             // Serial path (the default): every message pays its own
             // blocking edge → broker transfer.
             let n0 = spans.now_us();

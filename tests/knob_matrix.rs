@@ -58,9 +58,29 @@ fn run_combo(
     reactor_threads: Option<usize>,
     log_dir: Option<std::path::PathBuf>,
 ) -> BTreeSet<(u64, u64)> {
+    run_combo_controlled(
+        producer_threads,
+        prefetch_depth,
+        reactor_threads,
+        log_dir,
+        None,
+    )
+}
+
+/// [`run_combo`] with an optional live feedback controller attached — the
+/// controller axis of the matrix.
+fn run_combo_controlled(
+    producer_threads: Option<usize>,
+    prefetch_depth: usize,
+    reactor_threads: Option<usize>,
+    log_dir: Option<std::path::PathBuf>,
+    controller: Option<pilot_edge::ControllerConfig>,
+) -> BTreeSet<(u64, u64)> {
     let combo = format!(
         "producer_threads={producer_threads:?} prefetch_depth={prefetch_depth} \
-         reactor_threads={reactor_threads:?} log_dir={log_dir:?}"
+         reactor_threads={reactor_threads:?} log_dir={log_dir:?} \
+         controller={}",
+        if controller.is_some() { "on" } else { "off" }
     );
     let edge_cores = producer_threads.unwrap_or(DEVICES);
     let (edge, cloud) = pilots(edge_cores, 2);
@@ -93,6 +113,9 @@ fn run_combo(
     }
     if let Some(dir) = log_dir {
         builder = builder.log_dir(dir);
+    }
+    if let Some(cfg) = controller {
+        builder = builder.telemetry_sample_ms(5).controller(cfg);
     }
     let running = builder.start().unwrap();
     let job_id = running.job_id();
@@ -131,7 +154,7 @@ fn run_combo(
         );
         assert_eq!(
             networks, 2,
-            "{combo}: msg {mid} Network spans (edge→broker + broker→cloud)"
+            "{combo}: msg {mid} Network spans (edge→broker + broker→cloud); chain: {components:?}"
         );
         assert_eq!(
             count(&Component::CloudProcessor),
@@ -189,4 +212,35 @@ fn durable_log_is_observationally_identical_to_memory() {
         .count();
     assert_eq!(partitions, DEVICES, "one p<N>/ directory per partition");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The controller axis: attaching a deliberately twitchy live controller
+/// (2 ms tick, hysteresis 1, near-zero lag band — it will turn knobs
+/// mid-run at every opportunity) must not change the observable message
+/// set. Live resizes of the consumer pool, compute width, batching,
+/// prefetch, and fetch budget all preserve exactly-once delivery and
+/// payload integrity.
+#[test]
+fn live_controller_is_observationally_identical_to_static_knobs() {
+    let baseline = run_combo(None, 2, None, None);
+    assert_eq!(baseline.len(), DEVICES * MESSAGES);
+    let twitchy = pilot_edge::ControllerConfig {
+        tick: Duration::from_millis(2),
+        hysteresis: 1,
+        cooldown: Duration::from_millis(5),
+        lag_bound: 1,
+        lag_low: 0,
+        bounds: pilot_edge::ControlBounds {
+            max_processors: 4,
+            max_compute: 4,
+            ..pilot_edge::ControlBounds::default()
+        },
+        use_attribution: true,
+        ..pilot_edge::ControllerConfig::default()
+    };
+    let controlled = run_combo_controlled(None, 2, None, None, Some(twitchy));
+    assert_eq!(
+        controlled, baseline,
+        "the live controller changed the observable message set"
+    );
 }

@@ -71,6 +71,64 @@ fn prefetch_scale_processors_mid_run() {
 }
 
 #[test]
+fn prefetch_scale_down_delivers_queued_committed_records() {
+    // The inverse rebalance: scale 2 → 1 while the retired member's
+    // prefetch queue is full of *committed* batches (the prefetch thread
+    // commits after queueing — queued records count as delivered). The
+    // successor resumes from the committed offset and will never redeliver
+    // them, so the retiring member's drain must process its queue, not
+    // discard it. A slow cloud function keeps the queue saturated at
+    // retirement time.
+    use parking_lot::Mutex;
+    use pilot_edge::faas::{CloudFactory, ProcessOutcome};
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    let (edge, cloud) = pilots(2, 2);
+    let seen = Arc::new(Mutex::new(BTreeSet::new()));
+    let seen2 = Arc::clone(&seen);
+    let slow_capture: CloudFactory = Arc::new(move |_ctx| {
+        let seen = Arc::clone(&seen2);
+        Box::new(
+            move |_ctx: &pilot_edge::faas::Context, block: &pilot_datagen::Block| {
+                std::thread::sleep(Duration::from_millis(3));
+                // (per-device msg id, content hash) — the content
+                // distinguishes the two devices' streams.
+                let mut h = 0xcbf29ce484222325u64;
+                for v in &block.data {
+                    h = (h ^ v.to_bits()).wrapping_mul(0x100000001b3);
+                }
+                seen.lock().insert((block.msg_id, h));
+                Ok(ProcessOutcome::default())
+            },
+        )
+    });
+    let running = EdgeToCloudPipeline::builder()
+        .pilot_edge(edge)
+        .pilot_cloud_processing(cloud)
+        .produce_function(datagen_produce_factory(DataGenConfig::paper(20), 16))
+        .process_cloud_function(slow_capture)
+        .devices(2)
+        .processors(2)
+        .prefetch_depth(2)
+        .start()
+        .unwrap();
+    // Let the producers finish and the prefetch threads fetch, queue, and
+    // commit well ahead of the slow processors.
+    std::thread::sleep(Duration::from_millis(40));
+    running.scale_processors(1).unwrap();
+    assert_eq!(running.processor_count(), 1);
+    let summary = running.wait(WAIT).unwrap();
+    assert_eq!(summary.errors, 0);
+    assert_eq!(summary.messages, 32);
+    assert_eq!(
+        seen.lock().len(),
+        32,
+        "scale-down retirement lost committed prefetched records"
+    );
+}
+
+#[test]
 fn prefetch_hot_swap_mid_stream() {
     // Function replacement while prefetched batches sit in the queue: the
     // swap must take effect without dropping queued messages.
