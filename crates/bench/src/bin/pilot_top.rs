@@ -26,20 +26,10 @@
 //! ```
 
 use pilot_bench::{start_cell, CellOpts, Geo};
-use pilot_metrics::{attribute, validate_trace_json, TelemetryFrame};
+use pilot_edge::federation::FEDERATION_GAUGES;
+use pilot_metrics::{attribute, validate_trace_json, TopView, PIPELINE_GAUGES};
 use pilot_ml::ModelKind;
 use std::time::{Duration, Instant};
-
-/// Gauges shown in the live table, in display order.
-const LIVE_GAUGES: &[&str] = &[
-    "producer.deadline_queue_depth",
-    "producer.inflight_batch_bytes",
-    "consumer.prefetch_occupancy",
-    "broker.lag.total",
-    "net.edge_broker.pending_us",
-    "net.broker_cloud.pending_us",
-    "cloud.compute_pool_occupancy",
-];
 
 fn scenario(name: &str) -> CellOpts {
     let quick = std::env::var("PILOT_BENCH_QUICK").is_ok();
@@ -64,29 +54,6 @@ fn scenario(name: &str) -> CellOpts {
         },
     }
 }
-
-fn print_frame(frame: &TelemetryFrame, processed: u64, expected: u64) {
-    println!("t={:>9}µs  processed {processed}/{expected}", frame.t_us);
-    for name in LIVE_GAUGES {
-        if let Some(v) = frame.value(name) {
-            println!("  {name:<34} {v:>12}");
-        }
-    }
-    println!();
-}
-
-/// Gauges of the federation scenario's live table, in display order.
-const FED_GAUGES: &[&str] = &[
-    pilot_edge::federation::GAUGE_FED_CELLS_ACTIVE,
-    pilot_edge::federation::GAUGE_FED_LAG_CELLS,
-    pilot_edge::federation::GAUGE_FED_LAG_REGIONS,
-    pilot_edge::federation::GAUGE_FED_LAG_CLOUD,
-    pilot_edge::federation::GAUGE_FED_ROUNDS,
-    pilot_edge::federation::GAUGE_FED_ROUND_MS,
-    pilot_edge::federation::GAUGE_PARAMS_GETS,
-    pilot_edge::federation::GAUGE_PARAMS_PUTS,
-    "consumer.reactor.ready_queue_depth",
-];
 
 /// The federation scenario: a live per-tier view of a 64-cell continuum
 /// (cells → regions → cloud) on one shared reactor.
@@ -121,13 +88,8 @@ fn run_federation_scenario() {
         std::thread::sleep(Duration::from_millis(100));
         let processed = running.processed();
         if let Some(frame) = running.sampler().and_then(|s| s.latest()) {
-            println!("t={:>9}µs  processed {processed}/{expected}", frame.t_us);
-            for name in FED_GAUGES {
-                if let Some(v) = frame.value(name) {
-                    println!("  {name:<34} {v:>12}");
-                }
-            }
-            println!();
+            let view = TopView::from_frame(&frame, FEDERATION_GAUGES, processed, Some(expected));
+            print!("{}", view.to_text());
         }
         if processed >= expected || Instant::now() > deadline {
             break;
@@ -181,7 +143,8 @@ fn main() {
         std::thread::sleep(Duration::from_millis(100));
         let processed = cell.pipeline.report().total_messages();
         if let Some(frame) = cell.pipeline.telemetry().last() {
-            print_frame(frame, processed, expected);
+            let view = TopView::from_frame(frame, PIPELINE_GAUGES, processed, Some(expected));
+            print!("{}", view.to_text());
         }
         if processed >= expected || Instant::now() > deadline {
             break;

@@ -94,6 +94,9 @@ pub struct CellOpts {
     /// persists through the storage engine under the group-commit fsync
     /// defaults (DESIGN.md §13).
     pub log_dir: Option<std::path::PathBuf>,
+    /// Observability gateway config (None = no gateway, the default).
+    /// See DESIGN.md §16; `gateway_load` drives this.
+    pub gateway: Option<pilot_gateway::GatewayConfig>,
 }
 
 impl Default for CellOpts {
@@ -116,6 +119,7 @@ impl Default for CellOpts {
             compute_threads: None,
             telemetry_sample_ms: None,
             log_dir: None,
+            gateway: None,
         }
     }
 }
@@ -239,6 +243,9 @@ pub fn start_cell(opts: &CellOpts) -> StartedCell {
     }
     if let Some(dir) = &opts.log_dir {
         builder = builder.log_dir(dir.clone());
+    }
+    if let Some(gw) = &opts.gateway {
+        builder = builder.gateway(gw.clone());
     }
     if opts.mode.edge_processing() {
         builder = builder.process_edge_function(downsample_edge_factory(opts.downsample));

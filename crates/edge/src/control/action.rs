@@ -25,10 +25,14 @@ pub enum Knob {
     Fetch,
     /// Where the processing function runs (model migration).
     Placement,
+    /// Producer linger window (`TuneTable::set_linger`). Turned only by
+    /// external operators (the gateway's `POST /control/tune`), never by
+    /// the controller core itself.
+    Linger,
 }
 
 impl Knob {
-    pub(crate) const COUNT: usize = 6;
+    pub(crate) const COUNT: usize = 7;
 
     pub(crate) fn index(self) -> usize {
         match self {
@@ -38,6 +42,7 @@ impl Knob {
             Knob::Prefetch => 3,
             Knob::Fetch => 4,
             Knob::Placement => 5,
+            Knob::Linger => 6,
         }
     }
 }
@@ -56,6 +61,10 @@ pub enum Action {
     SetPrefetchDepth { from: usize, to: usize },
     /// Raise or lower the per-partition fetch budget.
     SetFetchMax { from: usize, to: usize },
+    /// Set the producer linger window (µs). Emitted only for externally
+    /// requested tunes (`Verdict::External`); the controller core never
+    /// turns this knob on its own.
+    SetLinger { from_us: u64, to_us: u64 },
     /// Hot-swap processing to the migration policy's edge-side factory
     /// (shed WAN bytes when the edge→broker link is the bottleneck).
     MigrateToEdge,
@@ -72,6 +81,7 @@ impl Action {
             Action::SetBatchMaxBytes { .. } => Knob::Batch,
             Action::SetPrefetchDepth { .. } => Knob::Prefetch,
             Action::SetFetchMax { .. } => Knob::Fetch,
+            Action::SetLinger { .. } => Knob::Linger,
             Action::MigrateToEdge | Action::MigrateToCloud => Knob::Placement,
         }
     }
@@ -84,6 +94,7 @@ impl Action {
             | Action::SetBatchMaxBytes { from, .. }
             | Action::SetPrefetchDepth { from, .. }
             | Action::SetFetchMax { from, .. } => *from as i64,
+            Action::SetLinger { from_us, .. } => *from_us as i64,
             Action::MigrateToEdge => 0,
             Action::MigrateToCloud => 1,
         }
@@ -97,6 +108,7 @@ impl Action {
             | Action::SetBatchMaxBytes { to, .. }
             | Action::SetPrefetchDepth { to, .. }
             | Action::SetFetchMax { to, .. } => *to as i64,
+            Action::SetLinger { to_us, .. } => *to_us as i64,
             Action::MigrateToEdge => 1,
             Action::MigrateToCloud => 0,
         }
@@ -110,6 +122,7 @@ impl Action {
             Action::SetBatchMaxBytes { .. } => "set_batch_max_bytes",
             Action::SetPrefetchDepth { .. } => "set_prefetch_depth",
             Action::SetFetchMax { .. } => "set_fetch_max",
+            Action::SetLinger { .. } => "set_linger",
             Action::MigrateToEdge => "migrate_to_edge",
             Action::MigrateToCloud => "migrate_to_cloud",
         }
@@ -123,6 +136,21 @@ pub enum Verdict {
     LagOver,
     /// Lag stayed at or below the low-water mark for `hysteresis` ticks.
     LagUnder,
+    /// An external operator requested the action (the gateway's
+    /// `POST /control/tune`), bypassing the hysteresis machine entirely —
+    /// but never the bounds check.
+    External,
+}
+
+impl Verdict {
+    /// Short stable label for CSV/JSON output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::LagOver => "lag_over",
+            Verdict::LagUnder => "lag_under",
+            Verdict::External => "external",
+        }
+    }
 }
 
 /// Why the controller acted: the lag sample, the verdict, and — when the

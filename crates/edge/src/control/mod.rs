@@ -48,7 +48,8 @@ pub const GAUGE_CONTROL_ACTIONS: &str = "control.actions";
 
 /// Gauge holding the coded cause of the most recent action: 0 = none yet,
 /// 1 = lag-over (unattributed), 2 = lag-under, 3–8 = lag-over attributed
-/// to producers / edge link / broker / cloud link / processors / other.
+/// to producers / edge link / broker / cloud link / processors / other,
+/// 9 = externally requested (the gateway's `POST /control/tune`).
 pub const GAUGE_CONTROL_LAST_CAUSE: &str = "control.last_cause";
 
 /// Model-migration lever: the pair of processing factories the controller
@@ -303,6 +304,12 @@ impl Controller {
                 tune.set_fetch_max(*to);
                 true
             }
+            // The core never emits linger actions (external-only knob);
+            // apply it anyway so a replayed journal stays executable.
+            Action::SetLinger { to_us, .. } => {
+                tune.set_linger(Duration::from_micros(*to_us));
+                true
+            }
             Action::MigrateToEdge => match &config.migration {
                 Some(policy) => {
                     ctl.shared.cloud_slot.replace(Arc::clone(&policy.to_edge));
@@ -342,6 +349,7 @@ fn map_component(ctl: &PipelineCtl, c: &Component) -> BottleneckStage {
 /// The [`GAUGE_CONTROL_LAST_CAUSE`] encoding.
 fn cause_code(verdict: Verdict, stage: Option<BottleneckStage>) -> i64 {
     match verdict {
+        Verdict::External => 9,
         Verdict::LagUnder => 2,
         Verdict::LagOver => match stage {
             None => 1,

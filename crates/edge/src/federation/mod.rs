@@ -51,7 +51,11 @@ use pilot_broker::{Broker, RetentionPolicy};
 use pilot_core::{PilotComputeService, PilotDescription};
 use pilot_dataflow::{ComputePool, LocalExecutor, ReactorHandle};
 use pilot_datagen::DataGenConfig;
-use pilot_metrics::{Counter, MetricsRegistry, Probe, TelemetrySampler};
+use pilot_gateway::{Gateway, GatewayConfig, Request, Response, Router, StopFlag};
+use pilot_metrics::{
+    frames_json, prometheus_exposition, write_chrome_trace_to, Counter, MetricsRegistry, Probe,
+    TelemetrySampler, TopView,
+};
 use pilot_params::ParameterServer;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -94,6 +98,21 @@ pub const CTR_REGION_PUBLISHES: &str = "fed.region_publishes";
 pub const CTR_REGION_MERGES: &str = "fed.region_merges";
 /// Counter: times a cell observed a newer global model.
 pub const CTR_GLOBAL_REFRESHES: &str = "fed.global_refreshes";
+
+/// The federation gauges shown in the live table, in display order — one
+/// list consumed by both the `pilot_top` federation scenario and the
+/// federation gateway's `GET /top`, so the two renderings cannot drift.
+pub const FEDERATION_GAUGES: &[&str] = &[
+    GAUGE_FED_CELLS_ACTIVE,
+    GAUGE_FED_LAG_CELLS,
+    GAUGE_FED_LAG_REGIONS,
+    GAUGE_FED_LAG_CLOUD,
+    GAUGE_FED_ROUNDS,
+    GAUGE_FED_ROUND_MS,
+    GAUGE_PARAMS_GETS,
+    GAUGE_PARAMS_PUTS,
+    "consumer.reactor.ready_queue_depth",
+];
 
 /// Configuration of a federation run. Everything is opt-in: constructing
 /// one of these (and calling [`start`]/[`run`]) is the only way any of
@@ -138,6 +157,11 @@ pub struct FederationConfig {
     /// Processing function factory for every cell (`job_id` = cell id).
     /// `None` = the built-in streaming-mean FedAvg participant.
     pub cell_factory: Option<CloudFactory>,
+    /// `Some(cfg)` opens the observability front door over the federation
+    /// (DESIGN.md §16): `GET /metrics`, `/telemetry/frames`,
+    /// `/telemetry/stream`, `/top`, and `/trace` over the run's registry.
+    /// `None` (the default) builds nothing.
+    pub gateway: Option<GatewayConfig>,
 }
 
 impl Default for FederationConfig {
@@ -158,6 +182,7 @@ impl Default for FederationConfig {
             backpressure: 1024,
             telemetry_sample_ms: None,
             cell_factory: None,
+            gateway: None,
         }
     }
 }
@@ -194,6 +219,9 @@ impl FederationConfig {
         }
         if !self.skew.is_finite() || self.skew < 0.0 {
             return Err("skew must be finite and >= 0".into());
+        }
+        if let Some(gw) = &self.gateway {
+            gw.validate().map_err(|e| format!("gateway: {e}"))?;
         }
         Ok(())
     }
@@ -326,7 +354,11 @@ pub struct RunningFederation {
     _svc: PilotComputeService,
     executor: Arc<LocalExecutor>,
     registry: MetricsRegistry,
-    sampler: Option<TelemetrySampler>,
+    /// `Arc` so the gateway's stream handlers can hold the sampler across
+    /// their own thread lifetimes (the sampler itself is not `Clone`).
+    sampler: Option<Arc<TelemetrySampler>>,
+    /// The observability gateway, when [`FederationConfig::gateway`] is set.
+    gateway: Option<Gateway>,
     abort: Arc<AtomicBool>,
     producers: Vec<ReactorHandle>,
     consumers: Vec<ReactorHandle>,
@@ -362,7 +394,13 @@ impl RunningFederation {
 
     /// The telemetry sampler, when `telemetry_sample_ms` was set.
     pub fn sampler(&self) -> Option<&TelemetrySampler> {
-        self.sampler.as_ref()
+        self.sampler.as_deref()
+    }
+
+    /// The bound address of the observability gateway, when
+    /// [`FederationConfig::gateway`] is set (resolves `:0` ephemeral ports).
+    pub fn gateway_addr(&self) -> Option<std::net::SocketAddr> {
+        self.gateway.as_ref().map(|g| g.addr())
     }
 
     /// The shared reactor (thread count, poll stats).
@@ -418,6 +456,11 @@ impl RunningFederation {
         }
         let wall = self.started.elapsed();
         let reactor_threads = self.executor.thread_count();
+        // The gateway goes down before the sampler: its streams poll the
+        // sampler, and shutdown() joins the worker threads.
+        if let Some(mut gw) = self.gateway.take() {
+            gw.shutdown();
+        }
         if let Some(sampler) = self.sampler.take() {
             sampler.stop();
         }
@@ -641,13 +684,27 @@ pub fn start(cfg: FederationConfig) -> Result<RunningFederation, String> {
             cloud_server.clone(),
             cells_done,
         )];
-        TelemetrySampler::spawn(
+        Arc::new(TelemetrySampler::spawn(
             registry.clone(),
             Duration::from_millis(ms.max(1)),
             TelemetrySampler::DEFAULT_CAPACITY,
             probes,
-        )
+        ))
     });
+
+    let gateway = match &cfg.gateway {
+        Some(gw_cfg) => Some(
+            start_federation_gateway(
+                gw_cfg,
+                &registry,
+                sampler.clone(),
+                processed.clone(),
+                cfg.expected_messages(),
+            )
+            .map_err(|e| format!("gateway: {e}"))?,
+        ),
+        None => None,
+    };
 
     Ok(RunningFederation {
         cfg,
@@ -655,6 +712,7 @@ pub fn start(cfg: FederationConfig) -> Result<RunningFederation, String> {
         executor,
         registry,
         sampler,
+        gateway,
         abort,
         producers,
         consumers,
@@ -666,6 +724,110 @@ pub fn start(cfg: FederationConfig) -> Result<RunningFederation, String> {
         processed,
         started: Instant::now(),
     })
+}
+
+/// Build and start the federation's observability gateway: the read-only
+/// endpoint subset (`/metrics`, `/telemetry/frames`, `/telemetry/stream`,
+/// `/top`, `/trace`) over the run's registry. The federation has no tune
+/// table and no external ingestion path, so the control and produce
+/// endpoints of the pipeline gateway do not exist here.
+fn start_federation_gateway(
+    cfg: &GatewayConfig,
+    registry: &MetricsRegistry,
+    sampler: Option<Arc<TelemetrySampler>>,
+    processed: Arc<Counter>,
+    expected: u64,
+) -> std::io::Result<Gateway> {
+    let stop = StopFlag::new();
+    let metrics_registry = registry.clone();
+    let frames_sampler = sampler.clone();
+    let stream_sampler = sampler.clone();
+    let stream_stop = stop.clone();
+    let top_sampler = sampler;
+    let trace_registry = registry.clone();
+
+    let router = Router::new()
+        .get(
+            "/metrics",
+            Box::new(move |_req: &Request| Response::Full {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                body: prometheus_exposition(&metrics_registry).into_bytes(),
+            }),
+        )
+        .get(
+            "/telemetry/frames",
+            Box::new(move |_req: &Request| {
+                let frames = frames_sampler
+                    .as_ref()
+                    .map(|s| s.frames())
+                    .unwrap_or_default();
+                Response::json(frames_json(&frames))
+            }),
+        )
+        .get(
+            "/telemetry/stream",
+            Box::new(move |_req: &Request| {
+                let Some(sampler) = stream_sampler.clone() else {
+                    return federation_telemetry_off();
+                };
+                let stop = stream_stop.clone();
+                Response::Stream {
+                    content_type: "text/event-stream",
+                    write: Box::new(move |w| {
+                        let mut cursor = 0u64;
+                        while !stop.is_stopped() {
+                            for frame in sampler.frames() {
+                                if frame.t_us <= cursor {
+                                    continue;
+                                }
+                                pilot_gateway::write_sse_event(w, Some("frame"), &frame.to_json())?;
+                                cursor = frame.t_us;
+                            }
+                            std::thread::sleep(Duration::from_millis(25));
+                        }
+                        Ok(())
+                    }),
+                }
+            }),
+        )
+        .get(
+            "/top",
+            Box::new(move |_req: &Request| {
+                let Some(sampler) = &top_sampler else {
+                    return federation_telemetry_off();
+                };
+                let Some(latest) = sampler.latest() else {
+                    return Response::text(503, "no telemetry frame sampled yet\n");
+                };
+                let view = TopView::from_frame(
+                    &latest,
+                    FEDERATION_GAUGES,
+                    processed.get(),
+                    Some(expected),
+                );
+                Response::json(view.to_json())
+            }),
+        )
+        .get(
+            "/trace",
+            Box::new(move |_req: &Request| {
+                let registry = trace_registry.clone();
+                Response::Stream {
+                    content_type: "application/json",
+                    write: Box::new(move |w| write_chrome_trace_to(w, &registry.snapshot(), &[])),
+                }
+            }),
+        );
+
+    Gateway::start(cfg, router, registry, stop)
+}
+
+fn federation_telemetry_off() -> Response {
+    Response::text(
+        404,
+        "telemetry plane is off (set telemetry_sample_ms on the federation)\n",
+    )
 }
 
 /// One probe refreshing every federation gauge before each telemetry

@@ -153,6 +153,12 @@ pub struct PipelineConfig {
     /// [`RunningPipeline::control_events`]. The compute pool is created
     /// resizable up to `cfg.bounds.max_compute`.
     pub controller: Option<crate::control::ControllerConfig>,
+    /// `Some(cfg)` opens the observability front door (DESIGN.md §16): an
+    /// HTTP/SSE gateway bound to `cfg.bind` serving live metrics,
+    /// telemetry, traces, the control journal, tune ingestion, and record
+    /// ingestion. `None` (the default) builds nothing — no socket, no
+    /// threads, no `gateway.*` gauges.
+    pub gateway: Option<pilot_gateway::GatewayConfig>,
 }
 
 impl Default for PipelineConfig {
@@ -178,6 +184,7 @@ impl Default for PipelineConfig {
             fsync_interval_ms: None,
             fsync_batch_bytes: None,
             controller: None,
+            gateway: None,
         }
     }
 }
@@ -446,6 +453,17 @@ impl EdgeToCloudPipeline {
     /// See [`PipelineConfig::controller`] and [`crate::control`].
     pub fn controller(mut self, config: crate::control::ControllerConfig) -> Self {
         self.config.controller = Some(config);
+        self
+    }
+
+    /// Open the observability front door: an HTTP/SSE gateway serving this
+    /// pipeline's metrics, telemetry, traces, and control journal, and
+    /// accepting live tunes and record ingestion. See
+    /// [`PipelineConfig::gateway`] and [`RunningPipeline::gateway_addr`].
+    ///
+    /// [`RunningPipeline::gateway_addr`]: crate::runtime::RunningPipeline::gateway_addr
+    pub fn gateway(mut self, config: pilot_gateway::GatewayConfig) -> Self {
+        self.config.gateway = Some(config);
         self
     }
 

@@ -109,7 +109,10 @@ impl PipelineConfig {
     ///   ([`PipelineError::Config`]);
     /// * an inconsistent [`controller`](PipelineConfig::controller) config
     ///   — zero tick or hysteresis, inverted lag thresholds, or any
-    ///   per-knob bound with `min > max` ([`PipelineError::Config`]).
+    ///   per-knob bound with `min > max` ([`PipelineError::Config`]);
+    /// * an inconsistent [`gateway`](PipelineConfig::gateway) config — an
+    ///   empty bind address, zero workers, or a zero body cap
+    ///   ([`PipelineError::Config`]).
     ///
     /// Called by `EdgeToCloudPipeline::start()` before any resource is
     /// provisioned; also usable directly on a hand-built config.
@@ -184,6 +187,10 @@ impl PipelineConfig {
         }
         if let Some(ctl) = &self.controller {
             ctl.validate().map_err(PipelineError::Config)?;
+        }
+        if let Some(gw) = &self.gateway {
+            gw.validate()
+                .map_err(|e| PipelineError::Config(format!("gateway: {e}")))?;
         }
         Ok(())
     }

@@ -236,7 +236,15 @@ pub struct RunningPipeline {
     /// (`attach_controller` / `PipelineConfig::controller`) or the legacy
     /// lag-only autoscaler (`autoscale`, a pinned-bounds special case of
     /// the same loop). One slot: attaching either replaces the other.
-    scaler: Mutex<Option<crate::control::ControllerHandle>>,
+    /// `Arc`'d so the gateway's `/control/journal` handler can read the
+    /// journal without holding a `RunningPipeline` reference.
+    pub(crate) scaler: Arc<Mutex<Option<crate::control::ControllerHandle>>>,
+    /// The observability gateway, when [`PipelineConfig::gateway`] is set.
+    /// Lives here (not in [`PipelineCtl`]): its handlers capture
+    /// `Arc<PipelineCtl>`, so storing it inside the ctl would cycle.
+    ///
+    /// [`PipelineConfig::gateway`]: crate::pipeline::PipelineConfig::gateway
+    gateway: Mutex<Option<pilot_gateway::Gateway>>,
 }
 
 impl RunningPipeline {
@@ -244,8 +252,28 @@ impl RunningPipeline {
         Self {
             ctl,
             producers,
-            scaler: Mutex::new(None),
+            scaler: Arc::new(Mutex::new(None)),
+            gateway: Mutex::new(None),
         }
+    }
+
+    pub(crate) fn install_gateway(&self, gateway: pilot_gateway::Gateway) {
+        *self.gateway.lock() = Some(gateway);
+    }
+
+    /// The bound address of the observability gateway, when
+    /// [`PipelineConfig::gateway`] is set (resolves `:0` ephemeral ports).
+    ///
+    /// [`PipelineConfig::gateway`]: crate::pipeline::PipelineConfig::gateway
+    pub fn gateway_addr(&self) -> Option<std::net::SocketAddr> {
+        self.gateway.lock().as_ref().map(|g| g.addr())
+    }
+
+    /// A handle to the broker carrying this pipeline's topic (the gateway's
+    /// `POST /produce` appends through the same handle; tests fetch records
+    /// back to verify ingestion).
+    pub fn broker(&self) -> pilot_broker::Broker {
+        self.ctl.shared.broker.clone()
     }
 
     /// The job id linking this run's metrics.
@@ -466,6 +494,12 @@ impl RunningPipeline {
         if let Some(executor) = &self.ctl.shared.reactor {
             executor.shutdown();
         }
+        // The gateway goes down before the sampler: its SSE streams poll
+        // the sampler, and shutdown() joins the worker threads, so no
+        // handler can observe a stopped telemetry plane.
+        if let Some(mut gw) = self.gateway.lock().take() {
+            gw.shutdown();
+        }
         // Stop the sampler after every stage drained, so its final frame
         // records the quiesced gauge levels (zero depth, zero in-flight).
         if let Some(t) = &self.ctl.telemetry {
@@ -490,6 +524,9 @@ impl Drop for RunningPipeline {
     /// next pipeline.
     fn drop(&mut self) {
         const GRACE: Duration = Duration::from_secs(5);
+        if let Some(mut gw) = self.gateway.lock().take() {
+            gw.shutdown();
+        }
         if let Some(scaler) = self.scaler.lock().take() {
             scaler.stop();
         }

@@ -1,0 +1,468 @@
+//! The observability front door of a running pipeline (DESIGN.md §16):
+//! wires the generic [`pilot_gateway`] HTTP server onto a live
+//! [`PipelineCtl`].
+//!
+//! The gateway crate knows sockets, HTTP framing, routing, and SSE — it
+//! has never heard of pipelines. This module is the other half: it builds
+//! the endpoint handlers as closures over the pipeline control surface and
+//! hands them to [`pilot_gateway::Gateway::start`]. Opt-in via
+//! [`PipelineConfig::gateway`](crate::pipeline::PipelineConfig::gateway);
+//! with the knob unset (the default) none of this exists — no listener, no
+//! threads, no `gateway.*` gauges.
+//!
+//! | endpoint                 | serves                                          |
+//! |--------------------------|-------------------------------------------------|
+//! | `GET /metrics`           | Prometheus text exposition of every gauge/counter |
+//! | `GET /telemetry/frames`  | the telemetry frame ring as a JSON array        |
+//! | `GET /telemetry/stream`  | SSE: each new frame + periodic bottleneck verdict |
+//! | `GET /top`               | the `pilot_top` table as JSON ([`TopView`])     |
+//! | `GET /trace`             | Chrome `trace_event` JSON, streamed to the socket |
+//! | `GET /control/journal`   | controller + external tune actions, merged      |
+//! | `POST /control/tune`     | set `TuneTable` knobs live, bounds-checked      |
+//! | `POST /produce`          | append a record to a topic partition            |
+//!
+//! External tunes are journalled as [`ControlEvent`]s with
+//! [`Verdict::External`] so `GET /control/journal` shows one causal
+//! history: what the controller did, what an operator did, interleaved.
+
+use super::ctl::PipelineCtl;
+use crate::control::{Action, Cause, ControlBounds, ControlEvent, ControllerHandle, Verdict};
+use parking_lot::Mutex;
+use pilot_broker::{BrokerError, Record};
+use pilot_gateway::{Gateway, GatewayConfig, Request, Response, Router, StopFlag};
+use pilot_metrics::{
+    attribute, frames_json, prometheus_exposition, push_json_string, write_chrome_trace_to, Span,
+    TelemetryFrame, TopView, PIPELINE_GAUGES,
+};
+use std::io;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Ceiling for externally set linger windows (10 s in µs): the knob has no
+/// [`ControlBounds`] entry because the controller core never turns it, so
+/// the gateway enforces its own sanity bound.
+pub const LINGER_MAX_US: u64 = 10_000_000;
+
+/// SSE frame poll interval.
+const STREAM_POLL: Duration = Duration::from_millis(25);
+/// Minimum spacing between two SSE bottleneck verdicts.
+const VERDICT_EVERY: Duration = Duration::from_millis(250);
+/// Attribution window for `/top` and the SSE verdict events.
+const ATTRIBUTION_WINDOW_US: u64 = 250_000;
+
+/// Start the pipeline's gateway: build every endpoint around `ctl` and
+/// serve on `cfg.bind`. `scaler` is the controller slot (for the journal
+/// endpoint); `bounds` gates `POST /control/tune`.
+pub(crate) fn start(
+    cfg: &GatewayConfig,
+    ctl: &Arc<PipelineCtl>,
+    scaler: &Arc<Mutex<Option<ControllerHandle>>>,
+    bounds: ControlBounds,
+) -> io::Result<Gateway> {
+    let stop = StopFlag::new();
+    let journal: Arc<Mutex<Vec<ControlEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    let started = Instant::now();
+    let registry = ctl.shared.metrics().clone();
+    let job_id = ctl.shared.ctx.job_id;
+
+    let metrics_registry = registry.clone();
+    let frames_ctl = Arc::clone(ctl);
+    let stream_ctl = Arc::clone(ctl);
+    let stream_stop = stop.clone();
+    let top_ctl = Arc::clone(ctl);
+    let trace_ctl = Arc::clone(ctl);
+    let journal_scaler = Arc::clone(scaler);
+    let journal_log = Arc::clone(&journal);
+    let tune_ctl = Arc::clone(ctl);
+    let tune_log = Arc::clone(&journal);
+    let produce_ctl = Arc::clone(ctl);
+
+    let router = Router::new()
+        .get(
+            "/metrics",
+            Box::new(move |_req: &Request| Response::Full {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                body: prometheus_exposition(&metrics_registry).into_bytes(),
+            }),
+        )
+        .get(
+            "/telemetry/frames",
+            Box::new(move |_req: &Request| {
+                let frames = frames_ctl
+                    .telemetry_sampler()
+                    .map(|s| s.frames())
+                    .unwrap_or_default();
+                Response::json(frames_json(&frames))
+            }),
+        )
+        .get(
+            "/telemetry/stream",
+            Box::new(move |_req: &Request| {
+                if stream_ctl.telemetry_sampler().is_none() {
+                    return telemetry_off();
+                }
+                let ctl = Arc::clone(&stream_ctl);
+                let stop = stream_stop.clone();
+                Response::Stream {
+                    content_type: "text/event-stream",
+                    write: Box::new(move |w| stream_telemetry(&ctl, &stop, w)),
+                }
+            }),
+        )
+        .get(
+            "/top",
+            Box::new(move |_req: &Request| {
+                let Some(sampler) = top_ctl.telemetry_sampler() else {
+                    return telemetry_off();
+                };
+                let frames = sampler.frames();
+                let Some(latest) = frames.last() else {
+                    return Response::text(503, "no telemetry frame sampled yet\n");
+                };
+                let processed = top_ctl
+                    .shared
+                    .metrics()
+                    .report_for_job(job_id)
+                    .total_messages();
+                let mut view = TopView::from_frame(latest, PIPELINE_GAUGES, processed, None);
+                view.bottleneck = attribute_dominant(&top_ctl, &frames);
+                Response::json(view.to_json())
+            }),
+        )
+        .get(
+            "/trace",
+            Box::new(move |_req: &Request| {
+                let ctl = Arc::clone(&trace_ctl);
+                Response::Stream {
+                    content_type: "application/json",
+                    write: Box::new(move |w| {
+                        let spans = job_spans(&ctl);
+                        let frames = ctl
+                            .telemetry_sampler()
+                            .map(|s| s.frames())
+                            .unwrap_or_default();
+                        write_chrome_trace_to(w, &spans, &frames)
+                    }),
+                }
+            }),
+        )
+        .get(
+            "/control/journal",
+            Box::new(move |_req: &Request| {
+                let mut events: Vec<ControlEvent> = journal_scaler
+                    .lock()
+                    .as_ref()
+                    .map(|s| s.events())
+                    .unwrap_or_default();
+                events.extend(journal_log.lock().iter().cloned());
+                events.sort_by_key(|e| e.at);
+                Response::json(events_json(&events))
+            }),
+        )
+        .post(
+            "/control/tune",
+            Box::new(move |req: &Request| apply_tune(req, &tune_ctl, &bounds, &tune_log, started)),
+        )
+        .post(
+            "/produce",
+            Box::new(move |req: &Request| produce(req, &produce_ctl)),
+        );
+
+    Gateway::start(cfg, router, &registry, stop)
+}
+
+fn telemetry_off() -> Response {
+    Response::text(
+        404,
+        "telemetry plane is off (set telemetry_sample_ms on the pipeline)\n",
+    )
+}
+
+/// Spans of this pipeline's job (other jobs sharing the registry are not
+/// this gateway's business).
+fn job_spans(ctl: &PipelineCtl) -> Vec<Span> {
+    let job_id = ctl.shared.ctx.job_id;
+    ctl.shared
+        .metrics()
+        .snapshot()
+        .into_iter()
+        .filter(|s| s.job_id == job_id)
+        .collect()
+}
+
+/// Dominant component of the most recent attribution window, when enough
+/// signal exists.
+fn attribute_dominant(ctl: &PipelineCtl, frames: &[TelemetryFrame]) -> Option<String> {
+    if frames.len() < 2 {
+        return None;
+    }
+    let spans = job_spans(ctl);
+    if spans.is_empty() {
+        return None;
+    }
+    let attr = attribute(&spans, frames, ATTRIBUTION_WINDOW_US);
+    attr.windows
+        .last()
+        .and_then(|w| w.dominant())
+        .or_else(|| attr.dominant())
+        .map(|c| c.label())
+}
+
+/// The SSE loop: push every new telemetry frame (`event: frame`) and a
+/// periodic bottleneck verdict (`event: verdict`) until the subscriber
+/// hangs up or the gateway stops. The cursor starts one frame back so a
+/// new subscriber sees data immediately instead of waiting a sample tick.
+fn stream_telemetry(ctl: &PipelineCtl, stop: &StopFlag, w: &mut dyn io::Write) -> io::Result<()> {
+    let sampler = ctl.telemetry_sampler().expect("checked by handler");
+    let mut cursor = {
+        let frames = sampler.frames();
+        frames
+            .len()
+            .checked_sub(2)
+            .and_then(|i| frames.get(i))
+            .map(|f| f.t_us)
+            .unwrap_or(0)
+    };
+    let mut last_verdict = Instant::now();
+    let mut first = true;
+    while !stop.is_stopped() && !ctl.is_stopped() {
+        let frames = sampler.frames();
+        for frame in frames.iter() {
+            if frame.t_us <= cursor {
+                continue;
+            }
+            pilot_gateway::write_sse_event(w, Some("frame"), &frame.to_json())?;
+            cursor = frame.t_us;
+        }
+        if first || last_verdict.elapsed() >= VERDICT_EVERY {
+            first = false;
+            last_verdict = Instant::now();
+            let mut data = String::from("{\"t_us\":");
+            data.push_str(&ctl.shared.metrics().now_us().to_string());
+            data.push_str(",\"bottleneck\":");
+            match attribute_dominant(ctl, &frames) {
+                Some(label) => push_json_string(&mut data, &label),
+                None => data.push_str("null"),
+            }
+            data.push('}');
+            pilot_gateway::write_sse_event(w, Some("verdict"), &data)?;
+        }
+        std::thread::sleep(STREAM_POLL);
+    }
+    Ok(())
+}
+
+/// Render a journal as a JSON array (one object per [`ControlEvent`]).
+fn events_json(events: &[ControlEvent]) -> String {
+    let mut out = String::with_capacity(2 + events.len() * 160);
+    out.push('[');
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"at_us\":");
+        out.push_str(&(e.at.as_micros() as u64).to_string());
+        out.push_str(",\"action\":");
+        push_json_string(&mut out, e.action.label());
+        out.push_str(",\"before\":");
+        out.push_str(&e.before.to_string());
+        out.push_str(",\"after\":");
+        out.push_str(&e.after.to_string());
+        out.push_str(",\"cause\":{\"lag\":");
+        out.push_str(&e.cause.lag.to_string());
+        out.push_str(",\"verdict\":");
+        push_json_string(&mut out, e.cause.verdict.label());
+        out.push_str(",\"bottleneck\":");
+        match &e.cause.bottleneck {
+            Some(b) => push_json_string(&mut out, b),
+            None => out.push_str("null"),
+        }
+        out.push_str("},\"gauges\":{");
+        for (j, (name, value)) in e.gauges.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, name);
+            out.push(':');
+            out.push_str(&value.to_string());
+        }
+        out.push_str("}}");
+    }
+    out.push(']');
+    out
+}
+
+/// `POST /control/tune?batch_max_bytes=..&linger_us=..&prefetch_depth=..&fetch_max=..`
+///
+/// Validates the whole request against `bounds` first (tracking the
+/// would-be state so `batch_max_bytes=65536&linger_us=2000` in one request
+/// is legal), then applies and journals every action. Any unknown knob,
+/// unparsable value, or out-of-bounds target rejects the request whole —
+/// nothing is applied.
+fn apply_tune(
+    req: &Request,
+    ctl: &PipelineCtl,
+    bounds: &ControlBounds,
+    journal: &Mutex<Vec<ControlEvent>>,
+    started: Instant,
+) -> Response {
+    if req.query.is_empty() {
+        return Response::bad_request(
+            "no knobs given; supported: batch_max_bytes, linger_us, prefetch_depth, fetch_max",
+        );
+    }
+    let tune = &ctl.shared.tune;
+    // Validation pass over the planned state.
+    let mut batch = tune.batch_max_bytes();
+    let mut actions: Vec<Action> = Vec::with_capacity(req.query.len());
+    for (knob, value) in &req.query {
+        let v: u64 = match value.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                return Response::bad_request(format!("knob {knob}: not an integer: {value:?}"))
+            }
+        };
+        let action = match knob.as_str() {
+            "batch_max_bytes" => {
+                let to = v as usize;
+                if to < bounds.min_batch_bytes || to > bounds.max_batch_bytes {
+                    return out_of_bounds(knob, v, bounds.min_batch_bytes, bounds.max_batch_bytes);
+                }
+                let from = batch;
+                batch = to;
+                Action::SetBatchMaxBytes { from, to }
+            }
+            "linger_us" => {
+                if v > LINGER_MAX_US {
+                    return out_of_bounds(knob, v, 0, LINGER_MAX_US as usize);
+                }
+                if v > 0 && batch == 0 {
+                    return Response::bad_request(
+                        "linger_us requires batching on (set batch_max_bytes > 0 first, \
+                         or in the same request)",
+                    );
+                }
+                Action::SetLinger {
+                    from_us: tune.linger().as_micros() as u64,
+                    to_us: v,
+                }
+            }
+            "prefetch_depth" => {
+                let to = v as usize;
+                if to < bounds.min_prefetch || to > bounds.max_prefetch {
+                    return out_of_bounds(knob, v, bounds.min_prefetch, bounds.max_prefetch);
+                }
+                Action::SetPrefetchDepth {
+                    from: tune.prefetch_depth(),
+                    to,
+                }
+            }
+            "fetch_max" => {
+                let to = v as usize;
+                if to < bounds.min_fetch_max || to > bounds.max_fetch_max {
+                    return out_of_bounds(knob, v, bounds.min_fetch_max, bounds.max_fetch_max);
+                }
+                Action::SetFetchMax {
+                    from: tune.fetch_max(),
+                    to,
+                }
+            }
+            other => {
+                return Response::bad_request(format!(
+                    "unknown knob {other:?}; supported: batch_max_bytes, linger_us, \
+                     prefetch_depth, fetch_max"
+                ))
+            }
+        };
+        actions.push(action);
+    }
+    // Apply pass: everything validated, nothing can fail now.
+    let lag = ctl.total_lag();
+    let gauges: Vec<(String, i64)> = ctl
+        .telemetry_sampler()
+        .and_then(|s| s.latest())
+        .map(|f| f.values.iter().map(|(n, v)| (n.to_string(), *v)).collect())
+        .unwrap_or_default();
+    let at = started.elapsed();
+    let mut applied = journal.lock();
+    for action in &actions {
+        match action {
+            Action::SetBatchMaxBytes { to, .. } => tune.set_batch_max_bytes(*to),
+            Action::SetLinger { to_us, .. } => tune.set_linger(Duration::from_micros(*to_us)),
+            Action::SetPrefetchDepth { to, .. } => tune.set_prefetch_depth(*to),
+            Action::SetFetchMax { to, .. } => tune.set_fetch_max(*to),
+            _ => unreachable!("tune endpoint only builds knob-set actions"),
+        }
+        applied.push(ControlEvent {
+            at,
+            cause: Cause {
+                lag,
+                verdict: Verdict::External,
+                bottleneck: None,
+            },
+            action: action.clone(),
+            before: action.before(),
+            after: action.after(),
+            gauges: gauges.clone(),
+        });
+    }
+    drop(applied);
+    let mut body = String::from("{\"applied\":[");
+    for (i, action) in actions.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str("{\"action\":");
+        push_json_string(&mut body, action.label());
+        body.push_str(",\"before\":");
+        body.push_str(&action.before().to_string());
+        body.push_str(",\"after\":");
+        body.push_str(&action.after().to_string());
+        body.push('}');
+    }
+    body.push_str("]}");
+    Response::json(body)
+}
+
+fn out_of_bounds(knob: &str, v: u64, min: usize, max: usize) -> Response {
+    Response::bad_request(format!("knob {knob}: {v} outside bounds [{min}, {max}]"))
+}
+
+/// `POST /produce?topic=<name>&partition=<n>` with the record payload as
+/// the request body. The topic defaults to the pipeline's own; the
+/// partition to 0. Empty bodies are rejected: an empty payload *is* the
+/// end-of-stream sentinel of the pipeline protocol, and letting one in
+/// through the front door would terminate the partition.
+fn produce(req: &Request, ctl: &PipelineCtl) -> Response {
+    if req.body.is_empty() {
+        return Response::bad_request(
+            "empty payload (an empty record is the end-of-stream sentinel)",
+        );
+    }
+    let topic = req
+        .query_param("topic")
+        .unwrap_or(ctl.shared.topic.as_str())
+        .to_string();
+    let partition: usize = match req.query_param("partition").unwrap_or("0").parse() {
+        Ok(p) => p,
+        Err(_) => return Response::bad_request("partition: not an integer"),
+    };
+    let record = Record::new(req.body.clone()).with_timestamp(ctl.shared.metrics().now_us());
+    match ctl.shared.broker.append(&topic, partition, record) {
+        Ok(offset) => {
+            let mut body = String::from("{\"topic\":");
+            push_json_string(&mut body, &topic);
+            body.push_str(",\"partition\":");
+            body.push_str(&partition.to_string());
+            body.push_str(",\"offset\":");
+            body.push_str(&offset.to_string());
+            body.push('}');
+            Response::json(body)
+        }
+        Err(e @ (BrokerError::UnknownTopic(_) | BrokerError::UnknownPartition { .. })) => {
+            Response::text(404, format!("{e}\n"))
+        }
+        Err(e) => Response::text(500, format!("{e}\n")),
+    }
+}

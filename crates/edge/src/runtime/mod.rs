@@ -83,6 +83,7 @@ pub mod config;
 mod batch;
 mod consumer;
 mod ctl;
+mod gateway;
 mod producer;
 mod reactor;
 pub(crate) mod sentinel;
@@ -302,6 +303,20 @@ pub(crate) fn start(
     // startup member and the seeded tune table.
     if let Some(ctl_cfg) = cfg.controller.clone() {
         running.attach_controller(ctl_cfg);
+    }
+    // The observability front door opens after the controller attached, so
+    // `/control/journal` never races an armed-but-empty scaler slot. The
+    // tune endpoint reuses the controller's bounds when one is configured
+    // (external tunes obey the same envelope), defaults otherwise.
+    if let Some(gw_cfg) = &cfg.gateway {
+        let bounds = cfg
+            .controller
+            .as_ref()
+            .map(|c| c.bounds.clone())
+            .unwrap_or_default();
+        let gw = gateway::start(gw_cfg, &running.ctl, &running.scaler, bounds)
+            .map_err(|e| PipelineError::Task(format!("gateway: {e}")))?;
+        running.install_gateway(gw);
     }
     Ok(running)
 }

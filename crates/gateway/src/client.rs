@@ -1,0 +1,275 @@
+//! A minimal blocking HTTP/1.1 client — just enough to drive the gateway
+//! from the integration tests, the CI smoke, and the `gateway_load` bench
+//! without taking on a dependency.
+//!
+//! Supports keep-alive request/response cycles (`Content-Length`-framed
+//! responses reuse the connection; close-delimited ones burn it and the
+//! client transparently reconnects on the next call) and switching a
+//! connection into streaming mode for SSE subscriptions.
+
+use crate::sse::{parse_sse_block, SseEvent};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A parsed response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    pub status: u16,
+    /// `(lowercased-name, value)` pairs.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of the named header.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive HTTP client bound to one server address.
+pub struct HttpClient {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    buf: Vec<u8>,
+    read_timeout: Duration,
+}
+
+impl HttpClient {
+    /// Connect to `addr` (10 s default read timeout).
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let mut client = Self {
+            addr,
+            stream: None,
+            buf: Vec::new(),
+            read_timeout: Duration::from_secs(10),
+        };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    fn ensure_connected(&mut self) -> io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(5))?;
+            stream.set_read_timeout(Some(self.read_timeout))?;
+            stream.set_nodelay(true)?;
+            self.buf.clear();
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    /// `GET path` → response.
+    pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with `body` → response.
+    pub fn post(&mut self, path: &str, body: &[u8]) -> io::Result<ClientResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// Issue one request and read the full response. Close-delimited
+    /// responses (streams) are read to EOF and drop the connection; the
+    /// next call reconnects.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> io::Result<ClientResponse> {
+        self.send_request(method, path, body)?;
+        let (response, close) = self.read_response()?;
+        if close {
+            self.stream = None;
+        }
+        Ok(response)
+    }
+
+    /// Issue a request and hand the connection over as a stream positioned
+    /// after the response headers — the SSE subscription path. The client
+    /// itself reconnects on its next regular request.
+    pub fn open_stream(mut self, method: &str, path: &str) -> io::Result<(u16, StreamReader)> {
+        self.send_request(method, path, None)?;
+        let (status, headers) = self.read_head()?;
+        let _ = headers;
+        let stream = self.stream.take().expect("connected by send_request");
+        Ok((
+            status,
+            StreamReader {
+                stream,
+                buf: std::mem::take(&mut self.buf),
+            },
+        ))
+    }
+
+    fn send_request(&mut self, method: &str, path: &str, body: Option<&[u8]>) -> io::Result<()> {
+        // A dead keep-alive connection surfaces as a write error or an
+        // immediate EOF on read; retry once on a fresh connection.
+        for attempt in 0..2 {
+            let stream = self.ensure_connected()?;
+            let head = match body {
+                Some(b) => format!(
+                    "{method} {path} HTTP/1.1\r\nHost: pilot-gateway\r\nContent-Length: {}\r\n\r\n",
+                    b.len()
+                ),
+                None => format!("{method} {path} HTTP/1.1\r\nHost: pilot-gateway\r\n\r\n"),
+            };
+            let result = stream
+                .write_all(head.as_bytes())
+                .and_then(|()| body.map_or(Ok(()), |b| stream.write_all(b)))
+                .and_then(|()| stream.flush());
+            match result {
+                Ok(()) => return Ok(()),
+                Err(e) if attempt == 0 => {
+                    let _ = e;
+                    self.stream = None;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("loop returns on success or final error")
+    }
+
+    /// Read the status line + headers; leaves any body bytes in `self.buf`.
+    fn read_head(&mut self) -> io::Result<(u16, Vec<(String, String)>)> {
+        let header_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            self.fill()?;
+        };
+        let head = String::from_utf8_lossy(&self.buf[..header_end]).into_owned();
+        self.buf.drain(..header_end + 4);
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or_default();
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad status line {status_line:?}"),
+                )
+            })?;
+        let headers = lines
+            .filter_map(|l| l.split_once(':'))
+            .map(|(n, v)| (n.to_ascii_lowercase(), v.trim().to_string()))
+            .collect();
+        Ok((status, headers))
+    }
+
+    /// Read one full response. Returns `(response, connection_consumed)`.
+    fn read_response(&mut self) -> io::Result<(ClientResponse, bool)> {
+        let (status, headers) = self.read_head()?;
+        let content_length = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok());
+        let closing = headers
+            .iter()
+            .any(|(n, v)| n == "connection" && v.eq_ignore_ascii_case("close"));
+        let body = match content_length {
+            Some(n) => {
+                while self.buf.len() < n {
+                    self.fill()?;
+                }
+                let body: Vec<u8> = self.buf.drain(..n).collect();
+                body
+            }
+            None => {
+                // Close-delimited: read until EOF.
+                loop {
+                    match self.fill() {
+                        Ok(()) => {}
+                        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+                        Err(e) => return Err(e),
+                    }
+                }
+                std::mem::take(&mut self.buf)
+            }
+        };
+        Ok((
+            ClientResponse {
+                status,
+                headers,
+                body,
+            },
+            closing || content_length.is_none(),
+        ))
+    }
+
+    fn fill(&mut self) -> io::Result<()> {
+        let stream = self
+            .stream
+            .as_mut()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "no connection"))?;
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk)? {
+            0 => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed connection",
+            )),
+            n => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A connection switched into streaming mode by [`HttpClient::open_stream`]
+/// — reads SSE events incrementally with a per-call deadline.
+pub struct StreamReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl StreamReader {
+    /// Block until the next SSE event arrives, the server closes the
+    /// stream (`Ok(None)`), or `timeout` passes (`Ok(None)`).
+    pub fn next_event(&mut self, timeout: Duration) -> io::Result<Option<SseEvent>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            // One event block = bytes up to a blank line.
+            if let Some(pos) = self.buf.windows(2).position(|w| w == b"\n\n") {
+                let block: Vec<u8> = self.buf.drain(..pos + 2).collect();
+                let text = String::from_utf8_lossy(&block);
+                match parse_sse_block(text.trim_end_matches('\n')) {
+                    Some(ev) => return Ok(Some(ev)),
+                    None => continue, // comment/heartbeat block; keep reading
+                }
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Ok(None);
+            }
+            self.stream
+                .set_read_timeout(Some(remaining.min(Duration::from_millis(250))))?;
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

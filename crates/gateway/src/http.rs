@@ -1,0 +1,480 @@
+//! Hand-rolled HTTP/1.1 request parsing and response writing.
+//!
+//! The build environment has no crates.io access, so — like the vendored
+//! dependency stand-ins — the wire protocol is implemented directly on the
+//! byte stream: an incremental parser that accumulates into a connection
+//! buffer (so keep-alive pipelining costs nothing), strict limits on the
+//! header section and body, and a writer that emits either a
+//! `Content-Length`-framed response or a close-delimited stream (the shape
+//! SSE and the Chrome-trace export need).
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line + header section. A client that sends
+/// more without a blank line is malformed (431-class; reported as 400).
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Upper bound on the number of header lines.
+pub const MAX_HEADERS: usize = 100;
+
+/// One parsed HTTP request. Header names are lowercased at parse time;
+/// the path and query are percent-decoded.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Decoded path without the query string (always starts with `/`).
+    pub path: String,
+    /// Decoded `key=value` pairs of the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// `(lowercased-name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of the named header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of the named query parameter.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why [`read_request`] did not produce a request.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The server's stop flag was raised while waiting for bytes.
+    Stopped,
+    /// The bytes on the wire are not a valid HTTP/1.1 request (→ 400).
+    Malformed(String),
+    /// The declared `Content-Length` exceeds the configured cap (→ 413).
+    BodyTooLarge(usize),
+    /// A hard transport error (connection reset, ...).
+    Io(io::Error),
+}
+
+/// Poll-and-check interface the blocking reads use to observe shutdown:
+/// the socket carries a short read timeout, and every timeout tick asks
+/// this flag whether to keep waiting.
+pub trait StopCheck {
+    fn should_stop(&self) -> bool;
+}
+
+impl StopCheck for std::sync::atomic::AtomicBool {
+    fn should_stop(&self) -> bool {
+        self.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// Read one request from `stream`, accumulating into `buf` (which may hold
+/// pipelined bytes from the previous call and keeps any surplus for the
+/// next). Blocks until a full request arrives, the peer closes, `stop`
+/// trips a read-timeout tick, or the bytes turn out malformed.
+pub fn read_request(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    stop: &dyn StopCheck,
+    max_body: usize,
+) -> Result<Request, ParseError> {
+    let header_end = loop {
+        if let Some(pos) = find_header_end(buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(ParseError::Malformed("header section too large".into()));
+        }
+        fill(stream, buf, stop)?;
+    };
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| ParseError::Malformed("non-UTF-8 header bytes".into()))?;
+    let mut request = parse_head(head)?;
+    let body_len = match request.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| ParseError::Malformed(format!("bad Content-Length {v:?}")))?,
+    };
+    if body_len > max_body {
+        return Err(ParseError::BodyTooLarge(body_len));
+    }
+    let body_start = header_end + 4;
+    while buf.len() < body_start + body_len {
+        fill(stream, buf, stop)?;
+    }
+    request.body = buf[body_start..body_start + body_len].to_vec();
+    buf.drain(..body_start + body_len);
+    Ok(request)
+}
+
+/// Byte offset of the `\r\n\r\n` header terminator, if present.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// One blocking read into `buf`. Timeout ticks re-check `stop`; EOF is
+/// `Closed` when nothing of the next request has arrived yet, otherwise a
+/// truncation error.
+fn fill(stream: &mut TcpStream, buf: &mut Vec<u8>, stop: &dyn StopCheck) -> Result<(), ParseError> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        if stop.should_stop() {
+            return Err(ParseError::Stopped);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    Err(ParseError::Closed)
+                } else {
+                    Err(ParseError::Malformed(
+                        "connection closed mid-request".into(),
+                    ))
+                };
+            }
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                return Ok(());
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ParseError::Io(e)),
+        }
+    }
+}
+
+/// Parse the request line + header lines (everything before the blank line).
+fn parse_head(head: &str) -> Result<Request, ParseError> {
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(ParseError::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(ParseError::Malformed(format!("bad method {method:?}")));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed(format!("bad version {version:?}")));
+    }
+    if !target.starts_with('/') {
+        return Err(ParseError::Malformed(format!("bad target {target:?}")));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path, false)?;
+    let mut query = Vec::new();
+    if let Some(q) = raw_query {
+        for pair in q.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            query.push((percent_decode(k, true)?, percent_decode(v, true)?));
+        }
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if headers.len() >= MAX_HEADERS {
+            return Err(ParseError::Malformed("too many headers".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::Malformed(format!("bad header line {line:?}")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::Malformed(format!("bad header name {name:?}")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    })
+}
+
+/// Decode `%XX` escapes (and, in query components, `+` as space).
+fn percent_decode(s: &str, plus_is_space: bool) -> Result<String, ParseError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                    .ok_or_else(|| ParseError::Malformed(format!("bad %-escape in {s:?}")))?;
+                out.push(hex);
+                i += 3;
+            }
+            b'+' if plus_is_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| ParseError::Malformed(format!("non-UTF-8 escape in {s:?}")))
+}
+
+/// A response: either a complete body (framed with `Content-Length`, so the
+/// connection can be kept alive) or a streaming writer invoked with the raw
+/// socket (close-delimited — SSE and the Chrome-trace export never know
+/// their length up front).
+pub enum Response {
+    Full {
+        status: u16,
+        content_type: &'static str,
+        body: Vec<u8>,
+    },
+    Stream {
+        content_type: &'static str,
+        write: StreamWriter,
+    },
+}
+
+/// The body writer of a [`Response::Stream`]: invoked once with the raw
+/// socket, ends the response by returning (the connection closes).
+pub type StreamWriter = Box<dyn FnOnce(&mut dyn Write) -> io::Result<()> + Send>;
+
+impl Response {
+    /// 200 with a JSON body.
+    pub fn json(body: String) -> Self {
+        Response::Full {
+            status: 200,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response with the given status.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response::Full {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// 400 with a reason in the body.
+    pub fn bad_request(msg: impl Into<String>) -> Self {
+        Self::text(400, msg.into() + "\n")
+    }
+
+    /// 404.
+    pub fn not_found() -> Self {
+        Self::text(404, "not found\n")
+    }
+
+    /// 405 (path exists, method does not).
+    pub fn method_not_allowed() -> Self {
+        Self::text(405, "method not allowed\n")
+    }
+
+    /// 413 (declared body exceeds the gateway's cap).
+    pub fn payload_too_large() -> Self {
+        Self::text(413, "payload too large\n")
+    }
+
+    /// The status code this response will carry (streams are always 200).
+    pub fn status(&self) -> u16 {
+        match self {
+            Response::Full { status, .. } => *status,
+            Response::Stream { .. } => 200,
+        }
+    }
+}
+
+impl std::fmt::Debug for Response {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Response::Full { status, body, .. } => f
+                .debug_struct("Response::Full")
+                .field("status", status)
+                .field("body_len", &body.len())
+                .finish(),
+            Response::Stream { content_type, .. } => f
+                .debug_struct("Response::Stream")
+                .field("content_type", content_type)
+                .finish(),
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "",
+    }
+}
+
+/// Write `response`; returns `(bytes_written, connection_must_close)`.
+///
+/// `Full` responses are `Content-Length`-framed and honour `keep_alive`;
+/// `Stream` responses are close-delimited, so they always force a close.
+pub fn write_response(
+    stream: &mut TcpStream,
+    response: Response,
+    keep_alive: bool,
+) -> io::Result<(u64, bool)> {
+    let mut counting = CountingWriter::new(stream);
+    match response {
+        Response::Full {
+            status,
+            content_type,
+            body,
+        } => {
+            let head = format!(
+                "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+                reason(status),
+                body.len(),
+                if keep_alive { "keep-alive" } else { "close" },
+            );
+            counting.write_all(head.as_bytes())?;
+            counting.write_all(&body)?;
+            counting.flush()?;
+            Ok((counting.written(), !keep_alive))
+        }
+        Response::Stream {
+            content_type,
+            write,
+        } => {
+            let head = format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n"
+            );
+            counting.write_all(head.as_bytes())?;
+            // A broken pipe mid-stream (client went away) is a normal way
+            // for a subscription to end, not a server error.
+            let result = write(&mut counting);
+            let written = counting.written();
+            match result {
+                Ok(()) | Err(_) => Ok((written, true)),
+            }
+        }
+    }
+}
+
+/// An `io::Write` adapter that counts bytes written through it (feeds the
+/// `gateway.bytes_out` gauge).
+pub struct CountingWriter<W: Write> {
+    inner: W,
+    written: u64,
+}
+
+impl<W: Write> CountingWriter<W> {
+    pub fn new(inner: W) -> Self {
+        Self { inner, written: 0 }
+    }
+
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+}
+
+impl<W: Write> Write for CountingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(head: &str) -> Result<Request, ParseError> {
+        parse_head(head)
+    }
+
+    #[test]
+    fn parses_request_line_and_headers() {
+        let r = parse("GET /metrics HTTP/1.1\r\nHost: x\r\nAccept: */*").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/metrics");
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.header("HOST"), Some("x"));
+        assert!(r.query.is_empty());
+    }
+
+    #[test]
+    fn parses_query_pairs_with_escapes() {
+        let r = parse("POST /produce?topic=ingest%2Fa&partition=3&note=a+b HTTP/1.1").unwrap();
+        assert_eq!(r.query_param("topic"), Some("ingest/a"));
+        assert_eq!(r.query_param("partition"), Some("3"));
+        assert_eq!(r.query_param("note"), Some("a b"));
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        for bad in [
+            "",
+            "GET",
+            "GET /x",
+            "GET /x HTTP/1.1 extra",
+            "get /x HTTP/1.1",
+            "GET x HTTP/1.1",
+            "GET /x SPDY/3",
+            "GET /x HTTP/1.1\r\nno-colon-here",
+            "GET /%zz HTTP/1.1",
+        ] {
+            assert!(parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn header_terminator_found() {
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn percent_decode_roundtrip() {
+        assert_eq!(percent_decode("/a%20b", false).unwrap(), "/a b");
+        assert_eq!(percent_decode("a+b", true).unwrap(), "a b");
+        assert_eq!(percent_decode("a+b", false).unwrap(), "a+b");
+        assert!(percent_decode("%g1", false).is_err());
+        assert!(percent_decode("%2", false).is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! # pilot-gateway — the observability front door (DESIGN.md §16)
+//!
+//! A dependency-free HTTP/1.1 + SSE server that turns a running Pilot-Edge
+//! pipeline or federation into a *protocol surface*: Prometheus metrics,
+//! the live telemetry frame ring (pull and push), the `pilot_top` table,
+//! the Chrome-trace export, the control journal, live knob tuning, and an
+//! external record-ingestion path. The P* model (Luckow et al.) argues
+//! workload submission should be decoupled from resource management — a
+//! protocol, not a function call; this crate is that protocol.
+//!
+//! The crate is deliberately *generic*: it knows sockets, HTTP framing,
+//! routing, and SSE — not pipelines. Endpoint handlers are closures
+//! registered on a [`Router`], so `pilot-edge` (which depends on this
+//! crate) wires `/metrics`, `/produce`, etc. around its own control
+//! surface without a dependency cycle.
+//!
+//! Architecture (one acceptor + fixed worker pool over an MPMC channel):
+//!
+//! ```text
+//!            TcpListener
+//!                │ accept
+//!        pilot-gateway-acceptor ──── crossbeam channel ────┐
+//!                                                          ▼
+//!                               pilot-gateway-worker-0..N (keep-alive
+//!                               request loop; 250 ms read timeout polls
+//!                               the shared StopFlag)
+//! ```
+//!
+//! Responses are either `Content-Length`-framed (connection reusable) or
+//! close-delimited streams — the SSE subscription and the Chrome-trace
+//! export write straight to the socket and never buffer the full payload.
+//!
+//! Everything is opt-in: the knob that creates a gateway is
+//! `Option<GatewayConfig>` on the pipeline/federation config, and `None`
+//! (the default) builds no socket, no thread, and no gauge — asserted in
+//! `tests/gateway.rs::defaults_leave_zero_footprint`.
+
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod sse;
+
+pub use client::{ClientResponse, HttpClient, StreamReader};
+pub use http::{Request, Response};
+pub use server::{
+    Gateway, GatewayConfig, Handler, Router, StopFlag, GAUGE_GW_ACTIVE_CONNECTIONS,
+    GAUGE_GW_BYTES_OUT, GAUGE_GW_REQUESTS, GAUGE_GW_REQUEST_US,
+};
+pub use sse::{parse_sse_block, write_sse_event, SseEvent};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilot_metrics::MetricsRegistry;
+    use std::io::Write;
+    use std::time::Duration;
+
+    fn demo_router(stop: &StopFlag) -> Router {
+        let stop = stop.clone();
+        Router::new()
+            .get(
+                "/hello",
+                Box::new(|_req: &Request| Response::text(200, "hi")) as Handler,
+            )
+            .post(
+                "/echo",
+                Box::new(|req: &Request| {
+                    Response::json(format!(
+                        "{{\"len\":{},\"topic\":{:?}}}",
+                        req.body.len(),
+                        req.query_param("topic").unwrap_or("-")
+                    ))
+                }) as Handler,
+            )
+            .get(
+                "/stream",
+                Box::new(move |_req: &Request| {
+                    let stop = stop.clone();
+                    Response::Stream {
+                        content_type: "text/event-stream",
+                        write: Box::new(move |w: &mut dyn Write| {
+                            for i in 0..3 {
+                                if stop.is_stopped() {
+                                    break;
+                                }
+                                write_sse_event(w, Some("tick"), &format!("{{\"n\":{i}}}"))?;
+                            }
+                            Ok(())
+                        }),
+                    }
+                }) as Handler,
+            )
+    }
+
+    fn start_demo() -> (Gateway, MetricsRegistry) {
+        let registry = MetricsRegistry::new();
+        let stop = StopFlag::new();
+        let router = demo_router(&stop);
+        let gw = Gateway::start(&GatewayConfig::default(), router, &registry, stop).unwrap();
+        (gw, registry)
+    }
+
+    #[test]
+    fn serves_and_keeps_alive() {
+        let (gw, registry) = start_demo();
+        let mut client = HttpClient::connect(gw.addr()).unwrap();
+        for _ in 0..3 {
+            let r = client.get("/hello").unwrap();
+            assert_eq!(r.status, 200);
+            assert_eq!(r.text(), "hi");
+        }
+        assert_eq!(
+            registry.gauge_value(GAUGE_GW_REQUESTS),
+            Some(3),
+            "three requests on one keep-alive connection"
+        );
+        assert!(registry.gauge_value(GAUGE_GW_BYTES_OUT).unwrap() > 0);
+    }
+
+    #[test]
+    fn post_body_and_query_reach_handler() {
+        let (gw, _registry) = start_demo();
+        let mut client = HttpClient::connect(gw.addr()).unwrap();
+        let r = client.post("/echo?topic=ingest", b"hello world").unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.text(), "{\"len\":11,\"topic\":\"ingest\"}");
+    }
+
+    #[test]
+    fn unknown_path_404_wrong_method_405() {
+        let (gw, _registry) = start_demo();
+        let mut client = HttpClient::connect(gw.addr()).unwrap();
+        assert_eq!(client.get("/nope").unwrap().status, 404);
+        assert_eq!(client.post("/hello", b"x").unwrap().status, 405);
+        // The worker survived both: a normal request still works.
+        assert_eq!(client.get("/hello").unwrap().status, 200);
+    }
+
+    #[test]
+    fn oversized_body_413_without_killing_worker() {
+        let registry = MetricsRegistry::new();
+        let stop = StopFlag::new();
+        let cfg = GatewayConfig {
+            workers: 1, // one worker: if 413 killed it, the next request hangs
+            max_body_bytes: 64,
+            ..GatewayConfig::default()
+        };
+        let gw = Gateway::start(&cfg, demo_router(&stop), &registry, stop).unwrap();
+        let mut client = HttpClient::connect(gw.addr()).unwrap();
+        let r = client.post("/echo", &[0u8; 1024]).unwrap();
+        assert_eq!(r.status, 413);
+        // Fresh request on the same (single-worker) gateway still served.
+        let r = client.get("/hello").unwrap();
+        assert_eq!(r.status, 200);
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let (gw, _registry) = start_demo();
+        let mut raw = std::net::TcpStream::connect(gw.addr()).unwrap();
+        raw.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
+        let mut client = HttpClient::connect(gw.addr()).unwrap();
+        assert_eq!(client.get("/hello").unwrap().status, 200);
+    }
+
+    #[test]
+    fn stream_endpoint_delivers_sse_events() {
+        let (gw, _registry) = start_demo();
+        let client = HttpClient::connect(gw.addr()).unwrap();
+        let (status, mut reader) = client.open_stream("GET", "/stream").unwrap();
+        assert_eq!(status, 200);
+        let mut seen = Vec::new();
+        while let Some(ev) = reader.next_event(Duration::from_secs(5)).unwrap() {
+            seen.push(ev);
+        }
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[0].event.as_deref(), Some("tick"));
+        assert_eq!(seen[2].data, "{\"n\":2}");
+    }
+
+    #[test]
+    fn shutdown_joins_everything_and_refuses_new_work() {
+        let (mut gw, _registry) = start_demo();
+        let addr = gw.addr();
+        gw.shutdown();
+        gw.shutdown(); // idempotent
+                       // After shutdown nothing accepts: either the connect fails or the
+                       // request gets no response.
+        if let Ok(mut c) = HttpClient::connect(addr) {
+            assert!(c.get("/hello").is_err());
+        }
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        assert!(GatewayConfig::default().validate().is_ok());
+        let c = GatewayConfig {
+            workers: 0,
+            ..GatewayConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("workers"));
+        let c = GatewayConfig {
+            bind: String::new(),
+            ..GatewayConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("bind"));
+        let c = GatewayConfig {
+            max_body_bytes: 0,
+            ..GatewayConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("max_body_bytes"));
+    }
+}

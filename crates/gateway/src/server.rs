@@ -1,0 +1,338 @@
+//! The gateway server: one acceptor thread feeding a fixed worker pool over
+//! an MPMC channel, keep-alive connection handling, and a stop flag every
+//! blocking point polls.
+//!
+//! Lifecycle: [`Gateway::start`] binds the listener and spawns
+//! `1 + workers` threads; [`Gateway::shutdown`] (also run on drop) raises
+//! the stop flag, pokes the acceptor awake with a loopback connect, and
+//! joins everything. Workers never die on a bad request — parse errors
+//! close that connection with 400/413 and the worker returns to the pool.
+
+use crate::http::{read_request, write_response, ParseError, Request, Response, StopCheck};
+use pilot_metrics::{Gauge, MetricsRegistry};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Gauge: requests served so far (all endpoints, all statuses).
+pub const GAUGE_GW_REQUESTS: &str = "gateway.requests";
+/// Gauge: connections currently pinned to a worker.
+pub const GAUGE_GW_ACTIVE_CONNECTIONS: &str = "gateway.active_connections";
+/// Gauge: response bytes written to sockets so far (headers + bodies).
+pub const GAUGE_GW_BYTES_OUT: &str = "gateway.bytes_out";
+/// Gauge: service time of the most recent request, µs (dispatch + write).
+pub const GAUGE_GW_REQUEST_US: &str = "gateway.request_us";
+
+/// How the gateway listens. The knob that turns the gateway on is
+/// `Option<GatewayConfig>` on the pipeline/federation config — `None`
+/// (the default) builds nothing: no socket, no threads, no gauges.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Bind address. The default `127.0.0.1:0` picks a free port — read
+    /// the bound address back from the running handle.
+    pub bind: String,
+    /// Worker threads. Each in-flight connection pins one worker
+    /// (keep-alive), so size this above the expected concurrent client
+    /// count, counting each SSE subscription as one held connection.
+    pub workers: usize,
+    /// Reject request bodies larger than this with `413` (default 256 KiB).
+    pub max_body_bytes: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            bind: "127.0.0.1:0".into(),
+            workers: 4,
+            max_body_bytes: 256 * 1024,
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// Reject configurations that cannot serve anything.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bind.is_empty() {
+            return Err("gateway bind address must not be empty".into());
+        }
+        if self.workers == 0 {
+            return Err("gateway workers must be >= 1".into());
+        }
+        if self.max_body_bytes == 0 {
+            return Err("gateway max_body_bytes must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Shared shutdown signal. Streaming handlers (SSE) must poll
+/// [`StopFlag::is_stopped`] between events so shutdown can reclaim their
+/// workers.
+#[derive(Clone)]
+pub struct StopFlag(Arc<AtomicBool>);
+
+impl StopFlag {
+    pub fn new() -> Self {
+        Self(Arc::new(AtomicBool::new(false)))
+    }
+
+    pub fn raise(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_stopped(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for StopFlag {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StopCheck for StopFlag {
+    fn should_stop(&self) -> bool {
+        self.is_stopped()
+    }
+}
+
+/// An endpoint handler: pure request → response. Streaming handlers
+/// capture the [`StopFlag`] handed to them at registration inside their
+/// `Response::Stream` closure.
+pub type Handler = Box<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// Exact-path router. Unknown paths get 404; a known path hit with the
+/// wrong method gets 405.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<(&'static str, String, Handler)>,
+}
+
+impl Router {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a `GET` handler for `path`.
+    pub fn get(self, path: impl Into<String>, h: Handler) -> Self {
+        self.route("GET", path, h)
+    }
+
+    /// Register a `POST` handler for `path`.
+    pub fn post(self, path: impl Into<String>, h: Handler) -> Self {
+        self.route("POST", path, h)
+    }
+
+    fn route(mut self, method: &'static str, path: impl Into<String>, h: Handler) -> Self {
+        self.routes.push((method, path.into(), h));
+        self
+    }
+
+    fn dispatch(&self, request: &Request) -> Response {
+        let mut path_seen = false;
+        for (method, path, handler) in &self.routes {
+            if *path == request.path {
+                if *method == request.method {
+                    return handler(request);
+                }
+                path_seen = true;
+            }
+        }
+        if path_seen {
+            Response::method_not_allowed()
+        } else {
+            Response::not_found()
+        }
+    }
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let routes: Vec<String> = self
+            .routes
+            .iter()
+            .map(|(m, p, _)| format!("{m} {p}"))
+            .collect();
+        f.debug_struct("Router").field("routes", &routes).finish()
+    }
+}
+
+/// The gateway's own gauges, registered through the same registry the
+/// pipeline exports — so the gateway is visible in its own `/metrics`.
+struct GwGauges {
+    requests: Arc<Gauge>,
+    active: Arc<Gauge>,
+    bytes_out: Arc<Gauge>,
+    request_us: Arc<Gauge>,
+}
+
+impl GwGauges {
+    fn new(registry: &MetricsRegistry) -> Self {
+        Self {
+            requests: registry.gauge(GAUGE_GW_REQUESTS),
+            active: registry.gauge(GAUGE_GW_ACTIVE_CONNECTIONS),
+            bytes_out: registry.gauge(GAUGE_GW_BYTES_OUT),
+            request_us: registry.gauge(GAUGE_GW_REQUEST_US),
+        }
+    }
+}
+
+/// A running gateway server. Shut down explicitly via
+/// [`Gateway::shutdown`] or implicitly on drop; either joins every thread.
+pub struct Gateway {
+    addr: SocketAddr,
+    stop: StopFlag,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Bind `config.bind` and start serving `router`. The `stop` flag must
+    /// be the one streaming handlers were built around, so one signal ends
+    /// the accept loop, idle keep-alive waits, and live SSE streams alike.
+    pub fn start(
+        config: &GatewayConfig,
+        router: Router,
+        registry: &MetricsRegistry,
+        stop: StopFlag,
+    ) -> io::Result<Self> {
+        config
+            .validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let listener = TcpListener::bind(&config.bind)?;
+        let addr = listener.local_addr()?;
+        let router = Arc::new(router);
+        let gauges = Arc::new(GwGauges::new(registry));
+        let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let rx = rx.clone();
+            let router = Arc::clone(&router);
+            let gauges = Arc::clone(&gauges);
+            let stop = stop.clone();
+            let max_body = config.max_body_bytes;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("pilot-gateway-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(conn) = rx.recv() {
+                            if stop.is_stopped() {
+                                continue; // drain the queue, serve nothing
+                            }
+                            gauges.active.add(1);
+                            let _ = handle_connection(conn, &router, &stop, &gauges, max_body);
+                            gauges.active.sub(1);
+                        }
+                    })?,
+            );
+        }
+        let stop2 = stop.clone();
+        let acceptor = std::thread::Builder::new()
+            .name("pilot-gateway-acceptor".into())
+            .spawn(move || {
+                // `tx` lives only here: when the acceptor exits, the channel
+                // closes and every idle worker's recv() errors out.
+                for conn in listener.incoming() {
+                    if stop2.is_stopped() {
+                        break;
+                    }
+                    if let Ok(conn) = conn {
+                        let _ = tx.send(conn);
+                    }
+                }
+            })?;
+        Ok(Self {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves the `:0` ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, end every stream, join every thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.raise();
+        // Unblock the acceptor's blocking accept() with a loopback connect.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(t) = self.acceptor.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+/// Serve one connection until it closes, errors, sends garbage, or the
+/// server stops. Keep-alive: loops over requests on the same socket.
+fn handle_connection(
+    mut stream: TcpStream,
+    router: &Router,
+    stop: &StopFlag,
+    gauges: &GwGauges,
+    max_body: usize,
+) -> io::Result<()> {
+    // Short read timeout: every tick re-checks the stop flag, so an idle
+    // keep-alive connection cannot hold a worker hostage across shutdown.
+    stream.set_read_timeout(Some(Duration::from_millis(250)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_nodelay(true)?;
+    let mut buf = Vec::new();
+    loop {
+        let request = match read_request(&mut stream, &mut buf, stop, max_body) {
+            Ok(r) => r,
+            Err(ParseError::Closed | ParseError::Stopped) => return Ok(()),
+            Err(ParseError::Io(_)) => return Ok(()),
+            Err(ParseError::Malformed(m)) => {
+                gauges.requests.add(1);
+                let (n, _) = write_response(&mut stream, Response::bad_request(m), false)?;
+                gauges.bytes_out.add(n as i64);
+                return Ok(());
+            }
+            Err(ParseError::BodyTooLarge(_)) => {
+                // The oversized body was never read off the wire, so the
+                // connection cannot be reused — close after responding.
+                gauges.requests.add(1);
+                let (n, _) = write_response(&mut stream, Response::payload_too_large(), false)?;
+                gauges.bytes_out.add(n as i64);
+                return Ok(());
+            }
+        };
+        let started = Instant::now();
+        let keep_alive = !matches!(
+            request.header("connection"),
+            Some(c) if c.eq_ignore_ascii_case("close")
+        );
+        let response = router.dispatch(&request);
+        gauges.requests.add(1);
+        let (n, close) = write_response(&mut stream, response, keep_alive)?;
+        gauges.bytes_out.add(n as i64);
+        gauges.request_us.set(started.elapsed().as_micros() as i64);
+        if close {
+            return Ok(());
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Server-Sent Events framing (the `text/event-stream` wire format).
+//!
+//! An SSE response is a close-delimited stream of events, each a block of
+//! `field: value` lines terminated by a blank line. Multi-line data is
+//! split into one `data:` line per line, per the spec, so payloads with
+//! embedded newlines survive the framing.
+
+use std::io::{self, Write};
+
+/// Write one SSE event: an optional `event:` name and the `data:` payload
+/// (split across lines if it contains newlines), then flush so the client
+/// sees it immediately.
+pub fn write_sse_event(w: &mut dyn Write, event: Option<&str>, data: &str) -> io::Result<()> {
+    if let Some(name) = event {
+        writeln!(w, "event: {name}")?;
+    }
+    for line in data.split('\n') {
+        writeln!(w, "data: {line}")?;
+    }
+    writeln!(w)?;
+    w.flush()
+}
+
+/// One parsed SSE event (the client half, used by tests and the bench).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SseEvent {
+    /// The `event:` field, if any.
+    pub event: Option<String>,
+    /// The joined `data:` payload (multi-line data re-joined with `\n`).
+    pub data: String,
+}
+
+/// Parse one event block (the lines between two blank lines).
+pub fn parse_sse_block(block: &str) -> Option<SseEvent> {
+    let mut event = None;
+    let mut data_lines = Vec::new();
+    for line in block.lines() {
+        if let Some(rest) = line.strip_prefix("event:") {
+            event = Some(rest.trim_start().to_string());
+        } else if let Some(rest) = line.strip_prefix("data:") {
+            data_lines.push(rest.strip_prefix(' ').unwrap_or(rest).to_string());
+        }
+        // Unknown fields (id:, retry:, comments) are ignored, per spec.
+    }
+    if event.is_none() && data_lines.is_empty() {
+        return None;
+    }
+    Some(SseEvent {
+        event,
+        data: data_lines.join("\n"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_roundtrips_through_framing() {
+        let mut out = Vec::new();
+        write_sse_event(&mut out, Some("frame"), "{\"a\":1,\n\"b\":2}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text, "event: frame\ndata: {\"a\":1,\ndata: \"b\":2}\n\n");
+        let parsed = parse_sse_block(text.trim_end_matches('\n')).unwrap();
+        assert_eq!(parsed.event.as_deref(), Some("frame"));
+        assert_eq!(parsed.data, "{\"a\":1,\n\"b\":2}");
+    }
+
+    #[test]
+    fn data_only_event() {
+        let mut out = Vec::new();
+        write_sse_event(&mut out, None, "x").unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "data: x\n\n");
+    }
+
+    #[test]
+    fn empty_block_is_no_event() {
+        assert_eq!(parse_sse_block(": comment only"), None);
+    }
+}

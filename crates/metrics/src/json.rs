@@ -1,0 +1,343 @@
+//! Hand-rolled JSON building blocks shared by the exporters.
+//!
+//! No JSON library is taken on as a dependency: the Chrome-trace writer,
+//! the telemetry-frame serializer, and the gateway's endpoint payloads all
+//! emit flat, fully-controlled output through [`push_json_string`], and
+//! tests/CI smokes prove the output well-formed with [`validate_json`] — a
+//! full-grammar recursive-descent checker (objects, arrays, strings with
+//! escapes, numbers, bools, null), deliberately a *validator* rather than
+//! a parser into a document tree.
+
+/// Append `s` as a JSON string literal, escaping per RFC 8259.
+pub fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Validate `text` as one complete JSON value (full grammar, no trailing
+/// garbage).
+pub fn validate_json(text: &str) -> Result<(), String> {
+    validate_json_counting(text, None).map(|_| ())
+}
+
+/// Validate `text` as one complete JSON value and, if `count_key` is set,
+/// return the element count of the first array found under that object key
+/// (`None` if no such key holds an array anywhere in the document).
+pub(crate) fn validate_json_counting(
+    text: &str,
+    count_key: Option<&str>,
+) -> Result<Option<usize>, String> {
+    let mut v = Validator {
+        bytes: text.as_bytes(),
+        pos: 0,
+        count_key,
+        counted: None,
+        depth: 0,
+    };
+    v.skip_ws();
+    v.value()?;
+    v.skip_ws();
+    if v.pos != v.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", v.pos));
+    }
+    Ok(v.counted)
+}
+
+struct Validator<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Object key whose array value should be counted, if any.
+    count_key: Option<&'a str>,
+    /// Element count of the first array found under `count_key`.
+    counted: Option<usize>,
+    depth: usize,
+}
+
+impl Validator<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                c as char,
+                self.pos,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > 128 {
+            return Err("nesting too deep".into());
+        }
+        self.skip_ws();
+        let r = match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => {
+                self.array()?;
+                Ok(())
+            }
+            Some(b'"') => self.string().map(|_| ()),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            )),
+        };
+        self.depth -= 1;
+        r
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            if self.count_key == Some(key.as_str()) && self.peek() == Some(b'[') {
+                let n = self.array()?;
+                if self.counted.is_none() {
+                    self.counted = Some(n);
+                }
+            } else {
+                self.value()?;
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Validate an array, returning its element count.
+    fn array(&mut self) -> Result<usize, String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(0);
+        }
+        let mut n = 0;
+        loop {
+            self.value()?;
+            n += 1;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(n);
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(c @ (b'"' | b'\\' | b'/')) => {
+                            out.push(c as char);
+                            self.pos += 1;
+                        }
+                        Some(b'n') => {
+                            out.push('\n');
+                            self.pos += 1;
+                        }
+                        Some(b'r' | b't' | b'b' | b'f') => {
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.pos += 1,
+                                    _ => {
+                                        return Err(format!("bad \\u escape at byte {}", self.pos))
+                                    }
+                                }
+                            }
+                        }
+                        other => {
+                            return Err(format!(
+                                "bad escape {:?} at byte {}",
+                                other.map(|b| b as char),
+                                self.pos
+                            ))
+                        }
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(format!("raw control byte {c:#04x} in string")),
+                Some(_) => {
+                    // Skip one UTF-8 scalar (input is a &str, so boundaries
+                    // are valid by construction).
+                    let ch = self.remaining_char();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn remaining_char(&self) -> char {
+        // Safe: `bytes` comes from a &str and pos is always on a boundary.
+        std::str::from_utf8(&self.bytes[self.pos..])
+            .expect("validator input is UTF-8")
+            .chars()
+            .next()
+            .expect("peeked non-empty")
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits = |v: &mut Self| {
+            let s = v.pos;
+            while matches!(v.peek(), Some(c) if c.is_ascii_digit()) {
+                v.pos += 1;
+            }
+            v.pos > s
+        };
+        let int_start = self.pos;
+        if !digits(self) {
+            return Err(format!("bad number at byte {start}"));
+        }
+        // JSON forbids leading zeros ("01" is not a number).
+        if self.pos - int_start > 1 && self.bytes[int_start] == b'0' {
+            return Err(format!("leading zero in number at byte {start}"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !digits(self) {
+                return Err(format!("bad number at byte {start}"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !digits(self) {
+                return Err(format!("bad number at byte {start}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_standalone_values() {
+        for good in [
+            "{}",
+            "[]",
+            "[1,2,3]",
+            "\"x\"",
+            "-1.5e+3",
+            "true",
+            "null",
+            "{\"a\":{\"b\":[1,\"\\u00e9\\n\"]}}",
+        ] {
+            assert!(validate_json(good).is_ok(), "rejected: {good}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_values() {
+        for bad in ["", "{", "[1,]", "{\"a\":01}", "'x'", "[1] x", "nul"] {
+            assert!(validate_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn counts_array_under_key() {
+        let n = validate_json_counting("{\"rows\":[1,2,3],\"rows\":[9]}", Some("rows")).unwrap();
+        assert_eq!(n, Some(3), "first occurrence wins");
+        let n = validate_json_counting("{\"other\":[1]}", Some("rows")).unwrap();
+        assert_eq!(n, None);
+    }
+
+    #[test]
+    fn push_json_string_escapes_hostile_input() {
+        let mut out = String::new();
+        push_json_string(&mut out, "a\"b\\c\nd\u{1}e");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001e\"");
+        assert!(validate_json(&out).is_ok());
+    }
+}

@@ -1,0 +1,262 @@
+//! Prometheus text exposition (format version 0.0.4) of a registry's
+//! gauges and counters.
+//!
+//! Pilot-Edge gauge/counter names are dotted paths
+//! (`broker.lag.total`, `gateway.requests`) — not valid Prometheus metric
+//! names — so the exposition models them as two metric families keyed by a
+//! `name` label:
+//!
+//! ```text
+//! pilot_gauge{name="broker.lag.total"} 42
+//! pilot_counter{name="outliers_detected"} 7
+//! ```
+//!
+//! Label values carry the exposition-format escapes (`\\`, `\"`, `\n`), so
+//! a hostile gauge name cannot corrupt the page. [`validate_prometheus`]
+//! is the matching dependency-free checker used by tests and the CI smoke
+//! to prove a scrape parses.
+
+use crate::registry::MetricsRegistry;
+
+/// Render every gauge and counter of `registry` as a Prometheus text
+/// exposition page.
+pub fn prometheus_exposition(registry: &MetricsRegistry) -> String {
+    let gauges = registry.gauges();
+    let counters = registry.counters();
+    let mut out = String::with_capacity(128 + (gauges.len() + counters.len()) * 48);
+    out.push_str("# HELP pilot_gauge Live level of a named Pilot-Edge gauge.\n");
+    out.push_str("# TYPE pilot_gauge gauge\n");
+    for (name, gauge) in &gauges {
+        out.push_str("pilot_gauge{name=\"");
+        push_label_value(&mut out, name);
+        out.push_str("\"} ");
+        out.push_str(&gauge.get().to_string());
+        out.push('\n');
+    }
+    out.push_str("# HELP pilot_counter Monotonic count of a named Pilot-Edge event.\n");
+    out.push_str("# TYPE pilot_counter counter\n");
+    for (name, counter) in &counters {
+        out.push_str("pilot_counter{name=\"");
+        push_label_value(&mut out, name);
+        out.push_str("\"} ");
+        out.push_str(&counter.get().to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Append `s` as a Prometheus label value, escaping `\`, `"`, and newline
+/// per the text exposition format.
+fn push_label_value(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Validate `text` as a Prometheus text exposition page: every line must
+/// be a well-formed comment (`# HELP`/`# TYPE` carry a valid metric name)
+/// or a sample (`name{labels} value [timestamp]` with valid metric/label
+/// names, correctly escaped label values, and a float-parseable value).
+/// Returns the number of samples.
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    let mut samples = 0;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut words = comment.trim_start().splitn(2, ' ');
+            if let Some(kind @ ("HELP" | "TYPE")) = words.next() {
+                let rest = words.next().unwrap_or("");
+                let name = rest.split(' ').next().unwrap_or("");
+                if !is_metric_name(name) {
+                    return Err(format!(
+                        "line {lineno}: bad metric name in # {kind}: {name:?}"
+                    ));
+                }
+                if kind == "TYPE" {
+                    let ty = rest.split(' ').nth(1).unwrap_or("");
+                    if !matches!(
+                        ty,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return Err(format!("line {lineno}: bad metric type {ty:?}"));
+                    }
+                }
+            }
+            continue; // other comments are free-form
+        }
+        validate_sample(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+fn is_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Validate one sample line: `name[{labels}] value [timestamp]`.
+fn validate_sample(line: &str) -> Result<(), String> {
+    let (name_part, rest) = match line.find(['{', ' ']) {
+        Some(pos) => (&line[..pos], &line[pos..]),
+        None => return Err(format!("no value on sample line {line:?}")),
+    };
+    if !is_metric_name(name_part) {
+        return Err(format!("bad metric name {name_part:?}"));
+    }
+    let rest = if let Some(labels) = rest.strip_prefix('{') {
+        let end = scan_labels(labels)?;
+        &labels[end..]
+    } else {
+        rest
+    };
+    let mut fields = rest.split_whitespace();
+    let value = fields.next().ok_or_else(|| "missing value".to_string())?;
+    let value_ok = value.parse::<f64>().is_ok() || matches!(value, "+Inf" | "-Inf" | "NaN" | "Nan");
+    if !value_ok {
+        return Err(format!("bad sample value {value:?}"));
+    }
+    if let Some(ts) = fields.next() {
+        ts.parse::<i64>()
+            .map_err(|_| format!("bad timestamp {ts:?}"))?;
+    }
+    if fields.next().is_some() {
+        return Err("trailing fields after timestamp".into());
+    }
+    Ok(())
+}
+
+/// Scan `name="value",...}` label pairs; returns the offset just past `}`.
+fn scan_labels(s: &str) -> Result<usize, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    loop {
+        // Label name up to '='.
+        let eq = s[pos..]
+            .find('=')
+            .map(|p| pos + p)
+            .ok_or_else(|| "label without '='".to_string())?;
+        if !is_label_name(&s[pos..eq]) {
+            return Err(format!("bad label name {:?}", &s[pos..eq]));
+        }
+        pos = eq + 1;
+        if bytes.get(pos) != Some(&b'"') {
+            return Err("label value must be quoted".into());
+        }
+        pos += 1;
+        // Escaped label value.
+        loop {
+            match bytes.get(pos) {
+                None => return Err("unterminated label value".into()),
+                Some(b'"') => {
+                    pos += 1;
+                    break;
+                }
+                Some(b'\\') => match bytes.get(pos + 1) {
+                    Some(b'\\' | b'"' | b'n') => pos += 2,
+                    other => {
+                        return Err(format!(
+                            "bad label-value escape {:?}",
+                            other.map(|b| *b as char)
+                        ))
+                    }
+                },
+                Some(b'\n') => return Err("raw newline in label value".into()),
+                Some(_) => pos += 1,
+            }
+        }
+        match bytes.get(pos) {
+            Some(b',') => pos += 1,
+            Some(b'}') => return Ok(pos + 1),
+            other => {
+                return Err(format!(
+                    "expected ',' or '}}' after label, found {:?}",
+                    other.map(|b| *b as char)
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_registry_exposes_valid_headers_only() {
+        let reg = MetricsRegistry::new();
+        let page = prometheus_exposition(&reg);
+        assert_eq!(validate_prometheus(&page), Ok(0));
+    }
+
+    #[test]
+    fn gauges_and_counters_round_trip() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("broker.lag.total").set(42);
+        reg.gauge("gateway.requests").set(-3);
+        reg.counter("outliers_detected").add(7);
+        let page = prometheus_exposition(&reg);
+        assert_eq!(validate_prometheus(&page), Ok(3));
+        assert!(page.contains("pilot_gauge{name=\"broker.lag.total\"} 42"));
+        assert!(page.contains("pilot_gauge{name=\"gateway.requests\"} -3"));
+        assert!(page.contains("pilot_counter{name=\"outliers_detected\"} 7"));
+    }
+
+    #[test]
+    fn hostile_names_are_escaped_and_still_validate() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("evil\"name\nwith\\stuff").set(1);
+        reg.counter("also\"bad\n").incr();
+        let page = prometheus_exposition(&reg);
+        assert_eq!(validate_prometheus(&page), Ok(2));
+        assert!(page.contains("pilot_gauge{name=\"evil\\\"name\\nwith\\\\stuff\"} 1"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_pages() {
+        for bad in [
+            "0bad_name 1",
+            "name{l=\"unterminated} 1",
+            "name{l=\"v\"} notanumber",
+            "name{0bad=\"v\"} 1",
+            "name{l=v} 1",
+            "name",
+            "name{l=\"v\"} 1 notats",
+            "name{l=\"v\"} 1 2 3",
+            "# TYPE pilot_gauge wibble",
+            "# HELP 0bad text",
+        ] {
+            assert!(validate_prometheus(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn validator_accepts_general_prometheus_shapes() {
+        let page = "# arbitrary comment\n\
+                    metric_no_labels 1.5\n\
+                    metric{a=\"x\",b=\"y\\n\"} -2e3 1700000000\n\
+                    inf_metric +Inf\n";
+        assert_eq!(validate_prometheus(page), Ok(3));
+    }
+}

@@ -187,6 +187,19 @@ impl MetricsRegistry {
             .unwrap_or(0)
     }
 
+    /// Snapshot the counter inventory `(name, handle)`, sorted by name.
+    /// Counters live in a hash map (unlike the insertion-ordered gauges),
+    /// so exporters get a deterministic enumeration by sorting here.
+    pub fn counters(&self) -> Vec<(String, Arc<Counter>)> {
+        let guard = self.inner.counters.lock();
+        let mut out: Vec<(String, Arc<Counter>)> = guard
+            .iter()
+            .map(|(n, c)| (n.clone(), Arc::clone(c)))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Fetch (creating if absent) the named gauge.
     ///
     /// Like [`Self::counter`], the returned handle is cheap to clone and

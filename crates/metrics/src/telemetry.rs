@@ -101,6 +101,42 @@ impl TelemetryFrame {
             .find(|(n, _)| &**n == name)
             .map(|(_, v)| *v)
     }
+
+    /// Render the frame as a JSON object:
+    /// `{"t_us":N,"values":{"gauge.name":level,...}}` (gauge names escaped
+    /// per RFC 8259). The gateway's `/telemetry/frames` and SSE stream
+    /// both emit this shape.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(32 + self.values.len() * 24);
+        out.push_str("{\"t_us\":");
+        out.push_str(&self.t_us.to_string());
+        out.push_str(",\"values\":{");
+        for (i, (name, value)) in self.values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::json::push_json_string(&mut out, name);
+            out.push(':');
+            out.push_str(&value.to_string());
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Render a slice of frames as a JSON array of [`TelemetryFrame::to_json`]
+/// objects.
+pub fn frames_json(frames: &[TelemetryFrame]) -> String {
+    let mut out = String::with_capacity(2 + frames.len() * 64);
+    out.push('[');
+    for (i, frame) in frames.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&frame.to_json());
+    }
+    out.push(']');
+    out
 }
 
 /// A callback run by the sampler before each snapshot — refreshes

@@ -9,22 +9,37 @@
 //! [`TelemetryFrame`] ring becomes a counter
 //! (`"ph":"C"`) track. Metadata (`"ph":"M"`) events name the rows.
 //!
-//! No JSON library is taken on as a dependency: the writer hand-rolls the
-//! (flat, fully controlled) output, and [`validate_trace_json`] is a small
-//! recursive-descent checker used by tests and the CI smoke to prove the
-//! export is well-formed and non-empty.
+//! The writer streams: [`write_chrome_trace_to`] emits through any
+//! `io::Write` sink in bounded chunks, so the gateway's `GET /trace` can
+//! serialize a million-span run straight to the socket without ever
+//! materializing the full JSON, and the file/String exporters are thin
+//! wrappers over the same code path. No JSON library is taken on as a
+//! dependency — the events are hand-rolled via [`crate::json`], and
+//! [`validate_trace_json`] proves the export well-formed in tests and CI.
 
+use crate::json::{push_json_string, validate_json_counting};
 use crate::span::Span;
 use crate::telemetry::TelemetryFrame;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::Path;
 
-/// Render spans + telemetry frames as a Chrome `trace_event` JSON object
-/// (`{"traceEvents": [...], "displayTimeUnit": "ms"}`).
-pub fn chrome_trace_json(spans: &[Span], frames: &[TelemetryFrame]) -> String {
-    let mut out = String::with_capacity(128 + spans.len() * 160);
-    out.push_str("{\"traceEvents\":[");
+/// Flush the chunk buffer to the sink once it grows past this.
+const CHUNK_BYTES: usize = 32 * 1024;
+
+/// Stream spans + telemetry frames as a Chrome `trace_event` JSON object
+/// (`{"traceEvents": [...], "displayTimeUnit": "ms"}`) into `w`.
+///
+/// Output is written in ≤ ~32 KiB chunks: peak memory is bounded by the
+/// chunk size, not the trace size. The byte stream is identical to
+/// [`chrome_trace_json`]'s.
+pub fn write_chrome_trace_to(
+    w: &mut dyn Write,
+    spans: &[Span],
+    frames: &[TelemetryFrame],
+) -> std::io::Result<()> {
+    let mut chunk = String::with_capacity(CHUNK_BYTES + 1024);
+    chunk.push_str("{\"traceEvents\":[");
     let mut first = true;
     // Stable per-component rows: tid by first appearance, named via
     // metadata events so the viewer shows labels instead of numbers.
@@ -33,7 +48,7 @@ pub fn chrome_trace_json(spans: &[Span], frames: &[TelemetryFrame]) -> String {
         let label = s.component.label();
         let next = tids.len() as u64 + 1;
         let tid = *tids.entry(label.clone()).or_insert(next);
-        push_event(&mut out, &mut first, |e| {
+        push_event(&mut chunk, &mut first, |e| {
             e.push_str("\"name\":");
             push_json_string(e, &label);
             e.push_str(",\"cat\":\"span\",\"ph\":\"X\",\"ts\":");
@@ -52,20 +67,22 @@ pub fn chrome_trace_json(spans: &[Span], frames: &[TelemetryFrame]) -> String {
             e.push_str(if s.error { "true" } else { "false" });
             e.push('}');
         });
+        flush_chunk(w, &mut chunk)?;
     }
     for (label, tid) in &tids {
-        push_event(&mut out, &mut first, |e| {
+        push_event(&mut chunk, &mut first, |e| {
             e.push_str("\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":");
             e.push_str(&tid.to_string());
             e.push_str(",\"args\":{\"name\":");
             push_json_string(e, label);
             e.push('}');
         });
+        flush_chunk(w, &mut chunk)?;
     }
     // Gauge series as counter tracks: one "C" event per gauge per frame.
     for f in frames {
         for (name, value) in &f.values {
-            push_event(&mut out, &mut first, |e| {
+            push_event(&mut chunk, &mut first, |e| {
                 e.push_str("\"name\":");
                 push_json_string(e, name);
                 e.push_str(",\"cat\":\"gauge\",\"ph\":\"C\",\"ts\":");
@@ -75,19 +92,38 @@ pub fn chrome_trace_json(spans: &[Span], frames: &[TelemetryFrame]) -> String {
                 e.push('}');
             });
         }
+        flush_chunk(w, &mut chunk)?;
     }
-    out.push_str("],\"displayTimeUnit\":\"ms\"}");
-    out
+    chunk.push_str("],\"displayTimeUnit\":\"ms\"}");
+    w.write_all(chunk.as_bytes())
 }
 
-/// Write the Chrome trace for `spans` + `frames` to `path`.
+fn flush_chunk(w: &mut dyn Write, chunk: &mut String) -> std::io::Result<()> {
+    if chunk.len() >= CHUNK_BYTES {
+        w.write_all(chunk.as_bytes())?;
+        chunk.clear();
+    }
+    Ok(())
+}
+
+/// Render spans + telemetry frames as one in-memory JSON string (the
+/// buffered convenience wrapper over [`write_chrome_trace_to`]).
+pub fn chrome_trace_json(spans: &[Span], frames: &[TelemetryFrame]) -> String {
+    let mut out: Vec<u8> = Vec::with_capacity(128 + spans.len() * 160);
+    write_chrome_trace_to(&mut out, spans, frames).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("trace writer emits UTF-8")
+}
+
+/// Write the Chrome trace for `spans` + `frames` to `path` (streamed
+/// through a buffered file writer).
 pub fn write_chrome_trace(
     path: impl AsRef<Path>,
     spans: &[Span],
     frames: &[TelemetryFrame],
 ) -> std::io::Result<()> {
     let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
-    file.write_all(chrome_trace_json(spans, frames).as_bytes())
+    write_chrome_trace_to(&mut file, spans, frames)?;
+    file.flush()
 }
 
 fn push_event(out: &mut String, first: &mut bool, body: impl FnOnce(&mut String)) {
@@ -100,287 +136,18 @@ fn push_event(out: &mut String, first: &mut bool, body: impl FnOnce(&mut String)
     out.push('}');
 }
 
-/// Append `s` as a JSON string literal, escaping per RFC 8259.
-fn push_json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
 /// Validate `text` as Chrome-trace JSON: it must parse as a JSON value
 /// (full grammar — objects, arrays, strings with escapes, numbers, bools,
 /// null) and contain a `traceEvents` array. Returns the number of events.
 ///
 /// This is deliberately a *validator*, not a parser into a document tree —
 /// it exists so tests and the CI smoke can assert "the export is loadable"
-/// without taking a JSON crate dependency.
+/// without taking a JSON crate dependency. The grammar checker itself is
+/// [`crate::json::validate_json`], shared with the gateway's JSON
+/// endpoints.
 pub fn validate_trace_json(text: &str) -> Result<usize, String> {
-    let mut v = Validator {
-        bytes: text.as_bytes(),
-        pos: 0,
-        events: None,
-        depth: 0,
-    };
-    v.skip_ws();
-    v.value()?;
-    v.skip_ws();
-    if v.pos != v.bytes.len() {
-        return Err(format!("trailing garbage at byte {}", v.pos));
-    }
-    v.events
+    validate_json_counting(text, Some("traceEvents"))?
         .ok_or_else(|| "no traceEvents array found".to_string())
-}
-
-struct Validator<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-    /// Number of elements of the top-level `traceEvents` array, once seen.
-    events: Option<usize>,
-    depth: usize,
-}
-
-impl Validator<'_> {
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, c: u8) -> Result<(), String> {
-        if self.peek() == Some(c) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected '{}' at byte {}, found {:?}",
-                c as char,
-                self.pos,
-                self.peek().map(|b| b as char)
-            ))
-        }
-    }
-
-    fn value(&mut self) -> Result<(), String> {
-        self.depth += 1;
-        if self.depth > 128 {
-            return Err("nesting too deep".into());
-        }
-        self.skip_ws();
-        let r = match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => {
-                self.array()?;
-                Ok(())
-            }
-            Some(b'"') => self.string().map(|_| ()),
-            Some(b't') => self.literal("true"),
-            Some(b'f') => self.literal("false"),
-            Some(b'n') => self.literal("null"),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            other => Err(format!(
-                "unexpected {:?} at byte {}",
-                other.map(|b| b as char),
-                self.pos
-            )),
-        };
-        self.depth -= 1;
-        r
-    }
-
-    fn object(&mut self) -> Result<(), String> {
-        self.expect(b'{')?;
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(());
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            if key == "traceEvents" && self.peek() == Some(b'[') {
-                let n = self.array()?;
-                if self.events.is_none() {
-                    self.events = Some(n);
-                }
-            } else {
-                self.value()?;
-            }
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(());
-                }
-                other => {
-                    return Err(format!(
-                        "expected ',' or '}}' at byte {}, found {:?}",
-                        self.pos,
-                        other.map(|b| b as char)
-                    ))
-                }
-            }
-        }
-    }
-
-    /// Validate an array, returning its element count.
-    fn array(&mut self) -> Result<usize, String> {
-        self.expect(b'[')?;
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(0);
-        }
-        let mut n = 0;
-        loop {
-            self.value()?;
-            n += 1;
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(n);
-                }
-                other => {
-                    return Err(format!(
-                        "expected ',' or ']' at byte {}, found {:?}",
-                        self.pos,
-                        other.map(|b| b as char)
-                    ))
-                }
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(c @ (b'"' | b'\\' | b'/')) => {
-                            out.push(c as char);
-                            self.pos += 1;
-                        }
-                        Some(b'n') => {
-                            out.push('\n');
-                            self.pos += 1;
-                        }
-                        Some(b'r' | b't' | b'b' | b'f') => {
-                            self.pos += 1;
-                        }
-                        Some(b'u') => {
-                            self.pos += 1;
-                            for _ in 0..4 {
-                                match self.peek() {
-                                    Some(c) if c.is_ascii_hexdigit() => self.pos += 1,
-                                    _ => {
-                                        return Err(format!("bad \\u escape at byte {}", self.pos))
-                                    }
-                                }
-                            }
-                        }
-                        other => {
-                            return Err(format!(
-                                "bad escape {:?} at byte {}",
-                                other.map(|b| b as char),
-                                self.pos
-                            ))
-                        }
-                    }
-                }
-                Some(c) if c < 0x20 => return Err(format!("raw control byte {c:#04x} in string")),
-                Some(_) => {
-                    // Skip one UTF-8 scalar (input is a &str, so boundaries
-                    // are valid by construction).
-                    let ch = self.remaining_char();
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn remaining_char(&self) -> char {
-        // Safe: `bytes` comes from a &str and pos is always on a boundary.
-        std::str::from_utf8(&self.bytes[self.pos..])
-            .expect("validator input is UTF-8")
-            .chars()
-            .next()
-            .expect("peeked non-empty")
-    }
-
-    fn literal(&mut self, lit: &str) -> Result<(), String> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(())
-        } else {
-            Err(format!("bad literal at byte {}", self.pos))
-        }
-    }
-
-    fn number(&mut self) -> Result<(), String> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        let digits = |v: &mut Self| {
-            let s = v.pos;
-            while matches!(v.peek(), Some(c) if c.is_ascii_digit()) {
-                v.pos += 1;
-            }
-            v.pos > s
-        };
-        let int_start = self.pos;
-        if !digits(self) {
-            return Err(format!("bad number at byte {start}"));
-        }
-        // JSON forbids leading zeros ("01" is not a number).
-        if self.pos - int_start > 1 && self.bytes[int_start] == b'0' {
-            return Err(format!("leading zero in number at byte {start}"));
-        }
-        if self.peek() == Some(b'.') {
-            self.pos += 1;
-            if !digits(self) {
-                return Err(format!("bad number at byte {start}"));
-            }
-        }
-        if matches!(self.peek(), Some(b'e' | b'E')) {
-            self.pos += 1;
-            if matches!(self.peek(), Some(b'+' | b'-')) {
-                self.pos += 1;
-            }
-            if !digits(self) {
-                return Err(format!("bad number at byte {start}"));
-            }
-        }
-        Ok(())
-    }
 }
 
 #[cfg(test)]
@@ -455,6 +222,26 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(validate_trace_json(&text), Ok(2));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streamed_output_is_byte_identical_to_buffered_across_chunks() {
+        // Enough spans that the streaming path flushes several chunks.
+        let spans: Vec<Span> = (0..2000)
+            .map(|i| span(Component::Broker, i, i, i + 1))
+            .collect();
+        let frames: Vec<TelemetryFrame> = (0..50)
+            .map(|t| TelemetryFrame {
+                t_us: t,
+                values: vec![(Arc::from("lag"), t as i64)],
+            })
+            .collect();
+        let buffered = chrome_trace_json(&spans, &frames);
+        assert!(buffered.len() > CHUNK_BYTES * 2, "must exercise chunking");
+        let mut streamed: Vec<u8> = Vec::new();
+        write_chrome_trace_to(&mut streamed, &spans, &frames).unwrap();
+        assert_eq!(streamed, buffered.as_bytes());
+        assert!(validate_trace_json(&buffered).unwrap() > 2000);
     }
 
     #[test]

@@ -52,6 +52,7 @@ impl KnobState {
             Action::SetBatchMaxBytes { to, .. } => self.batch = to,
             Action::SetPrefetchDepth { to, .. } => self.prefetch = to,
             Action::SetFetchMax { to, .. } => self.fetch = to,
+            Action::SetLinger { .. } => {}
             Action::MigrateToEdge | Action::MigrateToCloud => {}
         }
     }
@@ -300,6 +301,7 @@ fn sustained_low_lag_walks_every_knob_to_its_floor() {
         Knob::Fetch => 3,
         Knob::Batch => 4,
         Knob::Placement => 5,
+        Knob::Linger => 6,
     };
     let ranks: Vec<_> = actions.iter().map(rank).collect();
     let mut sorted = ranks.clone();
@@ -416,6 +418,7 @@ fn controller_scales_up_under_lag_and_journals_the_cause() {
         match e.cause.verdict {
             Verdict::LagOver => assert!(e.cause.lag > 10, "over-verdict with lag {}", e.cause.lag),
             Verdict::LagUnder => assert!(e.cause.lag <= 1),
+            Verdict::External => panic!("controller never emits External verdicts"),
         }
         assert_eq!(e.before, e.action.before());
         assert_eq!(e.after, e.action.after());
